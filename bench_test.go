@@ -1,0 +1,94 @@
+// Benchmark harness: one testing.B per table and figure of the paper's
+// evaluation (§VII). Each benchmark runs the corresponding experiment from
+// internal/bench on the quick configuration (the tiny dataset, two queries
+// per bucket), so `go test -bench=. -benchmem` regenerates a scaled-down
+// version of every artefact; `cmd/aggbench` runs the full-size versions.
+//
+// The reported time per op is the wall-clock of the entire experiment:
+// dataset generation, ground-truth computation, and all query executions.
+package kgaq
+
+import (
+	"io"
+	"testing"
+
+	"kgaq/internal/bench"
+)
+
+// runExperiment executes one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := bench.Registry()[id]
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := bench.QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner(io.Discard, cfg); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table V: AJS between τ-relevant and
+// human-annotated answers across the τ sweep.
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates Table VI: relative error vs τ-GT for all
+// methods, datasets and shapes.
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7 regenerates Table VII: relative error vs HA-GT.
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkTable8 regenerates Table VIII: average response time.
+func BenchmarkTable8(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkTable9 regenerates Table IX: the per-round refinement case study.
+func BenchmarkTable9(b *testing.B) { runExperiment(b, "table9") }
+
+// BenchmarkTable10 regenerates Table X: operator efficiency.
+func BenchmarkTable10(b *testing.B) { runExperiment(b, "table10") }
+
+// BenchmarkTable11 regenerates Table XI: operator effectiveness.
+func BenchmarkTable11(b *testing.B) { runExperiment(b, "table11") }
+
+// BenchmarkTable12 regenerates Table XII: per-step (S1/S2/S3) timing.
+func BenchmarkTable12(b *testing.B) { runExperiment(b, "table12") }
+
+// BenchmarkTable13 regenerates Table XIII: the embedding-model comparison.
+func BenchmarkTable13(b *testing.B) { runExperiment(b, "table13") }
+
+// BenchmarkFig5a regenerates Fig. 5(a): semantic vs topology sampling.
+func BenchmarkFig5a(b *testing.B) { runExperiment(b, "fig5a") }
+
+// BenchmarkFig5b regenerates Fig. 5(b): validation on/off.
+func BenchmarkFig5b(b *testing.B) { runExperiment(b, "fig5b") }
+
+// BenchmarkFig5c regenerates Fig. 5(c): Eq. 12 vs fixed sample growth.
+func BenchmarkFig5c(b *testing.B) { runExperiment(b, "fig5c") }
+
+// BenchmarkFig6a regenerates Fig. 6(a): interactive eb tightening.
+func BenchmarkFig6a(b *testing.B) { runExperiment(b, "fig6a") }
+
+// BenchmarkFig6b regenerates Fig. 6(b): the confidence-level sweep.
+func BenchmarkFig6b(b *testing.B) { runExperiment(b, "fig6b") }
+
+// BenchmarkFig6c regenerates Fig. 6(c): the repeat-factor sweep.
+func BenchmarkFig6c(b *testing.B) { runExperiment(b, "fig6c") }
+
+// BenchmarkFig6d regenerates Fig. 6(d): the sample-ratio sweep.
+func BenchmarkFig6d(b *testing.B) { runExperiment(b, "fig6d") }
+
+// BenchmarkFig6e regenerates Fig. 6(e): the n-bound sweep.
+func BenchmarkFig6e(b *testing.B) { runExperiment(b, "fig6e") }
+
+// BenchmarkFig6f regenerates Fig. 6(f): the τ sweep against both ground
+// truths.
+func BenchmarkFig6f(b *testing.B) { runExperiment(b, "fig6f") }
+
+// BenchmarkAblationDivisor compares the estimator divisor policies (the
+// DESIGN.md estimator subtlety).
+func BenchmarkAblationDivisor(b *testing.B) { runExperiment(b, "ablation-divisor") }

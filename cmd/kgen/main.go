@@ -1,0 +1,118 @@
+// Command kgen generates the synthetic evaluation datasets: a knowledge
+// graph snapshot, an oracle embedding snapshot, and the query workload with
+// ground truth, for any of the built-in profiles (dbpedia-sim,
+// freebase-sim, yago2-sim, tiny).
+//
+// Usage:
+//
+//	kgen -profile dbpedia-sim -out ./data
+//	kgen -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kgaq/internal/datagen"
+	"kgaq/internal/embedding"
+)
+
+func main() {
+	profile := flag.String("profile", "dbpedia-sim", "dataset profile to generate")
+	out := flag.String("out", ".", "output directory")
+	list := flag.Bool("list", false, "list available profiles and exit")
+	tsv := flag.Bool("tsv", false, "also write nodes.tsv / edges.tsv")
+	flag.Parse()
+
+	if *list {
+		for _, p := range append(datagen.Profiles(), datagen.TinyProfile()) {
+			fmt.Printf("%-14s countries=%d scale=%d optimal-τ=%.2f\n",
+				p.Name, p.Countries, p.Scale, p.OptimalTau)
+		}
+		return
+	}
+
+	p, ok := datagen.ProfileByName(*profile)
+	if !ok {
+		fail("unknown profile %q (try -list)", *profile)
+	}
+	ds, err := datagen.Generate(p)
+	if err != nil {
+		fail("generate: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail("mkdir: %v", err)
+	}
+
+	graphPath := filepath.Join(*out, p.Name+".graph")
+	if err := ds.Graph.SaveFile(graphPath); err != nil {
+		fail("save graph: %v", err)
+	}
+	embPath := filepath.Join(*out, p.Name+".emb")
+	if err := embedding.SaveFile(embPath, ds.Model); err != nil {
+		fail("save embedding: %v", err)
+	}
+
+	// Workload with ground truth as JSON for external tooling.
+	type jsonQuery struct {
+		ID        string   `json:"id"`
+		Category  string   `json:"category"`
+		Shape     string   `json:"shape"`
+		Text      string   `json:"query"`
+		HAAnswers []string `json:"ha_answers"`
+		HAValue   float64  `json:"ha_value"`
+	}
+	var queries []jsonQuery
+	for _, q := range ds.Queries {
+		hv, err := ds.HAValue(q)
+		if err != nil {
+			continue
+		}
+		queries = append(queries, jsonQuery{
+			ID: q.ID, Category: q.Category, Shape: q.Shape.String(),
+			Text: q.Agg.String(), HAAnswers: q.HAAnswers, HAValue: hv,
+		})
+	}
+	wlPath := filepath.Join(*out, p.Name+".workload.json")
+	wf, err := os.Create(wlPath)
+	if err != nil {
+		fail("create workload: %v", err)
+	}
+	enc := json.NewEncoder(wf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(queries); err != nil {
+		fail("write workload: %v", err)
+	}
+	if err := wf.Close(); err != nil {
+		fail("close workload: %v", err)
+	}
+
+	if *tsv {
+		nf, err := os.Create(filepath.Join(*out, p.Name+".nodes.tsv"))
+		if err != nil {
+			fail("create nodes.tsv: %v", err)
+		}
+		ef, err := os.Create(filepath.Join(*out, p.Name+".edges.tsv"))
+		if err != nil {
+			fail("create edges.tsv: %v", err)
+		}
+		if err := ds.Graph.WriteTSV(nf, ef); err != nil {
+			fail("write tsv: %v", err)
+		}
+		nf.Close()
+		ef.Close()
+	}
+
+	fmt.Printf("%s: %s\n", p.Name, ds.Graph)
+	fmt.Printf("  graph:    %s\n", graphPath)
+	fmt.Printf("  emb:      %s\n", embPath)
+	fmt.Printf("  workload: %s (%d queries)\n", wlPath, len(queries))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Soccer: GROUP-BY and star-shaped queries over the generated soccer
+// domain — "how many players born in Country_1, by age group?" (Q4 style)
+// and "players born in Country_1 who play for one of its clubs" (Q9 style).
+//
+// Run with:
+//
+//	go run ./examples/soccer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"kgaq"
+)
+
+func main() {
+	ds, err := kgaq.GenerateDataset("tiny")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, _ := kgaq.DatasetOptimalTau("tiny")
+	engine, err := kgaq.NewEngine(ds.Graph, ds.Model, kgaq.Options{
+		Tau: tau, ErrorBound: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Q4 style: players born in Country_1, grouped by age band. The born-in
+	// relation appears in the graph as direct bornIn edges, birthPlace→city
+	// chains, and hometown edges; the sampler finds all of them.
+	q := kgaq.SimpleQuery(kgaq.Count, "", "Country_1", "Country", "bornIn", "SoccerPlayer").
+		WithGroupBy("age_group")
+	res, err := engine.Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", q)
+	fmt.Printf("  overall: %s over %d candidates\n", res.Interval(), res.Candidates)
+	labels := make([]string, 0, len(res.Groups))
+	for l := range res.Groups {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		gr := res.Groups[l]
+		fmt.Printf("  age %-4s ≈ %6.2f ± %.2f  (%d draws)\n", l, gr.Estimate, gr.MoE, gr.Draws)
+	}
+
+	// Q9 style star: find a club of Country_1 from the workload's own star
+	// query so the example works on any seed.
+	var star *kgaq.AggregateQuery
+	for _, wq := range ds.Queries {
+		if wq.Category == "star" {
+			star = wq.Agg
+			break
+		}
+	}
+	if star == nil {
+		log.Fatal("workload has no star query")
+	}
+	sres, err := engine.Execute(star)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n  estimate %s (converged: %v)\n", star, sres.Interval(), sres.Converged)
+
+	// MAX without a guarantee: the most valuable player born in Country_1.
+	mq := kgaq.SimpleQuery(kgaq.Max, "transfer_value", "Country_1", "Country", "bornIn", "SoccerPlayer")
+	mres, err := engine.Execute(mq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n  MAX ≈ %.0f (no accuracy guarantee; grows toward the exact value with sample size)\n",
+		mq, mres.Estimate)
+}

@@ -1,0 +1,379 @@
+// Package baselines implements the competing methods of §VII: the exact
+// Semantic-Similarity Baseline SSB (Algorithm 1, which doubles as the τ-GT
+// oracle), the link-prediction method EAQ, the incremental top-k semantic
+// search SGQ, the structural matcher GraB, the keyword matcher QGA, and the
+// exact-schema SPARQL engines JENA and Virtuoso (one matcher, two names —
+// their rows are identical in every table of the paper).
+//
+// All methods implement Method: given an aggregate query they return the
+// aggregate over whatever answer set their matching policy finds. The
+// factoid-first methods (SGQ, GraB, QGA, JENA, Virtuoso) reproduce the
+// paper's extension "adding an aggregate operation after the factoid
+// answers".
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+	"kgaq/internal/semsim"
+	"kgaq/internal/stats"
+)
+
+// Answer is a baseline's result: the aggregate value, the answer set it
+// aggregated over, and per-group values for GROUP-BY queries.
+type Answer struct {
+	Value   float64
+	Answers []kg.NodeID
+	Groups  map[string]float64
+}
+
+// Method is a competing query-answering system.
+type Method interface {
+	Name() string
+	Execute(a *query.Aggregate) (*Answer, error)
+}
+
+// ErrUnsupported is returned by methods that cannot run a query shape
+// (e.g. EAQ beyond simple queries, shown as "-" in the paper's tables).
+var ErrUnsupported = fmt.Errorf("baselines: query shape unsupported by this method")
+
+// hopExpander returns, per method, the set of nodes reachable from root
+// through ONE query hop under the method's matching policy.
+type hopExpander func(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.NodeID]bool
+
+// answersByPolicy evaluates the decomposed query under a per-hop expansion
+// policy: each path expands stage-wise from its root; the final sets of all
+// paths are intersected (decomposition–assembly, the same frame the engine
+// uses, so baselines and engine answer the same question).
+func answersByPolicy(g *kg.Graph, a *query.Aggregate, expand hopExpander) ([]kg.NodeID, error) {
+	paths, err := a.Q.Decompose()
+	if err != nil {
+		return nil, err
+	}
+	var result map[kg.NodeID]bool
+	for _, p := range paths {
+		us := g.NodeByName(p.RootName)
+		if us == kg.InvalidNode {
+			return nil, nil // unknown entity: zero answers, like a store
+		}
+		frontier := map[kg.NodeID]bool{us: true}
+		for _, hop := range p.Hops {
+			pred := g.PredByName(hop.Predicate)
+			if pred == kg.InvalidPred {
+				frontier = nil
+				break
+			}
+			var types []kg.TypeID
+			for _, tn := range hop.Types {
+				if t := g.TypeByName(tn); t != kg.InvalidType {
+					types = append(types, t)
+				}
+			}
+			next := map[kg.NodeID]bool{}
+			for u := range frontier {
+				for v := range expand(u, pred, types) {
+					next[v] = true
+				}
+			}
+			frontier = next
+		}
+		if result == nil {
+			result = frontier
+		} else {
+			for u := range result {
+				if !frontier[u] {
+					delete(result, u)
+				}
+			}
+		}
+	}
+	out := make([]kg.NodeID, 0, len(result))
+	for u := range result {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// AggregateOver applies f_a with filters and GROUP-BY exactly over a fixed
+// answer set, skipping answers missing the aggregated attribute (consistent
+// with the engine and with SPARQL unbound semantics). It is exported for the
+// bench layer, which uses it to compute per-group ground truths.
+func AggregateOver(g *kg.Graph, a *query.Aggregate, answers []kg.NodeID) (*Answer, error) {
+	var filtered []kg.NodeID
+	for _, u := range answers {
+		ok := true
+		for _, f := range a.Filters {
+			fa := g.AttrByName(f.Attr)
+			if fa == kg.InvalidAttr {
+				ok = false
+				break
+			}
+			v, has := g.Attr(u, fa)
+			if !has || !f.Matches(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, u)
+		}
+	}
+	res := &Answer{Answers: filtered}
+	v, err := scalarAggregate(g, a, filtered)
+	if err != nil {
+		return nil, err
+	}
+	res.Value = v
+	if a.GroupBy != "" {
+		ga := g.AttrByName(a.GroupBy)
+		groups := map[string][]kg.NodeID{}
+		for _, u := range filtered {
+			label := "n/a"
+			if ga != kg.InvalidAttr {
+				if gv, ok := g.Attr(u, ga); ok {
+					label = strconv.FormatFloat(gv, 'g', -1, 64)
+				}
+			}
+			groups[label] = append(groups[label], u)
+		}
+		res.Groups = map[string]float64{}
+		for label, us := range groups {
+			if gv, err := scalarAggregate(g, a, us); err == nil {
+				res.Groups[label] = gv
+			}
+		}
+	}
+	return res, nil
+}
+
+func scalarAggregate(g *kg.Graph, a *query.Aggregate, answers []kg.NodeID) (float64, error) {
+	if a.Func == query.Count {
+		return float64(len(answers)), nil
+	}
+	attr := g.AttrByName(a.Attr)
+	var vals []float64
+	if attr != kg.InvalidAttr {
+		for _, u := range answers {
+			if v, ok := g.Attr(u, attr); ok {
+				vals = append(vals, v)
+			}
+		}
+	}
+	switch a.Func {
+	case query.Sum:
+		return stats.Sum(vals), nil
+	case query.Avg:
+		if len(vals) == 0 {
+			return 0, nil
+		}
+		return stats.Mean(vals), nil
+	case query.Max:
+		if len(vals) == 0 {
+			return 0, nil
+		}
+		v, _ := stats.Max(vals)
+		return v, nil
+	case query.Min:
+		if len(vals) == 0 {
+			return 0, nil
+		}
+		v, _ := stats.Min(vals)
+		return v, nil
+	default:
+		return 0, fmt.Errorf("baselines: unsupported aggregate %v", a.Func)
+	}
+}
+
+// SSB is the Semantic Similarity-based Baseline of Algorithm 1: exhaustive
+// bounded path enumeration, exact τ-relevant correct answers, exact
+// aggregate. It is costly by design and doubles as the τ-GT oracle for
+// effectiveness evaluation.
+type SSB struct {
+	calc *semsim.Calculator
+	tau  float64
+	n    int
+}
+
+// NewSSB builds the baseline. tau defaults to 0.85 and n to 3 when zero.
+func NewSSB(g *kg.Graph, model embedding.Model, tau float64, n int) (*SSB, error) {
+	calc, err := semsim.NewCalculator(g, model, 0)
+	if err != nil {
+		return nil, err
+	}
+	if tau <= 0 {
+		tau = 0.85
+	}
+	if n <= 0 {
+		n = 3
+	}
+	return &SSB{calc: calc, tau: tau, n: n}, nil
+}
+
+// Name implements Method.
+func (s *SSB) Name() string { return "SSB" }
+
+// CorrectAnswers returns the exact τ-relevant correct answer set of the
+// query (the τ-GT answer set).
+func (s *SSB) CorrectAnswers(a *query.Aggregate) ([]kg.NodeID, error) {
+	g := s.calc.Graph()
+	return answersByPolicy(g, a, func(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.NodeID]bool {
+		best := semsim.Exhaustive(s.calc, root, pred, s.n)
+		out := map[kg.NodeID]bool{}
+		for u, sim := range best {
+			if sim >= s.tau && g.SharesType(u, types) {
+				out[u] = true
+			}
+		}
+		return out
+	})
+}
+
+// Execute implements Method: exact aggregate over the τ-relevant answers.
+func (s *SSB) Execute(a *query.Aggregate) (*Answer, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	answers, err := s.CorrectAnswers(a)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateOver(s.calc.Graph(), a, answers)
+}
+
+// GraB reimplements the structural matcher of Jin et al.: answers are the
+// typed nodes within a bounded distance of the specific entity, scored by
+// path length only — no semantics, so structurally close but semantically
+// wrong answers slip in and distant correct ones are missed.
+type GraB struct {
+	g *kg.Graph
+	// MaxDist is the structural-similarity radius per hop (default 2).
+	MaxDist int
+}
+
+// NewGraB builds the baseline.
+func NewGraB(g *kg.Graph) *GraB { return &GraB{g: g, MaxDist: 2} }
+
+// Name implements Method.
+func (b *GraB) Name() string { return "GraB" }
+
+// Execute implements Method.
+func (b *GraB) Execute(a *query.Aggregate) (*Answer, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	answers, err := answersByPolicy(b.g, a, func(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.NodeID]bool {
+		bound := b.g.BoundedSubgraph(root, b.MaxDist)
+		out := map[kg.NodeID]bool{}
+		for _, u := range bound.Nodes {
+			if u != root && b.g.SharesType(u, types) {
+				out[u] = true
+			}
+		}
+		return out
+	})
+	if err != nil {
+		return nil, err
+	}
+	return AggregateOver(b.g, a, answers)
+}
+
+// QGA reimplements the keyword-based matcher of Han et al.: an edge matches
+// a query hop when its predicate NAME is lexically similar to the query
+// predicate (character-trigram Jaccard). Lexical matching finds exact and
+// morphologically related predicates but none of the semantically
+// equivalent, differently named ones — the paper's worst performer.
+type QGA struct {
+	g *kg.Graph
+	// Threshold is the trigram-Jaccard cutoff (default 0.35).
+	Threshold float64
+	// MaxLen bounds match path length (default 2).
+	MaxLen int
+}
+
+// NewQGA builds the baseline.
+func NewQGA(g *kg.Graph) *QGA { return &QGA{g: g, Threshold: 0.35, MaxLen: 2} }
+
+// Name implements Method.
+func (b *QGA) Name() string { return "QGA" }
+
+// Execute implements Method.
+func (b *QGA) Execute(a *query.Aggregate) (*Answer, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	answers, err := answersByPolicy(b.g, a, b.expand)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateOver(b.g, a, answers)
+}
+
+// expand finds nodes reachable within MaxLen hops where every traversed
+// predicate lexically matches the query predicate.
+func (b *QGA) expand(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.NodeID]bool {
+	queryName := b.g.PredName(pred)
+	lexOK := make(map[kg.PredID]bool, b.g.NumPredicates())
+	for p := 0; p < b.g.NumPredicates(); p++ {
+		lexOK[kg.PredID(p)] = trigramJaccard(queryName, b.g.PredName(kg.PredID(p))) >= b.Threshold
+	}
+	out := map[kg.NodeID]bool{}
+	seen := map[kg.NodeID]bool{root: true}
+	frontier := []kg.NodeID{root}
+	for depth := 0; depth < b.MaxLen; depth++ {
+		var next []kg.NodeID
+		for _, u := range frontier {
+			for _, he := range b.g.Neighbors(u) {
+				if !lexOK[he.Pred] || seen[he.To] {
+					continue
+				}
+				seen[he.To] = true
+				next = append(next, he.To)
+				if b.g.SharesType(he.To, types) {
+					out[he.To] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// trigramJaccard is the character-trigram Jaccard similarity of two
+// lower-cased strings (short strings fall back to bigrams).
+func trigramJaccard(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ga := ngrams(a, 3)
+	gb := ngrams(b, 3)
+	return stats.Jaccard(ga, gb)
+}
+
+func ngrams(s string, n int) map[string]bool {
+	ls := []rune(lower(s))
+	out := map[string]bool{}
+	if len(ls) < n {
+		out[string(ls)] = true
+		return out
+	}
+	for i := 0; i+n <= len(ls); i++ {
+		out[string(ls[i:i+n])] = true
+	}
+	return out
+}
+
+func lower(s string) string {
+	b := []rune(s)
+	for i, r := range b {
+		if r >= 'A' && r <= 'Z' {
+			b[i] = r + ('a' - 'A')
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kgaq/internal/datagen"
+)
+
+// TestAllRunnersSmoke executes every registered experiment on the tiny
+// dataset and checks it produces a non-trivial report without error.
+func TestAllRunnersSmoke(t *testing.T) {
+	reg := Registry()
+	if len(reg) != len(ExperimentIDs()) {
+		t.Fatalf("registry has %d entries, ids list %d", len(reg), len(ExperimentIDs()))
+	}
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			runner, ok := reg[id]
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			var buf bytes.Buffer
+			if err := runner(&buf, QuickConfig()); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s: report too small:\n%s", id, out)
+			}
+			if !strings.Contains(out, "\n") {
+				t.Fatalf("%s: single-line report", id)
+			}
+		})
+	}
+}
+
+// TestTable5PeaksAtOptimalTau verifies the Table V premise end to end: the
+// AJS of the tiny dataset peaks at its designed optimal τ rather than at
+// the sweep's extremes.
+func TestTable5PeaksAtOptimalTau(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(&buf, QuickConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	var ajsLine string
+	for _, l := range lines {
+		if strings.Contains(l, "-AJS") {
+			ajsLine = l
+			break
+		}
+	}
+	if ajsLine == "" {
+		t.Fatalf("no AJS row in:\n%s", out)
+	}
+	fields := strings.Fields(ajsLine)
+	// Columns: name, then τ = 0.60 … 0.95. Optimal τ of tiny is 0.85
+	// (index 6 of the fields slice).
+	if len(fields) != 9 {
+		t.Fatalf("AJS row has %d fields: %q", len(fields), ajsLine)
+	}
+	vals := fields[1:]
+	at := func(i int) string { return vals[i] }
+	// AJS at the optimum (0.85, index 5) must beat both extremes.
+	if !(at(5) > at(0) && at(5) > at(7)) {
+		t.Fatalf("AJS not peaked at τ*: %v", vals)
+	}
+}
+
+// TestQuickConfigDefaults pins the fast-path configuration.
+func TestQuickConfigDefaults(t *testing.T) {
+	cfg := QuickConfig()
+	if cfg.PerCategory != 2 || len(cfg.Profiles) != 1 {
+		t.Fatalf("quick config = %+v", cfg)
+	}
+	if cfg.Profiles[0].Name != datagen.TinyProfile().Name {
+		t.Fatal("quick config should use the tiny profile")
+	}
+	d := Config{}.withDefaults()
+	if d.PerCategory != 4 || len(d.Profiles) != 3 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}

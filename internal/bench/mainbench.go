@@ -1,0 +1,431 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"kgaq/internal/baselines"
+	"kgaq/internal/core"
+	"kgaq/internal/datagen"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+	"kgaq/internal/stats"
+)
+
+// Table5 reproduces Table V: the average Jaccard similarity (and its
+// variance) between the τ-relevant and human-annotated correct answer sets,
+// per dataset, for τ ∈ {0.60 … 0.95}.
+func Table5(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	envs, err := Envs(cfg)
+	if err != nil {
+		return err
+	}
+	taus := []float64{0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Table V: AJS between human-annotated and τ-relevant correct answers\n")
+	fmt.Fprintf(tw, "Threshold τ")
+	for _, tau := range taus {
+		fmt.Fprintf(tw, "\t%.2f", tau)
+	}
+	fmt.Fprintln(tw)
+	for _, e := range envs {
+		ajsRow := make([]float64, len(taus))
+		varRow := make([]float64, len(taus))
+		// Table V uses simple queries (35% of the workload in the paper).
+		qs := pick(e, "simple", 3*cfg.PerCategory)
+		for ti, tau := range taus {
+			ssb, err := baselines.NewSSB(e.DS.Graph, e.DS.Model, tau, 3)
+			if err != nil {
+				return err
+			}
+			var js []float64
+			for _, q := range qs {
+				answers, err := ssb.CorrectAnswers(q.Agg)
+				if err != nil {
+					continue
+				}
+				tauSet := map[string]bool{}
+				for _, u := range answers {
+					tauSet[e.DS.Graph.Name(u)] = true
+				}
+				haSet := map[string]bool{}
+				for _, n := range q.HAAnswers {
+					haSet[n] = true
+				}
+				js = append(js, stats.Jaccard(tauSet, haSet))
+			}
+			ajsRow[ti] = stats.Mean(js)
+			varRow[ti] = stats.Variance(js)
+		}
+		fmt.Fprintf(tw, "%s-AJS", e.Profile.Name)
+		for _, v := range ajsRow {
+			fmt.Fprintf(tw, "\t%.2f", v)
+		}
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "%s-Var", e.Profile.Name)
+		for _, v := range varRow {
+			fmt.Fprintf(tw, "\t%.3f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// cell accumulates one (method, shape) bucket of the main grid.
+type cell struct {
+	errTau []float64 // relative error (%) vs τ-GT
+	errHA  []float64 // relative error (%) vs HA-GT
+	timeMs []float64
+}
+
+// grid is the shared computation behind Tables VI, VII and VIII: every
+// method over every dataset and shape.
+type grid struct {
+	cells map[string]map[query.Shape]*cell // method → shape → metrics
+	order []string                         // method display order
+}
+
+func newGrid() *grid {
+	g := &grid{cells: map[string]map[query.Shape]*cell{}}
+	for _, m := range []string{"Ours", "EAQ", "GraB", "QGA", "SGQ", "JENA", "Virtuoso", "SSB"} {
+		g.order = append(g.order, m)
+		g.cells[m] = map[query.Shape]*cell{}
+		for _, s := range shapes() {
+			g.cells[m][s] = &cell{}
+		}
+	}
+	return g
+}
+
+func (g *grid) add(method string, s query.Shape, errTau, errHA, ms float64) {
+	c := g.cells[method][s]
+	if !math.IsNaN(errTau) && !math.IsInf(errTau, 0) {
+		c.errTau = append(c.errTau, errTau)
+	}
+	if !math.IsNaN(errHA) && !math.IsInf(errHA, 0) {
+		c.errHA = append(c.errHA, errHA)
+	}
+	c.timeMs = append(c.timeMs, ms)
+}
+
+// mainGrid evaluates one environment into the grid.
+func mainGrid(e *Env, g *grid, cfg Config) error {
+	eng, err := e.Engine(core.Options{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	methods, err := methodSet(e, cfg.TrainEpochs)
+	if err != nil {
+		return err
+	}
+	for _, shape := range shapes() {
+		for _, q := range pickShape(e, shape, cfg.PerCategory) {
+			tauGT, err := e.TauGT(q)
+			if err != nil {
+				continue
+			}
+			haGT, err := e.HAGT(q)
+			if err != nil {
+				continue
+			}
+			// Ours.
+			var res *core.Result
+			d, err := timed(func() error {
+				var err error
+				res, err = eng.Execute(q.Agg)
+				return err
+			})
+			if err == nil {
+				g.add("Ours", shape, relErrPct(res.Estimate, tauGT),
+					relErrPct(res.Estimate, haGT), float64(d.Milliseconds()))
+			}
+			// Baselines.
+			for _, m := range methods {
+				var ans *baselines.Answer
+				d, err := timed(func() error {
+					var err error
+					ans, err = m.Execute(q.Agg)
+					return err
+				})
+				if err != nil {
+					continue // unsupported shape → dash
+				}
+				g.add(m.Name(), shape, relErrPct(ans.Value, tauGT),
+					relErrPct(ans.Value, haGT), float64(d.Milliseconds())+float64(d.Microseconds()%1000)/1000)
+			}
+		}
+	}
+	return nil
+}
+
+// gridTable prints one metric of the grid in the paper's layout.
+func gridTable(w io.Writer, title string, envs []*Env, metric func(*cell) string, compute func(*Env, *grid) error) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, title)
+	fmt.Fprint(tw, "Method")
+	for _, e := range envs {
+		for _, s := range shapes() {
+			fmt.Fprintf(tw, "\t%s/%s", e.Profile.Name[:2], s)
+		}
+	}
+	fmt.Fprintln(tw)
+
+	grids := make([]*grid, len(envs))
+	for i, e := range envs {
+		grids[i] = newGrid()
+		if err := compute(e, grids[i]); err != nil {
+			return err
+		}
+	}
+	for _, m := range grids[0].order {
+		fmt.Fprint(tw, m)
+		for i := range envs {
+			for _, s := range shapes() {
+				fmt.Fprintf(tw, "\t%s", metric(grids[i].cells[m][s]))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func runMainTable(w io.Writer, cfg Config, title string, metric func(*cell) string) error {
+	cfg = cfg.withDefaults()
+	envs, err := Envs(cfg)
+	if err != nil {
+		return err
+	}
+	return gridTable(w, title, envs, metric, func(e *Env, g *grid) error {
+		return mainGrid(e, g, cfg)
+	})
+}
+
+// Table6 reproduces Table VI: relative error (%) vs τ-GT for every method,
+// dataset and shape.
+func Table6(w io.Writer, cfg Config) error {
+	return runMainTable(w, cfg,
+		"Table VI: relative error (%) vs τ-relevant ground truth",
+		func(c *cell) string { return meanOrDash(c.errTau, "%.2f") })
+}
+
+// Table7 reproduces Table VII: relative error (%) vs HA-GT.
+func Table7(w io.Writer, cfg Config) error {
+	return runMainTable(w, cfg,
+		"Table VII: relative error (%) vs human-annotated ground truth",
+		func(c *cell) string { return meanOrDash(c.errHA, "%.2f") })
+}
+
+// Table8 reproduces Table VIII: average response time (ms).
+func Table8(w io.Writer, cfg Config) error {
+	return runMainTable(w, cfg,
+		"Table VIII: average response time (ms)",
+		func(c *cell) string { return meanOrDash(c.timeMs, "%.1f") })
+}
+
+// Table9 reproduces Table IX: the per-round refinement case study — one
+// COUNT, one AVG and one SUM query, each refined until eb=1%.
+func Table9(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	env, err := NewEnv(cfg.Profiles[0])
+	if err != nil {
+		return err
+	}
+	eng, err := env.Engine(core.Options{Seed: cfg.Seed, ErrorBound: 0.01})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table IX: relative error refinement per round (eb = 1%)")
+	fmt.Fprintln(tw, "QID\tround\tV̂\tMoE ε\terror % (τ-GT)")
+	wanted := map[query.AggFunc]bool{query.Count: true, query.Avg: true, query.Sum: true}
+	for _, q := range env.DS.QueriesByCategory("simple") {
+		if !wanted[q.Agg.Func] {
+			continue
+		}
+		wanted[q.Agg.Func] = false
+		tauGT, err := env.TauGT(q)
+		if err != nil || tauGT == 0 {
+			continue
+		}
+		res, err := eng.Execute(q.Agg)
+		if err != nil {
+			continue
+		}
+		for i, r := range res.Rounds {
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.3f\t%.2f\n",
+				q.ID, i+1, r.Estimate, r.MoE, relErrPct(r.Estimate, tauGT))
+		}
+	}
+	return tw.Flush()
+}
+
+// operatorRow evaluates one operator bucket (filter / groupby / extreme)
+// under every method; GROUP-BY is only supported by Ours, JENA/Virtuoso and
+// SSB (the paper's dashes).
+func operatorRows(e *Env, cfg Config, category string) (map[string]*cell, error) {
+	eng, err := e.Engine(core.Options{Seed: cfg.Seed, ErrorBound: 0.01})
+	if err != nil {
+		return nil, err
+	}
+	methods, err := methodSet(e, cfg.TrainEpochs)
+	if err != nil {
+		return nil, err
+	}
+	rows := map[string]*cell{"Ours": {}}
+	for _, m := range methods {
+		rows[m.Name()] = &cell{}
+	}
+	groupCapable := map[string]bool{"Ours": true, "JENA": true, "Virtuoso": true, "SSB": true}
+
+	for _, q := range pick(e, category, cfg.PerCategory) {
+		ssbAns, err := e.SSB.Execute(q.Agg)
+		if err != nil {
+			continue
+		}
+		haIDs := make([]kg.NodeID, 0, len(q.HAAnswers))
+		for _, n := range q.HAAnswers {
+			if u := e.DS.Graph.NodeByName(n); u != kg.InvalidNode {
+				haIDs = append(haIDs, u)
+			}
+		}
+		haAns, err := baselines.AggregateOver(e.DS.Graph, q.Agg, haIDs)
+		if err != nil {
+			continue
+		}
+
+		var res *core.Result
+		d, err := timed(func() error {
+			var err error
+			res, err = eng.Execute(q.Agg)
+			return err
+		})
+		if err == nil {
+			et, eh := oursOperatorErr(res, ssbAns, haAns, q)
+			addCell(rows["Ours"], et, eh, d)
+		}
+		for _, m := range methods {
+			if q.Agg.GroupBy != "" && !groupCapable[m.Name()] {
+				continue
+			}
+			var ans *baselines.Answer
+			d, err := timed(func() error {
+				var err error
+				ans, err = m.Execute(q.Agg)
+				return err
+			})
+			if err != nil {
+				continue
+			}
+			et := groupAwareErr(ans.Value, ans.Groups, ssbAns.Value, ssbAns.Groups)
+			eh := groupAwareErr(ans.Value, ans.Groups, haAns.Value, haAns.Groups)
+			addCell(rows[m.Name()], et, eh, d)
+		}
+	}
+	return rows, nil
+}
+
+func addCell(c *cell, errTau, errHA float64, d interface{ Milliseconds() int64 }) {
+	if !math.IsNaN(errTau) && !math.IsInf(errTau, 0) {
+		c.errTau = append(c.errTau, errTau)
+	}
+	if !math.IsNaN(errHA) && !math.IsInf(errHA, 0) {
+		c.errHA = append(c.errHA, errHA)
+	}
+	c.timeMs = append(c.timeMs, float64(d.Milliseconds()))
+}
+
+// oursOperatorErr compares the engine result (groups included) against both
+// ground truths.
+func oursOperatorErr(res *core.Result, ssb, ha *baselines.Answer, q datagen.GenQuery) (float64, float64) {
+	if q.Agg.GroupBy == "" {
+		return relErrPct(res.Estimate, ssb.Value), relErrPct(res.Estimate, ha.Value)
+	}
+	est := map[string]float64{}
+	for label, gr := range res.Groups {
+		est[label] = gr.Estimate
+	}
+	return groupMapErr(est, ssb.Groups), groupMapErr(est, ha.Groups)
+}
+
+// groupAwareErr compares scalar results, or group maps when present.
+func groupAwareErr(v float64, groups map[string]float64, gtV float64, gtGroups map[string]float64) float64 {
+	if gtGroups == nil || groups == nil {
+		return relErrPct(v, gtV)
+	}
+	return groupMapErr(groups, gtGroups)
+}
+
+// groupMapErr is the mean relative error (%) across ground-truth groups; a
+// group the method missed counts as 100%.
+func groupMapErr(est, gt map[string]float64) float64 {
+	if len(gt) == 0 {
+		return math.NaN()
+	}
+	var errs []float64
+	for _, label := range sortedKeys(gt) {
+		want := gt[label]
+		got, ok := est[label]
+		if !ok {
+			errs = append(errs, 100)
+			continue
+		}
+		e := relErrPct(got, want)
+		if math.IsInf(e, 0) || math.IsNaN(e) {
+			e = 100
+		}
+		errs = append(errs, e)
+	}
+	return stats.Mean(errs)
+}
+
+func operatorTable(w io.Writer, cfg Config, title string, metric func(*cell) string) error {
+	cfg = cfg.withDefaults()
+	env, err := NewEnv(cfg.Profiles[0])
+	if err != nil {
+		return err
+	}
+	cats := []string{"filter", "groupby", "extreme"}
+	byCat := map[string]map[string]*cell{}
+	for _, cat := range cats {
+		rows, err := operatorRows(env, cfg, cat)
+		if err != nil {
+			return err
+		}
+		byCat[cat] = rows
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, title)
+	fmt.Fprintln(tw, "Method\tFilter\tGROUP-BY\tMAX/MIN")
+	for _, m := range []string{"Ours", "EAQ", "GraB", "QGA", "SGQ", "JENA", "Virtuoso", "SSB"} {
+		fmt.Fprint(tw, m)
+		for _, cat := range cats {
+			c, ok := byCat[cat][m]
+			if !ok {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%s", metric(c))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Table10 reproduces Table X: operator efficiency (seconds) on the first
+// dataset.
+func Table10(w io.Writer, cfg Config) error {
+	return operatorTable(w, cfg, "Table X: operator efficiency (ms)",
+		func(c *cell) string { return meanOrDash(c.timeMs, "%.1f") })
+}
+
+// Table11 reproduces Table XI: operator effectiveness vs τ-GT and HA-GT.
+func Table11(w io.Writer, cfg Config) error {
+	return operatorTable(w, cfg, "Table XI: operator relative error (%) [τ-GT | HA-GT]",
+		func(c *cell) string {
+			return meanOrDash(c.errTau, "%.2f") + " | " + meanOrDash(c.errHA, "%.2f")
+		})
+}

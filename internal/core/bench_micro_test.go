@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"kgaq/internal/datagen"
+	"kgaq/internal/query"
+)
+
+// Micro-benchmarks of the engine's hot paths on the tiny dataset: end-to-end
+// execution, space construction (walker + convergence + distribution), and
+// incremental refinement. These complement the table/figure harness in the
+// repository root, which measures whole experiments.
+
+func benchDataset(b *testing.B) *datagen.Dataset {
+	b.Helper()
+	ds, err := datagen.Generate(datagen.TinyProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkExecuteSimpleCount(b *testing.B) {
+	ds := benchDataset(b)
+	e, err := NewEngine(ds.Graph, ds.Model, Options{Tau: 0.85, ErrorBound: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Simple(query.Count, "", "Country_0", "Country", "product", "Automobile")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteSimpleAvg(b *testing.B) {
+	ds := benchDataset(b)
+	e, err := NewEngine(ds.Graph, ds.Model, Options{Tau: 0.85, ErrorBound: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Simple(query.Avg, "price", "Country_0", "Country", "product", "Automobile")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStartOnly(b *testing.B) {
+	// Walker construction + convergence + answer distribution, no sampling.
+	ds := benchDataset(b)
+	e, err := NewEngine(ds.Graph, ds.Model, Options{Tau: 0.85})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Simple(query.Count, "", "Country_0", "Country", "product", "Automobile")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Start(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteChain(b *testing.B) {
+	ds := benchDataset(b)
+	e, err := NewEngine(ds.Graph, ds.Model, Options{Tau: 0.85, ErrorBound: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Chain(query.Count, "", "Country_0", "Country", []query.Hop{
+		{Predicate: "nationality", Types: []string{"Designer"}},
+		{Predicate: "designer", Types: []string{"Automobile"}},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInteractiveTighten(b *testing.B) {
+	ds := benchDataset(b)
+	e, err := NewEngine(ds.Graph, ds.Model, Options{Tau: 0.85})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Simple(query.Avg, "price", "Country_0", "Country", "product", "Automobile")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := e.Start(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eb := range []float64{0.10, 0.05, 0.02} {
+			if _, err := x.Run(eb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

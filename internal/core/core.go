@@ -1,0 +1,293 @@
+// Package core is the paper's primary contribution assembled end to end
+// (Algorithm 2): semantic-aware sampling over the n-bounded subgraph
+// (§IV-A), correctness validation and Horvitz–Thompson estimation (§IV-B),
+// and the iteratively refined CLT/BLB accuracy guarantee (§IV-C), extended
+// with filters, GROUP-BY, MAX/MIN, chain-shaped queries via two-stage
+// sampling, and star/cycle/flower queries via decomposition–assembly (§V).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kgaq/internal/embedding"
+	"kgaq/internal/estimate"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+	"kgaq/internal/semsim"
+)
+
+// SamplerKind selects the sampling algorithm (the S1 ablation of Fig. 5a).
+type SamplerKind int
+
+const (
+	// SamplerSemantic is the semantic-aware random walk of §IV-A (default).
+	SamplerSemantic SamplerKind = iota
+	// SamplerCNARW is the topology-only common-neighbor-aware walk.
+	SamplerCNARW
+	// SamplerNode2Vec is the topology-only biased second-order walk.
+	SamplerNode2Vec
+)
+
+// String names the sampler.
+func (s SamplerKind) String() string {
+	switch s {
+	case SamplerCNARW:
+		return "cnarw"
+	case SamplerNode2Vec:
+		return "node2vec"
+	default:
+		return "semantic"
+	}
+}
+
+// Options carries every knob of the pipeline; zero values mean the paper's
+// defaults (§VII-A "Parameters").
+type Options struct {
+	// Tau is the semantic-similarity threshold τ (default 0.85).
+	Tau float64
+	// ErrorBound is the user error bound eb (default 0.01).
+	ErrorBound float64
+	// Confidence is 1-α (default 0.95).
+	Confidence float64
+	// N bounds the walk scope in hops (default 3).
+	N int
+	// Repeat is the validation repeat factor r (default 3).
+	Repeat int
+	// Lambda is the desired sample ratio λ (default 0.3).
+	Lambda float64
+	// T, B, M configure the Bag of Little Bootstraps (defaults 3, 50, 0.6).
+	T int
+	B int
+	M float64
+	// MaxRounds caps refinement rounds (default 10; the paper observes
+	// Ne ≤ 10 in practice).
+	MaxRounds int
+	// MinSample floors the initial sample size (default 30 draws).
+	MinSample int
+	// MaxDraws caps the total sample size (default 20000 draws). The
+	// Horvitz–Thompson estimator has heavy tails when some answers carry
+	// tiny visiting probabilities; without a budget, a query whose variance
+	// resists the error bound would grow its sample geometrically. When the
+	// budget is exhausted the engine returns its best estimate with
+	// Converged=false.
+	MaxDraws int
+	// MinCorrect is the minimum number of correct draws required before a
+	// confidence interval is trusted for termination (default 30). With
+	// fewer, the bootstrap cannot see the heavy tail of the
+	// Horvitz–Thompson weights and reports over-tight intervals.
+	MinCorrect int
+	// Seed makes execution deterministic (default 1).
+	Seed int64
+	// SelfLoopSim is the aperiodicity self-loop weight (default 0.001).
+	SelfLoopSim float64
+	// Policy selects the estimator divisor (default SampleSize; see
+	// DESIGN.md).
+	Policy estimate.DivisorPolicy
+	// Sampler selects the sampling algorithm (default semantic-aware).
+	Sampler SamplerKind
+	// FixedDelta, when positive, replaces the Eq. 12 sample-size
+	// configuration with a fixed |ΔS| (the S3 ablation of Fig. 5c).
+	FixedDelta int
+	// SkipValidation treats every sampled answer as correct (the S2
+	// ablation of Fig. 5b).
+	SkipValidation bool
+	// ExtremeRounds is the number of fixed-size sampling rounds for MAX and
+	// MIN, which carry no guarantee (default 4, as reported in §VII-B).
+	ExtremeRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau <= 0 {
+		o.Tau = 0.85
+	}
+	if o.ErrorBound <= 0 {
+		o.ErrorBound = 0.01
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 3
+	}
+	if o.Lambda <= 0 || o.Lambda > 1 {
+		o.Lambda = 0.3
+	}
+	if o.T <= 0 {
+		o.T = 3
+	}
+	if o.B <= 0 {
+		o.B = 50
+	}
+	if o.M <= 0 || o.M > 1 {
+		o.M = 0.6
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10
+	}
+	if o.MinSample <= 0 {
+		o.MinSample = 30
+	}
+	if o.MaxDraws <= 0 {
+		o.MaxDraws = 20000
+	}
+	if o.MinCorrect <= 0 {
+		o.MinCorrect = 30
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SelfLoopSim <= 0 {
+		o.SelfLoopSim = 0.001
+	}
+	if o.ExtremeRounds <= 0 {
+		o.ExtremeRounds = 4
+	}
+	return o
+}
+
+func (o Options) guarantee() estimate.GuaranteeConfig {
+	return estimate.GuaranteeConfig{Confidence: o.Confidence, T: o.T, B: o.B, M: o.M}
+}
+
+// StepTimes breaks the response time into the paper's three steps
+// (Table XII): S1 semantic-aware sampling, S2 approximate estimation
+// (validation + point estimate), S3 accuracy guarantee (CI + sizing).
+type StepTimes struct {
+	Sampling   time.Duration
+	Estimation time.Duration
+	Guarantee  time.Duration
+}
+
+// Total returns the summed step time.
+func (s StepTimes) Total() time.Duration {
+	return s.Sampling + s.Estimation + s.Guarantee
+}
+
+func (s *StepTimes) add(other StepTimes) {
+	s.Sampling += other.Sampling
+	s.Estimation += other.Estimation
+	s.Guarantee += other.Guarantee
+}
+
+// Round records one refinement iteration, the raw material of Table IX.
+type Round struct {
+	Estimate   float64
+	MoE        float64
+	SampleSize int
+}
+
+// GroupResult is the per-group outcome of a GROUP-BY query.
+type GroupResult struct {
+	Estimate float64
+	MoE      float64
+	Draws    int // observations that fell into the group
+}
+
+// Result is the outcome of executing one aggregate query.
+type Result struct {
+	Query      *query.Aggregate
+	Estimate   float64
+	MoE        float64
+	Confidence float64
+	Converged  bool // Theorem 2 termination condition met
+	Rounds     []Round
+	SampleSize int // total draws |S|
+	Distinct   int // distinct answers in the sample
+	Correct    int // draws that validated as correct
+	Candidates int // |A|: candidate answers with positive π′
+	Times      StepTimes
+	Groups     map[string]GroupResult // non-nil only for GROUP-BY queries
+}
+
+// Interval returns the confidence interval of the final estimate.
+func (r *Result) Interval() estimate.Interval {
+	return estimate.Interval{Estimate: r.Estimate, MoE: r.MoE, Confidence: r.Confidence}
+}
+
+// Engine executes aggregate queries over one graph + embedding pair.
+type Engine struct {
+	g     *kg.Graph
+	model embedding.Model
+	opts  Options
+}
+
+// NewEngine validates the pair and returns an execution engine.
+func NewEngine(g *kg.Graph, model embedding.Model, opts Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: nil embedding model")
+	}
+	if model.Dim() == 0 {
+		return nil, fmt.Errorf("core: embedding model has no vectors")
+	}
+	return &Engine{g: g, model: model, opts: opts.withDefaults()}, nil
+}
+
+// Graph returns the engine's knowledge graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// Options returns the effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// newCalculator builds the per-execution similarity calculator.
+func (e *Engine) newCalculator() (*semsim.Calculator, error) {
+	return semsim.NewCalculator(e.g, e.model, 0)
+}
+
+// resolveRoot maps a decomposed path's root onto the graph, enforcing the
+// name + type conditions of Definition 5.
+func (e *Engine) resolveRoot(p query.Path) (kg.NodeID, error) {
+	us := e.g.NodeByName(p.RootName)
+	if us == kg.InvalidNode {
+		return kg.InvalidNode, fmt.Errorf("core: specific entity %q not in graph", p.RootName)
+	}
+	types, err := e.resolveTypes(p.RootTypes)
+	if err != nil {
+		return kg.InvalidNode, err
+	}
+	if !e.g.SharesType(us, types) {
+		return kg.InvalidNode, fmt.Errorf("core: entity %q has none of the required types %v", p.RootName, p.RootTypes)
+	}
+	return us, nil
+}
+
+// resolveTypes interns query type names, failing on unknown ones.
+func (e *Engine) resolveTypes(names []string) ([]kg.TypeID, error) {
+	out := make([]kg.TypeID, 0, len(names))
+	for _, n := range names {
+		t := e.g.TypeByName(n)
+		if t == kg.InvalidType {
+			return nil, fmt.Errorf("core: unknown type %q", n)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// resolvePred interns a query predicate, failing on unknown ones (the
+// embedding has no vector for a predicate absent from the graph).
+func (e *Engine) resolvePred(name string) (kg.PredID, error) {
+	p := e.g.PredByName(name)
+	if p == kg.InvalidPred {
+		return kg.InvalidPred, fmt.Errorf("core: unknown predicate %q", name)
+	}
+	return p, nil
+}
+
+// resolveAttr interns the aggregated attribute (empty for COUNT(*)).
+func (e *Engine) resolveAttr(name string) (kg.AttrID, error) {
+	if name == "" {
+		return kg.InvalidAttr, nil
+	}
+	a := e.g.AttrByName(name)
+	if a == kg.InvalidAttr {
+		return kg.InvalidAttr, fmt.Errorf("core: unknown attribute %q", name)
+	}
+	return a, nil
+}

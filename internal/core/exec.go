@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"kgaq/internal/estimate"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+	"kgaq/internal/stats"
+)
+
+// resolvedFilter is a query filter with its attribute interned.
+type resolvedFilter struct {
+	attr kg.AttrID
+	low  float64
+	high float64
+}
+
+// Execution is a started query whose sample can be refined incrementally —
+// the interactive scenario of §IV-C where the user tightens eb at runtime
+// and the engine reuses everything collected so far.
+type Execution struct {
+	e       *Engine
+	q       *query.Aggregate
+	attr    kg.AttrID
+	group   kg.AttrID
+	filters []resolvedFilter
+
+	sp      *answerSpace
+	rng     *rand.Rand
+	drawIdx []int
+	rounds  []Round
+	times   StepTimes
+}
+
+// Start validates and prepares a query: decomposition, walker construction,
+// convergence, and the answer distribution — everything up to (but not
+// including) drawing the sample. The preparation time is charged to the
+// sampling step.
+func (e *Engine) Start(q *query.Aggregate) (*Execution, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.Func.HasGuarantee() && q.GroupBy != "" {
+		return nil, fmt.Errorf("core: GROUP-BY with %v is unsupported", q.Func)
+	}
+	x := &Execution{e: e, q: q, rng: stats.NewRand(e.opts.Seed)}
+
+	var err error
+	if x.attr, err = e.resolveAttr(q.Attr); err != nil {
+		return nil, err
+	}
+	if x.group, err = e.resolveAttr(q.GroupBy); err != nil {
+		return nil, err
+	}
+	for _, f := range q.Filters {
+		a, err := e.resolveAttr(f.Attr)
+		if err != nil {
+			return nil, err
+		}
+		x.filters = append(x.filters, resolvedFilter{attr: a, low: f.Low, high: f.High})
+	}
+
+	paths, err := q.Q.Decompose()
+	if err != nil {
+		return nil, err
+	}
+
+	begin := time.Now()
+	if e.opts.Sampler == SamplerSemantic {
+		calc, err := e.newCalculator()
+		if err != nil {
+			return nil, err
+		}
+		x.sp, err = e.buildAssemblySpace(calc, paths)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(paths) != 1 {
+			return nil, fmt.Errorf("core: %v sampler supports simple queries only", e.opts.Sampler)
+		}
+		sp, draws, err := e.buildTopologySpace(paths[0], x.rng, x.initialSize(200))
+		if err != nil {
+			return nil, err
+		}
+		x.sp = sp
+		x.drawIdx = draws
+	}
+	x.times.Sampling += time.Since(begin)
+	return x, nil
+}
+
+// initialSize is the paper's |S| = t·(λ·|A|)^m with a practical floor.
+func (x *Execution) initialSize(candidates int) int {
+	o := x.e.opts
+	n := float64(o.T) * math.Pow(o.Lambda*float64(candidates), o.M)
+	size := int(math.Ceil(n))
+	if size < o.MinSample {
+		size = o.MinSample
+	}
+	return size
+}
+
+// observation materialises draw i: the correctness verdict combines the
+// cached semantic validation with the §V-A filter condition
+// c(u) = (L ≤ u.b ≤ U && s ≥ τ), and an answer missing the aggregated
+// attribute cannot contribute to SUM/AVG/MAX/MIN.
+func (x *Execution) observation(i int) estimate.Observation {
+	g := x.e.g
+	u := x.sp.answers[i]
+	// The Fig. 5b ablation (SkipValidation) trusts the sampler blindly:
+	// every sampled answer is treated as correct.
+	obs := estimate.Observation{Prob: x.sp.probs[i],
+		Correct: x.e.opts.SkipValidation || x.sp.correctness(i)}
+	if obs.Correct {
+		for _, f := range x.filters {
+			v, ok := g.Attr(u, f.attr)
+			if !ok || v < f.low || v > f.high {
+				obs.Correct = false
+				break
+			}
+		}
+	}
+	if x.attr != kg.InvalidAttr {
+		v, ok := g.Attr(u, x.attr)
+		if !ok {
+			if x.q.Func != query.Count {
+				obs.Correct = false
+			}
+		} else {
+			obs.Value = v
+		}
+	}
+	return obs
+}
+
+func (x *Execution) observations() []estimate.Observation {
+	// Validate all fresh distinct answers in one shared greedy search; the
+	// per-draw observation then hits the verdict cache.
+	if !x.e.opts.SkipValidation {
+		x.sp.prevalidate(x.drawIdx)
+	}
+	out := make([]estimate.Observation, len(x.drawIdx))
+	for k, i := range x.drawIdx {
+		out[k] = x.observation(i)
+	}
+	return out
+}
+
+// sampleMore extends the draw list by k, honouring the MaxDraws budget. It
+// reports whether any draws were added.
+func (x *Execution) sampleMore(k int) bool {
+	if budget := x.e.opts.MaxDraws - len(x.drawIdx); k > budget {
+		k = budget
+	}
+	if k <= 0 {
+		return false
+	}
+	begin := time.Now()
+	x.drawIdx = append(x.drawIdx, x.sp.draw(x.rng, k)...)
+	x.times.Sampling += time.Since(begin)
+	return true
+}
+
+// Run refines the sample until the Theorem 2 condition holds for the given
+// error bound, reusing all previously collected draws (interactive
+// tightening of eb keeps the sample). It returns the cumulative result.
+func (x *Execution) Run(eb float64) (*Result, error) {
+	if eb <= 0 {
+		eb = x.e.opts.ErrorBound
+	}
+	if !x.q.Func.HasGuarantee() {
+		return x.runExtreme()
+	}
+	if x.group != kg.InvalidAttr {
+		return x.runGrouped(eb)
+	}
+	o := x.e.opts
+	if len(x.drawIdx) == 0 {
+		x.sampleMore(x.initialSize(x.sp.len()))
+	}
+
+	var vhat, moe float64
+	converged := false
+	estimated := false
+	for round := 0; round < o.MaxRounds; round++ {
+		begin := time.Now()
+		obs := x.observations()
+		correct := 0
+		for _, ob := range obs {
+			if ob.Correct {
+				correct++
+			}
+		}
+		v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+		x.times.Estimation += time.Since(begin)
+		if err != nil {
+			if err == estimate.ErrNoCorrect {
+				// Unlucky sample: enlarge and retry.
+				if !x.sampleMore(len(x.drawIdx)) {
+					break
+				}
+				continue
+			}
+			return nil, err
+		}
+		// With too few correct draws the bootstrap cannot see the heavy
+		// tail of the HT weights; a CI computed now would terminate
+		// over-optimistically. Grow first.
+		if correct < o.MinCorrect {
+			if !x.sampleMore(len(x.drawIdx)) {
+				// Budget exhausted: fall through and report what we have,
+				// without claiming convergence.
+				vhat, moe = v, math.NaN()
+				estimated = true
+				break
+			}
+			continue
+		}
+		begin = time.Now()
+		eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+		if err != nil {
+			x.times.Guarantee += time.Since(begin)
+			if !x.sampleMore(len(x.drawIdx)) {
+				break
+			}
+			continue
+		}
+		vhat, moe = v, eps
+		estimated = true
+		x.rounds = append(x.rounds, Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+		if estimate.Satisfied(v, eps, eb) {
+			x.times.Guarantee += time.Since(begin)
+			converged = true
+			break
+		}
+		delta := o.FixedDelta
+		if delta <= 0 {
+			delta = estimate.NextSampleSize(len(x.drawIdx), eps, v, eb, o.M)
+		}
+		if max := 5 * len(x.drawIdx); delta > max {
+			delta = max // keep one round from ballooning on a noisy early ε
+		}
+		x.times.Guarantee += time.Since(begin)
+		if !x.sampleMore(delta) {
+			break // draw budget exhausted: report the best estimate so far
+		}
+	}
+	if !estimated {
+		return nil, fmt.Errorf("core: no estimable sample within %d rounds: %w", o.MaxRounds, estimate.ErrNoCorrect)
+	}
+	return x.result(vhat, moe, converged, nil), nil
+}
+
+// runExtreme supports MAX/MIN without a guarantee (§VII): fixed-size rounds
+// over the sampling distribution, returning the running extreme.
+func (x *Execution) runExtreme() (*Result, error) {
+	o := x.e.opts
+	per := x.sp.len() / 20 // 5% of the candidates per round
+	if per < 20 {
+		per = 20
+	}
+	var best float64
+	found := false
+	for round := 0; round < o.ExtremeRounds; round++ {
+		if !x.sampleMore(per) && round > 0 {
+			break
+		}
+		begin := time.Now()
+		v, err := estimate.Estimate(x.q.Func, x.observations(), o.Policy)
+		x.times.Estimation += time.Since(begin)
+		if err != nil {
+			continue
+		}
+		best = v
+		found = true
+		x.rounds = append(x.rounds, Round{Estimate: v, SampleSize: len(x.drawIdx)})
+	}
+	if !found {
+		return nil, estimate.ErrNoCorrect
+	}
+	return x.result(best, 0, false, nil), nil
+}
+
+// runGrouped answers GROUP-BY queries: each group's estimator runs over the
+// full sample with group membership folded into the correctness indicator
+// (a draw outside the group contributes zero), which keeps the HT estimator
+// unbiased per group. Every sufficiently observed group must individually
+// satisfy Theorem 2, which is why GROUP-BY costs roughly a group-count
+// multiple of a plain query (Table X).
+func (x *Execution) runGrouped(eb float64) (*Result, error) {
+	o := x.e.opts
+	if len(x.drawIdx) == 0 {
+		x.sampleMore(x.initialSize(x.sp.len()))
+	}
+	const minGroupDraws = 8
+	maxRounds := 3 * o.MaxRounds
+	var groups map[string]GroupResult
+	converged := false
+	for round := 0; round < maxRounds; round++ {
+		begin := time.Now()
+		byGroup, inGroup := x.groupedObservations()
+		groups = map[string]GroupResult{}
+		allOK := len(byGroup) > 0
+		worstRatio := 1.0
+		for label, obs := range byGroup {
+			v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+			if err != nil {
+				continue
+			}
+			gbegin := time.Now()
+			eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+			x.times.Guarantee += time.Since(gbegin)
+			if err != nil {
+				continue
+			}
+			groups[label] = GroupResult{Estimate: v, MoE: eps, Draws: inGroup[label]}
+			if inGroup[label] >= minGroupDraws && !estimate.Satisfied(v, eps, eb) {
+				allOK = false
+				if t := estimate.Target(v, eb); t > 0 {
+					if r := eps / t; r > worstRatio {
+						worstRatio = r
+					}
+				}
+			}
+		}
+		x.times.Estimation += time.Since(begin)
+		if allOK && len(groups) > 0 {
+			converged = true
+			break
+		}
+		delta := int(float64(len(x.drawIdx)) * (math.Pow(worstRatio, 2*o.M) - 1))
+		if delta < len(x.drawIdx)/2 {
+			delta = len(x.drawIdx) / 2
+		}
+		if max := 5 * len(x.drawIdx); delta > max {
+			delta = max
+		}
+		if !x.sampleMore(delta) {
+			break // draw budget exhausted
+		}
+	}
+	// The overall (ungrouped) estimate is reported alongside the groups.
+	obs := x.observations()
+	v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+	if err != nil {
+		return nil, err
+	}
+	eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+	if err != nil {
+		eps = math.NaN()
+	}
+	x.rounds = append(x.rounds, Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+	return x.result(v, eps, converged, groups), nil
+}
+
+// groupedObservations builds, for every group label, a full-sample
+// observation list in which draws outside the group are marked incorrect,
+// plus the count of in-group draws per label.
+func (x *Execution) groupedObservations() (map[string][]estimate.Observation, map[string]int) {
+	g := x.e.g
+	labels := make([]string, len(x.drawIdx))
+	base := make([]estimate.Observation, len(x.drawIdx))
+	seen := map[string]bool{}
+	inGroup := map[string]int{}
+	for k, i := range x.drawIdx {
+		base[k] = x.observation(i)
+		label := "n/a"
+		if v, ok := g.Attr(x.sp.answers[i], x.group); ok {
+			label = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		labels[k] = label
+		if base[k].Correct {
+			seen[label] = true
+			inGroup[label]++
+		}
+	}
+	byGroup := map[string][]estimate.Observation{}
+	for label := range seen {
+		obs := make([]estimate.Observation, len(base))
+		copy(obs, base)
+		for k := range obs {
+			if labels[k] != label {
+				obs[k].Correct = false
+			}
+		}
+		byGroup[label] = obs
+	}
+	return byGroup, inGroup
+}
+
+func (x *Execution) result(vhat, moe float64, converged bool, groups map[string]GroupResult) *Result {
+	correct := 0
+	distinct := map[int]bool{}
+	for _, i := range x.drawIdx {
+		distinct[i] = true
+		if x.observation(i).Correct {
+			correct++
+		}
+	}
+	return &Result{
+		Query:      x.q,
+		Estimate:   vhat,
+		MoE:        moe,
+		Confidence: x.e.opts.Confidence,
+		Converged:  converged,
+		Rounds:     append([]Round(nil), x.rounds...),
+		SampleSize: len(x.drawIdx),
+		Distinct:   len(distinct),
+		Correct:    correct,
+		Candidates: x.sp.len(),
+		Times:      x.times,
+		Groups:     groups,
+	}
+}
+
+// Execute runs the full pipeline with the engine's configured error bound.
+func (e *Engine) Execute(q *query.Aggregate) (*Result, error) {
+	x, err := e.Start(q)
+	if err != nil {
+		return nil, err
+	}
+	return x.Run(e.opts.ErrorBound)
+}
+
+// CandidateAnswers exposes the sampling space (candidate answers sorted by
+// descending π′) for diagnostics and the CLIs.
+func (x *Execution) CandidateAnswers() []kg.NodeID {
+	idx := make([]int, len(x.sp.answers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x.sp.probs[idx[a]] > x.sp.probs[idx[b]] })
+	out := make([]kg.NodeID, len(idx))
+	for k, i := range idx {
+		out[k] = x.sp.answers[i]
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+	"kgaq/internal/semsim"
+	"kgaq/internal/stats"
+	"kgaq/internal/walk"
+)
+
+// maxChainIntermediates caps the number of stage-one entities expanded per
+// chain hop. The paper's two-stage sampling runs "till enough automobiles
+// are obtained"; expanding the highest-π intermediates first preserves the
+// bulk of the probability mass while bounding work.
+const maxChainIntermediates = 300
+
+// answerSpace is the sampling space of one query execution: the candidate
+// answers A with their exact per-draw probabilities π′ (Theorem 1), plus a
+// lazily evaluated, cached correctness oracle combining the τ threshold and
+// the greedy validation of §IV-B2.
+type answerSpace struct {
+	answers []kg.NodeID
+	probs   []float64 // sums to 1
+	alias   *stats.Alias
+	// correctness returns the validated semantic correctness (similarity ≥
+	// τ through validation) for the answer at index i.
+	correctness func(i int) bool
+	// batch, when set, validates many answers in one shared search and
+	// returns their verdicts; prevalidate uses it so a round's worth of
+	// fresh answers costs one traversal instead of one per answer.
+	batch func(us []kg.NodeID) map[kg.NodeID]bool
+	// verdicts caches per-index validation outcomes.
+	verdicts map[int]bool
+	// validated records which indices have been validated (work metric).
+	validated map[int]bool
+}
+
+func (s *answerSpace) len() int { return len(s.answers) }
+
+func (s *answerSpace) draw(r *rand.Rand, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = s.alias.Draw(r)
+	}
+	return out
+}
+
+// prevalidate batch-validates every not-yet-validated answer appearing in
+// the draw list. Without a batch validator it is a no-op (the per-answer
+// oracle runs lazily instead).
+func (s *answerSpace) prevalidate(drawIdx []int) {
+	if s.batch == nil {
+		return
+	}
+	var fresh []kg.NodeID
+	var freshIdx []int
+	seen := map[int]bool{}
+	for _, i := range drawIdx {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		if _, ok := s.verdicts[i]; !ok {
+			fresh = append(fresh, s.answers[i])
+			freshIdx = append(freshIdx, i)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	res := s.batch(fresh)
+	for k, i := range freshIdx {
+		s.verdicts[i] = res[fresh[k]]
+		s.validated[i] = true
+	}
+}
+
+// buildSemanticSpace assembles the answer space for one decomposed path
+// using the semantic-aware walker (§IV-A), recursively for chains (§V-B).
+func (e *Engine) buildSemanticSpace(calc *semsim.Calculator, p query.Path) (*answerSpace, error) {
+	us, err := e.resolveRoot(p)
+	if err != nil {
+		return nil, err
+	}
+	pi, oracle, err := e.buildChainLevel(calc, us, p.Hops)
+	if err != nil {
+		return nil, err
+	}
+	return spaceFromMap(pi, oracle)
+}
+
+// correctOracle is the per-path correctness machinery: a per-answer verdict
+// plus an optional batch form that shares one greedy search across many
+// answers.
+type correctOracle struct {
+	single func(kg.NodeID) bool
+	batch  func([]kg.NodeID) map[kg.NodeID]bool
+}
+
+// spaceFromMap normalises a π map into an answerSpace with deterministic
+// answer order.
+func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace, error) {
+	answers := make([]kg.NodeID, 0, len(pi))
+	for u := range pi {
+		answers = append(answers, u)
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i] < answers[j] })
+	probs := make([]float64, len(answers))
+	total := 0.0
+	for i, u := range answers {
+		probs[i] = pi[u]
+		total += pi[u]
+	}
+	if len(answers) == 0 || total <= 0 {
+		return nil, fmt.Errorf("core: no candidate answers with positive visiting probability")
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	alias := stats.NewAlias(probs)
+	if alias == nil {
+		return nil, fmt.Errorf("core: failed to build sampling table")
+	}
+	sp := &answerSpace{
+		answers: answers, probs: probs, alias: alias,
+		batch:     oracle.batch,
+		verdicts:  map[int]bool{},
+		validated: map[int]bool{},
+	}
+	sp.correctness = func(i int) bool {
+		if v, ok := sp.verdicts[i]; ok {
+			return v
+		}
+		v := oracle.single(answers[i])
+		sp.verdicts[i] = v
+		sp.validated[i] = true
+		return v
+	}
+	return sp, nil
+}
+
+// buildChainLevel returns the exact visiting distribution over the final
+// hop's answers together with a lazy correctness oracle, recursing over the
+// chain's hops: π(j) = Σᵢ π′ᵢ · π′ⱼ|ᵢ (§V-B), and an answer is correct when
+// some intermediate chain validates every leg at the τ threshold.
+func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
+	none := correctOracle{}
+	if len(hops) == 0 {
+		return nil, none, fmt.Errorf("core: empty hop sequence")
+	}
+	pred, err := e.resolvePred(hops[0].Predicate)
+	if err != nil {
+		return nil, none, err
+	}
+	types, err := e.resolveTypes(hops[0].Types)
+	if err != nil {
+		return nil, none, err
+	}
+	w, err := walk.New(calc, root, pred, walk.Config{N: e.opts.N, SelfLoopSim: e.opts.SelfLoopSim})
+	if err != nil {
+		return nil, none, err
+	}
+	w.Converge()
+	dist, err := w.AnswerDistribution(types)
+	if err != nil {
+		return nil, none, fmt.Errorf("core: stage rooted at %q: %w", e.g.Name(root), err)
+	}
+
+	// Leg validator for this stage, shared and cached. The batch form runs
+	// one greedy search for a whole set of answers (§IV-B2's search is a
+	// single traversal recording paths to every requested answer).
+	piMap := w.PiMap()
+	legCache := map[kg.NodeID]bool{}
+	vcfg := semsim.ValidatorConfig{Repeat: e.opts.Repeat, MaxLen: e.opts.N, Tau: e.opts.Tau}
+	legBatch := func(us []kg.NodeID) map[kg.NodeID]bool {
+		var fresh []kg.NodeID
+		for _, u := range us {
+			if _, ok := legCache[u]; !ok {
+				fresh = append(fresh, u)
+			}
+		}
+		if len(fresh) > 0 {
+			res, _ := semsim.Validate(calc, root, pred, piMap, fresh, vcfg)
+			for _, u := range fresh {
+				legCache[u] = res[u].Similarity >= e.opts.Tau
+			}
+		}
+		out := make(map[kg.NodeID]bool, len(us))
+		for _, u := range us {
+			out[u] = legCache[u]
+		}
+		return out
+	}
+	legOK := func(u kg.NodeID) bool {
+		return legBatch([]kg.NodeID{u})[u]
+	}
+
+	if len(hops) == 1 {
+		pi := make(map[kg.NodeID]float64, dist.Len())
+		for i, u := range dist.Answers {
+			pi[u] = dist.Prob(i)
+		}
+		return pi, correctOracle{single: legOK, batch: legBatch}, nil
+	}
+
+	// Multi-hop: expand the highest-probability intermediates, recursing
+	// into the remaining hops from each.
+	type inter struct {
+		node kg.NodeID
+		prob float64
+	}
+	inters := make([]inter, dist.Len())
+	for i, u := range dist.Answers {
+		inters[i] = inter{node: u, prob: dist.Prob(i)}
+	}
+	sort.Slice(inters, func(a, b int) bool {
+		if inters[a].prob != inters[b].prob {
+			return inters[a].prob > inters[b].prob
+		}
+		return inters[a].node < inters[b].node
+	})
+	if len(inters) > maxChainIntermediates {
+		inters = inters[:maxChainIntermediates]
+	}
+
+	pi := map[kg.NodeID]float64{}
+	type subLevel struct {
+		prob    float64
+		node    kg.NodeID
+		pi      map[kg.NodeID]float64
+		correct correctOracle
+	}
+	var subs []subLevel
+	for _, in := range inters {
+		subPi, subCorrect, err := e.buildChainLevel(calc, in.node, hops[1:])
+		if err != nil {
+			continue // an intermediate with no onward answers contributes nothing
+		}
+		for u, p := range subPi {
+			pi[u] += in.prob * p
+		}
+		subs = append(subs, subLevel{prob: in.prob, node: in.node, pi: subPi, correct: subCorrect})
+	}
+	if len(pi) == 0 {
+		return nil, none, fmt.Errorf("core: chain stage rooted at %q found no final answers", e.g.Name(root))
+	}
+
+	correct := func(u kg.NodeID) bool {
+		// Try intermediates by descending contribution to u's mass: the
+		// most probable chains are checked first, mirroring the greedy
+		// validation heuristic.
+		order := make([]int, 0, len(subs))
+		for i := range subs {
+			if subs[i].pi[u] > 0 {
+				order = append(order, i)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ca := subs[order[a]].prob * subs[order[a]].pi[u]
+			cb := subs[order[b]].prob * subs[order[b]].pi[u]
+			if ca != cb {
+				return ca > cb
+			}
+			return subs[order[a]].node < subs[order[b]].node
+		})
+		for _, i := range order {
+			if legOK(subs[i].node) && subs[i].correct.single(u) {
+				return true
+			}
+		}
+		return false
+	}
+	return pi, correctOracle{single: correct}, nil
+}
+
+// buildAssemblySpace implements decomposition–assembly (§V-B): one sampling
+// space per decomposed path, intersected. The assembled distribution is the
+// normalised product of per-path visiting probabilities (an answer must be
+// reachable by every constraint's walk), and an answer is correct only if
+// every path validates it.
+func (e *Engine) buildAssemblySpace(calc *semsim.Calculator, paths []query.Path) (*answerSpace, error) {
+	if len(paths) == 1 {
+		return e.buildSemanticSpace(calc, paths[0])
+	}
+	type level struct {
+		pi      map[kg.NodeID]float64
+		correct correctOracle
+	}
+	levels := make([]level, 0, len(paths))
+	for _, p := range paths {
+		us, err := e.resolveRoot(p)
+		if err != nil {
+			return nil, err
+		}
+		pi, correct, err := e.buildChainLevel(calc, us, p.Hops)
+		if err != nil {
+			return nil, fmt.Errorf("core: sub-query rooted at %q: %w", p.RootName, err)
+		}
+		levels = append(levels, level{pi: pi, correct: correct})
+	}
+	inter := map[kg.NodeID]float64{}
+	for u, p := range levels[0].pi {
+		inter[u] = p
+	}
+	for _, lv := range levels[1:] {
+		for u := range inter {
+			if p, ok := lv.pi[u]; ok {
+				inter[u] *= p
+			} else {
+				delete(inter, u)
+			}
+		}
+	}
+	if len(inter) == 0 {
+		return nil, fmt.Errorf("core: decomposition–assembly intersection is empty")
+	}
+	// The assembled verdict is the conjunction over paths; the batch form
+	// exists when every level has one.
+	single := func(u kg.NodeID) bool {
+		for _, lv := range levels {
+			if !lv.correct.single(u) {
+				return false
+			}
+		}
+		return true
+	}
+	allBatch := true
+	for _, lv := range levels {
+		if lv.correct.batch == nil {
+			allBatch = false
+			break
+		}
+	}
+	oracle := correctOracle{single: single}
+	if allBatch {
+		oracle.batch = func(us []kg.NodeID) map[kg.NodeID]bool {
+			out := make(map[kg.NodeID]bool, len(us))
+			for _, u := range us {
+				out[u] = true
+			}
+			for _, lv := range levels {
+				verdicts := lv.correct.batch(us)
+				for _, u := range us {
+					if !verdicts[u] {
+						out[u] = false
+					}
+				}
+			}
+			return out
+		}
+	}
+	return spaceFromMap(inter, oracle)
+}
+
+// buildTopologySpace assembles the answer space using a topology-only
+// sampler (the Fig. 5a ablation). Only simple queries are supported — the
+// ablation workload — and probabilities are the walker's empirical visit
+// shares.
+func (e *Engine) buildTopologySpace(p query.Path, r *rand.Rand, k int) (*answerSpace, []int, error) {
+	if len(p.Hops) != 1 {
+		return nil, nil, fmt.Errorf("core: %v sampler supports simple queries only", e.opts.Sampler)
+	}
+	us, err := e.resolveRoot(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	types, err := e.resolveTypes(p.Hops[0].Types)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ts *walk.TopologySample
+	switch e.opts.Sampler {
+	case SamplerCNARW:
+		ts, err = walk.CNARW(e.g, us, types, e.opts.N, r, 200, k)
+	case SamplerNode2Vec:
+		ts, err = walk.Node2Vec(e.g, us, types, e.opts.N, 1, 0.5, r, 200, k)
+	default:
+		return nil, nil, fmt.Errorf("core: buildTopologySpace called with sampler %v", e.opts.Sampler)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	alias := stats.NewAlias(ts.Probs)
+	if alias == nil {
+		return nil, nil, fmt.Errorf("core: topology sample has no mass")
+	}
+	sp := &answerSpace{answers: ts.Answers, probs: ts.Probs, alias: alias, validated: map[int]bool{}}
+
+	// Correctness still uses the greedy validator so the ablation isolates
+	// the sampling step (S1) exactly as in Fig. 5a. The validator wants a
+	// π map; the empirical shares serve.
+	pred, err := e.resolvePred(p.Hops[0].Predicate)
+	if err != nil {
+		return nil, nil, err
+	}
+	calc, err := e.newCalculator()
+	if err != nil {
+		return nil, nil, err
+	}
+	piMap := map[kg.NodeID]float64{}
+	for i, u := range ts.Answers {
+		piMap[u] = ts.Probs[i]
+	}
+	verdicts := map[int]bool{}
+	sp.correctness = func(i int) bool {
+		if v, ok := verdicts[i]; ok {
+			return v
+		}
+		res, _ := semsim.Validate(calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
+			semsim.ValidatorConfig{Repeat: e.opts.Repeat, MaxLen: e.opts.N, Tau: e.opts.Tau})
+		v := res[sp.answers[i]].Similarity >= e.opts.Tau
+		verdicts[i] = v
+		sp.validated[i] = true
+		return v
+	}
+	return sp, ts.Draws, nil
+}

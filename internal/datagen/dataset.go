@@ -1,0 +1,153 @@
+// Package datagen synthesises the evaluation substrate of the paper: three
+// schema-flexible knowledge graphs whose shape mirrors DBpedia, Freebase and
+// YAGO2 (Table III) at laptop scale, an oracle embedding derived from the
+// generator's known predicate semantic clusters, a simulated crowdsourced
+// human annotation (HA-GT), and the Q1–Q10 style query workload with
+// per-query ground truth.
+//
+// The real datasets are multi-million-node dumps plus web-crawled numeric
+// attributes and a Baidu crowdsourcing campaign; none is reproducible
+// offline. What the algorithms actually consume is (a) a typed, attributed
+// graph in which the same semantic relation appears as several structurally
+// different subgraphs, and (b) two notions of ground truth to compare. The
+// generator plants those variants explicitly — per relation it emits a
+// canonical predicate plus direct-predicate and multi-hop variants with
+// controlled embedding affinities, and semantically-wrong look-alike paths —
+// so sampling quality, validation and every baseline exercise the same
+// trade-offs as on the real data (see DESIGN.md, substitutions).
+package datagen
+
+import (
+	"fmt"
+
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+)
+
+// GenQuery is one workload query with its construction-time ground truth.
+type GenQuery struct {
+	// ID names the query (Q1-style identifiers plus a discriminator).
+	ID string
+	// Agg is the executable aggregate query.
+	Agg *query.Aggregate
+	// Shape classifies the query graph.
+	Shape query.Shape
+	// HAAnswers are the names of the human-annotated correct answers: the
+	// entities connected through annotator-approved schemas.
+	HAAnswers []string
+	// Category is the workload bucket ("simple", "filter", "groupby",
+	// "chain", "star", "cycle", "flower", "extreme").
+	Category string
+}
+
+// Dataset bundles a generated graph with its embedding and workload.
+type Dataset struct {
+	Name     string
+	Graph    *kg.Graph
+	Model    *embedding.PredVectors
+	Clusters []embedding.Cluster
+	Queries  []GenQuery
+	// ApprovedVariants records which schema variants the simulated
+	// annotator panel approved, keyed by relation name then variant id.
+	ApprovedVariants map[string]map[string]bool
+}
+
+// QueriesByCategory filters the workload.
+func (d *Dataset) QueriesByCategory(cat string) []GenQuery {
+	var out []GenQuery
+	for _, q := range d.Queries {
+		if q.Category == cat {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// QueriesByShape filters the workload by query-graph shape.
+func (d *Dataset) QueriesByShape(s query.Shape) []GenQuery {
+	var out []GenQuery
+	for _, q := range d.Queries {
+		if q.Shape == s {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// HAValue computes the human-annotation ground truth of the aggregate: the
+// aggregate function applied over the HA-correct answers (answers missing
+// the aggregated attribute are skipped, matching every engine's handling).
+func (d *Dataset) HAValue(q GenQuery) (float64, error) {
+	return aggregateOverNames(d.Graph, q.Agg, q.HAAnswers)
+}
+
+func aggregateOverNames(g *kg.Graph, a *query.Aggregate, names []string) (float64, error) {
+	var attr kg.AttrID = kg.InvalidAttr
+	if a.Attr != "" {
+		attr = g.AttrByName(a.Attr)
+		if attr == kg.InvalidAttr {
+			return 0, fmt.Errorf("datagen: attribute %q missing from graph", a.Attr)
+		}
+	}
+	count := 0.0
+	sum := 0.0
+	vals := 0.0
+	best := 0.0
+	haveBest := false
+	for _, name := range names {
+		u := g.NodeByName(name)
+		if u == kg.InvalidNode {
+			return 0, fmt.Errorf("datagen: ground-truth answer %q missing from graph", name)
+		}
+		ok := true
+		for _, f := range a.Filters {
+			fa := g.AttrByName(f.Attr)
+			if fa == kg.InvalidAttr {
+				ok = false
+				break
+			}
+			v, has := g.Attr(u, fa)
+			if !has || !f.Matches(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		count++
+		if attr != kg.InvalidAttr {
+			if v, has := g.Attr(u, attr); has {
+				sum += v
+				vals++
+				if !haveBest ||
+					(a.Func == query.Max && v > best) ||
+					(a.Func == query.Min && v < best) {
+					best = v
+					haveBest = true
+				}
+			} else if a.Func != query.Count {
+				count-- // no attribute: cannot contribute to SUM/AVG/MAX/MIN
+			}
+		}
+	}
+	switch a.Func {
+	case query.Count:
+		return count, nil
+	case query.Sum:
+		return sum, nil
+	case query.Avg:
+		if vals == 0 {
+			return 0, fmt.Errorf("datagen: no attributed answers for AVG")
+		}
+		return sum / vals, nil
+	case query.Max, query.Min:
+		if !haveBest {
+			return 0, fmt.Errorf("datagen: no attributed answers for %v", a.Func)
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("datagen: unsupported aggregate %v", a.Func)
+	}
+}

@@ -1,0 +1,561 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+	"kgaq/internal/stats"
+)
+
+// fact records one planted connection: an answer entity reachable from an
+// anchor through a named schema variant.
+type fact struct {
+	answer  string
+	variant string
+}
+
+// genCtx carries generation state and the bookkeeping that later becomes
+// ground truth.
+type genCtx struct {
+	p Profile
+	r *rand.Rand
+	b *kg.Builder
+
+	countries []string
+	cities    map[string][]string // country → cities
+	companies map[string][]string // country → companies
+
+	// facts[relation][anchor] lists planted facts; the annotator panel
+	// later decides which variants are human-approved.
+	facts map[string]map[string][]fact
+
+	// Chain/star/cycle bookkeeping.
+	designersOf     map[string][]string // country → designers (nationality)
+	designedBy      map[string][]string // designer → cars
+	clubPlayers     map[string][]fact   // club → player facts (team relation)
+	clubsGrounded   map[string][]fact   // country → club facts (ground relation)
+	birthCityOf     map[string][]string // city → players with birthPlace edge
+	filmsByDirector map[string][]fact   // director → film facts
+}
+
+// addFact plants bookkeeping for (relation, anchor) → answer via variant.
+func (c *genCtx) addFact(rel, anchor, answer, variant string) {
+	m, ok := c.facts[rel]
+	if !ok {
+		m = map[string][]fact{}
+		c.facts[rel] = m
+	}
+	m[anchor] = append(m[anchor], fact{answer: answer, variant: variant})
+}
+
+func (c *genCtx) node(name string, types ...string) kg.NodeID {
+	return c.b.AddNode(name, types...)
+}
+
+func (c *genCtx) edge(src kg.NodeID, pred string, dst kg.NodeID) {
+	if err := c.b.AddEdge(src, pred, dst); err != nil {
+		panic(fmt.Sprintf("datagen: %v", err))
+	}
+}
+
+func (c *genCtx) attr(u kg.NodeID, name string, v float64) {
+	if err := c.b.SetAttr(u, name, v); err != nil {
+		panic(fmt.Sprintf("datagen: %v", err))
+	}
+}
+
+func (c *genCtx) lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*c.r.NormFloat64())
+}
+
+// Generate synthesises the dataset for a profile: graph, oracle embedding,
+// simulated annotation and workload.
+func Generate(p Profile) (*Dataset, error) {
+	if p.Countries < 2 || p.Scale < 1 {
+		return nil, fmt.Errorf("datagen: profile needs ≥2 countries and scale ≥1")
+	}
+	c := &genCtx{
+		p: p, r: stats.NewRand(p.Seed), b: kg.NewBuilder(),
+		cities:    map[string][]string{},
+		companies: map[string][]string{},
+		facts:     map[string]map[string][]fact{},
+
+		designersOf:     map[string][]string{},
+		designedBy:      map[string][]string{},
+		clubPlayers:     map[string][]fact{},
+		clubsGrounded:   map[string][]fact{},
+		birthCityOf:     map[string][]string{},
+		filmsByDirector: map[string][]fact{},
+	}
+
+	c.genGeography()
+	c.genAutomotive()
+	c.genSoccer()
+	c.genMovies()
+	c.genLanguagesAndMuseums()
+	c.genNoise()
+
+	graph := c.b.Build()
+	model, err := embedding.NewOracle(graph, p.EmbeddingDim, p.Seed+1, p.EmbeddingClusters())
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	ds := &Dataset{
+		Name:     p.Name,
+		Graph:    graph,
+		Model:    model,
+		Clusters: p.EmbeddingClusters(),
+	}
+	ds.ApprovedVariants = c.annotate()
+	ds.Queries = c.workload(ds)
+	return ds, nil
+}
+
+// genGeography creates countries, their border topology, and cities.
+// Every city carries a cityIn edge (the birthPlace chain hop) plus a
+// cityOf-family edge for the Q8-style relation, and a population attribute.
+func (c *genCtx) genGeography() {
+	p := c.p
+	for i := 0; i < p.Countries; i++ {
+		c.countries = append(c.countries, fmt.Sprintf("Country_%d", i))
+		c.node(c.countries[i], "Country")
+	}
+	// A sparse border ring plus chords: hub-to-hub topology that lets walks
+	// and path enumeration leak into neighbouring countries, which is where
+	// low selectivity comes from.
+	for i, name := range c.countries {
+		u := c.b.NodeByName(name)
+		v := c.b.NodeByName(c.countries[(i+1)%len(c.countries)])
+		if u != v {
+			c.edge(u, "borders", v)
+		}
+		if i%3 == 0 {
+			w := c.b.NodeByName(c.countries[(i+5)%len(c.countries)])
+			if u != w {
+				c.edge(u, "borders", w)
+			}
+		}
+	}
+	nCities := 6 * p.Scale
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		for j := 0; j < nCities; j++ {
+			name := fmt.Sprintf("City_%d_%d", i, j)
+			u := c.node(name, "City")
+			c.cities[country] = append(c.cities[country], name)
+			c.edge(u, "cityIn", cu)
+			c.attr(u, "population", c.lognormal(11.5, 1.2))
+
+			// cityOf-family variant for the Q8 relation.
+			roll := c.r.Float64()
+			switch {
+			case roll < 0.55:
+				c.edge(u, "cityOf", cu)
+				c.addFact("cityOf", country, name, "cityOf")
+			case roll < 0.80:
+				c.edge(u, "municipality", cu)
+				c.addFact("cityOf", country, name, "municipality")
+			default:
+				c.edge(u, "adminSeat", cu)
+				c.addFact("cityOf", country, name, "adminSeat")
+			}
+			// Wrong-path look-alike: twinned with a city of a different
+			// country. The twin edge connects city→city (never back to a
+			// country hub): a noise edge re-entering a hub would be diluted
+			// by the perfect edges around the hub — the geometric mean of
+			// (1, x, 1) is x^(1/3) — and foreign cities would leak above τ.
+			if c.r.Float64() < 0.2 && i > 0 {
+				prev := c.cities[c.countries[i-1]]
+				if len(prev) > 0 {
+					c.edge(u, "twinnedWith", c.b.NodeByName(prev[c.r.Intn(len(prev))]))
+				}
+			}
+		}
+	}
+}
+
+func (c *genCtx) otherCountry(not string) string {
+	for {
+		cand := c.countries[c.r.Intn(len(c.countries))]
+		if cand != not {
+			return cand
+		}
+	}
+}
+
+// genAutomotive plants the paper's running-example domain: companies,
+// automobiles produced in countries through five structural variants, and
+// designers whose nationality builds the classic wrong path.
+func (c *genCtx) genAutomotive() {
+	p := c.p
+	nCompanies := 3 * p.Scale
+	nCars := 15 * p.Scale
+	nDesigners := 3 * p.Scale
+
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		for j := 0; j < nCompanies; j++ {
+			name := fmt.Sprintf("Company_%d_%d", i, j)
+			u := c.node(name, "Company")
+			c.companies[country] = append(c.companies[country], name)
+			c.edge(u, "coCountry", cu)
+		}
+		for j := 0; j < nDesigners; j++ {
+			name := fmt.Sprintf("Designer_%d_%d", i, j)
+			u := c.node(name, "Designer", "Person")
+			c.edge(u, "nationality", cu)
+			c.designersOf[country] = append(c.designersOf[country], name)
+		}
+	}
+
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		cos := c.companies[country]
+		for j := 0; j < nCars; j++ {
+			name := fmt.Sprintf("Car_%d_%d", i, j)
+			u := c.node(name, "Automobile")
+			c.attr(u, "price", c.lognormal(10.7, 0.35))
+			c.attr(u, "horsepower", 100+c.r.Float64()*400)
+			if c.r.Float64() < 0.9 {
+				c.attr(u, "fuel_economy", 18+c.r.Float64()*22)
+			}
+
+			co := c.b.NodeByName(cos[c.r.Intn(len(cos))])
+			switch roll := c.r.Float64(); {
+			case roll < 0.30: // direct assembly in the country
+				c.edge(u, "assembly", cu)
+				c.addFact("product", country, name, "assembly")
+			case roll < 0.50: // manufacturer → company → country
+				c.edge(u, "manufacturer", co)
+				c.addFact("product", country, name, "manufacturer+coCountry")
+			case roll < 0.65: // assembly at a company of the country
+				c.edge(u, "assembly", co)
+				c.addFact("product", country, name, "assembly+coCountry")
+			case roll < 0.85: // company → product → car
+				c.edge(co, "product", u)
+				c.addFact("product", country, name, "product+coCountry")
+			default: // design company only (weakest correct tier)
+				c.edge(u, "designCompany", co)
+				c.addFact("product", country, name, "designCompany+coCountry")
+			}
+
+			// The classic wrong path: a designer from a *different*
+			// country. For the product query it is noise; for the chain
+			// query (cars designed by X-national designers) it is signal,
+			// recorded under the designerChain relation.
+			//
+			// Each country's cars draw designers from exactly one partner
+			// country (the ring successor). If designers served cars of
+			// several production countries, two such cars would be linked
+			// by an assembly→designer→designer path whose geometric mean
+			// — one strong hop diluting two medium ones — crosses τ, and
+			// foreign cars would leak into the τ-relevant answer set.
+			if c.r.Float64() < 0.35 {
+				dCountry := c.countries[(i+1)%len(c.countries)]
+				ds := c.designersOf[dCountry]
+				d := ds[c.r.Intn(len(ds))]
+				c.edge(u, "designer", c.b.NodeByName(d))
+				c.designedBy[d] = append(c.designedBy[d], name)
+				c.addFact("designerChain", dCountry, name, "nationality+designer")
+			}
+		}
+	}
+}
+
+// genSoccer plants players, clubs, born-in variants and the club/ground
+// structure used by the star, cycle and flower templates.
+func (c *genCtx) genSoccer() {
+	p := c.p
+	nClubs := 3 * p.Scale
+	nPlayers := 12 * p.Scale
+
+	clubsOf := map[string][]string{}
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		for j := 0; j < nClubs; j++ {
+			name := fmt.Sprintf("Club_%d_%d", i, j)
+			u := c.node(name, "SoccerClub")
+			clubsOf[country] = append(clubsOf[country], name)
+			switch roll := c.r.Float64(); {
+			case roll < 0.5:
+				c.edge(u, "ground", cu)
+				c.addFact("ground", country, name, "ground")
+				c.clubsGrounded[country] = append(c.clubsGrounded[country], fact{answer: name, variant: "ground"})
+			case roll < 0.8:
+				c.edge(u, "homeStadium", cu)
+				c.addFact("ground", country, name, "homeStadium")
+				c.clubsGrounded[country] = append(c.clubsGrounded[country], fact{answer: name, variant: "homeStadium"})
+			case roll < 0.95:
+				c.edge(u, "basedIn", cu)
+				c.addFact("ground", country, name, "basedIn")
+				c.clubsGrounded[country] = append(c.clubsGrounded[country], fact{answer: name, variant: "basedIn"})
+			default: // sponsor link only: not grounded here
+				c.edge(u, "sponsoredBy", cu)
+			}
+		}
+	}
+
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		cities := c.cities[country]
+		for j := 0; j < nPlayers; j++ {
+			name := fmt.Sprintf("Player_%d_%d", i, j)
+			u := c.node(name, "SoccerPlayer", "Person")
+			age := 17 + c.r.Intn(23)
+			c.attr(u, "age", float64(age))
+			c.attr(u, "age_group", float64(age/5*5))
+			if c.r.Float64() < 0.93 {
+				c.attr(u, "transfer_value", c.lognormal(14, 1))
+			}
+
+			// Born-in variants.
+			switch roll := c.r.Float64(); {
+			case roll < 0.40:
+				c.edge(u, "bornIn", cu)
+				c.addFact("bornIn", country, name, "bornIn")
+			case roll < 0.75:
+				// Birth cities are skewed toward the first cities of the
+				// country so the flower template's birth-city branch has a
+				// populous anchor.
+				idx := int(float64(len(cities)) * c.r.Float64() * c.r.Float64())
+				city := cities[idx]
+				c.edge(u, "birthPlace", c.b.NodeByName(city))
+				c.addFact("bornIn", country, name, "birthPlace+cityIn")
+				c.birthCityOf[city] = append(c.birthCityOf[city], name)
+			case roll < 0.88:
+				c.edge(u, "hometown", cu)
+				c.addFact("bornIn", country, name, "hometown")
+			default: // lives in a city of a different country: wrong path
+				other := c.otherCountry(country)
+				oc := c.cities[other]
+				c.edge(u, "livesIn", c.b.NodeByName(oc[c.r.Intn(len(oc))]))
+			}
+
+			// Team variants: usually a domestic club, sometimes abroad.
+			clubCountry := country
+			if c.r.Float64() < 0.25 {
+				clubCountry = c.otherCountry(country)
+			}
+			clubs := clubsOf[clubCountry]
+			club := clubs[c.r.Intn(len(clubs))]
+			cn := c.b.NodeByName(club)
+			switch roll := c.r.Float64(); {
+			case roll < 0.55:
+				c.edge(u, "team", cn)
+				c.addFact("team", club, name, "team")
+				c.clubPlayers[club] = append(c.clubPlayers[club], fact{answer: name, variant: "team"})
+			case roll < 0.80:
+				c.edge(u, "playsFor", cn)
+				c.addFact("team", club, name, "playsFor")
+				c.clubPlayers[club] = append(c.clubPlayers[club], fact{answer: name, variant: "playsFor"})
+			case roll < 0.93:
+				c.edge(u, "club", cn)
+				c.addFact("team", club, name, "club")
+				c.clubPlayers[club] = append(c.clubPlayers[club], fact{answer: name, variant: "club"})
+			default: // training affiliation only
+				c.edge(u, "trainsAt", cn)
+			}
+		}
+	}
+}
+
+// genMovies plants directors (persons with nationality-like born-in edges)
+// and films for the Q6-style low-selectivity SUM queries.
+func (c *genCtx) genMovies() {
+	p := c.p
+	nDirectors := 2 * p.Scale
+	nFilms := 5 * p.Scale
+
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		for j := 0; j < nDirectors; j++ {
+			dname := fmt.Sprintf("Director_%d_%d", i, j)
+			du := c.node(dname, "Director", "Person")
+			c.edge(du, "bornIn", cu)
+			c.addFact("bornIn", country, dname, "bornIn")
+			for k := 0; k < nFilms/p.Scale; k++ {
+				fname := fmt.Sprintf("Film_%d_%d_%d", i, j, k)
+				fu := c.node(fname, "Film")
+				c.attr(fu, "box_office", c.lognormal(17, 1.1))
+				c.attr(fu, "rating", 3+c.r.Float64()*7)
+				switch roll := c.r.Float64(); {
+				case roll < 0.55:
+					c.edge(fu, "director", du)
+					c.addFact("director", dname, fname, "director")
+					c.filmsByDirector[dname] = append(c.filmsByDirector[dname], fact{answer: fname, variant: "director"})
+				case roll < 0.80:
+					c.edge(fu, "directedBy", du)
+					c.addFact("director", dname, fname, "directedBy")
+					c.filmsByDirector[dname] = append(c.filmsByDirector[dname], fact{answer: fname, variant: "directedBy"})
+				case roll < 0.92:
+					c.edge(fu, "filmmaker", du)
+					c.addFact("director", dname, fname, "filmmaker")
+					c.filmsByDirector[dname] = append(c.filmsByDirector[dname], fact{answer: fname, variant: "filmmaker"})
+				default: // produced, not directed
+					c.edge(fu, "producer", du)
+				}
+			}
+		}
+	}
+}
+
+// genLanguagesAndMuseums plants the high-selectivity Q5 relation (languages
+// spoken in a country) and the Q7 museum relation.
+func (c *genCtx) genLanguagesAndMuseums() {
+	p := c.p
+	nLang := 3 * p.Scale
+	nMuseums := 4 * p.Scale
+
+	for i, country := range c.countries {
+		cu := c.b.NodeByName(country)
+		for j := 0; j < nLang; j++ {
+			name := fmt.Sprintf("Language_%d_%d", i, j)
+			u := c.node(name, "Language")
+			c.attr(u, "speakers", c.lognormal(13, 1.4))
+			switch roll := c.r.Float64(); {
+			case roll < 0.55:
+				c.edge(u, "spokenIn", cu)
+				c.addFact("spokenIn", country, name, "spokenIn")
+			case roll < 0.80:
+				c.edge(cu, "officialLanguage", u)
+				c.addFact("spokenIn", country, name, "officialLanguage")
+			case roll < 0.92:
+				c.edge(u, "languageOf", cu)
+				c.addFact("spokenIn", country, name, "languageOf")
+			default: // minority presence only
+				c.edge(u, "minorityIn", cu)
+			}
+		}
+		for j := 0; j < nMuseums; j++ {
+			name := fmt.Sprintf("Museum_%d_%d", i, j)
+			u := c.node(name, "Museum")
+			c.attr(u, "visitors", c.lognormal(11, 1))
+			switch roll := c.r.Float64(); {
+			case roll < 0.45:
+				c.edge(u, "museumIn", cu)
+				c.addFact("museumIn", country, name, "museumIn")
+			case roll < 0.75:
+				c.edge(cu, "siteOf", u)
+				c.addFact("museumIn", country, name, "siteOf")
+			case roll < 0.90:
+				c.edge(u, "exhibitsIn", cu)
+				c.addFact("museumIn", country, name, "exhibitsIn")
+			default: // near the border, not in the country
+				c.edge(u, "nearBorder", cu)
+			}
+		}
+	}
+}
+
+// genNoise adds cross-domain edges with unclustered predicates: topological
+// noise the semantic walker should mostly ignore (the Fig. 5a contrast).
+func (c *genCtx) genNoise() {
+	p := c.p
+	preds := make([]string, 0, p.ExtraPredicates+1)
+	preds = append(preds, "relatedTo")
+	for i := 0; i < p.ExtraPredicates; i++ {
+		preds = append(preds, fmt.Sprintf("misc_%d", i))
+	}
+	n := c.b.NumNodes()
+	if n < 2 {
+		return
+	}
+	for i := 0; i < p.NoiseEdges; i++ {
+		u := kg.NodeID(c.r.Intn(n))
+		v := kg.NodeID(c.r.Intn(n))
+		if u == v {
+			continue
+		}
+		pred := preds[c.r.Intn(len(preds))]
+		if err := c.b.AddEdge(u, pred, v); err != nil {
+			continue
+		}
+	}
+}
+
+// annotate simulates the 10-annotator crowdsourcing panel of §VII-A at the
+// schema level: each annotator labels every (relation, variant) schema,
+// erring with probability AnnotatorError, and the panel approves a schema
+// only when all ten annotators accept it. Correct schemas are thus approved
+// with probability (1-e)^10 ≈ 0.96, wrong schemas with e^10 ≈ 0.
+func (c *genCtx) annotate() map[string]map[string]bool {
+	r := stats.NewRand(c.p.Seed + 2)
+	approved := map[string]map[string]bool{}
+	// Deterministic iteration: the panel consumes randomness in a fixed
+	// order regardless of Go's map ordering.
+	rels := make([]string, 0, len(correctVariants))
+	for rel := range correctVariants {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		correctSet := correctVariants[rel]
+		variants := make([]string, 0, len(correctSet))
+		for v := range correctSet {
+			variants = append(variants, v)
+		}
+		sort.Strings(variants)
+		approved[rel] = map[string]bool{}
+		for _, variant := range variants {
+			correct := correctSet[variant]
+			ok := true
+			for a := 0; a < 10; a++ {
+				label := correct
+				if r.Float64() < c.p.AnnotatorError {
+					label = !label
+				}
+				if !label {
+					ok = false
+				}
+			}
+			approved[rel][variant] = ok
+		}
+	}
+	return approved
+}
+
+// correctVariants is the generator's own semantics: which schema variants
+// truly express each relation. Wrong-path variants never appear here (they
+// are planted as separate edges, not facts).
+var correctVariants = map[string]map[string]bool{
+	"product": {
+		"assembly":                true,
+		"manufacturer+coCountry":  true,
+		"assembly+coCountry":      true,
+		"product+coCountry":       true,
+		"designCompany+coCountry": true,
+	},
+	"bornIn": {
+		"bornIn":            true,
+		"birthPlace+cityIn": true,
+		"hometown":          true,
+	},
+	"team":          {"team": true, "playsFor": true, "club": true},
+	"ground":        {"ground": true, "homeStadium": true, "basedIn": true},
+	"director":      {"director": true, "directedBy": true, "filmmaker": true},
+	"spokenIn":      {"spokenIn": true, "officialLanguage": true, "languageOf": true},
+	"museumIn":      {"museumIn": true, "siteOf": true, "exhibitsIn": true},
+	"cityOf":        {"cityOf": true, "municipality": true, "adminSeat": true},
+	"designerChain": {"nationality+designer": true},
+}
+
+// haAnswers filters the planted facts of (relation, anchor) down to those
+// whose variant the annotator panel approved.
+func (c *genCtx) haAnswers(approved map[string]map[string]bool, rel, anchor string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range c.facts[rel][anchor] {
+		if !approved[rel][f.variant] {
+			continue
+		}
+		if !seen[f.answer] {
+			seen[f.answer] = true
+			out = append(out, f.answer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package datagen
+
+import (
+	"math"
+
+	"kgaq/internal/embedding"
+)
+
+// Profile sizes and shapes one synthetic dataset. The three stock profiles
+// mirror the relative shape of Table III: Freebase-sim is the densest with
+// the largest type/predicate vocabulary, YAGO2-sim is large with a small
+// predicate vocabulary, DBpedia-sim sits between.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Countries is the number of hub entities; most workload queries anchor
+	// at one.
+	Countries int
+	// Scale multiplies the per-country population of every domain.
+	Scale int
+	// NoiseEdges is the number of random cross-domain "relatedTo" edges
+	// (topological noise that the semantic walker must shrug off).
+	NoiseEdges int
+	// ExtraPredicates pads the predicate vocabulary with unclustered
+	// predicates carried by the noise edges, mirroring each KG's predicate
+	// count profile.
+	ExtraPredicates int
+	// AnnotatorError is the per-annotator, per-schema probability of a
+	// wrong label in the simulated crowdsourcing panel (10 annotators,
+	// intersection semantics, as in §VII-A).
+	AnnotatorError float64
+	// OptimalTau positions the dataset's semantic tiers: correct variants
+	// land just above it, wrong-path look-alikes just below, so the AJS
+	// curve of Table V peaks there (0.85 for DBpedia-sim, 0.80 for
+	// Freebase-sim and YAGO2-sim, as in the paper).
+	OptimalTau float64
+	// EmbeddingDim is the oracle embedding dimension.
+	EmbeddingDim int
+	// QueriesPerTemplate controls workload size (entities sampled per
+	// query template).
+	QueriesPerTemplate int
+}
+
+// DBpediaSim returns the DBpedia-shaped profile.
+func DBpediaSim() Profile {
+	return Profile{
+		Name: "dbpedia-sim", Seed: 101,
+		Countries: 24, Scale: 3, NoiseEdges: 9000, ExtraPredicates: 40,
+		AnnotatorError: 0.004, OptimalTau: 0.85, EmbeddingDim: 64,
+		QueriesPerTemplate: 6,
+	}
+}
+
+// FreebaseSim returns the Freebase-shaped profile: denser, bigger
+// vocabularies, slightly blurrier semantics.
+func FreebaseSim() Profile {
+	return Profile{
+		Name: "freebase-sim", Seed: 202,
+		Countries: 28, Scale: 4, NoiseEdges: 24000, ExtraPredicates: 120,
+		AnnotatorError: 0.006, OptimalTau: 0.80, EmbeddingDim: 64,
+		QueriesPerTemplate: 6,
+	}
+}
+
+// Yago2Sim returns the YAGO2-shaped profile: large, few predicates.
+func Yago2Sim() Profile {
+	return Profile{
+		Name: "yago2-sim", Seed: 303,
+		Countries: 30, Scale: 4, NoiseEdges: 15000, ExtraPredicates: 12,
+		AnnotatorError: 0.008, OptimalTau: 0.80, EmbeddingDim: 64,
+		QueriesPerTemplate: 6,
+	}
+}
+
+// TinyProfile is a fast profile for tests.
+func TinyProfile() Profile {
+	return Profile{
+		Name: "tiny", Seed: 7,
+		Countries: 6, Scale: 1, NoiseEdges: 300, ExtraPredicates: 5,
+		AnnotatorError: 0.001, OptimalTau: 0.85, EmbeddingDim: 32,
+		QueriesPerTemplate: 2,
+	}
+}
+
+// Profiles returns the three paper-shaped profiles in Table III order.
+func Profiles() []Profile {
+	return []Profile{DBpediaSim(), FreebaseSim(), Yago2Sim()}
+}
+
+// ProfileByName resolves a stock profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range append(Profiles(), TinyProfile()) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// relation describes one semantic relation cluster planted by the
+// generator: a canonical query predicate plus variant predicates with
+// prescribed affinities (embedding cosines to the canonical vector).
+type relation struct {
+	name      string // cluster name == canonical predicate
+	canonical string
+	affinity  map[string]float64
+}
+
+// clusters assembles the embedding cluster specs for a profile. Affinities
+// are positioned relative to the profile's optimal τ so the geometric-mean
+// path similarities of the planted variants land exactly where the workload
+// needs them:
+//
+//   - strong correct variants (direct canonical-family edges) well above τ*
+//   - the weakest correct tier at τ* + 0.015 (dropped when τ rises by 0.05,
+//     producing Table V's decline above the optimum)
+//   - wrong-path look-alikes at τ* − 0.015 / τ* − 0.02 (picked up when τ
+//     falls by 0.05, producing the decline below the optimum)
+//
+// Two-hop variants back out the first-hop affinity from the fixed second
+// hop: for a target geometric mean g over hops (a, h), a = g²/h.
+func (p Profile) clusters() []relation {
+	tau := p.OptimalTau
+	if tau <= 0 {
+		tau = 0.85
+	}
+	mid := tau + 0.015    // weakest correct tier
+	hi := tau + 0.045     // middle correct tier
+	noise2 := tau - 0.015 // two-hop wrong-path target
+	noise1 := tau - 0.02  // direct wrong predicates
+	const hop = 0.86      // fixed company→country affinity
+	const cityHop = 0.88  // fixed city→country affinity
+
+	// The designer affinity serves the classic wrong path (target gm just
+	// below τ) but is additionally capped so that the chain query's
+	// composite paths — one perfect designer hop diluted by two
+	// product-family hops, gm = (1·x·x)^{1/3} with x = a_designer·1.0 —
+	// stay below τ: a_designer < τ^{3/2}.
+	designer := noise2 * noise2 / hop
+	if cap := 0.98 * math.Pow(tau, 1.5); designer > cap {
+		designer = cap
+	}
+	return []relation{
+		{
+			name: "product", canonical: "product",
+			affinity: map[string]float64{
+				"product":       1.00,
+				"assembly":      0.98,
+				"coCountry":     hop,
+				"manufacturer":  hi * hi / hop,
+				"designCompany": mid * mid / hop,
+				"nationality":   hop,
+				"designer":      designer,
+				"madeBy":        0.50,
+				"engine":        0.20,
+			},
+		},
+		{
+			name: "bornIn", canonical: "bornIn",
+			affinity: map[string]float64{
+				"bornIn": 1.00,
+				"cityIn": cityHop,
+				// birthPlace sits in the weakest correct tier: at the hi
+				// tier, the composite path city→cityIn→bornIn→player would
+				// cross τ and pull directly-born players into a specific
+				// birth city's answer set (the flower query's branch).
+				"birthPlace": mid,
+				"hometown":   mid,
+				"livesIn":    noise2 * noise2 / cityHop,
+			},
+		},
+		{
+			name: "team", canonical: "team",
+			affinity: map[string]float64{
+				"team":     1.00,
+				"playsFor": 0.96,
+				"club":     mid,
+				"trainsAt": noise1,
+			},
+		},
+		{
+			name: "ground", canonical: "ground",
+			affinity: map[string]float64{
+				"ground":      1.00,
+				"homeStadium": 0.94,
+				"basedIn":     mid,
+				"sponsoredBy": noise1,
+			},
+		},
+		{
+			name: "director", canonical: "director",
+			affinity: map[string]float64{
+				"director":   1.00,
+				"directedBy": 0.97,
+				"filmmaker":  mid,
+				"producer":   noise1,
+			},
+		},
+		{
+			name: "spokenIn", canonical: "spokenIn",
+			affinity: map[string]float64{
+				"spokenIn":         1.00,
+				"officialLanguage": 0.95,
+				"languageOf":       mid,
+				"minorityIn":       noise1,
+			},
+		},
+		{
+			name: "museumIn", canonical: "museumIn",
+			affinity: map[string]float64{
+				"museumIn":   1.00,
+				"siteOf":     0.94,
+				"exhibitsIn": mid,
+				"nearBorder": noise1,
+			},
+		},
+		{
+			name: "cityOf", canonical: "cityOf",
+			affinity: map[string]float64{
+				"cityOf":       1.00,
+				"municipality": 0.94,
+				"adminSeat":    mid,
+				// twinnedWith extends a perfect cityOf hop, so the 2-hop
+				// noise path lands at sqrt(1·noise2²) = noise2.
+				"twinnedWith": noise2 * noise2,
+			},
+		},
+	}
+}
+
+// EmbeddingClusters converts the relation specs into oracle clusters.
+func (p Profile) EmbeddingClusters() []embedding.Cluster {
+	rels := p.clusters()
+	out := make([]embedding.Cluster, len(rels))
+	for i, r := range rels {
+		out[i] = embedding.Cluster{Name: r.name, Affinity: r.affinity}
+	}
+	return out
+}

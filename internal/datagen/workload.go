@@ -1,0 +1,300 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kgaq/internal/query"
+)
+
+// workload synthesises the Q1–Q10 style query set with per-query HA ground
+// truth. Templates mirror Table IV: counting and averaging over the
+// automotive relation (Q1/Q2), filters (Q3), GROUP-BY (Q4), high-selectivity
+// language queries (Q5), low-selectivity film sums (Q6), museums (Q7), city
+// populations (Q8), and the star/chain/cycle/flower shapes (Q9/Q10).
+func (c *genCtx) workload(ds *Dataset) []GenQuery {
+	approved := ds.ApprovedVariants
+	var out []GenQuery
+
+	anchors := c.sampleCountries()
+	add := func(id, category string, agg *query.Aggregate, ha []string, minHA int) {
+		if len(ha) < minHA {
+			return
+		}
+		if err := agg.Validate(); err != nil {
+			return
+		}
+		out = append(out, GenQuery{
+			ID:        fmt.Sprintf("%s-%s", id, c.p.Name),
+			Agg:       agg,
+			Shape:     agg.Q.ShapeOf(),
+			HAAnswers: ha,
+			Category:  category,
+		})
+	}
+
+	for i, country := range anchors {
+		carsHA := c.haAnswers(approved, "product", country)
+		playersHA := c.typed(c.haAnswers(approved, "bornIn", country), "SoccerPlayer")
+		langsHA := c.haAnswers(approved, "spokenIn", country)
+		museumsHA := c.haAnswers(approved, "museumIn", country)
+		citiesHA := c.haAnswers(approved, "cityOf", country)
+
+		add(fmt.Sprintf("q1.%d-count-cars", i), "simple",
+			query.Simple(query.Count, "", country, "Country", "product", "Automobile"),
+			carsHA, 3)
+		add(fmt.Sprintf("q2.%d-avg-price", i), "simple",
+			query.Simple(query.Avg, "price", country, "Country", "product", "Automobile"),
+			carsHA, 3)
+		add(fmt.Sprintf("q2s.%d-sum-price", i), "simple",
+			query.Simple(query.Sum, "price", country, "Country", "product", "Automobile"),
+			carsHA, 3)
+		add(fmt.Sprintf("q5.%d-count-langs", i), "simple",
+			query.Simple(query.Count, "", country, "Country", "spokenIn", "Language"),
+			langsHA, 3)
+		add(fmt.Sprintf("q7.%d-count-museums", i), "simple",
+			query.Simple(query.Count, "", country, "Country", "museumIn", "Museum"),
+			museumsHA, 3)
+		add(fmt.Sprintf("q8.%d-avg-population", i), "simple",
+			query.Simple(query.Avg, "population", country, "Country", "cityOf", "City"),
+			citiesHA, 3)
+		add(fmt.Sprintf("qa.%d-avg-age", i), "simple",
+			query.Simple(query.Avg, "age", country, "Country", "bornIn", "SoccerPlayer"),
+			playersHA, 3)
+
+		// Q3-style filter and Q4-style GROUP-BY.
+		add(fmt.Sprintf("q3.%d-filter-price", i), "filter",
+			query.Simple(query.Avg, "price", country, "Country", "product", "Automobile").
+				WithFilter("fuel_economy", 22, 32),
+			carsHA, 4)
+		add(fmt.Sprintf("qf2.%d-filter-age", i), "filter",
+			query.Simple(query.Count, "", country, "Country", "bornIn", "SoccerPlayer").
+				WithFilter("age", 20, 29),
+			playersHA, 4)
+		add(fmt.Sprintf("q4.%d-groupby-age", i), "groupby",
+			query.Simple(query.Count, "", country, "Country", "bornIn", "SoccerPlayer").
+				WithGroupBy("age_group"),
+			playersHA, 4)
+
+		// Extremes (no guarantee).
+		add(fmt.Sprintf("qx.%d-max-price", i), "extreme",
+			query.Simple(query.Max, "price", country, "Country", "product", "Automobile"),
+			carsHA, 3)
+		add(fmt.Sprintf("qx2.%d-min-transfer", i), "extreme",
+			query.Simple(query.Min, "transfer_value", country, "Country", "bornIn", "SoccerPlayer"),
+			playersHA, 3)
+
+		// Q10-style chain: cars designed by this country's designers.
+		chainHA := c.haAnswers(approved, "designerChain", country)
+		chainQ := query.Chain(query.Count, "", country, "Country", []query.Hop{
+			{Predicate: "nationality", Types: []string{"Designer"}},
+			{Predicate: "designer", Types: []string{"Automobile"}},
+		})
+		add(fmt.Sprintf("q10.%d-chain-designed", i), "chain", chainQ, chainHA, 3)
+		chainQ2 := query.Chain(query.Avg, "price", country, "Country", []query.Hop{
+			{Predicate: "nationality", Types: []string{"Designer"}},
+			{Predicate: "designer", Types: []string{"Automobile"}},
+		})
+		add(fmt.Sprintf("q10a.%d-chain-avg", i), "chain", chainQ2, chainHA, 3)
+
+		// Q9-style star: born in the country and playing for its most
+		// popular club.
+		if club := c.popularClub(approved, country); club != "" {
+			teamHA := c.typed(c.approvedTeam(approved, club), "SoccerPlayer")
+			starHA := intersect(playersHA, teamHA)
+			b := query.NewBuilder()
+			cn := b.Specific(country, "Country")
+			cl := b.Specific(club, "SoccerClub")
+			tgt := b.Target("SoccerPlayer")
+			b.Edge(tgt, cn, "bornIn")
+			b.Edge(tgt, cl, "team")
+			add(fmt.Sprintf("q9.%d-star-born-team", i), "star",
+				b.Aggregate(query.Count, ""), starHA, 2)
+		}
+
+		// Cycle: players of clubs grounded in the country who were also
+		// born there (Fig. 4c).
+		cycleHA := c.cycleHA(approved, country)
+		{
+			b := query.NewBuilder()
+			tgt := b.Target("SoccerPlayer")
+			club := b.Unknown("SoccerClub")
+			cn := b.Specific(country, "Country")
+			b.Edge(tgt, club, "team")
+			b.Edge(club, cn, "ground")
+			b.Edge(tgt, cn, "bornIn")
+			add(fmt.Sprintf("qc.%d-cycle-home", i), "cycle",
+				b.Aggregate(query.Avg, "age"), cycleHA, 2)
+		}
+
+		// Flower: the cycle plus a birth-city branch (Fig. 4d).
+		if city := c.popularBirthCity(country); city != "" {
+			flowerHA := intersect(cycleHA, c.birthCityOf[city])
+			if approved["bornIn"]["birthPlace+cityIn"] {
+				b := query.NewBuilder()
+				tgt := b.Target("SoccerPlayer")
+				club := b.Unknown("SoccerClub")
+				cn := b.Specific(country, "Country")
+				ct := b.Specific(city, "City")
+				b.Edge(tgt, club, "team")
+				b.Edge(club, cn, "ground")
+				b.Edge(tgt, cn, "bornIn")
+				b.Edge(tgt, ct, "birthPlace")
+				add(fmt.Sprintf("qw.%d-flower-local", i), "flower",
+					b.Aggregate(query.Count, ""), flowerHA, 3)
+			}
+		}
+	}
+
+	// Q6-style: lowest-selectivity SUM over one director's films.
+	for i, d := range c.sampleDirectors() {
+		filmsHA := c.haAnswers(approved, "director", d)
+		add(fmt.Sprintf("q6.%d-sum-boxoffice", i), "simple",
+			query.Simple(query.Sum, "box_office", d, "Director", "director", "Film"),
+			filmsHA, 2)
+	}
+	return out
+}
+
+// sampleCountries picks the workload anchors deterministically.
+func (c *genCtx) sampleCountries() []string {
+	k := c.p.QueriesPerTemplate
+	if k > len(c.countries) {
+		k = len(c.countries)
+	}
+	idx := c.r.Perm(len(c.countries))[:k]
+	sort.Ints(idx)
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = c.countries[j]
+	}
+	return out
+}
+
+// sampleDirectors picks directors with the most approved films.
+func (c *genCtx) sampleDirectors() []string {
+	type dc struct {
+		name string
+		n    int
+	}
+	var ds []dc
+	for d, films := range c.filmsByDirector {
+		ds = append(ds, dc{name: d, n: len(films)})
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].n != ds[j].n {
+			return ds[i].n > ds[j].n
+		}
+		return ds[i].name < ds[j].name
+	})
+	k := c.p.QueriesPerTemplate
+	if k > len(ds) {
+		k = len(ds)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].name
+	}
+	return out
+}
+
+// typed filters answer names to those carrying the given type. The builder
+// has no type lookup, so the generator's disjoint naming scheme serves
+// (Player_/Director_ prefixes never overlap).
+func (c *genCtx) typed(names []string, typeName string) []string {
+	var out []string
+	for _, n := range names {
+		switch typeName {
+		case "SoccerPlayer":
+			if strings.HasPrefix(n, "Player_") {
+				out = append(out, n)
+			}
+		default:
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// approvedTeam lists a club's players connected through approved team
+// variants.
+func (c *genCtx) approvedTeam(approved map[string]map[string]bool, club string) []string {
+	var out []string
+	for _, f := range c.clubPlayers[club] {
+		if approved["team"][f.variant] {
+			out = append(out, f.answer)
+		}
+	}
+	return out
+}
+
+// popularClub returns the club grounded (by approved variants) in the
+// country with the most approved players.
+func (c *genCtx) popularClub(approved map[string]map[string]bool, country string) string {
+	best, bestN := "", 0
+	for _, f := range c.clubsGrounded[country] {
+		if !approved["ground"][f.variant] {
+			continue
+		}
+		n := len(c.approvedTeam(approved, f.answer))
+		if n > bestN || (n == bestN && f.answer < best) {
+			best, bestN = f.answer, n
+		}
+	}
+	return best
+}
+
+// popularBirthCity returns the country's city with the most birthPlace
+// players.
+func (c *genCtx) popularBirthCity(country string) string {
+	best, bestN := "", 0
+	for _, city := range c.cities[country] {
+		if n := len(c.birthCityOf[city]); n > bestN {
+			best, bestN = city, n
+		}
+	}
+	return best
+}
+
+// cycleHA computes the cycle template's ground truth: players born in the
+// country (approved) who play (approved) for a club grounded (approved) in
+// the country.
+func (c *genCtx) cycleHA(approved map[string]map[string]bool, country string) []string {
+	born := map[string]bool{}
+	for _, n := range c.typed(c.haAnswers(approved, "bornIn", country), "SoccerPlayer") {
+		born[n] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, cf := range c.clubsGrounded[country] {
+		if !approved["ground"][cf.variant] {
+			continue
+		}
+		for _, pf := range c.clubPlayers[cf.answer] {
+			if approved["team"][pf.variant] && born[pf.answer] && !seen[pf.answer] {
+				seen[pf.answer] = true
+				out = append(out, pf.answer)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intersect returns the sorted intersection of two name lists.
+func intersect(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range b {
+		if set[x] {
+			out = append(out, x)
+			set[x] = false
+		}
+	}
+	sort.Strings(out)
+	return out
+}

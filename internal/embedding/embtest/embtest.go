@@ -1,0 +1,27 @@
+// Package embtest provides shared embedding fixtures for tests of the walk,
+// similarity, estimation and engine layers. It lives outside kgtest so that
+// kgtest stays free of embedding dependencies (the embedding package's own
+// tests use kgtest).
+package embtest
+
+import (
+	"fmt"
+
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+)
+
+// Figure1Model builds the deterministic oracle embedding for the Figure 1
+// fixture graph, with the paper's predicate similarities
+// (kgtest.Figure1Affinities).
+func Figure1Model(g *kg.Graph) *embedding.PredVectors {
+	m, err := embedding.NewOracle(g, 64, 271828, []embedding.Cluster{{
+		Name:     "producedIn",
+		Affinity: kgtest.Figure1Affinities(),
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("embtest: %v", err))
+	}
+	return m
+}

@@ -1,0 +1,70 @@
+package embedding
+
+import (
+	"fmt"
+
+	"kgaq/internal/kg"
+)
+
+// Model supplies one d-dimensional semantic vector per predicate of a graph.
+// It is the only interface the sampling and similarity layers depend on;
+// both the oracle and every trained model implement it.
+type Model interface {
+	// PredicateVector returns the vector for predicate p. The returned
+	// slice must not be modified.
+	PredicateVector(p kg.PredID) []float64
+	// Dim returns the embedding dimension.
+	Dim() int
+	// Name identifies the model (e.g. "TransE", "oracle").
+	Name() string
+}
+
+// LinkScorer ranks the plausibility of unseen edges. It is consumed by the
+// EAQ baseline, which collects candidate entities via link prediction.
+// Higher scores mean more plausible links.
+type LinkScorer interface {
+	ScoreLink(head kg.NodeID, rel kg.PredID, tail kg.NodeID) float64
+}
+
+// PredVectors is a plain container of predicate vectors implementing Model.
+type PredVectors struct {
+	ModelName string
+	Vecs      [][]float64
+}
+
+// PredicateVector implements Model.
+func (p *PredVectors) PredicateVector(id kg.PredID) []float64 {
+	return p.Vecs[id]
+}
+
+// Dim implements Model.
+func (p *PredVectors) Dim() int {
+	if len(p.Vecs) == 0 {
+		return 0
+	}
+	return len(p.Vecs[0])
+}
+
+// Name implements Model.
+func (p *PredVectors) Name() string { return p.ModelName }
+
+// Validate checks that the container has one vector per predicate of g, all
+// of equal dimension.
+func (p *PredVectors) Validate(g *kg.Graph) error {
+	if len(p.Vecs) != g.NumPredicates() {
+		return fmt.Errorf("embedding: %d vectors for %d predicates", len(p.Vecs), g.NumPredicates())
+	}
+	d := p.Dim()
+	for i, v := range p.Vecs {
+		if len(v) != d {
+			return fmt.Errorf("embedding: predicate %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	return nil
+}
+
+// PredicateSimilarity returns the cosine similarity between the vectors of
+// predicates a and b under model m (Eq. 4 of the paper).
+func PredicateSimilarity(m Model, a, b kg.PredID) float64 {
+	return Cosine(m.PredicateVector(a), m.PredicateVector(b))
+}

@@ -1,0 +1,92 @@
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/stats"
+)
+
+// Cluster describes one semantic cluster of predicates for the oracle
+// embedding. Every predicate is given a target cosine similarity (affinity)
+// to the cluster centre; the canonical predicate of the cluster has affinity
+// 1 and coincides with the centre.
+//
+// Example, mirroring Figure 3 of the paper: the "producedIn" cluster maps
+// product→1.0, assembly→0.98, manufacturer→0.9, country→0.81,
+// designCompany→0.79, with designer and nationality left to other clusters.
+type Cluster struct {
+	Name     string
+	Affinity map[string]float64 // predicate label → target cosine to centre
+}
+
+// NewOracle builds an oracle embedding for graph g: predicates inside a
+// cluster receive unit vectors whose cosine to the cluster centre equals the
+// prescribed affinity; predicates mentioned in no cluster receive random
+// unit vectors (near-orthogonal to everything in dimension dim).
+//
+// The construction places v = a·c + sqrt(1-a²)·u with u a random unit vector
+// orthogonal to the centre c, so cos(v,c) = a exactly, and for two
+// predicates of the same cluster cos(v1,v2) ≈ a1·a2 (the residual term is
+// O(1/sqrt(dim))). An affinity outside [-1,1] is an error.
+func NewOracle(g *kg.Graph, dim int, seed int64, clusters []Cluster) (*PredVectors, error) {
+	if dim < 4 {
+		return nil, fmt.Errorf("embedding: oracle dim %d too small (need ≥4)", dim)
+	}
+	r := stats.NewRand(seed)
+	vecs := make([][]float64, g.NumPredicates())
+
+	assigned := make(map[kg.PredID]bool)
+	for _, cl := range clusters {
+		centre := randUnit(r, dim)
+		// Deterministic iteration: vector construction consumes randomness,
+		// so Go's randomized map order would make equal seeds produce
+		// different embeddings.
+		labels := make([]string, 0, len(cl.Affinity))
+		for label := range cl.Affinity {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			a := cl.Affinity[label]
+			if a < -1 || a > 1 {
+				return nil, fmt.Errorf("embedding: cluster %q: affinity %v for %q outside [-1,1]", cl.Name, a, label)
+			}
+			p := g.PredByName(label)
+			if p == kg.InvalidPred {
+				// Cluster specs may mention predicates that a particular
+				// synthetic instance did not emit; skip silently.
+				continue
+			}
+			if assigned[p] {
+				return nil, fmt.Errorf("embedding: predicate %q assigned to two clusters", label)
+			}
+			assigned[p] = true
+			v := make([]float64, dim)
+			AddScaled(v, a, centre)
+			residual := 1 - a*a
+			if residual > 1e-12 {
+				u := orthogonalTo(r, centre)
+				AddScaled(v, sqrt(residual), u)
+			}
+			Normalize(v)
+			vecs[p] = v
+		}
+	}
+	for p := range vecs {
+		if vecs[p] == nil {
+			vecs[p] = randUnit(r, dim)
+		}
+	}
+	return &PredVectors{ModelName: "oracle", Vecs: vecs}, nil
+}
+
+// sqrt guards tiny negative residuals from floating-point cancellation.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

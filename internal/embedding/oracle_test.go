@@ -1,0 +1,137 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+
+	"kgaq/internal/kg/kgtest"
+)
+
+func TestOracleAffinities(t *testing.T) {
+	g := kgtest.Figure1()
+	clusters := []Cluster{
+		{
+			Name: "producedIn",
+			Affinity: map[string]float64{
+				"assembly":      0.98,
+				"manufacturer":  0.90,
+				"country":       0.81,
+				"designCompany": 0.79,
+			},
+		},
+		{
+			Name:     "personal",
+			Affinity: map[string]float64{"designer": 0.95, "nationality": 0.9},
+		},
+	}
+	m, err := NewOracle(g, 32, 7, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	assembly := g.PredByName("assembly")
+	country := g.PredByName("country")
+	designer := g.PredByName("designer")
+	capital := g.PredByName("capitalOf")
+
+	// Within-cluster similarity ≈ product of affinities.
+	got := PredicateSimilarity(m, assembly, country)
+	want := 0.98 * 0.81
+	if math.Abs(got-want) > 0.25 {
+		t.Fatalf("sim(assembly,country) = %v, want ≈%v", got, want)
+	}
+	if got < 0.5 {
+		t.Fatalf("within-cluster similarity too low: %v", got)
+	}
+	// Cross-cluster and unclustered similarities are near zero in d=32.
+	if s := PredicateSimilarity(m, assembly, designer); math.Abs(s) > 0.5 {
+		t.Fatalf("cross-cluster sim = %v, want ≈0", s)
+	}
+	if s := PredicateSimilarity(m, assembly, capital); math.Abs(s) > 0.5 {
+		t.Fatalf("unclustered sim = %v, want ≈0", s)
+	}
+	// Self similarity is exactly 1.
+	if s := PredicateSimilarity(m, assembly, assembly); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self sim = %v", s)
+	}
+}
+
+func TestOracleCanonicalPredicateHitsCentreExactly(t *testing.T) {
+	g := kgtest.Figure1()
+	m, err := NewOracle(g, 32, 1, []Cluster{{
+		Name:     "c",
+		Affinity: map[string]float64{"assembly": 1.0, "country": 0.8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := PredicateSimilarity(m, g.PredByName("assembly"), g.PredByName("country"))
+	// cos(v_country, centre) = 0.8 and assembly *is* the centre.
+	if math.Abs(s-0.8) > 1e-9 {
+		t.Fatalf("sim(assembly,country) = %v, want exactly 0.8", s)
+	}
+}
+
+func TestOracleRejectsBadAffinity(t *testing.T) {
+	g := kgtest.Figure1()
+	_, err := NewOracle(g, 32, 1, []Cluster{{
+		Name: "c", Affinity: map[string]float64{"assembly": 1.5},
+	}})
+	if err == nil {
+		t.Fatal("affinity 1.5 accepted")
+	}
+}
+
+func TestOracleRejectsDoubleAssignment(t *testing.T) {
+	g := kgtest.Figure1()
+	_, err := NewOracle(g, 32, 1, []Cluster{
+		{Name: "a", Affinity: map[string]float64{"assembly": 0.9}},
+		{Name: "b", Affinity: map[string]float64{"assembly": 0.8}},
+	})
+	if err == nil {
+		t.Fatal("double cluster assignment accepted")
+	}
+}
+
+func TestOracleSkipsUnknownPredicates(t *testing.T) {
+	g := kgtest.Figure1()
+	m, err := NewOracle(g, 32, 1, []Cluster{{
+		Name: "c", Affinity: map[string]float64{"assembly": 0.9, "noSuchPredicate": 0.7},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRejectsTinyDim(t *testing.T) {
+	g := kgtest.Figure1()
+	if _, err := NewOracle(g, 2, 1, nil); err == nil {
+		t.Fatal("dim 2 accepted")
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	g := kgtest.Figure1()
+	spec := []Cluster{{Name: "c", Affinity: map[string]float64{"assembly": 0.9, "country": 0.8}}}
+	m1, err := NewOracle(g, 16, 42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewOracle(g, 16, 42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range m1.Vecs {
+		for i := range m1.Vecs[p] {
+			if m1.Vecs[p][i] != m2.Vecs[p][i] {
+				t.Fatal("oracle not deterministic for equal seeds")
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package embedding
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// vectorsSnapshot is the gob wire form for persisted predicate vectors.
+// Persisting only the vectors (not trainer state) keeps snapshots portable
+// across models: a loaded embedding behaves exactly like an oracle.
+type vectorsSnapshot struct {
+	ModelName string
+	Vecs      [][]float64
+	EntVecs   [][]float64
+}
+
+// Save writes the predicate (and optional entity) vectors of m. Trained
+// models persist their entity vectors too, so link-prediction baselines can
+// reload them; other models persist predicates only.
+func Save(w io.Writer, m Model) error {
+	s := vectorsSnapshot{ModelName: m.Name()}
+	switch v := m.(type) {
+	case *Trained:
+		s.Vecs = v.Vecs
+		s.EntVecs = v.EntVecs
+	case *PredVectors:
+		s.Vecs = v.Vecs
+	default:
+		return fmt.Errorf("embedding: cannot persist model type %T", m)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
+		return fmt.Errorf("embedding: save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("embedding: save: %w", err)
+	}
+	return nil
+}
+
+// LoadedModel is a reloaded embedding: predicate vectors plus, when the
+// snapshot carried them, entity vectors usable for TransE-style link
+// scoring.
+type LoadedModel struct {
+	PredVectors
+	EntVecs [][]float64
+}
+
+// ScoreLink implements LinkScorer with the TransE energy when entity
+// vectors are available, and 0 otherwise.
+func (l *LoadedModel) ScoreLink(head, rel, tail int32) float64 {
+	if l.EntVecs == nil {
+		return 0
+	}
+	h, r, t := l.EntVecs[head], l.Vecs[rel], l.EntVecs[tail]
+	e := 0.0
+	for i := range h {
+		d := h[i] + r[i] - t[i]
+		e += d * d
+	}
+	return -e
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*LoadedModel, error) {
+	var s vectorsSnapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("embedding: load: %w", err)
+	}
+	if len(s.Vecs) == 0 {
+		return nil, fmt.Errorf("embedding: load: snapshot has no predicate vectors")
+	}
+	d := len(s.Vecs[0])
+	for i, v := range s.Vecs {
+		if len(v) != d {
+			return nil, fmt.Errorf("embedding: load: predicate %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	return &LoadedModel{
+		PredVectors: PredVectors{ModelName: s.ModelName, Vecs: s.Vecs},
+		EntVecs:     s.EntVecs,
+	}, nil
+}
+
+// SaveFile writes the model snapshot to path.
+func SaveFile(path string, m Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("embedding: %w", err)
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model snapshot from path.
+func LoadFile(path string) (*LoadedModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

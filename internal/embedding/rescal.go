@@ -1,0 +1,105 @@
+package embedding
+
+import "math/rand"
+
+// rescal (Nickel et al., ICML 2011) is a tensor factorisation model: each
+// relation r has a full d×d interaction matrix M_r and the plausibility of
+// (h,r,t) is the bilinear form hᵀ M_r t. We train it with the same margin
+// ranking loss as the translation models by treating energy = -hᵀ M_r t.
+//
+// The flattened interaction matrix is the predicate semantics exposed to the
+// sampler — as in the paper, this representation preserves relation
+// composition and inversion poorly, which is precisely why RESCAL trails the
+// translation family in Table XIII.
+type rescal struct {
+	ent [][]float64
+	mat [][]float64 // d*d row-major per relation
+	dim int
+}
+
+func newRESCAL(numEnt, numRel, dim int, r *rand.Rand) *rescal {
+	m := &rescal{dim: dim}
+	m.ent = make([][]float64, numEnt)
+	for i := range m.ent {
+		m.ent[i] = randUniform(r, dim)
+		Normalize(m.ent[i])
+	}
+	m.mat = make([][]float64, numRel)
+	for i := range m.mat {
+		m.mat[i] = randUniform(r, dim*dim)
+		Scale(m.mat[i], 1/Norm(m.mat[i]))
+	}
+	return m
+}
+
+func (m *rescal) name() string { return "RESCAL" }
+
+func (m *rescal) paramCount() int { return len(m.ent)*m.dim + len(m.mat)*m.dim*m.dim }
+
+// bilinear returns hᵀ M t.
+func (m *rescal) bilinear(h, r, t int) float64 {
+	hv, tv, M := m.ent[h], m.ent[t], m.mat[r]
+	s := 0.0
+	for i := 0; i < m.dim; i++ {
+		row := M[i*m.dim : (i+1)*m.dim]
+		mi := 0.0
+		for j := 0; j < m.dim; j++ {
+			mi += row[j] * tv[j]
+		}
+		s += hv[i] * mi
+	}
+	return s
+}
+
+func (m *rescal) energy(h, r, t int) float64 { return -m.bilinear(h, r, t) }
+
+// step applies analytic gradients of the bilinear score s = hᵀ M t:
+// ∂s/∂h = M t, ∂s/∂t = Mᵀ h, ∂s/∂M = h tᵀ. The positive triple ascends the
+// score (descends the energy); the negative descends it.
+func (m *rescal) step(pos, neg Triple, lr float64) {
+	m.applyGrad(int(pos.H), int(pos.R), int(pos.T), +lr)
+	m.applyGrad(int(neg.H), int(neg.R), int(neg.T), -lr)
+}
+
+func (m *rescal) applyGrad(h, r, t int, scale float64) {
+	hv, tv, M := m.ent[h], m.ent[t], m.mat[r]
+	d := m.dim
+	mt := make([]float64, d)  // M t
+	mth := make([]float64, d) // Mᵀ h
+	for i := 0; i < d; i++ {
+		row := M[i*d : (i+1)*d]
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += row[j] * tv[j]
+			mth[j] += row[j] * hv[i]
+		}
+		mt[i] = s
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			M[i*d+j] += scale * hv[i] * tv[j]
+		}
+	}
+	for i := 0; i < d; i++ {
+		hv[i] += scale * mt[i]
+		tv[i] += scale * mth[i]
+	}
+}
+
+func (m *rescal) finishEpoch() {
+	for _, v := range m.ent {
+		Normalize(v)
+	}
+	// Bound interaction matrices (Frobenius norm ≤ sqrt(dim)) to keep the
+	// bilinear scores from blowing up under the unbounded margin objective.
+	for _, M := range m.mat {
+		n := Norm(M)
+		limit := sqrt(float64(m.dim))
+		if n > limit {
+			Scale(M, limit/n)
+		}
+	}
+}
+
+func (m *rescal) relVector(r int) []float64 { return m.mat[r] }
+func (m *rescal) entVector(e int) []float64 { return m.ent[e] }

@@ -1,0 +1,145 @@
+package embedding
+
+import "math/rand"
+
+// se implements Structured Embeddings (Bordes et al., AAAI 2011): each
+// relation carries two projection matrices and
+// energy(h,r,t) = ||M1 h - M2 t||² (we use the squared L2 form for smooth
+// gradients; the original used L1).
+//
+// The concatenation [M1|M2] flattened is the predicate semantics exposed to
+// the sampler.
+type se struct {
+	ent [][]float64
+	m1  [][]float64 // d*d row-major per relation
+	m2  [][]float64
+	rel [][]float64 // cached concatenated [M1|M2] per relation
+	dim int
+}
+
+func newSE(numEnt, numRel, dim int, r *rand.Rand) *se {
+	m := &se{dim: dim}
+	m.ent = make([][]float64, numEnt)
+	for i := range m.ent {
+		m.ent[i] = randUniform(r, dim)
+		Normalize(m.ent[i])
+	}
+	m.m1 = make([][]float64, numRel)
+	m.m2 = make([][]float64, numRel)
+	m.rel = make([][]float64, numRel)
+	for i := range m.m1 {
+		m.m1[i] = identityPlusNoise(r, dim, 0.1)
+		m.m2[i] = identityPlusNoise(r, dim, 0.1)
+		m.rel[i] = make([]float64, 2*dim*dim)
+	}
+	return m
+}
+
+// identityPlusNoise initialises a d×d matrix near the identity so the
+// initial projections are well-conditioned.
+func identityPlusNoise(r *rand.Rand, d int, eps float64) []float64 {
+	M := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			v := (r.Float64()*2 - 1) * eps
+			if i == j {
+				v += 1
+			}
+			M[i*d+j] = v
+		}
+	}
+	return M
+}
+
+func (m *se) name() string { return "SE" }
+
+func (m *se) paramCount() int { return len(m.ent)*m.dim + 2*len(m.m1)*m.dim*m.dim }
+
+// residual computes e = M1 h - M2 t.
+func (m *se) residual(h, r, t int, out []float64) {
+	hv, tv := m.ent[h], m.ent[t]
+	M1, M2 := m.m1[r], m.m2[r]
+	d := m.dim
+	for i := 0; i < d; i++ {
+		s := 0.0
+		r1 := M1[i*d : (i+1)*d]
+		r2 := M2[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			s += r1[j]*hv[j] - r2[j]*tv[j]
+		}
+		out[i] = s
+	}
+}
+
+func (m *se) energy(h, r, t int) float64 {
+	e := make([]float64, m.dim)
+	m.residual(h, r, t, e)
+	return Dot(e, e)
+}
+
+// step applies analytic gradients of E = ||M1 h - M2 t||²:
+//
+//	∂E/∂h = 2 M1ᵀ e    ∂E/∂M1 = 2 e hᵀ
+//	∂E/∂t = -2 M2ᵀ e   ∂E/∂M2 = -2 e tᵀ
+func (m *se) step(pos, neg Triple, lr float64) {
+	m.applyGrad(int(pos.H), int(pos.R), int(pos.T), -lr)
+	m.applyGrad(int(neg.H), int(neg.R), int(neg.T), +lr)
+}
+
+func (m *se) applyGrad(h, r, t int, scale float64) {
+	e := make([]float64, m.dim)
+	m.residual(h, r, t, e)
+	hv, tv := m.ent[h], m.ent[t]
+	M1, M2 := m.m1[r], m.m2[r]
+	d := m.dim
+	// All gradients are computed from the pre-update parameters; mixing
+	// fresh and stale values inside one step makes the update direction
+	// inconsistent and lets the matrices diverge.
+	h0 := append([]float64(nil), hv...)
+	t0 := append([]float64(nil), tv...)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			hv[j] += scale * 2 * M1[i*d+j] * e[i]
+			tv[j] -= scale * 2 * M2[i*d+j] * e[i]
+			M1[i*d+j] += scale * 2 * e[i] * h0[j]
+			M2[i*d+j] -= scale * 2 * e[i] * t0[j]
+		}
+	}
+	// Per-step clamps keep a large residual from blowing the matrices up
+	// inside a single epoch (the epoch-level renormalisation is too late).
+	limit := sqrt(float64(d))
+	if n := Norm(M1); n > limit {
+		Scale(M1, limit/n)
+	}
+	if n := Norm(M2); n > limit {
+		Scale(M2, limit/n)
+	}
+	Normalize(hv)
+	Normalize(tv)
+}
+
+func (m *se) finishEpoch() {
+	for _, v := range m.ent {
+		Normalize(v)
+	}
+	limit := sqrt(float64(m.dim))
+	for _, M := range m.m1 {
+		if n := Norm(M); n > limit {
+			Scale(M, limit/n)
+		}
+	}
+	for _, M := range m.m2 {
+		if n := Norm(M); n > limit {
+			Scale(M, limit/n)
+		}
+	}
+}
+
+func (m *se) relVector(r int) []float64 {
+	out := m.rel[r]
+	copy(out, m.m1[r])
+	copy(out[len(m.m1[r]):], m.m2[r])
+	return out
+}
+
+func (m *se) entVector(e int) []float64 { return m.ent[e] }

@@ -1,0 +1,216 @@
+package embedding
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/stats"
+)
+
+// Triple is one (head, relation, tail) fact used for embedding training.
+type Triple struct {
+	H kg.NodeID
+	R kg.PredID
+	T kg.NodeID
+}
+
+// Triples extracts all stored edges of g as training triples.
+func Triples(g *kg.Graph) []Triple {
+	out := make([]Triple, 0, g.NumEdges())
+	g.EachEdge(func(src kg.NodeID, pred kg.PredID, dst kg.NodeID) bool {
+		out = append(out, Triple{H: src, R: pred, T: dst})
+		return true
+	})
+	return out
+}
+
+// TrainConfig controls SGD training shared by all models.
+type TrainConfig struct {
+	Dim          int     // embedding dimension (matrix models use Dim x Dim)
+	Epochs       int     // passes over the triple set
+	LearningRate float64 // SGD step size
+	Margin       float64 // margin of the ranking loss
+	Seed         int64   // RNG seed (training is deterministic given it)
+}
+
+// DefaultTrainConfig returns the configuration used by the benchmarks:
+// small enough to train in seconds on synthetic graphs, large enough for
+// predicate clusters to emerge.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Dim: 32, Epochs: 60, LearningRate: 0.02, Margin: 1.0, Seed: 1}
+}
+
+func (c TrainConfig) validate() error {
+	if c.Dim < 2 {
+		return fmt.Errorf("embedding: dim %d too small", c.Dim)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("embedding: epochs must be positive")
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("embedding: learning rate must be positive")
+	}
+	if c.Margin <= 0 {
+		return fmt.Errorf("embedding: margin must be positive")
+	}
+	return nil
+}
+
+// scorer is the per-model plug-in for the shared trainer: an energy function
+// (lower = more plausible) with an analytic SGD step for the margin loss.
+type scorer interface {
+	// energy returns the dissimilarity of triple (h,r,t).
+	energy(h, r, t int) float64
+	// step performs one gradient step reducing energy of pos and raising
+	// energy of neg (both share the relation) with learning rate lr.
+	step(pos, neg Triple, lr float64)
+	// finishEpoch lets the model renormalise its parameters.
+	finishEpoch()
+	// relVector returns the semantic vector representing relation r.
+	relVector(r int) []float64
+	// entVector returns the vector of entity e (nil if the model has none).
+	entVector(e int) []float64
+	// name identifies the model.
+	name() string
+	// paramCount returns the number of float64 parameters (memory metric
+	// for Table XIII).
+	paramCount() int
+}
+
+// Trained is the result of Train: a Model (predicate vectors), optional
+// entity vectors for link prediction, and training cost metrics.
+type Trained struct {
+	PredVectors
+	EntVecs   [][]float64
+	TrainTime time.Duration
+	Params    int // number of float64 parameters
+	FinalLoss float64
+	sc        scorer
+	numEnt    int
+	numRel    int
+}
+
+// MemoryBytes returns the approximate parameter memory of the model.
+func (t *Trained) MemoryBytes() int { return t.Params * 8 }
+
+// ScoreLink implements LinkScorer: the negated energy of the candidate
+// triple under the trained model (higher = more plausible).
+func (t *Trained) ScoreLink(head kg.NodeID, rel kg.PredID, tail kg.NodeID) float64 {
+	if t.sc == nil {
+		return 0
+	}
+	return -t.sc.energy(int(head), int(rel), int(tail))
+}
+
+var _ Model = (*Trained)(nil)
+var _ LinkScorer = (*Trained)(nil)
+
+// newScorer constructs the scorer for a model name.
+func newScorer(model string, numEnt, numRel, dim int, r *rand.Rand) (scorer, error) {
+	switch model {
+	case "TransE":
+		return newTransE(numEnt, numRel, dim, r), nil
+	case "TransH":
+		return newTransH(numEnt, numRel, dim, r), nil
+	case "TransD":
+		return newTransD(numEnt, numRel, dim, r), nil
+	case "RESCAL":
+		return newRESCAL(numEnt, numRel, dim, r), nil
+	case "SE":
+		return newSE(numEnt, numRel, dim, r), nil
+	default:
+		return nil, fmt.Errorf("embedding: unknown model %q (have TransE, TransH, TransD, RESCAL, SE)", model)
+	}
+}
+
+// ModelNames lists the trainable models in the order used by Table XIII.
+func ModelNames() []string { return []string{"TransE", "TransD", "TransH", "RESCAL", "SE"} }
+
+// Train fits the named model to the edges of g by SGD over a margin ranking
+// loss with uniform negative sampling (corrupting head or tail with equal
+// probability, re-drawing corrupted triples that exist in g).
+func Train(model string, g *kg.Graph, cfg TrainConfig) (*Trained, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	triples := Triples(g)
+	if len(triples) == 0 {
+		return nil, fmt.Errorf("embedding: graph has no edges to train on")
+	}
+	r := stats.NewRand(cfg.Seed)
+	sc, err := newScorer(model, g.NumNodes(), g.NumPredicates(), cfg.Dim, r)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	order := make([]int, len(triples))
+	for i := range order {
+		order[i] = i
+	}
+	finalLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		for _, idx := range order {
+			pos := triples[idx]
+			neg := corrupt(r, g, pos)
+			loss := cfg.Margin + sc.energy(int(pos.H), int(pos.R), int(pos.T)) -
+				sc.energy(int(neg.H), int(neg.R), int(neg.T))
+			if loss > 0 {
+				epochLoss += loss
+				sc.step(pos, neg, cfg.LearningRate)
+			}
+		}
+		sc.finishEpoch()
+		finalLoss = epochLoss / float64(len(triples))
+	}
+
+	out := &Trained{
+		PredVectors: PredVectors{ModelName: model},
+		TrainTime:   time.Since(start),
+		Params:      sc.paramCount(),
+		FinalLoss:   finalLoss,
+		sc:          sc,
+		numEnt:      g.NumNodes(),
+		numRel:      g.NumPredicates(),
+	}
+	out.Vecs = make([][]float64, g.NumPredicates())
+	for p := 0; p < g.NumPredicates(); p++ {
+		out.Vecs[p] = append([]float64(nil), sc.relVector(p)...)
+	}
+	if ev := sc.entVector(0); ev != nil {
+		out.EntVecs = make([][]float64, g.NumNodes())
+		for e := 0; e < g.NumNodes(); e++ {
+			out.EntVecs[e] = append([]float64(nil), sc.entVector(e)...)
+		}
+	}
+	return out, nil
+}
+
+// corrupt draws a negative triple by replacing head or tail with a random
+// entity, rejecting corruptions that are true edges (up to a retry budget —
+// a rarely hit guard on dense toy graphs).
+func corrupt(r *rand.Rand, g *kg.Graph, pos Triple) Triple {
+	n := kg.NodeID(g.NumNodes())
+	for tries := 0; tries < 16; tries++ {
+		neg := pos
+		if r.Intn(2) == 0 {
+			neg.H = kg.NodeID(r.Intn(int(n)))
+		} else {
+			neg.T = kg.NodeID(r.Intn(int(n)))
+		}
+		if neg.H == neg.T {
+			continue
+		}
+		if !g.HasEdge(neg.H, neg.R, neg.T) {
+			return neg
+		}
+	}
+	// Give up on filtering; an occasional false negative is harmless.
+	neg := pos
+	neg.H = kg.NodeID(r.Intn(int(n)))
+	return neg
+}

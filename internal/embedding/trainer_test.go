@@ -1,0 +1,243 @@
+package embedding
+
+import (
+	"bytes"
+	"testing"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/stats"
+)
+
+// trainGraph builds a graph large enough for margin training to have signal:
+// a bipartite pattern where relation "likes" links people to foods and
+// relation "locatedIn" links foods to countries.
+func trainGraph(t testing.TB) *kg.Graph {
+	t.Helper()
+	b := kg.NewBuilder()
+	r := stats.NewRand(13)
+	var people, foods, countries []kg.NodeID
+	for i := 0; i < 20; i++ {
+		people = append(people, b.AddNode(pname("p", i), "Person"))
+	}
+	for i := 0; i < 15; i++ {
+		foods = append(foods, b.AddNode(pname("f", i), "Food"))
+	}
+	for i := 0; i < 5; i++ {
+		countries = append(countries, b.AddNode(pname("c", i), "Country"))
+	}
+	for _, p := range people {
+		for k := 0; k < 3; k++ {
+			if err := b.AddEdge(p, "likes", foods[r.Intn(len(foods))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, f := range foods {
+		if err := b.AddEdge(f, "locatedIn", countries[r.Intn(len(countries))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func pname(prefix string, i int) string {
+	return prefix + string(rune('A'+i/10)) + string(rune('0'+i%10))
+}
+
+func quickCfg() TrainConfig {
+	return TrainConfig{Dim: 16, Epochs: 30, LearningRate: 0.05, Margin: 1.0, Seed: 3}
+}
+
+// rankingAccuracy measures how often a true triple scores above a corrupted
+// one under the trained link scorer.
+func rankingAccuracy(t *testing.T, g *kg.Graph, m *Trained) float64 {
+	t.Helper()
+	r := stats.NewRand(99)
+	triples := Triples(g)
+	wins, total := 0, 0
+	for _, tr := range triples {
+		for k := 0; k < 4; k++ {
+			neg := corrupt(r, g, tr)
+			if m.ScoreLink(tr.H, tr.R, tr.T) > m.ScoreLink(neg.H, neg.R, neg.T) {
+				wins++
+			}
+			total++
+		}
+	}
+	return float64(wins) / float64(total)
+}
+
+func TestTrainAllModelsRank(t *testing.T) {
+	g := trainGraph(t)
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := Train(name, g, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+			if m.Dim() == 0 {
+				t.Fatal("zero-dimensional predicate vectors")
+			}
+			acc := rankingAccuracy(t, g, m)
+			if acc < 0.70 {
+				t.Fatalf("%s ranking accuracy = %.2f, want ≥ 0.70", name, acc)
+			}
+			if m.Params <= 0 || m.MemoryBytes() <= 0 {
+				t.Fatal("parameter accounting missing")
+			}
+			if m.TrainTime <= 0 {
+				t.Fatal("train time not recorded")
+			}
+		})
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g := trainGraph(t)
+	m1, err := Train("TransE", g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train("TransE", g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range m1.Vecs {
+		for i := range m1.Vecs[p] {
+			if m1.Vecs[p][i] != m2.Vecs[p][i] {
+				t.Fatal("training not deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	g := kgtest.Figure1()
+	bad := []TrainConfig{
+		{Dim: 1, Epochs: 1, LearningRate: 0.1, Margin: 1},
+		{Dim: 8, Epochs: 0, LearningRate: 0.1, Margin: 1},
+		{Dim: 8, Epochs: 1, LearningRate: 0, Margin: 1},
+		{Dim: 8, Epochs: 1, LearningRate: 0.1, Margin: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Train("TransE", g, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainUnknownModel(t *testing.T) {
+	g := kgtest.Figure1()
+	if _, err := Train("BERT", g, quickCfg()); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestTrainEmptyGraph(t *testing.T) {
+	b := kg.NewBuilder()
+	b.AddNode("lonely", "T")
+	g := b.Build()
+	if _, err := Train("TransE", g, quickCfg()); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}
+
+func TestTriplesExtraction(t *testing.T) {
+	g := kgtest.Figure1()
+	ts := Triples(g)
+	if len(ts) != g.NumEdges() {
+		t.Fatalf("Triples = %d, want %d", len(ts), g.NumEdges())
+	}
+	for _, tr := range ts {
+		if !g.HasEdge(tr.H, tr.R, tr.T) {
+			t.Fatalf("extracted non-edge %v", tr)
+		}
+	}
+}
+
+func TestCorruptProducesNonEdges(t *testing.T) {
+	g := kgtest.Figure1()
+	r := stats.NewRand(17)
+	ts := Triples(g)
+	nonEdges := 0
+	for i := 0; i < 200; i++ {
+		pos := ts[r.Intn(len(ts))]
+		neg := corrupt(r, g, pos)
+		if neg == pos {
+			t.Fatal("corrupt returned the positive triple")
+		}
+		if !g.HasEdge(neg.H, neg.R, neg.T) {
+			nonEdges++
+		}
+	}
+	if nonEdges < 190 {
+		t.Fatalf("corrupt produced only %d/200 non-edges", nonEdges)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	g := trainGraph(t)
+	m, err := Train("TransE", g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "TransE" || l.Dim() != m.Dim() {
+		t.Fatalf("reloaded model = %s/%d, want TransE/%d", l.Name(), l.Dim(), m.Dim())
+	}
+	for p := range m.Vecs {
+		for i := range m.Vecs[p] {
+			if l.Vecs[p][i] != m.Vecs[p][i] {
+				t.Fatal("predicate vectors changed across persist")
+			}
+		}
+	}
+	if l.EntVecs == nil {
+		t.Fatal("entity vectors not persisted for trained model")
+	}
+	// Link scores agree (TransE energy is reconstructible from vectors).
+	tr := Triples(g)[0]
+	if got, want := l.ScoreLink(int32(tr.H), int32(tr.R), int32(tr.T)), m.ScoreLink(tr.H, tr.R, tr.T); !almostEq(got, want, 1e-9) {
+		t.Fatalf("reloaded ScoreLink = %v, want %v", got, want)
+	}
+}
+
+func TestPersistOracle(t *testing.T) {
+	g := kgtest.Figure1()
+	m, err := NewOracle(g, 16, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.EntVecs != nil {
+		t.Fatal("oracle snapshot should not carry entity vectors")
+	}
+	if l.ScoreLink(0, 0, 1) != 0 {
+		t.Fatal("ScoreLink without entity vectors should be 0")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package embedding
+
+import "math/rand"
+
+// transD (Ji et al., ACL 2015) builds dynamic projection matrices from
+// entity- and relation-specific projection vectors:
+// M_r,e = r_p e_pᵀ + I, so the projected entity is e⊥ = e + (e_p·e) r_p.
+// energy(h,r,t) = ||h⊥ + r - t⊥||². The translation r is the predicate
+// semantics exposed to the sampler.
+type transD struct {
+	ent  [][]float64
+	entP [][]float64 // entity projection vectors
+	rel  [][]float64
+	relP [][]float64 // relation projection vectors
+	dim  int
+}
+
+func newTransD(numEnt, numRel, dim int, r *rand.Rand) *transD {
+	m := &transD{dim: dim}
+	m.ent = make([][]float64, numEnt)
+	m.entP = make([][]float64, numEnt)
+	for i := range m.ent {
+		m.ent[i] = randUniform(r, dim)
+		Normalize(m.ent[i])
+		m.entP[i] = randUniform(r, dim)
+		Scale(m.entP[i], 0.1)
+	}
+	m.rel = make([][]float64, numRel)
+	m.relP = make([][]float64, numRel)
+	for i := range m.rel {
+		m.rel[i] = randUniform(r, dim)
+		Normalize(m.rel[i])
+		m.relP[i] = randUniform(r, dim)
+		Scale(m.relP[i], 0.1)
+	}
+	return m
+}
+
+func (m *transD) name() string { return "TransD" }
+
+func (m *transD) paramCount() int {
+	return 2*len(m.ent)*m.dim + 2*len(m.rel)*m.dim
+}
+
+// residual computes e = h⊥ + r - t⊥ and returns the projection coefficients
+// (h_p·h) and (t_p·t) needed by the gradients.
+func (m *transD) residual(h, r, t int, out []float64) (ph, pt float64) {
+	hv, tv, rv, rp := m.ent[h], m.ent[t], m.rel[r], m.relP[r]
+	ph = Dot(m.entP[h], hv)
+	pt = Dot(m.entP[t], tv)
+	for i := 0; i < m.dim; i++ {
+		hp := hv[i] + ph*rp[i]
+		tp := tv[i] + pt*rp[i]
+		out[i] = hp + rv[i] - tp
+	}
+	return ph, pt
+}
+
+func (m *transD) energy(h, r, t int) float64 {
+	e := make([]float64, m.dim)
+	m.residual(h, r, t, e)
+	return Dot(e, e)
+}
+
+// step applies analytic gradients of E = ||e||²,
+// e = h + (h_p·h) r_p + r - t - (t_p·t) r_p:
+//
+//	∂E/∂h   = 2(e + h_p (r_p·e))      ∂E/∂t   = -2(e + t_p (r_p·e))
+//	∂E/∂h_p = 2(r_p·e) h              ∂E/∂t_p = -2(r_p·e) t
+//	∂E/∂r   = 2e
+//	∂E/∂r_p = 2[(h_p·h) - (t_p·t)] e
+func (m *transD) step(pos, neg Triple, lr float64) {
+	m.applyGrad(int(pos.H), int(pos.R), int(pos.T), -lr)
+	m.applyGrad(int(neg.H), int(neg.R), int(neg.T), +lr)
+}
+
+func (m *transD) applyGrad(h, r, t int, scale float64) {
+	e := make([]float64, m.dim)
+	ph, pt := m.residual(h, r, t, e)
+	hv, tv, rv := m.ent[h], m.ent[t], m.rel[r]
+	hp, tp, rp := m.entP[h], m.entP[t], m.relP[r]
+	rpe := Dot(rp, e)
+	// Snapshot entity vectors so projection-vector gradients use pre-update
+	// values.
+	h0 := append([]float64(nil), hv...)
+	t0 := append([]float64(nil), tv...)
+	for i := 0; i < m.dim; i++ {
+		hv[i] += scale * 2 * (e[i] + hp[i]*rpe)
+		tv[i] -= scale * 2 * (e[i] + tp[i]*rpe)
+		hp[i] += scale * 2 * rpe * h0[i]
+		tp[i] -= scale * 2 * rpe * t0[i]
+		rv[i] += scale * 2 * e[i]
+		rp[i] += scale * 2 * (ph - pt) * e[i]
+	}
+}
+
+func (m *transD) finishEpoch() {
+	for _, v := range m.ent {
+		Normalize(v)
+	}
+	// Keep projection vectors bounded so projections stay well-conditioned.
+	for _, v := range m.entP {
+		if Norm(v) > 1 {
+			Normalize(v)
+		}
+	}
+	for _, v := range m.relP {
+		if Norm(v) > 1 {
+			Normalize(v)
+		}
+	}
+}
+
+func (m *transD) relVector(r int) []float64 { return m.rel[r] }
+func (m *transD) entVector(e int) []float64 { return m.ent[e] }

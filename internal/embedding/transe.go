@@ -1,0 +1,69 @@
+package embedding
+
+import "math/rand"
+
+// transE implements the classic translation model of Bordes et al. (NIPS
+// 2013): energy(h,r,t) = ||h + r - t||² with entity vectors kept on the unit
+// sphere. Its relation vectors are the predicate semantics consumed by the
+// sampler.
+type transE struct {
+	ent [][]float64
+	rel [][]float64
+	dim int
+}
+
+func newTransE(numEnt, numRel, dim int, r *rand.Rand) *transE {
+	m := &transE{dim: dim}
+	m.ent = make([][]float64, numEnt)
+	for i := range m.ent {
+		m.ent[i] = randUniform(r, dim)
+		Normalize(m.ent[i])
+	}
+	m.rel = make([][]float64, numRel)
+	for i := range m.rel {
+		m.rel[i] = randUniform(r, dim)
+		Normalize(m.rel[i])
+	}
+	return m
+}
+
+func (m *transE) name() string { return "TransE" }
+
+func (m *transE) paramCount() int { return (len(m.ent) + len(m.rel)) * m.dim }
+
+func (m *transE) energy(h, r, t int) float64 {
+	e := 0.0
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	for i := 0; i < m.dim; i++ {
+		d := hv[i] + rv[i] - tv[i]
+		e += d * d
+	}
+	return e
+}
+
+// step applies one margin-loss SGD update. For energy E = ||h+r-t||² the
+// gradients are ∂E/∂h = 2(h+r-t), ∂E/∂r = 2(h+r-t), ∂E/∂t = -2(h+r-t); the
+// positive triple descends, the negative ascends.
+func (m *transE) step(pos, neg Triple, lr float64) {
+	m.applyGrad(int(pos.H), int(pos.R), int(pos.T), -lr)
+	m.applyGrad(int(neg.H), int(neg.R), int(neg.T), +lr)
+}
+
+func (m *transE) applyGrad(h, r, t int, scale float64) {
+	hv, rv, tv := m.ent[h], m.rel[r], m.ent[t]
+	for i := 0; i < m.dim; i++ {
+		g := 2 * (hv[i] + rv[i] - tv[i]) * scale
+		hv[i] += g
+		rv[i] += g
+		tv[i] -= g
+	}
+}
+
+func (m *transE) finishEpoch() {
+	for _, v := range m.ent {
+		Normalize(v)
+	}
+}
+
+func (m *transE) relVector(r int) []float64 { return m.rel[r] }
+func (m *transE) entVector(e int) []float64 { return m.ent[e] }

@@ -1,0 +1,97 @@
+package embedding
+
+import "math/rand"
+
+// transH (Wang et al., AAAI 2014) projects entities onto a relation-specific
+// hyperplane before translating: with unit normal w and translation d,
+// energy(h,r,t) = ||h⊥ + d - t⊥||² where x⊥ = x - (w·x)w. The translation
+// vector d is the predicate semantics exposed to the sampler.
+type transH struct {
+	ent [][]float64
+	d   [][]float64 // translation per relation
+	w   [][]float64 // unit hyperplane normal per relation
+	dim int
+}
+
+func newTransH(numEnt, numRel, dim int, r *rand.Rand) *transH {
+	m := &transH{dim: dim}
+	m.ent = make([][]float64, numEnt)
+	for i := range m.ent {
+		m.ent[i] = randUniform(r, dim)
+		Normalize(m.ent[i])
+	}
+	m.d = make([][]float64, numRel)
+	m.w = make([][]float64, numRel)
+	for i := range m.d {
+		m.d[i] = randUniform(r, dim)
+		Normalize(m.d[i])
+		m.w[i] = randUnit(r, dim)
+	}
+	return m
+}
+
+func (m *transH) name() string { return "TransH" }
+
+func (m *transH) paramCount() int { return len(m.ent)*m.dim + 2*len(m.d)*m.dim }
+
+// residual computes e = h⊥ + d - t⊥ for relation r.
+func (m *transH) residual(h, r, t int, out []float64) {
+	hv, tv, dv, wv := m.ent[h], m.ent[t], m.d[r], m.w[r]
+	wh := Dot(wv, hv)
+	wt := Dot(wv, tv)
+	for i := 0; i < m.dim; i++ {
+		hp := hv[i] - wh*wv[i]
+		tp := tv[i] - wt*wv[i]
+		out[i] = hp + dv[i] - tp
+	}
+}
+
+func (m *transH) energy(h, r, t int) float64 {
+	e := make([]float64, m.dim)
+	m.residual(h, r, t, e)
+	return Dot(e, e)
+}
+
+// step applies analytic gradients of E = ||e||², e = h⊥ + d - t⊥:
+//
+//	∂E/∂h = 2(I - wwᵀ)e        ∂E/∂t = -2(I - wwᵀ)e
+//	∂E/∂d = 2e
+//	∂E/∂w = 2[(t-h)(w·e) + ((t-h)·w) e]
+func (m *transH) step(pos, neg Triple, lr float64) {
+	m.applyGrad(int(pos.H), int(pos.R), int(pos.T), -lr)
+	m.applyGrad(int(neg.H), int(neg.R), int(neg.T), +lr)
+}
+
+func (m *transH) applyGrad(h, r, t int, scale float64) {
+	e := make([]float64, m.dim)
+	m.residual(h, r, t, e)
+	hv, tv, dv, wv := m.ent[h], m.ent[t], m.d[r], m.w[r]
+	we := Dot(wv, e)
+	// Snapshot (t-h) so the w gradient uses pre-update entity values.
+	th := make([]float64, m.dim)
+	thW := 0.0
+	for i := 0; i < m.dim; i++ {
+		th[i] = tv[i] - hv[i]
+		thW += th[i] * wv[i]
+	}
+	for i := 0; i < m.dim; i++ {
+		proj := 2 * (e[i] - we*wv[i]) // (I - wwᵀ)e, doubled
+		hv[i] += scale * proj
+		tv[i] -= scale * proj
+		dv[i] += scale * 2 * e[i]
+		wv[i] += scale * 2 * (th[i]*we + thW*e[i])
+	}
+	Normalize(wv)
+}
+
+func (m *transH) finishEpoch() {
+	for _, v := range m.ent {
+		Normalize(v)
+	}
+	for _, v := range m.w {
+		Normalize(v)
+	}
+}
+
+func (m *transH) relVector(r int) []float64 { return m.d[r] }
+func (m *transH) entVector(e int) []float64 { return m.ent[e] }

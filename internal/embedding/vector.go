@@ -1,0 +1,115 @@
+// Package embedding provides the knowledge-graph embedding substrate of the
+// paper (§III, Table XIII): d-dimensional predicate (and entity) vectors
+// whose cosine similarity captures predicate semantics (Eq. 4).
+//
+// Two families are provided:
+//
+//   - An Oracle model constructed from known predicate semantic clusters.
+//     The synthetic dataset generator knows which predicates mean the same
+//     thing, so it can produce vectors with prescribed cosine similarity to
+//     each cluster centre. This plays the role of the converged offline
+//     embedding the paper assumes as input (its Algorithm 2 line 1).
+//   - Five trainable models — TransE, TransH, TransD (translation family),
+//     RESCAL (tensor factorisation) and SE (relation-specific projections) —
+//     trained by SGD on a margin ranking loss with negative sampling,
+//     reproducing the embedding comparison of Table XIII.
+package embedding
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dot returns the inner product of a and b (which must have equal length).
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Cosine returns the cosine similarity of a and b, and 0 when either vector
+// is all-zero.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Normalize scales a to unit norm in place. Zero vectors are left unchanged.
+func Normalize(a []float64) {
+	n := Norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}
+
+// Scale multiplies a by s in place.
+func Scale(a []float64, s float64) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// AddScaled performs dst += s*src in place.
+func AddScaled(dst []float64, s float64, src []float64) {
+	for i := range dst {
+		dst[i] += s * src[i]
+	}
+}
+
+// Sub returns a-b as a new vector.
+func Sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// randUnit draws a uniformly random unit vector of dimension d.
+func randUnit(r *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for {
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		if Norm(v) > 1e-9 {
+			break
+		}
+	}
+	Normalize(v)
+	return v
+}
+
+// randUniform draws a vector with entries uniform in [-6/sqrt(d), 6/sqrt(d)],
+// the classic TransE initialisation.
+func randUniform(r *rand.Rand, d int) []float64 {
+	bound := 6 / math.Sqrt(float64(d))
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = (r.Float64()*2 - 1) * bound
+	}
+	return v
+}
+
+// orthogonalTo returns a random unit vector orthogonal to the unit vector c.
+func orthogonalTo(r *rand.Rand, c []float64) []float64 {
+	for {
+		u := randUnit(r, len(c))
+		AddScaled(u, -Dot(u, c), c) // remove the component along c
+		if Norm(u) > 1e-6 {
+			Normalize(u)
+			return u
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kgaq/internal/stats"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotNormCosine(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	c := []float64{2, 0, 0}
+	if Dot(a, b) != 0 {
+		t.Fatal("orthogonal dot != 0")
+	}
+	if Norm(c) != 2 {
+		t.Fatalf("Norm = %v, want 2", Norm(c))
+	}
+	if Cosine(a, c) != 1 {
+		t.Fatalf("Cosine parallel = %v, want 1", Cosine(a, c))
+	}
+	if Cosine(a, b) != 0 {
+		t.Fatalf("Cosine orthogonal = %v, want 0", Cosine(a, b))
+	}
+	if Cosine(a, []float64{0, 0, 0}) != 0 {
+		t.Fatal("Cosine with zero vector should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	Normalize(v)
+	if !almostEq(Norm(v), 1, 1e-12) {
+		t.Fatalf("Norm after Normalize = %v", Norm(v))
+	}
+	z := []float64{0, 0}
+	Normalize(z) // must not panic or produce NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("Normalize changed the zero vector")
+	}
+}
+
+func TestAddScaledSub(t *testing.T) {
+	a := []float64{1, 2}
+	AddScaled(a, 2, []float64{3, 4})
+	if a[0] != 7 || a[1] != 10 {
+		t.Fatalf("AddScaled = %v", a)
+	}
+	d := Sub([]float64{5, 5}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 2 {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestRandUnitIsUnit(t *testing.T) {
+	r := stats.NewRand(3)
+	for i := 0; i < 20; i++ {
+		v := randUnit(r, 16)
+		if !almostEq(Norm(v), 1, 1e-9) {
+			t.Fatalf("randUnit norm = %v", Norm(v))
+		}
+	}
+}
+
+func TestOrthogonalTo(t *testing.T) {
+	r := stats.NewRand(5)
+	c := randUnit(r, 16)
+	for i := 0; i < 20; i++ {
+		u := orthogonalTo(r, c)
+		if !almostEq(Dot(u, c), 0, 1e-9) {
+			t.Fatalf("orthogonalTo dot = %v", Dot(u, c))
+		}
+		if !almostEq(Norm(u), 1, 1e-9) {
+			t.Fatalf("orthogonalTo norm = %v", Norm(u))
+		}
+	}
+}
+
+// Property: Cosine is symmetric and bounded in [-1, 1].
+func TestCosineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		d := 2 + r.Intn(16)
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		c1 := Cosine(a, b)
+		c2 := Cosine(b, a)
+		return almostEq(c1, c2, 1e-12) && c1 >= -1-1e-12 && c1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

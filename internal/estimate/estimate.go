@@ -1,0 +1,284 @@
+// Package estimate implements the approximate-result estimation and
+// accuracy-guarantee layers of the paper (§IV-B, §IV-C): Horvitz–Thompson
+// style estimators for COUNT and SUM (unbiased) and AVG (consistent) over
+// the non-uniform sample drawn from the stationary answer distribution π′,
+// confidence intervals via the Central Limit Theorem with the Bag of Little
+// Bootstraps variance estimate, the Theorem 2 termination test, and the
+// error-based sample-size configuration of Eq. 12.
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kgaq/internal/query"
+	"kgaq/internal/stats"
+)
+
+// Observation is one sampled answer after correctness validation: its
+// aggregated attribute value, its per-draw probability π′, and the
+// validation verdict (semantic similarity ≥ τ and all filters passed).
+type Observation struct {
+	Value   float64
+	Prob    float64
+	Correct bool
+}
+
+// DivisorPolicy selects the estimator normalisation (see DESIGN.md).
+type DivisorPolicy int
+
+const (
+	// SampleSize divides by |S| and weights by the correctness indicator —
+	// the provably unbiased importance-sampling form, and the default.
+	SampleSize DivisorPolicy = iota
+	// CorrectOnly divides by |S⁺| and sums over the validated answers only,
+	// the paper's printed Eq. 7–8. It coincides with SampleSize when every
+	// sampled answer validates; otherwise it overestimates by |S|/|S⁺|.
+	CorrectOnly
+)
+
+// String names the policy.
+func (p DivisorPolicy) String() string {
+	if p == CorrectOnly {
+		return "correct-only"
+	}
+	return "sample-size"
+}
+
+// ErrNoObservations is returned when an estimate is requested over an empty
+// sample.
+var ErrNoObservations = fmt.Errorf("estimate: no observations")
+
+// ErrNoCorrect is returned when an estimator that needs at least one correct
+// answer (AVG, MAX, MIN, or any CorrectOnly estimate) sees none.
+var ErrNoCorrect = fmt.Errorf("estimate: no correct answers in sample")
+
+// Estimate computes the point estimate V̂ = f̂ₐ(S) (Eq. 7–9). COUNT ignores
+// observation values. MAX and MIN return the extreme value among correct
+// observations — supported without an accuracy guarantee, as in §VII.
+func Estimate(fn query.AggFunc, obs []Observation, pol DivisorPolicy) (float64, error) {
+	if len(obs) == 0 {
+		return 0, ErrNoObservations
+	}
+	switch fn {
+	case query.Count, query.Sum:
+		num, nCorrect := htSum(fn, obs)
+		switch pol {
+		case CorrectOnly:
+			if nCorrect == 0 {
+				return 0, ErrNoCorrect
+			}
+			return num / float64(nCorrect), nil
+		default:
+			return num / float64(len(obs)), nil
+		}
+	case query.Avg:
+		// Ratio estimator (Eq. 9): divisors cancel, so AVG is identical
+		// under both policies.
+		sum, _ := htSum(query.Sum, obs)
+		cnt, nCorrect := htSum(query.Count, obs)
+		if nCorrect == 0 || cnt == 0 {
+			return 0, ErrNoCorrect
+		}
+		return sum / cnt, nil
+	case query.Max, query.Min:
+		best := math.NaN()
+		for _, o := range obs {
+			if !o.Correct {
+				continue
+			}
+			if math.IsNaN(best) ||
+				(fn == query.Max && o.Value > best) ||
+				(fn == query.Min && o.Value < best) {
+				best = o.Value
+			}
+		}
+		if math.IsNaN(best) {
+			return 0, ErrNoCorrect
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("estimate: unsupported aggregate %v", fn)
+	}
+}
+
+// htSum returns Σ_{correct} v/π′ (v = 1 for COUNT) and the number of correct
+// observations.
+func htSum(fn query.AggFunc, obs []Observation) (float64, int) {
+	sum := 0.0
+	n := 0
+	for _, o := range obs {
+		if !o.Correct || o.Prob <= 0 {
+			continue
+		}
+		n++
+		v := 1.0
+		if fn != query.Count {
+			v = o.Value
+		}
+		sum += v / o.Prob
+	}
+	return sum, n
+}
+
+// GuaranteeConfig tunes the confidence-interval machinery of §IV-C.
+type GuaranteeConfig struct {
+	// Confidence is 1-α (default 0.95).
+	Confidence float64
+	// T is the number of BLB small samples (paper: t ≥ 3).
+	T int
+	// B is the number of bootstrap resamples per small sample (paper: ≥50).
+	B int
+	// M is the BLB scale factor m ∈ [0.5, 1] (paper: 0.6).
+	M float64
+}
+
+// DefaultGuarantee returns the paper's default configuration.
+func DefaultGuarantee() GuaranteeConfig {
+	return GuaranteeConfig{Confidence: 0.95, T: 3, B: 50, M: 0.6}
+}
+
+func (c GuaranteeConfig) withDefaults() GuaranteeConfig {
+	d := DefaultGuarantee()
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = d.Confidence
+	}
+	if c.T <= 0 {
+		c.T = d.T
+	}
+	if c.B <= 0 {
+		c.B = d.B
+	}
+	if c.M <= 0 || c.M > 1 {
+		c.M = d.M
+	}
+	return c
+}
+
+// MoE estimates the margin of error ε of the confidence interval V̂ ± ε at
+// the configured confidence level using the Bag of Little Bootstraps
+// (§IV-C): the sample is split into T small samples; each is bootstrapped B
+// times with resamples of size |S| — the size of the full collected sample,
+// so the bootstrap distribution matches the estimator actually reported;
+// Eq. 11 turns the resample estimates into a σ, Eq. 10 into an ε; the final
+// ε is the mean over small samples.
+func MoE(fn query.AggFunc, obs []Observation, pol DivisorPolicy,
+	cfg GuaranteeConfig, r *rand.Rand) (float64, error) {
+
+	cfg = cfg.withDefaults()
+	if len(obs) == 0 {
+		return 0, ErrNoObservations
+	}
+	resampleN := len(obs)
+	z := stats.ZCritical(cfg.Confidence)
+
+	t := cfg.T
+	if t > len(obs) {
+		t = len(obs)
+	}
+	chunk := len(obs) / t
+	if chunk == 0 {
+		chunk = 1
+	}
+	var eps []float64
+	for i := 0; i < t; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if i == t-1 {
+			hi = len(obs)
+		}
+		small := obs[lo:hi]
+		sigma, err := bootstrapSigma(fn, small, pol, resampleN, cfg.B, r)
+		if err != nil {
+			// A small sample without correct answers contributes no ε; skip
+			// it rather than failing the whole guarantee round.
+			continue
+		}
+		eps = append(eps, z*sigma)
+	}
+	if len(eps) == 0 {
+		return 0, ErrNoCorrect
+	}
+	return stats.Mean(eps), nil
+}
+
+// bootstrapSigma estimates σ_V̂ per Eq. 11 over B resamples of size
+// resampleN drawn with replacement from small.
+func bootstrapSigma(fn query.AggFunc, small []Observation, pol DivisorPolicy,
+	resampleN, b int, r *rand.Rand) (float64, error) {
+
+	ests := make([]float64, 0, b)
+	resample := make([]Observation, resampleN)
+	for rep := 0; rep < b; rep++ {
+		for i := range resample {
+			resample[i] = small[r.Intn(len(small))]
+		}
+		v, err := Estimate(fn, resample, pol)
+		if err != nil {
+			continue
+		}
+		ests = append(ests, v)
+	}
+	if len(ests) < 2 {
+		return 0, ErrNoCorrect
+	}
+	return stats.StdDev(ests), nil
+}
+
+// Target returns the Theorem 2 MoE target V̂·eb/(1+eb): once ε is at or
+// below it, |V̂−V|/V ≤ eb holds with the configured confidence.
+func Target(vhat, eb float64) float64 {
+	return math.Abs(vhat) * eb / (1 + eb)
+}
+
+// Satisfied reports the Theorem 2 termination condition ε ≤ V̂·eb/(1+eb).
+// A zero estimate never satisfies it (the target collapses to zero).
+func Satisfied(vhat, moe, eb float64) bool {
+	if vhat == 0 {
+		return false
+	}
+	return moe <= Target(vhat, eb)
+}
+
+// NextSampleSize returns |ΔS| per Eq. 12: the number of additional answers
+// to collect so that ε shrinks to the Theorem 2 target, assuming σ ∝ 1/√N.
+// It returns at least 1 whenever the termination condition is unmet.
+func NextSampleSize(curSize int, moe, vhat, eb, m float64) int {
+	tgt := Target(vhat, eb)
+	if tgt <= 0 || moe <= tgt {
+		return 0
+	}
+	if m <= 0 || m > 1 {
+		m = 0.6
+	}
+	ratio := moe / tgt
+	delta := int(float64(curSize) * (math.Pow(ratio, 2*m) - 1))
+	if delta < 1 {
+		delta = 1
+	}
+	return delta
+}
+
+// Interval is a confidence interval V̂ ± ε with its confidence level.
+type Interval struct {
+	Estimate   float64
+	MoE        float64
+	Confidence float64
+}
+
+// Low returns the lower bound of the interval.
+func (iv Interval) Low() float64 { return iv.Estimate - iv.MoE }
+
+// High returns the upper bound of the interval.
+func (iv Interval) High() float64 { return iv.Estimate + iv.MoE }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool {
+	return v >= iv.Low() && v <= iv.High()
+}
+
+// String renders the interval for logs and the CLI.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (%.0f%%)", iv.Estimate, iv.MoE, iv.Confidence*100)
+}

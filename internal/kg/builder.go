@@ -1,0 +1,177 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes, edges and attributes and produces an immutable
+// Graph. It is not safe for concurrent use.
+type Builder struct {
+	g        *Graph
+	nodeSeen map[string]NodeID
+	edgeSeen map[edgeKey]bool
+	dedupe   bool
+}
+
+type edgeKey struct {
+	src, dst NodeID
+	pred     PredID
+}
+
+// NewBuilder returns an empty Builder. Duplicate edges (same src, pred, dst)
+// are silently collapsed.
+func NewBuilder() *Builder {
+	return &Builder{
+		g: &Graph{
+			nameIndex: map[string]NodeID{},
+			predIndex: map[string]PredID{},
+			typeIndex: map[string]TypeID{},
+			attrIndex: map[string]AttrID{},
+			byType:    map[TypeID][]NodeID{},
+		},
+		nodeSeen: map[string]NodeID{},
+		edgeSeen: map[edgeKey]bool{},
+		dedupe:   true,
+	}
+}
+
+// AddNode inserts a node with the given unique name and types, returning its
+// id. Adding an existing name returns the existing node and merges any new
+// types into it (knowledge graphs are assembled from multiple sources, so
+// type information may arrive incrementally).
+func (b *Builder) AddNode(name string, types ...string) NodeID {
+	if id, ok := b.nodeSeen[name]; ok {
+		for _, t := range types {
+			b.addTypeTo(id, t)
+		}
+		return id
+	}
+	id := NodeID(len(b.g.names))
+	b.g.names = append(b.g.names, name)
+	b.g.types = append(b.g.types, nil)
+	b.g.attrs = append(b.g.attrs, nil)
+	b.g.adj = append(b.g.adj, nil)
+	b.g.nameIndex[name] = id
+	b.nodeSeen[name] = id
+	for _, t := range types {
+		b.addTypeTo(id, t)
+	}
+	return id
+}
+
+func (b *Builder) addTypeTo(id NodeID, t string) {
+	tid := b.internType(t)
+	ts := b.g.types[id]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= tid })
+	if i < len(ts) && ts[i] == tid {
+		return
+	}
+	ts = append(ts, 0)
+	copy(ts[i+1:], ts[i:])
+	ts[i] = tid
+	b.g.types[id] = ts
+}
+
+func (b *Builder) internType(t string) TypeID {
+	if id, ok := b.g.typeIndex[t]; ok {
+		return id
+	}
+	id := TypeID(len(b.g.typeNames))
+	b.g.typeNames = append(b.g.typeNames, t)
+	b.g.typeIndex[t] = id
+	return id
+}
+
+func (b *Builder) internPred(p string) PredID {
+	if id, ok := b.g.predIndex[p]; ok {
+		return id
+	}
+	id := PredID(len(b.g.predNames))
+	b.g.predNames = append(b.g.predNames, p)
+	b.g.predIndex[p] = id
+	return id
+}
+
+func (b *Builder) internAttr(a string) AttrID {
+	if id, ok := b.g.attrIndex[a]; ok {
+		return id
+	}
+	id := AttrID(len(b.g.attrNames))
+	b.g.attrNames = append(b.g.attrNames, a)
+	b.g.attrIndex[a] = id
+	return id
+}
+
+// AddEdge inserts the directed edge src --pred--> dst. Both endpoints must
+// already exist. Self-loops are rejected: the only self-loop in the system
+// is the virtual aperiodicity loop added by the walk engine (§IV-A2), which
+// is never materialised in storage.
+func (b *Builder) AddEdge(src NodeID, pred string, dst NodeID) error {
+	if int(src) >= len(b.g.names) || src < 0 {
+		return fmt.Errorf("kg: AddEdge: source node %d out of range", src)
+	}
+	if int(dst) >= len(b.g.names) || dst < 0 {
+		return fmt.Errorf("kg: AddEdge: destination node %d out of range", dst)
+	}
+	if src == dst {
+		return fmt.Errorf("kg: AddEdge: self-loop on node %q rejected", b.g.names[src])
+	}
+	pid := b.internPred(pred)
+	k := edgeKey{src: src, dst: dst, pred: pid}
+	if b.dedupe && b.edgeSeen[k] {
+		return nil
+	}
+	b.edgeSeen[k] = true
+	b.g.adj[src] = append(b.g.adj[src], HalfEdge{To: dst, Pred: pid, Out: true})
+	b.g.adj[dst] = append(b.g.adj[dst], HalfEdge{To: src, Pred: pid, Out: false})
+	b.g.numEdges++
+	return nil
+}
+
+// SetAttr sets numeric attribute name=value on node u, overwriting any
+// previous value.
+func (b *Builder) SetAttr(u NodeID, name string, value float64) error {
+	if int(u) >= len(b.g.names) || u < 0 {
+		return fmt.Errorf("kg: SetAttr: node %d out of range", u)
+	}
+	aid := b.internAttr(name)
+	as := b.g.attrs[u]
+	i := sort.Search(len(as), func(i int) bool { return as[i].Attr >= aid })
+	if i < len(as) && as[i].Attr == aid {
+		as[i].Value = value
+		return nil
+	}
+	as = append(as, AttrValue{})
+	copy(as[i+1:], as[i:])
+	as[i] = AttrValue{Attr: aid, Value: value}
+	b.g.attrs[u] = as
+	return nil
+}
+
+// NodeByName returns the id of a previously added node, or InvalidNode.
+func (b *Builder) NodeByName(name string) NodeID {
+	if id, ok := b.nodeSeen[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.g.names) }
+
+// Build finalises the graph: type→nodes index is materialised and the
+// builder is reset so the Graph can no longer be mutated through it.
+func (b *Builder) Build() *Graph {
+	g := b.g
+	for id := range g.names {
+		for _, t := range g.types[id] {
+			g.byType[t] = append(g.byType[t], NodeID(id))
+		}
+	}
+	// NodeIDs were appended in ascending order, so byType lists are sorted.
+	b.g = nil
+	b.nodeSeen = nil
+	b.edgeSeen = nil
+	return g
+}

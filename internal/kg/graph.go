@@ -1,0 +1,230 @@
+// Package kg implements the knowledge-graph storage substrate: an in-memory
+// property graph in the shape required by Definition 1 of the paper — typed,
+// uniquely named entities carrying numeric attributes, connected by
+// predicate-labelled directed edges.
+//
+// The package provides a builder for programmatic construction, loaders for
+// an N-Triples subset and a TSV layout (real RDF tooling for Go is thin, so
+// kgaq ships its own manual loaders), gob-based snapshot persistence, and the
+// bounded-neighbourhood extraction used by both the SSB baseline and the
+// semantic-aware random walk.
+//
+// Node adjacency is stored in both directions: the paper's random walk and
+// subgraph matches traverse edges irrespective of orientation (e.g. the walk
+// steps from Germany to BMW_320 against the direction of the assembly edge),
+// while the original orientation is preserved on each half-edge for loaders,
+// exact SPARQL-style matching and link-prediction baselines.
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense, starting at 0.
+type NodeID int32
+
+// PredID identifies a predicate label within a Graph's vocabulary.
+type PredID int32
+
+// TypeID identifies a node type within a Graph's vocabulary.
+type TypeID int32
+
+// AttrID identifies a numeric attribute name within a Graph's vocabulary.
+type AttrID int32
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode NodeID = -1
+
+// InvalidPred is returned by lookups that find no predicate.
+const InvalidPred PredID = -1
+
+// InvalidType is returned by lookups that find no type.
+const InvalidType TypeID = -1
+
+// InvalidAttr is returned by lookups that find no attribute.
+const InvalidAttr AttrID = -1
+
+// HalfEdge is one directed traversal option out of a node. Every stored edge
+// (u --pred--> v) appears twice: as {To: v, Out: true} in u's adjacency and
+// as {To: u, Out: false} in v's adjacency.
+type HalfEdge struct {
+	To   NodeID
+	Pred PredID
+	Out  bool // true when this half-edge follows the stored orientation
+}
+
+// AttrValue is one numeric attribute of a node.
+type AttrValue struct {
+	Attr  AttrID
+	Value float64
+}
+
+// Graph is an immutable in-memory knowledge graph. Build one with a Builder
+// or a loader. All exported methods are safe for concurrent readers.
+type Graph struct {
+	names []string      // node name, unique (entity disambiguation assumed)
+	types [][]TypeID    // sorted type ids per node
+	attrs [][]AttrValue // sorted by AttrID per node
+	adj   [][]HalfEdge
+
+	predNames []string
+	typeNames []string
+	attrNames []string
+
+	nameIndex map[string]NodeID
+	predIndex map[string]PredID
+	typeIndex map[string]TypeID
+	attrIndex map[string]AttrID
+	byType    map[TypeID][]NodeID
+
+	numEdges int
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the number of stored (directed) edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumPredicates returns the size of the predicate vocabulary.
+func (g *Graph) NumPredicates() int { return len(g.predNames) }
+
+// NumTypes returns the size of the type vocabulary.
+func (g *Graph) NumTypes() int { return len(g.typeNames) }
+
+// NumAttrs returns the size of the numeric attribute vocabulary.
+func (g *Graph) NumAttrs() int { return len(g.attrNames) }
+
+// Name returns the unique name of node u.
+func (g *Graph) Name(u NodeID) string { return g.names[u] }
+
+// Types returns the sorted type ids of node u. The returned slice must not
+// be modified.
+func (g *Graph) Types(u NodeID) []TypeID { return g.types[u] }
+
+// HasType reports whether node u carries type t.
+func (g *Graph) HasType(u NodeID, t TypeID) bool {
+	ts := g.types[u]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+	return i < len(ts) && ts[i] == t
+}
+
+// SharesType reports whether node u carries at least one of the given types,
+// the candidate-answer condition of Definition 4.
+func (g *Graph) SharesType(u NodeID, ts []TypeID) bool {
+	for _, t := range ts {
+		if g.HasType(u, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Attr returns the value of attribute a on node u, and whether it is set.
+func (g *Graph) Attr(u NodeID, a AttrID) (float64, bool) {
+	as := g.attrs[u]
+	i := sort.Search(len(as), func(i int) bool { return as[i].Attr >= a })
+	if i < len(as) && as[i].Attr == a {
+		return as[i].Value, true
+	}
+	return 0, false
+}
+
+// Attrs returns all numeric attributes of node u, sorted by AttrID. The
+// returned slice must not be modified.
+func (g *Graph) Attrs(u NodeID) []AttrValue { return g.attrs[u] }
+
+// Neighbors returns the half-edges out of node u (both orientations). The
+// returned slice must not be modified.
+func (g *Graph) Neighbors(u NodeID) []HalfEdge { return g.adj[u] }
+
+// Degree returns the number of half-edges at node u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// AvgDegree returns the average half-edge degree across all nodes.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.numEdges) / float64(len(g.adj))
+}
+
+// NodeByName returns the node with the given unique name, or InvalidNode.
+func (g *Graph) NodeByName(name string) NodeID {
+	if id, ok := g.nameIndex[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+// PredByName returns the predicate id for a label, or InvalidPred.
+func (g *Graph) PredByName(name string) PredID {
+	if id, ok := g.predIndex[name]; ok {
+		return id
+	}
+	return InvalidPred
+}
+
+// TypeByName returns the type id for a label, or InvalidType.
+func (g *Graph) TypeByName(name string) TypeID {
+	if id, ok := g.typeIndex[name]; ok {
+		return id
+	}
+	return InvalidType
+}
+
+// AttrByName returns the attribute id for a label, or InvalidAttr.
+func (g *Graph) AttrByName(name string) AttrID {
+	if id, ok := g.attrIndex[name]; ok {
+		return id
+	}
+	return InvalidAttr
+}
+
+// PredName returns the label of predicate p.
+func (g *Graph) PredName(p PredID) string { return g.predNames[p] }
+
+// TypeName returns the label of type t.
+func (g *Graph) TypeName(t TypeID) string { return g.typeNames[t] }
+
+// AttrName returns the label of attribute a.
+func (g *Graph) AttrName(a AttrID) string { return g.attrNames[a] }
+
+// PredNames returns the full predicate vocabulary. The returned slice must
+// not be modified.
+func (g *Graph) PredNames() []string { return g.predNames }
+
+// NodesByType returns all nodes carrying type t in ascending NodeID order.
+// The returned slice must not be modified.
+func (g *Graph) NodesByType(t TypeID) []NodeID { return g.byType[t] }
+
+// EachEdge calls fn for every stored edge in its original orientation
+// (src --pred--> dst). It stops early if fn returns false.
+func (g *Graph) EachEdge(fn func(src NodeID, pred PredID, dst NodeID) bool) {
+	for u, hes := range g.adj {
+		for _, he := range hes {
+			if he.Out {
+				if !fn(NodeID(u), he.Pred, he.To) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// HasEdge reports whether an edge src --pred--> dst is stored.
+func (g *Graph) HasEdge(src NodeID, pred PredID, dst NodeID) bool {
+	for _, he := range g.adj[src] {
+		if he.Out && he.To == dst && he.Pred == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarises the graph, handy in logs and the CLIs.
+func (g *Graph) String() string {
+	return fmt.Sprintf("kg.Graph{nodes: %d, edges: %d, types: %d, predicates: %d, attrs: %d}",
+		g.NumNodes(), g.NumEdges(), g.NumTypes(), g.NumPredicates(), g.NumAttrs())
+}

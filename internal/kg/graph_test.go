@@ -1,0 +1,235 @@
+package kg
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	de := b.AddNode("Germany", "Country")
+	bmw := b.AddNode("BMW_320", "Automobile", "MeanOfTransportation")
+	vw := b.AddNode("Volkswagen", "Company")
+	if err := b.AddEdge(bmw, "assembly", de); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(vw, "country", de); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetAttr(bmw, "price", 41250); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildSmall(t)
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.NumPredicates() != 2 {
+		t.Fatalf("NumPredicates = %d, want 2", g.NumPredicates())
+	}
+	bmw := g.NodeByName("BMW_320")
+	if bmw == InvalidNode {
+		t.Fatal("BMW_320 not found")
+	}
+	if got := g.Name(bmw); got != "BMW_320" {
+		t.Fatalf("Name = %q", got)
+	}
+	if v, ok := g.Attr(bmw, g.AttrByName("price")); !ok || v != 41250 {
+		t.Fatalf("price = %v, %v; want 41250, true", v, ok)
+	}
+	if _, ok := g.Attr(bmw, InvalidAttr); ok {
+		t.Fatal("Attr with invalid id should miss")
+	}
+}
+
+func TestBuilderNodeMerge(t *testing.T) {
+	b := NewBuilder()
+	a1 := b.AddNode("X", "T1")
+	a2 := b.AddNode("X", "T2")
+	if a1 != a2 {
+		t.Fatalf("same name produced two nodes: %d, %d", a1, a2)
+	}
+	g := b.Build()
+	x := g.NodeByName("X")
+	if !g.HasType(x, g.TypeByName("T1")) || !g.HasType(x, g.TypeByName("T2")) {
+		t.Fatal("types not merged on re-add")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u", "T")
+	if err := b.AddEdge(u, "p", u); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestBuilderRejectsBadIDs(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u", "T")
+	if err := b.AddEdge(u, "p", 42); err == nil {
+		t.Fatal("edge to unknown node accepted")
+	}
+	if err := b.AddEdge(-1, "p", u); err == nil {
+		t.Fatal("edge from negative node accepted")
+	}
+	if err := b.SetAttr(99, "a", 1); err == nil {
+		t.Fatal("attr on unknown node accepted")
+	}
+}
+
+func TestBuilderDedupesEdges(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u", "T")
+	v := b.AddNode("v", "T")
+	for i := 0; i < 3; i++ {
+		if err := b.AddEdge(u, "p", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (deduped)", g.NumEdges())
+	}
+}
+
+func TestAdjacencyBothDirections(t *testing.T) {
+	g := buildSmall(t)
+	de := g.NodeByName("Germany")
+	bmw := g.NodeByName("BMW_320")
+	// Germany must see BMW via the reversed assembly half-edge.
+	found := false
+	for _, he := range g.Neighbors(de) {
+		if he.To == bmw && !he.Out && g.PredName(he.Pred) == "assembly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reverse half-edge missing on Germany")
+	}
+	// BMW sees Germany via the forward half-edge.
+	found = false
+	for _, he := range g.Neighbors(bmw) {
+		if he.To == de && he.Out {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("forward half-edge missing on BMW_320")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildSmall(t)
+	de := g.NodeByName("Germany")
+	bmw := g.NodeByName("BMW_320")
+	p := g.PredByName("assembly")
+	if !g.HasEdge(bmw, p, de) {
+		t.Fatal("HasEdge(bmw, assembly, de) = false")
+	}
+	if g.HasEdge(de, p, bmw) {
+		t.Fatal("HasEdge should respect orientation")
+	}
+}
+
+func TestSharesType(t *testing.T) {
+	g := buildSmall(t)
+	bmw := g.NodeByName("BMW_320")
+	auto := g.TypeByName("Automobile")
+	country := g.TypeByName("Country")
+	if !g.SharesType(bmw, []TypeID{country, auto}) {
+		t.Fatal("SharesType missed Automobile")
+	}
+	if g.SharesType(bmw, []TypeID{country}) {
+		t.Fatal("SharesType false positive")
+	}
+}
+
+func TestNodesByType(t *testing.T) {
+	g := buildSmall(t)
+	autos := g.NodesByType(g.TypeByName("Automobile"))
+	if len(autos) != 1 || g.Name(autos[0]) != "BMW_320" {
+		t.Fatalf("NodesByType(Automobile) = %v", autos)
+	}
+	if got := g.NodesByType(InvalidType); len(got) != 0 {
+		t.Fatalf("NodesByType(invalid) = %v, want empty", got)
+	}
+}
+
+func TestEachEdgeAndStop(t *testing.T) {
+	g := buildSmall(t)
+	count := 0
+	g.EachEdge(func(src NodeID, pred PredID, dst NodeID) bool {
+		count++
+		return true
+	})
+	if count != g.NumEdges() {
+		t.Fatalf("EachEdge visited %d, want %d", count, g.NumEdges())
+	}
+	count = 0
+	g.EachEdge(func(src NodeID, pred PredID, dst NodeID) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("EachEdge early stop visited %d, want 1", count)
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	g := buildSmall(t)
+	if g.NodeByName("nope") != InvalidNode {
+		t.Fatal("NodeByName miss should be InvalidNode")
+	}
+	if g.PredByName("nope") != InvalidPred {
+		t.Fatal("PredByName miss should be InvalidPred")
+	}
+	if g.TypeByName("nope") != InvalidType {
+		t.Fatal("TypeByName miss should be InvalidType")
+	}
+	if g.AttrByName("nope") != InvalidAttr {
+		t.Fatal("AttrByName miss should be InvalidAttr")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := buildSmall(t)
+	s := g.String()
+	if !strings.Contains(s, "nodes: 3") || !strings.Contains(s, "edges: 2") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := buildSmall(t)
+	// 2 edges → 4 half-edges across 3 nodes.
+	want := 4.0 / 3.0
+	if got := g.AvgDegree(); got != want {
+		t.Fatalf("AvgDegree = %v, want %v", got, want)
+	}
+}
+
+func TestSetAttrOverwrite(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("u", "T")
+	if err := b.SetAttr(u, "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetAttr(u, "a", 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if v, _ := g.Attr(g.NodeByName("u"), g.AttrByName("a")); v != 2 {
+		t.Fatalf("attr after overwrite = %v, want 2", v)
+	}
+	if len(g.Attrs(g.NodeByName("u"))) != 1 {
+		t.Fatal("overwrite created a duplicate attribute")
+	}
+}

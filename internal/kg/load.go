@@ -1,0 +1,373 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Well-known predicates recognised by the N-Triples loader. Knowledge graphs
+// encode node metadata as ordinary triples; the loader folds these into the
+// property-graph model (types, names, numeric attributes) instead of storing
+// them as edges.
+const (
+	RDFType   = "rdf:type"
+	RDFSLabel = "rdfs:label"
+)
+
+// LoadError describes a malformed input line. Loaders collect all errors up
+// to a cap rather than aborting on the first, so a mostly-good dump still
+// loads; the caller decides whether the error budget is acceptable.
+type LoadError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("kg: line %d: %v (%q)", e.Line, e.Err, truncate(e.Text, 80))
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// NTOptions configures ReadNTriples.
+type NTOptions struct {
+	// MaxErrors aborts loading once this many malformed lines have been
+	// seen. Zero means a default of 100.
+	MaxErrors int
+	// StrictTypes requires every node to have at least one type after
+	// loading; nodes without one receive the type "Thing" when false.
+	StrictTypes bool
+}
+
+// ReadNTriples parses a pragmatic N-Triples subset:
+//
+//	<subject> <predicate> <object> .        # relationship edge
+//	<subject> <rdf:type> <TypeName> .       # node type
+//	<subject> <rdfs:label> "Name" .         # node display name (optional)
+//	<subject> <attrName> "123.4"^^xsd:double .  # numeric attribute
+//	<subject> <attrName> "123.4" .          # numeric attribute (untyped)
+//
+// IRIs are written <like-this>; the loader strips angle brackets and any
+// http://…/ prefix so tests and fixtures can use short names. Lines starting
+// with '#' and blank lines are skipped. Subjects are identified by IRI; the
+// IRI local name doubles as the unique node name unless an rdfs:label
+// overrides it.
+//
+// The returned error slice contains one LoadError per malformed line (nil
+// when the input was clean); the Graph contains everything that parsed.
+func ReadNTriples(r io.Reader, opts NTOptions) (*Graph, []error) {
+	if opts.MaxErrors == 0 {
+		opts.MaxErrors = 100
+	}
+	b := NewBuilder()
+	var errs []error
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	addErr := func(line int, text string, err error) bool {
+		errs = append(errs, &LoadError{Line: line, Text: text, Err: err})
+		return len(errs) < opts.MaxErrors
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		subj, pred, obj, objIsLiteral, err := parseNTLine(line)
+		if err != nil {
+			if !addErr(lineNo, line, err) {
+				errs = append(errs, fmt.Errorf("kg: too many errors, aborting at line %d", lineNo))
+				return b.Build(), errs
+			}
+			continue
+		}
+		s := b.AddNode(subj)
+		switch {
+		case pred == RDFType && !objIsLiteral:
+			b.AddNode(subj, obj) // merge type into existing node
+		case pred == RDFSLabel && objIsLiteral:
+			// Display names must stay unique; the subject IRI already is,
+			// so a label equal to another node's name is a data error.
+			if other := b.NodeByName(obj); other != InvalidNode && other != s {
+				if !addErr(lineNo, line, fmt.Errorf("duplicate label %q", obj)) {
+					return b.Build(), errs
+				}
+			}
+			// Labels are cosmetic in this model; the IRI stays the key.
+		case objIsLiteral:
+			v, perr := strconv.ParseFloat(obj, 64)
+			if perr != nil {
+				if !addErr(lineNo, line, fmt.Errorf("non-numeric literal %q for attribute %q", obj, pred)) {
+					return b.Build(), errs
+				}
+				continue
+			}
+			if err := b.SetAttr(s, pred, v); err != nil {
+				if !addErr(lineNo, line, err) {
+					return b.Build(), errs
+				}
+			}
+		default:
+			o := b.AddNode(obj)
+			if err := b.AddEdge(s, pred, o); err != nil {
+				if !addErr(lineNo, line, err) {
+					return b.Build(), errs
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("kg: read: %w", err))
+	}
+	if !opts.StrictTypes {
+		// Give untyped nodes a catch-all type so Definition 4's type check
+		// remains well-defined (the paper assumes probabilistic typing fills
+		// gaps; "Thing" is our stand-in).
+		g := b.g
+		for id := range g.names {
+			if len(g.types[id]) == 0 {
+				b.addTypeTo(NodeID(id), "Thing")
+			}
+		}
+	} else {
+		for id, ts := range b.g.types {
+			if len(ts) == 0 {
+				errs = append(errs, fmt.Errorf("kg: node %q has no type", b.g.names[id]))
+			}
+		}
+	}
+	return b.Build(), errs
+}
+
+// parseNTLine splits one N-Triples line into subject, predicate and object.
+// objIsLiteral reports whether the object was a quoted literal.
+func parseNTLine(line string) (subj, pred, obj string, objIsLiteral bool, err error) {
+	rest := line
+	subj, rest, err = parseIRI(rest)
+	if err != nil {
+		return "", "", "", false, fmt.Errorf("subject: %w", err)
+	}
+	pred, rest, err = parseIRI(rest)
+	if err != nil {
+		return "", "", "", false, fmt.Errorf("predicate: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", "", false, fmt.Errorf("missing object")
+	}
+	if rest[0] == '"' {
+		end := strings.Index(rest[1:], `"`)
+		if end < 0 {
+			return "", "", "", false, fmt.Errorf("unterminated literal")
+		}
+		obj = rest[1 : 1+end]
+		rest = rest[2+end:]
+		// Ignore any ^^xsd:type suffix.
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, "^^") {
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				rest = rest[i:]
+			} else {
+				rest = ""
+			}
+		}
+		if !strings.HasSuffix(strings.TrimSpace(rest), ".") && strings.TrimSpace(rest) != "" {
+			return "", "", "", false, fmt.Errorf("trailing garbage after literal")
+		}
+		return subj, pred, obj, true, nil
+	}
+	obj, rest, err = parseIRI(rest)
+	if err != nil {
+		return "", "", "", false, fmt.Errorf("object: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." && rest != "" {
+		return "", "", "", false, fmt.Errorf("trailing garbage %q", rest)
+	}
+	return subj, pred, obj, false, nil
+}
+
+// parseIRI consumes one <iri> token, returning its shortened form.
+func parseIRI(s string) (iri, rest string, err error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || s[0] != '<' {
+		return "", "", fmt.Errorf("expected <iri>, got %q", truncate(s, 20))
+	}
+	end := strings.IndexByte(s, '>')
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated <iri>")
+	}
+	iri = s[1:end]
+	// Strip a scheme://host/ prefix so fixtures can use full or short IRIs.
+	if i := strings.LastIndexAny(iri, "/#"); i >= 0 && strings.Contains(iri, "://") {
+		iri = iri[i+1:]
+	}
+	if iri == "" {
+		return "", "", fmt.Errorf("empty iri")
+	}
+	return iri, s[end+1:], nil
+}
+
+// LoadNTriplesFile reads an N-Triples file from disk.
+func LoadNTriplesFile(path string, opts NTOptions) (*Graph, []error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, []error{fmt.Errorf("kg: %w", err)}
+	}
+	defer f.Close()
+	return ReadNTriples(f, opts)
+}
+
+// ReadTSV parses the two-file TSV layout written by cmd/kgen:
+//
+//	nodes:  name \t type1,type2 \t attr1=v1;attr2=v2
+//	edges:  srcName \t predicate \t dstName
+//
+// Either reader may be nil to skip that section (an edges-only load attaches
+// the catch-all "Thing" type to every node).
+func ReadTSV(nodes, edges io.Reader) (*Graph, []error) {
+	b := NewBuilder()
+	var errs []error
+	if nodes != nil {
+		sc := bufio.NewScanner(nodes)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			parts := strings.Split(line, "\t")
+			if len(parts) < 1 {
+				continue
+			}
+			name := parts[0]
+			var types []string
+			if len(parts) > 1 && parts[1] != "" {
+				types = strings.Split(parts[1], ",")
+			}
+			id := b.AddNode(name, types...)
+			if len(parts) > 2 && parts[2] != "" {
+				for _, kv := range strings.Split(parts[2], ";") {
+					if kv == "" {
+						continue
+					}
+					eq := strings.IndexByte(kv, '=')
+					if eq < 0 {
+						errs = append(errs, &LoadError{Line: lineNo, Text: line, Err: fmt.Errorf("bad attribute %q", kv)})
+						continue
+					}
+					v, err := strconv.ParseFloat(kv[eq+1:], 64)
+					if err != nil {
+						errs = append(errs, &LoadError{Line: lineNo, Text: line, Err: fmt.Errorf("bad attribute value %q", kv)})
+						continue
+					}
+					if err := b.SetAttr(id, kv[:eq], v); err != nil {
+						errs = append(errs, err)
+					}
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("kg: nodes: %w", err))
+		}
+	}
+	if edges != nil {
+		sc := bufio.NewScanner(edges)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			parts := strings.Split(line, "\t")
+			if len(parts) != 3 {
+				errs = append(errs, &LoadError{Line: lineNo, Text: line, Err: fmt.Errorf("want 3 fields, got %d", len(parts))})
+				continue
+			}
+			src := b.AddNode(parts[0])
+			dst := b.AddNode(parts[2])
+			if err := b.AddEdge(src, parts[1], dst); err != nil {
+				errs = append(errs, &LoadError{Line: lineNo, Text: line, Err: err})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("kg: edges: %w", err))
+		}
+	}
+	g := b.g
+	for id := range g.names {
+		if len(g.types[id]) == 0 {
+			b.addTypeTo(NodeID(id), "Thing")
+		}
+	}
+	return b.Build(), errs
+}
+
+// LoadTSVFiles reads the nodes/edges TSV pair from disk.
+func LoadTSVFiles(nodesPath, edgesPath string) (*Graph, []error) {
+	nf, err := os.Open(nodesPath)
+	if err != nil {
+		return nil, []error{fmt.Errorf("kg: %w", err)}
+	}
+	defer nf.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, []error{fmt.Errorf("kg: %w", err)}
+	}
+	defer ef.Close()
+	return ReadTSV(nf, ef)
+}
+
+// WriteTSV writes the graph in the TSV layout understood by ReadTSV.
+func (g *Graph) WriteTSV(nodes, edges io.Writer) error {
+	nw := bufio.NewWriter(nodes)
+	for id := range g.names {
+		u := NodeID(id)
+		var types []string
+		for _, t := range g.Types(u) {
+			types = append(types, g.TypeName(t))
+		}
+		var attrs []string
+		for _, av := range g.Attrs(u) {
+			attrs = append(attrs, fmt.Sprintf("%s=%g", g.AttrName(av.Attr), av.Value))
+		}
+		if _, err := fmt.Fprintf(nw, "%s\t%s\t%s\n", g.Name(u), strings.Join(types, ","), strings.Join(attrs, ";")); err != nil {
+			return fmt.Errorf("kg: write nodes: %w", err)
+		}
+	}
+	if err := nw.Flush(); err != nil {
+		return fmt.Errorf("kg: write nodes: %w", err)
+	}
+	ew := bufio.NewWriter(edges)
+	var werr error
+	g.EachEdge(func(src NodeID, pred PredID, dst NodeID) bool {
+		if _, err := fmt.Fprintf(ew, "%s\t%s\t%s\n", g.Name(src), g.PredName(pred), g.Name(dst)); err != nil {
+			werr = fmt.Errorf("kg: write edges: %w", err)
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	if err := ew.Flush(); err != nil {
+		return fmt.Errorf("kg: write edges: %w", err)
+	}
+	return nil
+}

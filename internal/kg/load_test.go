@@ -1,0 +1,214 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `
+# Figure 1 extract
+<BMW_320> <rdf:type> <Automobile> .
+<Germany> <rdf:type> <Country> .
+<BMW_320> <assembly> <Germany> .
+<BMW_320> <price> "41250"^^xsd:double .
+<BMW_320> <horsepower> "335" .
+<Volkswagen> <rdf:type> <Company> .
+<Audi_TT> <rdf:type> <Automobile> .
+<Audi_TT> <assembly> <Volkswagen> .
+<Volkswagen> <country> <Germany> .
+`
+
+func TestReadNTriples(t *testing.T) {
+	g, errs := ReadNTriples(strings.NewReader(sampleNT), NTOptions{})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	bmw := g.NodeByName("BMW_320")
+	if bmw == InvalidNode {
+		t.Fatal("BMW_320 missing")
+	}
+	if !g.HasType(bmw, g.TypeByName("Automobile")) {
+		t.Fatal("type triple not applied")
+	}
+	if v, ok := g.Attr(bmw, g.AttrByName("price")); !ok || v != 41250 {
+		t.Fatalf("price = %v, %v", v, ok)
+	}
+	if v, ok := g.Attr(bmw, g.AttrByName("horsepower")); !ok || v != 335 {
+		t.Fatalf("horsepower (untyped literal) = %v, %v", v, ok)
+	}
+}
+
+func TestReadNTriplesFullIRIs(t *testing.T) {
+	in := `<http://dbpedia.org/resource/BMW_320> <http://dbpedia.org/ontology/assembly> <http://dbpedia.org/resource/Germany> .`
+	g, errs := ReadNTriples(strings.NewReader(in), NTOptions{})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if g.NodeByName("BMW_320") == InvalidNode || g.NodeByName("Germany") == InvalidNode {
+		t.Fatal("IRI shortening failed")
+	}
+	if g.PredByName("assembly") == InvalidPred {
+		t.Fatal("predicate IRI shortening failed")
+	}
+}
+
+func TestReadNTriplesMalformed(t *testing.T) {
+	in := `
+<a> <rdf:type> <T> .
+this is not a triple
+<b> <rdf:type> <T> .
+<b> <p> "not-a-number" .
+<c> missing brackets .
+<a> <p> <b> .
+`
+	g, errs := ReadNTriples(strings.NewReader(in), NTOptions{})
+	if len(errs) != 3 {
+		t.Fatalf("errors = %d (%v), want 3", len(errs), errs)
+	}
+	var le *LoadError
+	if !errors.As(errs[0], &le) {
+		t.Fatalf("error type = %T, want *LoadError", errs[0])
+	}
+	if le.Line != 3 {
+		t.Fatalf("first error line = %d, want 3", le.Line)
+	}
+	// The good triples must still have loaded.
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestReadNTriplesErrorBudget(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		sb.WriteString("garbage line\n")
+	}
+	_, errs := ReadNTriples(strings.NewReader(sb.String()), NTOptions{MaxErrors: 3})
+	// 3 load errors plus the "too many errors" sentinel.
+	if len(errs) != 4 {
+		t.Fatalf("errors = %d, want 4", len(errs))
+	}
+	if !strings.Contains(errs[3].Error(), "too many errors") {
+		t.Fatalf("missing abort sentinel: %v", errs[3])
+	}
+}
+
+func TestReadNTriplesUntypedGetsThing(t *testing.T) {
+	in := `<a> <p> <b> .`
+	g, errs := ReadNTriples(strings.NewReader(in), NTOptions{})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	a := g.NodeByName("a")
+	if !g.HasType(a, g.TypeByName("Thing")) {
+		t.Fatal("untyped node did not receive Thing type")
+	}
+}
+
+func TestReadNTriplesStrictTypes(t *testing.T) {
+	in := `<a> <p> <b> .`
+	_, errs := ReadNTriples(strings.NewReader(in), NTOptions{StrictTypes: true})
+	if len(errs) != 2 { // both a and b untyped
+		t.Fatalf("errors = %d (%v), want 2", len(errs), errs)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g, errs := ReadNTriples(strings.NewReader(sampleNT), NTOptions{})
+	if len(errs) != 0 {
+		t.Fatalf("setup errors: %v", errs)
+	}
+	var nodes, edges bytes.Buffer
+	if err := g.WriteTSV(&nodes, &edges); err != nil {
+		t.Fatal(err)
+	}
+	g2, errs := ReadTSV(&nodes, &edges)
+	if len(errs) != 0 {
+		t.Fatalf("reload errors: %v", errs)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", g2, g)
+	}
+	bmw := g2.NodeByName("BMW_320")
+	if v, ok := g2.Attr(bmw, g2.AttrByName("price")); !ok || v != 41250 {
+		t.Fatalf("price after round trip = %v, %v", v, ok)
+	}
+	if !g2.HasEdge(bmw, g2.PredByName("assembly"), g2.NodeByName("Germany")) {
+		t.Fatal("edge lost in round trip")
+	}
+}
+
+func TestReadTSVMalformed(t *testing.T) {
+	nodes := strings.NewReader("a\tT\tbadattr\nb\tT\tx=notnum\n")
+	edges := strings.NewReader("a\tp\tb\nonly-two\tfields\n")
+	g, errs := ReadTSV(nodes, edges)
+	if len(errs) != 3 {
+		t.Fatalf("errors = %d (%v), want 3", len(errs), errs)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	g, errs := ReadNTriples(strings.NewReader(sampleNT), NTOptions{})
+	if len(errs) != 0 {
+		t.Fatalf("setup errors: %v", errs)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot mismatch: %v vs %v", g2, g)
+	}
+	bmw := g2.NodeByName("BMW_320")
+	if bmw == InvalidNode {
+		t.Fatal("name index not rebuilt")
+	}
+	if len(g2.NodesByType(g2.TypeByName("Automobile"))) != 2 {
+		t.Fatal("type index not rebuilt")
+	}
+	if v, ok := g2.Attr(bmw, g2.AttrByName("price")); !ok || v != 41250 {
+		t.Fatalf("price after snapshot = %v, %v", v, ok)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestParseNTLineVariants(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+	}{
+		{`<a> <p> <b> .`, false},
+		{`<a> <p> "1.5" .`, false},
+		{`<a> <p> "1.5"^^xsd:double .`, false},
+		{`<a> <p>`, true},
+		{`<a> <p> "unterminated .`, true},
+		{`<a> <p> <b> extra .`, true},
+		{`<> <p> <b> .`, true},
+	}
+	for _, c := range cases {
+		_, _, _, _, err := parseNTLine(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseNTLine(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob wire form of a Graph. Only the primary data travels;
+// indexes are rebuilt on load, keeping snapshots small and forward-portable.
+type snapshot struct {
+	Names     []string
+	Types     [][]TypeID
+	Attrs     [][]AttrValue
+	Adj       [][]HalfEdge
+	PredNames []string
+	TypeNames []string
+	AttrNames []string
+	NumEdges  int
+}
+
+// Save writes a binary snapshot of the graph.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	s := snapshot{
+		Names:     g.names,
+		Types:     g.types,
+		Attrs:     g.attrs,
+		Adj:       g.adj,
+		PredNames: g.predNames,
+		TypeNames: g.typeNames,
+		AttrNames: g.attrNames,
+		NumEdges:  g.numEdges,
+	}
+	if err := enc.Encode(&s); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and rebuilds all indexes.
+func Load(r io.Reader) (*Graph, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var s snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("kg: load: %w", err)
+	}
+	g := &Graph{
+		names:     s.Names,
+		types:     s.Types,
+		attrs:     s.Attrs,
+		adj:       s.Adj,
+		predNames: s.PredNames,
+		typeNames: s.TypeNames,
+		attrNames: s.AttrNames,
+		numEdges:  s.NumEdges,
+		nameIndex: make(map[string]NodeID, len(s.Names)),
+		predIndex: make(map[string]PredID, len(s.PredNames)),
+		typeIndex: make(map[string]TypeID, len(s.TypeNames)),
+		attrIndex: make(map[string]AttrID, len(s.AttrNames)),
+		byType:    map[TypeID][]NodeID{},
+	}
+	if len(g.types) != len(g.names) || len(g.attrs) != len(g.names) || len(g.adj) != len(g.names) {
+		return nil, fmt.Errorf("kg: load: inconsistent snapshot (nodes %d, types %d, attrs %d, adj %d)",
+			len(g.names), len(g.types), len(g.attrs), len(g.adj))
+	}
+	for i, n := range g.names {
+		if _, dup := g.nameIndex[n]; dup {
+			return nil, fmt.Errorf("kg: load: duplicate node name %q", n)
+		}
+		g.nameIndex[n] = NodeID(i)
+	}
+	for i, p := range g.predNames {
+		g.predIndex[p] = PredID(i)
+	}
+	for i, t := range g.typeNames {
+		g.typeIndex[t] = TypeID(i)
+	}
+	for i, a := range g.attrNames {
+		g.attrIndex[a] = AttrID(i)
+	}
+	for id, ts := range g.types {
+		for _, t := range ts {
+			if int(t) >= len(g.typeNames) || t < 0 {
+				return nil, fmt.Errorf("kg: load: node %d has unknown type id %d", id, t)
+			}
+			g.byType[t] = append(g.byType[t], NodeID(id))
+		}
+	}
+	for id, hes := range g.adj {
+		for _, he := range hes {
+			if int(he.To) >= len(g.names) || he.To < 0 {
+				return nil, fmt.Errorf("kg: load: node %d has edge to unknown node %d", id, he.To)
+			}
+			if int(he.Pred) >= len(g.predNames) || he.Pred < 0 {
+				return nil, fmt.Errorf("kg: load: node %d has edge with unknown predicate %d", id, he.Pred)
+			}
+		}
+	}
+	return g, nil
+}
+
+// SaveFile writes a snapshot to path, creating or truncating it.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kg: %w", err)
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kg: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,83 @@
+package kg
+
+// Bounded is the n-bounded neighbourhood of a start node: the induced
+// subgraph over all nodes reachable within n hops (edges traversed in either
+// direction), as used by Algorithm 1 (SSB) and as the scope of the
+// semantic-aware random walk (§IV-A2). Node order is BFS discovery order,
+// so Nodes[0] is always the start node.
+type Bounded struct {
+	Start NodeID
+	N     int
+	Nodes []NodeID
+	Dist  map[NodeID]int // hop distance from Start for every included node
+}
+
+// BoundedSubgraph runs a breadth-first search from start up to n hops.
+// n <= 0 yields only the start node.
+func (g *Graph) BoundedSubgraph(start NodeID, n int) *Bounded {
+	b := &Bounded{
+		Start: start,
+		N:     n,
+		Dist:  map[NodeID]int{start: 0},
+		Nodes: []NodeID{start},
+	}
+	if n <= 0 {
+		return b
+	}
+	frontier := []NodeID{start}
+	for depth := 1; depth <= n && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, he := range g.adj[u] {
+				if _, seen := b.Dist[he.To]; seen {
+					continue
+				}
+				b.Dist[he.To] = depth
+				b.Nodes = append(b.Nodes, he.To)
+				next = append(next, he.To)
+			}
+		}
+		frontier = next
+	}
+	return b
+}
+
+// Contains reports whether node u is inside the bounded subgraph.
+func (b *Bounded) Contains(u NodeID) bool {
+	_, ok := b.Dist[u]
+	return ok
+}
+
+// Size returns the number of nodes in the bounded subgraph.
+func (b *Bounded) Size() int { return len(b.Nodes) }
+
+// CandidateAnswers returns the nodes of the bounded subgraph (excluding the
+// start node) that share at least one of the given types — the candidate
+// answer set A of Definition 4 restricted to the n-bounded search space.
+func (b *Bounded) CandidateAnswers(g *Graph, types []TypeID) []NodeID {
+	var out []NodeID
+	for _, u := range b.Nodes {
+		if u == b.Start {
+			continue
+		}
+		if g.SharesType(u, types) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// InducedEdgeCount returns the number of stored edges with both endpoints in
+// the bounded subgraph; the walk engine's transition matrix has one row
+// entry per half of each such edge.
+func (b *Bounded) InducedEdgeCount(g *Graph) int {
+	count := 0
+	for _, u := range b.Nodes {
+		for _, he := range g.adj[u] {
+			if he.Out && b.Contains(he.To) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,165 @@
+package kg
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"kgaq/internal/stats"
+)
+
+func chainGraph(t *testing.T, length int) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	prev := b.AddNode("v0", "T")
+	for i := 1; i <= length; i++ {
+		cur := b.AddNode(fmt.Sprintf("v%d", i), "T")
+		if err := b.AddEdge(prev, "next", cur); err != nil {
+			t.Fatal(err)
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+func TestBoundedSubgraphChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	start := g.NodeByName("v0")
+	for n := 0; n <= 6; n++ {
+		b := g.BoundedSubgraph(start, n)
+		if b.Size() != n+1 {
+			t.Fatalf("n=%d: size = %d, want %d", n, b.Size(), n+1)
+		}
+		if b.Nodes[0] != start {
+			t.Fatalf("n=%d: first node is not the start", n)
+		}
+		for _, u := range b.Nodes {
+			if d := b.Dist[u]; d > n {
+				t.Fatalf("node %s at distance %d > bound %d", g.Name(u), d, n)
+			}
+		}
+	}
+}
+
+func TestBoundedSubgraphBothDirections(t *testing.T) {
+	// v0 -> v1 -> v2; starting from v2, the 2-bound must reach v0 against
+	// edge direction.
+	g := chainGraph(t, 2)
+	b := g.BoundedSubgraph(g.NodeByName("v2"), 2)
+	if !b.Contains(g.NodeByName("v0")) {
+		t.Fatal("BFS did not traverse reverse edges")
+	}
+}
+
+func TestBoundedContains(t *testing.T) {
+	g := chainGraph(t, 4)
+	b := g.BoundedSubgraph(g.NodeByName("v0"), 2)
+	if !b.Contains(g.NodeByName("v2")) {
+		t.Fatal("v2 should be inside 2-bound")
+	}
+	if b.Contains(g.NodeByName("v4")) {
+		t.Fatal("v4 should be outside 2-bound")
+	}
+}
+
+func TestCandidateAnswers(t *testing.T) {
+	b := NewBuilder()
+	de := b.AddNode("Germany", "Country")
+	bmw := b.AddNode("BMW_320", "Automobile")
+	vw := b.AddNode("Volkswagen", "Company")
+	audi := b.AddNode("Audi_TT", "Automobile")
+	far := b.AddNode("Far_Car", "Automobile")
+	mid := b.AddNode("mid", "Thing")
+	mid2 := b.AddNode("mid2", "Thing")
+	for _, e := range []struct {
+		s NodeID
+		p string
+		d NodeID
+	}{
+		{bmw, "assembly", de}, {audi, "assembly", vw}, {vw, "country", de},
+		{mid, "p", de}, {mid2, "p", mid}, {far, "p", mid2},
+	} {
+		if err := b.AddEdge(e.s, e.p, e.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	bound := g.BoundedSubgraph(g.NodeByName("Germany"), 2)
+	auto := g.TypeByName("Automobile")
+	got := bound.CandidateAnswers(g, []TypeID{auto})
+	names := map[string]bool{}
+	for _, u := range got {
+		names[g.Name(u)] = true
+	}
+	if !names["BMW_320"] || !names["Audi_TT"] {
+		t.Fatalf("candidates = %v, want BMW_320 and Audi_TT", names)
+	}
+	if names["Far_Car"] {
+		t.Fatal("Far_Car is 3 hops away, must be excluded at n=2")
+	}
+	if names["Volkswagen"] {
+		t.Fatal("type filter failed")
+	}
+}
+
+func TestInducedEdgeCount(t *testing.T) {
+	g := chainGraph(t, 4)
+	b := g.BoundedSubgraph(g.NodeByName("v0"), 2)
+	// Induced edges among {v0,v1,v2}: v0-v1, v1-v2.
+	if got := b.InducedEdgeCount(g); got != 2 {
+		t.Fatalf("InducedEdgeCount = %d, want 2", got)
+	}
+}
+
+// Property: on random graphs, every node reported at distance d has a
+// neighbour at distance d-1, and no node outside the bound is included.
+func TestBoundedSubgraphInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 5 + r.Intn(30)
+		b := NewBuilder()
+		ids := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(fmt.Sprintf("n%d", i), "T")
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if err := b.AddEdge(ids[u], "p", ids[v]); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		start := ids[r.Intn(n)]
+		bound := 1 + r.Intn(3)
+		bs := g.BoundedSubgraph(start, bound)
+		for _, u := range bs.Nodes {
+			d := bs.Dist[u]
+			if d == 0 {
+				if u != start {
+					return false
+				}
+				continue
+			}
+			if d > bound {
+				return false
+			}
+			ok := false
+			for _, he := range g.Neighbors(u) {
+				if pd, in := bs.Dist[he.To]; in && pd == d-1 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package query
+
+import "math"
+
+// Simple builds the canonical simple aggregate query of Definition 3: a
+// specific node (name + type) connected to a typed target by one predicate.
+// Example 1 of the paper becomes:
+//
+//	Simple(Avg, "price", "Germany", "Country", "product", "Automobile")
+func Simple(f AggFunc, attr, specificName, specificType, predicate, targetType string) *Aggregate {
+	return &Aggregate{
+		Q: &Graph{
+			Nodes: []Node{
+				{Name: specificName, Types: []string{specificType}},
+				{Types: []string{targetType}},
+			},
+			Edges:  []Edge{{From: 0, To: 1, Predicate: predicate}},
+			Target: 1,
+		},
+		Func: f,
+		Attr: attr,
+	}
+}
+
+// Chain builds a chain-shaped query (§V-B): the specific node, then hops
+// through unknown typed nodes, ending at the target (the last hop).
+func Chain(f AggFunc, attr, specificName, specificType string, hops []Hop) *Aggregate {
+	g := &Graph{Nodes: []Node{{Name: specificName, Types: []string{specificType}}}}
+	for i, h := range hops {
+		g.Nodes = append(g.Nodes, Node{Types: h.Types})
+		g.Edges = append(g.Edges, Edge{From: i, To: i + 1, Predicate: h.Predicate})
+	}
+	g.Target = len(g.Nodes) - 1
+	return &Aggregate{Q: g, Func: f, Attr: attr}
+}
+
+// Builder assembles arbitrary-shape query graphs fluently. Node methods
+// return the node index for use in Edge.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder returns an empty query-graph builder.
+func NewBuilder() *Builder { return &Builder{g: &Graph{Target: -1}} }
+
+// Specific adds a named node and returns its index.
+func (b *Builder) Specific(name string, types ...string) int {
+	b.g.Nodes = append(b.g.Nodes, Node{Name: name, Types: types})
+	return len(b.g.Nodes) - 1
+}
+
+// Unknown adds an unnamed typed node and returns its index.
+func (b *Builder) Unknown(types ...string) int {
+	b.g.Nodes = append(b.g.Nodes, Node{Types: types})
+	return len(b.g.Nodes) - 1
+}
+
+// Target adds an unnamed typed node, marks it as the query target, and
+// returns its index.
+func (b *Builder) Target(types ...string) int {
+	i := b.Unknown(types...)
+	b.g.Target = i
+	return i
+}
+
+// Edge connects two node indices with a predicate.
+func (b *Builder) Edge(from, to int, predicate string) *Builder {
+	b.g.Edges = append(b.g.Edges, Edge{From: from, To: to, Predicate: predicate})
+	return b
+}
+
+// Graph finalises and returns the query graph (call Validate separately).
+func (b *Builder) Graph() *Graph { return b.g }
+
+// Aggregate finalises the query graph into an aggregate query.
+func (b *Builder) Aggregate(f AggFunc, attr string) *Aggregate {
+	return &Aggregate{Q: b.g, Func: f, Attr: attr}
+}
+
+// WithFilter appends a closed range filter and returns the query for
+// chaining.
+func (a *Aggregate) WithFilter(attr string, low, high float64) *Aggregate {
+	a.Filters = append(a.Filters, Filter{Attr: attr, Low: low, High: high})
+	return a
+}
+
+// WithFilterAtLeast appends a lower-bounded filter.
+func (a *Aggregate) WithFilterAtLeast(attr string, low float64) *Aggregate {
+	return a.WithFilter(attr, low, math.Inf(1))
+}
+
+// WithFilterAtMost appends an upper-bounded filter.
+func (a *Aggregate) WithFilterAtMost(attr string, high float64) *Aggregate {
+	return a.WithFilter(attr, math.Inf(-1), high)
+}
+
+// WithGroupBy sets the GROUP-BY attribute and returns the query for
+// chaining.
+func (a *Aggregate) WithGroupBy(attr string) *Aggregate {
+	a.GroupBy = attr
+	return a
+}

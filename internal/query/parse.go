@@ -1,0 +1,391 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the compact textual query language used by cmd/aggquery and
+// the test fixtures. The running example of the paper is written as:
+//
+//	AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c
+//
+// Grammar (one line, case-insensitive keywords):
+//
+//	query    = agg "MATCH" pattern {"," pattern} ["TARGET" id]
+//	           {"FILTER" filter} ["GROUPBY" attr]
+//	agg      = FUNC "(" (attr | "*") ")"
+//	pattern  = node { edge node }
+//	node     = "(" id [":" type {"|" type}] ["name=" value] ")"
+//	edge     = "-[" pred "]->" | "<-[" pred "]-"
+//	filter   = num "<=" attr "<=" num | attr ">=" num | attr "<=" num
+//
+// Node ids are local to the query; reusing an id refers to the same node,
+// which is how cycles and stars are expressed. When TARGET is omitted and
+// exactly one unnamed node exists, that node is the target.
+func Parse(input string) (*Aggregate, error) {
+	p := &parser{in: input}
+	agg, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse: %w", err)
+	}
+	if err := agg.Validate(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) parse() (*Aggregate, error) {
+	fname, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("aggregate function: %w", err)
+	}
+	f, err := ParseAggFunc(fname)
+	if err != nil {
+		return nil, err
+	}
+	if !p.eat("(") {
+		return nil, p.errf("expected '(' after %s", fname)
+	}
+	attr := ""
+	if p.eat("*") {
+		// COUNT(*)
+	} else {
+		attr, err = p.ident()
+		if err != nil {
+			return nil, fmt.Errorf("aggregate attribute: %w", err)
+		}
+	}
+	if !p.eat(")") {
+		return nil, p.errf("expected ')' after aggregate attribute")
+	}
+	if !p.eatKeyword("MATCH") {
+		return nil, p.errf("expected MATCH")
+	}
+
+	g := &Graph{Target: -1}
+	ids := map[string]int{}
+	nodeID := func(id string, n Node) (int, error) {
+		if i, ok := ids[id]; ok {
+			// Merging a re-referenced node: later mentions may add nothing
+			// new; conflicting names are an error.
+			if n.Name != "" && g.Nodes[i].Name != "" && n.Name != g.Nodes[i].Name {
+				return 0, fmt.Errorf("node %q renamed from %q to %q", id, g.Nodes[i].Name, n.Name)
+			}
+			if n.Name != "" {
+				g.Nodes[i].Name = n.Name
+			}
+			g.Nodes[i].Types = mergeTypes(g.Nodes[i].Types, n.Types)
+			return i, nil
+		}
+		g.Nodes = append(g.Nodes, n)
+		ids[id] = len(g.Nodes) - 1
+		return len(g.Nodes) - 1, nil
+	}
+
+	for {
+		id, n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		cur, err := nodeID(id, n)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			pred, forward, ok, err := p.edge()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			id2, n2, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			next, err := nodeID(id2, n2)
+			if err != nil {
+				return nil, err
+			}
+			e := Edge{From: cur, To: next, Predicate: pred}
+			if !forward {
+				e.From, e.To = e.To, e.From
+			}
+			g.Edges = append(g.Edges, e)
+			cur = next
+		}
+		if !p.eat(",") {
+			break
+		}
+	}
+
+	agg := &Aggregate{Q: g, Func: f, Attr: attr}
+	for {
+		switch {
+		case p.eatKeyword("TARGET"):
+			id, err := p.ident()
+			if err != nil {
+				return nil, fmt.Errorf("TARGET: %w", err)
+			}
+			i, ok := ids[id]
+			if !ok {
+				return nil, p.errf("TARGET references unknown node %q", id)
+			}
+			g.Target = i
+		case p.eatKeyword("FILTER"):
+			fl, err := p.filter()
+			if err != nil {
+				return nil, err
+			}
+			agg.Filters = append(agg.Filters, fl)
+		case p.eatKeyword("GROUPBY"):
+			a, err := p.ident()
+			if err != nil {
+				return nil, fmt.Errorf("GROUPBY: %w", err)
+			}
+			agg.GroupBy = a
+		default:
+			p.skipSpace()
+			if p.pos != len(p.in) {
+				return nil, p.errf("unexpected trailing input %q", p.in[p.pos:])
+			}
+			if g.Target == -1 {
+				unnamed := -1
+				count := 0
+				for i, n := range g.Nodes {
+					if !n.IsSpecific() {
+						unnamed = i
+						count++
+					}
+				}
+				if count != 1 {
+					return nil, p.errf("TARGET required: query has %d unnamed nodes", count)
+				}
+				g.Target = unnamed
+			}
+			return agg, nil
+		}
+	}
+}
+
+func mergeTypes(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range append(append([]string(nil), a...), b...) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// node parses "(" id [":" types] ["name=" value] ")".
+func (p *parser) node() (id string, n Node, err error) {
+	if !p.eat("(") {
+		return "", n, p.errf("expected '(' starting a node")
+	}
+	id, err = p.ident()
+	if err != nil {
+		return "", n, fmt.Errorf("node id: %w", err)
+	}
+	if p.eat(":") {
+		for {
+			t, err := p.ident()
+			if err != nil {
+				return "", n, fmt.Errorf("node type: %w", err)
+			}
+			n.Types = append(n.Types, t)
+			if !p.eat("|") {
+				break
+			}
+		}
+	}
+	p.skipSpace()
+	if strings.HasPrefix(p.in[p.pos:], "name=") {
+		p.pos += len("name=")
+		v, err := p.value()
+		if err != nil {
+			return "", n, fmt.Errorf("node name: %w", err)
+		}
+		n.Name = v
+	}
+	if !p.eat(")") {
+		return "", n, p.errf("expected ')' closing node %q", id)
+	}
+	return id, n, nil
+}
+
+// edge parses "-[pred]->" or "<-[pred]-"; ok=false when the next token is
+// not an edge.
+func (p *parser) edge() (pred string, forward, ok bool, err error) {
+	p.skipSpace()
+	rest := p.in[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "-["):
+		p.pos += 2
+		pred, err = p.ident()
+		if err != nil {
+			return "", false, false, fmt.Errorf("edge predicate: %w", err)
+		}
+		if !p.eat("]->") {
+			return "", false, false, p.errf("expected ']->' after predicate %q", pred)
+		}
+		return pred, true, true, nil
+	case strings.HasPrefix(rest, "<-["):
+		p.pos += 3
+		pred, err = p.ident()
+		if err != nil {
+			return "", false, false, fmt.Errorf("edge predicate: %w", err)
+		}
+		if !p.eat("]-") {
+			return "", false, false, p.errf("expected ']-' after predicate %q", pred)
+		}
+		return pred, false, true, nil
+	default:
+		return "", false, false, nil
+	}
+}
+
+// filter parses "num<=attr<=num", "attr>=num" or "attr<=num".
+func (p *parser) filter() (Filter, error) {
+	p.skipSpace()
+	// Try the two-sided form first: number <= ident <= number.
+	if num, ok := p.tryNumber(); ok {
+		if !p.eat("<=") {
+			return Filter{}, p.errf("expected '<=' in range filter")
+		}
+		attr, err := p.ident()
+		if err != nil {
+			return Filter{}, fmt.Errorf("filter attribute: %w", err)
+		}
+		if !p.eat("<=") {
+			return Filter{}, p.errf("expected second '<=' in range filter")
+		}
+		hi, ok := p.tryNumber()
+		if !ok {
+			return Filter{}, p.errf("expected upper bound in range filter")
+		}
+		return Filter{Attr: attr, Low: num, High: hi}, nil
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return Filter{}, fmt.Errorf("filter attribute: %w", err)
+	}
+	switch {
+	case p.eat(">="):
+		num, ok := p.tryNumber()
+		if !ok {
+			return Filter{}, p.errf("expected number after '>='")
+		}
+		return Filter{Attr: attr, Low: num, High: math.Inf(1)}, nil
+	case p.eat("<="):
+		num, ok := p.tryNumber()
+		if !ok {
+			return Filter{}, p.errf("expected number after '<='")
+		}
+		return Filter{Attr: attr, Low: math.Inf(-1), High: num}, nil
+	default:
+		return Filter{}, p.errf("expected '>=' or '<=' after filter attribute %q", attr)
+	}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+// eat consumes the literal token if present.
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.in[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// eatKeyword consumes a case-insensitive keyword followed by a non-ident
+// character.
+func (p *parser) eatKeyword(kw string) bool {
+	p.skipSpace()
+	rest := p.in[p.pos:]
+	if len(rest) < len(kw) || !strings.EqualFold(rest[:len(kw)], kw) {
+		return false
+	}
+	if len(rest) > len(kw) && isIdentChar(rest[len(kw)]) {
+		return false
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '-' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// ident parses an identifier (letters, digits, '_', '-').
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && isIdentChar(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+// value parses an identifier-like value (node names may contain dots).
+func (p *parser) value() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && (isIdentChar(p.in[p.pos]) || p.in[p.pos] == '.') {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected value")
+	}
+	return p.in[start:p.pos], nil
+}
+
+// tryNumber parses a float if the next token is one.
+func (p *parser) tryNumber() (float64, bool) {
+	p.skipSpace()
+	start := p.pos
+	i := p.pos
+	if i < len(p.in) && (p.in[i] == '-' || p.in[i] == '+') {
+		i++
+	}
+	digits := false
+	for i < len(p.in) && (p.in[i] >= '0' && p.in[i] <= '9' || p.in[i] == '.') {
+		if p.in[i] != '.' {
+			digits = true
+		}
+		i++
+	}
+	if !digits {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(p.in[start:i], 64)
+	if err != nil {
+		return 0, false
+	}
+	p.pos = i
+	return v, true
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}

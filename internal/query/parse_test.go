@@ -1,0 +1,165 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	a, err := Parse("AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Func != Avg || a.Attr != "price" {
+		t.Fatalf("agg = %s(%s)", a.Func, a.Attr)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeSimple {
+		t.Fatalf("shape = %v", got)
+	}
+	if a.Q.Nodes[0].Name != "Germany" || a.Q.Nodes[0].Types[0] != "Country" {
+		t.Fatalf("specific node = %+v", a.Q.Nodes[0])
+	}
+	if a.Q.Edges[0].Predicate != "product" {
+		t.Fatalf("predicate = %q", a.Q.Edges[0].Predicate)
+	}
+}
+
+func TestParseImplicitTarget(t *testing.T) {
+	a, err := Parse("COUNT(*) MATCH (g:Country name=Germany)<-[assembly]-(c:Automobile)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Q.Target != 1 {
+		t.Fatalf("implicit target = %d, want 1", a.Q.Target)
+	}
+	// Reversed arrow: edge goes c -> g.
+	e := a.Q.Edges[0]
+	if e.From != 1 || e.To != 0 {
+		t.Fatalf("edge = %+v, want 1->0", e)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	a, err := Parse("COUNT(*) MATCH (g:Country name=Germany)-[product]->(c:Automobile)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Func != Count || a.Attr != "" {
+		t.Fatalf("agg = %s(%q)", a.Func, a.Attr)
+	}
+}
+
+func TestParseChain(t *testing.T) {
+	a, err := Parse("COUNT(*) MATCH (g:Country name=Germany)<-[nationality]-(p:Person)<-[designer]-(c:Automobile) TARGET c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeChain {
+		t.Fatalf("shape = %v, want chain", got)
+	}
+	if len(a.Q.Nodes) != 3 || len(a.Q.Edges) != 2 {
+		t.Fatalf("graph = %d nodes, %d edges", len(a.Q.Nodes), len(a.Q.Edges))
+	}
+}
+
+func TestParseStarWithSharedNode(t *testing.T) {
+	in := "COUNT(*) MATCH (s:Country name=Spain)<-[bornIn]-(p:SoccerPlayer), (b:SoccerClub name=Barcelona_FC)<-[team]-(p)"
+	a, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeStar {
+		t.Fatalf("shape = %v, want star", got)
+	}
+	if len(a.Q.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3 (p shared)", len(a.Q.Nodes))
+	}
+}
+
+func TestParseCycle(t *testing.T) {
+	in := "AVG(age) MATCH (p:SoccerPlayer)-[team]->(c:SoccerClub)-[ground]->(e:Country name=England), (p)-[nationality]->(e) TARGET p"
+	a, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeCycle {
+		t.Fatalf("shape = %v, want cycle", got)
+	}
+}
+
+func TestParseFiltersAndGroupBy(t *testing.T) {
+	in := "AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c FILTER 25<=fuel_economy<=30 FILTER price<=100000 GROUPBY brand"
+	a, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Filters) != 2 {
+		t.Fatalf("filters = %d, want 2", len(a.Filters))
+	}
+	f := a.Filters[0]
+	if f.Attr != "fuel_economy" || f.Low != 25 || f.High != 30 {
+		t.Fatalf("filter = %+v", f)
+	}
+	if a.Filters[1].Attr != "price" || a.Filters[1].High != 100000 {
+		t.Fatalf("filter 2 = %+v", a.Filters[1])
+	}
+	if a.GroupBy != "brand" {
+		t.Fatalf("groupby = %q", a.GroupBy)
+	}
+}
+
+func TestParseFilterAtLeast(t *testing.T) {
+	a, err := Parse("COUNT(*) MATCH (g:Country name=Germany)-[product]->(c:Automobile) FILTER horsepower>=300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Filters[0].Low != 300 {
+		t.Fatalf("filter = %+v", a.Filters[0])
+	}
+}
+
+func TestParseMultiType(t *testing.T) {
+	a, err := Parse("COUNT(*) MATCH (g:Country name=Germany)-[product]->(c:Automobile|MeanOfTransportation)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := a.Q.Nodes[a.Q.Target]
+	if len(tgt.Types) != 2 {
+		t.Fatalf("target types = %v", tgt.Types)
+	}
+}
+
+func TestParseKeywordCaseInsensitive(t *testing.T) {
+	if _, err := Parse("count(*) match (g:Country name=Germany)-[product]->(c:Automobile) target c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"AVG price MATCH (a:T name=x)-[p]->(b:U)",
+		"FOO(price) MATCH (a:T name=x)-[p]->(b:U)",
+		"AVG(price) (a:T name=x)-[p]->(b:U)",                      // missing MATCH
+		"AVG(price) MATCH (a:T name=x)-[p->(b:U)",                 // broken edge
+		"AVG(price) MATCH (a:T name=x)-[p]->(b:U) TARGET zz",      // unknown target id
+		"AVG(price) MATCH (a:T name=x)-[p]->(b:U) garbage",        // trailing garbage
+		"AVG(price) MATCH (a:T name=x)-[p]->(b:U)-[q]->(c:V)",     // two unnamed, no TARGET
+		"AVG(price) MATCH (a:T name=x)-[p]->(b:U) FILTER 30<=mpg", // half range
+		"AVG(price) MATCH (a:T name=x)-[p]->(a:T name=y)",         // node renamed
+		"AVG(price) MATCH (a:T name=x)-[p]->(b:U) FILTER mpg==5",  // bad operator
+		"AVG(price) MATCH (a:T name=x)-[p]->(b:U) TARGET a",       // named target
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestParseErrorsMentionOffset(t *testing.T) {
+	_, err := Parse("AVG(price) MATCH (a:T name=x)-[p]->(b:U) garbage")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("err = %v, want offset info", err)
+	}
+}

@@ -1,0 +1,509 @@
+// Package query models aggregate queries over knowledge graphs (Definition
+// 2 and §V of the paper): a query graph with one target node and one or more
+// specific (named) nodes, an aggregate function over a numeric attribute of
+// the answers, optional range filters, and optional GROUP-BY.
+//
+// Complex shapes (chain, star, cycle, flower) are supported through
+// decomposition into root-to-target paths, the form consumed by the
+// decomposition–assembly engine (§V-B).
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc int
+
+// Aggregate functions. COUNT, SUM and AVG carry the paper's accuracy
+// guarantee; MAX and MIN are supported without one (§VII, Table X/XI).
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Max
+	Min
+)
+
+// String returns the SQL-style name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// HasGuarantee reports whether the sampling–estimation pipeline provides a
+// confidence-interval accuracy guarantee for this function.
+func (f AggFunc) HasGuarantee() bool { return f == Count || f == Sum || f == Avg }
+
+// ParseAggFunc converts a name like "AVG" into an AggFunc.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "COUNT":
+		return Count, nil
+	case "SUM":
+		return Sum, nil
+	case "AVG", "MEAN":
+		return Avg, nil
+	case "MAX":
+		return Max, nil
+	case "MIN":
+		return Min, nil
+	default:
+		return 0, fmt.Errorf("query: unknown aggregate function %q", s)
+	}
+}
+
+// Shape classifies the topology of a query graph (Figure 4 of the paper).
+type Shape int
+
+// Query graph shapes.
+const (
+	ShapeSimple Shape = iota // one specific node, one edge to the target
+	ShapeChain               // a path: specific → unknowns → target
+	ShapeStar                // several branches meeting at the target
+	ShapeCycle               // the underlying undirected graph has a cycle
+	ShapeFlower              // cycle(s) plus extra branches
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeSimple:
+		return "simple"
+	case ShapeChain:
+		return "chain"
+	case ShapeStar:
+		return "star"
+	case ShapeCycle:
+		return "cycle"
+	case ShapeFlower:
+		return "flower"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Node is one query-graph node. A node with a Name is a specific node (its
+// entity is known); a node without one is an unknown typed node. Exactly one
+// node of the query is designated the target.
+type Node struct {
+	Types []string
+	Name  string // empty for unknown nodes
+}
+
+// IsSpecific reports whether the node names a concrete entity.
+func (n Node) IsSpecific() bool { return n.Name != "" }
+
+// Edge is a predicate-labelled query edge between node indices.
+type Edge struct {
+	From, To  int
+	Predicate string
+}
+
+// Filter restricts answers to those whose attribute value lies in
+// [Low, High] (Definition 6). Use -Inf / +Inf for open ends.
+type Filter struct {
+	Attr string
+	Low  float64
+	High float64
+}
+
+// Matches reports whether value v passes the filter.
+func (f Filter) Matches(v float64) bool { return v >= f.Low && v <= f.High }
+
+// String renders the filter as "L <= attr <= U".
+func (f Filter) String() string {
+	switch {
+	case math.IsInf(f.Low, -1) && math.IsInf(f.High, 1):
+		return f.Attr + " unbounded"
+	case math.IsInf(f.Low, -1):
+		return fmt.Sprintf("%s <= %g", f.Attr, f.High)
+	case math.IsInf(f.High, 1):
+		return fmt.Sprintf("%g <= %s", f.Low, f.Attr)
+	default:
+		return fmt.Sprintf("%g <= %s <= %g", f.Low, f.Attr, f.High)
+	}
+}
+
+// Graph is a query graph: nodes, edges, and the index of the target node.
+type Graph struct {
+	Nodes  []Node
+	Edges  []Edge
+	Target int
+}
+
+// Aggregate is a full aggregate query AQ_G = (Q, f_a) with the §V
+// extensions: filters on answer attributes and GROUP-BY over an answer
+// attribute.
+type Aggregate struct {
+	Q       *Graph
+	Func    AggFunc
+	Attr    string // aggregated attribute; empty only for COUNT(*)
+	Filters []Filter
+	GroupBy string // attribute of the target node; empty = no grouping
+}
+
+// Validate checks structural well-formedness of the query graph.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) < 2 {
+		return fmt.Errorf("query: need at least a specific and a target node, have %d", len(g.Nodes))
+	}
+	if g.Target < 0 || g.Target >= len(g.Nodes) {
+		return fmt.Errorf("query: target index %d out of range", g.Target)
+	}
+	if g.Nodes[g.Target].IsSpecific() {
+		return fmt.Errorf("query: target node must be unknown, but has name %q", g.Nodes[g.Target].Name)
+	}
+	if len(g.Nodes[g.Target].Types) == 0 {
+		return fmt.Errorf("query: target node needs at least one type")
+	}
+	specifics := 0
+	for i, n := range g.Nodes {
+		if len(n.Types) == 0 {
+			return fmt.Errorf("query: node %d needs at least one type", i)
+		}
+		if n.IsSpecific() {
+			specifics++
+		}
+	}
+	if specifics == 0 {
+		return fmt.Errorf("query: need at least one specific (named) node")
+	}
+	if len(g.Edges) == 0 {
+		return fmt.Errorf("query: need at least one edge")
+	}
+	type edgeKey struct {
+		a, b int
+		pred string
+	}
+	seen := map[edgeKey]bool{}
+	for i, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			return fmt.Errorf("query: edge %d endpoints out of range", i)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("query: edge %d is a self-loop", i)
+		}
+		if e.Predicate == "" {
+			return fmt.Errorf("query: edge %d has no predicate", i)
+		}
+		// Parallel edges with distinct predicates are legitimate (two
+		// constraints between the same pair); duplicates are not.
+		k := edgeKey{a: e.From, b: e.To, pred: e.Predicate}
+		if e.From > e.To {
+			k.a, k.b = e.To, e.From
+		}
+		if seen[k] {
+			return fmt.Errorf("query: duplicate edge between nodes %d and %d with predicate %q", e.From, e.To, e.Predicate)
+		}
+		seen[k] = true
+	}
+	if !g.connected() {
+		return fmt.Errorf("query: query graph is not connected")
+	}
+	return nil
+}
+
+func (g *Graph) connected() bool {
+	if len(g.Nodes) == 0 {
+		return true
+	}
+	adj := g.undirectedAdj()
+	seen := make([]bool, len(g.Nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(g.Nodes)
+}
+
+func (g *Graph) undirectedAdj() [][]int {
+	adj := make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	return adj
+}
+
+// ShapeOf classifies the query graph per Figure 4. Classification assumes a
+// valid graph. A path topology counts as a chain only when it runs from a
+// single specific node to the target; a path with specific nodes on both
+// ends (branches meeting at the target) is a two-armed star.
+func (g *Graph) ShapeOf() Shape {
+	n, m := len(g.Nodes), len(g.Edges)
+	hasCycle := m >= n // connected graph with |E| >= |V| has a cycle
+	degree := make([]int, n)
+	for _, e := range g.Edges {
+		degree[e.From]++
+		degree[e.To]++
+	}
+	maxDeg := 0
+	for _, d := range degree {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	specifics := 0
+	for _, nd := range g.Nodes {
+		if nd.IsSpecific() {
+			specifics++
+		}
+	}
+	switch {
+	case hasCycle && maxDeg > 2:
+		return ShapeFlower
+	case hasCycle:
+		return ShapeCycle
+	case n == 2:
+		return ShapeSimple
+	case maxDeg <= 2 && specifics == 1 && degree[g.Target] == 1:
+		return ShapeChain
+	default:
+		return ShapeStar
+	}
+}
+
+// Hop is one step of a root-to-target path: follow Predicate to a node
+// carrying one of Types (the final hop's types are the target's).
+type Hop struct {
+	Predicate string
+	Types     []string
+}
+
+// Path is a decomposed sub-query: a specific root entity, then a sequence of
+// predicate hops ending at the shared target. Len 1 = simple query, longer =
+// chain (§V-B).
+type Path struct {
+	RootName  string
+	RootTypes []string
+	Hops      []Hop
+}
+
+// Decompose splits the query into root-to-target paths covering every query
+// edge — the decomposition–assembly framework of §V-B. Simple queries yield
+// one one-hop path, chains one multi-hop path, stars one path per branch,
+// and cycles/flowers one path per arc.
+//
+// Query graphs are tiny (real workloads rarely exceed four edges, per the
+// paper's SPARQL-log citation), so Decompose simply enumerates all simple
+// root→target paths and greedily picks a minimal edge-covering subset,
+// guaranteeing at least one path per specific node.
+func (g *Graph) Decompose() ([]Path, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Edge-labelled adjacency: (edge index, far endpoint). Tracking edge
+	// indices keeps parallel edges with distinct predicates separate.
+	type arc struct {
+		edge int
+		to   int
+	}
+	adj := make([][]arc, len(g.Nodes))
+	for ei, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], arc{edge: ei, to: e.To})
+		adj[e.To] = append(adj[e.To], arc{edge: ei, to: e.From})
+	}
+	for i := range adj {
+		sort.Slice(adj[i], func(a, b int) bool { // deterministic enumeration
+			if adj[i][a].to != adj[i][b].to {
+				return adj[i][a].to < adj[i][b].to
+			}
+			return adj[i][a].edge < adj[i][b].edge
+		})
+	}
+
+	type cand struct {
+		root  int
+		nodes []int // root ... target
+		edges []int // parallel to nodes[1:]
+	}
+	var cands []cand
+	for i, n := range g.Nodes {
+		if !n.IsSpecific() {
+			continue
+		}
+		// DFS enumeration of simple paths from specific node i to target.
+		onTrail := make([]bool, len(g.Nodes))
+		var nodesTrail, edgesTrail []int
+		var walk func(u int)
+		walk = func(u int) {
+			if u == g.Target {
+				cands = append(cands, cand{
+					root:  i,
+					nodes: append([]int(nil), nodesTrail...),
+					edges: append([]int(nil), edgesTrail...),
+				})
+				return
+			}
+			for _, a := range adj[u] {
+				if onTrail[a.to] {
+					continue
+				}
+				onTrail[a.to] = true
+				nodesTrail = append(nodesTrail, a.to)
+				edgesTrail = append(edgesTrail, a.edge)
+				walk(a.to)
+				nodesTrail = nodesTrail[:len(nodesTrail)-1]
+				edgesTrail = edgesTrail[:len(edgesTrail)-1]
+				onTrail[a.to] = false
+			}
+		}
+		onTrail[i] = true
+		nodesTrail = []int{i}
+		walk(i)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("query: no specific node can reach the target")
+	}
+	// Shorter paths first so the greedy cover prefers direct constraints;
+	// ties break on root index then lexicographic edge sequence for
+	// determinism.
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if len(ca.edges) != len(cb.edges) {
+			return len(ca.edges) < len(cb.edges)
+		}
+		if ca.root != cb.root {
+			return ca.root < cb.root
+		}
+		for k := range ca.edges {
+			if ca.edges[k] != cb.edges[k] {
+				return ca.edges[k] < cb.edges[k]
+			}
+		}
+		return false
+	})
+
+	covered := make([]bool, len(g.Edges))
+	coveredCount := 0
+	rootHasPath := map[int]bool{}
+	var chosen []cand
+	take := func(c cand) {
+		chosen = append(chosen, c)
+		rootHasPath[c.root] = true
+		for _, ei := range c.edges {
+			if !covered[ei] {
+				covered[ei] = true
+				coveredCount++
+			}
+		}
+	}
+
+	// Greedy cover: repeatedly take the candidate covering the most
+	// uncovered edges until every edge is covered.
+	for coveredCount < len(g.Edges) {
+		best, bestGain := -1, 0
+		for ci, c := range cands {
+			gain := 0
+			for _, ei := range c.edges {
+				if !covered[ei] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = ci, gain
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("query: edges exist that lie on no root-to-target path")
+		}
+		take(cands[best])
+	}
+	// Every specific node must contribute a constraint (§V-B intersects one
+	// sample per root); add its shortest path when the cover skipped it.
+	for ci, c := range cands {
+		if !rootHasPath[c.root] {
+			take(cands[ci]) // cands are sorted shortest-first per root
+		}
+	}
+
+	// Deterministic output order: by root index, then path length.
+	sort.SliceStable(chosen, func(a, b int) bool {
+		if chosen[a].root != chosen[b].root {
+			return chosen[a].root < chosen[b].root
+		}
+		return len(chosen[a].edges) < len(chosen[b].edges)
+	})
+
+	paths := make([]Path, 0, len(chosen))
+	for _, c := range chosen {
+		p := Path{RootName: g.Nodes[c.root].Name, RootTypes: g.Nodes[c.root].Types}
+		for k, ei := range c.edges {
+			p.Hops = append(p.Hops, Hop{
+				Predicate: g.Edges[ei].Predicate,
+				Types:     g.Nodes[c.nodes[k+1]].Types,
+			})
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// Validate checks the full aggregate query.
+func (a *Aggregate) Validate() error {
+	if a.Q == nil {
+		return fmt.Errorf("query: aggregate has no query graph")
+	}
+	if err := a.Q.Validate(); err != nil {
+		return err
+	}
+	if a.Func != Count && a.Attr == "" {
+		return fmt.Errorf("query: %s requires an attribute", a.Func)
+	}
+	for _, f := range a.Filters {
+		if f.Attr == "" {
+			return fmt.Errorf("query: filter without attribute")
+		}
+		if f.Low > f.High {
+			return fmt.Errorf("query: filter %s has empty range", f)
+		}
+	}
+	return nil
+}
+
+// String renders the aggregate query compactly for logs.
+func (a *Aggregate) String() string {
+	var sb strings.Builder
+	if a.Attr != "" {
+		fmt.Fprintf(&sb, "%s(%s)", a.Func, a.Attr)
+	} else {
+		fmt.Fprintf(&sb, "%s(*)", a.Func)
+	}
+	if a.Q != nil {
+		fmt.Fprintf(&sb, " over %s query", a.Q.ShapeOf())
+	}
+	for _, f := range a.Filters {
+		fmt.Fprintf(&sb, " filter[%s]", f)
+	}
+	if a.GroupBy != "" {
+		fmt.Fprintf(&sb, " group-by %s", a.GroupBy)
+	}
+	return sb.String()
+}

@@ -1,0 +1,335 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSimpleConstructor(t *testing.T) {
+	a := Simple(Avg, "price", "Germany", "Country", "product", "Automobile")
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeSimple {
+		t.Fatalf("shape = %v, want simple", got)
+	}
+	if a.Q.Nodes[a.Q.Target].Types[0] != "Automobile" {
+		t.Fatal("target type wrong")
+	}
+	if !strings.Contains(a.String(), "AVG(price)") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestChainConstructor(t *testing.T) {
+	// Q10: How many cars are designed by German designers?
+	a := Chain(Count, "", "Germany", "Country", []Hop{
+		{Predicate: "nationality", Types: []string{"Person"}},
+		{Predicate: "designer", Types: []string{"Automobile"}},
+	})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeChain {
+		t.Fatalf("shape = %v, want chain", got)
+	}
+	paths, err := a.Q.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	if len(paths[0].Hops) != 2 {
+		t.Fatalf("hops = %d, want 2", len(paths[0].Hops))
+	}
+	if paths[0].RootName != "Germany" {
+		t.Fatalf("root = %q", paths[0].RootName)
+	}
+	if paths[0].Hops[1].Types[0] != "Automobile" {
+		t.Fatal("final hop should end at target type")
+	}
+}
+
+func starQuery() *Aggregate {
+	// Q9-style: soccer players born in Spain who played for Barcelona.
+	b := NewBuilder()
+	spain := b.Specific("Spain", "Country")
+	barca := b.Specific("Barcelona_FC", "SoccerClub")
+	tgt := b.Target("SoccerPlayer")
+	b.Edge(tgt, spain, "bornIn")
+	b.Edge(tgt, barca, "team")
+	return b.Aggregate(Count, "")
+}
+
+func TestStarShapeAndDecompose(t *testing.T) {
+	a := starQuery()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeStar {
+		t.Fatalf("shape = %v, want star", got)
+	}
+	paths, err := a.Q.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	roots := map[string]bool{}
+	for _, p := range paths {
+		roots[p.RootName] = true
+		if len(p.Hops) != 1 {
+			t.Fatalf("star branch should be one hop, got %d", len(p.Hops))
+		}
+	}
+	if !roots["Spain"] || !roots["Barcelona_FC"] {
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+func cycleQuery() *Aggregate {
+	// Figure 4(c)-style cycle: target player member of a club that is
+	// grounded in a country where the player also has nationality.
+	b := NewBuilder()
+	tgt := b.Target("SoccerPlayer")
+	club := b.Unknown("SoccerClub")
+	eng := b.Specific("England", "Country")
+	b.Edge(tgt, club, "team")
+	b.Edge(club, eng, "ground")
+	b.Edge(tgt, eng, "nationality")
+	return b.Aggregate(Avg, "age")
+}
+
+func TestCycleShapeAndDecompose(t *testing.T) {
+	a := cycleQuery()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeCycle {
+		t.Fatalf("shape = %v, want cycle", got)
+	}
+	paths, err := a.Q.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (both arcs of the cycle)", len(paths))
+	}
+	// Both arcs start from England; one is direct, one goes via the club.
+	lens := map[int]bool{}
+	for _, p := range paths {
+		if p.RootName != "England" {
+			t.Fatalf("root = %q, want England", p.RootName)
+		}
+		lens[len(p.Hops)] = true
+	}
+	if !lens[1] || !lens[2] {
+		t.Fatalf("arc lengths = %v, want {1,2}", lens)
+	}
+}
+
+func flowerQuery() *Aggregate {
+	// Figure 4(d)-style flower: cycle plus an extra branch.
+	b := NewBuilder()
+	tgt := b.Target("SoccerPlayer")
+	club := b.Unknown("SoccerClub")
+	eng := b.Specific("England", "Country")
+	spain := b.Specific("Spain", "Country")
+	b.Edge(tgt, club, "team")
+	b.Edge(club, eng, "ground")
+	b.Edge(tgt, eng, "nationality")
+	b.Edge(tgt, spain, "bornIn")
+	return b.Aggregate(Avg, "age")
+}
+
+func TestFlowerShapeAndDecompose(t *testing.T) {
+	a := flowerQuery()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Q.ShapeOf(); got != ShapeFlower {
+		t.Fatalf("shape = %v, want flower", got)
+	}
+	paths, err := a.Q.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(paths))
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"one node", &Graph{Nodes: []Node{{Types: []string{"T"}}}, Target: 0}},
+		{"target out of range", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {Types: []string{"T"}}},
+			Edges:  []Edge{{0, 1, "p"}},
+			Target: 7,
+		}},
+		{"named target", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {Name: "b", Types: []string{"T"}}},
+			Edges:  []Edge{{0, 1, "p"}},
+			Target: 1,
+		}},
+		{"typeless target", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {}},
+			Edges:  []Edge{{0, 1, "p"}},
+			Target: 1,
+		}},
+		{"no specific node", &Graph{
+			Nodes:  []Node{{Types: []string{"T"}}, {Types: []string{"T"}}},
+			Edges:  []Edge{{0, 1, "p"}},
+			Target: 1,
+		}},
+		{"no edges", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {Types: []string{"T"}}},
+			Target: 1,
+		}},
+		{"self loop", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {Types: []string{"T"}}},
+			Edges:  []Edge{{0, 0, "p"}},
+			Target: 1,
+		}},
+		{"edge predicate missing", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {Types: []string{"T"}}},
+			Edges:  []Edge{{0, 1, ""}},
+			Target: 1,
+		}},
+		{"duplicate edges", &Graph{
+			Nodes:  []Node{{Name: "a", Types: []string{"T"}}, {Types: []string{"T"}}},
+			Edges:  []Edge{{0, 1, "p"}, {1, 0, "p"}},
+			Target: 1,
+		}},
+		{"disconnected", &Graph{
+			Nodes: []Node{
+				{Name: "a", Types: []string{"T"}}, {Types: []string{"T"}},
+				{Name: "c", Types: []string{"T"}}, {Types: []string{"T"}},
+			},
+			Edges:  []Edge{{0, 1, "p"}, {2, 3, "q"}},
+			Target: 1,
+		}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid graph", c.name)
+		}
+	}
+}
+
+func TestAggregateValidate(t *testing.T) {
+	a := Simple(Sum, "", "Germany", "Country", "product", "Automobile")
+	if err := a.Validate(); err == nil {
+		t.Fatal("SUM without attribute accepted")
+	}
+	a = Simple(Count, "", "Germany", "Country", "product", "Automobile")
+	if err := a.Validate(); err != nil {
+		t.Fatalf("COUNT(*) rejected: %v", err)
+	}
+	a.WithFilter("price", 100, 50)
+	if err := a.Validate(); err == nil {
+		t.Fatal("empty filter range accepted")
+	}
+	a.Filters = []Filter{{Attr: "", Low: 0, High: 1}}
+	if err := a.Validate(); err == nil {
+		t.Fatal("filter without attribute accepted")
+	}
+	var nilQ Aggregate
+	if err := nilQ.Validate(); err == nil {
+		t.Fatal("aggregate without query graph accepted")
+	}
+}
+
+func TestFilterMatches(t *testing.T) {
+	f := Filter{Attr: "mpg", Low: 25, High: 30}
+	if !f.Matches(25) || !f.Matches(30) || !f.Matches(27.5) {
+		t.Fatal("closed range should include endpoints")
+	}
+	if f.Matches(24.999) || f.Matches(30.001) {
+		t.Fatal("out of range accepted")
+	}
+	open := Filter{Attr: "mpg", Low: math.Inf(-1), High: 30}
+	if !open.Matches(-1e9) {
+		t.Fatal("open lower bound broken")
+	}
+	if got := open.String(); !strings.Contains(got, "<= 30") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAggFuncProperties(t *testing.T) {
+	guar := map[AggFunc]bool{Count: true, Sum: true, Avg: true, Max: false, Min: false}
+	for f, want := range guar {
+		if f.HasGuarantee() != want {
+			t.Errorf("%s HasGuarantee = %v, want %v", f, f.HasGuarantee(), want)
+		}
+	}
+	for _, name := range []string{"COUNT", "sum", "Avg", "MAX", "min"} {
+		if _, err := ParseAggFunc(name); err != nil {
+			t.Errorf("ParseAggFunc(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ParseAggFunc("MEDIAN"); err == nil {
+		t.Error("ParseAggFunc accepted MEDIAN")
+	}
+}
+
+func TestWithFilterHelpers(t *testing.T) {
+	a := Simple(Avg, "price", "Germany", "Country", "product", "Automobile").
+		WithFilterAtLeast("mpg", 25).
+		WithFilterAtMost("price", 100000).
+		WithGroupBy("brand")
+	if len(a.Filters) != 2 {
+		t.Fatalf("filters = %d, want 2", len(a.Filters))
+	}
+	if !math.IsInf(a.Filters[0].High, 1) || !math.IsInf(a.Filters[1].Low, -1) {
+		t.Fatal("open bounds not set")
+	}
+	if a.GroupBy != "brand" {
+		t.Fatal("group by not set")
+	}
+	if !strings.Contains(a.String(), "group-by brand") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestDecomposeSimple(t *testing.T) {
+	a := Simple(Avg, "price", "Germany", "Country", "product", "Automobile")
+	paths, err := a.Q.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0].Hops) != 1 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	if paths[0].Hops[0].Predicate != "product" {
+		t.Fatalf("hop predicate = %q", paths[0].Hops[0].Predicate)
+	}
+}
+
+func TestDecomposeDeterministic(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		p1, err := flowerQuery().Q.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := flowerQuery().Q.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p1) != len(p2) {
+			t.Fatal("nondeterministic decomposition size")
+		}
+		for j := range p1 {
+			if p1[j].RootName != p2[j].RootName || len(p1[j].Hops) != len(p2[j].Hops) {
+				t.Fatal("nondeterministic decomposition")
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package semsim
+
+import (
+	"testing"
+
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+)
+
+// Micro-benchmarks of the similarity layer: cached predicate similarity,
+// exhaustive path enumeration (SSB's core), and batched greedy validation.
+
+func benchCalc(b *testing.B) (*Calculator, *kg.Graph) {
+	b.Helper()
+	g := kgtest.Figure1()
+	c, err := NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, g
+}
+
+func BenchmarkPredSimCached(b *testing.B) {
+	c, g := benchCalc(b)
+	p1 := g.PredByName("product")
+	p2 := g.PredByName("assembly")
+	c.PredSim(p1, p2) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PredSim(p1, p2)
+	}
+}
+
+func BenchmarkExhaustiveN3(b *testing.B) {
+	c, g := benchCalc(b)
+	us := g.NodeByName("Germany")
+	pred := g.PredByName("product")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exhaustive(c, us, pred, 3)
+	}
+}
+
+func BenchmarkValidateBatch(b *testing.B) {
+	c, g := benchCalc(b)
+	us := g.NodeByName("Germany")
+	pred := g.PredByName("product")
+	bound := g.BoundedSubgraph(us, 3)
+	pi := map[kg.NodeID]float64{}
+	for u, d := range bound.Dist {
+		pi[u] = 1.0 / float64(1+d)
+	}
+	var answers []kg.NodeID
+	auto := g.TypeByName("Automobile")
+	for _, u := range bound.Nodes {
+		if g.HasType(u, auto) {
+			answers = append(answers, u)
+		}
+	}
+	cfg := ValidatorConfig{Repeat: 3, MaxLen: 3, Tau: 0.85}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Validate(c, us, pred, pi, answers, cfg)
+	}
+}

@@ -1,0 +1,252 @@
+package semsim
+
+import (
+	"container/heap"
+
+	"kgaq/internal/kg"
+)
+
+// Exhaustive enumerates every simple path of length ≤ n starting at us and
+// returns, for each reached node, the maximum path similarity (Eq. 3) to the
+// query predicate. It is the core of the SSB baseline (Algorithm 1): exact
+// but exponential in n (O(mⁿ) with average degree m).
+//
+// The caller filters the returned map by answer type and threshold τ.
+func Exhaustive(c *Calculator, us kg.NodeID, queryPred kg.PredID, n int) map[kg.NodeID]float64 {
+	best := map[kg.NodeID]float64{}
+	if n <= 0 {
+		return best
+	}
+	g := c.Graph()
+	onPath := map[kg.NodeID]bool{us: true}
+	preds := make([]kg.PredID, 0, n)
+
+	var dfs func(u kg.NodeID)
+	dfs = func(u kg.NodeID) {
+		for _, he := range g.Neighbors(u) {
+			if onPath[he.To] {
+				continue
+			}
+			preds = append(preds, he.Pred)
+			s := c.PathSim(queryPred, preds)
+			if s > best[he.To] {
+				best[he.To] = s
+			}
+			if len(preds) < n {
+				onPath[he.To] = true
+				dfs(he.To)
+				onPath[he.To] = false
+			}
+			preds = preds[:len(preds)-1]
+		}
+	}
+	dfs(us)
+	return best
+}
+
+// ValidateResult is the outcome of greedy correctness validation for one
+// answer: the best similarity among the paths found and how many distinct
+// paths reached the answer.
+type ValidateResult struct {
+	Similarity float64
+	Paths      int
+}
+
+// ValidateStats reports the work done by a Validate call.
+type ValidateStats struct {
+	Expansions int
+	PathsFound int
+	Fallbacks  int
+}
+
+// ValidatorConfig tunes greedy correctness validation (§IV-B2).
+type ValidatorConfig struct {
+	// Repeat factor r: an answer is declared incorrect only after r
+	// plausible paths to it all fall below τ (more paths → fewer false
+	// negatives, more time). Zero means the paper's default of 3.
+	Repeat int
+	// MaxLen bounds path length; zero means 3 (the n-bounded default).
+	MaxLen int
+	// Budget bounds total node expansions; zero means 200000.
+	Budget int
+	// Tau is the correctness threshold. A path with similarity ≥ Tau
+	// settles the answer as correct immediately (the max in Eq. 3 can only
+	// grow); only paths with similarity ≥ PlausibleFraction·Tau count
+	// toward the r failures — junk paths through unrelated predicates carry
+	// no evidence about the answer and must not exhaust the repeat budget.
+	// Zero means 0.85.
+	Tau float64
+	// PlausibleFraction scales the evidence floor (zero means 0.6).
+	PlausibleFraction float64
+}
+
+func (v ValidatorConfig) withDefaults() ValidatorConfig {
+	if v.Repeat <= 0 {
+		v.Repeat = 3
+	}
+	if v.MaxLen <= 0 {
+		v.MaxLen = 3
+	}
+	if v.Budget <= 0 {
+		v.Budget = 200000
+	}
+	if v.Tau <= 0 {
+		v.Tau = 0.85
+	}
+	if v.PlausibleFraction <= 0 {
+		v.PlausibleFraction = 0.6
+	}
+	return v
+}
+
+// pathItem is a partial path in the greedy frontier.
+type pathItem struct {
+	tip      kg.NodeID
+	priority float64 // π of the tip (paper: expand highest-π first)
+	preds    []kg.PredID
+	nodes    []kg.NodeID // full node sequence for simple-path checking
+}
+
+type pathHeap []*pathItem
+
+func (h pathHeap) Len() int           { return len(h) }
+func (h pathHeap) Less(i, j int) bool { return h[i].priority > h[j].priority }
+func (h pathHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x any)        { *h = append(*h, x.(*pathItem)) }
+func (h *pathHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Validate performs greedy correctness validation (§IV-B2) for the given
+// answers: a best-first search over simple paths from us, expanding the
+// frontier path whose tip has the highest visiting probability π, recording
+// every path that reaches a requested answer until each has r paths. The
+// similarity reported per answer is the maximum Eq. 2 value over its found
+// paths — a lower bound on the true Eq. 3 similarity, so validation can
+// produce false negatives but never false positives (an answer whose true
+// similarity is < τ can only yield paths with similarity < τ).
+//
+// Answers the guided search never reaches within budget fall back to a
+// per-answer exhaustive search, keeping starvation from turning into false
+// negatives wholesale.
+func Validate(c *Calculator, us kg.NodeID, queryPred kg.PredID, pi map[kg.NodeID]float64,
+	answers []kg.NodeID, cfg ValidatorConfig) (map[kg.NodeID]ValidateResult, ValidateStats) {
+
+	cfg = cfg.withDefaults()
+	g := c.Graph()
+	want := make(map[kg.NodeID]bool, len(answers))
+	for _, a := range answers {
+		want[a] = true
+	}
+	res := make(map[kg.NodeID]ValidateResult, len(answers))
+	settled := make(map[kg.NodeID]bool, len(answers))
+	var stats ValidateStats
+
+	remaining := len(want)
+	floor := cfg.PlausibleFraction * cfg.Tau
+
+	h := &pathHeap{{tip: us, priority: pi[us], nodes: []kg.NodeID{us}}}
+	heap.Init(h)
+	for h.Len() > 0 && remaining > 0 && stats.Expansions < cfg.Budget {
+		it := heap.Pop(h).(*pathItem)
+		if len(it.preds) >= cfg.MaxLen {
+			continue
+		}
+		stats.Expansions++
+		for _, he := range g.Neighbors(it.tip) {
+			onPath := false
+			for _, u := range it.nodes {
+				if u == he.To {
+					onPath = true
+					break
+				}
+			}
+			if onPath {
+				continue
+			}
+			preds := append(append([]kg.PredID(nil), it.preds...), he.Pred)
+			nodes := append(append([]kg.NodeID(nil), it.nodes...), he.To)
+			if want[he.To] && !settled[he.To] {
+				s := c.PathSim(queryPred, preds)
+				r := res[he.To]
+				if s > r.Similarity {
+					r.Similarity = s
+				}
+				stats.PathsFound++
+				switch {
+				case s >= cfg.Tau:
+					// Eq. 3 takes the maximum over matches: one path at or
+					// above τ settles correctness for good.
+					r.Paths++
+					settled[he.To] = true
+					remaining--
+				case s >= floor:
+					// A plausible near-miss: counts toward the r failures.
+					r.Paths++
+					if r.Paths >= cfg.Repeat {
+						settled[he.To] = true
+						remaining--
+					}
+				default:
+					// Junk path through unrelated predicates: no evidence.
+				}
+				res[he.To] = r
+			}
+			if len(preds) < cfg.MaxLen {
+				heap.Push(h, &pathItem{tip: he.To, priority: pi[he.To], preds: preds, nodes: nodes})
+			}
+		}
+	}
+
+	// Fallback for answers the guided search never reached at all (their
+	// Similarity is still zero; any found path, junk included, raises it).
+	for _, a := range answers {
+		if res[a].Similarity == 0 {
+			stats.Fallbacks++
+			if s, ok := fallbackBest(c, us, queryPred, a, cfg.MaxLen); ok {
+				res[a] = ValidateResult{Similarity: s, Paths: 1}
+			} else {
+				res[a] = ValidateResult{}
+			}
+		}
+	}
+	return res, stats
+}
+
+// fallbackBest runs a depth-bounded exhaustive search for the single answer
+// a, returning the best path similarity from us.
+func fallbackBest(c *Calculator, us kg.NodeID, queryPred kg.PredID, a kg.NodeID, maxLen int) (float64, bool) {
+	g := c.Graph()
+	best := -1.0
+	onPath := map[kg.NodeID]bool{us: true}
+	preds := make([]kg.PredID, 0, maxLen)
+	var dfs func(u kg.NodeID)
+	dfs = func(u kg.NodeID) {
+		for _, he := range g.Neighbors(u) {
+			if onPath[he.To] {
+				continue
+			}
+			preds = append(preds, he.Pred)
+			if he.To == a {
+				if s := c.PathSim(queryPred, preds); s > best {
+					best = s
+				}
+			}
+			if len(preds) < maxLen {
+				onPath[he.To] = true
+				dfs(he.To)
+				onPath[he.To] = false
+			}
+			preds = preds[:len(preds)-1]
+		}
+	}
+	dfs(us)
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,149 @@
+package semsim
+
+import (
+	"math"
+	"testing"
+
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+)
+
+// fakePi assigns a plausible visiting probability: higher for nodes closer
+// to the start, which is the regime the greedy validator is designed for.
+func fakePi(g *kg.Graph, us kg.NodeID) map[kg.NodeID]float64 {
+	b := g.BoundedSubgraph(us, 4)
+	pi := map[kg.NodeID]float64{}
+	total := 0.0
+	for u, d := range b.Dist {
+		w := 1.0 / float64(1+d*d)
+		pi[u] = w
+		total += w
+	}
+	for u := range pi {
+		pi[u] /= total
+	}
+	return pi
+}
+
+func TestValidateFindsAllAnswers(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	us := g.NodeByName("Germany")
+	pi := fakePi(g, us)
+
+	var answers []kg.NodeID
+	for _, name := range append(kgtest.Figure1Answers(), "KIA_K5") {
+		answers = append(answers, g.NodeByName(name))
+	}
+	res, stats := Validate(c, us, product, pi, answers, ValidatorConfig{Repeat: 3, MaxLen: 3})
+	if stats.Expansions == 0 {
+		t.Fatal("no expansions recorded")
+	}
+
+	exact := Exhaustive(c, us, product, 3)
+	tau := 0.85
+	for _, a := range answers {
+		got := res[a]
+		if got.Paths == 0 {
+			t.Fatalf("%s: no path found", g.Name(a))
+		}
+		// No false positives (Theorem-free guarantee of §IV-B2): the greedy
+		// similarity never exceeds the exhaustive one.
+		if got.Similarity > exact[a]+1e-9 {
+			t.Fatalf("%s: greedy similarity %v exceeds exact %v", g.Name(a), got.Similarity, exact[a])
+		}
+		// On this small fixture with r=3 the heuristic is exact.
+		if math.Abs(got.Similarity-exact[a]) > 1e-9 {
+			t.Errorf("%s: greedy %v != exact %v", g.Name(a), got.Similarity, exact[a])
+		}
+		wantCorrect := exact[a] >= tau
+		gotCorrect := got.Similarity >= tau
+		if wantCorrect != gotCorrect {
+			t.Errorf("%s: correctness %v, want %v", g.Name(a), gotCorrect, wantCorrect)
+		}
+	}
+}
+
+func TestValidateRepeatFactorReducesFalseNegatives(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	us := g.NodeByName("Germany")
+	pi := fakePi(g, us)
+	lamando := g.NodeByName("Lamando")
+
+	// With r=1 the first-found path may be the weaker designCompany one;
+	// with a larger r the better country→product path must be found.
+	resBig, _ := Validate(c, us, product, pi, []kg.NodeID{lamando}, ValidatorConfig{Repeat: 4, MaxLen: 3})
+	exact := Exhaustive(c, us, product, 3)
+	if math.Abs(resBig[lamando].Similarity-exact[lamando]) > 1e-9 {
+		t.Fatalf("r=4 similarity %v, want exact %v", resBig[lamando].Similarity, exact[lamando])
+	}
+	resSmall, _ := Validate(c, us, product, pi, []kg.NodeID{lamando}, ValidatorConfig{Repeat: 1, MaxLen: 3})
+	if resSmall[lamando].Similarity > resBig[lamando].Similarity+1e-9 {
+		t.Fatal("smaller r produced higher similarity")
+	}
+}
+
+func TestValidateUnreachableAnswer(t *testing.T) {
+	// Build a graph with a disconnected answer.
+	b := kg.NewBuilder()
+	us := b.AddNode("start", "Country")
+	a1 := b.AddNode("car1", "Automobile")
+	if err := b.AddEdge(a1, "assembly", us); err != nil {
+		t.Fatal(err)
+	}
+	island := b.AddNode("island_car", "Automobile")
+	other := b.AddNode("elsewhere", "Country")
+	if err := b.AddEdge(island, "assembly", other); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	m := embtest.Figure1Model(g)
+	c, err := NewCalculator(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := fakePi(g, us)
+	res, stats := Validate(c, us, g.PredByName("assembly"), pi,
+		[]kg.NodeID{island}, ValidatorConfig{})
+	if res[island].Paths != 0 || res[island].Similarity != 0 {
+		t.Fatalf("unreachable answer got %+v", res[island])
+	}
+	if stats.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", stats.Fallbacks)
+	}
+}
+
+func TestValidateBudgetExhaustion(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	us := g.NodeByName("Germany")
+	pi := fakePi(g, us)
+	lamando := g.NodeByName("Lamando")
+	// Budget of 1 exhausts immediately; the fallback must still find it.
+	res, stats := Validate(c, us, product, pi, []kg.NodeID{lamando},
+		ValidatorConfig{Repeat: 3, MaxLen: 3, Budget: 1})
+	if res[lamando].Paths == 0 {
+		t.Fatal("fallback did not rescue budget exhaustion")
+	}
+	if stats.Expansions > 1 {
+		t.Fatalf("expansions = %d, want ≤ 1", stats.Expansions)
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	cfg := ValidatorConfig{}.withDefaults()
+	if cfg.Repeat != 3 || cfg.MaxLen != 3 || cfg.Budget != 200000 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestValidateEmptyAnswerSet(t *testing.T) {
+	c, g := figure1Calc(t)
+	us := g.NodeByName("Germany")
+	res, _ := Validate(c, us, g.PredByName("product"), fakePi(g, us), nil, ValidatorConfig{})
+	if len(res) != 0 {
+		t.Fatalf("res = %v, want empty", res)
+	}
+}

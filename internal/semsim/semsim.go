@@ -1,0 +1,99 @@
+// Package semsim implements the semantic-similarity machinery of §III and
+// §IV-B2 of the paper: predicate similarity via KG-embedding cosine (Eq. 4),
+// path similarity as the geometric mean of predicate similarities (Eq. 2),
+// answer similarity as the maximum over subgraph matches (Eq. 3), the
+// exhaustive bounded path enumeration used by the SSB baseline, and the
+// π-guided greedy correctness validator with repeat factor r.
+package semsim
+
+import (
+	"fmt"
+	"math"
+
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+)
+
+// DefaultFloor is the minimum predicate similarity. Raw cosines can be zero
+// or negative; clamping to a small positive floor keeps every transition
+// probability nonzero, which Lemma 1 (irreducibility of the semantic-aware
+// walk) relies on.
+const DefaultFloor = 0.01
+
+// Calculator computes and caches predicate similarities for one graph and
+// embedding model. It is safe for concurrent readers after warm-up only if
+// no new predicate pairs are queried; engines use one Calculator per query
+// execution, so no locking is needed.
+type Calculator struct {
+	g     *kg.Graph
+	model embedding.Model
+	floor float64
+	// cache is keyed by (min, max) predicate id; similarity is symmetric.
+	cache map[[2]kg.PredID]float64
+}
+
+// NewCalculator builds a Calculator with the given similarity floor
+// (DefaultFloor when floor <= 0).
+func NewCalculator(g *kg.Graph, model embedding.Model, floor float64) (*Calculator, error) {
+	if g == nil || model == nil {
+		return nil, fmt.Errorf("semsim: nil graph or model")
+	}
+	if floor <= 0 {
+		floor = DefaultFloor
+	}
+	if floor >= 1 {
+		return nil, fmt.Errorf("semsim: floor %v must be below 1", floor)
+	}
+	return &Calculator{
+		g:     g,
+		model: model,
+		floor: floor,
+		cache: map[[2]kg.PredID]float64{},
+	}, nil
+}
+
+// Graph returns the underlying knowledge graph.
+func (c *Calculator) Graph() *kg.Graph { return c.g }
+
+// Floor returns the similarity floor in effect.
+func (c *Calculator) Floor() float64 { return c.floor }
+
+// PredSim returns the clamped cosine similarity between predicates a and b
+// (Eq. 4), in [floor, 1].
+func (c *Calculator) PredSim(a, b kg.PredID) float64 {
+	if a == b {
+		return 1
+	}
+	k := [2]kg.PredID{a, b}
+	if a > b {
+		k = [2]kg.PredID{b, a}
+	}
+	if s, ok := c.cache[k]; ok {
+		return s
+	}
+	s := embedding.PredicateSimilarity(c.model, a, b)
+	if s < c.floor {
+		s = c.floor
+	}
+	if s > 1 {
+		s = 1
+	}
+	c.cache[k] = s
+	return s
+}
+
+// PathSim returns the semantic similarity of a subgraph match whose path
+// carries the given predicates, against the query predicate (Eq. 2): the
+// geometric mean of per-edge predicate similarities. An empty path has
+// similarity 0 (no match).
+func (c *Calculator) PathSim(queryPred kg.PredID, preds []kg.PredID) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	// Work in log space: geometric mean of l factors.
+	logSum := 0.0
+	for _, p := range preds {
+		logSum += math.Log(c.PredSim(queryPred, p))
+	}
+	return math.Exp(logSum / float64(len(preds)))
+}

@@ -1,0 +1,218 @@
+package semsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/stats"
+)
+
+func figure1Calc(t *testing.T) (*Calculator, *kg.Graph) {
+	t.Helper()
+	g := kgtest.Figure1()
+	m := embtest.Figure1Model(g)
+	c, err := NewCalculator(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func TestNewCalculatorErrors(t *testing.T) {
+	g := kgtest.Figure1()
+	m := embtest.Figure1Model(g)
+	if _, err := NewCalculator(nil, m, 0); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewCalculator(g, nil, 0); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewCalculator(g, m, 1.5); err == nil {
+		t.Fatal("floor ≥ 1 accepted")
+	}
+}
+
+func TestPredSimPaperValues(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	cases := []struct {
+		pred string
+		want float64
+	}{
+		{"assembly", 0.98},
+		{"country", 0.81},
+		{"manufacturer", 0.90},
+		{"designer", 0.80},
+		{"nationality", 0.84},
+	}
+	for _, cs := range cases {
+		got := c.PredSim(product, g.PredByName(cs.pred))
+		if math.Abs(got-cs.want) > 1e-9 {
+			t.Errorf("sim(%s, product) = %v, want %v", cs.pred, got, cs.want)
+		}
+	}
+	if got := c.PredSim(product, product); got != 1 {
+		t.Errorf("self similarity = %v", got)
+	}
+}
+
+func TestPredSimFloor(t *testing.T) {
+	g := kgtest.Figure1()
+	m := embtest.Figure1Model(g)
+	c, err := NewCalculator(g, m, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Floor() != 0.05 {
+		t.Fatalf("Floor = %v", c.Floor())
+	}
+	// All pairwise similarities must respect the floor.
+	for a := 0; a < g.NumPredicates(); a++ {
+		for b := 0; b < g.NumPredicates(); b++ {
+			s := c.PredSim(kg.PredID(a), kg.PredID(b))
+			if s < 0.05 || s > 1 {
+				t.Fatalf("sim(%s,%s) = %v outside [floor,1]",
+					g.PredName(kg.PredID(a)), g.PredName(kg.PredID(b)), s)
+			}
+		}
+	}
+}
+
+func TestPredSimCached(t *testing.T) {
+	c, g := figure1Calc(t)
+	a, b := g.PredByName("assembly"), g.PredByName("country")
+	s1 := c.PredSim(a, b)
+	s2 := c.PredSim(b, a) // symmetric lookup must hit the cache
+	if s1 != s2 {
+		t.Fatalf("asymmetric similarity: %v vs %v", s1, s2)
+	}
+	if len(c.cache) != 1 {
+		t.Fatalf("cache entries = %d, want 1", len(c.cache))
+	}
+}
+
+func TestPathSimExample3(t *testing.T) {
+	// Example 3: Audi TT via assembly→country has sim sqrt(0.98×0.81)=0.89.
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	preds := []kg.PredID{g.PredByName("assembly"), g.PredByName("country")}
+	got := c.PathSim(product, preds)
+	want := math.Sqrt(0.98 * 0.81)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PathSim = %v, want %v", got, want)
+	}
+}
+
+func TestPathSimEmpty(t *testing.T) {
+	c, g := figure1Calc(t)
+	if got := c.PathSim(g.PredByName("product"), nil); got != 0 {
+		t.Fatalf("empty path sim = %v, want 0", got)
+	}
+}
+
+// Property: PathSim is monotone in each predicate similarity and bounded by
+// the max/min per-edge similarity (geometric mean property).
+func TestPathSimBounds(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 1 + r.Intn(3)
+		preds := make([]kg.PredID, n)
+		lo, hi := 1.0, 0.0
+		for i := range preds {
+			preds[i] = kg.PredID(r.Intn(g.NumPredicates()))
+			s := c.PredSim(product, preds[i])
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		gm := c.PathSim(product, preds)
+		return gm >= lo-1e-12 && gm <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveFigure1(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	us := g.NodeByName("Germany")
+	best := Exhaustive(c, us, product, 3)
+
+	wantSims := map[string]float64{
+		"BMW_320":     0.98,
+		"BMW_X6":      0.98,
+		"Porsche_911": math.Sqrt(0.90 * 0.81),
+		"Audi_TT":     math.Sqrt(0.98 * 0.81),
+		"Lamando":     math.Sqrt(1.00 * 0.81),
+		"KIA_K5":      math.Sqrt(0.80 * 0.84),
+	}
+	for name, want := range wantSims {
+		got, ok := best[g.NodeByName(name)]
+		if !ok {
+			t.Fatalf("%s not reached", name)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("sim(%s) = %v, want %v", name, got, want)
+		}
+	}
+	// τ = 0.85 separates the correct answers from KIA K5 (Example 2).
+	auto := g.TypeByName("Automobile")
+	correct := map[string]bool{}
+	for u, s := range best {
+		if g.HasType(u, auto) && s >= 0.85 {
+			correct[g.Name(u)] = true
+		}
+	}
+	if len(correct) != len(kgtest.Figure1Answers()) {
+		t.Fatalf("correct = %v", correct)
+	}
+	for _, name := range kgtest.Figure1Answers() {
+		if !correct[name] {
+			t.Errorf("missing correct answer %s", name)
+		}
+	}
+	if correct["KIA_K5"] {
+		t.Error("KIA_K5 must be below τ")
+	}
+}
+
+func TestExhaustiveRespectsBound(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	us := g.NodeByName("Germany")
+	best1 := Exhaustive(c, us, product, 1)
+	// 1 hop from Germany: BMW_320, BMW_X6 (assembly), Volkswagen, Porsche
+	// (country), Schreyer (nationality), Merkel, Berlin.
+	if _, ok := best1[g.NodeByName("Audi_TT")]; ok {
+		t.Fatal("Audi_TT is 2 hops away, must be absent at n=1")
+	}
+	if _, ok := best1[g.NodeByName("BMW_320")]; !ok {
+		t.Fatal("BMW_320 missing at n=1")
+	}
+	if got := Exhaustive(c, us, product, 0); len(got) != 0 {
+		t.Fatal("n=0 should reach nothing")
+	}
+}
+
+// Longer path can beat the shorter one: the remark in §III. Lamando's direct
+// 2-hop designCompany path scores below its country→product path.
+func TestLongerPathCanWin(t *testing.T) {
+	c, g := figure1Calc(t)
+	product := g.PredByName("product")
+	// designCompany alone: 0.79. country→product: sqrt(0.81) = 0.9.
+	one := c.PathSim(product, []kg.PredID{g.PredByName("designCompany")})
+	two := c.PathSim(product, []kg.PredID{g.PredByName("country"), g.PredByName("product")})
+	if two <= one {
+		t.Fatalf("2-hop %v should beat 1-hop %v", two, one)
+	}
+}

@@ -1,0 +1,200 @@
+package sparql
+
+import (
+	"math"
+	"testing"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/query"
+)
+
+func TestExactMatchMissesVariants(t *testing.T) {
+	// The defining behaviour of the exact baselines: the running example
+	// written against the assembly schema finds only the direct assembly
+	// answers (BMW_320, BMW_X6), not the semantically equivalent
+	// manufacturer/country or designCompany variants.
+	g := kgtest.Figure1()
+	q := query.Simple(query.Count, "", "Germany", "Country", "assembly", "Automobile")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Fatalf("exact COUNT = %v, want 2 (only direct assembly edges)", res.Value)
+	}
+	names := map[string]bool{}
+	for _, u := range res.Answers {
+		names[g.Name(u)] = true
+	}
+	if !names["BMW_320"] || !names["BMW_X6"] || len(names) != 2 {
+		t.Fatalf("answers = %v", names)
+	}
+}
+
+func TestExactAvg(t *testing.T) {
+	g := kgtest.Figure1()
+	q := query.Simple(query.Avg, "price", "Germany", "Country", "assembly", "Automobile")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (35000.0 + 55000.0) / 2
+	if math.Abs(res.Value-want) > 1e-9 {
+		t.Fatalf("exact AVG = %v, want %v", res.Value, want)
+	}
+}
+
+func TestExactSumMaxMin(t *testing.T) {
+	g := kgtest.Figure1()
+	for _, cs := range []struct {
+		fn   query.AggFunc
+		want float64
+	}{
+		{query.Sum, 90000},
+		{query.Max, 55000},
+		{query.Min, 35000},
+	} {
+		q := query.Simple(cs.fn, "price", "Germany", "Country", "assembly", "Automobile")
+		res, err := Execute(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != cs.want {
+			t.Fatalf("%v = %v, want %v", cs.fn, res.Value, cs.want)
+		}
+	}
+}
+
+func TestUnknownVocabularyYieldsZero(t *testing.T) {
+	g := kgtest.Figure1()
+	cases := []*query.Aggregate{
+		query.Simple(query.Count, "", "Atlantis", "Country", "assembly", "Automobile"),
+		query.Simple(query.Count, "", "Germany", "Country", "teleportedFrom", "Automobile"),
+		query.Simple(query.Count, "", "Germany", "Country", "assembly", "Spaceship"),
+	}
+	for i, q := range cases {
+		res, err := Execute(g, q)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if res.Value != 0 || len(res.Answers) != 0 {
+			t.Fatalf("case %d: got %v answers", i, len(res.Answers))
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	g := kgtest.Figure1()
+	q := query.Simple(query.Count, "", "Germany", "Country", "assembly", "Automobile").
+		WithFilter("fuel_economy", 25, 30)
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Of the two exact answers, only BMW_320 (28 MPG) passes; BMW_X6 is 22.
+	if res.Value != 1 {
+		t.Fatalf("filtered COUNT = %v, want 1", res.Value)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	g := kgtest.Figure1()
+	q := query.Simple(query.Count, "", "Germany", "Country", "assembly", "Automobile").
+		WithGroupBy("fuel_economy")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %v", res.Groups)
+	}
+	if res.Groups["28"] != 1 || res.Groups["22"] != 1 {
+		t.Fatalf("groups = %v", res.Groups)
+	}
+}
+
+func TestChainExact(t *testing.T) {
+	g := kgtest.Figure1()
+	// Exact two-hop pattern: Germany ←country– Company ←assembly– car.
+	// Only Audi_TT matches it exactly.
+	b := query.NewBuilder()
+	de := b.Specific("Germany", "Country")
+	co := b.Unknown("Company")
+	tgt := b.Target("Automobile")
+	b.Edge(co, de, "country")
+	b.Edge(tgt, co, "assembly")
+	q := b.Aggregate(query.Count, "")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 || g.Name(res.Answers[0]) != "Audi_TT" {
+		t.Fatalf("chain exact = %v (%d answers)", res.Value, len(res.Answers))
+	}
+}
+
+func TestStarExact(t *testing.T) {
+	g := kgtest.Figure1()
+	// Lamando is both a product of VW and design-companied by VW.
+	b := query.NewBuilder()
+	vw := b.Specific("Volkswagen", "Company")
+	tgt := b.Target("Automobile")
+	b.Edge(vw, tgt, "product")
+	b.Edge(tgt, vw, "designCompany")
+	q := b.Aggregate(query.Count, "")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 || g.Name(res.Answers[0]) != "Lamando" {
+		t.Fatalf("star exact = %v", res.Value)
+	}
+}
+
+func TestCycleExact(t *testing.T) {
+	// Cycle: car –engine→ device –madeBy→ company ←designCompany– car.
+	g := kgtest.Figure1()
+	b := query.NewBuilder()
+	tgt := b.Target("Automobile")
+	dev := b.Unknown("Device")
+	co := b.Specific("Volkswagen", "Company")
+	b.Edge(tgt, dev, "engine")
+	b.Edge(dev, co, "madeBy")
+	b.Edge(tgt, co, "designCompany")
+	q := b.Aggregate(query.Count, "")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 || g.Name(res.Answers[0]) != "Lamando" {
+		t.Fatalf("cycle exact = %v (%v answers)", res.Value, len(res.Answers))
+	}
+}
+
+func TestAvgWithMissingAttrs(t *testing.T) {
+	// AVG over answers lacking the attribute skips them (unbound in
+	// SPARQL), and an all-missing set yields 0.
+	b := kg.NewBuilder()
+	de := b.AddNode("Germany", "Country")
+	car := b.AddNode("Trabant", "Automobile")
+	if err := b.AddEdge(car, "assembly", de); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	q := query.Simple(query.Avg, "price", "Germany", "Country", "assembly", "Automobile")
+	res, err := Execute(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("AVG over unbound = %v, want 0", res.Value)
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	g := kgtest.Figure1()
+	if _, err := Execute(g, &query.Aggregate{}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

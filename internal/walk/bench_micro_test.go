@@ -1,0 +1,91 @@
+package walk
+
+import (
+	"testing"
+
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/semsim"
+	"kgaq/internal/stats"
+)
+
+// Micro-benchmarks of the walk engine: transition-matrix construction,
+// power-iteration convergence, and the two sampling mechanisms.
+
+func benchWalker(b *testing.B) (*Walker, *kg.Graph) {
+	b.Helper()
+	g := kgtest.Figure1()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(calc, g.NodeByName("Germany"), g.PredByName("product"), Config{N: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, g
+}
+
+func BenchmarkWalkerBuild(b *testing.B) {
+	g := kgtest.Figure1()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	us := g.NodeByName("Germany")
+	pred := g.PredByName("product")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(calc, us, pred, Config{N: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkerConverge(b *testing.B) {
+	g := kgtest.Figure1()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	us := g.NodeByName("Germany")
+	pred := g.PredByName("product")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := New(calc, us, pred, Config{N: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Converge()
+	}
+}
+
+func BenchmarkSampleDirect(b *testing.B) {
+	w, g := benchWalker(b)
+	w.Converge()
+	d, err := w.AnswerDistribution([]kg.TypeID{g.TypeByName("Automobile")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r, 1000)
+	}
+}
+
+func BenchmarkSampleByWalk(b *testing.B) {
+	w, g := benchWalker(b)
+	w.Converge()
+	types := []kg.TypeID{g.TypeByName("Automobile")}
+	r := stats.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.SampleByWalk(r, types, 100, 1000)
+	}
+}

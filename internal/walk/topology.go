@@ -1,0 +1,195 @@
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgaq/internal/kg"
+)
+
+// TopologySample is a sample collected by a topology-only walker (CNARW or
+// Node2Vec): the distinct answers visited and the empirical visiting
+// probability of each, estimated from visit counts. Topology samplers know
+// nothing about π — they ignore semantics entirely, which is exactly the
+// weakness the Fig. 5a ablation measures.
+type TopologySample struct {
+	Answers []kg.NodeID
+	Probs   []float64 // empirical visit share per answer, sums to 1
+	Draws   []int     // the visit sequence as indices into Answers
+}
+
+// CNARW runs a Common Neighbor Aware Random Walk (Li et al., ICDE 2019)
+// over the n-bounded subgraph: the walker prefers neighbours sharing few
+// common neighbours with the current node, which reduces sample correlation
+// but still considers topology only. It collects k answer visits after
+// burnIn steps.
+func CNARW(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
+	weight := func(u, v kg.NodeID) float64 {
+		cn := commonNeighbors(g, u, v)
+		du, dv := g.Degree(u), g.Degree(v)
+		m := du
+		if dv < m {
+			m = dv
+		}
+		if m == 0 {
+			return 0.01
+		}
+		w := 1 - float64(cn)/float64(m)
+		if w < 0.01 {
+			w = 0.01
+		}
+		return w
+	}
+	return topologyWalk(g, start, targetTypes, n, r, burnIn, k, weight)
+}
+
+func commonNeighbors(g *kg.Graph, u, v kg.NodeID) int {
+	set := map[kg.NodeID]bool{}
+	for _, he := range g.Neighbors(u) {
+		set[he.To] = true
+	}
+	cn := 0
+	for _, he := range g.Neighbors(v) {
+		if set[he.To] {
+			cn++
+		}
+	}
+	return cn
+}
+
+// topologyWalk is a first-order weighted walk over the bounded subgraph.
+func topologyWalk(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
+	r *rand.Rand, burnIn, k int, weight func(u, v kg.NodeID) float64) (*TopologySample, error) {
+
+	bound := g.BoundedSubgraph(start, n)
+	cur := start
+	step := func() {
+		hes := g.Neighbors(cur)
+		var cands []kg.NodeID
+		var ws []float64
+		total := 0.0
+		for _, he := range hes {
+			if !bound.Contains(he.To) {
+				continue
+			}
+			w := weight(cur, he.To)
+			cands = append(cands, he.To)
+			ws = append(ws, w)
+			total += w
+		}
+		if total <= 0 {
+			return
+		}
+		x := r.Float64() * total
+		acc := 0.0
+		for i, w := range ws {
+			acc += w
+			if x < acc {
+				cur = cands[i]
+				return
+			}
+		}
+		cur = cands[len(cands)-1]
+	}
+	return collectTopology(g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
+}
+
+// Node2Vec runs the biased second-order walk of Grover & Leskovec (KDD
+// 2016) with return parameter p and in-out parameter q over the n-bounded
+// subgraph, collecting k answer visits after burnIn steps. The defaults of
+// the ablation are p=1, q=0.5 (outward-leaning).
+func Node2Vec(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
+	p, q float64, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
+	if p <= 0 || q <= 0 {
+		return nil, fmt.Errorf("walk: node2vec parameters must be positive (p=%v, q=%v)", p, q)
+	}
+	bound := g.BoundedSubgraph(start, n)
+	prev := kg.InvalidNode
+	cur := start
+	step := func() {
+		hes := g.Neighbors(cur)
+		var cands []kg.NodeID
+		var ws []float64
+		total := 0.0
+		for _, he := range hes {
+			if !bound.Contains(he.To) {
+				continue
+			}
+			var w float64
+			switch {
+			case he.To == prev:
+				w = 1 / p // return
+			case prev != kg.InvalidNode && adjacent(g, prev, he.To):
+				w = 1 // distance 1 from previous
+			default:
+				w = 1 / q // outward
+			}
+			cands = append(cands, he.To)
+			ws = append(ws, w)
+			total += w
+		}
+		if total <= 0 {
+			return
+		}
+		x := r.Float64() * total
+		acc := 0.0
+		for i, w := range ws {
+			acc += w
+			if x < acc {
+				prev, cur = cur, cands[i]
+				return
+			}
+		}
+		prev, cur = cur, cands[len(cands)-1]
+	}
+	return collectTopology(g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
+}
+
+func adjacent(g *kg.Graph, u, v kg.NodeID) bool {
+	for _, he := range g.Neighbors(u) {
+		if he.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// collectTopology shares the burn-in / collection / empirical-probability
+// logic of the topology walkers.
+func collectTopology(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID,
+	burnIn, k int, step func(), tip func() kg.NodeID) (*TopologySample, error) {
+
+	for i := 0; i < burnIn; i++ {
+		step()
+	}
+	counts := map[kg.NodeID]int{}
+	var visitSeq []kg.NodeID
+	guard := 0
+	limit := (burnIn + 1) * (k + 1) * 1000
+	for len(visitSeq) < k && guard < limit {
+		step()
+		guard++
+		u := tip()
+		if u == start {
+			continue
+		}
+		if g.SharesType(u, targetTypes) {
+			counts[u]++
+			visitSeq = append(visitSeq, u)
+		}
+	}
+	if len(visitSeq) == 0 {
+		return (*TopologySample)(nil), fmt.Errorf("walk: topology walk found no candidate answers")
+	}
+	ts := &TopologySample{}
+	index := map[kg.NodeID]int{}
+	for u, c := range counts {
+		index[u] = len(ts.Answers)
+		ts.Answers = append(ts.Answers, u)
+		ts.Probs = append(ts.Probs, float64(c)/float64(len(visitSeq)))
+	}
+	for _, u := range visitSeq {
+		ts.Draws = append(ts.Draws, index[u])
+	}
+	return ts, nil
+}

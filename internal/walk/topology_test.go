@@ -1,0 +1,102 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/stats"
+)
+
+func TestCNARWCollects(t *testing.T) {
+	g := kgtest.Figure1()
+	start := g.NodeByName("Germany")
+	auto := []kg.TypeID{g.TypeByName("Automobile")}
+	r := stats.NewRand(3)
+	ts, err := CNARW(g, start, auto, 3, r, 200, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Draws) != 2000 {
+		t.Fatalf("draws = %d", len(ts.Draws))
+	}
+	total := 0.0
+	for i, u := range ts.Answers {
+		if !g.HasType(u, auto[0]) {
+			t.Fatalf("non-answer %s collected", g.Name(u))
+		}
+		total += ts.Probs[i]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", total)
+	}
+}
+
+func TestNode2VecCollects(t *testing.T) {
+	g := kgtest.Figure1()
+	start := g.NodeByName("Germany")
+	auto := []kg.TypeID{g.TypeByName("Automobile")}
+	r := stats.NewRand(7)
+	ts, err := Node2Vec(g, start, auto, 3, 1, 0.5, r, 200, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Draws) != 2000 {
+		t.Fatalf("draws = %d", len(ts.Draws))
+	}
+	// Draw indices must be valid.
+	for _, d := range ts.Draws {
+		if d < 0 || d >= len(ts.Answers) {
+			t.Fatalf("draw index %d out of range", d)
+		}
+	}
+}
+
+func TestNode2VecRejectsBadParams(t *testing.T) {
+	g := kgtest.Figure1()
+	r := stats.NewRand(1)
+	if _, err := Node2Vec(g, 0, nil, 3, 0, 1, r, 10, 10); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Node2Vec(g, 0, nil, 3, 1, -1, r, 10, 10); err == nil {
+		t.Fatal("q=-1 accepted")
+	}
+}
+
+// Topology samplers ignore semantics: KIA K5 (low semantic similarity but
+// high topological accessibility — a short 2-hop path) receives a visit
+// share comparable to the semantically similar Audi TT, unlike the
+// semantic-aware walker which strongly downweights it relative to direct
+// answers.
+func TestTopologyIgnoresSemantics(t *testing.T) {
+	g := kgtest.Figure1()
+	start := g.NodeByName("Germany")
+	auto := []kg.TypeID{g.TypeByName("Automobile")}
+	r := stats.NewRand(9)
+	ts, err := CNARW(g, start, auto, 3, r, 500, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := map[string]float64{}
+	for i, u := range ts.Answers {
+		share[g.Name(u)] = ts.Probs[i]
+	}
+	if share["KIA_K5"] == 0 {
+		t.Fatal("CNARW never visited KIA_K5")
+	}
+	// KIA K5 and Audi TT are both 2 hops from Germany; a topology walker
+	// visits them at the same order of magnitude.
+	ratio := share["KIA_K5"] / share["Audi_TT"]
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("topology share ratio KIA/Audi = %v, want O(1)", ratio)
+	}
+}
+
+func TestTopologyWalkNoAnswers(t *testing.T) {
+	g := kgtest.Chain(2)
+	r := stats.NewRand(1)
+	if _, err := CNARW(g, g.NodeByName("v0"), []kg.TypeID{kg.InvalidType}, 2, r, 10, 10); err == nil {
+		t.Fatal("walk with unreachable answers should error")
+	}
+}

@@ -1,0 +1,309 @@
+package walk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/semsim"
+	"kgaq/internal/stats"
+)
+
+func figure1Walker(t *testing.T, cfg Config) (*Walker, *kg.Graph) {
+	t.Helper()
+	g := kgtest.Figure1()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(calc, g.NodeByName("Germany"), g.PredByName("product"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, g
+}
+
+func TestNewErrors(t *testing.T) {
+	g := kgtest.Figure1()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, 0, 0, Config{}); err == nil {
+		t.Fatal("nil calculator accepted")
+	}
+	if _, err := New(calc, -1, 0, Config{}); err == nil {
+		t.Fatal("bad start accepted")
+	}
+	if _, err := New(calc, 0, kg.PredID(999), Config{}); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+}
+
+func TestTransitionRowsSumToOne(t *testing.T) {
+	w, _ := figure1Walker(t, Config{N: 3})
+	for i, row := range w.rows {
+		sum := 0.0
+		for _, nb := range row {
+			if nb.p < 0 {
+				t.Fatalf("negative transition probability on row %d", i)
+			}
+			sum += nb.p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSelfLoopOnlyOnStart(t *testing.T) {
+	w, _ := figure1Walker(t, Config{N: 3})
+	si := w.idx[w.start]
+	for i, row := range w.rows {
+		for _, nb := range row {
+			if nb.to == i && i != si {
+				t.Fatalf("self-loop on non-start row %d", i)
+			}
+		}
+	}
+	found := false
+	for _, nb := range w.rows[si] {
+		if nb.to == si {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aperiodicity self-loop missing on start node")
+	}
+}
+
+func TestConvergeStationary(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	iters := w.Converge()
+	if iters <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+	// π sums to 1 over the scope.
+	total := 0.0
+	for _, u := range w.nodes {
+		total += w.Pi(u)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("π sums to %v", total)
+	}
+	// π is stationary: π = πP within tolerance.
+	n := len(w.nodes)
+	next := make([]float64, n)
+	for i, row := range w.rows {
+		for _, nb := range row {
+			next[nb.to] += w.pi[i] * nb.p
+		}
+	}
+	for i := range next {
+		if math.Abs(next[i]-w.pi[i]) > 1e-8 {
+			t.Fatalf("π not stationary at node %s: %v vs %v", g.Name(w.nodes[i]), next[i], w.pi[i])
+		}
+	}
+	// Converge is idempotent.
+	if w.Converge() != iters {
+		t.Fatal("second Converge re-ran")
+	}
+}
+
+func TestSemanticBiasInPi(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	w.Converge()
+	// Direct assembly answers are more visited than the designer-path KIA.
+	bmw := w.Pi(g.NodeByName("BMW_320"))
+	kia := w.Pi(g.NodeByName("KIA_K5"))
+	if bmw <= kia {
+		t.Fatalf("π(BMW_320)=%v should exceed π(KIA_K5)=%v", bmw, kia)
+	}
+	// Irrelevant city should be visited less than semantically relevant
+	// company hub.
+	if w.Pi(g.NodeByName("Berlin")) >= w.Pi(g.NodeByName("Volkswagen")) {
+		t.Fatal("topological neighbour outranks semantic hub")
+	}
+}
+
+func TestPiOutsideScope(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 1})
+	w.Converge()
+	if got := w.Pi(g.NodeByName("Audi_TT")); got != 0 {
+		t.Fatalf("π outside scope = %v, want 0", got)
+	}
+}
+
+func TestAnswerDistribution(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	w.Converge()
+	auto := []kg.TypeID{g.TypeByName("Automobile")}
+	d, err := w.AnswerDistribution(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 { // five correct + KIA K5
+		t.Fatalf("answers = %d, want 6", d.Len())
+	}
+	total := 0.0
+	for i, u := range d.Answers {
+		if !g.HasType(u, auto[0]) {
+			t.Fatalf("non-automobile answer %s", g.Name(u))
+		}
+		if u == g.NodeByName("Germany") {
+			t.Fatal("start node in answers")
+		}
+		total += d.Prob(i)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("π′ sums to %v", total)
+	}
+}
+
+func TestAnswerDistributionNoAnswers(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	w.Converge()
+	if _, err := w.AnswerDistribution([]kg.TypeID{g.TypeByName("Thing")}); err == nil {
+		t.Fatal("empty answer set accepted")
+	}
+}
+
+func TestSampleMatchesPi(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	w.Converge()
+	d, err := w.AnswerDistribution([]kg.TypeID{g.TypeByName("Automobile")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(5)
+	const k = 100000
+	counts := make([]int, d.Len())
+	for _, i := range d.Sample(r, k) {
+		counts[i]++
+	}
+	for i := range counts {
+		got := float64(counts[i]) / k
+		if math.Abs(got-d.Prob(i)) > 0.01 {
+			t.Errorf("%s: empirical %v vs π′ %v", g.Name(d.Answers[i]), got, d.Prob(i))
+		}
+	}
+}
+
+// The literal walking-with-rejection collection must agree with the direct
+// stationary draw: visits to answers occur with frequency proportional to
+// π′ (the sampling-equivalence claim behind Theorem 1).
+func TestSampleByWalkMatchesPi(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	w.Converge()
+	auto := []kg.TypeID{g.TypeByName("Automobile")}
+	d, err := w.AnswerDistribution(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(11)
+	const k = 60000
+	visits := w.SampleByWalk(r, auto, 500, k)
+	if len(visits) != k {
+		t.Fatalf("visits = %d, want %d", len(visits), k)
+	}
+	counts := map[kg.NodeID]int{}
+	for _, u := range visits {
+		counts[u]++
+	}
+	for i, u := range d.Answers {
+		got := float64(counts[u]) / k
+		if math.Abs(got-d.Prob(i)) > 0.02 {
+			t.Errorf("%s: walk frequency %v vs π′ %v", g.Name(u), got, d.Prob(i))
+		}
+	}
+}
+
+func TestIsolatedStart(t *testing.T) {
+	b := kg.NewBuilder()
+	b.AddNode("alone", "Country")
+	b.AddNode("faraway", "Automobile")
+	other := b.AddNode("o1", "Thing")
+	other2 := b.AddNode("o2", "Thing")
+	if err := b.AddEdge(other, "p", other2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(calc, g.NodeByName("alone"), g.PredByName("p"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Converge()
+	if got := w.Pi(g.NodeByName("alone")); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("isolated start π = %v, want 1", got)
+	}
+	if _, err := w.AnswerDistribution([]kg.TypeID{g.TypeByName("Automobile")}); err == nil {
+		t.Fatal("isolated start should yield no answers")
+	}
+}
+
+// Property: on random graphs the transition matrix is a proper stochastic
+// matrix and π converges to a distribution summing to 1.
+func TestWalkerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 4 + r.Intn(20)
+		b := kg.NewBuilder()
+		ids := make([]kg.NodeID, n)
+		for i := range ids {
+			ids[i] = b.AddNode(nodeName(i), "T")
+		}
+		preds := []string{"assembly", "country", "designer"}
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if err := b.AddEdge(ids[u], preds[r.Intn(len(preds))], ids[v]); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		if g.NumEdges() == 0 {
+			return true
+		}
+		calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+		if err != nil {
+			return false
+		}
+		// The random graph may not contain every predicate; pick one that
+		// actually occurs (edges exist, so predicate 0 does).
+		w, err := New(calc, ids[r.Intn(n)], kg.PredID(0), Config{N: 1 + r.Intn(3)})
+		if err != nil {
+			return false
+		}
+		for _, row := range w.rows {
+			sum := 0.0
+			for _, nb := range row {
+				sum += nb.p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		w.Converge()
+		total := 0.0
+		for _, u := range w.nodes {
+			total += w.Pi(u)
+		}
+		return math.Abs(total-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

@@ -1,0 +1,225 @@
+// Package kgaq is an approximate aggregate-query engine for knowledge
+// graphs, reproducing "Aggregate Queries on Knowledge Graphs: Fast
+// Approximation with Semantic-aware Sampling" (ICDE 2022).
+//
+// Given a schema-flexible knowledge graph, an offline KG embedding and an
+// aggregate query such as "the average price of cars produced in Germany",
+// kgaq returns an approximate answer with a confidence-interval accuracy
+// guarantee in milliseconds, instead of the seconds an exact graph-matching
+// engine needs — and without missing the semantically equivalent answers an
+// exact-schema (SPARQL) engine ignores.
+//
+// # Quick start
+//
+//	g, errs := kgaq.LoadNTriplesFile("facts.nt")
+//	model, _ := kgaq.TrainEmbedding("TransE", g, kgaq.DefaultTrainConfig())
+//	engine, _ := kgaq.NewEngine(g, model, kgaq.Options{ErrorBound: 0.01})
+//	q := kgaq.SimpleQuery(kgaq.Avg, "price", "Germany", "Country", "product", "Automobile")
+//	res, _ := engine.Execute(q)
+//	fmt.Printf("AVG = %.2f ± %.2f (95%%)\n", res.Estimate, res.MoE)
+//
+// The pipeline is the paper's Algorithm 2: a semantic-aware random walk
+// over the n-bounded subgraph around the query's specific entity collects a
+// sample of candidate answers biased toward semantic similarity;
+// Horvitz–Thompson estimators with greedy correctness validation produce an
+// unbiased COUNT/SUM (consistent AVG) estimate; the Central Limit Theorem
+// with Bag-of-Little-Bootstraps variance yields a confidence interval that
+// is iteratively tightened until the user's relative error bound holds.
+// Filters, GROUP-BY, MAX/MIN (without guarantee) and chain / star / cycle /
+// flower query shapes are supported (§V extensions).
+//
+// The facade re-exports the stable surface of the internal packages; see
+// DESIGN.md for the full architecture.
+package kgaq
+
+import (
+	"io"
+
+	"kgaq/internal/core"
+	"kgaq/internal/datagen"
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+)
+
+// Graph is an immutable in-memory knowledge graph.
+type Graph = kg.Graph
+
+// GraphBuilder assembles a Graph programmatically.
+type GraphBuilder = kg.Builder
+
+// NodeID identifies a graph node.
+type NodeID = kg.NodeID
+
+// NTOptions configures the N-Triples loader.
+type NTOptions = kg.NTOptions
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return kg.NewBuilder() }
+
+// LoadNTriplesFile loads a pragmatic N-Triples subset from disk; see
+// internal/kg for the accepted grammar. Malformed lines are reported in the
+// error slice while the rest of the file still loads.
+func LoadNTriplesFile(path string) (*Graph, []error) {
+	return kg.LoadNTriplesFile(path, kg.NTOptions{})
+}
+
+// ReadNTriples loads the N-Triples subset from a reader.
+func ReadNTriples(r io.Reader, opts NTOptions) (*Graph, []error) {
+	return kg.ReadNTriples(r, opts)
+}
+
+// LoadGraphSnapshot reads a binary snapshot written by SaveGraphSnapshot.
+func LoadGraphSnapshot(path string) (*Graph, error) { return kg.LoadFile(path) }
+
+// SaveGraphSnapshot writes a binary graph snapshot.
+func SaveGraphSnapshot(path string, g *Graph) error { return g.SaveFile(path) }
+
+// EmbeddingModel supplies per-predicate semantic vectors.
+type EmbeddingModel = embedding.Model
+
+// TrainConfig tunes embedding training.
+type TrainConfig = embedding.TrainConfig
+
+// TrainedEmbedding is a trained embedding model (also a link scorer).
+type TrainedEmbedding = embedding.Trained
+
+// DefaultTrainConfig returns sensible embedding-training defaults.
+func DefaultTrainConfig() TrainConfig { return embedding.DefaultTrainConfig() }
+
+// TrainEmbedding fits one of TransE, TransH, TransD, RESCAL or SE to the
+// graph's triples by SGD with negative sampling.
+func TrainEmbedding(model string, g *Graph, cfg TrainConfig) (*TrainedEmbedding, error) {
+	return embedding.Train(model, g, cfg)
+}
+
+// EmbeddingModelNames lists the trainable embedding models.
+func EmbeddingModelNames() []string { return embedding.ModelNames() }
+
+// LoadEmbedding reads an embedding snapshot from disk.
+func LoadEmbedding(path string) (EmbeddingModel, error) {
+	m, err := embedding.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveEmbedding writes an embedding snapshot.
+func SaveEmbedding(path string, m EmbeddingModel) error {
+	return embedding.SaveFile(path, m)
+}
+
+// AggFunc is an aggregate function.
+type AggFunc = query.AggFunc
+
+// Aggregate functions. COUNT, SUM and AVG carry the accuracy guarantee;
+// MAX and MIN are answered without one.
+const (
+	Count = query.Count
+	Sum   = query.Sum
+	Avg   = query.Avg
+	Max   = query.Max
+	Min   = query.Min
+)
+
+// AggregateQuery is a full aggregate query over a knowledge graph.
+type AggregateQuery = query.Aggregate
+
+// QueryHop is one step of a chain-shaped query.
+type QueryHop = query.Hop
+
+// QueryBuilder assembles arbitrary-shape query graphs.
+type QueryBuilder = query.Builder
+
+// SimpleQuery builds the canonical simple aggregate query: a named specific
+// entity connected to a typed target by one predicate.
+func SimpleQuery(f AggFunc, attr, specificName, specificType, predicate, targetType string) *AggregateQuery {
+	return query.Simple(f, attr, specificName, specificType, predicate, targetType)
+}
+
+// ChainQuery builds a chain-shaped query: specific entity, then hops
+// through typed unknowns, ending at the target.
+func ChainQuery(f AggFunc, attr, specificName, specificType string, hops []QueryHop) *AggregateQuery {
+	return query.Chain(f, attr, specificName, specificType, hops)
+}
+
+// NewQueryBuilder returns a builder for star/cycle/flower query graphs.
+func NewQueryBuilder() *QueryBuilder { return query.NewBuilder() }
+
+// ParseQuery parses the textual query language, e.g.
+//
+//	AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c
+func ParseQuery(input string) (*AggregateQuery, error) { return query.Parse(input) }
+
+// Options carries the engine knobs; zero values mean the paper's defaults
+// (τ=0.85, eb=1%, 95% confidence, n=3, r=3, λ=0.3).
+type Options = core.Options
+
+// Engine executes aggregate queries over one graph + embedding pair.
+type Engine = core.Engine
+
+// Execution is a started query whose sample can be refined interactively.
+type Execution = core.Execution
+
+// Result is the outcome of a query execution.
+type Result = core.Result
+
+// Round records one refinement iteration.
+type Round = core.Round
+
+// GroupResult is a per-group outcome of a GROUP-BY query.
+type GroupResult = core.GroupResult
+
+// NewEngine builds an execution engine.
+func NewEngine(g *Graph, model EmbeddingModel, opts Options) (*Engine, error) {
+	return core.NewEngine(g, model, opts)
+}
+
+// Dataset is a synthetic benchmark dataset: a schema-flexible knowledge
+// graph, a matching oracle embedding, and a query workload with ground
+// truth (see internal/datagen and DESIGN.md for how it mirrors the paper's
+// DBpedia / Freebase / YAGO2 evaluation data).
+type Dataset = datagen.Dataset
+
+// DatasetQuery is one workload query with its human-annotation ground
+// truth.
+type DatasetQuery = datagen.GenQuery
+
+// DatasetProfiles lists the built-in synthetic dataset profiles:
+// dbpedia-sim, freebase-sim, yago2-sim and tiny.
+func DatasetProfiles() []string {
+	var out []string
+	for _, p := range datagen.Profiles() {
+		out = append(out, p.Name)
+	}
+	return append(out, datagen.TinyProfile().Name)
+}
+
+// GenerateDataset synthesises a named benchmark dataset. The returned
+// dataset's Model is a ready-to-use embedding and its Queries carry
+// human-annotated ground truth, so a downstream user can evaluate the
+// engine end to end without external data.
+func GenerateDataset(profile string) (*Dataset, error) {
+	p, ok := datagen.ProfileByName(profile)
+	if !ok {
+		return nil, errUnknownProfile(profile)
+	}
+	return datagen.Generate(p)
+}
+
+// DatasetOptimalTau returns the τ threshold a profile was designed around
+// (the τ* at which its Table V AJS curve peaks).
+func DatasetOptimalTau(profile string) (float64, error) {
+	p, ok := datagen.ProfileByName(profile)
+	if !ok {
+		return 0, errUnknownProfile(profile)
+	}
+	return p.OptimalTau, nil
+}
+
+type errUnknownProfile string
+
+func (e errUnknownProfile) Error() string {
+	return "kgaq: unknown dataset profile " + string(e) + " (see DatasetProfiles)"
+}

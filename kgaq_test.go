@@ -1,0 +1,172 @@
+package kgaq
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: dataset
+// generation, engine construction, execution with a guarantee, interactive
+// refinement, and the textual query language.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumNodes() == 0 || len(ds.Queries) == 0 {
+		t.Fatal("empty dataset")
+	}
+	tau, err := DatasetOptimalTau("tiny")
+	if err != nil || tau <= 0 {
+		t.Fatalf("optimal tau = %v, %v", tau, err)
+	}
+	engine, err := NewEngine(ds.Graph, ds.Model, Options{Tau: tau, ErrorBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := SimpleQuery(Count, "", "Country_0", "Country", "product", "Automobile")
+	res, err := engine.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate <= 0 || res.SampleSize == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	iv := res.Interval()
+	if !iv.Contains(res.Estimate) {
+		t.Fatal("interval must contain its own estimate")
+	}
+
+	// Interactive refinement reuses the sample.
+	x, err := engine.Start(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := x.Run(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := x.Run(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SampleSize < r1.SampleSize {
+		t.Fatal("refinement shrank the sample")
+	}
+
+	// The textual language parses to an equivalent query.
+	parsed, err := ParseQuery("COUNT(*) MATCH (g:Country name=Country_0)-[product]->(c:Automobile) TARGET c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := engine.Execute(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pres.Estimate-res.Estimate) > 0.35*res.Estimate {
+		t.Fatalf("parsed query estimate %v far from built query %v", pres.Estimate, res.Estimate)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	ds, err := GenerateDataset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.snap")
+	ep := filepath.Join(dir, "m.snap")
+	if err := SaveGraphSnapshot(gp, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEmbedding(ep, ds.Model); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraphSnapshot(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadEmbedding(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != ds.Graph.NumNodes() {
+		t.Fatal("graph snapshot mismatch")
+	}
+	if _, err := NewEngine(g2, m2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPITrainAndQueryNT(t *testing.T) {
+	// Load a small N-Triples fixture through the facade, train an
+	// embedding, and run a query end to end without a guarantee of
+	// accuracy (the fixture is tiny) — the pipeline must still hold
+	// together.
+	nt := `
+<Germany> <rdf:type> <Country> .
+<BMW_320> <rdf:type> <Automobile> .
+<BMW_320> <assembly> <Germany> .
+<BMW_320> <price> "35000" .
+<Audi_TT> <rdf:type> <Automobile> .
+<Audi_TT> <assembly> <Germany> .
+<Audi_TT> <price> "42000" .
+<Lamando> <rdf:type> <Automobile> .
+<Lamando> <assembly> <Germany> .
+<Lamando> <price> "24060" .
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "facts.nt")
+	if err := os.WriteFile(path, []byte(nt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, errs := LoadNTriplesFile(path)
+	if len(errs) != 0 {
+		t.Fatalf("load errors: %v", errs)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	model, err := TrainEmbedding("TransE", g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(g, model, Options{Tau: 0.99, SkipValidation: true, ErrorBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Execute(SimpleQuery(Avg, "price", "Germany", "Country", "assembly", "Automobile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (35000.0 + 42000 + 24060) / 3
+	if math.Abs(res.Estimate-want)/want > 0.10 {
+		t.Fatalf("AVG = %v, want ≈%v", res.Estimate, want)
+	}
+}
+
+func TestDatasetProfiles(t *testing.T) {
+	names := DatasetProfiles()
+	if len(names) != 4 {
+		t.Fatalf("profiles = %v", names)
+	}
+	if _, err := GenerateDataset("no-such"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := DatasetOptimalTau("no-such"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	var e error = errUnknownProfile("x")
+	if !strings.Contains(e.Error(), "x") {
+		t.Fatal("error message")
+	}
+}
+
+func TestEmbeddingModelNames(t *testing.T) {
+	if len(EmbeddingModelNames()) != 5 {
+		t.Fatalf("models = %v", EmbeddingModelNames())
+	}
+}
