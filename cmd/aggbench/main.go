@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kgaq/internal/bench"
@@ -39,11 +42,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C cancels in-flight experiment queries so partial suites exit fast.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := bench.Config{Seed: *seed}
 	if *quick {
 		cfg = bench.QuickConfig()
 		cfg.Seed = *seed
 	}
+	cfg.Ctx = ctx
 	if *per > 0 {
 		cfg.PerCategory = *per
 	}
@@ -71,6 +79,12 @@ func main() {
 		if err := runner(os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		// A ^C mid-table leaves that table full of dashes; do not report it
+		// as completed or roll on to the remaining experiments.
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %s interrupted\n", id)
+			os.Exit(130)
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(begin).Seconds())
 	}

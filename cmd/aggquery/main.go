@@ -12,16 +12,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
+	"kgaq/internal/cmdutil"
 	"kgaq/internal/core"
-	"kgaq/internal/datagen"
-	"kgaq/internal/embedding"
-	"kgaq/internal/kg"
 	"kgaq/internal/query"
 )
 
@@ -35,9 +36,13 @@ func main() {
 	tau := flag.Float64("tau", 0, "similarity threshold (0 = profile default / 0.85)")
 	refine := flag.Bool("refine", false, "start at eb=5% and tighten to -eb")
 	seed := flag.Int64("seed", 1, "engine seed")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries report their partial estimate")
 	flag.Parse()
 
-	g, model := load(*graphPath, *embPath, *profile, tau)
+	g, model, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
+	if err != nil {
+		fail("%v", err)
+	}
 	eng, err := core.NewEngine(g, model, core.Options{
 		ErrorBound: *eb, Confidence: *conf, Tau: *tau, Seed: *seed,
 	})
@@ -52,29 +57,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "parse: %v\n", err)
 			return
 		}
+		// ^C cancels this query mid-refinement instead of killing the
+		// process; the registration is released when the query returns, so
+		// ^C at the prompt (or a second ^C) terminates as usual.
+		qctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			qctx, cancel = context.WithTimeout(qctx, *timeout)
+			defer cancel()
+		}
 		if *refine {
-			x, err := eng.Start(agg)
+			x, err := eng.Start(qctx, agg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "start: %v\n", err)
 				return
 			}
 			for _, step := range []float64{0.05, 0.04, 0.03, 0.02, *eb} {
 				begin := time.Now()
-				res, err := x.Run(step)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "run(eb=%.2f): %v\n", step, err)
+				res, err := x.Refine(qctx, step)
+				if core.IsPartial(err, res) {
+					fmt.Fprintf(os.Stderr, "interrupted — reporting partial estimate: %v\n", err)
+				} else if err != nil {
+					fmt.Fprintf(os.Stderr, "refine(eb=%.2f): %v\n", step, err)
 					return
 				}
 				fmt.Printf("eb=%.0f%%: %s  |S|=%d  (+%.1fms)\n",
 					step*100, res.Interval(), res.SampleSize,
 					float64(time.Since(begin).Microseconds())/1000)
+				if err != nil {
+					return
+				}
 			}
 			return
 		}
 		begin := time.Now()
-		res, err := eng.Execute(agg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "execute: %v\n", err)
+		res, err := eng.Query(qctx, agg)
+		if core.IsPartial(err, res) {
+			fmt.Fprintf(os.Stderr, "interrupted — reporting partial estimate: %v\n", err)
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "query: %v\n", err)
 			return
 		}
 		elapsed := time.Since(begin)
@@ -114,35 +136,6 @@ func main() {
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-
-func load(graphPath, embPath, profile string, tau *float64) (*kg.Graph, embedding.Model) {
-	if profile != "" {
-		p, ok := datagen.ProfileByName(profile)
-		if !ok {
-			fail("unknown profile %q", profile)
-		}
-		ds, err := datagen.Generate(p)
-		if err != nil {
-			fail("generate: %v", err)
-		}
-		if *tau == 0 {
-			*tau = p.OptimalTau
-		}
-		return ds.Graph, ds.Model
-	}
-	if graphPath == "" || embPath == "" {
-		fail("need either -profile or both -graph and -emb")
-	}
-	g, err := kg.LoadFile(graphPath)
-	if err != nil {
-		fail("load graph: %v", err)
-	}
-	m, err := embedding.LoadFile(embPath)
-	if err != nil {
-		fail("load embedding: %v", err)
-	}
-	return g, m
-}
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aggquery: "+format+"\n", args...)

@@ -1,0 +1,94 @@
+// Command kgaqd serves approximate aggregate queries over HTTP/JSON: one
+// engine, shared by all requests, exercised under real concurrency through
+// the context-aware execution API.
+//
+//	kgaqd -profile tiny -addr :8080
+//	kgaqd -graph data/dbpedia-sim.graph -emb data/dbpedia-sim.emb
+//
+//	curl -s localhost:8080/v1/query -d '{
+//	  "query": "AVG(price) MATCH (g:Country name=Country_0)-[product]->(c:Automobile) TARGET c",
+//	  "error_bound": 0.05, "timeout_ms": 2000
+//	}'
+//
+// Per-request overrides (error_bound, confidence, tau, seed, max_draws,
+// sampler, timeout_ms) map 1:1 onto the engine's QueryOptions; "stream":
+// true switches the response to NDJSON with one line per refinement round.
+// SIGINT/SIGTERM drain gracefully: in-flight queries are cancelled through
+// their contexts and report partial results before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kgaq/internal/cmdutil"
+	"kgaq/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	graphPath := flag.String("graph", "", "graph snapshot (from kgen)")
+	embPath := flag.String("emb", "", "embedding snapshot (from kgen)")
+	profile := flag.String("profile", "", "generate a profile instead of loading files")
+	eb := flag.Float64("eb", 0.01, "default relative error bound")
+	conf := flag.Float64("conf", 0.95, "default confidence level")
+	tau := flag.Float64("tau", 0, "default similarity threshold (0 = profile default / 0.85)")
+	seed := flag.Int64("seed", 1, "default engine seed")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period")
+	flag.Parse()
+
+	g, model, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
+	if err != nil {
+		fail("%v", err)
+	}
+	eng, err := core.NewEngine(g, model, core.Options{
+		ErrorBound: *eb, Confidence: *conf, Tau: *tau, Seed: *seed,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: NewServer(eng).Handler(),
+		// Request contexts descend from the signal context, so a drain
+		// cancels in-flight queries mid-refinement.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "kgaqd: serving %s on %s\n", g, *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "kgaqd: draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fail("shutdown: %v", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kgaqd: "+format+"\n", args...)
+	os.Exit(1)
+}

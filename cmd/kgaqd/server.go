@@ -1,0 +1,315 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"kgaq/internal/core"
+	"kgaq/internal/query"
+)
+
+// maxRequestBody bounds a query request; the textual language is tiny.
+const maxRequestBody = 1 << 20
+
+// Server is the HTTP/JSON serving layer over one shared Engine. The
+// Engine's concurrency guarantee is what lets a single Server instance
+// answer parallel requests without any locking of its own: every request
+// runs an independent Execution.
+type Server struct {
+	eng     *core.Engine
+	started time.Time
+}
+
+// NewServer wraps an engine for serving.
+func NewServer(eng *core.Engine) *Server {
+	return &Server{eng: eng, started: time.Now()}
+}
+
+// Handler returns the routed HTTP handler:
+//
+//	POST /v1/query   — execute one aggregate query (JSON body, see queryRequest)
+//	GET  /v1/healthz — liveness plus graph statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// queryRequest is the body of POST /v1/query: the textual query language
+// plus per-query overrides of the engine's options. Zero-valued fields keep
+// the server's engine defaults.
+type queryRequest struct {
+	// Query is the textual aggregate query, e.g.
+	// "AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c".
+	Query string `json:"query"`
+
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Tau        float64 `json:"tau,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	MaxDraws   int     `json:"max_draws,omitempty"`
+	MaxRounds  int     `json:"max_rounds,omitempty"`
+	// Sampler selects "semantic" (default), "cnarw" or "node2vec".
+	Sampler string `json:"sampler,omitempty"`
+	// TimeoutMS bounds this query's execution; on expiry the response
+	// carries the partial estimate with interrupted=true.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Stream switches the response to NDJSON: one {"round":…} line per
+	// refinement round as it happens, then a final {"result":…} line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// options translates the request's overrides into per-query options.
+func (qr *queryRequest) options() ([]core.QueryOption, error) {
+	var opts []core.QueryOption
+	if qr.ErrorBound > 0 {
+		opts = append(opts, core.WithErrorBound(qr.ErrorBound))
+	}
+	if qr.Confidence > 0 {
+		opts = append(opts, core.WithConfidence(qr.Confidence))
+	}
+	if qr.Tau > 0 {
+		opts = append(opts, core.WithTau(qr.Tau))
+	}
+	if qr.Seed != 0 {
+		opts = append(opts, core.WithSeed(qr.Seed))
+	}
+	if qr.MaxDraws > 0 {
+		opts = append(opts, core.WithMaxDraws(qr.MaxDraws))
+	}
+	if qr.MaxRounds > 0 {
+		opts = append(opts, core.WithMaxRounds(qr.MaxRounds))
+	}
+	switch strings.ToLower(qr.Sampler) {
+	case "", "semantic":
+	case "cnarw":
+		opts = append(opts, core.WithSampler(core.SamplerCNARW))
+	case "node2vec":
+		opts = append(opts, core.WithSampler(core.SamplerNode2Vec))
+	default:
+		return nil, fmt.Errorf("unknown sampler %q (semantic, cnarw, node2vec)", qr.Sampler)
+	}
+	return opts, nil
+}
+
+// roundJSON is one refinement round on the wire.
+type roundJSON struct {
+	Estimate   float64  `json:"estimate"`
+	MoE        *float64 `json:"moe"`
+	SampleSize int      `json:"sample_size"`
+}
+
+// groupJSON is one GROUP-BY bucket on the wire.
+type groupJSON struct {
+	Estimate float64  `json:"estimate"`
+	MoE      *float64 `json:"moe"`
+	Draws    int      `json:"draws"`
+}
+
+// queryResponse is the body of a successful (or partial) query execution.
+type queryResponse struct {
+	Query       string               `json:"query"`
+	Estimate    *float64             `json:"estimate"`
+	MoE         *float64             `json:"moe"`
+	Confidence  float64              `json:"confidence"`
+	Converged   bool                 `json:"converged"`
+	Interrupted bool                 `json:"interrupted,omitempty"`
+	SampleSize  int                  `json:"sample_size"`
+	Distinct    int                  `json:"distinct"`
+	Candidates  int                  `json:"candidates"`
+	Rounds      []roundJSON          `json:"rounds,omitempty"`
+	Groups      map[string]groupJSON `json:"groups,omitempty"`
+	ElapsedMS   float64              `json:"elapsed_ms"`
+	Error       string               `json:"error,omitempty"`
+}
+
+// jsonFloat maps NaN/Inf (JSON-unrepresentable) to null.
+func jsonFloat(f float64) *float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil
+	}
+	return &f
+}
+
+func toResponse(agg *query.Aggregate, res *core.Result, interrupted bool, elapsed time.Duration) queryResponse {
+	out := queryResponse{
+		Query:       agg.String(),
+		Estimate:    jsonFloat(res.Estimate),
+		MoE:         jsonFloat(res.MoE),
+		Confidence:  res.Confidence,
+		Converged:   res.Converged,
+		Interrupted: interrupted,
+		SampleSize:  res.SampleSize,
+		Distinct:    res.Distinct,
+		Candidates:  res.Candidates,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+	}
+	for _, r := range res.Rounds {
+		out.Rounds = append(out.Rounds, roundJSON{Estimate: r.Estimate, MoE: jsonFloat(r.MoE), SampleSize: r.SampleSize})
+	}
+	if res.Groups != nil {
+		out.Groups = map[string]groupJSON{}
+		for label, gr := range res.Groups {
+			out.Groups[label] = groupJSON{Estimate: gr.Estimate, MoE: jsonFloat(gr.MoE), Draws: gr.Draws}
+		}
+	}
+	return out
+}
+
+// errorStatus maps execution errors onto HTTP statuses: resolution errors
+// are the client's fault, everything else is the engine's.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrUnknownEntity),
+		errors.Is(err, core.ErrUnknownType),
+		errors.Is(err, core.ErrUnknownPredicate),
+		errors.Is(err, core.ErrUnknownAttribute):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNotConverged):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrInterrupted):
+		// A timeout/disconnect that landed before any partial result exists
+		// (e.g. during preparation) is the client's deadline, not our fault.
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	agg, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The request context carries both the client disconnect and the server
+	// drain; the optional per-query timeout layers on top. Either way the
+	// engine returns its partial estimate instead of running on.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	if req.Stream {
+		s.streamQuery(ctx, w, agg, opts)
+		return
+	}
+
+	begin := time.Now()
+	res, err := s.eng.Query(ctx, agg, opts...)
+	elapsed := time.Since(begin)
+	if err != nil {
+		// A partial result is only worth a 200 when it carries an estimate;
+		// an interruption before the first completed round (NaN estimate)
+		// is the same outcome as one during preparation — a timeout.
+		if core.IsPartial(err, res) {
+			resp := toResponse(agg, res, true, elapsed)
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		writeError(w, errorStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(agg, res, false, elapsed))
+}
+
+// streamQuery answers in NDJSON: a {"round":…} line per refinement round
+// (flushed immediately — OnRound fires on this goroutine, so writes need no
+// locking), then one final {"result":…} or {"error":…} line.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *query.Aggregate, opts []core.QueryOption) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	wrote := false
+	emit := func(v any) {
+		wrote = true
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	begin := time.Now()
+	opts = append(opts, core.OnRound(func(r core.Round) {
+		emit(map[string]roundJSON{"round": {Estimate: r.Estimate, MoE: jsonFloat(r.MoE), SampleSize: r.SampleSize}})
+	}))
+	res, err := s.eng.Query(ctx, agg, opts...)
+	elapsed := time.Since(begin)
+	switch {
+	case err != nil && core.IsPartial(err, res):
+		resp := toResponse(agg, res, true, elapsed)
+		resp.Error = err.Error()
+		emit(map[string]queryResponse{"result": resp})
+	case err != nil:
+		// While nothing has been streamed the status line is still ours to
+		// set; match the non-stream path instead of defaulting to 200.
+		if !wrote {
+			w.WriteHeader(errorStatus(err))
+		}
+		emit(map[string]string{"error": err.Error()})
+	default:
+		emit(map[string]queryResponse{"result": toResponse(agg, res, false, elapsed)})
+	}
+}
+
+// healthResponse is the body of GET /v1/healthz.
+type healthResponse struct {
+	Status     string  `json:"status"`
+	UptimeS    float64 `json:"uptime_s"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	Predicates int     `json:"predicates"`
+	Types      int     `json:"types"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.eng.Graph()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		UptimeS:    time.Since(s.started).Seconds(),
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Predicates: g.NumPredicates(),
+		Types:      g.NumTypes(),
+	})
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"kgaq/internal/core"
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/stats"
+)
+
+const avgPriceText = "AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c"
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := kgtest.Figure1()
+	eng, err := core.NewEngine(g, embtest.Figure1Model(g), core.Options{ErrorBound: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Nodes == 0 || h.Edges == 0 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestQueryRoundTrip drives the paper's running example end to end over
+// HTTP: the textual query goes in, the guaranteed estimate comes out.
+func TestQueryRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	resp, body := postQuery(t, ts, fmt.Sprintf(`{"query": %q}`, avgPriceText))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if !qr.Converged || qr.Estimate == nil || qr.Interrupted {
+		t.Fatalf("response = %+v", qr)
+	}
+	if rel := stats.RelativeError(*qr.Estimate, kgtest.Figure1AvgPrice); rel > 0.05 {
+		t.Fatalf("estimate %v, rel error %v", *qr.Estimate, rel)
+	}
+	if qr.SampleSize == 0 || len(qr.Rounds) == 0 {
+		t.Fatalf("bookkeeping missing: %+v", qr)
+	}
+}
+
+// TestQueryOverrides confirms per-request options land: a distinct seed and
+// loose bound change the execution, and max_draws caps the sample.
+func TestQueryOverrides(t *testing.T) {
+	ts := testServer(t)
+	_, body := postQuery(t, ts, fmt.Sprintf(
+		`{"query": %q, "error_bound": 0.10, "seed": 99, "max_draws": 40}`, avgPriceText))
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if qr.SampleSize > 40 {
+		t.Fatalf("max_draws override ignored: |S| = %d", qr.SampleSize)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		body   string
+		status int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"query": ""}`, http.StatusBadRequest},
+		{`{"query": "AVG(price) MATCH nonsense"}`, http.StatusBadRequest},
+		{`{"query": "COUNT(*) MATCH (g:Country name=Atlantis)-[product]->(c:Automobile) TARGET c"}`, http.StatusBadRequest},
+		{fmt.Sprintf(`{"query": %q, "sampler": "quantum"}`, avgPriceText), http.StatusBadRequest},
+		{fmt.Sprintf(`{"query": %q, "unknown_field": 1}`, avgPriceText), http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp, body := postQuery(t, ts, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("case %d: status = %d, want %d (%s)", i, resp.StatusCode, c.status, body)
+		}
+	}
+	// Unknown-entity failures carry the sentinel's message.
+	_, body := postQuery(t, ts, `{"query": "COUNT(*) MATCH (g:Country name=Atlantis)-[product]->(c:Automobile) TARGET c"}`)
+	if !bytes.Contains(body, []byte("unknown entity")) {
+		t.Fatalf("error body %s lacks sentinel message", body)
+	}
+}
+
+// TestQueryStream reads the NDJSON streaming response: at least one round
+// line followed by a final result line.
+func TestQueryStream(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query": %q, "stream": true}`, avgPriceText)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	rounds, results := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Round  *roundJSON     `json:"round"`
+			Result *queryResponse `json:"result"`
+			Error  string         `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("%v in %s", err, sc.Text())
+		}
+		switch {
+		case line.Round != nil:
+			if results > 0 {
+				t.Fatal("round after result")
+			}
+			rounds++
+		case line.Result != nil:
+			results++
+			if !line.Result.Converged {
+				t.Fatalf("streamed result did not converge: %+v", line.Result)
+			}
+		case line.Error != "":
+			t.Fatalf("streamed error: %s", line.Error)
+		}
+	}
+	if rounds == 0 || results != 1 {
+		t.Fatalf("stream shape: %d rounds, %d results", rounds, results)
+	}
+}
+
+// TestConcurrentRequests hammers one server (one shared Engine) from many
+// goroutines — the serving-layer face of the engine's concurrency
+// guarantee. Run under -race in CI.
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"query": %q, "seed": %d}`, avgPriceText, seed+1)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK || qr.Estimate == nil {
+				errs <- fmt.Errorf("seed %d: status %d, %+v", seed, resp.StatusCode, qr)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, err := kgaq.GenerateDataset("tiny")
 	if err != nil {
 		log.Fatal(err)
@@ -42,7 +44,7 @@ func main() {
 		kgaq.SimpleQuery(kgaq.Count, "", anchor, "Country", "product", "Automobile"),
 		kgaq.SimpleQuery(kgaq.Avg, "price", anchor, "Country", "product", "Automobile"),
 	} {
-		res, err := engine.Execute(q)
+		res, err := engine.Query(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +60,7 @@ func main() {
 	// Q3: add a fuel-economy filter (Definition 6).
 	q3 := kgaq.SimpleQuery(kgaq.Avg, "price", anchor, "Country", "product", "Automobile").
 		WithFilter("fuel_economy", 22, 32)
-	res, err := engine.Execute(q3)
+	res, err := engine.Query(ctx, q3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,13 +70,13 @@ func main() {
 	// incremental cost stay small (Fig. 6a behaviour) — the collected
 	// sample is reused across steps.
 	fmt.Println("\ninteractive refinement of AVG(price):")
-	x, err := engine.Start(kgaq.SimpleQuery(kgaq.Avg, "price", anchor, "Country", "product", "Automobile"))
+	x, err := engine.Start(ctx, kgaq.SimpleQuery(kgaq.Avg, "price", anchor, "Country", "product", "Automobile"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, eb := range []float64{0.05, 0.04, 0.03, 0.02, 0.01} {
 		begin := time.Now()
-		res, err := x.Run(eb)
+		res, err := x.Refine(ctx, eb)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -98,7 +99,7 @@ func main() {
 		log.Fatal(err)
 	}
 	q := kgaq.SimpleQuery(kgaq.Avg, "price", "Germany", "Country", "product", "Automobile")
-	res, err := engine.Execute(q)
+	res, err := engine.Query(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"kgaq"
 )
@@ -48,7 +50,16 @@ func main() {
 	// look-alikes are rejected by correctness validation.
 	anchor := workloadAnchor(ds)
 	q := kgaq.SimpleQuery(kgaq.Avg, "price", anchor, "Country", "product", "Automobile")
-	res, err := engine.Execute(q)
+
+	// Queries take a context — a deadline or cancellation lands mid-query
+	// and returns the partial estimate — and per-query options. OnRound
+	// streams each refinement round live as the interval tightens.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fmt.Println("\nrefinement rounds (streamed):")
+	res, err := engine.Query(ctx, q, kgaq.OnRound(func(r kgaq.Round) {
+		fmt.Printf("  |S|=%-5d estimate %.2f ± %.2f\n", r.SampleSize, r.Estimate, r.MoE)
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 }
 
 func run(engine *kgaq.Engine, q *kgaq.AggregateQuery) {
-	res, err := engine.Execute(q)
+	res, err := engine.Query(context.Background(), q)
 	if err != nil {
 		log.Printf("%s: %v", q, err)
 		return

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -33,7 +34,8 @@ func main() {
 	// chains, and hometown edges; the sampler finds all of them.
 	q := kgaq.SimpleQuery(kgaq.Count, "", "Country_1", "Country", "bornIn", "SoccerPlayer").
 		WithGroupBy("age_group")
-	res, err := engine.Execute(q)
+	ctx := context.Background()
+	res, err := engine.Query(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +63,9 @@ func main() {
 	if star == nil {
 		log.Fatal("workload has no star query")
 	}
-	sres, err := engine.Execute(star)
+	// Per-query options override the engine defaults without rebuilding the
+	// engine: the star query runs at a looser 10% bound and its own seed.
+	sres, err := engine.Query(ctx, star, kgaq.WithErrorBound(0.10), kgaq.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +73,7 @@ func main() {
 
 	// MAX without a guarantee: the most valuable player born in Country_1.
 	mq := kgaq.SimpleQuery(kgaq.Max, "transfer_value", "Country_1", "Country", "bornIn", "SoccerPlayer")
-	mres, err := engine.Execute(mq)
+	mres, err := engine.Query(ctx, mq)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module kgaq
+
+go 1.24.0

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -31,6 +32,17 @@ type Config struct {
 	Seed int64
 	// TrainEpochs for Table XIII's embedding training (default 40).
 	TrainEpochs int
+	// Ctx, when set, cancels in-flight experiment queries (^C in aggbench);
+	// nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the configured cancellation context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c Config) withDefaults() Config {

@@ -136,7 +136,7 @@ func mainGrid(e *Env, g *grid, cfg Config) error {
 			var res *core.Result
 			d, err := timed(func() error {
 				var err error
-				res, err = eng.Execute(q.Agg)
+				res, err = eng.Query(cfg.ctx(), q.Agg)
 				return err
 			})
 			if err == nil {
@@ -251,7 +251,7 @@ func Table9(w io.Writer, cfg Config) error {
 		if err != nil || tauGT == 0 {
 			continue
 		}
-		res, err := eng.Execute(q.Agg)
+		res, err := eng.Query(cfg.ctx(), q.Agg)
 		if err != nil {
 			continue
 		}
@@ -300,7 +300,7 @@ func operatorRows(e *Env, cfg Config, category string) (map[string]*cell, error)
 		var res *core.Result
 		d, err := timed(func() error {
 			var err error
-			res, err = eng.Execute(q.Agg)
+			res, err = eng.Query(cfg.ctx(), q.Agg)
 			return err
 		})
 		if err == nil {

@@ -49,7 +49,7 @@ func Table12(w io.Writer, cfg Config) error {
 	for _, fn := range funcBuckets {
 		var s1, s2, s3 []float64
 		for _, q := range byFunc[fn] {
-			res, err := eng.Execute(q.Agg)
+			res, err := eng.Query(cfg.ctx(), q.Agg)
 			if err != nil {
 				continue
 			}
@@ -100,7 +100,7 @@ func Table13(w io.Writer, cfg Config) error {
 			if err != nil {
 				continue
 			}
-			res, err := eng.Execute(q.Agg)
+			res, err := eng.Query(cfg.ctx(), q.Agg)
 			if err != nil {
 				continue
 			}
@@ -163,7 +163,7 @@ func runSweep(w io.Writer, cfg Config, title string, points []sweepPoint,
 				var res *core.Result
 				d, err := timed(func() error {
 					var err error
-					res, err = eng.Execute(q.Agg)
+					res, err = eng.Query(cfg.ctx(), q.Agg)
 					return err
 				})
 				if err != nil {
@@ -249,16 +249,16 @@ func Fig6a(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			x, err := eng.Start(q.Agg)
+			x, err := eng.Start(cfg.ctx(), q.Agg)
 			if err != nil {
 				continue
 			}
-			if _, err := x.Run(steps[0]); err != nil {
+			if _, err := x.Refine(cfg.ctx(), steps[0]); err != nil {
 				continue
 			}
 			for i := 1; i < len(steps); i++ {
 				begin := time.Now()
-				if _, err := x.Run(steps[i]); err != nil {
+				if _, err := x.Refine(cfg.ctx(), steps[i]); err != nil {
 					break
 				}
 				inc[i-1] = append(inc[i-1], float64(time.Since(begin).Microseconds())/1000)
@@ -371,7 +371,7 @@ func Fig6f(w io.Writer, cfg Config) error {
 							continue
 						}
 					}
-					res, err := eng.Execute(q.Agg)
+					res, err := eng.Query(cfg.ctx(), q.Agg)
 					if err != nil {
 						continue
 					}

@@ -1,0 +1,44 @@
+// Package cmdutil shares the data-loading plumbing of the command-line
+// tools: every CLI accepts either a generated profile or a graph +
+// embedding snapshot pair from kgen.
+package cmdutil
+
+import (
+	"fmt"
+
+	"kgaq/internal/datagen"
+	"kgaq/internal/embedding"
+	"kgaq/internal/kg"
+)
+
+// LoadGraphModel resolves the -profile / -graph / -emb flag triple into a
+// graph and embedding. When a profile is generated and *tau is zero, it is
+// set to the profile's optimal τ.
+func LoadGraphModel(graphPath, embPath, profile string, tau *float64) (*kg.Graph, embedding.Model, error) {
+	if profile != "" {
+		p, ok := datagen.ProfileByName(profile)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown profile %q", profile)
+		}
+		ds, err := datagen.Generate(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("generate: %w", err)
+		}
+		if *tau == 0 {
+			*tau = p.OptimalTau
+		}
+		return ds.Graph, ds.Model, nil
+	}
+	if graphPath == "" || embPath == "" {
+		return nil, nil, fmt.Errorf("need either -profile or both -graph and -emb")
+	}
+	g, err := kg.LoadFile(graphPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load graph: %w", err)
+	}
+	m, err := embedding.LoadFile(embPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load embedding: %w", err)
+	}
+	return g, m, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kgaq/internal/query"
+)
+
+// BatchResult pairs one batch query with its outcome; the slice returned by
+// QueryBatch is index-aligned with the input queries.
+type BatchResult struct {
+	Query  *query.Aggregate
+	Result *Result
+	Err    error
+}
+
+// QueryBatch executes the queries concurrently over a bounded worker pool
+// (WithParallelism, default GOMAXPROCS) and returns per-query outcomes in
+// input order. Options apply to every query in the batch; an OnRound
+// callback is serialized across the pool, so it observes one round at a
+// time even while queries run in parallel. Cancelling ctx stops
+// dispatching new queries — never-started ones report ErrInterrupted with
+// a nil Result — and interrupts the in-flight ones, which report
+// ErrInterrupted alongside their partial Results. QueryBatch itself never
+// returns an aggregate error: inspect each BatchResult.
+func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...QueryOption) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	cfg := e.queryConfig(opts)
+	if cfg.onRound != nil {
+		// The workers would otherwise invoke the user's callback from many
+		// goroutines at once — an invisible data-race trap.
+		var mu sync.Mutex
+		orig := cfg.onRound
+		opts = append(opts, OnRound(func(r Round) {
+			mu.Lock()
+			defer mu.Unlock()
+			orig(r)
+		}))
+	}
+	workers := cfg.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := e.Query(ctx, qs[i], opts...)
+				out[i] = BatchResult{Query: qs[i], Result: res, Err: err}
+			}
+		}()
+	}
+dispatch:
+	for i := range qs {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			for j := i; j < len(qs); j++ {
+				out[j] = BatchResult{Query: qs[j],
+					Err: fmt.Errorf("core: %w before dispatch: %w", ErrInterrupted, ctx.Err())}
+			}
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

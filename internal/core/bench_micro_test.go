@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"kgaq/internal/datagen"
@@ -64,7 +65,7 @@ func BenchmarkStartOnly(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Start(q); err != nil {
+		if _, err := e.Start(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,12 +100,12 @@ func BenchmarkInteractiveTighten(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		x, err := e.Start(q)
+		x, err := e.Start(context.Background(), q)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, eb := range []float64{0.10, 0.05, 0.02} {
-			if _, err := x.Run(eb); err != nil {
+			if _, err := x.Refine(context.Background(), eb); err != nil {
 				b.Fatal(err)
 			}
 		}

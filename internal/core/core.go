@@ -209,6 +209,13 @@ func (r *Result) Interval() estimate.Interval {
 }
 
 // Engine executes aggregate queries over one graph + embedding pair.
+//
+// An Engine is safe for concurrent use by multiple goroutines: after
+// NewEngine it is immutable (the graph, the embedding model and the
+// defaulted Options are only ever read), and every Query/Start call builds
+// its own Execution with a private RNG, similarity calculator, sampling
+// space and validation caches. Concurrent queries with the same seed
+// produce identical results; use WithSeed to vary them per query.
 type Engine struct {
 	g     *kg.Graph
 	model embedding.Model
@@ -245,14 +252,14 @@ func (e *Engine) newCalculator() (*semsim.Calculator, error) {
 func (e *Engine) resolveRoot(p query.Path) (kg.NodeID, error) {
 	us := e.g.NodeByName(p.RootName)
 	if us == kg.InvalidNode {
-		return kg.InvalidNode, fmt.Errorf("core: specific entity %q not in graph", p.RootName)
+		return kg.InvalidNode, fmt.Errorf("core: %w: specific entity %q not in graph", ErrUnknownEntity, p.RootName)
 	}
 	types, err := e.resolveTypes(p.RootTypes)
 	if err != nil {
 		return kg.InvalidNode, err
 	}
 	if !e.g.SharesType(us, types) {
-		return kg.InvalidNode, fmt.Errorf("core: entity %q has none of the required types %v", p.RootName, p.RootTypes)
+		return kg.InvalidNode, fmt.Errorf("core: %w: entity %q has none of the required types %v", ErrUnknownEntity, p.RootName, p.RootTypes)
 	}
 	return us, nil
 }
@@ -263,7 +270,7 @@ func (e *Engine) resolveTypes(names []string) ([]kg.TypeID, error) {
 	for _, n := range names {
 		t := e.g.TypeByName(n)
 		if t == kg.InvalidType {
-			return nil, fmt.Errorf("core: unknown type %q", n)
+			return nil, fmt.Errorf("core: %w %q", ErrUnknownType, n)
 		}
 		out = append(out, t)
 	}
@@ -275,7 +282,7 @@ func (e *Engine) resolveTypes(names []string) ([]kg.TypeID, error) {
 func (e *Engine) resolvePred(name string) (kg.PredID, error) {
 	p := e.g.PredByName(name)
 	if p == kg.InvalidPred {
-		return kg.InvalidPred, fmt.Errorf("core: unknown predicate %q", name)
+		return kg.InvalidPred, fmt.Errorf("core: %w %q", ErrUnknownPredicate, name)
 	}
 	return p, nil
 }
@@ -287,7 +294,7 @@ func (e *Engine) resolveAttr(name string) (kg.AttrID, error) {
 	}
 	a := e.g.AttrByName(name)
 	if a == kg.InvalidAttr {
-		return kg.InvalidAttr, fmt.Errorf("core: unknown attribute %q", name)
+		return kg.InvalidAttr, fmt.Errorf("core: %w %q", ErrUnknownAttribute, name)
 	}
 	return a, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -203,16 +204,16 @@ func TestExecuteStar(t *testing.T) {
 // Interactive refinement: tightening eb reuses the collected sample.
 func TestInteractiveRefinement(t *testing.T) {
 	e, _ := figure1Engine(t, Options{Seed: 29})
-	x, err := e.Start(avgPriceQuery())
+	x, err := e.Start(context.Background(), avgPriceQuery())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res1, err := x.Run(0.05)
+	res1, err := x.Refine(context.Background(), 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
 	size1 := res1.SampleSize
-	res2, err := x.Run(0.01)
+	res2, err := x.Refine(context.Background(), 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestExecuteDeterministic(t *testing.T) {
 
 func TestCandidateAnswersOrdering(t *testing.T) {
 	e, g := figure1Engine(t, Options{})
-	x, err := e.Start(avgPriceQuery())
+	x, err := e.Start(context.Background(), avgPriceQuery())
 	if err != nil {
 		t.Fatal(err)
 	}

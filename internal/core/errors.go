@@ -1,0 +1,38 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Sentinel errors returned (possibly wrapped) by query resolution and
+// execution. Match with errors.Is; the wrapping message carries the
+// offending name and query context.
+var (
+	// ErrUnknownEntity reports a specific entity name absent from the graph
+	// (or present but failing the Definition 5 type condition).
+	ErrUnknownEntity = errors.New("unknown entity")
+	// ErrUnknownType reports a query type name absent from the graph.
+	ErrUnknownType = errors.New("unknown type")
+	// ErrUnknownPredicate reports a query predicate absent from the graph
+	// (the embedding has no vector for it).
+	ErrUnknownPredicate = errors.New("unknown predicate")
+	// ErrUnknownAttribute reports an aggregated, filtered or grouped
+	// attribute absent from the graph.
+	ErrUnknownAttribute = errors.New("unknown attribute")
+	// ErrNotConverged reports that no estimable sample was obtained within
+	// the round budget. A run that produces an estimate but exhausts its
+	// draw budget does NOT error; it returns a Result with Converged=false.
+	ErrNotConverged = errors.New("did not converge")
+	// ErrInterrupted reports that the context was cancelled or its deadline
+	// expired mid-query. When refinement had already produced an estimate,
+	// the error accompanies a partial Result with Converged=false.
+	ErrInterrupted = errors.New("query interrupted")
+)
+
+// IsPartial reports whether an interrupted query still yielded a usable
+// partial estimate — the single predicate the CLIs and the HTTP server
+// share for "report the partial instead of failing".
+func IsPartial(err error, res *Result) bool {
+	return errors.Is(err, ErrInterrupted) && res != nil && !math.IsNaN(res.Estimate)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,9 +25,15 @@ type resolvedFilter struct {
 // Execution is a started query whose sample can be refined incrementally —
 // the interactive scenario of §IV-C where the user tightens eb at runtime
 // and the engine reuses everything collected so far.
+//
+// An Execution carries its own RNG, sampling space and validation caches
+// and must not be shared across goroutines; concurrency happens by running
+// many Executions of one Engine in parallel.
 type Execution struct {
 	e       *Engine
 	q       *query.Aggregate
+	opts    Options // engine options with per-query overrides applied
+	onRound func(Round)
 	attr    kg.AttrID
 	group   kg.AttrID
 	filters []resolvedFilter
@@ -41,15 +48,21 @@ type Execution struct {
 // Start validates and prepares a query: decomposition, walker construction,
 // convergence, and the answer distribution — everything up to (but not
 // including) drawing the sample. The preparation time is charged to the
-// sampling step.
-func (e *Engine) Start(q *query.Aggregate) (*Execution, error) {
+// sampling step. ctx cancels the preparation (walker convergence and space
+// assembly are the heavy parts); a cancelled Start returns ErrInterrupted.
+func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (*Execution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if !q.Func.HasGuarantee() && q.GroupBy != "" {
 		return nil, fmt.Errorf("core: GROUP-BY with %v is unsupported", q.Func)
 	}
-	x := &Execution{e: e, q: q, rng: stats.NewRand(e.opts.Seed)}
+	cfg := e.queryConfig(opts)
+	o := cfg.opts
+	x := &Execution{e: e, q: q, opts: o, onRound: cfg.onRound, rng: stats.NewRand(o.Seed)}
 
 	var err error
 	if x.attr, err = e.resolveAttr(q.Attr); err != nil {
@@ -72,21 +85,27 @@ func (e *Engine) Start(q *query.Aggregate) (*Execution, error) {
 	}
 
 	begin := time.Now()
-	if e.opts.Sampler == SamplerSemantic {
+	if o.Sampler == SamplerSemantic {
 		calc, err := e.newCalculator()
 		if err != nil {
 			return nil, err
 		}
-		x.sp, err = e.buildAssemblySpace(calc, paths)
+		x.sp, err = e.buildAssemblySpace(ctx, o, calc, paths)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
+			}
 			return nil, err
 		}
 	} else {
 		if len(paths) != 1 {
-			return nil, fmt.Errorf("core: %v sampler supports simple queries only", e.opts.Sampler)
+			return nil, fmt.Errorf("core: %v sampler supports simple queries only", o.Sampler)
 		}
-		sp, draws, err := e.buildTopologySpace(paths[0], x.rng, x.initialSize(200))
+		sp, draws, err := e.buildTopologySpace(ctx, o, paths[0], x.rng, x.initialSize(200))
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
+			}
 			return nil, err
 		}
 		x.sp = sp
@@ -96,9 +115,37 @@ func (e *Engine) Start(q *query.Aggregate) (*Execution, error) {
 	return x, nil
 }
 
+// Query runs the full pipeline: Start plus refinement to the configured
+// error bound, honouring ctx between rounds and inside the walk and
+// validation hot loops. On cancellation it returns the partial Result
+// collected so far (Converged=false) together with an error wrapping both
+// ErrInterrupted and ctx.Err().
+func (e *Engine) Query(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (*Result, error) {
+	x, err := e.Start(ctx, q, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return x.Refine(ctx, 0)
+}
+
+// Rounds returns a snapshot of the refinement rounds observed so far — the
+// pull-style counterpart of the OnRound streaming option.
+func (x *Execution) Rounds() []Round {
+	return append([]Round(nil), x.rounds...)
+}
+
+// emitRound records a refinement round and streams it to the OnRound
+// callback, if any.
+func (x *Execution) emitRound(r Round) {
+	x.rounds = append(x.rounds, r)
+	if x.onRound != nil {
+		x.onRound(r)
+	}
+}
+
 // initialSize is the paper's |S| = t·(λ·|A|)^m with a practical floor.
 func (x *Execution) initialSize(candidates int) int {
-	o := x.e.opts
+	o := x.opts
 	n := float64(o.T) * math.Pow(o.Lambda*float64(candidates), o.M)
 	size := int(math.Ceil(n))
 	if size < o.MinSample {
@@ -111,13 +158,13 @@ func (x *Execution) initialSize(candidates int) int {
 // cached semantic validation with the §V-A filter condition
 // c(u) = (L ≤ u.b ≤ U && s ≥ τ), and an answer missing the aggregated
 // attribute cannot contribute to SUM/AVG/MAX/MIN.
-func (x *Execution) observation(i int) estimate.Observation {
+func (x *Execution) observation(ctx context.Context, i int) estimate.Observation {
 	g := x.e.g
 	u := x.sp.answers[i]
 	// The Fig. 5b ablation (SkipValidation) trusts the sampler blindly:
 	// every sampled answer is treated as correct.
 	obs := estimate.Observation{Prob: x.sp.probs[i],
-		Correct: x.e.opts.SkipValidation || x.sp.correctness(i)}
+		Correct: x.opts.SkipValidation || x.sp.correctness(ctx, i)}
 	if obs.Correct {
 		for _, f := range x.filters {
 			v, ok := g.Attr(u, f.attr)
@@ -140,15 +187,15 @@ func (x *Execution) observation(i int) estimate.Observation {
 	return obs
 }
 
-func (x *Execution) observations() []estimate.Observation {
+func (x *Execution) observations(ctx context.Context) []estimate.Observation {
 	// Validate all fresh distinct answers in one shared greedy search; the
 	// per-draw observation then hits the verdict cache.
-	if !x.e.opts.SkipValidation {
-		x.sp.prevalidate(x.drawIdx)
+	if !x.opts.SkipValidation {
+		x.sp.prevalidate(ctx, x.drawIdx)
 	}
 	out := make([]estimate.Observation, len(x.drawIdx))
 	for k, i := range x.drawIdx {
-		out[k] = x.observation(i)
+		out[k] = x.observation(ctx, i)
 	}
 	return out
 }
@@ -156,7 +203,7 @@ func (x *Execution) observations() []estimate.Observation {
 // sampleMore extends the draw list by k, honouring the MaxDraws budget. It
 // reports whether any draws were added.
 func (x *Execution) sampleMore(k int) bool {
-	if budget := x.e.opts.MaxDraws - len(x.drawIdx); k > budget {
+	if budget := x.opts.MaxDraws - len(x.drawIdx); k > budget {
 		k = budget
 	}
 	if k <= 0 {
@@ -168,20 +215,47 @@ func (x *Execution) sampleMore(k int) bool {
 	return true
 }
 
-// Run refines the sample until the Theorem 2 condition holds for the given
-// error bound, reusing all previously collected draws (interactive
-// tightening of eb keeps the sample). It returns the cumulative result.
-func (x *Execution) Run(eb float64) (*Result, error) {
+// interrupted packages the partial state of a cancelled refinement: the
+// best estimate so far with Converged=false, plus an error matching both
+// ErrInterrupted and the ctx cause. When this Refine call completed no
+// round of its own, the estimate falls back to the last recorded round
+// (an earlier Refine on the same Execution may have produced one); only a
+// truly round-less execution reports NaN. The cancelled ctx flows into
+// the result bookkeeping on purpose: draws whose validation never ran
+// count as incorrect instead of blocking the cancel on a fresh
+// validation pass.
+func (x *Execution) interrupted(ctx context.Context, vhat, moe float64, estimated bool, cause error) (*Result, error) {
+	if !estimated {
+		if n := len(x.rounds); n > 0 {
+			vhat, moe = x.rounds[n-1].Estimate, x.rounds[n-1].MoE
+		} else {
+			vhat, moe = math.NaN(), math.NaN()
+		}
+	}
+	return x.result(ctx, vhat, moe, false, nil),
+		fmt.Errorf("core: %w after %d draws: %w", ErrInterrupted, len(x.drawIdx), cause)
+}
+
+// Refine grows the sample until the Theorem 2 condition holds for the given
+// error bound (eb ≤ 0 means the execution's configured bound), reusing all
+// previously collected draws — interactive tightening of eb keeps the
+// sample. ctx is checked between refinement rounds and inside the
+// validation hot loop; a cancelled Refine returns the partial Result with
+// Converged=false and an error wrapping ErrInterrupted.
+func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if eb <= 0 {
-		eb = x.e.opts.ErrorBound
+		eb = x.opts.ErrorBound
 	}
 	if !x.q.Func.HasGuarantee() {
-		return x.runExtreme()
+		return x.runExtreme(ctx)
 	}
 	if x.group != kg.InvalidAttr {
-		return x.runGrouped(eb)
+		return x.runGrouped(ctx, eb)
 	}
-	o := x.e.opts
+	o := x.opts
 	if len(x.drawIdx) == 0 {
 		x.sampleMore(x.initialSize(x.sp.len()))
 	}
@@ -190,13 +264,22 @@ func (x *Execution) Run(eb float64) (*Result, error) {
 	converged := false
 	estimated := false
 	for round := 0; round < o.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return x.interrupted(ctx, vhat, moe, estimated, err)
+		}
 		begin := time.Now()
-		obs := x.observations()
+		obs := x.observations(ctx)
 		correct := 0
 		for _, ob := range obs {
 			if ob.Correct {
 				correct++
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			// Validation was cut short; the verdicts of this round are
+			// incomplete, so do not fold them into the estimate.
+			x.times.Estimation += time.Since(begin)
+			return x.interrupted(ctx, vhat, moe, estimated, err)
 		}
 		v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
 		x.times.Estimation += time.Since(begin)
@@ -225,8 +308,10 @@ func (x *Execution) Run(eb float64) (*Result, error) {
 		}
 		begin = time.Now()
 		eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+		// Close the timing window before the OnRound callback fires: its
+		// latency (e.g. a slow streaming client) is not guarantee time.
+		x.times.Guarantee += time.Since(begin)
 		if err != nil {
-			x.times.Guarantee += time.Since(begin)
 			if !x.sampleMore(len(x.drawIdx)) {
 				break
 			}
@@ -234,12 +319,12 @@ func (x *Execution) Run(eb float64) (*Result, error) {
 		}
 		vhat, moe = v, eps
 		estimated = true
-		x.rounds = append(x.rounds, Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+		x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
 		if estimate.Satisfied(v, eps, eb) {
-			x.times.Guarantee += time.Since(begin)
 			converged = true
 			break
 		}
+		begin = time.Now()
 		delta := o.FixedDelta
 		if delta <= 0 {
 			delta = estimate.NextSampleSize(len(x.drawIdx), eps, v, eb, o.M)
@@ -253,15 +338,16 @@ func (x *Execution) Run(eb float64) (*Result, error) {
 		}
 	}
 	if !estimated {
-		return nil, fmt.Errorf("core: no estimable sample within %d rounds: %w", o.MaxRounds, estimate.ErrNoCorrect)
+		return nil, fmt.Errorf("core: %w: no estimable sample within %d rounds: %w",
+			ErrNotConverged, o.MaxRounds, estimate.ErrNoCorrect)
 	}
-	return x.result(vhat, moe, converged, nil), nil
+	return x.result(ctx, vhat, moe, converged, nil), nil
 }
 
 // runExtreme supports MAX/MIN without a guarantee (§VII): fixed-size rounds
 // over the sampling distribution, returning the running extreme.
-func (x *Execution) runExtreme() (*Result, error) {
-	o := x.e.opts
+func (x *Execution) runExtreme(ctx context.Context) (*Result, error) {
+	o := x.opts
 	per := x.sp.len() / 20 // 5% of the candidates per round
 	if per < 20 {
 		per = 20
@@ -269,23 +355,26 @@ func (x *Execution) runExtreme() (*Result, error) {
 	var best float64
 	found := false
 	for round := 0; round < o.ExtremeRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return x.interrupted(ctx, best, 0, found, err)
+		}
 		if !x.sampleMore(per) && round > 0 {
 			break
 		}
 		begin := time.Now()
-		v, err := estimate.Estimate(x.q.Func, x.observations(), o.Policy)
+		v, err := estimate.Estimate(x.q.Func, x.observations(ctx), o.Policy)
 		x.times.Estimation += time.Since(begin)
 		if err != nil {
 			continue
 		}
 		best = v
 		found = true
-		x.rounds = append(x.rounds, Round{Estimate: v, SampleSize: len(x.drawIdx)})
+		x.emitRound(Round{Estimate: v, SampleSize: len(x.drawIdx)})
 	}
 	if !found {
 		return nil, estimate.ErrNoCorrect
 	}
-	return x.result(best, 0, false, nil), nil
+	return x.result(ctx, best, 0, false, nil), nil
 }
 
 // runGrouped answers GROUP-BY queries: each group's estimator runs over the
@@ -294,18 +383,48 @@ func (x *Execution) runExtreme() (*Result, error) {
 // unbiased per group. Every sufficiently observed group must individually
 // satisfy Theorem 2, which is why GROUP-BY costs roughly a group-count
 // multiple of a plain query (Table X).
-func (x *Execution) runGrouped(eb float64) (*Result, error) {
-	o := x.e.opts
+func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error) {
+	o := x.opts
 	if len(x.drawIdx) == 0 {
 		x.sampleMore(x.initialSize(x.sp.len()))
 	}
 	const minGroupDraws = 8
 	maxRounds := 3 * o.MaxRounds
 	var groups map[string]GroupResult
+	var vhat, moe float64
+	estimated := false
+	lastEmit := -1 // sample size the last emitted round covered
 	converged := false
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			res, rerr := x.interrupted(ctx, vhat, moe, estimated, err)
+			res.Groups = groups
+			return res, rerr
+		}
 		begin := time.Now()
-		byGroup, inGroup := x.groupedObservations()
+		byGroup, inGroup, base := x.groupedObservations(ctx)
+		if err := ctx.Err(); err != nil {
+			// Validation was cut short; this round's verdicts are incomplete,
+			// so report the previous round's groups, not estimates over them.
+			x.times.Estimation += time.Since(begin)
+			res, rerr := x.interrupted(ctx, vhat, moe, estimated, err)
+			res.Groups = groups
+			return res, rerr
+		}
+		// The overall (ungrouped) estimate of this round, streamed to
+		// OnRound so grouped queries report live progress too.
+		if v, err := estimate.Estimate(x.q.Func, base, o.Policy); err == nil {
+			gbegin := time.Now()
+			eps, err := estimate.MoE(x.q.Func, base, o.Policy, o.guarantee(), x.rng)
+			x.times.Guarantee += time.Since(gbegin)
+			if err != nil {
+				eps = math.NaN()
+			}
+			vhat, moe = v, eps
+			estimated = true
+			lastEmit = len(x.drawIdx)
+			x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+		}
 		groups = map[string]GroupResult{}
 		allOK := len(byGroup) > 0
 		worstRatio := 1.0
@@ -346,31 +465,44 @@ func (x *Execution) runGrouped(eb float64) (*Result, error) {
 			break // draw budget exhausted
 		}
 	}
-	// The overall (ungrouped) estimate is reported alongside the groups.
-	obs := x.observations()
-	v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
-	if err != nil {
-		return nil, err
+	// The overall (ungrouped) estimate accompanies the groups; recompute it
+	// only when no round produced one or draws arrived after the last round.
+	if !estimated || lastEmit != len(x.drawIdx) {
+		obs := x.observations(ctx)
+		if err := ctx.Err(); err != nil {
+			res, rerr := x.interrupted(ctx, vhat, moe, estimated, err)
+			res.Groups = groups
+			return res, rerr
+		}
+		v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+		if err != nil {
+			return nil, err
+		}
+		eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+		if err != nil {
+			eps = math.NaN()
+		}
+		vhat, moe = v, eps
+		x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
 	}
-	eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
-	if err != nil {
-		eps = math.NaN()
-	}
-	x.rounds = append(x.rounds, Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
-	return x.result(v, eps, converged, groups), nil
+	return x.result(ctx, vhat, moe, converged, groups), nil
 }
 
 // groupedObservations builds, for every group label, a full-sample
 // observation list in which draws outside the group are marked incorrect,
-// plus the count of in-group draws per label.
-func (x *Execution) groupedObservations() (map[string][]estimate.Observation, map[string]int) {
+// plus the count of in-group draws per label and the shared base
+// observation list itself (for the round's overall estimate).
+func (x *Execution) groupedObservations(ctx context.Context) (map[string][]estimate.Observation, map[string]int, []estimate.Observation) {
 	g := x.e.g
+	if !x.opts.SkipValidation {
+		x.sp.prevalidate(ctx, x.drawIdx)
+	}
 	labels := make([]string, len(x.drawIdx))
 	base := make([]estimate.Observation, len(x.drawIdx))
 	seen := map[string]bool{}
 	inGroup := map[string]int{}
 	for k, i := range x.drawIdx {
-		base[k] = x.observation(i)
+		base[k] = x.observation(ctx, i)
 		label := "n/a"
 		if v, ok := g.Attr(x.sp.answers[i], x.group); ok {
 			label = strconv.FormatFloat(v, 'g', -1, 64)
@@ -392,15 +524,15 @@ func (x *Execution) groupedObservations() (map[string][]estimate.Observation, ma
 		}
 		byGroup[label] = obs
 	}
-	return byGroup, inGroup
+	return byGroup, inGroup, base
 }
 
-func (x *Execution) result(vhat, moe float64, converged bool, groups map[string]GroupResult) *Result {
+func (x *Execution) result(ctx context.Context, vhat, moe float64, converged bool, groups map[string]GroupResult) *Result {
 	correct := 0
 	distinct := map[int]bool{}
 	for _, i := range x.drawIdx {
 		distinct[i] = true
-		if x.observation(i).Correct {
+		if x.observation(ctx, i).Correct {
 			correct++
 		}
 	}
@@ -408,7 +540,7 @@ func (x *Execution) result(vhat, moe float64, converged bool, groups map[string]
 		Query:      x.q,
 		Estimate:   vhat,
 		MoE:        moe,
-		Confidence: x.e.opts.Confidence,
+		Confidence: x.opts.Confidence,
 		Converged:  converged,
 		Rounds:     append([]Round(nil), x.rounds...),
 		SampleSize: len(x.drawIdx),
@@ -421,12 +553,19 @@ func (x *Execution) result(vhat, moe float64, converged bool, groups map[string]
 }
 
 // Execute runs the full pipeline with the engine's configured error bound.
+//
+// Deprecated: use Query, which adds context cancellation and per-query
+// options. Execute remains as a one-release compatibility shim.
 func (e *Engine) Execute(q *query.Aggregate) (*Result, error) {
-	x, err := e.Start(q)
-	if err != nil {
-		return nil, err
-	}
-	return x.Run(e.opts.ErrorBound)
+	return e.Query(context.Background(), q)
+}
+
+// Run refines the sample until the Theorem 2 condition holds for eb.
+//
+// Deprecated: use Refine, which adds context cancellation. Run remains as
+// a one-release compatibility shim.
+func (x *Execution) Run(eb float64) (*Result, error) {
+	return x.Refine(context.Background(), eb)
 }
 
 // CandidateAnswers exposes the sampling space (candidate answers sorted by

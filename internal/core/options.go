@@ -1,0 +1,108 @@
+package core
+
+import "kgaq/internal/estimate"
+
+// queryConfig is the per-query execution configuration: the engine Options
+// with any per-query overrides applied, plus call-scoped hooks that are not
+// engine knobs (round streaming, batch parallelism).
+type queryConfig struct {
+	opts    Options
+	onRound func(Round)
+	// parallel bounds the QueryBatch worker pool (0 = GOMAXPROCS).
+	parallel int
+}
+
+// QueryOption overrides one engine-level option for a single Query, Start
+// or QueryBatch call. The engine's own Options are never mutated, so one
+// Engine can serve concurrent queries with different settings.
+type QueryOption func(*queryConfig)
+
+// queryConfig merges the engine defaults with per-query overrides and
+// re-applies the paper defaults to any knob an option reset to zero.
+func (e *Engine) queryConfig(opts []QueryOption) queryConfig {
+	cfg := queryConfig{opts: e.opts}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	cfg.opts = cfg.opts.withDefaults()
+	return cfg
+}
+
+// WithOptions replaces the whole option block for this query (zero fields
+// fall back to the paper defaults, not to the engine's configuration).
+func WithOptions(o Options) QueryOption {
+	return func(c *queryConfig) { c.opts = o }
+}
+
+// WithErrorBound sets the relative error bound eb for this query.
+func WithErrorBound(eb float64) QueryOption {
+	return func(c *queryConfig) { c.opts.ErrorBound = eb }
+}
+
+// WithConfidence sets the confidence level 1-α for this query.
+func WithConfidence(conf float64) QueryOption {
+	return func(c *queryConfig) { c.opts.Confidence = conf }
+}
+
+// WithTau sets the semantic-similarity threshold τ for this query.
+func WithTau(tau float64) QueryOption {
+	return func(c *queryConfig) { c.opts.Tau = tau }
+}
+
+// WithSeed makes this query's sampling deterministic under the given seed,
+// independent of the engine seed and of concurrent queries.
+func WithSeed(seed int64) QueryOption {
+	return func(c *queryConfig) { c.opts.Seed = seed }
+}
+
+// WithSampler selects the sampling algorithm for this query.
+func WithSampler(s SamplerKind) QueryOption {
+	return func(c *queryConfig) { c.opts.Sampler = s }
+}
+
+// WithMaxDraws caps the total sample size for this query.
+func WithMaxDraws(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.MaxDraws = n }
+}
+
+// WithMaxRounds caps the refinement rounds for this query.
+func WithMaxRounds(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.MaxRounds = n }
+}
+
+// WithHopBound sets the walk-scope bound n for this query.
+func WithHopBound(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.N = n }
+}
+
+// WithLambda sets the desired sample ratio λ for this query.
+func WithLambda(l float64) QueryOption {
+	return func(c *queryConfig) { c.opts.Lambda = l }
+}
+
+// WithPolicy selects the estimator divisor policy for this query.
+func WithPolicy(p estimate.DivisorPolicy) QueryOption {
+	return func(c *queryConfig) { c.opts.Policy = p }
+}
+
+// WithSkipValidation toggles the S2 ablation (trust the sampler blindly)
+// for this query.
+func WithSkipValidation(skip bool) QueryOption {
+	return func(c *queryConfig) { c.opts.SkipValidation = skip }
+}
+
+// OnRound registers a callback fired synchronously after every refinement
+// round with the round's estimate, margin of error and sample size — the
+// paper's Table IX trace streamed live. The callback runs on the query's
+// goroutine; a slow callback slows the query.
+func OnRound(fn func(Round)) QueryOption {
+	return func(c *queryConfig) { c.onRound = fn }
+}
+
+// WithParallelism bounds the QueryBatch worker pool (default GOMAXPROCS).
+// It has no effect on single-query calls.
+func WithParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.parallel = n }
+}

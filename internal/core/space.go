@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -22,17 +23,22 @@ const maxChainIntermediates = 300
 // answers A with their exact per-draw probabilities π′ (Theorem 1), plus a
 // lazily evaluated, cached correctness oracle combining the τ threshold and
 // the greedy validation of §IV-B2.
+//
+// The oracle closures accept a ctx so a cancelled query can abandon an
+// in-flight validation; verdicts are only cached when the validation ran to
+// completion, so a cancelled call never poisons the cache with false
+// negatives.
 type answerSpace struct {
 	answers []kg.NodeID
 	probs   []float64 // sums to 1
 	alias   *stats.Alias
 	// correctness returns the validated semantic correctness (similarity ≥
 	// τ through validation) for the answer at index i.
-	correctness func(i int) bool
+	correctness func(ctx context.Context, i int) bool
 	// batch, when set, validates many answers in one shared search and
 	// returns their verdicts; prevalidate uses it so a round's worth of
 	// fresh answers costs one traversal instead of one per answer.
-	batch func(us []kg.NodeID) map[kg.NodeID]bool
+	batch func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool
 	// verdicts caches per-index validation outcomes.
 	verdicts map[int]bool
 	// validated records which indices have been validated (work metric).
@@ -51,8 +57,9 @@ func (s *answerSpace) draw(r *rand.Rand, k int) []int {
 
 // prevalidate batch-validates every not-yet-validated answer appearing in
 // the draw list. Without a batch validator it is a no-op (the per-answer
-// oracle runs lazily instead).
-func (s *answerSpace) prevalidate(drawIdx []int) {
+// oracle runs lazily instead). A ctx cancellation mid-batch discards the
+// incomplete verdicts instead of caching them.
+func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
 	if s.batch == nil {
 		return
 	}
@@ -72,7 +79,10 @@ func (s *answerSpace) prevalidate(drawIdx []int) {
 	if len(fresh) == 0 {
 		return
 	}
-	res := s.batch(fresh)
+	res := s.batch(ctx, fresh)
+	if ctx.Err() != nil {
+		return
+	}
 	for k, i := range freshIdx {
 		s.verdicts[i] = res[fresh[k]]
 		s.validated[i] = true
@@ -81,12 +91,12 @@ func (s *answerSpace) prevalidate(drawIdx []int) {
 
 // buildSemanticSpace assembles the answer space for one decomposed path
 // using the semantic-aware walker (§IV-A), recursively for chains (§V-B).
-func (e *Engine) buildSemanticSpace(calc *semsim.Calculator, p query.Path) (*answerSpace, error) {
+func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, calc *semsim.Calculator, p query.Path) (*answerSpace, error) {
 	us, err := e.resolveRoot(p)
 	if err != nil {
 		return nil, err
 	}
-	pi, oracle, err := e.buildChainLevel(calc, us, p.Hops)
+	pi, oracle, err := e.buildChainLevel(ctx, o, calc, us, p.Hops)
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +107,8 @@ func (e *Engine) buildSemanticSpace(calc *semsim.Calculator, p query.Path) (*ans
 // plus an optional batch form that shares one greedy search across many
 // answers.
 type correctOracle struct {
-	single func(kg.NodeID) bool
-	batch  func([]kg.NodeID) map[kg.NodeID]bool
+	single func(ctx context.Context, u kg.NodeID) bool
+	batch  func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool
 }
 
 // spaceFromMap normalises a π map into an answerSpace with deterministic
@@ -131,11 +141,14 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 		verdicts:  map[int]bool{},
 		validated: map[int]bool{},
 	}
-	sp.correctness = func(i int) bool {
+	sp.correctness = func(ctx context.Context, i int) bool {
 		if v, ok := sp.verdicts[i]; ok {
 			return v
 		}
-		v := oracle.single(answers[i])
+		v := oracle.single(ctx, answers[i])
+		if ctx.Err() != nil {
+			return false // incomplete validation: no verdict, no cache entry
+		}
 		sp.verdicts[i] = v
 		sp.validated[i] = true
 		return v
@@ -147,7 +160,7 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 // hop's answers together with a lazy correctness oracle, recursing over the
 // chain's hops: π(j) = Σᵢ π′ᵢ · π′ⱼ|ᵢ (§V-B), and an answer is correct when
 // some intermediate chain validates every leg at the τ threshold.
-func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
+func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Calculator, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
 	none := correctOracle{}
 	if len(hops) == 0 {
 		return nil, none, fmt.Errorf("core: empty hop sequence")
@@ -160,11 +173,13 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 	if err != nil {
 		return nil, none, err
 	}
-	w, err := walk.New(calc, root, pred, walk.Config{N: e.opts.N, SelfLoopSim: e.opts.SelfLoopSim})
+	w, err := walk.New(calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
 	if err != nil {
 		return nil, none, err
 	}
-	w.Converge()
+	if _, err := w.ConvergeCtx(ctx); err != nil {
+		return nil, none, err
+	}
 	dist, err := w.AnswerDistribution(types)
 	if err != nil {
 		return nil, none, fmt.Errorf("core: stage rooted at %q: %w", e.g.Name(root), err)
@@ -172,21 +187,24 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 
 	// Leg validator for this stage, shared and cached. The batch form runs
 	// one greedy search for a whole set of answers (§IV-B2's search is a
-	// single traversal recording paths to every requested answer).
+	// single traversal recording paths to every requested answer). Verdicts
+	// are cached only when the search was not cancelled mid-flight.
 	piMap := w.PiMap()
 	legCache := map[kg.NodeID]bool{}
-	vcfg := semsim.ValidatorConfig{Repeat: e.opts.Repeat, MaxLen: e.opts.N, Tau: e.opts.Tau}
-	legBatch := func(us []kg.NodeID) map[kg.NodeID]bool {
+	vcfg := semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau}
+	legBatch := func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool {
 		var fresh []kg.NodeID
 		for _, u := range us {
 			if _, ok := legCache[u]; !ok {
 				fresh = append(fresh, u)
 			}
 		}
-		if len(fresh) > 0 {
-			res, _ := semsim.Validate(calc, root, pred, piMap, fresh, vcfg)
-			for _, u := range fresh {
-				legCache[u] = res[u].Similarity >= e.opts.Tau
+		if len(fresh) > 0 && ctx.Err() == nil {
+			res, _ := semsim.ValidateCtx(ctx, calc, root, pred, piMap, fresh, vcfg)
+			if ctx.Err() == nil {
+				for _, u := range fresh {
+					legCache[u] = res[u].Similarity >= o.Tau
+				}
 			}
 		}
 		out := make(map[kg.NodeID]bool, len(us))
@@ -195,8 +213,8 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 		}
 		return out
 	}
-	legOK := func(u kg.NodeID) bool {
-		return legBatch([]kg.NodeID{u})[u]
+	legOK := func(ctx context.Context, u kg.NodeID) bool {
+		return legBatch(ctx, []kg.NodeID{u})[u]
 	}
 
 	if len(hops) == 1 {
@@ -236,8 +254,14 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 	}
 	var subs []subLevel
 	for _, in := range inters {
-		subPi, subCorrect, err := e.buildChainLevel(calc, in.node, hops[1:])
+		if err := ctx.Err(); err != nil {
+			return nil, none, err
+		}
+		subPi, subCorrect, err := e.buildChainLevel(ctx, o, calc, in.node, hops[1:])
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, none, err
+			}
 			continue // an intermediate with no onward answers contributes nothing
 		}
 		for u, p := range subPi {
@@ -249,7 +273,7 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 		return nil, none, fmt.Errorf("core: chain stage rooted at %q found no final answers", e.g.Name(root))
 	}
 
-	correct := func(u kg.NodeID) bool {
+	correct := func(ctx context.Context, u kg.NodeID) bool {
 		// Try intermediates by descending contribution to u's mass: the
 		// most probable chains are checked first, mirroring the greedy
 		// validation heuristic.
@@ -268,7 +292,10 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 			return subs[order[a]].node < subs[order[b]].node
 		})
 		for _, i := range order {
-			if legOK(subs[i].node) && subs[i].correct.single(u) {
+			if ctx.Err() != nil {
+				return false
+			}
+			if legOK(ctx, subs[i].node) && subs[i].correct.single(ctx, u) {
 				return true
 			}
 		}
@@ -282,9 +309,9 @@ func (e *Engine) buildChainLevel(calc *semsim.Calculator, root kg.NodeID, hops [
 // normalised product of per-path visiting probabilities (an answer must be
 // reachable by every constraint's walk), and an answer is correct only if
 // every path validates it.
-func (e *Engine) buildAssemblySpace(calc *semsim.Calculator, paths []query.Path) (*answerSpace, error) {
+func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, calc *semsim.Calculator, paths []query.Path) (*answerSpace, error) {
 	if len(paths) == 1 {
-		return e.buildSemanticSpace(calc, paths[0])
+		return e.buildSemanticSpace(ctx, o, calc, paths[0])
 	}
 	type level struct {
 		pi      map[kg.NodeID]float64
@@ -296,7 +323,7 @@ func (e *Engine) buildAssemblySpace(calc *semsim.Calculator, paths []query.Path)
 		if err != nil {
 			return nil, err
 		}
-		pi, correct, err := e.buildChainLevel(calc, us, p.Hops)
+		pi, correct, err := e.buildChainLevel(ctx, o, calc, us, p.Hops)
 		if err != nil {
 			return nil, fmt.Errorf("core: sub-query rooted at %q: %w", p.RootName, err)
 		}
@@ -320,9 +347,9 @@ func (e *Engine) buildAssemblySpace(calc *semsim.Calculator, paths []query.Path)
 	}
 	// The assembled verdict is the conjunction over paths; the batch form
 	// exists when every level has one.
-	single := func(u kg.NodeID) bool {
+	single := func(ctx context.Context, u kg.NodeID) bool {
 		for _, lv := range levels {
-			if !lv.correct.single(u) {
+			if !lv.correct.single(ctx, u) {
 				return false
 			}
 		}
@@ -337,13 +364,13 @@ func (e *Engine) buildAssemblySpace(calc *semsim.Calculator, paths []query.Path)
 	}
 	oracle := correctOracle{single: single}
 	if allBatch {
-		oracle.batch = func(us []kg.NodeID) map[kg.NodeID]bool {
+		oracle.batch = func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool {
 			out := make(map[kg.NodeID]bool, len(us))
 			for _, u := range us {
 				out[u] = true
 			}
 			for _, lv := range levels {
-				verdicts := lv.correct.batch(us)
+				verdicts := lv.correct.batch(ctx, us)
 				for _, u := range us {
 					if !verdicts[u] {
 						out[u] = false
@@ -360,9 +387,9 @@ func (e *Engine) buildAssemblySpace(calc *semsim.Calculator, paths []query.Path)
 // sampler (the Fig. 5a ablation). Only simple queries are supported — the
 // ablation workload — and probabilities are the walker's empirical visit
 // shares.
-func (e *Engine) buildTopologySpace(p query.Path, r *rand.Rand, k int) (*answerSpace, []int, error) {
+func (e *Engine) buildTopologySpace(ctx context.Context, o Options, p query.Path, r *rand.Rand, k int) (*answerSpace, []int, error) {
 	if len(p.Hops) != 1 {
-		return nil, nil, fmt.Errorf("core: %v sampler supports simple queries only", e.opts.Sampler)
+		return nil, nil, fmt.Errorf("core: %v sampler supports simple queries only", o.Sampler)
 	}
 	us, err := e.resolveRoot(p)
 	if err != nil {
@@ -373,13 +400,13 @@ func (e *Engine) buildTopologySpace(p query.Path, r *rand.Rand, k int) (*answerS
 		return nil, nil, err
 	}
 	var ts *walk.TopologySample
-	switch e.opts.Sampler {
+	switch o.Sampler {
 	case SamplerCNARW:
-		ts, err = walk.CNARW(e.g, us, types, e.opts.N, r, 200, k)
+		ts, err = walk.CNARW(ctx, e.g, us, types, o.N, r, 200, k)
 	case SamplerNode2Vec:
-		ts, err = walk.Node2Vec(e.g, us, types, e.opts.N, 1, 0.5, r, 200, k)
+		ts, err = walk.Node2Vec(ctx, e.g, us, types, o.N, 1, 0.5, r, 200, k)
 	default:
-		return nil, nil, fmt.Errorf("core: buildTopologySpace called with sampler %v", e.opts.Sampler)
+		return nil, nil, fmt.Errorf("core: buildTopologySpace called with sampler %v", o.Sampler)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -406,13 +433,16 @@ func (e *Engine) buildTopologySpace(p query.Path, r *rand.Rand, k int) (*answerS
 		piMap[u] = ts.Probs[i]
 	}
 	verdicts := map[int]bool{}
-	sp.correctness = func(i int) bool {
+	sp.correctness = func(ctx context.Context, i int) bool {
 		if v, ok := verdicts[i]; ok {
 			return v
 		}
-		res, _ := semsim.Validate(calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
-			semsim.ValidatorConfig{Repeat: e.opts.Repeat, MaxLen: e.opts.N, Tau: e.opts.Tau})
-		v := res[sp.answers[i]].Similarity >= e.opts.Tau
+		res, _ := semsim.ValidateCtx(ctx, calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
+			semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau})
+		if ctx.Err() != nil {
+			return false
+		}
+		v := res[sp.answers[i]].Similarity >= o.Tau
 		verdicts[i] = v
 		sp.validated[i] = true
 		return v

@@ -2,6 +2,7 @@ package semsim
 
 import (
 	"container/heap"
+	"context"
 
 	"kgaq/internal/kg"
 )
@@ -135,6 +136,22 @@ func (h *pathHeap) Pop() any {
 // negatives wholesale.
 func Validate(c *Calculator, us kg.NodeID, queryPred kg.PredID, pi map[kg.NodeID]float64,
 	answers []kg.NodeID, cfg ValidatorConfig) (map[kg.NodeID]ValidateResult, ValidateStats) {
+	return ValidateCtx(context.Background(), c, us, queryPred, pi, answers, cfg)
+}
+
+// ctxCheckEvery is how many expansions pass between ctx polls in
+// ValidateCtx; one expansion touches a node's whole neighbour list, so the
+// poll amortises to noise while cancellation still lands within
+// microseconds on real graphs.
+const ctxCheckEvery = 64
+
+// ValidateCtx is Validate with cancellation: ctx is polled inside the
+// best-first search, and a cancelled call returns the verdicts settled so
+// far without running the per-answer fallback. Callers must treat the
+// result of a cancelled call as incomplete — absent answers carry no
+// evidence of incorrectness.
+func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.PredID,
+	pi map[kg.NodeID]float64, answers []kg.NodeID, cfg ValidatorConfig) (map[kg.NodeID]ValidateResult, ValidateStats) {
 
 	cfg = cfg.withDefaults()
 	g := c.Graph()
@@ -152,6 +169,9 @@ func Validate(c *Calculator, us kg.NodeID, queryPred kg.PredID, pi map[kg.NodeID
 	h := &pathHeap{{tip: us, priority: pi[us], nodes: []kg.NodeID{us}}}
 	heap.Init(h)
 	for h.Len() > 0 && remaining > 0 && stats.Expansions < cfg.Budget {
+		if stats.Expansions%ctxCheckEvery == 0 && ctx.Err() != nil {
+			return res, stats
+		}
 		it := heap.Pop(h).(*pathItem)
 		if len(it.preds) >= cfg.MaxLen {
 			continue
@@ -205,6 +225,9 @@ func Validate(c *Calculator, us kg.NodeID, queryPred kg.PredID, pi map[kg.NodeID
 	// Fallback for answers the guided search never reached at all (their
 	// Similarity is still zero; any found path, junk included, raises it).
 	for _, a := range answers {
+		if ctx.Err() != nil {
+			return res, stats
+		}
 		if res[a].Similarity == 0 {
 			stats.Fallbacks++
 			if s, ok := fallbackBest(c, us, queryPred, a, cfg.MaxLen); ok {

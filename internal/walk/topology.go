@@ -1,11 +1,15 @@
 package walk
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"kgaq/internal/kg"
 )
+
+// ctxCheckEvery is how many walk steps pass between ctx polls.
+const ctxCheckEvery = 64
 
 // TopologySample is a sample collected by a topology-only walker (CNARW or
 // Node2Vec): the distinct answers visited and the empirical visiting
@@ -23,7 +27,7 @@ type TopologySample struct {
 // common neighbours with the current node, which reduces sample correlation
 // but still considers topology only. It collects k answer visits after
 // burnIn steps.
-func CNARW(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
+func CNARW(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
 	weight := func(u, v kg.NodeID) float64 {
 		cn := commonNeighbors(g, u, v)
 		du, dv := g.Degree(u), g.Degree(v)
@@ -40,7 +44,7 @@ func CNARW(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int, r *rand
 		}
 		return w
 	}
-	return topologyWalk(g, start, targetTypes, n, r, burnIn, k, weight)
+	return topologyWalk(ctx, g, start, targetTypes, n, r, burnIn, k, weight)
 }
 
 func commonNeighbors(g *kg.Graph, u, v kg.NodeID) int {
@@ -58,7 +62,7 @@ func commonNeighbors(g *kg.Graph, u, v kg.NodeID) int {
 }
 
 // topologyWalk is a first-order weighted walk over the bounded subgraph.
-func topologyWalk(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
+func topologyWalk(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
 	r *rand.Rand, burnIn, k int, weight func(u, v kg.NodeID) float64) (*TopologySample, error) {
 
 	bound := g.BoundedSubgraph(start, n)
@@ -91,14 +95,14 @@ func topologyWalk(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
 		}
 		cur = cands[len(cands)-1]
 	}
-	return collectTopology(g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
+	return collectTopology(ctx, g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
 }
 
 // Node2Vec runs the biased second-order walk of Grover & Leskovec (KDD
 // 2016) with return parameter p and in-out parameter q over the n-bounded
 // subgraph, collecting k answer visits after burnIn steps. The defaults of
 // the ablation are p=1, q=0.5 (outward-leaning).
-func Node2Vec(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
+func Node2Vec(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
 	p, q float64, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
 	if p <= 0 || q <= 0 {
 		return nil, fmt.Errorf("walk: node2vec parameters must be positive (p=%v, q=%v)", p, q)
@@ -142,7 +146,7 @@ func Node2Vec(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
 		}
 		prev, cur = cur, cands[len(cands)-1]
 	}
-	return collectTopology(g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
+	return collectTopology(ctx, g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
 }
 
 func adjacent(g *kg.Graph, u, v kg.NodeID) bool {
@@ -155,11 +159,17 @@ func adjacent(g *kg.Graph, u, v kg.NodeID) bool {
 }
 
 // collectTopology shares the burn-in / collection / empirical-probability
-// logic of the topology walkers.
-func collectTopology(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID,
+// logic of the topology walkers. ctx is polled every 64 steps so a
+// cancelled query does not run the full k-visit collection.
+func collectTopology(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID,
 	burnIn, k int, step func(), tip func() kg.NodeID) (*TopologySample, error) {
 
 	for i := 0; i < burnIn; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("walk: topology walk interrupted in burn-in: %w", err)
+			}
+		}
 		step()
 	}
 	counts := map[kg.NodeID]int{}
@@ -167,6 +177,11 @@ func collectTopology(g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID,
 	guard := 0
 	limit := (burnIn + 1) * (k + 1) * 1000
 	for len(visitSeq) < k && guard < limit {
+		if guard%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("walk: topology walk interrupted after %d visits: %w", len(visitSeq), err)
+			}
+		}
 		step()
 		guard++
 		u := tip()

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestCNARWCollects(t *testing.T) {
 	start := g.NodeByName("Germany")
 	auto := []kg.TypeID{g.TypeByName("Automobile")}
 	r := stats.NewRand(3)
-	ts, err := CNARW(g, start, auto, 3, r, 200, 2000)
+	ts, err := CNARW(context.Background(), g, start, auto, 3, r, 200, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestNode2VecCollects(t *testing.T) {
 	start := g.NodeByName("Germany")
 	auto := []kg.TypeID{g.TypeByName("Automobile")}
 	r := stats.NewRand(7)
-	ts, err := Node2Vec(g, start, auto, 3, 1, 0.5, r, 200, 2000)
+	ts, err := Node2Vec(context.Background(), g, start, auto, 3, 1, 0.5, r, 200, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +57,10 @@ func TestNode2VecCollects(t *testing.T) {
 func TestNode2VecRejectsBadParams(t *testing.T) {
 	g := kgtest.Figure1()
 	r := stats.NewRand(1)
-	if _, err := Node2Vec(g, 0, nil, 3, 0, 1, r, 10, 10); err == nil {
+	if _, err := Node2Vec(context.Background(), g, 0, nil, 3, 0, 1, r, 10, 10); err == nil {
 		t.Fatal("p=0 accepted")
 	}
-	if _, err := Node2Vec(g, 0, nil, 3, 1, -1, r, 10, 10); err == nil {
+	if _, err := Node2Vec(context.Background(), g, 0, nil, 3, 1, -1, r, 10, 10); err == nil {
 		t.Fatal("q=-1 accepted")
 	}
 }
@@ -74,7 +75,7 @@ func TestTopologyIgnoresSemantics(t *testing.T) {
 	start := g.NodeByName("Germany")
 	auto := []kg.TypeID{g.TypeByName("Automobile")}
 	r := stats.NewRand(9)
-	ts, err := CNARW(g, start, auto, 3, r, 500, 20000)
+	ts, err := CNARW(context.Background(), g, start, auto, 3, r, 500, 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestTopologyIgnoresSemantics(t *testing.T) {
 func TestTopologyWalkNoAnswers(t *testing.T) {
 	g := kgtest.Chain(2)
 	r := stats.NewRand(1)
-	if _, err := CNARW(g, g.NodeByName("v0"), []kg.TypeID{kg.InvalidType}, 2, r, 10, 10); err == nil {
+	if _, err := CNARW(context.Background(), g, g.NodeByName("v0"), []kg.TypeID{kg.InvalidType}, 2, r, 10, 10); err == nil {
 		t.Fatal("walk with unreachable answers should error")
 	}
 }

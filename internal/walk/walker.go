@@ -10,6 +10,7 @@
 package walk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -142,14 +143,26 @@ func (w *Walker) Bound() *kg.Bounded { return w.bound }
 // change falls below Tol or MaxIter sweeps pass. It returns the number of
 // sweeps used. Calling Converge again is a no-op.
 func (w *Walker) Converge() int {
+	n, _ := w.ConvergeCtx(context.Background())
+	return n
+}
+
+// ConvergeCtx is Converge with cancellation: ctx is checked before every
+// power-iteration sweep, and a cancelled run returns ctx's error without
+// storing a stationary distribution (the walker stays usable — a later
+// ConvergeCtx restarts the iteration).
+func (w *Walker) ConvergeCtx(ctx context.Context) (int, error) {
 	if w.pi != nil {
-		return w.iters
+		return w.iters, nil
 	}
 	n := len(w.nodes)
 	pi := make([]float64, n)
 	pi[w.idx[w.start]] = 1 // π initialised to {1, 0, ..., 0} at the start node
 	next := make([]float64, n)
 	for it := 1; it <= w.cfg.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return w.iters, fmt.Errorf("walk: convergence interrupted after %d sweeps: %w", w.iters, err)
+		}
 		for i := range next {
 			next[i] = 0
 		}
@@ -173,7 +186,7 @@ func (w *Walker) Converge() int {
 		w.iters = it
 	}
 	w.pi = pi
-	return w.iters
+	return w.iters, nil
 }
 
 // Pi returns the stationary probability of node u (0 for nodes outside the

@@ -15,8 +15,15 @@
 //	model, _ := kgaq.TrainEmbedding("TransE", g, kgaq.DefaultTrainConfig())
 //	engine, _ := kgaq.NewEngine(g, model, kgaq.Options{ErrorBound: 0.01})
 //	q := kgaq.SimpleQuery(kgaq.Avg, "price", "Germany", "Country", "product", "Automobile")
-//	res, _ := engine.Execute(q)
+//	res, _ := engine.Query(ctx, q, kgaq.WithErrorBound(0.02))
 //	fmt.Printf("AVG = %.2f ± %.2f (95%%)\n", res.Estimate, res.MoE)
+//
+// Query honours ctx cancellation and deadlines mid-refinement (a cancelled
+// query returns its partial estimate plus ErrInterrupted), QueryOptions
+// override any engine knob per query, the OnRound option streams refinement
+// progress live, and one Engine safely serves any number of concurrent
+// queries (QueryBatch runs a whole workload over a worker pool). The kgaqd
+// command wraps the engine in an HTTP/JSON service.
 //
 // The pipeline is the paper's Algorithm 2: a semantic-aware random walk
 // over the n-bounded subgraph around the query's specific entity collects a
@@ -33,6 +40,8 @@
 package kgaq
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"kgaq/internal/core"
@@ -156,10 +165,14 @@ func ParseQuery(input string) (*AggregateQuery, error) { return query.Parse(inpu
 // (τ=0.85, eb=1%, 95% confidence, n=3, r=3, λ=0.3).
 type Options = core.Options
 
-// Engine executes aggregate queries over one graph + embedding pair.
+// Engine executes aggregate queries over one graph + embedding pair. It is
+// safe for concurrent use: run Engine.Query from as many goroutines as you
+// like, or hand a whole workload to Engine.QueryBatch.
 type Engine = core.Engine
 
-// Execution is a started query whose sample can be refined interactively.
+// Execution is a started query whose sample can be refined interactively
+// (Engine.Start + Execution.Refine). A single Execution must not be shared
+// across goroutines.
 type Execution = core.Execution
 
 // Result is the outcome of a query execution.
@@ -170,6 +183,60 @@ type Round = core.Round
 
 // GroupResult is a per-group outcome of a GROUP-BY query.
 type GroupResult = core.GroupResult
+
+// BatchResult pairs one Engine.QueryBatch query with its outcome.
+type BatchResult = core.BatchResult
+
+// SamplerKind selects the sampling algorithm (WithSampler / Options).
+type SamplerKind = core.SamplerKind
+
+// Sampling algorithms: the paper's semantic-aware walk (default) and the
+// topology-only ablation baselines.
+const (
+	SamplerSemantic = core.SamplerSemantic
+	SamplerCNARW    = core.SamplerCNARW
+	SamplerNode2Vec = core.SamplerNode2Vec
+)
+
+// QueryOption overrides one engine-level option for a single Query, Start
+// or QueryBatch call.
+type QueryOption = core.QueryOption
+
+// Per-query option constructors; see the core package for details.
+func WithErrorBound(eb float64) QueryOption    { return core.WithErrorBound(eb) }
+func WithConfidence(conf float64) QueryOption  { return core.WithConfidence(conf) }
+func WithTau(tau float64) QueryOption          { return core.WithTau(tau) }
+func WithSeed(seed int64) QueryOption          { return core.WithSeed(seed) }
+func WithSampler(s SamplerKind) QueryOption    { return core.WithSampler(s) }
+func WithMaxDraws(n int) QueryOption           { return core.WithMaxDraws(n) }
+func WithMaxRounds(n int) QueryOption          { return core.WithMaxRounds(n) }
+func WithHopBound(n int) QueryOption           { return core.WithHopBound(n) }
+func WithLambda(l float64) QueryOption         { return core.WithLambda(l) }
+func WithSkipValidation(skip bool) QueryOption { return core.WithSkipValidation(skip) }
+func WithOptions(o Options) QueryOption        { return core.WithOptions(o) }
+func WithParallelism(n int) QueryOption        { return core.WithParallelism(n) }
+func OnRound(fn func(Round)) QueryOption       { return core.OnRound(fn) }
+
+// Sentinel errors surfaced by query execution; match with errors.Is.
+var (
+	// ErrUnknownEntity reports a specific entity absent from the graph.
+	ErrUnknownEntity = core.ErrUnknownEntity
+	// ErrUnknownType reports a query type name absent from the graph.
+	ErrUnknownType = core.ErrUnknownType
+	// ErrUnknownPredicate reports a query predicate absent from the graph.
+	ErrUnknownPredicate = core.ErrUnknownPredicate
+	// ErrUnknownAttribute reports an aggregated/filtered/grouped attribute
+	// absent from the graph.
+	ErrUnknownAttribute = core.ErrUnknownAttribute
+	// ErrNotConverged reports that no estimable sample was obtained within
+	// the round budget.
+	ErrNotConverged = core.ErrNotConverged
+	// ErrInterrupted reports a context cancellation or deadline mid-query;
+	// it can accompany a partial Result with Converged=false.
+	ErrInterrupted = core.ErrInterrupted
+	// ErrUnknownProfile reports a dataset profile name that is not built in.
+	ErrUnknownProfile = errors.New("kgaq: unknown dataset profile")
+)
 
 // NewEngine builds an execution engine.
 func NewEngine(g *Graph, model EmbeddingModel, opts Options) (*Engine, error) {
@@ -218,8 +285,6 @@ func DatasetOptimalTau(profile string) (float64, error) {
 	return p.OptimalTau, nil
 }
 
-type errUnknownProfile string
-
-func (e errUnknownProfile) Error() string {
-	return "kgaq: unknown dataset profile " + string(e) + " (see DatasetProfiles)"
+func errUnknownProfile(profile string) error {
+	return fmt.Errorf("%w %s (see DatasetProfiles)", ErrUnknownProfile, profile)
 }

@@ -1,6 +1,8 @@
 package kgaq
 
 import (
+	"context"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -42,15 +44,15 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Interactive refinement reuses the sample.
-	x, err := engine.Start(q)
+	x, err := engine.Start(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := x.Run(0.10)
+	r1, err := x.Refine(context.Background(), 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := x.Run(0.05)
+	r2, err := x.Refine(context.Background(), 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,15 +155,57 @@ func TestDatasetProfiles(t *testing.T) {
 	if len(names) != 4 {
 		t.Fatalf("profiles = %v", names)
 	}
-	if _, err := GenerateDataset("no-such"); err == nil {
-		t.Fatal("unknown profile accepted")
+	if _, err := GenerateDataset("no-such"); !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("err = %v, want ErrUnknownProfile", err)
 	}
-	if _, err := DatasetOptimalTau("no-such"); err == nil {
-		t.Fatal("unknown profile accepted")
+	if _, err := DatasetOptimalTau("no-such"); !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("err = %v, want ErrUnknownProfile", err)
 	}
-	var e error = errUnknownProfile("x")
-	if !strings.Contains(e.Error(), "x") {
-		t.Fatal("error message")
+	if e := errUnknownProfile("x"); !strings.Contains(e.Error(), "x") || !errors.Is(e, ErrUnknownProfile) {
+		t.Fatalf("error = %v", e)
+	}
+}
+
+// TestFacadeContextAPI drives the redesigned execution surface through the
+// facade: per-query options, streaming rounds, cancellation, and the batch
+// entry point.
+func TestFacadeContextAPI(t *testing.T) {
+	ds, err := GenerateDataset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, _ := DatasetOptimalTau("tiny")
+	engine, err := NewEngine(ds.Graph, ds.Model, Options{Tau: tau, ErrorBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := SimpleQuery(Count, "", "Country_0", "Country", "product", "Automobile")
+
+	var rounds int
+	res, err := engine.Query(ctx, q, WithErrorBound(0.10), WithSeed(5),
+		OnRound(func(Round) { rounds++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate <= 0 || rounds == 0 || rounds != len(res.Rounds) {
+		t.Fatalf("estimate %v, %d streamed rounds, %d recorded", res.Estimate, rounds, len(res.Rounds))
+	}
+
+	// Cancellation surfaces the facade sentinel.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := engine.Query(cctx, q); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+
+	// Batch keeps per-query outcomes aligned.
+	out := engine.QueryBatch(ctx, []*AggregateQuery{q, q}, WithParallelism(2), WithErrorBound(0.10))
+	if len(out) != 2 || out[0].Err != nil || out[1].Err != nil {
+		t.Fatalf("batch = %+v", out)
+	}
+	if out[0].Result.Estimate != out[1].Result.Estimate {
+		t.Fatal("identical batch queries diverged")
 	}
 }
 
