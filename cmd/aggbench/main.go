@@ -29,6 +29,8 @@ func main() {
 	per := flag.Int("per", 0, "queries per bucket (0 = default)")
 	profile := flag.String("profile", "", "restrict to one dataset profile")
 	seed := flag.Int64("seed", 1, "engine seed")
+	trajectory := flag.String("trajectory", "", "measure the hot-path baseline and write it to this JSON file")
+	trajectoryLabel := flag.String("trajectory-label", "PR2", "label recorded in the trajectory file")
 	flag.Parse()
 
 	if *list {
@@ -37,8 +39,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "aggbench: -exp required (see -list)")
+	if *exp == "" && *trajectory == "" {
+		fmt.Fprintln(os.Stderr, "aggbench: -exp or -trajectory required (see -list)")
 		os.Exit(2)
 	}
 
@@ -62,6 +64,22 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Profiles = []datagen.Profile{p}
+	}
+
+	if *trajectory != "" {
+		// The baseline always runs on the tiny profile unless one was
+		// chosen explicitly, so successive PRs measure the same workload.
+		tcfg := cfg
+		if *profile == "" {
+			tcfg.Profiles = []datagen.Profile{datagen.TinyProfile()}
+		}
+		if err := bench.WriteTrajectory(os.Stdout, tcfg, *trajectoryLabel, *trajectory); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: trajectory: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
+		}
 	}
 
 	reg := bench.Registry()

@@ -43,6 +43,8 @@ func main() {
 	tau := flag.Float64("tau", 0, "default similarity threshold (0 = profile default / 0.85)")
 	seed := flag.Int64("seed", 1, "default engine seed")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period")
+	cacheBytes := flag.Int64("cache-bytes", 0, "answer-space cache bound in bytes (0 = default, negative = disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and cache counters on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
 	g, model, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
@@ -51,6 +53,7 @@ func main() {
 	}
 	eng, err := core.NewEngine(g, model, core.Options{
 		ErrorBound: *eb, Confidence: *conf, Tau: *tau, Seed: *seed,
+		CacheMaxBytes: *cacheBytes,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -59,9 +62,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	api := NewServer(eng)
+	if *debugAddr != "" {
+		// The debug mux (pprof + cache counters) lives on its own listener
+		// so operational endpoints never share a port with query traffic.
+		dbg := &http.Server{Addr: *debugAddr, Handler: api.DebugHandler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "kgaqd: debug endpoints on %s\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "kgaqd: debug server: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: NewServer(eng).Handler(),
+		Handler: api.Handler(),
 		// Request contexts descend from the signal context, so a drain
 		// cancels in-flight queries mid-refinement.
 		BaseContext: func(net.Listener) context.Context { return ctx },

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -292,14 +293,38 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *qu
 	}
 }
 
+// cacheJSON is the answer-space cache snapshot on the wire, shared by
+// /v1/healthz and the debug mux's /debug/cache.
+type cacheJSON struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Bytes    int64   `json:"bytes"`
+	MaxBytes int64   `json:"max_bytes"`
+}
+
+func cacheSnapshot(eng *core.Engine) cacheJSON {
+	st := eng.CacheStats()
+	return cacheJSON{
+		Hits:     st.Hits,
+		Misses:   st.Misses,
+		HitRate:  st.HitRate(),
+		Entries:  st.Entries,
+		Bytes:    st.Bytes,
+		MaxBytes: st.MaxBytes,
+	}
+}
+
 // healthResponse is the body of GET /v1/healthz.
 type healthResponse struct {
-	Status     string  `json:"status"`
-	UptimeS    float64 `json:"uptime_s"`
-	Nodes      int     `json:"nodes"`
-	Edges      int     `json:"edges"`
-	Predicates int     `json:"predicates"`
-	Types      int     `json:"types"`
+	Status     string    `json:"status"`
+	UptimeS    float64   `json:"uptime_s"`
+	Nodes      int       `json:"nodes"`
+	Edges      int       `json:"edges"`
+	Predicates int       `json:"predicates"`
+	Types      int       `json:"types"`
+	Cache      cacheJSON `json:"cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -311,5 +336,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Edges:      g.NumEdges(),
 		Predicates: g.NumPredicates(),
 		Types:      g.NumTypes(),
+		Cache:      cacheSnapshot(s.eng),
 	})
+}
+
+// DebugHandler returns the operations mux served on the (loopback-only by
+// default) debug address: the net/http/pprof suite under /debug/pprof/ and
+// the answer-space cache counters under /debug/cache. It is deliberately a
+// separate handler from the public API so profiling endpoints never face
+// query traffic.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/cache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cacheSnapshot(s.eng))
+	})
+	return mux
 }

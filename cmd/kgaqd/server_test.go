@@ -64,6 +64,64 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// The debug mux serves the pprof index and live cache counters; running a
+// query against the API first makes the counters non-trivial, and the
+// healthz cache block must agree with /debug/cache.
+func TestDebugMux(t *testing.T) {
+	g := kgtest.Figure1()
+	eng, err := core.NewEngine(g, embtest.Figure1Model(g), core.Options{ErrorBound: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := NewServer(eng)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	dbg := httptest.NewServer(api.DebugHandler())
+	t.Cleanup(dbg.Close)
+
+	if resp, body := postQuery(t, ts, fmt.Sprintf(`{"query": %q}`, avgPriceText)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(dbg.URL + "/debug/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cache status = %d", resp.StatusCode)
+	}
+	var c cacheJSON
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses == 0 || c.Entries == 0 {
+		t.Fatalf("cache counters flat after a query: %+v", c)
+	}
+
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache.Misses != c.Misses || h.Cache.Entries != c.Entries {
+		t.Fatalf("healthz cache %+v disagrees with /debug/cache %+v", h.Cache, c)
+	}
+
+	presp, err := http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", presp.StatusCode)
+	}
+}
+
 // TestQueryRoundTrip drives the paper's running example end to end over
 // HTTP: the textual query goes in, the guaranteed estimate comes out.
 func TestQueryRoundTrip(t *testing.T) {

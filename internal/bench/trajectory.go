@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"kgaq/internal/core"
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/query"
+	"kgaq/internal/semsim"
+	"kgaq/internal/walk"
+)
+
+// TrajectorySchema versions the BENCH_*.json layout so future PRs can
+// extend it without breaking readers of earlier baselines.
+const TrajectorySchema = "kgaq-bench-trajectory/v1"
+
+// Trajectory is one tracked performance baseline: the serving hot path
+// measured end to end (latency distribution, sampling throughput, cache
+// behaviour) plus the micro-benchmarks of the layers this baseline exists
+// to keep honest. Each PR that touches the hot path appends a new
+// BENCH_<pr>.json so regressions have a number to be measured against.
+type Trajectory struct {
+	Schema    string    `json:"schema"`
+	Label     string    `json:"label"`
+	CreatedAt time.Time `json:"created_at"`
+
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Profile string `json:"profile"`
+	Queries int    `json:"queries"`
+
+	// End-to-end serving measurements over the repeated workload.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+	DrawsPerSec  float64 `json:"draws_per_sec"`
+
+	Cache TrajectoryCache `json:"cache"`
+
+	Micro []MicroResult `json:"micro"`
+}
+
+// TrajectoryCache snapshots the engine's answer-space cache after the
+// workload ran (the second half of the workload repeats the first, so a
+// healthy cache shows a hit rate well above zero).
+type TrajectoryCache struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+	Bytes   int64   `json:"bytes"`
+}
+
+// MicroResult is one micro-benchmark measurement captured via
+// testing.Benchmark.
+type MicroResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+}
+
+func microResult(name string, fn func(b *testing.B)) MicroResult {
+	r := testing.Benchmark(fn)
+	return MicroResult{
+		Name:     name,
+		NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// RunTrajectory measures the serving hot path and the layer
+// micro-benchmarks, returning the baseline record. The workload is the
+// tiny profile's generated query set, run twice over one engine: the first
+// pass populates the answer-space cache, the second measures the steady
+// state a hot server sees.
+func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
+	cfg = cfg.withDefaults()
+	profile := cfg.Profiles[0]
+	env, err := NewEnv(profile)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(env.DS.Graph, env.DS.Model,
+		core.Options{Tau: profile.OptimalTau, ErrorBound: 0.05, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := cfg.ctx()
+	var latencies []float64
+	totalDraws := 0
+	totalTime := time.Duration(0)
+	ran := 0
+	for pass := 0; pass < 2; pass++ {
+		for _, gq := range env.DS.Queries {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			begin := time.Now()
+			res, err := eng.Query(ctx, gq.Agg)
+			elapsed := time.Since(begin)
+			if err != nil {
+				continue // a workload query without candidates is not a perf signal
+			}
+			if pass == 0 {
+				continue // warm-up only: cold convergence must not dilute the baseline
+			}
+			ran++
+			latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+			totalDraws += res.SampleSize
+			totalTime += elapsed
+		}
+	}
+	if len(latencies) == 0 {
+		return nil, fmt.Errorf("bench: no workload query completed")
+	}
+	sort.Float64s(latencies)
+	cs := eng.CacheStats()
+
+	tr := &Trajectory{
+		Schema:       TrajectorySchema,
+		Label:        label,
+		CreatedAt:    time.Now().UTC(),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Profile:      profile.Name,
+		Queries:      ran,
+		LatencyP50MS: percentile(latencies, 0.50),
+		LatencyP95MS: percentile(latencies, 0.95),
+		LatencyMaxMS: latencies[len(latencies)-1],
+		DrawsPerSec:  float64(totalDraws) / totalTime.Seconds(),
+		Cache: TrajectoryCache{
+			Hits:    cs.Hits,
+			Misses:  cs.Misses,
+			HitRate: cs.HitRate(),
+			Entries: cs.Entries,
+			Bytes:   cs.Bytes,
+		},
+		Micro: microBenchmarks(),
+	}
+	return tr, nil
+}
+
+// microBenchmarks runs the layer micro-benchmarks in-process: walker build
+// + convergence (the CSR core), batched greedy validation (the ValidateCtx
+// allocation profile), and a full cached engine query.
+func microBenchmarks() []MicroResult {
+	g := kgtest.Figure1()
+	calc, err := semsim.NewCalculator(g, embtest.Figure1Model(g), 0)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	us := g.NodeByName("Germany")
+	pred := g.PredByName("product")
+
+	var out []MicroResult
+	out = append(out, microResult("walker_build_converge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := walk.New(calc, us, pred, walk.Config{N: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Converge()
+		}
+	}))
+
+	w, err := walk.New(calc, us, pred, walk.Config{N: 3})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	w.Converge()
+	pi := w.PiMap()
+	auto := g.TypeByName("Automobile")
+	cands := w.Bound().CandidateAnswers(g, []kg.TypeID{auto})
+	out = append(out, microResult("validate_batch", func(b *testing.B) {
+		b.ReportAllocs()
+		vcfg := semsim.ValidatorConfig{Repeat: 3, MaxLen: 3, Tau: 0.85}
+		for i := 0; i < b.N; i++ {
+			semsim.Validate(calc, us, pred, pi, cands, vcfg)
+		}
+	}))
+
+	eng, err := core.NewEngine(g, embtest.Figure1Model(g), core.Options{ErrorBound: 0.05, Seed: 7})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	q := query.Simple(query.Avg, "price", "Germany", "Country", "product", "Automobile")
+	out = append(out, microResult("engine_query_cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return out
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank:
+// ceil(p·n)-1).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteTrajectory runs the baseline measurement and writes it as indented
+// JSON to path, echoing a summary to w.
+func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
+	tr, err := RunTrajectory(cfg, label)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trajectory %s: %d queries, p50 %.2fms, p95 %.2fms, %.0f draws/s, cache hit rate %.2f → %s\n",
+		label, tr.Queries, tr.LatencyP50MS, tr.LatencyP95MS, tr.DrawsPerSec, tr.Cache.HitRate, path)
+	for _, m := range tr.Micro {
+		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	// Nearest-rank: ceil(p·n)-1.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(vals, 0.50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := percentile(vals, 0.95); got != 10 {
+		t.Fatalf("p95 = %v, want 10", got)
+	}
+	if got := percentile(vals, 0.01); got != 1 {
+		t.Fatalf("p1 = %v, want 1", got)
+	}
+	// Odd length: the median is the middle element, not one below it.
+	odd := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	if got := percentile(odd, 0.50); got != 6 {
+		t.Fatalf("odd p50 = %v, want 6", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}
+
+var allocSink []byte
+
+func TestMicroResultCapturesAllocs(t *testing.T) {
+	r := microResult("alloc_probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			allocSink = make([]byte, 64)
+		}
+	})
+	if r.Name != "alloc_probe" || r.NsPerOp <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.AllocsOp < 1 {
+		t.Fatalf("allocs/op = %d, want ≥ 1", r.AllocsOp)
+	}
+}
+
+func TestTrajectorySchemaRoundTrip(t *testing.T) {
+	tr := Trajectory{Schema: TrajectorySchema, Label: "test", Queries: 3,
+		Micro: []MicroResult{{Name: "m", NsPerOp: 1}}}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trajectory
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != TrajectorySchema || back.Label != "test" || len(back.Micro) != 1 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kgaq/internal/kg"
+)
+
+// DefaultCacheBytes is the answer-space cache's default memory bound.
+const DefaultCacheBytes int64 = 64 << 20
+
+// stageKey identifies one converged chain stage: everything that shapes the
+// walker's stationary distribution and its answer filter (root, query
+// predicate, target types, walk config). Validator knobs (τ, repeat) are
+// deliberately NOT part of the key — they only affect verdicts, which live
+// in a per-(τ, repeat) sub-map on the entry — so a per-query WithTau
+// override still hits the cached convergence and merely re-validates.
+type stageKey struct {
+	root     kg.NodeID
+	pred     kg.PredID
+	types    string // sorted target TypeIDs, encoded
+	n        int
+	selfLoop float64
+}
+
+// verdictKey selects one validator configuration's verdict map within a
+// cached stage.
+type verdictKey struct {
+	tau    float64
+	repeat int
+}
+
+// typesKeyOf canonicalises a type set (query order is irrelevant).
+func typesKeyOf(types []kg.TypeID) string {
+	ts := append([]kg.TypeID(nil), types...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return fmt.Sprint(ts)
+}
+
+// stageEntry is one cached converged stage: the renormalised answer
+// distribution π′, the full stationary map (the validator's expansion
+// priorities), and one leg-verdict cache per validator configuration.
+// answers/probs/piMap are immutable after construction and read lock-free;
+// verdicts is guarded by mu and grows as queries validate answers, so
+// repeated queries skip both convergence and re-validation.
+type stageEntry struct {
+	answers []kg.NodeID
+	probs   []float64
+	piMap   map[kg.NodeID]float64
+	cost    int64
+
+	mu       sync.Mutex
+	verdicts map[verdictKey]map[kg.NodeID]bool
+}
+
+// maxVerdictConfigs bounds how many distinct (τ, repeat) verdict maps one
+// cached stage may hold. Verdict keys are always members of the stage's
+// answer set, so each map is bounded by len(answers); the config count is
+// the only unbounded dimension (kgaqd accepts per-request τ overrides), and
+// capping it keeps the entry's resident size within the cost charged to the
+// LRU budget at insert time.
+const maxVerdictConfigs = 8
+
+// verdictsFor returns the verdict map of one validator configuration,
+// creating it on first use. When a new configuration would exceed
+// maxVerdictConfigs, all verdict maps are dropped and rebuilt on demand —
+// verdicts are recomputable, and a workload cycling through more than
+// maxVerdictConfigs τ values is already re-validating constantly. Callers
+// must hold st.mu.
+func (st *stageEntry) verdictsFor(k verdictKey) map[kg.NodeID]bool {
+	m, ok := st.verdicts[k]
+	if !ok {
+		if len(st.verdicts) >= maxVerdictConfigs {
+			clear(st.verdicts)
+		}
+		m = make(map[kg.NodeID]bool)
+		st.verdicts[k] = m
+	}
+	return m
+}
+
+func newStageEntry(answers []kg.NodeID, probs []float64, piMap map[kg.NodeID]float64) *stageEntry {
+	st := &stageEntry{
+		answers:  answers,
+		probs:    probs,
+		piMap:    piMap,
+		verdicts: make(map[verdictKey]map[kg.NodeID]bool),
+	}
+	// Approximate resident bytes: the distribution slices, the π map and
+	// headroom for the verdict maps to fill in (one bool per candidate
+	// answer per possible validator configuration, map overhead included) —
+	// the worst case the maxVerdictConfigs cap allows, so the LRU budget
+	// stays honest as verdicts accumulate.
+	st.cost = 256 +
+		int64(len(answers))*(4+8) +
+		int64(len(piMap))*48 +
+		int64(maxVerdictConfigs)*int64(len(answers))*16
+	return st
+}
+
+// CacheStats is a point-in-time snapshot of the answer-space cache.
+type CacheStats struct {
+	Hits     uint64
+	Misses   uint64
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// spaceCache is a concurrency-safe, memory-bounded LRU of converged stages.
+// Lookups and insertions take one short critical section; the heavy work
+// (convergence, validation) always happens outside the lock, so concurrent
+// misses on the same key may build the stage twice — the first insert wins
+// and both callers end up sharing it.
+type spaceCache struct {
+	maxBytes int64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+
+	mu    sync.Mutex
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[stageKey]*list.Element
+}
+
+type cacheItem struct {
+	key   stageKey
+	entry *stageEntry
+}
+
+func newSpaceCache(maxBytes int64) *spaceCache {
+	return &spaceCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[stageKey]*list.Element),
+	}
+}
+
+// get returns the cached stage for key, promoting it to most recently used.
+func (c *spaceCache) get(key stageKey) *stageEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).entry
+}
+
+// put inserts a freshly built stage and returns the canonical entry for the
+// key: when a concurrent builder inserted first, its entry is kept (and
+// returned) so every caller shares one verdict cache. Entries larger than
+// the whole budget are returned uncached.
+func (c *spaceCache) put(key stageKey, st *stageEntry) *stageEntry {
+	if c == nil || st.cost > c.maxBytes {
+		return st
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).entry
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: st})
+	c.bytes += st.cost
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		it := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.bytes -= it.entry.cost
+	}
+	return st
+}
+
+func (c *spaceCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{MaxBytes: -1}
+	}
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Entries:  entries,
+		Bytes:    bytes,
+		MaxBytes: c.maxBytes,
+	}
+}

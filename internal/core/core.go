@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"kgaq/internal/embedding"
@@ -95,6 +96,11 @@ type Options struct {
 	// ExtremeRounds is the number of fixed-size sampling rounds for MAX and
 	// MIN, which carry no guarantee (default 4, as reported in §VII-B).
 	ExtremeRounds int
+	// CacheMaxBytes bounds the engine's answer-space cache (converged
+	// stationary distributions plus their validation verdicts, shared
+	// across queries). Zero means DefaultCacheBytes; a negative value
+	// disables the cache entirely.
+	CacheMaxBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +151,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ExtremeRounds <= 0 {
 		o.ExtremeRounds = 4
+	}
+	if o.CacheMaxBytes == 0 {
+		o.CacheMaxBytes = DefaultCacheBytes
 	}
 	return o
 }
@@ -210,19 +219,27 @@ func (r *Result) Interval() estimate.Interval {
 
 // Engine executes aggregate queries over one graph + embedding pair.
 //
-// An Engine is safe for concurrent use by multiple goroutines: after
-// NewEngine it is immutable (the graph, the embedding model and the
-// defaulted Options are only ever read), and every Query/Start call builds
-// its own Execution with a private RNG, similarity calculator, sampling
-// space and validation caches. Concurrent queries with the same seed
-// produce identical results; use WithSeed to vary them per query.
+// An Engine is safe for concurrent use by multiple goroutines: the graph,
+// the embedding model, the defaulted Options and the precomputed
+// predicate-similarity matrix are immutable after NewEngine, the shared
+// answer-space cache is internally synchronised, and every Query/Start
+// call builds its own Execution with a private RNG and draw list.
+// Concurrent queries with the same seed draw identical samples; validation
+// verdicts may be served from the shared cache, where they were settled by
+// whichever query batch-validated them first (always a legitimate §IV-B2
+// outcome — see DESIGN.md "Performance architecture").
 type Engine struct {
 	g     *kg.Graph
 	model embedding.Model
 	opts  Options
+	calc  *semsim.Calculator // shared read-only similarity matrix
+	cache *spaceCache        // nil when CacheMaxBytes < 0
+	sem   chan struct{}      // bounds the chain-build worker pool
 }
 
-// NewEngine validates the pair and returns an execution engine.
+// NewEngine validates the pair and returns an execution engine. The full
+// P×P predicate-similarity matrix is precomputed here, once, and shared
+// read-only by every query the engine serves.
 func NewEngine(g *kg.Graph, model embedding.Model, opts Options) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
@@ -233,7 +250,22 @@ func NewEngine(g *kg.Graph, model embedding.Model, opts Options) (*Engine, error
 	if model.Dim() == 0 {
 		return nil, fmt.Errorf("core: embedding model has no vectors")
 	}
-	return &Engine{g: g, model: model, opts: opts.withDefaults()}, nil
+	opts = opts.withDefaults()
+	calc, err := semsim.NewCalculator(g, model, 0)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:     g,
+		model: model,
+		opts:  opts,
+		calc:  calc,
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+	if opts.CacheMaxBytes > 0 {
+		e.cache = newSpaceCache(opts.CacheMaxBytes)
+	}
+	return e, nil
 }
 
 // Graph returns the engine's knowledge graph.
@@ -242,10 +274,9 @@ func (e *Engine) Graph() *kg.Graph { return e.g }
 // Options returns the effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
 
-// newCalculator builds the per-execution similarity calculator.
-func (e *Engine) newCalculator() (*semsim.Calculator, error) {
-	return semsim.NewCalculator(e.g, e.model, 0)
-}
+// CacheStats snapshots the answer-space cache counters (MaxBytes is -1 when
+// the cache is disabled).
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
 
 // resolveRoot maps a decomposed path's root onto the graph, enforcing the
 // name + type conditions of Definition 5.

@@ -86,11 +86,8 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 
 	begin := time.Now()
 	if o.Sampler == SamplerSemantic {
-		calc, err := e.newCalculator()
-		if err != nil {
-			return nil, err
-		}
-		x.sp, err = e.buildAssemblySpace(ctx, o, calc, paths)
+		var err error
+		x.sp, err = e.buildAssemblySpace(ctx, o, paths)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"kgaq/internal/kg"
 	"kgaq/internal/query"
@@ -91,12 +92,12 @@ func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
 
 // buildSemanticSpace assembles the answer space for one decomposed path
 // using the semantic-aware walker (§IV-A), recursively for chains (§V-B).
-func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, calc *semsim.Calculator, p query.Path) (*answerSpace, error) {
+func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, p query.Path) (*answerSpace, error) {
 	us, err := e.resolveRoot(p)
 	if err != nil {
 		return nil, err
 	}
-	pi, oracle, err := e.buildChainLevel(ctx, o, calc, us, p.Hops)
+	pi, oracle, err := e.buildChainLevel(ctx, o, us, p.Hops)
 	if err != nil {
 		return nil, err
 	}
@@ -156,11 +157,93 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 	return sp, nil
 }
 
+// convergedStage returns the converged stage for (root, pred, types) under
+// the walk configuration in o, consulting the engine's answer-space cache
+// first. A miss builds the walker, converges it and extracts π′, then
+// publishes the stage for every later query with the same key; concurrent
+// misses build independently and converge on the first-published entry.
+func (e *Engine) convergedStage(ctx context.Context, o Options,
+	root kg.NodeID, pred kg.PredID, types []kg.TypeID) (*stageEntry, error) {
+
+	key := stageKey{
+		root:     root,
+		pred:     pred,
+		types:    typesKeyOf(types),
+		n:        o.N,
+		selfLoop: o.SelfLoopSim,
+	}
+	if st := e.cache.get(key); st != nil {
+		return st, nil
+	}
+	w, err := walk.New(e.calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.ConvergeCtx(ctx); err != nil {
+		return nil, err
+	}
+	dist, err := w.AnswerDistribution(types)
+	if err != nil {
+		return nil, fmt.Errorf("core: stage rooted at %q: %w", e.g.Name(root), err)
+	}
+	st := newStageEntry(dist.Answers, dist.Probs, w.PiMap())
+	return e.cache.put(key, st), nil
+}
+
+// stageOracle builds the leg validator over one converged stage. The batch
+// form runs one greedy search for a whole set of answers (§IV-B2's search
+// is a single traversal recording paths to every requested answer).
+// Verdicts live on the shared stage entry under the (τ, repeat) sub-map,
+// guarded by its mutex, and are stored only when the search was not
+// cancelled mid-flight; the validation itself runs outside the lock so
+// concurrent queries never serialise on it.
+func (e *Engine) stageOracle(o Options, st *stageEntry,
+	root kg.NodeID, pred kg.PredID) correctOracle {
+
+	vcfg := semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau}
+	vkey := verdictKey{tau: o.Tau, repeat: o.Repeat}
+	legBatch := func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool {
+		out := make(map[kg.NodeID]bool, len(us))
+		var fresh []kg.NodeID
+		st.mu.Lock()
+		verdicts := st.verdictsFor(vkey)
+		for _, u := range us {
+			if v, ok := verdicts[u]; ok {
+				out[u] = v
+			} else {
+				fresh = append(fresh, u)
+			}
+		}
+		st.mu.Unlock()
+		if len(fresh) > 0 && ctx.Err() == nil {
+			res, _ := semsim.ValidateCtx(ctx, e.calc, root, pred, st.piMap, fresh, vcfg)
+			if ctx.Err() == nil {
+				st.mu.Lock()
+				verdicts := st.verdictsFor(vkey)
+				for _, u := range fresh {
+					v, ok := verdicts[u]
+					if !ok {
+						v = res[u].Similarity >= o.Tau
+						verdicts[u] = v
+					}
+					out[u] = v
+				}
+				st.mu.Unlock()
+			}
+		}
+		return out
+	}
+	legOK := func(ctx context.Context, u kg.NodeID) bool {
+		return legBatch(ctx, []kg.NodeID{u})[u]
+	}
+	return correctOracle{single: legOK, batch: legBatch}
+}
+
 // buildChainLevel returns the exact visiting distribution over the final
 // hop's answers together with a lazy correctness oracle, recursing over the
 // chain's hops: π(j) = Σᵢ π′ᵢ · π′ⱼ|ᵢ (§V-B), and an answer is correct when
 // some intermediate chain validates every leg at the τ threshold.
-func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Calculator, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
+func (e *Engine) buildChainLevel(ctx context.Context, o Options, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
 	none := correctOracle{}
 	if len(hops) == 0 {
 		return nil, none, fmt.Errorf("core: empty hop sequence")
@@ -173,56 +256,19 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Ca
 	if err != nil {
 		return nil, none, err
 	}
-	w, err := walk.New(calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
+	st, err := e.convergedStage(ctx, o, root, pred, types)
 	if err != nil {
 		return nil, none, err
 	}
-	if _, err := w.ConvergeCtx(ctx); err != nil {
-		return nil, none, err
-	}
-	dist, err := w.AnswerDistribution(types)
-	if err != nil {
-		return nil, none, fmt.Errorf("core: stage rooted at %q: %w", e.g.Name(root), err)
-	}
-
-	// Leg validator for this stage, shared and cached. The batch form runs
-	// one greedy search for a whole set of answers (§IV-B2's search is a
-	// single traversal recording paths to every requested answer). Verdicts
-	// are cached only when the search was not cancelled mid-flight.
-	piMap := w.PiMap()
-	legCache := map[kg.NodeID]bool{}
-	vcfg := semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau}
-	legBatch := func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool {
-		var fresh []kg.NodeID
-		for _, u := range us {
-			if _, ok := legCache[u]; !ok {
-				fresh = append(fresh, u)
-			}
-		}
-		if len(fresh) > 0 && ctx.Err() == nil {
-			res, _ := semsim.ValidateCtx(ctx, calc, root, pred, piMap, fresh, vcfg)
-			if ctx.Err() == nil {
-				for _, u := range fresh {
-					legCache[u] = res[u].Similarity >= o.Tau
-				}
-			}
-		}
-		out := make(map[kg.NodeID]bool, len(us))
-		for _, u := range us {
-			out[u] = legCache[u]
-		}
-		return out
-	}
-	legOK := func(ctx context.Context, u kg.NodeID) bool {
-		return legBatch(ctx, []kg.NodeID{u})[u]
-	}
+	oracle := e.stageOracle(o, st, root, pred)
+	legOK := oracle.single
 
 	if len(hops) == 1 {
-		pi := make(map[kg.NodeID]float64, dist.Len())
-		for i, u := range dist.Answers {
-			pi[u] = dist.Prob(i)
+		pi := make(map[kg.NodeID]float64, len(st.answers))
+		for i, u := range st.answers {
+			pi[u] = st.probs[i]
 		}
-		return pi, correctOracle{single: legOK, batch: legBatch}, nil
+		return pi, oracle, nil
 	}
 
 	// Multi-hop: expand the highest-probability intermediates, recursing
@@ -231,9 +277,9 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Ca
 		node kg.NodeID
 		prob float64
 	}
-	inters := make([]inter, dist.Len())
-	for i, u := range dist.Answers {
-		inters[i] = inter{node: u, prob: dist.Prob(i)}
+	inters := make([]inter, len(st.answers))
+	for i, u := range st.answers {
+		inters[i] = inter{node: u, prob: st.probs[i]}
 	}
 	sort.Slice(inters, func(a, b int) bool {
 		if inters[a].prob != inters[b].prob {
@@ -245,6 +291,41 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Ca
 		inters = inters[:maxChainIntermediates]
 	}
 
+	// The per-intermediate recursions are independent, so they fan out over
+	// the engine's worker pool. A worker slot is acquired opportunistically:
+	// when the pool is saturated (e.g. many concurrent queries, or a deeper
+	// recursion level already took the slots) the recursion simply runs
+	// inline, which keeps the fan-out deadlock-free at any nesting depth.
+	subPis := make([]map[kg.NodeID]float64, len(inters))
+	subOracles := make([]correctOracle, len(inters))
+	subErrs := make([]error, len(inters))
+	var wg sync.WaitGroup
+	for i, in := range inters {
+		if ctx.Err() != nil {
+			break
+		}
+		build := func(i int, node kg.NodeID) {
+			subPis[i], subOracles[i], subErrs[i] = e.buildChainLevel(ctx, o, node, hops[1:])
+		}
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, node kg.NodeID) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				build(i, node)
+			}(i, in.node)
+		default:
+			build(i, in.node)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, none, err
+	}
+
+	// Accumulate sequentially in intermediate order so the assembled π is
+	// deterministic regardless of which goroutine finished first.
 	pi := map[kg.NodeID]float64{}
 	type subLevel struct {
 		prob    float64
@@ -253,21 +334,14 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Ca
 		correct correctOracle
 	}
 	var subs []subLevel
-	for _, in := range inters {
-		if err := ctx.Err(); err != nil {
-			return nil, none, err
-		}
-		subPi, subCorrect, err := e.buildChainLevel(ctx, o, calc, in.node, hops[1:])
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, none, err
-			}
+	for i, in := range inters {
+		if subErrs[i] != nil || subPis[i] == nil {
 			continue // an intermediate with no onward answers contributes nothing
 		}
-		for u, p := range subPi {
+		for u, p := range subPis[i] {
 			pi[u] += in.prob * p
 		}
-		subs = append(subs, subLevel{prob: in.prob, node: in.node, pi: subPi, correct: subCorrect})
+		subs = append(subs, subLevel{prob: in.prob, node: in.node, pi: subPis[i], correct: subOracles[i]})
 	}
 	if len(pi) == 0 {
 		return nil, none, fmt.Errorf("core: chain stage rooted at %q found no final answers", e.g.Name(root))
@@ -309,9 +383,9 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, calc *semsim.Ca
 // normalised product of per-path visiting probabilities (an answer must be
 // reachable by every constraint's walk), and an answer is correct only if
 // every path validates it.
-func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, calc *semsim.Calculator, paths []query.Path) (*answerSpace, error) {
+func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, paths []query.Path) (*answerSpace, error) {
 	if len(paths) == 1 {
-		return e.buildSemanticSpace(ctx, o, calc, paths[0])
+		return e.buildSemanticSpace(ctx, o, paths[0])
 	}
 	type level struct {
 		pi      map[kg.NodeID]float64
@@ -323,7 +397,7 @@ func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, calc *semsim
 		if err != nil {
 			return nil, err
 		}
-		pi, correct, err := e.buildChainLevel(ctx, o, calc, us, p.Hops)
+		pi, correct, err := e.buildChainLevel(ctx, o, us, p.Hops)
 		if err != nil {
 			return nil, fmt.Errorf("core: sub-query rooted at %q: %w", p.RootName, err)
 		}
@@ -424,10 +498,6 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, p query.Path
 	if err != nil {
 		return nil, nil, err
 	}
-	calc, err := e.newCalculator()
-	if err != nil {
-		return nil, nil, err
-	}
 	piMap := map[kg.NodeID]float64{}
 	for i, u := range ts.Answers {
 		piMap[u] = ts.Probs[i]
@@ -437,7 +507,7 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, p query.Path
 		if v, ok := verdicts[i]; ok {
 			return v
 		}
-		res, _ := semsim.ValidateCtx(ctx, calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
+		res, _ := semsim.ValidateCtx(ctx, e.calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
 			semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau})
 		if ctx.Err() != nil {
 			return false

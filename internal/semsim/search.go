@@ -3,6 +3,7 @@ package semsim
 import (
 	"container/heap"
 	"context"
+	"math"
 
 	"kgaq/internal/kg"
 )
@@ -19,29 +20,29 @@ func Exhaustive(c *Calculator, us kg.NodeID, queryPred kg.PredID, n int) map[kg.
 		return best
 	}
 	g := c.Graph()
+	logRow := c.LogSimRow(queryPred)
 	onPath := map[kg.NodeID]bool{us: true}
-	preds := make([]kg.PredID, 0, n)
 
-	var dfs func(u kg.NodeID)
-	dfs = func(u kg.NodeID) {
+	// The path's Eq. 2 score is carried as a running log-sum, so scoring an
+	// extension is O(1) instead of O(len).
+	var dfs func(u kg.NodeID, depth int, logSum float64)
+	dfs = func(u kg.NodeID, depth int, logSum float64) {
 		for _, he := range g.Neighbors(u) {
 			if onPath[he.To] {
 				continue
 			}
-			preds = append(preds, he.Pred)
-			s := c.PathSim(queryPred, preds)
-			if s > best[he.To] {
+			ls := logSum + logRow[he.Pred]
+			if s := math.Exp(ls / float64(depth+1)); s > best[he.To] {
 				best[he.To] = s
 			}
-			if len(preds) < n {
+			if depth+1 < n {
 				onPath[he.To] = true
-				dfs(he.To)
+				dfs(he.To, depth+1, ls)
 				onPath[he.To] = false
 			}
-			preds = preds[:len(preds)-1]
 		}
 	}
-	dfs(us)
+	dfs(us, 0, 0)
 	return best
 }
 
@@ -100,11 +101,14 @@ func (v ValidatorConfig) withDefaults() ValidatorConfig {
 	return v
 }
 
-// pathItem is a partial path in the greedy frontier.
+// pathItem is a partial path in the greedy frontier. The path's Eq. 2 score
+// lives in logSum (the running sum of log predicate similarities), so
+// scoring an extension never re-walks the path; the predicate sequence
+// itself is not stored at all.
 type pathItem struct {
 	tip      kg.NodeID
-	priority float64 // π of the tip (paper: expand highest-π first)
-	preds    []kg.PredID
+	priority float64     // π of the tip (paper: expand highest-π first)
+	logSum   float64     // Σ log PredSim(queryPred, pred) over the path's edges
 	nodes    []kg.NodeID // full node sequence for simple-path checking
 }
 
@@ -155,6 +159,7 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 
 	cfg = cfg.withDefaults()
 	g := c.Graph()
+	logRow := c.LogSimRow(queryPred)
 	want := make(map[kg.NodeID]bool, len(answers))
 	for _, a := range answers {
 		want[a] = true
@@ -173,7 +178,8 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 			return res, stats
 		}
 		it := heap.Pop(h).(*pathItem)
-		if len(it.preds) >= cfg.MaxLen {
+		depth := len(it.nodes) - 1 // edges on the path so far
+		if depth >= cfg.MaxLen {
 			continue
 		}
 		stats.Expansions++
@@ -188,10 +194,9 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 			if onPath {
 				continue
 			}
-			preds := append(append([]kg.PredID(nil), it.preds...), he.Pred)
-			nodes := append(append([]kg.NodeID(nil), it.nodes...), he.To)
+			logSum := it.logSum + logRow[he.Pred]
 			if want[he.To] && !settled[he.To] {
-				s := c.PathSim(queryPred, preds)
+				s := math.Exp(logSum / float64(depth+1))
 				r := res[he.To]
 				if s > r.Similarity {
 					r.Similarity = s
@@ -216,8 +221,13 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 				}
 				res[he.To] = r
 			}
-			if len(preds) < cfg.MaxLen {
-				heap.Push(h, &pathItem{tip: he.To, priority: pi[he.To], preds: preds, nodes: nodes})
+			if depth+1 < cfg.MaxLen {
+				// The node sequence is copied only here, once the extension
+				// is actually pushed; scoring above allocated nothing.
+				nodes := make([]kg.NodeID, len(it.nodes)+1)
+				copy(nodes, it.nodes)
+				nodes[len(it.nodes)] = he.To
+				heap.Push(h, &pathItem{tip: he.To, priority: pi[he.To], logSum: logSum, nodes: nodes})
 			}
 		}
 	}
@@ -244,30 +254,29 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 // a, returning the best path similarity from us.
 func fallbackBest(c *Calculator, us kg.NodeID, queryPred kg.PredID, a kg.NodeID, maxLen int) (float64, bool) {
 	g := c.Graph()
+	logRow := c.LogSimRow(queryPred)
 	best := -1.0
 	onPath := map[kg.NodeID]bool{us: true}
-	preds := make([]kg.PredID, 0, maxLen)
-	var dfs func(u kg.NodeID)
-	dfs = func(u kg.NodeID) {
+	var dfs func(u kg.NodeID, depth int, logSum float64)
+	dfs = func(u kg.NodeID, depth int, logSum float64) {
 		for _, he := range g.Neighbors(u) {
 			if onPath[he.To] {
 				continue
 			}
-			preds = append(preds, he.Pred)
+			ls := logSum + logRow[he.Pred]
 			if he.To == a {
-				if s := c.PathSim(queryPred, preds); s > best {
+				if s := math.Exp(ls / float64(depth+1)); s > best {
 					best = s
 				}
 			}
-			if len(preds) < maxLen {
+			if depth+1 < maxLen {
 				onPath[he.To] = true
-				dfs(he.To)
+				dfs(he.To, depth+1, ls)
 				onPath[he.To] = false
 			}
-			preds = preds[:len(preds)-1]
 		}
 	}
-	dfs(us)
+	dfs(us, 0, 0)
 	if best < 0 {
 		return 0, false
 	}

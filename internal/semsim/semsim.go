@@ -20,20 +20,27 @@ import (
 // walk) relies on.
 const DefaultFloor = 0.01
 
-// Calculator computes and caches predicate similarities for one graph and
-// embedding model. It is safe for concurrent readers after warm-up only if
-// no new predicate pairs are queried; engines use one Calculator per query
-// execution, so no locking is needed.
+// Calculator holds the full P×P predicate-similarity matrix for one graph
+// and embedding model, precomputed once at construction (P is the predicate
+// vocabulary — small — so the matrix is a handful of kilobytes even on large
+// graphs). After NewCalculator the Calculator is immutable and safe for
+// unrestricted concurrent use; one Calculator is shared by every query an
+// engine serves.
 type Calculator struct {
 	g     *kg.Graph
 	model embedding.Model
 	floor float64
-	// cache is keyed by (min, max) predicate id; similarity is symmetric.
-	cache map[[2]kg.PredID]float64
+	nPred int
+	// sim and logSim are flat row-major P×P matrices: sim[a*P+b] is the
+	// clamped Eq. 4 similarity of predicates a and b, logSim its natural
+	// log (the form Eq. 2's geometric mean consumes).
+	sim    []float64
+	logSim []float64
 }
 
 // NewCalculator builds a Calculator with the given similarity floor
-// (DefaultFloor when floor <= 0).
+// (DefaultFloor when floor <= 0), precomputing the full predicate-similarity
+// matrix.
 func NewCalculator(g *kg.Graph, model embedding.Model, floor float64) (*Calculator, error) {
 	if g == nil || model == nil {
 		return nil, fmt.Errorf("semsim: nil graph or model")
@@ -44,12 +51,33 @@ func NewCalculator(g *kg.Graph, model embedding.Model, floor float64) (*Calculat
 	if floor >= 1 {
 		return nil, fmt.Errorf("semsim: floor %v must be below 1", floor)
 	}
-	return &Calculator{
-		g:     g,
-		model: model,
-		floor: floor,
-		cache: map[[2]kg.PredID]float64{},
-	}, nil
+	p := g.NumPredicates()
+	c := &Calculator{
+		g:      g,
+		model:  model,
+		floor:  floor,
+		nPred:  p,
+		sim:    make([]float64, p*p),
+		logSim: make([]float64, p*p),
+	}
+	for a := 0; a < p; a++ {
+		c.sim[a*p+a] = 1
+		for b := a + 1; b < p; b++ {
+			s := embedding.PredicateSimilarity(c.model, kg.PredID(a), kg.PredID(b))
+			if s < floor {
+				s = floor
+			}
+			if s > 1 {
+				s = 1
+			}
+			c.sim[a*p+b] = s
+			c.sim[b*p+a] = s
+		}
+	}
+	for i, s := range c.sim {
+		c.logSim[i] = math.Log(s)
+	}
+	return c, nil
 }
 
 // Graph returns the underlying knowledge graph.
@@ -59,27 +87,22 @@ func (c *Calculator) Graph() *kg.Graph { return c.g }
 func (c *Calculator) Floor() float64 { return c.floor }
 
 // PredSim returns the clamped cosine similarity between predicates a and b
-// (Eq. 4), in [floor, 1].
+// (Eq. 4), in [floor, 1] — a single index into the precomputed matrix.
 func (c *Calculator) PredSim(a, b kg.PredID) float64 {
-	if a == b {
-		return 1
-	}
-	k := [2]kg.PredID{a, b}
-	if a > b {
-		k = [2]kg.PredID{b, a}
-	}
-	if s, ok := c.cache[k]; ok {
-		return s
-	}
-	s := embedding.PredicateSimilarity(c.model, a, b)
-	if s < c.floor {
-		s = c.floor
-	}
-	if s > 1 {
-		s = 1
-	}
-	c.cache[k] = s
-	return s
+	return c.sim[int(a)*c.nPred+int(b)]
+}
+
+// SimRow returns the precomputed similarity row of predicate p: SimRow(p)[q]
+// is PredSim(p, q). The returned slice is shared and must not be modified.
+func (c *Calculator) SimRow(p kg.PredID) []float64 {
+	return c.sim[int(p)*c.nPred : (int(p)+1)*c.nPred]
+}
+
+// LogSimRow returns the natural-log similarity row of predicate p, the form
+// the greedy validator's incremental Eq. 2 scoring consumes. The returned
+// slice is shared and must not be modified.
+func (c *Calculator) LogSimRow(p kg.PredID) []float64 {
+	return c.logSim[int(p)*c.nPred : (int(p)+1)*c.nPred]
 }
 
 // PathSim returns the semantic similarity of a subgraph match whose path
@@ -91,9 +114,10 @@ func (c *Calculator) PathSim(queryPred kg.PredID, preds []kg.PredID) float64 {
 		return 0
 	}
 	// Work in log space: geometric mean of l factors.
+	row := c.LogSimRow(queryPred)
 	logSum := 0.0
 	for _, p := range preds {
-		logSum += math.Log(c.PredSim(queryPred, p))
+		logSum += row[p]
 	}
 	return math.Exp(logSum / float64(len(preds)))
 }

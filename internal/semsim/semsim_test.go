@@ -82,16 +82,30 @@ func TestPredSimFloor(t *testing.T) {
 	}
 }
 
-func TestPredSimCached(t *testing.T) {
+func TestPredSimMatrix(t *testing.T) {
 	c, g := figure1Calc(t)
 	a, b := g.PredByName("assembly"), g.PredByName("country")
 	s1 := c.PredSim(a, b)
-	s2 := c.PredSim(b, a) // symmetric lookup must hit the cache
+	s2 := c.PredSim(b, a) // the precomputed matrix must be symmetric
 	if s1 != s2 {
 		t.Fatalf("asymmetric similarity: %v vs %v", s1, s2)
 	}
-	if len(c.cache) != 1 {
-		t.Fatalf("cache entries = %d, want 1", len(c.cache))
+	// The full matrix is materialised at construction: every row is the
+	// shared backing array's slice and agrees with PredSim.
+	for p := 0; p < g.NumPredicates(); p++ {
+		row := c.SimRow(kg.PredID(p))
+		logRow := c.LogSimRow(kg.PredID(p))
+		if len(row) != g.NumPredicates() {
+			t.Fatalf("row %d has %d entries, want %d", p, len(row), g.NumPredicates())
+		}
+		for q := 0; q < g.NumPredicates(); q++ {
+			if row[q] != c.PredSim(kg.PredID(p), kg.PredID(q)) {
+				t.Fatalf("SimRow(%d)[%d] disagrees with PredSim", p, q)
+			}
+			if got, want := logRow[q], math.Log(row[q]); got != want {
+				t.Fatalf("LogSimRow(%d)[%d] = %v, want %v", p, q, got, want)
+			}
+		}
 	}
 }
 

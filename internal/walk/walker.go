@@ -11,6 +11,7 @@ package walk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,6 +20,12 @@ import (
 	"kgaq/internal/semsim"
 	"kgaq/internal/stats"
 )
+
+// ErrNotConverged is returned by samplers that need the stationary
+// distribution before Converge/ConvergeCtx has run. Callers own the
+// convergence step so a cancelled query can never fall into an unbounded
+// context-free iteration.
+var ErrNotConverged = errors.New("walk: stationary distribution not converged")
 
 // Config tunes the semantic-aware walker.
 type Config struct {
@@ -51,15 +58,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// nbr is one outgoing transition: target (dense index) and probability.
-type nbr struct {
-	to int
-	p  float64
-}
-
 // Walker is the semantic-aware Markov chain over one bounded subgraph,
 // specialised to one query predicate. Build with New, call Converge, then
 // sample answers.
+//
+// The transition matrix lives in CSR (compressed sparse row) form: row i's
+// transitions are targets[rowStart[i]:rowStart[i+1]] with matching
+// probabilities in probs. Power iteration sweeps the transpose (inStart/
+// inSrc/inProb — the same entries grouped by target), so each π′(j) is a
+// gather into one register followed by a single write, rather than a
+// scatter of read-modify-writes into random memory; the zeroing and the L1
+// diff pass fuse into the same sweep.
 type Walker struct {
 	g     *kg.Graph
 	calc  *semsim.Calculator
@@ -69,9 +78,27 @@ type Walker struct {
 
 	nodes []kg.NodeID       // dense index → NodeID (bound BFS order)
 	idx   map[kg.NodeID]int // NodeID → dense index
-	rows  [][]nbr           // transition rows, each summing to 1
-	pi    []float64         // stationary distribution (after Converge)
-	iters int               // power iteration sweeps used
+
+	// CSR transition matrix; each row sums to 1. Used by the walking
+	// samplers, which need outgoing rows.
+	rowStart []int32
+	targets  []int32
+	probs    []float64
+
+	// CSC of the same matrix (CSR of its transpose): entry k of column j
+	// says node inSrc[k] reaches j with probability inProb[k]. Used by the
+	// power-iteration sweep.
+	inStart []int32
+	inSrc   []int32
+	inProb  []float64
+
+	// rowWeight[i] is the unnormalised weight mass of row i (Σ sim + the
+	// start self-loop) — the weighted degree W(i) that the reversibility
+	// fast path of ConvergeCtx turns into the closed-form π.
+	rowWeight []float64
+
+	pi    []float64 // stationary distribution (after Converge)
+	iters int       // sweeps used (1 when the closed form verified directly)
 }
 
 // New builds the walker: extracts the n-bounded subgraph around start and
@@ -102,32 +129,94 @@ func New(calc *semsim.Calculator, start kg.NodeID, queryPred kg.PredID, cfg Conf
 	for i, u := range w.nodes {
 		w.idx[u] = i
 	}
-	w.rows = make([][]nbr, len(w.nodes))
+
+	// First pass: count in-bound transitions per row so the CSR arrays are
+	// allocated exactly once. Every row gets at least one entry (the
+	// isolated-start fallback below), the start row one extra for the
+	// aperiodicity self-loop.
+	n := len(w.nodes)
+	counts := make([]int32, n)
 	for i, u := range w.nodes {
-		var row []nbr
-		total := 0.0
+		c := int32(0)
+		for _, he := range g.Neighbors(u) {
+			if _, in := w.idx[he.To]; in {
+				c++
+			}
+		}
+		if u == start {
+			c++ // self-loop
+		}
+		if c == 0 {
+			c = 1 // isolated node inside the bound: probability-1 self-loop
+		}
+		counts[i] = c
+	}
+	w.rowStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		w.rowStart[i+1] = w.rowStart[i] + counts[i]
+	}
+	total := int(w.rowStart[n])
+	w.targets = make([]int32, total)
+	w.probs = make([]float64, total)
+
+	// Second pass: fill rows. The query predicate's similarity row is a
+	// single precomputed slice, so scoring an edge is one index.
+	simRow := calc.SimRow(queryPred)
+	w.rowWeight = make([]float64, n)
+	for i, u := range w.nodes {
+		at := w.rowStart[i]
+		sum := 0.0
 		for _, he := range g.Neighbors(u) {
 			j, in := w.idx[he.To]
 			if !in {
 				continue // neighbour outside the n-bound: walk never leaves
 			}
-			s := calc.PredSim(queryPred, he.Pred)
-			row = append(row, nbr{to: j, p: s})
-			total += s
+			s := simRow[he.Pred]
+			w.targets[at] = int32(j)
+			w.probs[at] = s
+			sum += s
+			at++
 		}
 		if u == start {
-			row = append(row, nbr{to: i, p: cfg.SelfLoopSim})
-			total += cfg.SelfLoopSim
+			w.targets[at] = int32(i)
+			w.probs[at] = cfg.SelfLoopSim
+			sum += cfg.SelfLoopSim
+			at++
 		}
-		if total <= 0 {
+		if at == w.rowStart[i] {
 			// Isolated node inside the bound (only the start with no edges).
-			row = append(row, nbr{to: i, p: 1})
-			total = 1
+			w.targets[at] = int32(i)
+			w.probs[at] = 1
+			sum = 1
+			at++
 		}
-		for k := range row {
-			row[k].p /= total
+		w.rowWeight[i] = sum
+		for k := w.rowStart[i]; k < at; k++ {
+			w.probs[k] /= sum
 		}
-		w.rows[i] = row
+	}
+
+	// Transpose into CSC for the convergence gather: count incoming entries
+	// per node, prefix-sum, then place.
+	inCounts := make([]int32, n+1)
+	for _, j := range w.targets {
+		inCounts[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		inCounts[j+1] += inCounts[j]
+	}
+	w.inStart = inCounts
+	w.inSrc = make([]int32, total)
+	w.inProb = make([]float64, total)
+	pos := make([]int32, n)
+	copy(pos, w.inStart[:n])
+	for i := 0; i < n; i++ {
+		for k := w.rowStart[i]; k < w.rowStart[i+1]; k++ {
+			j := w.targets[k]
+			w.inSrc[pos[j]] = int32(i)
+			w.inProb[pos[j]] = w.probs[k]
+			pos[j]++
+		}
 	}
 	return w, nil
 }
@@ -138,55 +227,113 @@ func (w *Walker) Size() int { return len(w.nodes) }
 // Bound returns the n-bounded subgraph the walk runs on.
 func (w *Walker) Bound() *kg.Bounded { return w.bound }
 
-// Converge computes the stationary distribution by power iteration
-// (π ← πP, the synchronous form of the paper's Eq. 6 update) until the L1
-// change falls below Tol or MaxIter sweeps pass. It returns the number of
-// sweeps used. Calling Converge again is a no-op.
+// row returns the CSR row of dense node i: its targets and probabilities.
+func (w *Walker) row(i int) ([]int32, []float64) {
+	lo, hi := w.rowStart[i], w.rowStart[i+1]
+	return w.targets[lo:hi], w.probs[lo:hi]
+}
+
+// Converge computes the stationary distribution and returns the number of
+// verification/power-iteration sweeps used. Calling Converge again is a
+// no-op.
+//
+// The chain's transition weights are symmetric — both half-edges of a
+// stored edge carry the same predicate, Eq. 4 similarity is symmetric, and
+// the aperiodicity self-loop is trivially symmetric — so the walk is a
+// reversible Markov chain on a connected weighted graph (the n-bound is
+// connected by construction: BFS only admits nodes reached through in-bound
+// edges). Its stationary distribution therefore has the closed form
+// π(i) = W(i)/ΣⱼW(j) with W the weighted degree (detailed balance:
+// π(i)·w(i,j)/W(i) = π(j)·w(j,i)/W(j)). Converge computes that closed form
+// directly and verifies it with a single πP sweep over the CSR transpose;
+// only if the residual exceeds Tol (it cannot for symmetric weights beyond
+// floating-point slack, but future asymmetric weightings may differ) does
+// it fall back to classic power iteration (Eq. 6), warm-started from the
+// closed form.
 func (w *Walker) Converge() int {
 	n, _ := w.ConvergeCtx(context.Background())
 	return n
 }
 
 // ConvergeCtx is Converge with cancellation: ctx is checked before every
-// power-iteration sweep, and a cancelled run returns ctx's error without
-// storing a stationary distribution (the walker stays usable — a later
-// ConvergeCtx restarts the iteration).
+// sweep, and a cancelled run returns ctx's error without storing a
+// stationary distribution (the walker stays usable — a later ConvergeCtx
+// restarts the computation).
 func (w *Walker) ConvergeCtx(ctx context.Context) (int, error) {
 	if w.pi != nil {
 		return w.iters, nil
 	}
 	n := len(w.nodes)
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("walk: convergence interrupted: %w", err)
+	}
+
+	// Reversibility fast path: π ∝ weighted degree, exactly.
 	pi := make([]float64, n)
-	pi[w.idx[w.start]] = 1 // π initialised to {1, 0, ..., 0} at the start node
+	totalW := 0.0
+	for _, wt := range w.rowWeight {
+		totalW += wt
+	}
+	for i, wt := range w.rowWeight {
+		pi[i] = wt / totalW
+	}
 	next := make([]float64, n)
-	for it := 1; it <= w.cfg.MaxIter; it++ {
+	diff := w.sweep(pi, next)
+	if diff < w.cfg.Tol {
+		w.pi = pi
+		w.iters = 1
+		return w.iters, nil
+	}
+
+	// Fallback: power iteration (π ← πP, the synchronous form of the
+	// paper's Eq. 6 update) until the L1 change falls below Tol or MaxIter
+	// sweeps pass, warm-started from the closed form.
+	pi, next = next, pi
+	w.iters = 1
+	for it := 2; it <= w.cfg.MaxIter; it++ {
 		if err := ctx.Err(); err != nil {
 			return w.iters, fmt.Errorf("walk: convergence interrupted after %d sweeps: %w", w.iters, err)
 		}
-		for i := range next {
-			next[i] = 0
-		}
-		for i, row := range w.rows {
-			if pi[i] == 0 {
-				continue
-			}
-			for _, nb := range row {
-				next[nb.to] += pi[i] * nb.p
-			}
-		}
-		diff := 0.0
-		for i := range next {
-			diff += math.Abs(next[i] - pi[i])
-		}
+		diff = w.sweep(pi, next)
 		pi, next = next, pi
+		w.iters = it
 		if diff < w.cfg.Tol {
-			w.iters = it
 			break
 		}
-		w.iters = it
 	}
 	w.pi = pi
 	return w.iters, nil
+}
+
+// sweep performs one power-iteration step next ← πP over the transposed
+// CSR and returns the L1 change. Gathering through the transpose turns the
+// update into one register accumulation and a single write per node —
+// no zeroing pass, no scattered read-modify-writes — with the L1 diff fused
+// into the same loop. Four accumulators keep the gather from serialising on
+// floating-point add latency.
+func (w *Walker) sweep(pi, next []float64) float64 {
+	inSrc, inProb, inStart := w.inSrc, w.inProb, w.inStart
+	diff := 0.0
+	for j := range next {
+		lo, hi := int(inStart[j]), int(inStart[j+1])
+		src := inSrc[lo:hi]
+		pr := inProb[lo:hi:hi]
+		var s0, s1, s2, s3 float64
+		k := 0
+		for ; k+4 <= len(src); k += 4 {
+			s0 += pi[src[k]] * pr[k]
+			s1 += pi[src[k+1]] * pr[k+1]
+			s2 += pi[src[k+2]] * pr[k+2]
+			s3 += pi[src[k+3]] * pr[k+3]
+		}
+		sum := (s0 + s1) + (s2 + s3)
+		for ; k < len(src); k++ {
+			sum += pi[src[k]] * pr[k]
+		}
+		next[j] = sum
+		diff += math.Abs(sum - pi[j])
+	}
+	return diff
 }
 
 // Pi returns the stationary probability of node u (0 for nodes outside the
@@ -222,11 +369,12 @@ type AnswerDist struct {
 
 // AnswerDistribution extracts π′ over the candidate answers: nodes of the
 // bounded subgraph sharing a type with the target (excluding the start
-// node). It returns an error when no candidate answer has positive
-// stationary probability.
+// node). It returns ErrNotConverged when Converge/ConvergeCtx has not run
+// (the caller owns convergence and its cancellation), and an error when no
+// candidate answer has positive stationary probability.
 func (w *Walker) AnswerDistribution(targetTypes []kg.TypeID) (*AnswerDist, error) {
 	if w.pi == nil {
-		w.Converge()
+		return nil, ErrNotConverged
 	}
 	var ans []kg.NodeID
 	var probs []float64
@@ -278,29 +426,30 @@ func (d *AnswerDist) Sample(r *rand.Rand, k int) []int {
 // the walking-with-rejection policy of §IV-A2(2), after burnIn steps. It is
 // the literal mechanism described in the paper; Sample is the equivalent
 // direct draw from the stationary answer distribution. Exposed for tests
-// and the sampling-equivalence benchmark.
-func (w *Walker) SampleByWalk(r *rand.Rand, targetTypes []kg.TypeID, burnIn, k int) []kg.NodeID {
+// and the sampling-equivalence benchmark. It returns ErrNotConverged when
+// Converge/ConvergeCtx has not run.
+func (w *Walker) SampleByWalk(r *rand.Rand, targetTypes []kg.TypeID, burnIn, k int) ([]kg.NodeID, error) {
 	if w.pi == nil {
-		w.Converge()
+		return nil, ErrNotConverged
 	}
 	cur := w.idx[w.start]
 	step := func() {
-		row := w.rows[cur]
-		if len(row) == 0 {
+		targets, probs := w.row(cur)
+		if len(targets) == 0 {
 			return
 		}
 		// Walking with rejection: pick a neighbour uniformly, accept with
 		// probability proportional to its transition weight.
 		maxP := 0.0
-		for _, nb := range row {
-			if nb.p > maxP {
-				maxP = nb.p
+		for _, p := range probs {
+			if p > maxP {
+				maxP = p
 			}
 		}
 		for {
-			nb := row[r.Intn(len(row))]
-			if r.Float64()*maxP <= nb.p {
-				cur = nb.to
+			i := r.Intn(len(targets))
+			if r.Float64()*maxP <= probs[i] {
+				cur = int(targets[i])
 				return
 			}
 		}
@@ -322,5 +471,5 @@ func (w *Walker) SampleByWalk(r *rand.Rand, targetTypes []kg.TypeID, burnIn, k i
 			out = append(out, u)
 		}
 	}
-	return out
+	return out, nil
 }

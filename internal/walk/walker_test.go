@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -45,13 +46,14 @@ func TestNewErrors(t *testing.T) {
 
 func TestTransitionRowsSumToOne(t *testing.T) {
 	w, _ := figure1Walker(t, Config{N: 3})
-	for i, row := range w.rows {
+	for i := range w.nodes {
+		_, probs := w.row(i)
 		sum := 0.0
-		for _, nb := range row {
-			if nb.p < 0 {
+		for _, p := range probs {
+			if p < 0 {
 				t.Fatalf("negative transition probability on row %d", i)
 			}
-			sum += nb.p
+			sum += p
 		}
 		if math.Abs(sum-1) > 1e-12 {
 			t.Fatalf("row %d sums to %v", i, sum)
@@ -59,20 +61,44 @@ func TestTransitionRowsSumToOne(t *testing.T) {
 	}
 }
 
-func TestSelfLoopOnlyOnStart(t *testing.T) {
+func TestCSRShape(t *testing.T) {
 	w, _ := figure1Walker(t, Config{N: 3})
-	si := w.idx[w.start]
-	for i, row := range w.rows {
-		for _, nb := range row {
-			if nb.to == i && i != si {
-				t.Fatalf("self-loop on non-start row %d", i)
+	if len(w.rowStart) != len(w.nodes)+1 {
+		t.Fatalf("rowStart has %d entries, want %d", len(w.rowStart), len(w.nodes)+1)
+	}
+	if w.rowStart[0] != 0 || int(w.rowStart[len(w.nodes)]) != len(w.targets) {
+		t.Fatalf("rowStart bounds [%d, %d] do not cover targets (%d)",
+			w.rowStart[0], w.rowStart[len(w.nodes)], len(w.targets))
+	}
+	if len(w.targets) != len(w.probs) {
+		t.Fatalf("targets (%d) and probs (%d) disagree", len(w.targets), len(w.probs))
+	}
+	for i := range w.nodes {
+		if w.rowStart[i] > w.rowStart[i+1] {
+			t.Fatalf("rowStart not monotone at %d", i)
+		}
+		targets, _ := w.row(i)
+		for _, to := range targets {
+			if to < 0 || int(to) >= len(w.nodes) {
+				t.Fatalf("row %d targets out-of-range node %d", i, to)
 			}
 		}
 	}
+}
+
+func TestSelfLoopOnlyOnStart(t *testing.T) {
+	w, _ := figure1Walker(t, Config{N: 3})
+	si := w.idx[w.start]
 	found := false
-	for _, nb := range w.rows[si] {
-		if nb.to == si {
-			found = true
+	for i := range w.nodes {
+		targets, _ := w.row(i)
+		for _, to := range targets {
+			if int(to) == i {
+				if i != si {
+					t.Fatalf("self-loop on non-start row %d", i)
+				}
+				found = true
+			}
 		}
 	}
 	if !found {
@@ -97,9 +123,10 @@ func TestConvergeStationary(t *testing.T) {
 	// π is stationary: π = πP within tolerance.
 	n := len(w.nodes)
 	next := make([]float64, n)
-	for i, row := range w.rows {
-		for _, nb := range row {
-			next[nb.to] += w.pi[i] * nb.p
+	for i := range w.nodes {
+		targets, probs := w.row(i)
+		for k, to := range targets {
+			next[to] += w.pi[i] * probs[k]
 		}
 	}
 	for i := range next {
@@ -205,7 +232,10 @@ func TestSampleByWalkMatchesPi(t *testing.T) {
 	}
 	r := stats.NewRand(11)
 	const k = 60000
-	visits := w.SampleByWalk(r, auto, 500, k)
+	visits, err := w.SampleByWalk(r, auto, 500, k)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(visits) != k {
 		t.Fatalf("visits = %d, want %d", len(visits), k)
 	}
@@ -218,6 +248,27 @@ func TestSampleByWalkMatchesPi(t *testing.T) {
 		if math.Abs(got-d.Prob(i)) > 0.02 {
 			t.Errorf("%s: walk frequency %v vs π′ %v", g.Name(u), got, d.Prob(i))
 		}
+	}
+}
+
+// Samplers must refuse to run before convergence instead of silently
+// converging outside the caller's context — a cancelled query could
+// otherwise fall into an unbounded context-free iteration.
+func TestSamplersRequireConvergence(t *testing.T) {
+	w, g := figure1Walker(t, Config{N: 3})
+	auto := []kg.TypeID{g.TypeByName("Automobile")}
+	if _, err := w.AnswerDistribution(auto); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("AnswerDistribution before Converge: err = %v, want ErrNotConverged", err)
+	}
+	if _, err := w.SampleByWalk(stats.NewRand(1), auto, 10, 10); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("SampleByWalk before Converge: err = %v, want ErrNotConverged", err)
+	}
+	w.Converge()
+	if _, err := w.AnswerDistribution(auto); err != nil {
+		t.Fatalf("AnswerDistribution after Converge: %v", err)
+	}
+	if _, err := w.SampleByWalk(stats.NewRand(1), auto, 10, 10); err != nil {
+		t.Fatalf("SampleByWalk after Converge: %v", err)
 	}
 }
 
@@ -283,10 +334,11 @@ func TestWalkerInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, row := range w.rows {
+		for i := range w.nodes {
+			_, probs := w.row(i)
 			sum := 0.0
-			for _, nb := range row {
-				sum += nb.p
+			for _, p := range probs {
+				sum += p
 			}
 			if math.Abs(sum-1) > 1e-9 {
 				return false

@@ -187,6 +187,12 @@ type GroupResult = core.GroupResult
 // BatchResult pairs one Engine.QueryBatch query with its outcome.
 type BatchResult = core.BatchResult
 
+// CacheStats snapshots the engine's answer-space cache (Engine.CacheStats):
+// converged stationary distributions and validation verdicts reused across
+// queries. Bound the cache with Options.CacheMaxBytes (default 64 MiB,
+// negative disables).
+type CacheStats = core.CacheStats
+
 // SamplerKind selects the sampling algorithm (WithSampler / Options).
 type SamplerKind = core.SamplerKind
 
