@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	graphPath := flag.String("graph", "", "graph snapshot (from kgen)")
+	graphPath := flag.String("graph", "", "graph snapshot or textual dump (formats auto-detected)")
 	embPath := flag.String("emb", "", "embedding snapshot (from kgen)")
 	profile := flag.String("profile", "", "generate a profile instead of loading files")
 	q := flag.String("q", "", "query text (default: read lines from stdin)")
@@ -39,7 +39,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries report their partial estimate")
 	flag.Parse()
 
-	g, model, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
+	g, model, _, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
 	if err != nil {
 		fail("%v", err)
 	}

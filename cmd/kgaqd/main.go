@@ -11,10 +11,18 @@
 //	}'
 //
 // Per-request overrides (error_bound, confidence, tau, seed, max_draws,
-// sampler, timeout_ms) map 1:1 onto the engine's QueryOptions; "stream":
-// true switches the response to NDJSON with one line per refinement round.
-// SIGINT/SIGTERM drain gracefully: in-flight queries are cancelled through
-// their contexts and report partial results before the listener closes.
+// sampler, timeout_ms, min_epoch) map 1:1 onto the engine's QueryOptions;
+// "stream": true switches the response to NDJSON with one line per
+// refinement round. SIGINT/SIGTERM drain gracefully: in-flight queries are
+// cancelled through their contexts and report partial results before the
+// listener closes.
+//
+// The served graph is live by default: POST /v1/mutate applies atomic
+// NDJSON mutation batches (add_entity, add_edge, remove_edge, set_attr,
+// set_types) and returns the new epoch, which /v1/query's min_epoch turns
+// into read-your-writes; a background compactor folds the write delta into
+// a fresh immutable graph off the query path. -read-only disables all of
+// it and serves the loaded graph immutably.
 package main
 
 import (
@@ -31,11 +39,12 @@ import (
 
 	"kgaq/internal/cmdutil"
 	"kgaq/internal/core"
+	"kgaq/internal/live"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	graphPath := flag.String("graph", "", "graph snapshot (from kgen)")
+	graphPath := flag.String("graph", "", "graph snapshot or textual dump (formats auto-detected)")
 	embPath := flag.String("emb", "", "embedding snapshot (from kgen)")
 	profile := flag.String("profile", "", "generate a profile instead of loading files")
 	eb := flag.Float64("eb", 0.01, "default relative error bound")
@@ -45,24 +54,44 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period")
 	cacheBytes := flag.Int64("cache-bytes", 0, "answer-space cache bound in bytes (0 = default, negative = disabled)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and cache counters on this address (e.g. localhost:6060; empty = disabled)")
+	readOnly := flag.Bool("read-only", false, "disable /v1/mutate and serve the loaded graph immutably")
+	compactEvery := flag.Duration("compact-interval", 2*time.Second, "background compactor check interval")
+	compactMin := flag.Int("compact-min-delta", 256, "fold the mutation delta once it covers this many nodes")
 	flag.Parse()
 
-	g, model, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
+	g, model, epoch, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
 	if err != nil {
 		fail("%v", err)
 	}
-	eng, err := core.NewEngine(g, model, core.Options{
+	opts := core.Options{
 		ErrorBound: *eb, Confidence: *conf, Tau: *tau, Seed: *seed,
 		CacheMaxBytes: *cacheBytes,
-	})
-	if err != nil {
-		fail("%v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	api := NewServer(eng)
+	var api *Server
+	if *readOnly {
+		eng, err := core.NewEngine(g, model, opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		api = NewServer(eng)
+	} else {
+		store := live.NewStore(g, epoch)
+		eng, err := core.NewLiveEngine(store, model, opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		stopCompactor := store.StartCompactor(ctx, live.CompactorConfig{
+			Interval: *compactEvery,
+			MinDelta: *compactMin,
+			OnError:  func(err error) { fmt.Fprintf(os.Stderr, "kgaqd: compactor: %v\n", err) },
+		})
+		defer stopCompactor()
+		api = NewLiveServer(eng, store)
+	}
 	if *debugAddr != "" {
 		// The debug mux (pprof + cache counters) lives on its own listener
 		// so operational endpoints never share a port with query traffic.

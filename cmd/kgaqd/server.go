@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,34 +13,50 @@ import (
 	"time"
 
 	"kgaq/internal/core"
+	"kgaq/internal/live"
 	"kgaq/internal/query"
 )
 
 // maxRequestBody bounds a query request; the textual language is tiny.
 const maxRequestBody = 1 << 20
 
+// maxMutateBody bounds one NDJSON mutation batch.
+const maxMutateBody = 8 << 20
+
 // Server is the HTTP/JSON serving layer over one shared Engine. The
 // Engine's concurrency guarantee is what lets a single Server instance
 // answer parallel requests without any locking of its own: every request
-// runs an independent Execution.
+// runs an independent Execution. When constructed over a live store
+// (NewLiveServer) it additionally accepts mutation batches on /v1/mutate.
 type Server struct {
 	eng     *core.Engine
+	store   *live.Store // nil for a read-only (static-graph) server
 	started time.Time
 }
 
-// NewServer wraps an engine for serving.
+// NewServer wraps an engine for read-only serving.
 func NewServer(eng *core.Engine) *Server {
 	return &Server{eng: eng, started: time.Now()}
+}
+
+// NewLiveServer wraps a live engine and its mutation store for read-write
+// serving.
+func NewLiveServer(eng *core.Engine, store *live.Store) *Server {
+	return &Server{eng: eng, store: store, started: time.Now()}
 }
 
 // Handler returns the routed HTTP handler:
 //
 //	POST /v1/query   — execute one aggregate query (JSON body, see queryRequest)
-//	GET  /v1/healthz — liveness plus graph statistics
+//	POST /v1/mutate  — apply one atomic mutation batch (NDJSON, live servers)
+//	GET  /v1/healthz — liveness plus graph statistics and the current epoch
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.store != nil {
+		mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	}
 	return mux
 }
 
@@ -65,6 +82,12 @@ type queryRequest struct {
 	// Stream switches the response to NDJSON: one {"round":…} line per
 	// refinement round as it happens, then a final {"result":…} line.
 	Stream bool `json:"stream,omitempty"`
+	// MinEpoch pins the query to a graph view at or above this epoch —
+	// read-your-writes: pass the epoch a /v1/mutate response carried and the
+	// query observes that batch. The query waits (bounded by timeout_ms /
+	// the request context) for the epoch on a live server; a static server
+	// rejects positive values.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
 }
 
 // options translates the request's overrides into per-query options.
@@ -87,6 +110,9 @@ func (qr *queryRequest) options() ([]core.QueryOption, error) {
 	}
 	if qr.MaxRounds > 0 {
 		opts = append(opts, core.WithMaxRounds(qr.MaxRounds))
+	}
+	if qr.MinEpoch > 0 {
+		opts = append(opts, core.WithMinEpoch(qr.MinEpoch))
 	}
 	switch strings.ToLower(qr.Sampler) {
 	case "", "semantic":
@@ -125,6 +151,7 @@ type queryResponse struct {
 	SampleSize  int                  `json:"sample_size"`
 	Distinct    int                  `json:"distinct"`
 	Candidates  int                  `json:"candidates"`
+	Epoch       uint64               `json:"epoch"`
 	Rounds      []roundJSON          `json:"rounds,omitempty"`
 	Groups      map[string]groupJSON `json:"groups,omitempty"`
 	ElapsedMS   float64              `json:"elapsed_ms"`
@@ -150,6 +177,7 @@ func toResponse(agg *query.Aggregate, res *core.Result, interrupted bool, elapse
 		SampleSize:  res.SampleSize,
 		Distinct:    res.Distinct,
 		Candidates:  res.Candidates,
+		Epoch:       res.Epoch,
 		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
 	}
 	for _, r := range res.Rounds {
@@ -171,7 +199,8 @@ func errorStatus(err error) int {
 	case errors.Is(err, core.ErrUnknownEntity),
 		errors.Is(err, core.ErrUnknownType),
 		errors.Is(err, core.ErrUnknownPredicate),
-		errors.Is(err, core.ErrUnknownAttribute):
+		errors.Is(err, core.ErrUnknownAttribute),
+		errors.Is(err, core.ErrEpochNotReached):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrNotConverged):
 		return http.StatusUnprocessableEntity
@@ -324,19 +353,93 @@ type healthResponse struct {
 	Edges      int       `json:"edges"`
 	Predicates int       `json:"predicates"`
 	Types      int       `json:"types"`
+	Epoch      uint64    `json:"epoch"`
+	Live       bool      `json:"live"`
+	DeltaNodes int       `json:"delta_nodes,omitempty"`
 	Cache      cacheJSON `json:"cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	g := s.eng.Graph()
-	writeJSON(w, http.StatusOK, healthResponse{
+	g, epoch := s.eng.Snapshot()
+	h := healthResponse{
 		Status:     "ok",
 		UptimeS:    time.Since(s.started).Seconds(),
 		Nodes:      g.NumNodes(),
 		Edges:      g.NumEdges(),
 		Predicates: g.NumPredicates(),
 		Types:      g.NumTypes(),
+		Epoch:      epoch,
+		Live:       s.store != nil,
 		Cache:      cacheSnapshot(s.eng),
+	}
+	if s.store != nil {
+		h.DeltaNodes = s.store.Snapshot().DeltaSize()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// mutateResponse is the body of a successful POST /v1/mutate.
+type mutateResponse struct {
+	// Epoch is the epoch the batch created; pass it back as min_epoch on
+	// /v1/query for read-your-writes.
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+}
+
+// handleMutate applies one atomic mutation batch, encoded as NDJSON: one
+// JSON mutation object per line (see live.Mutation), e.g.
+//
+//	{"op":"add_entity","entity":"Tesla_3","types":["Automobile"]}
+//	{"op":"add_edge","src":"Germany","pred":"product","dst":"Tesla_3"}
+//	{"op":"set_attr","entity":"Tesla_3","attr":"price","value":39000}
+//
+// The whole request is one batch: either every line lands and the response
+// carries the new epoch, or nothing does and the 400 body names the
+// offending line.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var batch live.Batch
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxMutateBody))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m live.Mutation
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			writeError(w, http.StatusBadRequest, "line %d: %v", lineNo, err)
+			return
+		}
+		batch = append(batch, m)
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty mutation batch")
+		return
+	}
+	snap, err := s.store.Apply(batch)
+	if err != nil {
+		// Every Apply failure is a malformed or unsatisfiable batch — the
+		// client's to fix; the store state is untouched.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Counts come from the snapshot this very batch created, so the
+	// response is self-consistent even while other clients keep writing.
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Epoch:   snap.Epoch(),
+		Applied: len(batch),
+		Nodes:   snap.NumNodes(),
+		Edges:   snap.NumEdges(),
 	})
 }
 

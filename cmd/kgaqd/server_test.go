@@ -14,6 +14,7 @@ import (
 	"kgaq/internal/core"
 	"kgaq/internal/embedding/embtest"
 	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/live"
 	"kgaq/internal/stats"
 )
 
@@ -263,5 +264,120 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// testLiveServer builds a read-write server over a live store wrapping the
+// Figure 1 graph.
+func testLiveServer(t *testing.T) (*httptest.Server, *live.Store) {
+	t.Helper()
+	g := kgtest.Figure1()
+	store := live.NewStore(g, 0)
+	eng, err := core.NewLiveEngine(store, embtest.Figure1Model(g), core.Options{ErrorBound: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewLiveServer(eng, store).Handler())
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+// TestMutateRoundTrip drives the live path end to end over HTTP: an NDJSON
+// batch lands atomically, healthz reports the new epoch, and a min_epoch
+// query reads its own write.
+func TestMutateRoundTrip(t *testing.T) {
+	ts, _ := testLiveServer(t)
+
+	batch := `{"op":"add_entity","entity":"Tesla_3","types":["Automobile"]}
+{"op":"add_edge","src":"Germany","pred":"product","dst":"Tesla_3"}
+{"op":"set_attr","entity":"Tesla_3","attr":"price","value":39000}`
+	resp, err := http.Post(ts.URL+"/v1/mutate", "application/x-ndjson", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status = %d", resp.StatusCode)
+	}
+	var mr mutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Epoch != 1 || mr.Applied != 3 {
+		t.Fatalf("mutate response = %+v", mr)
+	}
+
+	// healthz reports the epoch and live mode.
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Live || h.Epoch != mr.Epoch {
+		t.Fatalf("healthz = %+v, want live at epoch %d", h, mr.Epoch)
+	}
+
+	// Read-your-writes: the count at min_epoch includes the new automobile.
+	countText := "COUNT(*) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c"
+	_, body := postQuery(t, ts, fmt.Sprintf(`{"query": %q, "min_epoch": %d, "seed": 3}`, countText, mr.Epoch))
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if qr.Epoch < mr.Epoch {
+		t.Fatalf("query epoch %d below min_epoch %d", qr.Epoch, mr.Epoch)
+	}
+	if qr.Candidates != 7 {
+		t.Fatalf("candidates = %d after adding Tesla_3, want 7 (6 base automobiles + 1)", qr.Candidates)
+	}
+}
+
+// TestMutateErrors: malformed lines and unsatisfiable batches are 400s and
+// leave the store untouched.
+func TestMutateErrors(t *testing.T) {
+	ts, store := testLiveServer(t)
+	cases := []string{
+		"",              // empty batch
+		"{not json",     // malformed line
+		`{"op":"nope"}`, // unknown op
+		`{"op":"add_edge","src":"Germany","pred":"made-up","dst":"BMW_320"}`,   // frozen vocab
+		`{"op":"remove_edge","src":"Berlin","pred":"product","dst":"Germany"}`, // missing edge
+	}
+	for i, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/mutate", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if store.Epoch() != 0 {
+		t.Fatalf("failed batches advanced the store to epoch %d", store.Epoch())
+	}
+
+	// A read-only server has no mutate route at all.
+	ro := testServer(t)
+	resp, err := http.Post(ro.URL+"/v1/mutate", "application/x-ndjson", strings.NewReader(`{"op":"set_attr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("read-only server accepted a mutation")
+	}
+}
+
+// TestMinEpochUnreachable: a static server rejects positive min_epoch.
+func TestMinEpochUnreachable(t *testing.T) {
+	ts := testServer(t)
+	resp, body := postQuery(t, ts, fmt.Sprintf(`{"query": %q, "min_epoch": 5}`, avgPriceText))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d (%s), want 400", resp.StatusCode, body)
 	}
 }

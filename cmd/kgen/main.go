@@ -11,8 +11,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -21,39 +23,54 @@ import (
 )
 
 func main() {
-	profile := flag.String("profile", "dbpedia-sim", "dataset profile to generate")
-	out := flag.String("out", ".", "output directory")
-	list := flag.Bool("list", false, "list available profiles and exit")
-	tsv := flag.Bool("tsv", false, "also write nodes.tsv / edges.tsv")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help printed usage; that is a success
+		}
+		fmt.Fprintf(os.Stderr, "kgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole generator behind a testable seam: flags in, files and
+// summary out.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kgen", flag.ContinueOnError)
+	profile := fs.String("profile", "dbpedia-sim", "dataset profile to generate")
+	out := fs.String("out", ".", "output directory")
+	list := fs.Bool("list", false, "list available profiles and exit")
+	tsv := fs.Bool("tsv", false, "also write nodes.tsv / edges.tsv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, p := range append(datagen.Profiles(), datagen.TinyProfile()) {
-			fmt.Printf("%-14s countries=%d scale=%d optimal-τ=%.2f\n",
+			fmt.Fprintf(stdout, "%-14s countries=%d scale=%d optimal-τ=%.2f\n",
 				p.Name, p.Countries, p.Scale, p.OptimalTau)
 		}
-		return
+		return nil
 	}
 
 	p, ok := datagen.ProfileByName(*profile)
 	if !ok {
-		fail("unknown profile %q (try -list)", *profile)
+		return fmt.Errorf("unknown profile %q (try -list)", *profile)
 	}
 	ds, err := datagen.Generate(p)
 	if err != nil {
-		fail("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail("mkdir: %v", err)
+		return fmt.Errorf("mkdir: %w", err)
 	}
 
 	graphPath := filepath.Join(*out, p.Name+".graph")
 	if err := ds.Graph.SaveFile(graphPath); err != nil {
-		fail("save graph: %v", err)
+		return fmt.Errorf("save graph: %w", err)
 	}
 	embPath := filepath.Join(*out, p.Name+".emb")
 	if err := embedding.SaveFile(embPath, ds.Model); err != nil {
-		fail("save embedding: %v", err)
+		return fmt.Errorf("save embedding: %w", err)
 	}
 
 	// Workload with ground truth as JSON for external tooling.
@@ -79,40 +96,40 @@ func main() {
 	wlPath := filepath.Join(*out, p.Name+".workload.json")
 	wf, err := os.Create(wlPath)
 	if err != nil {
-		fail("create workload: %v", err)
+		return fmt.Errorf("create workload: %w", err)
 	}
 	enc := json.NewEncoder(wf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(queries); err != nil {
-		fail("write workload: %v", err)
+		wf.Close()
+		return fmt.Errorf("write workload: %w", err)
 	}
 	if err := wf.Close(); err != nil {
-		fail("close workload: %v", err)
+		return fmt.Errorf("close workload: %w", err)
 	}
 
 	if *tsv {
 		nf, err := os.Create(filepath.Join(*out, p.Name+".nodes.tsv"))
 		if err != nil {
-			fail("create nodes.tsv: %v", err)
+			return fmt.Errorf("create nodes.tsv: %w", err)
 		}
 		ef, err := os.Create(filepath.Join(*out, p.Name+".edges.tsv"))
 		if err != nil {
-			fail("create edges.tsv: %v", err)
+			nf.Close()
+			return fmt.Errorf("create edges.tsv: %w", err)
 		}
 		if err := ds.Graph.WriteTSV(nf, ef); err != nil {
-			fail("write tsv: %v", err)
+			nf.Close()
+			ef.Close()
+			return fmt.Errorf("write tsv: %w", err)
 		}
 		nf.Close()
 		ef.Close()
 	}
 
-	fmt.Printf("%s: %s\n", p.Name, ds.Graph)
-	fmt.Printf("  graph:    %s\n", graphPath)
-	fmt.Printf("  emb:      %s\n", embPath)
-	fmt.Printf("  workload: %s (%d queries)\n", wlPath, len(queries))
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "kgen: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "%s: %s\n", p.Name, ds.Graph)
+	fmt.Fprintf(stdout, "  graph:    %s\n", graphPath)
+	fmt.Fprintf(stdout, "  emb:      %s\n", embPath)
+	fmt.Fprintf(stdout, "  workload: %s (%d queries)\n", wlPath, len(queries))
+	return nil
 }

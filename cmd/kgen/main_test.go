@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kgaq/internal/cmdutil"
+	"kgaq/internal/datagen"
+	"kgaq/internal/kg"
+)
+
+// Generation is deterministic per profile seed, so the summary output is a
+// golden string up to the temp directory prefix.
+func TestKgenGoldenOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "tiny", "-out", dir, "-tsv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := datagen.Generate(datagen.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := 0
+	for _, q := range ds.Queries {
+		if _, err := ds.HAValue(q); err == nil {
+			workload++
+		}
+	}
+	golden := fmt.Sprintf("tiny: %s\n  graph:    %s\n  emb:      %s\n  workload: %s (%d queries)\n",
+		ds.Graph,
+		filepath.Join(dir, "tiny.graph"),
+		filepath.Join(dir, "tiny.emb"),
+		filepath.Join(dir, "tiny.workload.json"),
+		workload)
+	if out.String() != golden {
+		t.Fatalf("output:\n%s\nwant:\n%s", out.String(), golden)
+	}
+
+	for _, name := range []string{"tiny.graph", "tiny.emb", "tiny.workload.json", "tiny.nodes.tsv", "tiny.edges.tsv"} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s missing or empty (%v)", name, err)
+		}
+	}
+
+	// The workload JSON parses and is non-trivial.
+	data, err := os.ReadFile(filepath.Join(dir, "tiny.workload.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []map[string]any
+	if err := json.Unmarshal(data, &queries); err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != workload {
+		t.Fatalf("workload has %d queries, want %d", len(queries), workload)
+	}
+}
+
+// The generated artefacts must round-trip through the shared CLI loader —
+// both the binary snapshot pair and the TSV dump.
+func TestKgenLoaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "tiny", "-out", dir, "-tsv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := datagen.Generate(datagen.TinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tau := 0.0
+	g, m, epoch, err := cmdutil.LoadGraphModel(
+		filepath.Join(dir, "tiny.graph"), filepath.Join(dir, "tiny.emb"), "", &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 0 {
+		t.Fatalf("fresh snapshot at epoch %d, want 0", epoch)
+	}
+	if g.NumNodes() != ds.Graph.NumNodes() || g.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatalf("snapshot round trip: %v, generated %v", g, ds.Graph)
+	}
+	if m.Dim() != ds.Model.Dim() {
+		t.Fatalf("embedding dim %d, want %d", m.Dim(), ds.Model.Dim())
+	}
+
+	// TSV pair loads through the same auto-detecting loader, from either
+	// member's path.
+	for _, entry := range []string{"tiny.nodes.tsv", "tiny.edges.tsv"} {
+		gt, _, err := cmdutil.LoadGraph(filepath.Join(dir, entry))
+		if err != nil {
+			t.Fatalf("%s: %v", entry, err)
+		}
+		if gt.NumNodes() != ds.Graph.NumNodes() || gt.NumEdges() != ds.Graph.NumEdges() {
+			t.Fatalf("tsv round trip via %s: %v, generated %v", entry, gt, ds.Graph)
+		}
+		// Predicate ids must survive the textual round trip — the saved
+		// embedding indexes its vectors by PredID, so a reordering would
+		// silently misalign semantics.
+		if gt.NumPredicates() != ds.Graph.NumPredicates() {
+			t.Fatalf("tsv round trip changed predicate count")
+		}
+		for p := 0; p < gt.NumPredicates(); p++ {
+			if gt.PredName(kg.PredID(p)) != ds.Graph.PredName(kg.PredID(p)) {
+				t.Fatalf("tsv round trip moved predicate %d: %q vs %q",
+					p, gt.PredName(kg.PredID(p)), ds.Graph.PredName(kg.PredID(p)))
+			}
+		}
+	}
+}
+
+func TestKgenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "no-such-profile"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown profile") {
+		t.Fatalf("err = %v, want unknown profile", err)
+	}
+	out.Reset()
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tiny") || !strings.Contains(out.String(), "dbpedia-sim") {
+		t.Fatalf("-list output missing profiles:\n%s", out.String())
+	}
+}

@@ -50,7 +50,7 @@ type hopExpander func(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.
 // policy: each path expands stage-wise from its root; the final sets of all
 // paths are intersected (decomposition–assembly, the same frame the engine
 // uses, so baselines and engine answer the same question).
-func answersByPolicy(g *kg.Graph, a *query.Aggregate, expand hopExpander) ([]kg.NodeID, error) {
+func answersByPolicy(g kg.ReadGraph, a *query.Aggregate, expand hopExpander) ([]kg.NodeID, error) {
 	paths, err := a.Q.Decompose()
 	if err != nil {
 		return nil, err
@@ -104,7 +104,7 @@ func answersByPolicy(g *kg.Graph, a *query.Aggregate, expand hopExpander) ([]kg.
 // answer set, skipping answers missing the aggregated attribute (consistent
 // with the engine and with SPARQL unbound semantics). It is exported for the
 // bench layer, which uses it to compute per-group ground truths.
-func AggregateOver(g *kg.Graph, a *query.Aggregate, answers []kg.NodeID) (*Answer, error) {
+func AggregateOver(g kg.ReadGraph, a *query.Aggregate, answers []kg.NodeID) (*Answer, error) {
 	var filtered []kg.NodeID
 	for _, u := range answers {
 		ok := true
@@ -152,7 +152,7 @@ func AggregateOver(g *kg.Graph, a *query.Aggregate, answers []kg.NodeID) (*Answe
 	return res, nil
 }
 
-func scalarAggregate(g *kg.Graph, a *query.Aggregate, answers []kg.NodeID) (float64, error) {
+func scalarAggregate(g kg.ReadGraph, a *query.Aggregate, answers []kg.NodeID) (float64, error) {
 	if a.Func == query.Count {
 		return float64(len(answers)), nil
 	}
@@ -223,7 +223,7 @@ func (s *SSB) Name() string { return "SSB" }
 func (s *SSB) CorrectAnswers(a *query.Aggregate) ([]kg.NodeID, error) {
 	g := s.calc.Graph()
 	return answersByPolicy(g, a, func(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.NodeID]bool {
-		best := semsim.Exhaustive(s.calc, root, pred, s.n)
+		best := semsim.Exhaustive(g, s.calc, root, pred, s.n)
 		out := map[kg.NodeID]bool{}
 		for u, sim := range best {
 			if sim >= s.tau && g.SharesType(u, types) {

@@ -171,7 +171,7 @@ func (s *SGQ) Execute(a *query.Aggregate) (*Answer, error) {
 	}
 	g := s.calc.Graph()
 	answers, err := answersByPolicy(g, a, func(root kg.NodeID, pred kg.PredID, types []kg.TypeID) map[kg.NodeID]bool {
-		best := semsim.Exhaustive(s.calc, root, pred, s.n)
+		best := semsim.Exhaustive(g, s.calc, root, pred, s.n)
 		type scored struct {
 			u   kg.NodeID
 			sim float64

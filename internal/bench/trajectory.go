@@ -22,8 +22,9 @@ import (
 )
 
 // TrajectorySchema versions the BENCH_*.json layout so future PRs can
-// extend it without breaking readers of earlier baselines.
-const TrajectorySchema = "kgaq-bench-trajectory/v1"
+// extend it without breaking readers of earlier baselines. v2 adds the
+// churn (mixed read/write) section.
+const TrajectorySchema = "kgaq-bench-trajectory/v2"
 
 // Trajectory is one tracked performance baseline: the serving hot path
 // measured end to end (latency distribution, sampling throughput, cache
@@ -50,6 +51,11 @@ type Trajectory struct {
 	DrawsPerSec  float64 `json:"draws_per_sec"`
 
 	Cache TrajectoryCache `json:"cache"`
+
+	// Churn is the mixed read/write measurement: the same workload under a
+	// sustained ~20% mutation mix on a live engine (nil in configurations
+	// that skip it).
+	Churn *ChurnResult `json:"churn,omitempty"`
 
 	Micro []MicroResult `json:"micro"`
 }
@@ -156,6 +162,11 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 		},
 		Micro: microBenchmarks(),
 	}
+	churn, err := RunChurn(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: churn scenario: %w", err)
+	}
+	tr.Churn = churn
 	return tr, nil
 }
 
@@ -175,7 +186,7 @@ func microBenchmarks() []MicroResult {
 	out = append(out, microResult("walker_build_converge", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			w, err := walk.New(calc, us, pred, walk.Config{N: 3})
+			w, err := walk.New(g, calc, us, pred, walk.Config{N: 3})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -183,7 +194,7 @@ func microBenchmarks() []MicroResult {
 		}
 	}))
 
-	w, err := walk.New(calc, us, pred, walk.Config{N: 3})
+	w, err := walk.New(g, calc, us, pred, walk.Config{N: 3})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
@@ -195,7 +206,7 @@ func microBenchmarks() []MicroResult {
 		b.ReportAllocs()
 		vcfg := semsim.ValidatorConfig{Repeat: 3, MaxLen: 3, Tau: 0.85}
 		for i := 0; i < b.N; i++ {
-			semsim.Validate(calc, us, pred, pi, cands, vcfg)
+			semsim.Validate(g, calc, us, pred, pi, cands, vcfg)
 		}
 	}))
 
@@ -248,6 +259,10 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 	}
 	fmt.Fprintf(w, "trajectory %s: %d queries, p50 %.2fms, p95 %.2fms, %.0f draws/s, cache hit rate %.2f → %s\n",
 		label, tr.Queries, tr.LatencyP50MS, tr.LatencyP95MS, tr.DrawsPerSec, tr.Cache.HitRate, path)
+	if c := tr.Churn; c != nil {
+		fmt.Fprintf(w, "  churn: %d reads / %d batches (%.0f%% writes), read p50 %.2fms, p95 %.2fms, hit rate %.2f, %d invalidated, epoch %d\n",
+			c.Queries, c.Batches, 100*c.WriteMix, c.ReadP50MS, c.ReadP95MS, c.CacheHitRate, c.Invalidated, c.FinalEpoch)
+	}
 	for _, m := range tr.Micro {
 		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
 	}

@@ -59,3 +59,31 @@ func TestTrajectorySchemaRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost fields: %+v", back)
 	}
 }
+
+// The churn scenario must deliver a sustained write mix without starving
+// reads, keep the realised write fraction at or above the 10% bar, and show
+// the selective invalidation working (hits survive the churn).
+func TestRunChurnQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn measurement is seconds-long")
+	}
+	res, err := RunChurn(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.Batches == 0 || res.Mutations == 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.WriteMix < 0.10 {
+		t.Fatalf("write mix %.2f below the 10%% floor", res.WriteMix)
+	}
+	if res.FinalEpoch == 0 {
+		t.Fatal("no epochs advanced under churn")
+	}
+	if res.ReadP95MS <= 0 {
+		t.Fatalf("no read latencies: %+v", res)
+	}
+	if res.CacheHitRate <= 0 {
+		t.Fatal("cache never hit under churn: selective invalidation is not selective")
+	}
+}

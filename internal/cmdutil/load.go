@@ -1,44 +1,115 @@
 // Package cmdutil shares the data-loading plumbing of the command-line
 // tools: every CLI accepts either a generated profile or a graph +
-// embedding snapshot pair from kgen.
+// embedding snapshot pair from kgen, with the graph format auto-detected.
 package cmdutil
 
 import (
 	"fmt"
+	"strings"
 
 	"kgaq/internal/datagen"
 	"kgaq/internal/embedding"
 	"kgaq/internal/kg"
 )
 
+// maxLoadErrors caps how many textual-loader diagnostics are surfaced.
+const maxLoadErrors = 5
+
+// LoadGraph loads a knowledge graph from path, auto-detecting the format:
+//
+//   - binary snapshots (kgen's .graph / .kg files, any header version) are
+//     recognised by content, not extension, and return their recorded epoch;
+//   - *.nt / *.ntriples load through the N-Triples reader;
+//   - *.tsv load the nodes/edges pair: pass either X.nodes.tsv or
+//     X.edges.tsv and the sibling is derived.
+//
+// Textual formats report epoch 0 (they predate live graphs).
+func LoadGraph(path string) (*kg.Graph, uint64, error) {
+	switch {
+	case strings.HasSuffix(path, ".nt"), strings.HasSuffix(path, ".ntriples"):
+		g, errs := kg.LoadNTriplesFile(path, kg.NTOptions{})
+		if err := firstErr(errs); err != nil {
+			return nil, 0, fmt.Errorf("load %s: %w", path, err)
+		}
+		return g, 0, nil
+	case strings.HasSuffix(path, ".tsv"):
+		nodes, edges, err := tsvPair(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, errs := kg.LoadTSVFiles(nodes, edges)
+		if err := firstErr(errs); err != nil {
+			return nil, 0, fmt.Errorf("load %s: %w", path, err)
+		}
+		return g, 0, nil
+	default:
+		g, epoch, err := kg.LoadFileEpoch(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("load graph: %w", err)
+		}
+		return g, epoch, nil
+	}
+}
+
+// tsvPair derives the nodes/edges file pair from either member's path.
+func tsvPair(path string) (nodes, edges string, err error) {
+	switch {
+	case strings.HasSuffix(path, ".nodes.tsv"):
+		stem := strings.TrimSuffix(path, ".nodes.tsv")
+		return path, stem + ".edges.tsv", nil
+	case strings.HasSuffix(path, ".edges.tsv"):
+		stem := strings.TrimSuffix(path, ".edges.tsv")
+		return stem + ".nodes.tsv", path, nil
+	default:
+		return "", "", fmt.Errorf("tsv graphs come as a pair: pass X.nodes.tsv or X.edges.tsv, got %q", path)
+	}
+}
+
+// firstErr condenses a textual loader's error list into one error (nil when
+// clean), quoting up to maxLoadErrors diagnostics.
+func firstErr(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	shown := errs
+	if len(shown) > maxLoadErrors {
+		shown = shown[:maxLoadErrors]
+	}
+	msgs := make([]string, len(shown))
+	for i, e := range shown {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%d malformed lines (%s)", len(errs), strings.Join(msgs, "; "))
+}
+
 // LoadGraphModel resolves the -profile / -graph / -emb flag triple into a
-// graph and embedding. When a profile is generated and *tau is zero, it is
-// set to the profile's optimal τ.
-func LoadGraphModel(graphPath, embPath, profile string, tau *float64) (*kg.Graph, embedding.Model, error) {
+// graph, an embedding and the graph's recorded live epoch. When a profile
+// is generated and *tau is zero, it is set to the profile's optimal τ.
+func LoadGraphModel(graphPath, embPath, profile string, tau *float64) (*kg.Graph, embedding.Model, uint64, error) {
 	if profile != "" {
 		p, ok := datagen.ProfileByName(profile)
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown profile %q", profile)
+			return nil, nil, 0, fmt.Errorf("unknown profile %q", profile)
 		}
 		ds, err := datagen.Generate(p)
 		if err != nil {
-			return nil, nil, fmt.Errorf("generate: %w", err)
+			return nil, nil, 0, fmt.Errorf("generate: %w", err)
 		}
 		if *tau == 0 {
 			*tau = p.OptimalTau
 		}
-		return ds.Graph, ds.Model, nil
+		return ds.Graph, ds.Model, 0, nil
 	}
 	if graphPath == "" || embPath == "" {
-		return nil, nil, fmt.Errorf("need either -profile or both -graph and -emb")
+		return nil, nil, 0, fmt.Errorf("need either -profile or both -graph and -emb")
 	}
-	g, err := kg.LoadFile(graphPath)
+	g, epoch, err := LoadGraph(graphPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("load graph: %w", err)
+		return nil, nil, 0, err
 	}
 	m, err := embedding.LoadFile(embPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("load embedding: %w", err)
+		return nil, nil, 0, fmt.Errorf("load embedding: %w", err)
 	}
-	return g, m, nil
+	return g, m, epoch, nil
 }

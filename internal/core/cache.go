@@ -19,6 +19,8 @@ const DefaultCacheBytes int64 = 64 << 20
 // deliberately NOT part of the key — they only affect verdicts, which live
 // in a per-(τ, repeat) sub-map on the entry — so a per-query WithTau
 // override still hits the cached convergence and merely re-validates.
+// The epoch is not part of the key either: entries stay valid across
+// epochs until a mutation touches their scope (see invalidate).
 type stageKey struct {
 	root     kg.NodeID
 	pred     kg.PredID
@@ -47,11 +49,22 @@ func typesKeyOf(types []kg.TypeID) string {
 // answers/probs/piMap are immutable after construction and read lock-free;
 // verdicts is guarded by mu and grows as queries validate answers, so
 // repeated queries skip both convergence and re-validation.
+//
+// For live graphs the entry additionally records the epoch it was built at
+// and its scope — the sorted node set of the walk's n-bound. A mutation
+// invalidates the entry iff it touches a scope node: everything the stage
+// caches (transition rows, π, verdict paths of length ≤ n) is a function of
+// the scope's topology and types alone, so snapshots whose mutations all
+// land outside the scope share the entry soundly.
 type stageEntry struct {
 	answers []kg.NodeID
 	probs   []float64
 	piMap   map[kg.NodeID]float64
 	cost    int64
+
+	epoch uint64
+	scope []kg.NodeID // sorted; the walk's n-bounded node set
+	types []kg.TypeID // decoded target types, for compaction rewarm
 
 	mu       sync.Mutex
 	verdicts map[verdictKey]map[kg.NodeID]bool
@@ -83,32 +96,38 @@ func (st *stageEntry) verdictsFor(k verdictKey) map[kg.NodeID]bool {
 	return m
 }
 
-func newStageEntry(answers []kg.NodeID, probs []float64, piMap map[kg.NodeID]float64) *stageEntry {
+func newStageEntry(answers []kg.NodeID, probs []float64, piMap map[kg.NodeID]float64,
+	epoch uint64, scope []kg.NodeID, types []kg.TypeID) *stageEntry {
 	st := &stageEntry{
 		answers:  answers,
 		probs:    probs,
 		piMap:    piMap,
+		epoch:    epoch,
+		scope:    scope,
+		types:    append([]kg.TypeID(nil), types...),
 		verdicts: make(map[verdictKey]map[kg.NodeID]bool),
 	}
-	// Approximate resident bytes: the distribution slices, the π map and
-	// headroom for the verdict maps to fill in (one bool per candidate
-	// answer per possible validator configuration, map overhead included) —
-	// the worst case the maxVerdictConfigs cap allows, so the LRU budget
-	// stays honest as verdicts accumulate.
+	// Approximate resident bytes: the distribution slices, the π map, the
+	// scope list, and headroom for the verdict maps to fill in (one bool per
+	// candidate answer per possible validator configuration, map overhead
+	// included) — the worst case the maxVerdictConfigs cap allows, so the
+	// LRU budget stays honest as verdicts accumulate.
 	st.cost = 256 +
 		int64(len(answers))*(4+8) +
 		int64(len(piMap))*48 +
+		int64(len(scope))*4 +
 		int64(maxVerdictConfigs)*int64(len(answers))*16
 	return st
 }
 
 // CacheStats is a point-in-time snapshot of the answer-space cache.
 type CacheStats struct {
-	Hits     uint64
-	Misses   uint64
-	Entries  int
-	Bytes    int64
-	MaxBytes int64
+	Hits        uint64
+	Misses      uint64
+	Invalidated uint64 // entries evicted by mutation-scope intersection
+	Entries     int
+	Bytes       int64
+	MaxBytes    int64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -120,20 +139,43 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// invalEvent is one applied mutation batch as the cache saw it, kept in a
+// short ring so insertions racing an invalidation can be checked against
+// the mutations that landed while they were being built.
+type invalEvent struct {
+	epoch uint64
+	nodes []kg.NodeID // sorted touched set
+}
+
+// maxInvalEvents bounds the ring; a build that outlives this many batches
+// simply is not cached (recomputable, and a sign the workload is write-bound
+// anyway).
+const maxInvalEvents = 256
+
 // spaceCache is a concurrency-safe, memory-bounded LRU of converged stages.
 // Lookups and insertions take one short critical section; the heavy work
 // (convergence, validation) always happens outside the lock, so concurrent
 // misses on the same key may build the stage twice — the first insert wins
 // and both callers end up sharing it.
+//
+// Under a live graph the cache is kept coherent by invalidate(), called
+// synchronously for every applied batch: entries whose scope intersects the
+// batch's touched nodes are evicted — and only those, so roots disjoint
+// from the mutated region keep their hits.
 type spaceCache struct {
-	maxBytes int64
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	maxBytes    int64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	invalidated atomic.Uint64
 
-	mu    sync.Mutex
-	bytes int64
-	ll    *list.List // front = most recently used
-	items map[stageKey]*list.Element
+	mu     sync.Mutex
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[stageKey]*list.Element
+	events []invalEvent // recent invalidations, oldest first
+	// evicted remembers recently invalidated keys (bounded) so the
+	// compaction rewarm can rebuild them off the query path.
+	evicted map[stageKey]*stageEntry
 }
 
 type cacheItem struct {
@@ -141,46 +183,81 @@ type cacheItem struct {
 	entry *stageEntry
 }
 
+// maxEvictedKeys bounds the rewarm memory between compactions.
+const maxEvictedKeys = 64
+
 func newSpaceCache(maxBytes int64) *spaceCache {
 	return &spaceCache{
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[stageKey]*list.Element),
+		evicted:  make(map[stageKey]*stageEntry),
 	}
 }
 
 // get returns the cached stage for key, promoting it to most recently used.
-func (c *spaceCache) get(key stageKey) *stageEntry {
+// A stage built at an epoch later than the querying snapshot's is not
+// served (the query must not observe writes newer than its snapshot); the
+// entry stays cached for queries at or above its build epoch.
+func (c *spaceCache) get(key stageKey, epoch uint64) *stageEntry {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	el, ok := c.items[key]
+	var st *stageEntry
 	if ok {
-		c.ll.MoveToFront(el)
+		st = el.Value.(*cacheItem).entry
+		if st.epoch > epoch {
+			st = nil
+		} else {
+			c.ll.MoveToFront(el)
+		}
 	}
 	c.mu.Unlock()
-	if !ok {
+	if st == nil {
 		c.misses.Add(1)
 		return nil
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheItem).entry
+	return st
 }
 
 // put inserts a freshly built stage and returns the canonical entry for the
 // key: when a concurrent builder inserted first, its entry is kept (and
 // returned) so every caller shares one verdict cache. Entries larger than
-// the whole budget are returned uncached.
+// the whole budget are returned uncached, as are entries whose scope was
+// touched by a mutation applied after their build snapshot (the racing
+// counterpart of invalidate).
 func (c *spaceCache) put(key stageKey, st *stageEntry) *stageEntry {
 	if c == nil || st.cost > c.maxBytes {
 		return st
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, ev := range c.events {
+		if ev.epoch <= st.epoch {
+			continue
+		}
+		if scopeIntersects(st.scope, ev.nodes) {
+			return st // stale before it was ever cached
+		}
+	}
+	if len(c.events) == maxInvalEvents && c.events[0].epoch > st.epoch {
+		// The ring no longer covers the build window; be conservative.
+		return st
+	}
 	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		return el.Value.(*cacheItem).entry
+		prev := el.Value.(*cacheItem).entry
+		if prev.epoch >= st.epoch {
+			c.ll.MoveToFront(el)
+			return prev
+		}
+		// The resident entry predates ours (e.g. rewarmed from an older
+		// snapshot losing a race); replace it.
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.bytes -= prev.cost
 	}
 	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: st})
 	c.bytes += st.cost
@@ -197,6 +274,77 @@ func (c *spaceCache) put(key stageKey, st *stageEntry) *stageEntry {
 	return st
 }
 
+// scopeIntersects reports whether two sorted node lists share an element.
+func scopeIntersects(a, b []kg.NodeID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// invalidate evicts every entry whose scope intersects the touched set of a
+// mutation batch applied at epoch — selective by construction: an entry
+// rooted in an untouched region survives and keeps serving hits. The event
+// is recorded so concurrently building stages cannot re-insert stale state,
+// and evicted keys are remembered for the compaction rewarm.
+func (c *spaceCache) invalidate(touched []kg.NodeID, epoch uint64) {
+	if c == nil || len(touched) == 0 {
+		return
+	}
+	nodes := append([]kg.NodeID(nil), touched...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	lo, hi := nodes[0], nodes[len(nodes)-1]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*cacheItem)
+		// Range prefilter: scopes are sorted, so a batch entirely outside
+		// [scope[0], scope[last]] cannot intersect — the common case under
+		// regional churn, and it keeps the full merge off most entries.
+		sc := it.entry.scope
+		if len(sc) == 0 || hi < sc[0] || sc[len(sc)-1] < lo {
+			el = next
+			continue
+		}
+		if scopeIntersects(sc, nodes) {
+			c.ll.Remove(el)
+			delete(c.items, it.key)
+			c.bytes -= it.entry.cost
+			c.invalidated.Add(1)
+			if len(c.evicted) < maxEvictedKeys {
+				c.evicted[it.key] = it.entry
+			}
+		}
+		el = next
+	}
+	c.events = append(c.events, invalEvent{epoch: epoch, nodes: nodes})
+	if len(c.events) > maxInvalEvents {
+		c.events = c.events[len(c.events)-maxInvalEvents:]
+	}
+}
+
+// takeEvicted drains the remembered invalidated entries — the compaction
+// rewarm's work list.
+func (c *spaceCache) takeEvicted() map[stageKey]*stageEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.evicted
+	c.evicted = make(map[stageKey]*stageEntry)
+	return out
+}
+
 func (c *spaceCache) stats() CacheStats {
 	if c == nil {
 		return CacheStats{MaxBytes: -1}
@@ -205,10 +353,11 @@ func (c *spaceCache) stats() CacheStats {
 	entries, bytes := c.ll.Len(), c.bytes
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Entries:  entries,
-		Bytes:    bytes,
-		MaxBytes: c.maxBytes,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Invalidated: c.invalidated.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+		MaxBytes:    c.maxBytes,
 	}
 }

@@ -124,7 +124,7 @@ func TestCacheLRUEviction(t *testing.T) {
 			answers[i] = kg.NodeID(i)
 			pi[kg.NodeID(i)] = 1.0 / 32
 		}
-		return newStageEntry(answers, probs, pi)
+		return newStageEntry(answers, probs, pi, 0, nil, nil)
 	}
 	keyOf := func(i int) stageKey { return stageKey{root: kg.NodeID(i), types: "[]"} }
 
@@ -143,22 +143,22 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Fatal("eviction removed everything")
 	}
 	// The oldest keys are gone, the newest still resident.
-	if c.get(keyOf(0)) != nil {
+	if c.get(keyOf(0), 0) != nil {
 		t.Fatal("least-recently-used entry survived eviction")
 	}
-	if c.get(keyOf(total-1)) == nil {
+	if c.get(keyOf(total-1), 0) == nil {
 		t.Fatal("most-recently-used entry was evicted")
 	}
 	// Touching an old-but-resident key must protect it from the next round
 	// of evictions.
 	var protected stageKey
 	for i := 0; i < total; i++ {
-		if c.get(keyOf(i)) != nil {
+		if c.get(keyOf(i), 0) != nil {
 			protected = keyOf(i)
 			break
 		}
 	}
-	if c.get(protected) == nil {
+	if c.get(protected, 0) == nil {
 		t.Fatal("no resident entry found to protect")
 	}
 	// Inserting one fewer than the resident count must evict only the
@@ -166,7 +166,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	for i := 0; i < st.Entries-1; i++ {
 		c.put(keyOf(total+i), mkEntry())
 	}
-	if c.get(protected) == nil {
+	if c.get(protected, 0) == nil {
 		t.Fatal("recently-touched entry was evicted before older ones")
 	}
 }
@@ -175,7 +175,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // configurations than maxVerdictConfigs resets the maps instead of growing
 // past the memory the LRU budget charged for them.
 func TestVerdictConfigsBounded(t *testing.T) {
-	st := newStageEntry([]kg.NodeID{1, 2}, []float64{0.5, 0.5}, map[kg.NodeID]float64{1: 0.5, 2: 0.5})
+	st := newStageEntry([]kg.NodeID{1, 2}, []float64{0.5, 0.5}, map[kg.NodeID]float64{1: 0.5, 2: 0.5}, 0, nil, nil)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for i := 0; i < 5*maxVerdictConfigs; i++ {
@@ -198,8 +198,8 @@ func TestVerdictConfigsBounded(t *testing.T) {
 func TestCachePutReturnsCanonicalEntry(t *testing.T) {
 	c := newSpaceCache(1 << 20)
 	key := stageKey{root: 1, types: "[]"}
-	a := newStageEntry([]kg.NodeID{1}, []float64{1}, map[kg.NodeID]float64{1: 1})
-	b := newStageEntry([]kg.NodeID{1}, []float64{1}, map[kg.NodeID]float64{1: 1})
+	a := newStageEntry([]kg.NodeID{1}, []float64{1}, map[kg.NodeID]float64{1: 1}, 0, nil, nil)
+	b := newStageEntry([]kg.NodeID{1}, []float64{1}, map[kg.NodeID]float64{1: 1}, 0, nil, nil)
 	if got := c.put(key, a); got != a {
 		t.Fatal("first put did not return its own entry")
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"kgaq/internal/embedding"
 	"kgaq/internal/estimate"
 	"kgaq/internal/kg"
+	"kgaq/internal/live"
 	"kgaq/internal/query"
 	"kgaq/internal/semsim"
 )
@@ -204,10 +206,11 @@ type Result struct {
 	Confidence float64
 	Converged  bool // Theorem 2 termination condition met
 	Rounds     []Round
-	SampleSize int // total draws |S|
-	Distinct   int // distinct answers in the sample
-	Correct    int // draws that validated as correct
-	Candidates int // |A|: candidate answers with positive π′
+	SampleSize int    // total draws |S|
+	Distinct   int    // distinct answers in the sample
+	Correct    int    // draws that validated as correct
+	Candidates int    // |A|: candidate answers with positive π′
+	Epoch      uint64 // graph epoch the whole query observed (0 on static engines)
 	Times      StepTimes
 	Groups     map[string]GroupResult // non-nil only for GROUP-BY queries
 }
@@ -217,10 +220,56 @@ func (r *Result) Interval() estimate.Interval {
 	return estimate.Interval{Estimate: r.Estimate, MoE: r.MoE, Confidence: r.Confidence}
 }
 
+// view is the graph state one query executes against: an epoch-consistent
+// read view. For static engines the view is the graph itself at epoch 0;
+// for live engines it is one immutable live.Snapshot.
+type view struct {
+	g     kg.ReadGraph
+	epoch uint64
+}
+
+// graphSource yields consistent views. Implementations must be safe for
+// concurrent use.
+type graphSource interface {
+	// snapshot returns the current view, never blocking.
+	snapshot() view
+	// waitEpoch blocks until a view at or above epoch exists, honouring ctx.
+	waitEpoch(ctx context.Context, epoch uint64) (view, error)
+}
+
+// staticSource serves one immutable graph forever, at epoch 0.
+type staticSource struct{ g *kg.Graph }
+
+func (s staticSource) snapshot() view { return view{g: s.g, epoch: 0} }
+
+func (s staticSource) waitEpoch(_ context.Context, epoch uint64) (view, error) {
+	if epoch > 0 {
+		return view{}, fmt.Errorf("core: %w: static graph is pinned at epoch 0, %d requested",
+			ErrEpochNotReached, epoch)
+	}
+	return s.snapshot(), nil
+}
+
+// liveSource serves epoch-consistent snapshots of a mutation store.
+type liveSource struct{ st *live.Store }
+
+func (s liveSource) snapshot() view {
+	snap := s.st.Snapshot()
+	return view{g: snap, epoch: snap.Epoch()}
+}
+
+func (s liveSource) waitEpoch(ctx context.Context, epoch uint64) (view, error) {
+	snap, err := s.st.WaitEpoch(ctx, epoch)
+	if err != nil {
+		return view{}, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, err)
+	}
+	return view{g: snap, epoch: snap.Epoch()}, nil
+}
+
 // Engine executes aggregate queries over one graph + embedding pair.
 //
-// An Engine is safe for concurrent use by multiple goroutines: the graph,
-// the embedding model, the defaulted Options and the precomputed
+// An Engine is safe for concurrent use by multiple goroutines: the graph
+// source, the embedding model, the defaulted Options and the precomputed
 // predicate-similarity matrix are immutable after NewEngine, the shared
 // answer-space cache is internally synchronised, and every Query/Start
 // call builds its own Execution with a private RNG and draw list.
@@ -228,8 +277,15 @@ func (r *Result) Interval() estimate.Interval {
 // verdicts may be served from the shared cache, where they were settled by
 // whichever query batch-validated them first (always a legitimate §IV-B2
 // outcome — see DESIGN.md "Performance architecture").
+//
+// A live engine (NewLiveEngine) additionally pins every query to the
+// mutation store's snapshot current at Start, so a query's whole refinement
+// observes exactly one epoch while writers proceed; the answer-space cache
+// is invalidated selectively as batches land (see DESIGN.md "Epochs and
+// consistency").
 type Engine struct {
-	g     *kg.Graph
+	src   graphSource
+	base  *kg.Graph // construction-time graph (vocabulary anchor)
 	model embedding.Model
 	opts  Options
 	calc  *semsim.Calculator // shared read-only similarity matrix
@@ -237,13 +293,47 @@ type Engine struct {
 	sem   chan struct{}      // bounds the chain-build worker pool
 }
 
-// NewEngine validates the pair and returns an execution engine. The full
-// P×P predicate-similarity matrix is precomputed here, once, and shared
-// read-only by every query the engine serves.
+// NewEngine validates the pair and returns an execution engine over a
+// static (immutable) graph. The full P×P predicate-similarity matrix is
+// precomputed here, once, and shared read-only by every query the engine
+// serves.
 func NewEngine(g *kg.Graph, model embedding.Model, opts Options) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
+	return newEngine(staticSource{g: g}, g, model, opts)
+}
+
+// NewLiveEngine returns an engine over a live mutation store. Queries
+// execute against the epoch-consistent snapshot current at Start (or the
+// one WithMinEpoch waits for); applied batches invalidate the answer-space
+// cache selectively — only stages whose walk scope a mutation touched — and
+// compactions rebuild recently invalidated stages off the query path.
+//
+// The similarity matrix is built once over the store's base vocabulary;
+// this is sound because live graphs freeze the predicate vocabulary (see
+// live.ErrFrozenPredicate).
+func NewLiveEngine(store *live.Store, model embedding.Model, opts Options) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: nil live store")
+	}
+	base := store.Snapshot().Base()
+	e, err := newEngine(liveSource{st: store}, base, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		store.OnApply(func(ev live.Event) {
+			e.cache.invalidate(ev.Touched, ev.Epoch)
+		})
+		store.OnCompact(func(ev live.CompactEvent) {
+			e.rewarm(ev)
+		})
+	}
+	return e, nil
+}
+
+func newEngine(src graphSource, base *kg.Graph, model embedding.Model, opts Options) (*Engine, error) {
 	if model == nil {
 		return nil, fmt.Errorf("core: nil embedding model")
 	}
@@ -251,12 +341,13 @@ func NewEngine(g *kg.Graph, model embedding.Model, opts Options) (*Engine, error
 		return nil, fmt.Errorf("core: embedding model has no vectors")
 	}
 	opts = opts.withDefaults()
-	calc, err := semsim.NewCalculator(g, model, 0)
+	calc, err := semsim.NewCalculator(base, model, 0)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		g:     g,
+		src:   src,
+		base:  base,
 		model: model,
 		opts:  opts,
 		calc:  calc,
@@ -268,8 +359,37 @@ func NewEngine(g *kg.Graph, model embedding.Model, opts Options) (*Engine, error
 	return e, nil
 }
 
-// Graph returns the engine's knowledge graph.
-func (e *Engine) Graph() *kg.Graph { return e.g }
+// rewarm rebuilds recently invalidated stages against the freshly compacted
+// graph: walker construction, CSR/CSC assembly and convergence run here, in
+// the compactor's goroutine, so the next query on a hot root finds the
+// stage cached instead of paying convergence on the query path. Best
+// effort: a stage that fails to rebuild (e.g. its root lost all candidate
+// answers) is simply dropped.
+func (e *Engine) rewarm(live.CompactEvent) {
+	work := e.cache.takeEvicted()
+	if len(work) == 0 {
+		return
+	}
+	v := e.src.snapshot()
+	for key, old := range work {
+		cfg := e.opts
+		cfg.N = key.n
+		cfg.SelfLoopSim = key.selfLoop
+		_, _ = e.convergedStage(context.Background(), cfg, v, key.root, key.pred, old.types)
+	}
+}
+
+// Graph returns the engine's construction-time knowledge graph (for a live
+// engine: the base the store was opened with). Use Snapshot for the
+// current, epoch-consistent view.
+func (e *Engine) Graph() *kg.Graph { return e.base }
+
+// Snapshot returns the engine's current graph view and its epoch. Static
+// engines always report epoch 0.
+func (e *Engine) Snapshot() (kg.ReadGraph, uint64) {
+	v := e.src.snapshot()
+	return v.g, v.epoch
+}
 
 // Options returns the effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opts }
@@ -278,28 +398,28 @@ func (e *Engine) Options() Options { return e.opts }
 // the cache is disabled).
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
 
-// resolveRoot maps a decomposed path's root onto the graph, enforcing the
-// name + type conditions of Definition 5.
-func (e *Engine) resolveRoot(p query.Path) (kg.NodeID, error) {
-	us := e.g.NodeByName(p.RootName)
+// resolveRoot maps a decomposed path's root onto the query's graph view,
+// enforcing the name + type conditions of Definition 5.
+func resolveRoot(g kg.ReadGraph, p query.Path) (kg.NodeID, error) {
+	us := g.NodeByName(p.RootName)
 	if us == kg.InvalidNode {
 		return kg.InvalidNode, fmt.Errorf("core: %w: specific entity %q not in graph", ErrUnknownEntity, p.RootName)
 	}
-	types, err := e.resolveTypes(p.RootTypes)
+	types, err := resolveTypes(g, p.RootTypes)
 	if err != nil {
 		return kg.InvalidNode, err
 	}
-	if !e.g.SharesType(us, types) {
+	if !g.SharesType(us, types) {
 		return kg.InvalidNode, fmt.Errorf("core: %w: entity %q has none of the required types %v", ErrUnknownEntity, p.RootName, p.RootTypes)
 	}
 	return us, nil
 }
 
 // resolveTypes interns query type names, failing on unknown ones.
-func (e *Engine) resolveTypes(names []string) ([]kg.TypeID, error) {
+func resolveTypes(g kg.ReadGraph, names []string) ([]kg.TypeID, error) {
 	out := make([]kg.TypeID, 0, len(names))
 	for _, n := range names {
-		t := e.g.TypeByName(n)
+		t := g.TypeByName(n)
 		if t == kg.InvalidType {
 			return nil, fmt.Errorf("core: %w %q", ErrUnknownType, n)
 		}
@@ -310,8 +430,8 @@ func (e *Engine) resolveTypes(names []string) ([]kg.TypeID, error) {
 
 // resolvePred interns a query predicate, failing on unknown ones (the
 // embedding has no vector for a predicate absent from the graph).
-func (e *Engine) resolvePred(name string) (kg.PredID, error) {
-	p := e.g.PredByName(name)
+func resolvePred(g kg.ReadGraph, name string) (kg.PredID, error) {
+	p := g.PredByName(name)
 	if p == kg.InvalidPred {
 		return kg.InvalidPred, fmt.Errorf("core: %w %q", ErrUnknownPredicate, name)
 	}
@@ -319,11 +439,11 @@ func (e *Engine) resolvePred(name string) (kg.PredID, error) {
 }
 
 // resolveAttr interns the aggregated attribute (empty for COUNT(*)).
-func (e *Engine) resolveAttr(name string) (kg.AttrID, error) {
+func resolveAttr(g kg.ReadGraph, name string) (kg.AttrID, error) {
 	if name == "" {
 		return kg.InvalidAttr, nil
 	}
-	a := e.g.AttrByName(name)
+	a := g.AttrByName(name)
 	if a == kg.InvalidAttr {
 		return kg.InvalidAttr, fmt.Errorf("core: %w %q", ErrUnknownAttribute, name)
 	}

@@ -28,6 +28,11 @@ var (
 	// expired mid-query. When refinement had already produced an estimate,
 	// the error accompanies a partial Result with Converged=false.
 	ErrInterrupted = errors.New("query interrupted")
+	// ErrEpochNotReached reports a WithMinEpoch requirement the engine's
+	// graph source cannot satisfy — always, for a static engine asked for a
+	// positive epoch; never for a live engine, which waits instead (a
+	// cancelled wait reports ErrInterrupted).
+	ErrEpochNotReached = errors.New("graph epoch not reached")
 )
 
 // IsPartial reports whether an interrupted query still yielded a usable

@@ -32,6 +32,7 @@ type resolvedFilter struct {
 type Execution struct {
 	e       *Engine
 	q       *query.Aggregate
+	v       view    // the epoch-consistent graph view this query observes
 	opts    Options // engine options with per-query overrides applied
 	onRound func(Round)
 	attr    kg.AttrID
@@ -50,6 +51,10 @@ type Execution struct {
 // including) drawing the sample. The preparation time is charged to the
 // sampling step. ctx cancels the preparation (walker convergence and space
 // assembly are the heavy parts); a cancelled Start returns ErrInterrupted.
+//
+// The execution is pinned to the engine's graph view current at this call
+// (or the first view satisfying WithMinEpoch): every later Refine reads
+// that one epoch, however many mutations land meanwhile.
 func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (*Execution, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -62,17 +67,24 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 	}
 	cfg := e.queryConfig(opts)
 	o := cfg.opts
-	x := &Execution{e: e, q: q, opts: o, onRound: cfg.onRound, rng: stats.NewRand(o.Seed)}
+	v := e.src.snapshot()
+	if cfg.minEpoch > v.epoch {
+		var err error
+		if v, err = e.src.waitEpoch(ctx, cfg.minEpoch); err != nil {
+			return nil, err
+		}
+	}
+	x := &Execution{e: e, q: q, v: v, opts: o, onRound: cfg.onRound, rng: stats.NewRand(o.Seed)}
 
 	var err error
-	if x.attr, err = e.resolveAttr(q.Attr); err != nil {
+	if x.attr, err = resolveAttr(v.g, q.Attr); err != nil {
 		return nil, err
 	}
-	if x.group, err = e.resolveAttr(q.GroupBy); err != nil {
+	if x.group, err = resolveAttr(v.g, q.GroupBy); err != nil {
 		return nil, err
 	}
 	for _, f := range q.Filters {
-		a, err := e.resolveAttr(f.Attr)
+		a, err := resolveAttr(v.g, f.Attr)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +99,7 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 	begin := time.Now()
 	if o.Sampler == SamplerSemantic {
 		var err error
-		x.sp, err = e.buildAssemblySpace(ctx, o, paths)
+		x.sp, err = e.buildAssemblySpace(ctx, o, v, paths)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
@@ -98,7 +110,7 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 		if len(paths) != 1 {
 			return nil, fmt.Errorf("core: %v sampler supports simple queries only", o.Sampler)
 		}
-		sp, draws, err := e.buildTopologySpace(ctx, o, paths[0], x.rng, x.initialSize(200))
+		sp, draws, err := e.buildTopologySpace(ctx, o, v, paths[0], x.rng, x.initialSize(200))
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
@@ -156,7 +168,7 @@ func (x *Execution) initialSize(candidates int) int {
 // c(u) = (L ≤ u.b ≤ U && s ≥ τ), and an answer missing the aggregated
 // attribute cannot contribute to SUM/AVG/MAX/MIN.
 func (x *Execution) observation(ctx context.Context, i int) estimate.Observation {
-	g := x.e.g
+	g := x.v.g
 	u := x.sp.answers[i]
 	// The Fig. 5b ablation (SkipValidation) trusts the sampler blindly:
 	// every sampled answer is treated as correct.
@@ -490,7 +502,7 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 // plus the count of in-group draws per label and the shared base
 // observation list itself (for the round's overall estimate).
 func (x *Execution) groupedObservations(ctx context.Context) (map[string][]estimate.Observation, map[string]int, []estimate.Observation) {
-	g := x.e.g
+	g := x.v.g
 	if !x.opts.SkipValidation {
 		x.sp.prevalidate(ctx, x.drawIdx)
 	}
@@ -544,6 +556,7 @@ func (x *Execution) result(ctx context.Context, vhat, moe float64, converged boo
 		Distinct:   len(distinct),
 		Correct:    correct,
 		Candidates: x.sp.len(),
+		Epoch:      x.v.epoch,
 		Times:      x.times,
 		Groups:     groups,
 	}

@@ -10,6 +10,9 @@ type queryConfig struct {
 	onRound func(Round)
 	// parallel bounds the QueryBatch worker pool (0 = GOMAXPROCS).
 	parallel int
+	// minEpoch is the oldest graph epoch this query may observe (0 = the
+	// current snapshot, whatever its epoch).
+	minEpoch uint64
 }
 
 // QueryOption overrides one engine-level option for a single Query, Start
@@ -105,4 +108,14 @@ func OnRound(fn func(Round)) QueryOption {
 // It has no effect on single-query calls.
 func WithParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.parallel = n }
+}
+
+// WithMinEpoch pins the query to a graph view at or above the given epoch —
+// the read half of read-your-writes: pass the epoch a mutation batch
+// returned and the query is guaranteed to observe that batch. On a live
+// engine the query waits (honouring its context) for the store to reach the
+// epoch; on a static engine any positive epoch fails with
+// ErrEpochNotReached. Zero is the default: query the current snapshot.
+func WithMinEpoch(epoch uint64) QueryOption {
+	return func(c *queryConfig) { c.minEpoch = epoch }
 }

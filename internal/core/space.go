@@ -92,12 +92,12 @@ func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
 
 // buildSemanticSpace assembles the answer space for one decomposed path
 // using the semantic-aware walker (§IV-A), recursively for chains (§V-B).
-func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, p query.Path) (*answerSpace, error) {
-	us, err := e.resolveRoot(p)
+func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, v view, p query.Path) (*answerSpace, error) {
+	us, err := resolveRoot(v.g, p)
 	if err != nil {
 		return nil, err
 	}
-	pi, oracle, err := e.buildChainLevel(ctx, o, us, p.Hops)
+	pi, oracle, err := e.buildChainLevel(ctx, o, v, us, p.Hops)
 	if err != nil {
 		return nil, err
 	}
@@ -159,10 +159,17 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 
 // convergedStage returns the converged stage for (root, pred, types) under
 // the walk configuration in o, consulting the engine's answer-space cache
-// first. A miss builds the walker, converges it and extracts π′, then
-// publishes the stage for every later query with the same key; concurrent
-// misses build independently and converge on the first-published entry.
-func (e *Engine) convergedStage(ctx context.Context, o Options,
+// first. A miss builds the walker over the query's graph view, converges it
+// and extracts π′, then publishes the stage for every later query with the
+// same key; concurrent misses build independently and converge on the
+// first-published entry.
+//
+// Epoch discipline: a cached stage is served only when its build epoch is
+// at or below the view's (older is fine — mutation-scope invalidation
+// guarantees nothing in the stage's bound changed since it was built); a
+// fresh build is tagged with the view's epoch and its walk scope, the unit
+// of selective invalidation.
+func (e *Engine) convergedStage(ctx context.Context, o Options, v view,
 	root kg.NodeID, pred kg.PredID, types []kg.TypeID) (*stageEntry, error) {
 
 	key := stageKey{
@@ -172,10 +179,10 @@ func (e *Engine) convergedStage(ctx context.Context, o Options,
 		n:        o.N,
 		selfLoop: o.SelfLoopSim,
 	}
-	if st := e.cache.get(key); st != nil {
+	if st := e.cache.get(key, v.epoch); st != nil {
 		return st, nil
 	}
-	w, err := walk.New(e.calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
+	w, err := walk.New(v.g, e.calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
 	if err != nil {
 		return nil, err
 	}
@@ -184,9 +191,11 @@ func (e *Engine) convergedStage(ctx context.Context, o Options,
 	}
 	dist, err := w.AnswerDistribution(types)
 	if err != nil {
-		return nil, fmt.Errorf("core: stage rooted at %q: %w", e.g.Name(root), err)
+		return nil, fmt.Errorf("core: stage rooted at %q: %w", v.g.Name(root), err)
 	}
-	st := newStageEntry(dist.Answers, dist.Probs, w.PiMap())
+	scope := append([]kg.NodeID(nil), w.Bound().Nodes...)
+	sort.Slice(scope, func(i, j int) bool { return scope[i] < scope[j] })
+	st := newStageEntry(dist.Answers, dist.Probs, w.PiMap(), v.epoch, scope, types)
 	return e.cache.put(key, st), nil
 }
 
@@ -197,7 +206,7 @@ func (e *Engine) convergedStage(ctx context.Context, o Options,
 // guarded by its mutex, and are stored only when the search was not
 // cancelled mid-flight; the validation itself runs outside the lock so
 // concurrent queries never serialise on it.
-func (e *Engine) stageOracle(o Options, st *stageEntry,
+func (e *Engine) stageOracle(o Options, v view, st *stageEntry,
 	root kg.NodeID, pred kg.PredID) correctOracle {
 
 	vcfg := semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau}
@@ -216,7 +225,7 @@ func (e *Engine) stageOracle(o Options, st *stageEntry,
 		}
 		st.mu.Unlock()
 		if len(fresh) > 0 && ctx.Err() == nil {
-			res, _ := semsim.ValidateCtx(ctx, e.calc, root, pred, st.piMap, fresh, vcfg)
+			res, _ := semsim.ValidateCtx(ctx, v.g, e.calc, root, pred, st.piMap, fresh, vcfg)
 			if ctx.Err() == nil {
 				st.mu.Lock()
 				verdicts := st.verdictsFor(vkey)
@@ -243,24 +252,24 @@ func (e *Engine) stageOracle(o Options, st *stageEntry,
 // hop's answers together with a lazy correctness oracle, recursing over the
 // chain's hops: π(j) = Σᵢ π′ᵢ · π′ⱼ|ᵢ (§V-B), and an answer is correct when
 // some intermediate chain validates every leg at the τ threshold.
-func (e *Engine) buildChainLevel(ctx context.Context, o Options, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
+func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
 	none := correctOracle{}
 	if len(hops) == 0 {
 		return nil, none, fmt.Errorf("core: empty hop sequence")
 	}
-	pred, err := e.resolvePred(hops[0].Predicate)
+	pred, err := resolvePred(v.g, hops[0].Predicate)
 	if err != nil {
 		return nil, none, err
 	}
-	types, err := e.resolveTypes(hops[0].Types)
+	types, err := resolveTypes(v.g, hops[0].Types)
 	if err != nil {
 		return nil, none, err
 	}
-	st, err := e.convergedStage(ctx, o, root, pred, types)
+	st, err := e.convergedStage(ctx, o, v, root, pred, types)
 	if err != nil {
 		return nil, none, err
 	}
-	oracle := e.stageOracle(o, st, root, pred)
+	oracle := e.stageOracle(o, v, st, root, pred)
 	legOK := oracle.single
 
 	if len(hops) == 1 {
@@ -305,7 +314,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, root kg.NodeID,
 			break
 		}
 		build := func(i int, node kg.NodeID) {
-			subPis[i], subOracles[i], subErrs[i] = e.buildChainLevel(ctx, o, node, hops[1:])
+			subPis[i], subOracles[i], subErrs[i] = e.buildChainLevel(ctx, o, v, node, hops[1:])
 		}
 		select {
 		case e.sem <- struct{}{}:
@@ -344,7 +353,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, root kg.NodeID,
 		subs = append(subs, subLevel{prob: in.prob, node: in.node, pi: subPis[i], correct: subOracles[i]})
 	}
 	if len(pi) == 0 {
-		return nil, none, fmt.Errorf("core: chain stage rooted at %q found no final answers", e.g.Name(root))
+		return nil, none, fmt.Errorf("core: chain stage rooted at %q found no final answers", v.g.Name(root))
 	}
 
 	correct := func(ctx context.Context, u kg.NodeID) bool {
@@ -383,9 +392,9 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, root kg.NodeID,
 // normalised product of per-path visiting probabilities (an answer must be
 // reachable by every constraint's walk), and an answer is correct only if
 // every path validates it.
-func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, paths []query.Path) (*answerSpace, error) {
+func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, v view, paths []query.Path) (*answerSpace, error) {
 	if len(paths) == 1 {
-		return e.buildSemanticSpace(ctx, o, paths[0])
+		return e.buildSemanticSpace(ctx, o, v, paths[0])
 	}
 	type level struct {
 		pi      map[kg.NodeID]float64
@@ -393,11 +402,11 @@ func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, paths []quer
 	}
 	levels := make([]level, 0, len(paths))
 	for _, p := range paths {
-		us, err := e.resolveRoot(p)
+		us, err := resolveRoot(v.g, p)
 		if err != nil {
 			return nil, err
 		}
-		pi, correct, err := e.buildChainLevel(ctx, o, us, p.Hops)
+		pi, correct, err := e.buildChainLevel(ctx, o, v, us, p.Hops)
 		if err != nil {
 			return nil, fmt.Errorf("core: sub-query rooted at %q: %w", p.RootName, err)
 		}
@@ -461,24 +470,24 @@ func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, paths []quer
 // sampler (the Fig. 5a ablation). Only simple queries are supported — the
 // ablation workload — and probabilities are the walker's empirical visit
 // shares.
-func (e *Engine) buildTopologySpace(ctx context.Context, o Options, p query.Path, r *rand.Rand, k int) (*answerSpace, []int, error) {
+func (e *Engine) buildTopologySpace(ctx context.Context, o Options, v view, p query.Path, r *rand.Rand, k int) (*answerSpace, []int, error) {
 	if len(p.Hops) != 1 {
 		return nil, nil, fmt.Errorf("core: %v sampler supports simple queries only", o.Sampler)
 	}
-	us, err := e.resolveRoot(p)
+	us, err := resolveRoot(v.g, p)
 	if err != nil {
 		return nil, nil, err
 	}
-	types, err := e.resolveTypes(p.Hops[0].Types)
+	types, err := resolveTypes(v.g, p.Hops[0].Types)
 	if err != nil {
 		return nil, nil, err
 	}
 	var ts *walk.TopologySample
 	switch o.Sampler {
 	case SamplerCNARW:
-		ts, err = walk.CNARW(ctx, e.g, us, types, o.N, r, 200, k)
+		ts, err = walk.CNARW(ctx, v.g, us, types, o.N, r, 200, k)
 	case SamplerNode2Vec:
-		ts, err = walk.Node2Vec(ctx, e.g, us, types, o.N, 1, 0.5, r, 200, k)
+		ts, err = walk.Node2Vec(ctx, v.g, us, types, o.N, 1, 0.5, r, 200, k)
 	default:
 		return nil, nil, fmt.Errorf("core: buildTopologySpace called with sampler %v", o.Sampler)
 	}
@@ -494,7 +503,7 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, p query.Path
 	// Correctness still uses the greedy validator so the ablation isolates
 	// the sampling step (S1) exactly as in Fig. 5a. The validator wants a
 	// π map; the empirical shares serve.
-	pred, err := e.resolvePred(p.Hops[0].Predicate)
+	pred, err := resolvePred(v.g, p.Hops[0].Predicate)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -507,7 +516,7 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, p query.Path
 		if v, ok := verdicts[i]; ok {
 			return v
 		}
-		res, _ := semsim.ValidateCtx(ctx, e.calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
+		res, _ := semsim.ValidateCtx(ctx, v.g, e.calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
 			semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau})
 		if ctx.Err() != nil {
 			return false

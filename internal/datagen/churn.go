@@ -1,0 +1,179 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/live"
+	"kgaq/internal/stats"
+)
+
+// ChurnConfig shapes the synthetic mutation stream.
+type ChurnConfig struct {
+	// Seed makes the stream deterministic (default 1).
+	Seed int64
+	// BatchSize is the number of mutations per batch (default 4).
+	BatchSize int
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	return c
+}
+
+// Churn generates a sustained stream of valid mutation batches against a
+// live graph — the write half of the mixed read/write benchmark. The mix
+// mirrors a production KG's update profile: mostly attribute refreshes,
+// a steady drip of new entities with edges, occasional edge removals and
+// re-typings. Every batch is generated against the snapshot passed in, so
+// with a single writer applying batches in order, every batch is valid at
+// apply time.
+//
+// A Churn is not safe for concurrent use; give each writer its own.
+type Churn struct {
+	cfg ChurnConfig
+	rng *rand.Rand
+	n   int // entities added so far, for unique names
+}
+
+// NewChurn builds a generator.
+func NewChurn(cfg ChurnConfig) *Churn {
+	cfg = cfg.withDefaults()
+	return &Churn{cfg: cfg, rng: stats.NewRand(cfg.Seed)}
+}
+
+// Batch generates the next mutation batch, valid against g. The returned
+// batch always contains at least one mutation. Edge removals are deduped
+// within the batch — two remove_edge lines for the same stored edge would
+// make the second fail and the atomic Apply reject the whole batch.
+func (c *Churn) Batch(g kg.ReadGraph) live.Batch {
+	out := make(live.Batch, 0, c.cfg.BatchSize)
+	removed := map[[3]string]bool{}
+	for len(out) < c.cfg.BatchSize {
+		switch p := c.rng.Float64(); {
+		case p < 0.40:
+			out = append(out, c.attrUpdate(g))
+		case p < 0.60:
+			out = append(out, c.addEntity(g)...)
+		case p < 0.80:
+			if m, ok := c.addEdge(g); ok {
+				out = append(out, m)
+			}
+		case p < 0.95:
+			if m, ok := c.removeEdge(g); ok {
+				key := [3]string{m.Src, m.Pred, m.Dst}
+				if !removed[key] {
+					removed[key] = true
+					out = append(out, m)
+				}
+			}
+		default:
+			out = append(out, c.setTypes(g))
+		}
+	}
+	return out
+}
+
+// randomNode picks a uniform existing node.
+func (c *Churn) randomNode(g kg.ReadGraph) kg.NodeID {
+	return kg.NodeID(c.rng.Intn(g.NumNodes()))
+}
+
+// attrUpdate refreshes a numeric attribute on a random node, reusing an
+// existing attribute name so vocabularies stay realistic.
+func (c *Churn) attrUpdate(g kg.ReadGraph) live.Mutation {
+	u := c.randomNode(g)
+	attr := "churn_score"
+	if n := g.NumAttrs(); n > 0 {
+		attr = g.AttrName(kg.AttrID(c.rng.Intn(n)))
+	}
+	return live.SetAttr(g.Name(u), attr, 1000*c.rng.Float64())
+}
+
+// addEntity mints a fresh entity of an existing type and wires it to a
+// random anchor over an existing predicate — the "new fact arrives" case.
+func (c *Churn) addEntity(g kg.ReadGraph) live.Batch {
+	c.n++
+	name := fmt.Sprintf("churn_e%d", c.n)
+	typ := "Thing"
+	if n := g.NumTypes(); n > 0 {
+		typ = g.TypeName(kg.TypeID(c.rng.Intn(n)))
+	}
+	b := live.Batch{live.AddEntity(name, typ)}
+	if g.NumPredicates() > 0 && g.NumNodes() > 0 {
+		pred := g.PredName(kg.PredID(c.rng.Intn(g.NumPredicates())))
+		anchor := g.Name(c.randomNode(g))
+		b = append(b, live.AddEdge(name, pred, anchor))
+	}
+	return b
+}
+
+// addEdge links two distinct random existing nodes over an existing
+// predicate (duplicates collapse harmlessly at apply time).
+func (c *Churn) addEdge(g kg.ReadGraph) (live.Mutation, bool) {
+	if g.NumNodes() < 2 || g.NumPredicates() == 0 {
+		return live.Mutation{}, false
+	}
+	src := c.randomNode(g)
+	dst := c.randomNode(g)
+	for tries := 0; src == dst && tries < 8; tries++ {
+		dst = c.randomNode(g)
+	}
+	if src == dst {
+		return live.Mutation{}, false
+	}
+	pred := g.PredName(kg.PredID(c.rng.Intn(g.NumPredicates())))
+	return live.AddEdge(g.Name(src), pred, g.Name(dst)), true
+}
+
+// removeEdge deletes one stored edge found at a random node; reports false
+// when the probes found none.
+func (c *Churn) removeEdge(g kg.ReadGraph) (live.Mutation, bool) {
+	for tries := 0; tries < 8; tries++ {
+		u := c.randomNode(g)
+		hes := g.Neighbors(u)
+		if len(hes) == 0 {
+			continue
+		}
+		at := c.rng.Intn(len(hes))
+		for k := 0; k < len(hes); k++ {
+			he := hes[(at+k)%len(hes)]
+			if he.Out {
+				return live.RemoveEdge(g.Name(u), g.PredName(he.Pred), g.Name(he.To)), true
+			}
+		}
+	}
+	return live.Mutation{}, false
+}
+
+// setTypes re-types a random node: its current types plus one random
+// existing type (monotone, so workload queries keep their answer types).
+func (c *Churn) setTypes(g kg.ReadGraph) live.Mutation {
+	u := c.randomNode(g)
+	names := make([]string, 0, 3)
+	for _, t := range g.Types(u) {
+		names = append(names, g.TypeName(t))
+	}
+	if n := g.NumTypes(); n > 0 {
+		extra := g.TypeName(kg.TypeID(c.rng.Intn(n)))
+		seen := false
+		for _, t := range names {
+			if t == extra {
+				seen = true
+			}
+		}
+		if !seen {
+			names = append(names, extra)
+		}
+	}
+	if len(names) == 0 {
+		names = []string{"Thing"}
+	}
+	return live.SetTypes(g.Name(u), names...)
+}

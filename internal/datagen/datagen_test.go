@@ -163,7 +163,7 @@ func TestTauGTMatchesHAGT(t *testing.T) {
 		us := g.NodeByName(paths[0].RootName)
 		pred := g.PredByName(paths[0].Hops[0].Predicate)
 		tgtType := g.TypeByName(paths[0].Hops[0].Types[0])
-		best := semsim.Exhaustive(calc, us, pred, 3)
+		best := semsim.Exhaustive(g, calc, us, pred, 3)
 		tau := TinyProfile().OptimalTau
 		tauSet := map[string]bool{}
 		for u, s := range best {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -354,17 +355,35 @@ func (g *Graph) WriteTSV(nodes, edges io.Writer) error {
 	if err := nw.Flush(); err != nil {
 		return fmt.Errorf("kg: write nodes: %w", err)
 	}
-	ew := bufio.NewWriter(edges)
-	var werr error
+	// Edges are emitted in (predicate id, source, destination) order so
+	// each predicate's first occurrence appears in ascending id order: a
+	// ReadTSV round trip then interns predicates to their original ids,
+	// which keeps a separately saved embedding (vectors indexed by PredID)
+	// aligned with the reloaded graph.
+	type edge struct {
+		src  NodeID
+		pred PredID
+		dst  NodeID
+	}
+	es := make([]edge, 0, g.NumEdges())
 	g.EachEdge(func(src NodeID, pred PredID, dst NodeID) bool {
-		if _, err := fmt.Fprintf(ew, "%s\t%s\t%s\n", g.Name(src), g.PredName(pred), g.Name(dst)); err != nil {
-			werr = fmt.Errorf("kg: write edges: %w", err)
-			return false
-		}
+		es = append(es, edge{src: src, pred: pred, dst: dst})
 		return true
 	})
-	if werr != nil {
-		return werr
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].pred != es[j].pred {
+			return es[i].pred < es[j].pred
+		}
+		if es[i].src != es[j].src {
+			return es[i].src < es[j].src
+		}
+		return es[i].dst < es[j].dst
+	})
+	ew := bufio.NewWriter(edges)
+	for _, e := range es {
+		if _, err := fmt.Fprintf(ew, "%s\t%s\t%s\n", g.Name(e.src), g.PredName(e.pred), g.Name(e.dst)); err != nil {
+			return fmt.Errorf("kg: write edges: %w", err)
+		}
 	}
 	if err := ew.Flush(); err != nil {
 		return fmt.Errorf("kg: write edges: %w", err)

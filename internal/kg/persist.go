@@ -2,11 +2,28 @@ package kg
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 )
+
+// Snapshot framing. Version-0 files (everything written before the header
+// existed) are a bare gob stream; version-1 files carry a fixed magic,
+// a format version and the live-graph epoch the snapshot was taken at,
+// so loaders can reject foreign or truncated files with a typed error
+// instead of an opaque gob decode failure.
+const (
+	snapshotMagic   = "KGAQSNP1" // 8 bytes, constant across versions
+	snapshotVersion = 1
+)
+
+// ErrBadSnapshot reports a snapshot file the loader refuses: wrong magic
+// after a partial match, an unknown format version, or a corrupt payload.
+// Match with errors.Is; the wrapping message carries the detail.
+var ErrBadSnapshot = errors.New("kg: bad snapshot")
 
 // snapshot is the gob wire form of a Graph. Only the primary data travels;
 // indexes are rebuilt on load, keeping snapshots small and forward-portable.
@@ -21,9 +38,25 @@ type snapshot struct {
 	NumEdges  int
 }
 
-// Save writes a binary snapshot of the graph.
+// Save writes a binary snapshot of the graph at epoch 0.
 func (g *Graph) Save(w io.Writer) error {
+	return g.SaveEpoch(w, 0)
+}
+
+// SaveEpoch writes a binary snapshot of the graph, recording the live-graph
+// epoch it was materialised at: magic, format version, epoch, then the gob
+// payload.
+func (g *Graph) SaveEpoch(w io.Writer, epoch uint64) error {
 	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
 	enc := gob.NewEncoder(bw)
 	s := snapshot{
 		Names:     g.names,
@@ -44,13 +77,55 @@ func (g *Graph) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a snapshot written by Save and rebuilds all indexes.
+// Load reads a snapshot written by Save/SaveEpoch and rebuilds all indexes.
 func Load(r io.Reader) (*Graph, error) {
-	dec := gob.NewDecoder(bufio.NewReader(r))
+	g, _, err := LoadEpoch(r)
+	return g, err
+}
+
+// LoadEpoch is Load plus the epoch recorded in the snapshot header
+// (0 for version-0 files, which predate epochs). Version-0 files — a bare
+// gob stream with no header — remain readable; anything that is neither a
+// headered snapshot nor a decodable version-0 stream fails with an error
+// matching ErrBadSnapshot.
+func LoadEpoch(r io.Reader) (*Graph, uint64, error) {
+	br := bufio.NewReader(r)
+	epoch := uint64(0)
+	head, err := br.Peek(len(snapshotMagic))
+	if err != nil && err != io.EOF {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if string(head) == snapshotMagic {
+		if _, err := br.Discard(len(snapshotMagic)); err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, 0, fmt.Errorf("%w: truncated header: %v", ErrBadSnapshot, err)
+		}
+		version := binary.LittleEndian.Uint32(hdr[0:4])
+		if version == 0 || version > snapshotVersion {
+			return nil, 0, fmt.Errorf("%w: unsupported format version %d (this build reads ≤ %d)",
+				ErrBadSnapshot, version, snapshotVersion)
+		}
+		epoch = binary.LittleEndian.Uint64(hdr[4:12])
+	}
+	// Headerless streams fall through here: version 0, epoch 0.
+	dec := gob.NewDecoder(br)
 	var s snapshot
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("kg: load: %w", err)
+		return nil, 0, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)
 	}
+	g, err := fromSnapshot(&s)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, epoch, nil
+}
+
+// fromSnapshot rebuilds a Graph (and all its indexes) from the wire form,
+// validating internal consistency.
+func fromSnapshot(s *snapshot) (*Graph, error) {
 	g := &Graph{
 		names:     s.Names,
 		types:     s.Types,
@@ -67,12 +142,12 @@ func Load(r io.Reader) (*Graph, error) {
 		byType:    map[TypeID][]NodeID{},
 	}
 	if len(g.types) != len(g.names) || len(g.attrs) != len(g.names) || len(g.adj) != len(g.names) {
-		return nil, fmt.Errorf("kg: load: inconsistent snapshot (nodes %d, types %d, attrs %d, adj %d)",
-			len(g.names), len(g.types), len(g.attrs), len(g.adj))
+		return nil, fmt.Errorf("%w: inconsistent snapshot (nodes %d, types %d, attrs %d, adj %d)",
+			ErrBadSnapshot, len(g.names), len(g.types), len(g.attrs), len(g.adj))
 	}
 	for i, n := range g.names {
 		if _, dup := g.nameIndex[n]; dup {
-			return nil, fmt.Errorf("kg: load: duplicate node name %q", n)
+			return nil, fmt.Errorf("%w: duplicate node name %q", ErrBadSnapshot, n)
 		}
 		g.nameIndex[n] = NodeID(i)
 	}
@@ -88,7 +163,7 @@ func Load(r io.Reader) (*Graph, error) {
 	for id, ts := range g.types {
 		for _, t := range ts {
 			if int(t) >= len(g.typeNames) || t < 0 {
-				return nil, fmt.Errorf("kg: load: node %d has unknown type id %d", id, t)
+				return nil, fmt.Errorf("%w: node %d has unknown type id %d", ErrBadSnapshot, id, t)
 			}
 			g.byType[t] = append(g.byType[t], NodeID(id))
 		}
@@ -96,10 +171,10 @@ func Load(r io.Reader) (*Graph, error) {
 	for id, hes := range g.adj {
 		for _, he := range hes {
 			if int(he.To) >= len(g.names) || he.To < 0 {
-				return nil, fmt.Errorf("kg: load: node %d has edge to unknown node %d", id, he.To)
+				return nil, fmt.Errorf("%w: node %d has edge to unknown node %d", ErrBadSnapshot, id, he.To)
 			}
 			if int(he.Pred) >= len(g.predNames) || he.Pred < 0 {
-				return nil, fmt.Errorf("kg: load: node %d has edge with unknown predicate %d", id, he.Pred)
+				return nil, fmt.Errorf("%w: node %d has edge with unknown predicate %d", ErrBadSnapshot, id, he.Pred)
 			}
 		}
 	}
@@ -108,11 +183,16 @@ func Load(r io.Reader) (*Graph, error) {
 
 // SaveFile writes a snapshot to path, creating or truncating it.
 func (g *Graph) SaveFile(path string) error {
+	return g.SaveFileEpoch(path, 0)
+}
+
+// SaveFileEpoch writes a snapshot at the given epoch to path.
+func (g *Graph) SaveFileEpoch(path string, epoch uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("kg: %w", err)
 	}
-	if err := g.Save(f); err != nil {
+	if err := g.SaveEpoch(f, epoch); err != nil {
 		f.Close()
 		return err
 	}
@@ -121,10 +201,16 @@ func (g *Graph) SaveFile(path string) error {
 
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*Graph, error) {
+	g, _, err := LoadFileEpoch(path)
+	return g, err
+}
+
+// LoadFileEpoch reads a snapshot and its recorded epoch from path.
+func LoadFileEpoch(path string) (*Graph, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("kg: %w", err)
+		return nil, 0, fmt.Errorf("kg: %w", err)
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadEpoch(f)
 }

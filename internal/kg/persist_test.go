@@ -1,0 +1,156 @@
+package kg
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+// Version-1 snapshots carry the magic header and round-trip the epoch.
+func TestSnapshotHeaderRoundTrip(t *testing.T) {
+	g := figureGraph(t)
+	var buf bytes.Buffer
+	if err := g.SaveEpoch(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(snapshotMagic)) {
+		t.Fatalf("snapshot does not start with the magic, got %q", buf.Bytes()[:8])
+	}
+	g2, epoch, err := LoadEpoch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 42 {
+		t.Fatalf("epoch = %d, want 42", epoch)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed counts: %v vs %v", g2, g)
+	}
+}
+
+// Version-0 files — a bare gob stream, as written before the header existed
+// — must keep loading, reporting epoch 0.
+func TestSnapshotVersion0Compat(t *testing.T) {
+	g := figureGraph(t)
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := gob.NewEncoder(bw)
+	s := snapshot{
+		Names: g.names, Types: g.types, Attrs: g.attrs, Adj: g.adj,
+		PredNames: g.predNames, TypeNames: g.typeNames, AttrNames: g.attrNames,
+		NumEdges: g.numEdges,
+	}
+	if err := enc.Encode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, epoch, err := LoadEpoch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("version-0 stream rejected: %v", err)
+	}
+	if epoch != 0 {
+		t.Fatalf("version-0 epoch = %d, want 0", epoch)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("version-0 round trip changed node count")
+	}
+}
+
+// Corrupt and foreign files fail with the typed sentinel, not an opaque gob
+// error.
+func TestSnapshotBadFiles(t *testing.T) {
+	g := figureGraph(t)
+	var good bytes.Buffer
+	if err := g.SaveEpoch(&good, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	futureVersion := append([]byte(snapshotMagic), make([]byte, 12)...)
+	binary.LittleEndian.PutUint32(futureVersion[8:12], 99)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("definitely not a snapshot")},
+		{"empty", nil},
+		{"truncated header", []byte(snapshotMagic + "ab")},
+		{"future version", futureVersion},
+		{"truncated payload", good.Bytes()[:len(good.Bytes())/2]},
+	}
+	for _, tc := range cases {
+		if _, _, err := LoadEpoch(bytes.NewReader(tc.data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", tc.name, err)
+		}
+	}
+}
+
+// Materialize must preserve every id assignment and all content.
+func TestMaterializeRoundTrip(t *testing.T) {
+	g := figureGraph(t)
+	m, err := Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != g.NumNodes() || m.NumEdges() != g.NumEdges() ||
+		m.NumPredicates() != g.NumPredicates() || m.NumTypes() != g.NumTypes() ||
+		m.NumAttrs() != g.NumAttrs() {
+		t.Fatalf("counts changed: %v vs %v", m, g)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		u := NodeID(i)
+		if m.Name(u) != g.Name(u) {
+			t.Fatalf("node %d renamed", i)
+		}
+		if len(m.Neighbors(u)) != len(g.Neighbors(u)) {
+			t.Fatalf("node %d degree changed", i)
+		}
+		for _, av := range g.Attrs(u) {
+			if v, ok := m.Attr(u, av.Attr); !ok || v != av.Value {
+				t.Fatalf("node %d attr %d changed", i, av.Attr)
+			}
+		}
+	}
+	for p := 0; p < g.NumPredicates(); p++ {
+		if m.PredName(PredID(p)) != g.PredName(PredID(p)) {
+			t.Fatalf("predicate %d renamed", p)
+		}
+	}
+}
+
+// figureGraph builds a small graph inline (kgtest would be an import
+// cycle); shape loosely after Figure 1.
+func figureGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	de := b.AddNode("Germany", "Country")
+	bmw := b.AddNode("BMW_320", "Automobile")
+	vw := b.AddNode("Volkswagen", "Company")
+	lam := b.AddNode("Lamando", "Automobile")
+	for _, e := range []struct {
+		src  NodeID
+		pred string
+		dst  NodeID
+	}{
+		{bmw, "assembly", de},
+		{vw, "country", de},
+		{vw, "product", lam},
+	} {
+		if err := b.AddEdge(e.src, e.pred, e.dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.SetAttr(bmw, "price", 35000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetAttr(lam, "price", 24060.80); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}

@@ -1,0 +1,151 @@
+package kg
+
+import "fmt"
+
+// ReadGraph is the read-only view of a knowledge graph that every consumer
+// of graph data — the walkers, the validator, the estimators, the serving
+// layer — programs against. Two implementations exist: the immutable *Graph
+// itself and the copy-on-write mutation overlay of internal/live, which
+// layers a delta of pending writes over a compacted base. Implementations
+// must be safe for unrestricted concurrent readers; slices returned by
+// accessor methods are shared and must not be modified.
+type ReadGraph interface {
+	// NumNodes returns the number of nodes.
+	NumNodes() int
+	// NumEdges returns the number of stored (directed) edges.
+	NumEdges() int
+	// NumPredicates returns the size of the predicate vocabulary.
+	NumPredicates() int
+	// NumTypes returns the size of the type vocabulary.
+	NumTypes() int
+	// NumAttrs returns the size of the numeric attribute vocabulary.
+	NumAttrs() int
+
+	// Name returns the unique name of node u.
+	Name(u NodeID) string
+	// Types returns the sorted type ids of node u.
+	Types(u NodeID) []TypeID
+	// HasType reports whether node u carries type t.
+	HasType(u NodeID, t TypeID) bool
+	// SharesType reports whether node u carries at least one of the types.
+	SharesType(u NodeID, ts []TypeID) bool
+	// Attr returns the value of attribute a on node u, and whether it is set.
+	Attr(u NodeID, a AttrID) (float64, bool)
+	// Attrs returns all numeric attributes of node u, sorted by AttrID.
+	Attrs(u NodeID) []AttrValue
+	// Neighbors returns the half-edges out of node u (both orientations).
+	Neighbors(u NodeID) []HalfEdge
+	// Degree returns the number of half-edges at node u.
+	Degree(u NodeID) int
+
+	// NodeByName returns the node with the given unique name, or InvalidNode.
+	NodeByName(name string) NodeID
+	// PredByName returns the predicate id for a label, or InvalidPred.
+	PredByName(name string) PredID
+	// TypeByName returns the type id for a label, or InvalidType.
+	TypeByName(name string) TypeID
+	// AttrByName returns the attribute id for a label, or InvalidAttr.
+	AttrByName(name string) AttrID
+	// PredName returns the label of predicate p.
+	PredName(p PredID) string
+	// TypeName returns the label of type t.
+	TypeName(t TypeID) string
+	// AttrName returns the label of attribute a.
+	AttrName(a AttrID) string
+	// NodesByType returns all nodes carrying type t in ascending NodeID
+	// order.
+	NodesByType(t TypeID) []NodeID
+
+	// EachEdge calls fn for every stored edge in its original orientation,
+	// stopping early if fn returns false.
+	EachEdge(fn func(src NodeID, pred PredID, dst NodeID) bool)
+	// HasEdge reports whether an edge src --pred--> dst is stored.
+	HasEdge(src NodeID, pred PredID, dst NodeID) bool
+	// BoundedSubgraph runs a breadth-first search from start up to n hops.
+	BoundedSubgraph(start NodeID, n int) *Bounded
+}
+
+var _ ReadGraph = (*Graph)(nil)
+
+// BFS computes the n-bounded neighbourhood of start over any ReadGraph —
+// the generic form of (*Graph).BoundedSubgraph that overlay implementations
+// share.
+func BFS(g ReadGraph, start NodeID, n int) *Bounded {
+	b := &Bounded{
+		Start: start,
+		N:     n,
+		Dist:  map[NodeID]int{start: 0},
+		Nodes: []NodeID{start},
+	}
+	if n <= 0 {
+		return b
+	}
+	frontier := []NodeID{start}
+	for depth := 1; depth <= n && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, he := range g.Neighbors(u) {
+				if _, seen := b.Dist[he.To]; seen {
+					continue
+				}
+				b.Dist[he.To] = depth
+				b.Nodes = append(b.Nodes, he.To)
+				next = append(next, he.To)
+			}
+		}
+		frontier = next
+	}
+	return b
+}
+
+// Materialize copies an arbitrary ReadGraph into a fresh immutable *Graph,
+// preserving every id assignment (node, predicate, type and attribute ids
+// survive unchanged). It is the folding step of the live-graph compactor:
+// the overlay's delta is baked into plain dense slices so subsequent reads
+// pay no overlay indirection.
+func Materialize(src ReadGraph) (*Graph, error) {
+	n := src.NumNodes()
+	g := &Graph{
+		names:     make([]string, n),
+		types:     make([][]TypeID, n),
+		attrs:     make([][]AttrValue, n),
+		adj:       make([][]HalfEdge, n),
+		predNames: make([]string, src.NumPredicates()),
+		typeNames: make([]string, src.NumTypes()),
+		attrNames: make([]string, src.NumAttrs()),
+		nameIndex: make(map[string]NodeID, n),
+		predIndex: make(map[string]PredID, src.NumPredicates()),
+		typeIndex: make(map[string]TypeID, src.NumTypes()),
+		attrIndex: make(map[string]AttrID, src.NumAttrs()),
+		byType:    map[TypeID][]NodeID{},
+		numEdges:  src.NumEdges(),
+	}
+	for i := range g.predNames {
+		g.predNames[i] = src.PredName(PredID(i))
+		g.predIndex[g.predNames[i]] = PredID(i)
+	}
+	for i := range g.typeNames {
+		g.typeNames[i] = src.TypeName(TypeID(i))
+		g.typeIndex[g.typeNames[i]] = TypeID(i)
+	}
+	for i := range g.attrNames {
+		g.attrNames[i] = src.AttrName(AttrID(i))
+		g.attrIndex[g.attrNames[i]] = AttrID(i)
+	}
+	for i := 0; i < n; i++ {
+		u := NodeID(i)
+		name := src.Name(u)
+		if _, dup := g.nameIndex[name]; dup {
+			return nil, fmt.Errorf("kg: materialize: duplicate node name %q", name)
+		}
+		g.names[i] = name
+		g.nameIndex[name] = u
+		g.types[i] = append([]TypeID(nil), src.Types(u)...)
+		g.attrs[i] = append([]AttrValue(nil), src.Attrs(u)...)
+		g.adj[i] = append([]HalfEdge(nil), src.Neighbors(u)...)
+		for _, t := range g.types[i] {
+			g.byType[t] = append(g.byType[t], u)
+		}
+	}
+	return g, nil
+}

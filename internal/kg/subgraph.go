@@ -15,31 +15,7 @@ type Bounded struct {
 // BoundedSubgraph runs a breadth-first search from start up to n hops.
 // n <= 0 yields only the start node.
 func (g *Graph) BoundedSubgraph(start NodeID, n int) *Bounded {
-	b := &Bounded{
-		Start: start,
-		N:     n,
-		Dist:  map[NodeID]int{start: 0},
-		Nodes: []NodeID{start},
-	}
-	if n <= 0 {
-		return b
-	}
-	frontier := []NodeID{start}
-	for depth := 1; depth <= n && len(frontier) > 0; depth++ {
-		var next []NodeID
-		for _, u := range frontier {
-			for _, he := range g.adj[u] {
-				if _, seen := b.Dist[he.To]; seen {
-					continue
-				}
-				b.Dist[he.To] = depth
-				b.Nodes = append(b.Nodes, he.To)
-				next = append(next, he.To)
-			}
-		}
-		frontier = next
-	}
-	return b
+	return BFS(g, start, n)
 }
 
 // Contains reports whether node u is inside the bounded subgraph.
@@ -54,7 +30,7 @@ func (b *Bounded) Size() int { return len(b.Nodes) }
 // CandidateAnswers returns the nodes of the bounded subgraph (excluding the
 // start node) that share at least one of the given types — the candidate
 // answer set A of Definition 4 restricted to the n-bounded search space.
-func (b *Bounded) CandidateAnswers(g *Graph, types []TypeID) []NodeID {
+func (b *Bounded) CandidateAnswers(g ReadGraph, types []TypeID) []NodeID {
 	var out []NodeID
 	for _, u := range b.Nodes {
 		if u == b.Start {
@@ -70,10 +46,10 @@ func (b *Bounded) CandidateAnswers(g *Graph, types []TypeID) []NodeID {
 // InducedEdgeCount returns the number of stored edges with both endpoints in
 // the bounded subgraph; the walk engine's transition matrix has one row
 // entry per half of each such edge.
-func (b *Bounded) InducedEdgeCount(g *Graph) int {
+func (b *Bounded) InducedEdgeCount(g ReadGraph) int {
 	count := 0
 	for _, u := range b.Nodes {
-		for _, he := range g.adj[u] {
+		for _, he := range g.Neighbors(u) {
 			if he.Out && b.Contains(he.To) {
 				count++
 			}

@@ -1,0 +1,124 @@
+// Package live is the mutation subsystem of the engine: it turns the
+// immutable kg.Graph into a continuously updatable knowledge graph without
+// giving up the read-side guarantees the sampling hot path depends on.
+//
+// The design is a copy-on-write delta overlay over an immutable base graph.
+// A Store owns the current Snapshot — base graph plus delta — and every
+// mutation batch produces a new immutable Snapshot at the next epoch;
+// readers grab the current Snapshot with one atomic load and keep a fully
+// consistent view for as long as they hold it, no matter how many writes
+// land meanwhile. Epochs are monotonic: epoch N+1 contains exactly the
+// batches 1..N+1 applied to the base, which is what gives queries
+// read-your-writes semantics (wait for the epoch a mutation returned, then
+// query the snapshot at or above it).
+//
+// A background compactor periodically folds the delta into a fresh immutable
+// base (kg.Materialize), preserving every id assignment, so overlay lookups
+// never degrade as mutations accumulate. Compaction changes representation,
+// not content: the epoch does not advance, and batches applied while the
+// compactor ran are replayed onto the fresh base before the swap.
+//
+// One deliberate constraint: mutations may introduce new entities, types and
+// attributes, but not new predicates. Predicate semantics come from the
+// offline-trained embedding — a predicate without a vector cannot be scored
+// by the semantic-aware walk — so edges must use the base vocabulary;
+// ErrFrozenPredicate reports violations.
+package live
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed mutation errors. Match with errors.Is; Apply wraps them with the
+// offending batch index and names.
+var (
+	// ErrUnknownEntity reports a mutation referencing an entity name absent
+	// from the snapshot the batch is applied to.
+	ErrUnknownEntity = errors.New("live: unknown entity")
+	// ErrFrozenPredicate reports an edge whose predicate is not in the base
+	// vocabulary (the embedding has no vector for it, so the walk could not
+	// score the edge).
+	ErrFrozenPredicate = errors.New("live: predicate not in frozen vocabulary")
+	// ErrEdgeNotFound reports a RemoveEdge for an edge that is not stored.
+	ErrEdgeNotFound = errors.New("live: edge not found")
+	// ErrSelfLoop reports an AddEdge with identical endpoints; the only
+	// self-loop in the system is the walker's virtual aperiodicity loop.
+	ErrSelfLoop = errors.New("live: self-loop rejected")
+	// ErrBadMutation reports a structurally invalid mutation (unknown op,
+	// missing fields, empty type set).
+	ErrBadMutation = errors.New("live: bad mutation")
+)
+
+// Op enumerates the mutation kinds.
+type Op string
+
+const (
+	// OpAddEntity inserts a node with the given name and types; adding an
+	// existing name merges the new types into it (graphs are assembled from
+	// many sources, so type information arrives incrementally).
+	OpAddEntity Op = "add_entity"
+	// OpAddEdge inserts the directed edge Src --Pred--> Dst. Both endpoints
+	// must exist; the predicate must be in the base vocabulary. Duplicate
+	// edges are silently collapsed, like in kg.Builder.
+	OpAddEdge Op = "add_edge"
+	// OpRemoveEdge deletes the directed edge Src --Pred--> Dst; the edge
+	// must be stored.
+	OpRemoveEdge Op = "remove_edge"
+	// OpSetAttr sets numeric attribute Attr=Value on Entity, overwriting any
+	// previous value. New attribute names extend the vocabulary.
+	OpSetAttr Op = "set_attr"
+	// OpSetTypes replaces Entity's type set with Types (at least one; every
+	// node carries a type so Definition 4's type condition stays total).
+	// New type names extend the vocabulary.
+	OpSetTypes Op = "set_types"
+)
+
+// Mutation is one live-graph update. Fields are interpreted per Op; see the
+// Op constants. Entities are addressed by unique name, the stable identity
+// of the wire formats, so a batch is meaningful independent of internal id
+// assignment.
+type Mutation struct {
+	Op     Op       `json:"op"`
+	Entity string   `json:"entity,omitempty"`
+	Types  []string `json:"types,omitempty"`
+	Src    string   `json:"src,omitempty"`
+	Pred   string   `json:"pred,omitempty"`
+	Dst    string   `json:"dst,omitempty"`
+	Attr   string   `json:"attr,omitempty"`
+	Value  float64  `json:"value,omitempty"`
+}
+
+// Batch is an atomically applied sequence of mutations: either every
+// mutation lands and the store advances one epoch, or none do.
+type Batch []Mutation
+
+// AddEntity builds an OpAddEntity mutation.
+func AddEntity(name string, types ...string) Mutation {
+	return Mutation{Op: OpAddEntity, Entity: name, Types: types}
+}
+
+// AddEdge builds an OpAddEdge mutation.
+func AddEdge(src, pred, dst string) Mutation {
+	return Mutation{Op: OpAddEdge, Src: src, Pred: pred, Dst: dst}
+}
+
+// RemoveEdge builds an OpRemoveEdge mutation.
+func RemoveEdge(src, pred, dst string) Mutation {
+	return Mutation{Op: OpRemoveEdge, Src: src, Pred: pred, Dst: dst}
+}
+
+// SetAttr builds an OpSetAttr mutation.
+func SetAttr(entity, attr string, value float64) Mutation {
+	return Mutation{Op: OpSetAttr, Entity: entity, Attr: attr, Value: value}
+}
+
+// SetTypes builds an OpSetTypes mutation.
+func SetTypes(entity string, types ...string) Mutation {
+	return Mutation{Op: OpSetTypes, Entity: entity, Types: types}
+}
+
+// badMutation wraps ErrBadMutation with detail.
+func badMutation(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadMutation, fmt.Sprintf(format, args...))
+}

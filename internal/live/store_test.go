@@ -1,0 +1,326 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+)
+
+func figure1Store(t *testing.T) *Store {
+	t.Helper()
+	return NewStore(kgtest.Figure1(), 0)
+}
+
+func TestApplyAdvancesEpochAtomically(t *testing.T) {
+	s := figure1Store(t)
+	base := s.Snapshot()
+	if base.Epoch() != 0 {
+		t.Fatalf("fresh store at epoch %d, want 0", base.Epoch())
+	}
+
+	snap1, err := s.Apply(Batch{
+		AddEntity("Tesla_3", "Automobile"),
+		AddEdge("Germany", "product", "Tesla_3"),
+		SetAttr("Tesla_3", "price", 39000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Epoch() != 1 {
+		t.Fatalf("epoch %d after first batch, want 1", snap1.Epoch())
+	}
+
+	snap := s.Snapshot()
+	u := snap.NodeByName("Tesla_3")
+	if u == kg.InvalidNode {
+		t.Fatal("Tesla_3 not resolvable in new snapshot")
+	}
+	if !snap.HasEdge(snap.NodeByName("Germany"), snap.PredByName("product"), u) {
+		t.Fatal("edge Germany --product--> Tesla_3 missing")
+	}
+	if v, ok := snap.Attr(u, snap.AttrByName("price")); !ok || v != 39000 {
+		t.Fatalf("price = %v (%v), want 39000", v, ok)
+	}
+	if snap.NumEdges() != base.NumEdges()+1 {
+		t.Fatalf("edges %d, want %d", snap.NumEdges(), base.NumEdges()+1)
+	}
+
+	// The old snapshot must be frozen: no new node, no new edge, old epoch.
+	if base.NodeByName("Tesla_3") != kg.InvalidNode {
+		t.Fatal("old snapshot sees the new entity")
+	}
+	if base.NumEdges() != kgtest.Figure1().NumEdges() {
+		t.Fatal("old snapshot edge count moved")
+	}
+}
+
+func TestApplyAtomicOnError(t *testing.T) {
+	s := figure1Store(t)
+	before := s.Snapshot()
+	_, err := s.Apply(Batch{
+		AddEntity("X_1", "Automobile"),
+		AddEdge("Germany", "no-such-predicate", "X_1"), // frozen vocabulary
+	})
+	if !errors.Is(err, ErrFrozenPredicate) {
+		t.Fatalf("err = %v, want ErrFrozenPredicate", err)
+	}
+	after := s.Snapshot()
+	if after != before {
+		t.Fatal("failed batch replaced the snapshot")
+	}
+	if after.NodeByName("X_1") != kg.InvalidNode {
+		t.Fatal("failed batch leaked its entity")
+	}
+}
+
+func TestMutationErrors(t *testing.T) {
+	s := figure1Store(t)
+	cases := []struct {
+		name string
+		b    Batch
+		want error
+	}{
+		{"unknown entity", Batch{SetAttr("Nobody", "price", 1)}, ErrUnknownEntity},
+		{"unknown src", Batch{AddEdge("Nobody", "product", "Germany")}, ErrUnknownEntity},
+		{"self loop", Batch{AddEdge("Germany", "product", "Germany")}, ErrSelfLoop},
+		{"missing edge", Batch{RemoveEdge("Berlin", "product", "Germany")}, ErrEdgeNotFound},
+		{"empty types", Batch{SetTypes("Germany")}, ErrBadMutation},
+		{"empty batch", Batch{}, ErrBadMutation},
+		{"unknown op", Batch{{Op: "frobnicate"}}, ErrBadMutation},
+	}
+	for _, tc := range cases {
+		if _, err := s.Apply(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("failed batches advanced the epoch to %d", s.Epoch())
+	}
+}
+
+func TestRemoveEdgeAndReAdd(t *testing.T) {
+	s := figure1Store(t)
+	g := s.Snapshot()
+	src, dst := g.NodeByName("BMW_320"), g.NodeByName("Germany")
+	pred := g.PredByName("assembly")
+	if !g.HasEdge(src, pred, dst) {
+		t.Fatal("fixture misses BMW_320 --assembly--> Germany")
+	}
+	sn, pn, dn := "BMW_320", "assembly", "Germany"
+
+	if _, err := s.Apply(Batch{RemoveEdge(sn, pn, dn)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.HasEdge(src, pred, dst) {
+		t.Fatal("removed edge still stored")
+	}
+	if snap.NumEdges() != g.NumEdges()-1 {
+		t.Fatalf("edges %d, want %d", snap.NumEdges(), g.NumEdges()-1)
+	}
+	if _, err := s.Apply(Batch{AddEdge(sn, pn, dn)}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Snapshot().HasEdge(src, pred, dst) {
+		t.Fatal("re-added edge missing")
+	}
+	if s.Snapshot().NumEdges() != g.NumEdges() {
+		t.Fatal("edge count drifted over remove + re-add")
+	}
+}
+
+func TestSetTypesReflectsInNodesByType(t *testing.T) {
+	s := figure1Store(t)
+	g := s.Snapshot()
+	u := g.NodeByName("Lamando")
+	if u == kg.InvalidNode {
+		t.Fatal("fixture has no Lamando")
+	}
+	if _, err := s.Apply(Batch{SetTypes("Lamando", "Robot")}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	robot := snap.TypeByName("Robot")
+	if robot == kg.InvalidType {
+		t.Fatal("new type not interned")
+	}
+	if !snap.HasType(u, robot) {
+		t.Fatal("Lamando lost its new type")
+	}
+	found := false
+	for _, v := range snap.NodesByType(robot) {
+		if v == u {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("NodesByType(Robot) misses Lamando")
+	}
+	// The old type's list must no longer contain Leon.
+	for _, old := range g.Types(u) {
+		for _, v := range snap.NodesByType(old) {
+			if v == u {
+				t.Fatalf("NodesByType(%s) still lists Lamando", snap.TypeName(old))
+			}
+		}
+	}
+}
+
+func TestWaitEpochReadYourWrites(t *testing.T) {
+	s := figure1Store(t)
+	done := make(chan uint64, 1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		snap, err := s.Apply(Batch{AddEntity("W_1", "Automobile")})
+		if err != nil {
+			panic(err)
+		}
+		done <- snap.Epoch()
+	}()
+	snap, err := s.WaitEpoch(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch() < 1 {
+		t.Fatalf("WaitEpoch returned epoch %d", snap.Epoch())
+	}
+	if snap.NodeByName("W_1") == kg.InvalidNode {
+		t.Fatal("snapshot at waited epoch misses the write")
+	}
+	<-done
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.WaitEpoch(ctx, 99); err == nil {
+		t.Fatal("WaitEpoch for an unreached epoch returned without error")
+	}
+}
+
+func TestCompactPreservesContentAndEpoch(t *testing.T) {
+	s := figure1Store(t)
+	for i := 0; i < 5; i++ {
+		b := Batch{
+			AddEntity(nameN("C", i), "Automobile"),
+			AddEdge("Germany", "product", nameN("C", i)),
+			SetAttr(nameN("C", i), "price", float64(1000*i)),
+		}
+		if _, err := s.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Snapshot()
+	ev, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil {
+		t.Fatal("compaction skipped a non-empty delta")
+	}
+	after := s.Snapshot()
+	if after.Epoch() != before.Epoch() {
+		t.Fatalf("compaction moved the epoch %d → %d", before.Epoch(), after.Epoch())
+	}
+	if after.DeltaSize() != 0 {
+		t.Fatalf("delta not folded: %d nodes still overridden", after.DeltaSize())
+	}
+	if after.NumNodes() != before.NumNodes() || after.NumEdges() != before.NumEdges() {
+		t.Fatalf("compaction changed counts: %v vs %v", after, before)
+	}
+	// Ids must be preserved exactly.
+	for i := 0; i < before.NumNodes(); i++ {
+		u := kg.NodeID(i)
+		if before.Name(u) != after.Name(u) {
+			t.Fatalf("node %d renamed %q → %q", i, before.Name(u), after.Name(u))
+		}
+		if len(before.Neighbors(u)) != len(after.Neighbors(u)) {
+			t.Fatalf("node %d degree changed", i)
+		}
+	}
+	// And mutations keep applying on the fresh base.
+	if _, err := s.Apply(Batch{SetAttr("C_0", "price", 7)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nameN(prefix string, i int) string {
+	return prefix + "_" + string(rune('0'+i))
+}
+
+// Writers, readers and the compactor racing must preserve per-snapshot
+// consistency: every snapshot's edge count matches a full EachEdge scan,
+// and epochs observed by a reader never go backwards. Run with -race.
+func TestConcurrentApplyReadCompact(t *testing.T) {
+	s := figure1Store(t)
+	stopApply := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopApply:
+				return
+			default:
+			}
+			name := "N_" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+			_, err := s.Apply(Batch{
+				AddEntity(name, "Automobile"),
+				AddEdge("Germany", "product", name),
+				SetAttr(name, "price", float64(i)),
+			})
+			if err != nil {
+				// Duplicate entity on wrap-around: merge is fine, edge
+				// duplicate collapses; only real errors fail the test.
+				t.Errorf("apply: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // readers
+			defer wg.Done()
+			last := uint64(0)
+			for i := 0; i < 200; i++ {
+				snap := s.Snapshot()
+				if snap.Epoch() < last {
+					t.Errorf("epoch went backwards: %d after %d", snap.Epoch(), last)
+					return
+				}
+				last = snap.Epoch()
+				count := 0
+				snap.EachEdge(func(kg.NodeID, kg.PredID, kg.NodeID) bool {
+					count++
+					return true
+				})
+				if count != snap.NumEdges() {
+					t.Errorf("snapshot inconsistent: scan %d vs NumEdges %d", count, snap.NumEdges())
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() { // compactor
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := s.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	close(stopApply)
+	wg.Wait()
+}

@@ -40,7 +40,7 @@ func BenchmarkExhaustiveN3(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Exhaustive(c, us, pred, 3)
+		Exhaustive(g, c, us, pred, 3)
 	}
 }
 
@@ -64,6 +64,6 @@ func BenchmarkValidateBatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Validate(c, us, pred, pi, answers, cfg)
+		Validate(g, c, us, pred, pi, answers, cfg)
 	}
 }

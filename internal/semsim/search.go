@@ -14,12 +14,12 @@ import (
 // but exponential in n (O(mⁿ) with average degree m).
 //
 // The caller filters the returned map by answer type and threshold τ.
-func Exhaustive(c *Calculator, us kg.NodeID, queryPred kg.PredID, n int) map[kg.NodeID]float64 {
+// g is the graph view to traverse (a live snapshot or the plain graph).
+func Exhaustive(g kg.ReadGraph, c *Calculator, us kg.NodeID, queryPred kg.PredID, n int) map[kg.NodeID]float64 {
 	best := map[kg.NodeID]float64{}
 	if n <= 0 {
 		return best
 	}
-	g := c.Graph()
 	logRow := c.LogSimRow(queryPred)
 	onPath := map[kg.NodeID]bool{us: true}
 
@@ -138,9 +138,9 @@ func (h *pathHeap) Pop() any {
 // Answers the guided search never reaches within budget fall back to a
 // per-answer exhaustive search, keeping starvation from turning into false
 // negatives wholesale.
-func Validate(c *Calculator, us kg.NodeID, queryPred kg.PredID, pi map[kg.NodeID]float64,
+func Validate(g kg.ReadGraph, c *Calculator, us kg.NodeID, queryPred kg.PredID, pi map[kg.NodeID]float64,
 	answers []kg.NodeID, cfg ValidatorConfig) (map[kg.NodeID]ValidateResult, ValidateStats) {
-	return ValidateCtx(context.Background(), c, us, queryPred, pi, answers, cfg)
+	return ValidateCtx(context.Background(), g, c, us, queryPred, pi, answers, cfg)
 }
 
 // ctxCheckEvery is how many expansions pass between ctx polls in
@@ -154,11 +154,10 @@ const ctxCheckEvery = 64
 // far without running the per-answer fallback. Callers must treat the
 // result of a cancelled call as incomplete — absent answers carry no
 // evidence of incorrectness.
-func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.PredID,
+func ValidateCtx(ctx context.Context, g kg.ReadGraph, c *Calculator, us kg.NodeID, queryPred kg.PredID,
 	pi map[kg.NodeID]float64, answers []kg.NodeID, cfg ValidatorConfig) (map[kg.NodeID]ValidateResult, ValidateStats) {
 
 	cfg = cfg.withDefaults()
-	g := c.Graph()
 	logRow := c.LogSimRow(queryPred)
 	want := make(map[kg.NodeID]bool, len(answers))
 	for _, a := range answers {
@@ -240,7 +239,7 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 		}
 		if res[a].Similarity == 0 {
 			stats.Fallbacks++
-			if s, ok := fallbackBest(c, us, queryPred, a, cfg.MaxLen); ok {
+			if s, ok := fallbackBest(g, c, us, queryPred, a, cfg.MaxLen); ok {
 				res[a] = ValidateResult{Similarity: s, Paths: 1}
 			} else {
 				res[a] = ValidateResult{}
@@ -252,8 +251,7 @@ func ValidateCtx(ctx context.Context, c *Calculator, us kg.NodeID, queryPred kg.
 
 // fallbackBest runs a depth-bounded exhaustive search for the single answer
 // a, returning the best path similarity from us.
-func fallbackBest(c *Calculator, us kg.NodeID, queryPred kg.PredID, a kg.NodeID, maxLen int) (float64, bool) {
-	g := c.Graph()
+func fallbackBest(g kg.ReadGraph, c *Calculator, us kg.NodeID, queryPred kg.PredID, a kg.NodeID, maxLen int) (float64, bool) {
 	logRow := c.LogSimRow(queryPred)
 	best := -1.0
 	onPath := map[kg.NodeID]bool{us: true}

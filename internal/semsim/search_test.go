@@ -36,12 +36,12 @@ func TestValidateFindsAllAnswers(t *testing.T) {
 	for _, name := range append(kgtest.Figure1Answers(), "KIA_K5") {
 		answers = append(answers, g.NodeByName(name))
 	}
-	res, stats := Validate(c, us, product, pi, answers, ValidatorConfig{Repeat: 3, MaxLen: 3})
+	res, stats := Validate(g, c, us, product, pi, answers, ValidatorConfig{Repeat: 3, MaxLen: 3})
 	if stats.Expansions == 0 {
 		t.Fatal("no expansions recorded")
 	}
 
-	exact := Exhaustive(c, us, product, 3)
+	exact := Exhaustive(g, c, us, product, 3)
 	tau := 0.85
 	for _, a := range answers {
 		got := res[a]
@@ -74,12 +74,12 @@ func TestValidateRepeatFactorReducesFalseNegatives(t *testing.T) {
 
 	// With r=1 the first-found path may be the weaker designCompany one;
 	// with a larger r the better country→product path must be found.
-	resBig, _ := Validate(c, us, product, pi, []kg.NodeID{lamando}, ValidatorConfig{Repeat: 4, MaxLen: 3})
-	exact := Exhaustive(c, us, product, 3)
+	resBig, _ := Validate(g, c, us, product, pi, []kg.NodeID{lamando}, ValidatorConfig{Repeat: 4, MaxLen: 3})
+	exact := Exhaustive(g, c, us, product, 3)
 	if math.Abs(resBig[lamando].Similarity-exact[lamando]) > 1e-9 {
 		t.Fatalf("r=4 similarity %v, want exact %v", resBig[lamando].Similarity, exact[lamando])
 	}
-	resSmall, _ := Validate(c, us, product, pi, []kg.NodeID{lamando}, ValidatorConfig{Repeat: 1, MaxLen: 3})
+	resSmall, _ := Validate(g, c, us, product, pi, []kg.NodeID{lamando}, ValidatorConfig{Repeat: 1, MaxLen: 3})
 	if resSmall[lamando].Similarity > resBig[lamando].Similarity+1e-9 {
 		t.Fatal("smaller r produced higher similarity")
 	}
@@ -105,7 +105,7 @@ func TestValidateUnreachableAnswer(t *testing.T) {
 		t.Fatal(err)
 	}
 	pi := fakePi(g, us)
-	res, stats := Validate(c, us, g.PredByName("assembly"), pi,
+	res, stats := Validate(g, c, us, g.PredByName("assembly"), pi,
 		[]kg.NodeID{island}, ValidatorConfig{})
 	if res[island].Paths != 0 || res[island].Similarity != 0 {
 		t.Fatalf("unreachable answer got %+v", res[island])
@@ -122,7 +122,7 @@ func TestValidateBudgetExhaustion(t *testing.T) {
 	pi := fakePi(g, us)
 	lamando := g.NodeByName("Lamando")
 	// Budget of 1 exhausts immediately; the fallback must still find it.
-	res, stats := Validate(c, us, product, pi, []kg.NodeID{lamando},
+	res, stats := Validate(g, c, us, product, pi, []kg.NodeID{lamando},
 		ValidatorConfig{Repeat: 3, MaxLen: 3, Budget: 1})
 	if res[lamando].Paths == 0 {
 		t.Fatal("fallback did not rescue budget exhaustion")
@@ -142,7 +142,7 @@ func TestValidateDefaults(t *testing.T) {
 func TestValidateEmptyAnswerSet(t *testing.T) {
 	c, g := figure1Calc(t)
 	us := g.NodeByName("Germany")
-	res, _ := Validate(c, us, g.PredByName("product"), fakePi(g, us), nil, ValidatorConfig{})
+	res, _ := Validate(g, c, us, g.PredByName("product"), fakePi(g, us), nil, ValidatorConfig{})
 	if len(res) != 0 {
 		t.Fatalf("res = %v, want empty", res)
 	}

@@ -27,7 +27,7 @@ const DefaultFloor = 0.01
 // unrestricted concurrent use; one Calculator is shared by every query an
 // engine serves.
 type Calculator struct {
-	g     *kg.Graph
+	g     kg.ReadGraph
 	model embedding.Model
 	floor float64
 	nPred int
@@ -40,8 +40,11 @@ type Calculator struct {
 
 // NewCalculator builds a Calculator with the given similarity floor
 // (DefaultFloor when floor <= 0), precomputing the full predicate-similarity
-// matrix.
-func NewCalculator(g *kg.Graph, model embedding.Model, floor float64) (*Calculator, error) {
+// matrix. The matrix depends only on the predicate vocabulary, which live
+// graphs keep frozen, so one Calculator serves every snapshot of a live
+// graph; traversal helpers (Exhaustive, ValidateCtx) take the snapshot to
+// walk explicitly.
+func NewCalculator(g kg.ReadGraph, model embedding.Model, floor float64) (*Calculator, error) {
 	if g == nil || model == nil {
 		return nil, fmt.Errorf("semsim: nil graph or model")
 	}
@@ -80,8 +83,10 @@ func NewCalculator(g *kg.Graph, model embedding.Model, floor float64) (*Calculat
 	return c, nil
 }
 
-// Graph returns the underlying knowledge graph.
-func (c *Calculator) Graph() *kg.Graph { return c.g }
+// Graph returns the graph the Calculator was built over. For a live graph
+// this is the construction-time view; traversals that must observe a
+// specific epoch pass their snapshot explicitly instead.
+func (c *Calculator) Graph() kg.ReadGraph { return c.g }
 
 // Floor returns the similarity floor in effect.
 func (c *Calculator) Floor() float64 { return c.floor }

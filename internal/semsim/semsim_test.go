@@ -160,7 +160,7 @@ func TestExhaustiveFigure1(t *testing.T) {
 	c, g := figure1Calc(t)
 	product := g.PredByName("product")
 	us := g.NodeByName("Germany")
-	best := Exhaustive(c, us, product, 3)
+	best := Exhaustive(g, c, us, product, 3)
 
 	wantSims := map[string]float64{
 		"BMW_320":     0.98,
@@ -204,7 +204,7 @@ func TestExhaustiveRespectsBound(t *testing.T) {
 	c, g := figure1Calc(t)
 	product := g.PredByName("product")
 	us := g.NodeByName("Germany")
-	best1 := Exhaustive(c, us, product, 1)
+	best1 := Exhaustive(g, c, us, product, 1)
 	// 1 hop from Germany: BMW_320, BMW_X6 (assembly), Volkswagen, Porsche
 	// (country), Schreyer (nationality), Merkel, Berlin.
 	if _, ok := best1[g.NodeByName("Audi_TT")]; ok {
@@ -213,7 +213,7 @@ func TestExhaustiveRespectsBound(t *testing.T) {
 	if _, ok := best1[g.NodeByName("BMW_320")]; !ok {
 		t.Fatal("BMW_320 missing at n=1")
 	}
-	if got := Exhaustive(c, us, product, 0); len(got) != 0 {
+	if got := Exhaustive(g, c, us, product, 0); len(got) != 0 {
 		t.Fatal("n=0 should reach nothing")
 	}
 }

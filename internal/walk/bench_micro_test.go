@@ -23,7 +23,7 @@ func benchWalker(b *testing.B) (*Walker, *kg.Graph) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w, err := New(calc, g.NodeByName("Germany"), g.PredByName("product"), Config{N: 3})
+	w, err := New(g, calc, g.NodeByName("Germany"), g.PredByName("product"), Config{N: 3})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func benchBigWalker(b *testing.B) *Walker {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w, err := New(calc, ids[0], g.PredByName("product"), Config{N: 3, MaxIter: 60})
+	w, err := New(g, calc, ids[0], g.PredByName("product"), Config{N: 3, MaxIter: 60})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func BenchmarkWalkerBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := New(calc, us, pred, Config{N: 3}); err != nil {
+		if _, err := New(g, calc, us, pred, Config{N: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +93,7 @@ func BenchmarkWalkerConverge(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, err := New(calc, us, pred, Config{N: 3})
+		w, err := New(g, calc, us, pred, Config{N: 3})
 		if err != nil {
 			b.Fatal(err)
 		}

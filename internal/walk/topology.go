@@ -27,7 +27,7 @@ type TopologySample struct {
 // common neighbours with the current node, which reduces sample correlation
 // but still considers topology only. It collects k answer visits after
 // burnIn steps.
-func CNARW(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
+func CNARW(ctx context.Context, g kg.ReadGraph, start kg.NodeID, targetTypes []kg.TypeID, n int, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
 	weight := func(u, v kg.NodeID) float64 {
 		cn := commonNeighbors(g, u, v)
 		du, dv := g.Degree(u), g.Degree(v)
@@ -47,7 +47,7 @@ func CNARW(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.T
 	return topologyWalk(ctx, g, start, targetTypes, n, r, burnIn, k, weight)
 }
 
-func commonNeighbors(g *kg.Graph, u, v kg.NodeID) int {
+func commonNeighbors(g kg.ReadGraph, u, v kg.NodeID) int {
 	set := map[kg.NodeID]bool{}
 	for _, he := range g.Neighbors(u) {
 		set[he.To] = true
@@ -62,7 +62,7 @@ func commonNeighbors(g *kg.Graph, u, v kg.NodeID) int {
 }
 
 // topologyWalk is a first-order weighted walk over the bounded subgraph.
-func topologyWalk(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
+func topologyWalk(ctx context.Context, g kg.ReadGraph, start kg.NodeID, targetTypes []kg.TypeID, n int,
 	r *rand.Rand, burnIn, k int, weight func(u, v kg.NodeID) float64) (*TopologySample, error) {
 
 	bound := g.BoundedSubgraph(start, n)
@@ -102,7 +102,7 @@ func topologyWalk(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes
 // 2016) with return parameter p and in-out parameter q over the n-bounded
 // subgraph, collecting k answer visits after burnIn steps. The defaults of
 // the ablation are p=1, q=0.5 (outward-leaning).
-func Node2Vec(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID, n int,
+func Node2Vec(ctx context.Context, g kg.ReadGraph, start kg.NodeID, targetTypes []kg.TypeID, n int,
 	p, q float64, r *rand.Rand, burnIn, k int) (*TopologySample, error) {
 	if p <= 0 || q <= 0 {
 		return nil, fmt.Errorf("walk: node2vec parameters must be positive (p=%v, q=%v)", p, q)
@@ -149,7 +149,7 @@ func Node2Vec(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []k
 	return collectTopology(ctx, g, start, targetTypes, burnIn, k, step, func() kg.NodeID { return cur })
 }
 
-func adjacent(g *kg.Graph, u, v kg.NodeID) bool {
+func adjacent(g kg.ReadGraph, u, v kg.NodeID) bool {
 	for _, he := range g.Neighbors(u) {
 		if he.To == v {
 			return true
@@ -161,7 +161,7 @@ func adjacent(g *kg.Graph, u, v kg.NodeID) bool {
 // collectTopology shares the burn-in / collection / empirical-probability
 // logic of the topology walkers. ctx is polled every 64 steps so a
 // cancelled query does not run the full k-visit collection.
-func collectTopology(ctx context.Context, g *kg.Graph, start kg.NodeID, targetTypes []kg.TypeID,
+func collectTopology(ctx context.Context, g kg.ReadGraph, start kg.NodeID, targetTypes []kg.TypeID,
 	burnIn, k int, step func(), tip func() kg.NodeID) (*TopologySample, error) {
 
 	for i := 0; i < burnIn; i++ {

@@ -70,7 +70,7 @@ func (c Config) withDefaults() Config {
 // scatter of read-modify-writes into random memory; the zeroing and the L1
 // diff pass fuse into the same sweep.
 type Walker struct {
-	g     *kg.Graph
+	g     kg.ReadGraph
 	calc  *semsim.Calculator
 	bound *kg.Bounded
 	start kg.NodeID
@@ -103,12 +103,22 @@ type Walker struct {
 
 // New builds the walker: extracts the n-bounded subgraph around start and
 // assembles the transition matrix of Eq. 5 with the aperiodicity self-loop.
-func New(calc *semsim.Calculator, start kg.NodeID, queryPred kg.PredID, cfg Config) (*Walker, error) {
+//
+// g is the graph view the walk runs on. For a live graph this is one
+// epoch's snapshot: the CSR assembled here reads delta-overridden adjacency
+// for mutated nodes and falls through to the compacted base's slices for
+// everything else, so an in-flight query keeps one consistent topology no
+// matter how many mutations land while it runs. calc must share g's
+// predicate vocabulary (live graphs freeze it, so the engine-wide
+// calculator always qualifies).
+func New(g kg.ReadGraph, calc *semsim.Calculator, start kg.NodeID, queryPred kg.PredID, cfg Config) (*Walker, error) {
 	if calc == nil {
 		return nil, fmt.Errorf("walk: nil similarity calculator")
 	}
+	if g == nil {
+		g = calc.Graph()
+	}
 	cfg = cfg.withDefaults()
-	g := calc.Graph()
 	if start < 0 || int(start) >= g.NumNodes() {
 		return nil, fmt.Errorf("walk: start node %d out of range", start)
 	}

@@ -20,7 +20,7 @@ func figure1Walker(t *testing.T, cfg Config) (*Walker, *kg.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := New(calc, g.NodeByName("Germany"), g.PredByName("product"), cfg)
+	w, err := New(g, calc, g.NodeByName("Germany"), g.PredByName("product"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,13 +33,13 @@ func TestNewErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(nil, 0, 0, Config{}); err == nil {
+	if _, err := New(g, nil, 0, 0, Config{}); err == nil {
 		t.Fatal("nil calculator accepted")
 	}
-	if _, err := New(calc, -1, 0, Config{}); err == nil {
+	if _, err := New(g, calc, -1, 0, Config{}); err == nil {
 		t.Fatal("bad start accepted")
 	}
-	if _, err := New(calc, 0, kg.PredID(999), Config{}); err == nil {
+	if _, err := New(g, calc, 0, kg.PredID(999), Config{}); err == nil {
 		t.Fatal("bad predicate accepted")
 	}
 }
@@ -286,7 +286,7 @@ func TestIsolatedStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := New(calc, g.NodeByName("alone"), g.PredByName("p"), Config{})
+	w, err := New(g, calc, g.NodeByName("alone"), g.PredByName("p"), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestWalkerInvariants(t *testing.T) {
 		}
 		// The random graph may not contain every predicate; pick one that
 		// actually occurs (edges exist, so predicate 0 does).
-		w, err := New(calc, ids[r.Intn(n)], kg.PredID(0), Config{N: 1 + r.Intn(3)})
+		w, err := New(g, calc, ids[r.Intn(n)], kg.PredID(0), Config{N: 1 + r.Intn(3)})
 		if err != nil {
 			return false
 		}

@@ -48,6 +48,7 @@ import (
 	"kgaq/internal/datagen"
 	"kgaq/internal/embedding"
 	"kgaq/internal/kg"
+	"kgaq/internal/live"
 	"kgaq/internal/query"
 )
 
@@ -221,6 +222,7 @@ func WithLambda(l float64) QueryOption         { return core.WithLambda(l) }
 func WithSkipValidation(skip bool) QueryOption { return core.WithSkipValidation(skip) }
 func WithOptions(o Options) QueryOption        { return core.WithOptions(o) }
 func WithParallelism(n int) QueryOption        { return core.WithParallelism(n) }
+func WithMinEpoch(epoch uint64) QueryOption    { return core.WithMinEpoch(epoch) }
 func OnRound(fn func(Round)) QueryOption       { return core.OnRound(fn) }
 
 // Sentinel errors surfaced by query execution; match with errors.Is.
@@ -240,13 +242,49 @@ var (
 	// ErrInterrupted reports a context cancellation or deadline mid-query;
 	// it can accompany a partial Result with Converged=false.
 	ErrInterrupted = core.ErrInterrupted
+	// ErrEpochNotReached reports a WithMinEpoch requirement the engine's
+	// graph source can never satisfy (static engines are pinned at epoch 0).
+	ErrEpochNotReached = core.ErrEpochNotReached
 	// ErrUnknownProfile reports a dataset profile name that is not built in.
 	ErrUnknownProfile = errors.New("kgaq: unknown dataset profile")
 )
 
-// NewEngine builds an execution engine.
+// NewEngine builds an execution engine over a static (immutable) graph.
 func NewEngine(g *Graph, model EmbeddingModel, opts Options) (*Engine, error) {
 	return core.NewEngine(g, model, opts)
+}
+
+// LiveStore is an epoch-versioned mutable knowledge graph: atomic mutation
+// batches over a copy-on-write overlay, consistent snapshots for readers,
+// and a background compactor. See internal/live and DESIGN.md "Live graphs:
+// epochs and consistency".
+type LiveStore = live.Store
+
+// Mutation is one live-graph update; build with AddEntity, AddEdge,
+// RemoveEdge, SetAttr and SetTypes.
+type Mutation = live.Mutation
+
+// MutationBatch is an atomically applied sequence of mutations.
+type MutationBatch = live.Batch
+
+// Mutation constructors; see the live package for semantics.
+func AddEntity(name string, types ...string) Mutation { return live.AddEntity(name, types...) }
+func AddEdge(src, pred, dst string) Mutation          { return live.AddEdge(src, pred, dst) }
+func RemoveEdge(src, pred, dst string) Mutation       { return live.RemoveEdge(src, pred, dst) }
+func SetAttr(entity, attr string, v float64) Mutation { return live.SetAttr(entity, attr, v) }
+func SetTypes(entity string, types ...string) Mutation {
+	return live.SetTypes(entity, types...)
+}
+
+// NewLiveStore wraps an immutable graph as a live graph at epoch 0.
+func NewLiveStore(g *Graph) *LiveStore { return live.NewStore(g, 0) }
+
+// NewLiveEngine builds an execution engine over a live store: queries run
+// against epoch-consistent snapshots while mutation batches proceed, with
+// selective answer-space cache invalidation. Use WithMinEpoch for
+// read-your-writes.
+func NewLiveEngine(store *LiveStore, model EmbeddingModel, opts Options) (*Engine, error) {
+	return core.NewLiveEngine(store, model, opts)
 }
 
 // Dataset is a synthetic benchmark dataset: a schema-flexible knowledge
