@@ -11,7 +11,8 @@
 //	}'
 //
 // Per-request overrides (error_bound, confidence, tau, seed, max_draws,
-// sampler, timeout_ms, min_epoch) map 1:1 onto the engine's QueryOptions;
+// sampler, timeout_ms, min_epoch, shards) map 1:1 onto the engine's
+// QueryOptions;
 // "stream": true switches the response to NDJSON with one line per
 // refinement round. SIGINT/SIGTERM drain gracefully: in-flight queries are
 // cancelled through their contexts and report partial results before the
@@ -53,6 +54,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "default engine seed")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period")
 	cacheBytes := flag.Int64("cache-bytes", 0, "answer-space cache bound in bytes (0 = default, negative = disabled)")
+	shards := flag.Int("shards", 1, "partition query execution into this many shards (per-request override via \"shards\")")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and cache counters on this address (e.g. localhost:6060; empty = disabled)")
 	readOnly := flag.Bool("read-only", false, "disable /v1/mutate and serve the loaded graph immutably")
 	compactEvery := flag.Duration("compact-interval", 2*time.Second, "background compactor check interval")
@@ -65,7 +67,7 @@ func main() {
 	}
 	opts := core.Options{
 		ErrorBound: *eb, Confidence: *conf, Tau: *tau, Seed: *seed,
-		CacheMaxBytes: *cacheBytes,
+		CacheMaxBytes: *cacheBytes, Shards: *shards,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

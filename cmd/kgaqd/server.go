@@ -88,6 +88,11 @@ type queryRequest struct {
 	// the request context) for the epoch on a live server; a static server
 	// rejects positive values.
 	MinEpoch uint64 `json:"min_epoch,omitempty"`
+	// Shards overrides the server's shard count for this query: the
+	// candidate-answer space is cut into this many ownership strata,
+	// sampled per shard and merged with the stratified Horvitz–Thompson
+	// combiner. Requires the semantic sampler.
+	Shards int `json:"shards,omitempty"`
 }
 
 // options translates the request's overrides into per-query options.
@@ -113,6 +118,9 @@ func (qr *queryRequest) options() ([]core.QueryOption, error) {
 	}
 	if qr.MinEpoch > 0 {
 		opts = append(opts, core.WithMinEpoch(qr.MinEpoch))
+	}
+	if qr.Shards > 0 {
+		opts = append(opts, core.WithShards(qr.Shards))
 	}
 	switch strings.ToLower(qr.Sampler) {
 	case "", "semantic":
@@ -151,6 +159,7 @@ type queryResponse struct {
 	SampleSize  int                  `json:"sample_size"`
 	Distinct    int                  `json:"distinct"`
 	Candidates  int                  `json:"candidates"`
+	Shards      int                  `json:"shards,omitempty"`
 	Epoch       uint64               `json:"epoch"`
 	Rounds      []roundJSON          `json:"rounds,omitempty"`
 	Groups      map[string]groupJSON `json:"groups,omitempty"`
@@ -177,6 +186,7 @@ func toResponse(agg *query.Aggregate, res *core.Result, interrupted bool, elapse
 		SampleSize:  res.SampleSize,
 		Distinct:    res.Distinct,
 		Candidates:  res.Candidates,
+		Shards:      res.Shards,
 		Epoch:       res.Epoch,
 		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
 	}
@@ -200,6 +210,7 @@ func errorStatus(err error) int {
 		errors.Is(err, core.ErrUnknownType),
 		errors.Is(err, core.ErrUnknownPredicate),
 		errors.Is(err, core.ErrUnknownAttribute),
+		errors.Is(err, core.ErrShardedSampler),
 		errors.Is(err, core.ErrEpochNotReached):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrNotConverged):
@@ -345,18 +356,38 @@ func cacheSnapshot(eng *core.Engine) cacheJSON {
 	}
 }
 
+// shardJSON is one shard's statistics on the wire (healthz and
+// /debug/shards): node ownership balance, attributed sample draws, and —
+// on live servers — mutations that landed in the shard's territory.
+type shardJSON struct {
+	Shard      int    `json:"shard"`
+	OwnedNodes int    `json:"owned_nodes"`
+	Draws      uint64 `json:"draws"`
+	Touched    uint64 `json:"touched,omitempty"`
+}
+
+func shardSnapshot(eng *core.Engine) []shardJSON {
+	st := eng.ShardStats()
+	out := make([]shardJSON, len(st))
+	for i, s := range st {
+		out[i] = shardJSON{Shard: s.Shard, OwnedNodes: s.OwnedNodes, Draws: s.Draws, Touched: s.Touched}
+	}
+	return out
+}
+
 // healthResponse is the body of GET /v1/healthz.
 type healthResponse struct {
-	Status     string    `json:"status"`
-	UptimeS    float64   `json:"uptime_s"`
-	Nodes      int       `json:"nodes"`
-	Edges      int       `json:"edges"`
-	Predicates int       `json:"predicates"`
-	Types      int       `json:"types"`
-	Epoch      uint64    `json:"epoch"`
-	Live       bool      `json:"live"`
-	DeltaNodes int       `json:"delta_nodes,omitempty"`
-	Cache      cacheJSON `json:"cache"`
+	Status     string      `json:"status"`
+	UptimeS    float64     `json:"uptime_s"`
+	Nodes      int         `json:"nodes"`
+	Edges      int         `json:"edges"`
+	Predicates int         `json:"predicates"`
+	Types      int         `json:"types"`
+	Epoch      uint64      `json:"epoch"`
+	Live       bool        `json:"live"`
+	DeltaNodes int         `json:"delta_nodes,omitempty"`
+	Cache      cacheJSON   `json:"cache"`
+	Shards     []shardJSON `json:"shards,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +405,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		h.DeltaNodes = s.store.Snapshot().DeltaSize()
+	}
+	// Per-shard stats appear once the server runs an actual partition plan
+	// (a single-shard engine's stats are the graph totals already shown).
+	if sh := shardSnapshot(s.eng); len(sh) > 1 {
+		h.Shards = sh
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -457,6 +493,9 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /debug/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, cacheSnapshot(s.eng))
+	})
+	mux.HandleFunc("GET /debug/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, shardSnapshot(s.eng))
 	})
 	return mux
 }

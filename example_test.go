@@ -1,0 +1,93 @@
+package kgaq_test
+
+import (
+	"context"
+	"fmt"
+
+	"kgaq"
+)
+
+// exampleEngine builds an engine over the built-in "tiny" synthetic dataset
+// — a schema-flexible knowledge graph plus a matching oracle embedding, so
+// the examples run self-contained and deterministically.
+func exampleEngine(opts kgaq.Options) *kgaq.Engine {
+	ds, err := kgaq.GenerateDataset("tiny")
+	if err != nil {
+		panic(err)
+	}
+	if opts.Tau == 0 {
+		opts.Tau, _ = kgaq.DatasetOptimalTau("tiny")
+	}
+	engine, err := kgaq.NewEngine(ds.Graph, ds.Model, opts)
+	if err != nil {
+		panic(err)
+	}
+	return engine
+}
+
+// ExampleEngine_Query answers the running-example aggregate — the average
+// price of automobiles produced in a country — with a 95%-confidence
+// accuracy guarantee, parsed from the textual query language.
+func ExampleEngine_Query() {
+	engine := exampleEngine(kgaq.Options{ErrorBound: 0.05, Seed: 1})
+	q, err := kgaq.ParseQuery(
+		"AVG(price) MATCH (g:Country name=Country_0)-[product]->(c:Automobile) TARGET c")
+	if err != nil {
+		panic(err)
+	}
+	res, err := engine.Query(context.Background(), q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("has estimate:", res.Estimate > 0)
+	fmt.Println("confidence:", res.Confidence)
+	// Output:
+	// converged: true
+	// has estimate: true
+	// confidence: 0.95
+}
+
+// ExampleExecution_Refine starts a query once and tightens the error bound
+// interactively: the second Refine reuses every draw the first collected,
+// so the sample only grows.
+func ExampleExecution_Refine() {
+	engine := exampleEngine(kgaq.Options{Seed: 1})
+	q := kgaq.SimpleQuery(kgaq.Count, "", "Country_0", "Country", "product", "Automobile")
+	exec, err := engine.Start(context.Background(), q)
+	if err != nil {
+		panic(err)
+	}
+	loose, err := exec.Refine(context.Background(), 0.20)
+	if err != nil {
+		panic(err)
+	}
+	tight, err := exec.Refine(context.Background(), 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("loose converged:", loose.Converged)
+	fmt.Println("tight converged:", tight.Converged)
+	fmt.Println("sample reused and grown:", tight.SampleSize >= loose.SampleSize)
+	// Output:
+	// loose converged: true
+	// tight converged: true
+	// sample reused and grown: true
+}
+
+// ExampleEngine_QueryBatch runs a whole workload concurrently over the
+// engine's worker pool; results come back in input order.
+func ExampleEngine_QueryBatch() {
+	engine := exampleEngine(kgaq.Options{ErrorBound: 0.10, Seed: 1})
+	queries := []*kgaq.AggregateQuery{
+		kgaq.SimpleQuery(kgaq.Count, "", "Country_0", "Country", "product", "Automobile"),
+		kgaq.SimpleQuery(kgaq.Avg, "price", "Country_0", "Country", "product", "Automobile"),
+	}
+	results := engine.QueryBatch(context.Background(), queries, kgaq.WithParallelism(2))
+	for i, r := range results {
+		fmt.Printf("query %d: err=%v converged=%v\n", i, r.Err, r.Result.Converged)
+	}
+	// Output:
+	// query 0: err=<nil> converged=true
+	// query 1: err=<nil> converged=true
+}

@@ -1,0 +1,13 @@
+// Package baselines implements the competing methods of §VII: the exact
+// Semantic-Similarity Baseline SSB (Algorithm 1, which doubles as the τ-GT
+// oracle), the link-prediction method EAQ, the incremental top-k semantic
+// search SGQ, the structural matcher GraB, the keyword matcher QGA, and the
+// exact-schema SPARQL engines JENA and Virtuoso (one matcher, two names —
+// their rows are identical in every table of the paper).
+//
+// All methods implement Method: given an aggregate query they return the
+// aggregate over whatever answer set their matching policy finds. The
+// factoid-first methods (SGQ, GraB, QGA, JENA, Virtuoso) reproduce the
+// paper's extension "adding an aggregate operation after the factoid
+// answers".
+package baselines

@@ -1,0 +1,7 @@
+// Package bench reproduces every table and figure of the paper's evaluation
+// (§VII): a runner per artefact prints the same rows/series the paper
+// reports, over the synthetic datasets of internal/datagen. Effectiveness is
+// measured against both ground truths — τ-GT (the SSB oracle at the
+// dataset's optimal τ) and HA-GT (the simulated annotation) — and efficiency
+// as wall-clock response time, exactly as in the paper.
+package bench

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"kgaq/internal/core"
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+	"kgaq/internal/stats"
+)
+
+// shardedBenchNodes sizes the sharded cold-query graph: ~40k nodes with
+// average half-degree ~20 put the walk's transition arrays in the tens of
+// megabytes, the regime where the cold path (CSR build + convergence +
+// validation) dominates and sharding has something real to win or lose.
+const shardedBenchNodes = 40000
+
+// ShardedLatency is one shard count's cold-query latency distribution over
+// the sharded benchmark workload.
+type ShardedLatency struct {
+	Shards    int     `json:"shards"`
+	Queries   int     `json:"queries"`
+	ColdP50MS float64 `json:"cold_p50_ms"`
+	ColdP95MS float64 `json:"cold_p95_ms"`
+	ColdMaxMS float64 `json:"cold_max_ms"`
+	// Draws is the total sample size across the workload — stratified
+	// Neyman allocation shows up here as fewer draws for the same bound.
+	Draws int `json:"draws"`
+}
+
+// ShardedResult compares cold-query latency on the 40k-node bench graph
+// across shard counts. SpeedupP95 is single-shard p95 divided by the
+// highest shard count's p95 (> 1 means sharding is ahead).
+type ShardedResult struct {
+	Nodes      int              `json:"nodes"`
+	Edges      int              `json:"edges"`
+	Runs       []ShardedLatency `json:"runs"`
+	SpeedupP95 float64          `json:"speedup_p95"`
+}
+
+// shardedBenchGraph builds the deterministic 40k-node random graph (the
+// same construction as the walk package's big-walker micro-benchmark) with
+// a handful of typed answer pools and priced answers so guaranteed
+// aggregates have non-trivial ground truth.
+func shardedBenchGraph() (*kg.Graph, []kg.NodeID) {
+	r := stats.NewRand(97)
+	bld := kg.NewBuilder()
+	ids := make([]kg.NodeID, shardedBenchNodes)
+	for i := range ids {
+		ty := "Thing"
+		if i%4 == 1 {
+			ty = "Automobile"
+		}
+		ids[i] = bld.AddNode(fmt.Sprintf("bench_%d", i), ty)
+		if ty == "Automobile" {
+			if err := bld.SetAttr(ids[i], "price", 10000+r.Float64()*50000); err != nil {
+				panic(err)
+			}
+		}
+	}
+	preds := []string{"assembly", "country", "designer", "product"}
+	for i := 0; i < 10*shardedBenchNodes; i++ {
+		u, v := r.Intn(shardedBenchNodes), r.Intn(shardedBenchNodes)
+		if u == v {
+			continue
+		}
+		if err := bld.AddEdge(ids[u], preds[r.Intn(len(preds))], ids[v]); err != nil {
+			panic(err)
+		}
+	}
+	// Distinct roots for the workload, all of the plain "Thing" type (index
+	// multiples of 4 by construction) so the query's root-type condition
+	// holds; the dense random topology gives every root ample candidates.
+	var roots []kg.NodeID
+	for k := 0; k < 16; k++ {
+		roots = append(roots, ids[k*1000])
+	}
+	return bld.Build(), roots
+}
+
+// shardedBenchReps repeats every (root, shard count) measurement so the
+// reported percentiles rest on dozens of samples instead of one pass.
+const shardedBenchReps = 3
+
+// RunSharded measures the sharded cold path: every workload query runs on
+// a freshly built engine with the answer-space cache disabled, so each
+// measurement pays walker construction, convergence, per-stratum
+// splitting, validation and refinement from scratch — the worst case a
+// scaled-out deployment sees on an unwarmed shard. The shard settings are
+// interleaved inside one measurement loop, so machine drift lands on every
+// setting equally instead of biasing whichever ran last.
+func RunSharded(ctx context.Context, shardCounts []int) (*ShardedResult, error) {
+	g, roots := shardedBenchGraph()
+	model := embtest.Figure1Model(g)
+	out := &ShardedResult{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	latencies := make([][]float64, len(shardCounts))
+	draws := make([]int, len(shardCounts))
+	for rep := 0; rep < shardedBenchReps; rep++ {
+		for _, root := range roots {
+			for si, shards := range shardCounts {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				eng, err := core.NewEngine(g, model, core.Options{
+					ErrorBound: 0.10, Seed: 7, Shards: shards, CacheMaxBytes: -1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				q := query.Simple(query.Avg, "price", g.Name(root), "Thing", "product", "Automobile")
+				begin := time.Now()
+				res, err := eng.Query(ctx, q)
+				elapsed := time.Since(begin)
+				if err != nil {
+					continue // a root without candidates is not a perf signal
+				}
+				draws[si] += res.SampleSize
+				latencies[si] = append(latencies[si], float64(elapsed.Microseconds())/1000)
+			}
+		}
+	}
+	for si, shards := range shardCounts {
+		if len(latencies[si]) == 0 {
+			return nil, fmt.Errorf("bench: no sharded workload query completed at %d shards", shards)
+		}
+		sort.Float64s(latencies[si])
+		out.Runs = append(out.Runs, ShardedLatency{
+			Shards:    shards,
+			Queries:   len(latencies[si]),
+			ColdP50MS: percentile(latencies[si], 0.50),
+			ColdP95MS: percentile(latencies[si], 0.95),
+			ColdMaxMS: latencies[si][len(latencies[si])-1],
+			Draws:     draws[si],
+		})
+	}
+	if n := len(out.Runs); n >= 2 && out.Runs[n-1].ColdP95MS > 0 {
+		out.SpeedupP95 = out.Runs[0].ColdP95MS / out.Runs[n-1].ColdP95MS
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// The sharded cold-query scenario must produce a comparable latency row per
+// shard count over the same interleaved workload.
+func TestRunSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 40k-node graph")
+	}
+	res, err := RunSharded(context.Background(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != shardedBenchNodes {
+		t.Fatalf("bench graph has %d nodes, want %d", res.Nodes, shardedBenchNodes)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %+v, want one per shard count", res.Runs)
+	}
+	for _, run := range res.Runs {
+		if run.Queries == 0 || run.ColdP95MS <= 0 || run.Draws == 0 {
+			t.Fatalf("degenerate run %+v", run)
+		}
+		if run.ColdP50MS > run.ColdP95MS || run.ColdP95MS > run.ColdMaxMS {
+			t.Fatalf("latency percentiles out of order: %+v", run)
+		}
+	}
+	if res.Runs[0].Shards != 1 || res.Runs[1].Shards != 2 {
+		t.Fatalf("shard counts out of order: %+v", res.Runs)
+	}
+	if res.SpeedupP95 <= 0 {
+		t.Fatalf("speedup = %v", res.SpeedupP95)
+	}
+}

@@ -23,8 +23,9 @@ import (
 
 // TrajectorySchema versions the BENCH_*.json layout so future PRs can
 // extend it without breaking readers of earlier baselines. v2 adds the
-// churn (mixed read/write) section.
-const TrajectorySchema = "kgaq-bench-trajectory/v2"
+// churn (mixed read/write) section; v3 adds the sharded cold-query
+// comparison.
+const TrajectorySchema = "kgaq-bench-trajectory/v3"
 
 // Trajectory is one tracked performance baseline: the serving hot path
 // measured end to end (latency distribution, sampling throughput, cache
@@ -56,6 +57,11 @@ type Trajectory struct {
 	// sustained ~20% mutation mix on a live engine (nil in configurations
 	// that skip it).
 	Churn *ChurnResult `json:"churn,omitempty"`
+
+	// Sharded compares cold-query latency on the 40k-node bench graph
+	// across shard counts (partition-parallel execution, DESIGN.md
+	// "Sharded execution").
+	Sharded *ShardedResult `json:"sharded,omitempty"`
 
 	Micro []MicroResult `json:"micro"`
 }
@@ -167,6 +173,11 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 		return nil, fmt.Errorf("bench: churn scenario: %w", err)
 	}
 	tr.Churn = churn
+	sharded, err := RunSharded(ctx, []int{1, 8})
+	if err != nil {
+		return nil, fmt.Errorf("bench: sharded scenario: %w", err)
+	}
+	tr.Sharded = sharded
 	return tr, nil
 }
 
@@ -262,6 +273,13 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 	if c := tr.Churn; c != nil {
 		fmt.Fprintf(w, "  churn: %d reads / %d batches (%.0f%% writes), read p50 %.2fms, p95 %.2fms, hit rate %.2f, %d invalidated, epoch %d\n",
 			c.Queries, c.Batches, 100*c.WriteMix, c.ReadP50MS, c.ReadP95MS, c.CacheHitRate, c.Invalidated, c.FinalEpoch)
+	}
+	if s := tr.Sharded; s != nil {
+		for _, run := range s.Runs {
+			fmt.Fprintf(w, "  sharded: %d shards, %d cold queries on %d nodes, p50 %.2fms, p95 %.2fms, %d draws\n",
+				run.Shards, run.Queries, s.Nodes, run.ColdP50MS, run.ColdP95MS, run.Draws)
+		}
+		fmt.Fprintf(w, "  sharded p95 speedup: %.2fx\n", s.SpeedupP95)
 	}
 	for _, m := range tr.Micro {
 		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)

@@ -1,0 +1,4 @@
+// Package cmdutil shares the data-loading plumbing of the command-line
+// tools: every CLI accepts either a generated profile or a graph +
+// embedding snapshot pair from kgen, with the graph format auto-detected.
+package cmdutil

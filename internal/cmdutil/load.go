@@ -1,6 +1,3 @@
-// Package cmdutil shares the data-loading plumbing of the command-line
-// tools: every CLI accepts either a generated profile or a graph +
-// embedding snapshot pair from kgen, with the graph format auto-detected.
 package cmdutil
 
 import (

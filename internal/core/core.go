@@ -1,15 +1,10 @@
-// Package core is the paper's primary contribution assembled end to end
-// (Algorithm 2): semantic-aware sampling over the n-bounded subgraph
-// (§IV-A), correctness validation and Horvitz–Thompson estimation (§IV-B),
-// and the iteratively refined CLT/BLB accuracy guarantee (§IV-C), extended
-// with filters, GROUP-BY, MAX/MIN, chain-shaped queries via two-stage
-// sampling, and star/cycle/flower queries via decomposition–assembly (§V).
 package core
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"kgaq/internal/embedding"
@@ -18,6 +13,7 @@ import (
 	"kgaq/internal/live"
 	"kgaq/internal/query"
 	"kgaq/internal/semsim"
+	"kgaq/internal/shard"
 )
 
 // SamplerKind selects the sampling algorithm (the S1 ablation of Fig. 5a).
@@ -103,6 +99,14 @@ type Options struct {
 	// across queries). Zero means DefaultCacheBytes; a negative value
 	// disables the cache entirely.
 	CacheMaxBytes int64
+	// Shards partitions query execution: the candidate-answer space is cut
+	// into this many hash-ownership strata, sampled and validated per shard
+	// (in parallel where cores allow) and merged through the stratified
+	// Horvitz–Thompson combiner, with each refinement round's draws
+	// allocated across shards by per-shard variance (Neyman allocation).
+	// Default 1 (unsharded); requires the semantic sampler. See DESIGN.md
+	// "Sharded execution".
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +161,12 @@ func (o Options) withDefaults() Options {
 	if o.CacheMaxBytes == 0 {
 		o.CacheMaxBytes = DefaultCacheBytes
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > shard.MaxShards {
+		o.Shards = shard.MaxShards
+	}
 	return o
 }
 
@@ -210,6 +220,7 @@ type Result struct {
 	Distinct   int    // distinct answers in the sample
 	Correct    int    // draws that validated as correct
 	Candidates int    // |A|: candidate answers with positive π′
+	Shards     int    // strata the sample was drawn from (0 when unsharded)
 	Epoch      uint64 // graph epoch the whole query observed (0 on static engines)
 	Times      StepTimes
 	Groups     map[string]GroupResult // non-nil only for GROUP-BY queries
@@ -290,7 +301,14 @@ type Engine struct {
 	opts  Options
 	calc  *semsim.Calculator // shared read-only similarity matrix
 	cache *spaceCache        // nil when CacheMaxBytes < 0
-	sem   chan struct{}      // bounds the chain-build worker pool
+	sem   chan struct{}      // bounds the chain-build and shard worker pools
+
+	// plan is the engine's ownership partition (Options.Shards); per-shard
+	// counters below are always attributed in this plan's terms, so stats
+	// stay comparable even when queries override the shard count.
+	plan         shard.Plan
+	shardDraws   []atomic.Uint64 // draws whose answer the shard owns
+	shardTouched []atomic.Uint64 // mutated nodes the shard owns (live engines)
 }
 
 // NewEngine validates the pair and returns an execution engine over a
@@ -322,10 +340,15 @@ func NewLiveEngine(store *live.Store, model embedding.Model, opts Options) (*Eng
 	if err != nil {
 		return nil, err
 	}
-	if e.cache != nil {
-		store.OnApply(func(ev live.Event) {
+	store.OnApply(func(ev live.Event) {
+		for _, u := range ev.Touched {
+			e.shardTouched[e.plan.Of(u)].Add(1)
+		}
+		if e.cache != nil {
 			e.cache.invalidate(ev.Touched, ev.Epoch)
-		})
+		}
+	})
+	if e.cache != nil {
 		store.OnCompact(func(ev live.CompactEvent) {
 			e.rewarm(ev)
 		})
@@ -352,7 +375,10 @@ func newEngine(src graphSource, base *kg.Graph, model embedding.Model, opts Opti
 		opts:  opts,
 		calc:  calc,
 		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		plan:  shard.NewPlan(opts.Shards),
 	}
+	e.shardDraws = make([]atomic.Uint64, e.plan.Shards())
+	e.shardTouched = make([]atomic.Uint64, e.plan.Shards())
 	if opts.CacheMaxBytes > 0 {
 		e.cache = newSpaceCache(opts.CacheMaxBytes)
 	}
@@ -397,6 +423,45 @@ func (e *Engine) Options() Options { return e.opts }
 // CacheStats snapshots the answer-space cache counters (MaxBytes is -1 when
 // the cache is disabled).
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// ShardStat is one shard's share of the engine's work, in the engine plan's
+// terms (Options.Shards): the nodes it owns under the current graph view,
+// the sample draws whose answers it owned, and — on live engines — how many
+// mutated nodes landed in its territory (the per-shard face of selective
+// cache invalidation).
+type ShardStat struct {
+	Shard      int
+	OwnedNodes int
+	Draws      uint64
+	Touched    uint64
+}
+
+// ShardStats reports per-shard execution statistics under the engine's
+// ownership plan. Queries that override the shard count per call still
+// contribute: draws are attributed to the engine-plan shard owning the
+// sampled answer, not the query-plan stratum it was drawn from.
+func (e *Engine) ShardStats() []ShardStat {
+	v := e.src.snapshot()
+	owned := e.plan.OwnedCounts(v.g)
+	out := make([]ShardStat, e.plan.Shards())
+	for s := range out {
+		out[s] = ShardStat{
+			Shard:      s,
+			OwnedNodes: owned[s],
+			Draws:      e.shardDraws[s].Load(),
+			Touched:    e.shardTouched[s].Load(),
+		}
+	}
+	return out
+}
+
+// countDraws attributes a batch of drawn answers to the engine plan's
+// shards.
+func (e *Engine) countDraws(answers []kg.NodeID, idx []int) {
+	for _, i := range idx {
+		e.shardDraws[e.plan.Of(answers[i])].Add(1)
+	}
+}
 
 // resolveRoot maps a decomposed path's root onto the query's graph view,
 // enforcing the name + type conditions of Definition 5.

@@ -1,0 +1,36 @@
+// Package core is the paper's primary contribution assembled end to end
+// (Algorithm 2): semantic-aware sampling over the n-bounded subgraph
+// (§IV-A), correctness validation and Horvitz–Thompson estimation (§IV-B),
+// and the iteratively refined CLT/BLB accuracy guarantee (§IV-C), extended
+// with filters, GROUP-BY, MAX/MIN, chain-shaped queries via two-stage
+// sampling, and star/cycle/flower queries via decomposition–assembly (§V).
+//
+// # Execution model
+//
+// An Engine pairs one graph source (static *kg.Graph or live mutation
+// store) with one embedding model and serves any number of concurrent
+// queries; each Engine.Start builds a private Execution holding the query's
+// sampling space, RNG and draw list, pinned to one epoch-consistent graph
+// view. Execution.Refine implements Algorithm 1's refinement loop: draw,
+// validate, estimate, compute the margin of error, test Theorem 2's
+// termination condition, and size the next round per Eq. 12.
+//
+// # Performance machinery
+//
+// Converged walker stages (stationary distributions plus their validation
+// verdicts) live in an engine-wide memory-bounded LRU keyed by (root,
+// predicate, target types, walk config); repeat queries skip convergence
+// and re-validation. Under a live graph, entries are invalidated
+// selectively — only when a mutation touches their walk scope — and
+// compactions rebuild recently evicted stages off the query path.
+//
+// # Sharded execution
+//
+// Options.Shards (or the per-query WithShards) switches a query to
+// partition-parallel execution: the candidate-answer space is cut into
+// hash-ownership strata (internal/shard), each stratum drawn from its own
+// conditional distribution and validated in per-shard batches, and the
+// per-shard samples merge through the stratified Horvitz–Thompson combiner
+// of internal/estimate, with each round's draws allocated across shards by
+// per-shard variance. See DESIGN.md "Sharded execution".
+package core

@@ -33,6 +33,10 @@ var (
 	// positive epoch; never for a live engine, which waits instead (a
 	// cancelled wait reports ErrInterrupted).
 	ErrEpochNotReached = errors.New("graph epoch not reached")
+	// ErrShardedSampler reports a query combining sharded execution with a
+	// topology-only ablation sampler, whose empirical visit shares carry no
+	// exact per-answer probability to stratify.
+	ErrShardedSampler = errors.New("sharded execution requires the semantic sampler")
 )
 
 // IsPartial reports whether an interrupted query still yielded a usable

@@ -40,6 +40,7 @@ type Execution struct {
 	filters []resolvedFilter
 
 	sp      *answerSpace
+	sh      *shardedSpace // non-nil when Options.Shards > 1
 	rng     *rand.Rand
 	drawIdx []int
 	rounds  []Round
@@ -96,6 +97,10 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 		return nil, err
 	}
 
+	if o.Shards > 1 && o.Sampler != SamplerSemantic {
+		return nil, fmt.Errorf("core: %w (got %v)", ErrShardedSampler, o.Sampler)
+	}
+
 	begin := time.Now()
 	if o.Sampler == SamplerSemantic {
 		var err error
@@ -105,6 +110,11 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
 			}
 			return nil, err
+		}
+		if o.Shards > 1 {
+			if x.sh, err = newShardedSpace(x.sp, o.Shards, o.Seed); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		if len(paths) != 1 {
@@ -163,10 +173,27 @@ func (x *Execution) initialSize(candidates int) int {
 	return size
 }
 
+// firstSample draws the initial round. Under sharded execution the size is
+// additionally floored at the stratum count: an unobserved stratum
+// contributes zero to the merged estimate AND zero to its variance, so a
+// first round smaller than the stratum count could converge on a biased
+// underestimate; covering every stratum from round one (the allocator's
+// per-stratum floors then hold for all later rounds) removes that mode.
+func (x *Execution) firstSample() {
+	size := x.initialSize(x.sp.len())
+	if x.sh != nil && size < len(x.sh.spaces) {
+		size = len(x.sh.spaces)
+	}
+	x.sampleMore(size)
+}
+
 // observation materialises draw i: the correctness verdict combines the
 // cached semantic validation with the §V-A filter condition
 // c(u) = (L ≤ u.b ≤ U && s ≥ τ), and an answer missing the aggregated
-// attribute cannot contribute to SUM/AVG/MAX/MIN.
+// attribute cannot contribute to SUM/AVG/MAX/MIN. Under sharded execution
+// the probability is conditional on the draw's stratum and the stratum's
+// inclusion probability rides along, so the stratified combiner can merge
+// per-shard samples from the flat observation list.
 func (x *Execution) observation(ctx context.Context, i int) estimate.Observation {
 	g := x.v.g
 	u := x.sp.answers[i]
@@ -174,6 +201,12 @@ func (x *Execution) observation(ctx context.Context, i int) estimate.Observation
 	// every sampled answer is treated as correct.
 	obs := estimate.Observation{Prob: x.sp.probs[i],
 		Correct: x.opts.SkipValidation || x.sp.correctness(ctx, i)}
+	if x.sh != nil {
+		spc := x.sh.spaces[x.sh.posOf[i]]
+		obs.Prob = x.sh.condProb(x.sp, i)
+		obs.Stratum = spc.Shard
+		obs.StratumWeight = spc.Weight
+	}
 	if obs.Correct {
 		for _, f := range x.filters {
 			v, ok := g.Attr(u, f.attr)
@@ -196,12 +229,23 @@ func (x *Execution) observation(ctx context.Context, i int) estimate.Observation
 	return obs
 }
 
-func (x *Execution) observations(ctx context.Context) []estimate.Observation {
-	// Validate all fresh distinct answers in one shared greedy search; the
-	// per-draw observation then hits the verdict cache.
-	if !x.opts.SkipValidation {
-		x.sp.prevalidate(ctx, x.drawIdx)
+// prevalidateDraws batch-validates every fresh distinct answer in the draw
+// list — per stratum and in parallel when sharded, in one shared greedy
+// search otherwise — so the per-draw observation path hits the verdict
+// cache.
+func (x *Execution) prevalidateDraws(ctx context.Context) {
+	if x.opts.SkipValidation {
+		return
 	}
+	if x.sh != nil {
+		x.sh.prevalidate(ctx, x.e, x.sp, x.drawIdx)
+		return
+	}
+	x.sp.prevalidate(ctx, x.drawIdx)
+}
+
+func (x *Execution) observations(ctx context.Context) []estimate.Observation {
+	x.prevalidateDraws(ctx)
 	out := make([]estimate.Observation, len(x.drawIdx))
 	for k, i := range x.drawIdx {
 		out[k] = x.observation(ctx, i)
@@ -209,8 +253,58 @@ func (x *Execution) observations(ctx context.Context) []estimate.Observation {
 	return out
 }
 
+// roundEval evaluates one observation list — a refinement round's full
+// sample, or one GROUP-BY group's view of it. When sharded, the strata are
+// regrouped once and shared by the point estimate and the margin of error.
+type roundEval struct {
+	x      *Execution
+	obs    []estimate.Observation
+	strata []estimate.Stratum // nil when unsharded
+}
+
+// eval builds the round evaluator. updateAlloc must be true exactly for
+// the full-sample evaluation of a round: it refreshes the Neyman
+// allocator's per-stratum variance signals, which per-group views (subsets
+// with out-of-group draws zeroed, visited in map order) must never do —
+// allocation stays a function of the whole sample and the run stays
+// deterministic under its seed.
+func (x *Execution) eval(obs []estimate.Observation, updateAlloc bool) *roundEval {
+	re := &roundEval{x: x, obs: obs}
+	if x.sh != nil {
+		re.strata = estimate.Regroup(obs)
+		if updateAlloc {
+			x.sh.updateSigmas(x, re.strata)
+		}
+	}
+	return re
+}
+
+// estimate computes the point estimate — stratified when sharded (the
+// per-shard samples merge as Σ_h f̂(S_h) over conditional probabilities),
+// plain Horvitz–Thompson otherwise.
+func (re *roundEval) estimate() (float64, error) {
+	x := re.x
+	if re.strata != nil {
+		return estimate.EstimateStratified(x.q.Func, re.strata, x.opts.Policy)
+	}
+	return estimate.Estimate(x.q.Func, re.obs, x.opts.Policy)
+}
+
+// moe computes ε — the closed-form stratified CLT variance when sharded
+// (one O(|S|) pass), BLB otherwise.
+func (re *roundEval) moe() (float64, error) {
+	x := re.x
+	o := x.opts
+	if re.strata != nil {
+		return estimate.MoEStratified(x.q.Func, re.strata, o.Policy, o.guarantee())
+	}
+	return estimate.MoE(x.q.Func, re.obs, o.Policy, o.guarantee(), x.rng)
+}
+
 // sampleMore extends the draw list by k, honouring the MaxDraws budget. It
-// reports whether any draws were added.
+// reports whether any draws were added. Sharded executions allocate the k
+// draws across strata (Neyman once variance signals exist) and draw each
+// stratum from its own deterministic stream.
 func (x *Execution) sampleMore(k int) bool {
 	if budget := x.opts.MaxDraws - len(x.drawIdx); k > budget {
 		k = budget
@@ -219,7 +313,14 @@ func (x *Execution) sampleMore(k int) bool {
 		return false
 	}
 	begin := time.Now()
-	x.drawIdx = append(x.drawIdx, x.sp.draw(x.rng, k)...)
+	var fresh []int
+	if x.sh != nil {
+		fresh = x.sh.draw(k)
+	} else {
+		fresh = x.sp.draw(x.rng, k)
+	}
+	x.drawIdx = append(x.drawIdx, fresh...)
+	x.e.countDraws(x.sp.answers, fresh)
 	x.times.Sampling += time.Since(begin)
 	return true
 }
@@ -266,7 +367,7 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 	}
 	o := x.opts
 	if len(x.drawIdx) == 0 {
-		x.sampleMore(x.initialSize(x.sp.len()))
+		x.firstSample()
 	}
 
 	var vhat, moe float64
@@ -290,7 +391,8 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 			x.times.Estimation += time.Since(begin)
 			return x.interrupted(ctx, vhat, moe, estimated, err)
 		}
-		v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+		re := x.eval(obs, true)
+		v, err := re.estimate()
 		x.times.Estimation += time.Since(begin)
 		if err != nil {
 			if err == estimate.ErrNoCorrect {
@@ -316,7 +418,7 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 			continue
 		}
 		begin = time.Now()
-		eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+		eps, err := re.moe()
 		// Close the timing window before the OnRound callback fires: its
 		// latency (e.g. a slow streaming client) is not guarantee time.
 		x.times.Guarantee += time.Since(begin)
@@ -336,7 +438,16 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 		begin = time.Now()
 		delta := o.FixedDelta
 		if delta <= 0 {
-			delta = estimate.NextSampleSize(len(x.drawIdx), eps, v, eb, o.M)
+			m := o.M
+			if x.sh != nil {
+				// The sharded guarantee uses the closed-form stratified CLT
+				// ε, which scales exactly as 1/√N — so the Eq. 12 sizing
+				// runs undamped (m = 1) instead of with the BLB's
+				// conservative exponent; the stable ε estimate makes the
+				// full step safe where the bootstrap's noise would not.
+				m = 1
+			}
+			delta = estimate.NextSampleSize(len(x.drawIdx), eps, v, eb, m)
 		}
 		if max := 5 * len(x.drawIdx); delta > max {
 			delta = max // keep one round from ballooning on a noisy early ε
@@ -361,6 +472,9 @@ func (x *Execution) runExtreme(ctx context.Context) (*Result, error) {
 	if per < 20 {
 		per = 20
 	}
+	if x.sh != nil && per < len(x.sh.spaces) {
+		per = len(x.sh.spaces) // observe every stratum each extreme round
+	}
 	var best float64
 	found := false
 	for round := 0; round < o.ExtremeRounds; round++ {
@@ -371,7 +485,7 @@ func (x *Execution) runExtreme(ctx context.Context) (*Result, error) {
 			break
 		}
 		begin := time.Now()
-		v, err := estimate.Estimate(x.q.Func, x.observations(ctx), o.Policy)
+		v, err := x.eval(x.observations(ctx), true).estimate()
 		x.times.Estimation += time.Since(begin)
 		if err != nil {
 			continue
@@ -395,7 +509,7 @@ func (x *Execution) runExtreme(ctx context.Context) (*Result, error) {
 func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error) {
 	o := x.opts
 	if len(x.drawIdx) == 0 {
-		x.sampleMore(x.initialSize(x.sp.len()))
+		x.firstSample()
 	}
 	const minGroupDraws = 8
 	maxRounds := 3 * o.MaxRounds
@@ -422,9 +536,10 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 		}
 		// The overall (ungrouped) estimate of this round, streamed to
 		// OnRound so grouped queries report live progress too.
-		if v, err := estimate.Estimate(x.q.Func, base, o.Policy); err == nil {
+		baseEval := x.eval(base, true)
+		if v, err := baseEval.estimate(); err == nil {
 			gbegin := time.Now()
-			eps, err := estimate.MoE(x.q.Func, base, o.Policy, o.guarantee(), x.rng)
+			eps, err := baseEval.moe()
 			x.times.Guarantee += time.Since(gbegin)
 			if err != nil {
 				eps = math.NaN()
@@ -438,12 +553,13 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 		allOK := len(byGroup) > 0
 		worstRatio := 1.0
 		for label, obs := range byGroup {
-			v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+			groupEval := x.eval(obs, false)
+			v, err := groupEval.estimate()
 			if err != nil {
 				continue
 			}
 			gbegin := time.Now()
-			eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+			eps, err := groupEval.moe()
 			x.times.Guarantee += time.Since(gbegin)
 			if err != nil {
 				continue
@@ -483,11 +599,12 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 			res.Groups = groups
 			return res, rerr
 		}
-		v, err := estimate.Estimate(x.q.Func, obs, o.Policy)
+		finalEval := x.eval(obs, true)
+		v, err := finalEval.estimate()
 		if err != nil {
 			return nil, err
 		}
-		eps, err := estimate.MoE(x.q.Func, obs, o.Policy, o.guarantee(), x.rng)
+		eps, err := finalEval.moe()
 		if err != nil {
 			eps = math.NaN()
 		}
@@ -503,9 +620,7 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 // observation list itself (for the round's overall estimate).
 func (x *Execution) groupedObservations(ctx context.Context) (map[string][]estimate.Observation, map[string]int, []estimate.Observation) {
 	g := x.v.g
-	if !x.opts.SkipValidation {
-		x.sp.prevalidate(ctx, x.drawIdx)
-	}
+	x.prevalidateDraws(ctx)
 	labels := make([]string, len(x.drawIdx))
 	base := make([]estimate.Observation, len(x.drawIdx))
 	seen := map[string]bool{}
@@ -545,6 +660,10 @@ func (x *Execution) result(ctx context.Context, vhat, moe float64, converged boo
 			correct++
 		}
 	}
+	shards := 0
+	if x.sh != nil {
+		shards = len(x.sh.spaces)
+	}
 	return &Result{
 		Query:      x.q,
 		Estimate:   vhat,
@@ -556,6 +675,7 @@ func (x *Execution) result(ctx context.Context, vhat, moe float64, converged boo
 		Distinct:   len(distinct),
 		Correct:    correct,
 		Candidates: x.sp.len(),
+		Shards:     shards,
 		Epoch:      x.v.epoch,
 		Times:      x.times,
 		Groups:     groups,

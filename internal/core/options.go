@@ -85,6 +85,15 @@ func WithLambda(l float64) QueryOption {
 	return func(c *queryConfig) { c.opts.Lambda = l }
 }
 
+// WithShards overrides the shard count for this query: its candidate-answer
+// space is cut into n hash-ownership strata, sampled and validated per
+// shard, and merged through the stratified Horvitz–Thompson combiner.
+// Requires the semantic sampler (topology-only ablation samplers carry
+// empirical probabilities that do not stratify). n ≤ 1 runs unsharded.
+func WithShards(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.Shards = n }
+}
+
 // WithPolicy selects the estimator divisor policy for this query.
 func WithPolicy(p estimate.DivisorPolicy) QueryOption {
 	return func(c *queryConfig) { c.opts.Policy = p }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"kgaq/internal/estimate"
+	"kgaq/internal/kg"
+	"kgaq/internal/shard"
+	"kgaq/internal/stats"
+)
+
+// shardedSpace is the partition-parallel view of one execution's sampling
+// space (DESIGN.md "Sharded execution"): the candidate answers cut into
+// per-shard strata by node ownership, each stratum with its own conditional
+// alias table, its own deterministic RNG stream, and its own verdict-cache
+// segment so per-shard validation can run in parallel without sharing
+// mutable state. Draws merge back through the stratified Horvitz–Thompson
+// combiner of internal/estimate.
+type shardedSpace struct {
+	plan   shard.Plan
+	spaces []*shard.Space // non-empty strata, ascending shard order
+	// posOf maps a global answer index to its stratum's position in spaces.
+	posOf []int
+	// rngs are per-stratum generators: each stratum's draw stream is
+	// deterministic under the query seed regardless of how the allocator
+	// splits a round across strata.
+	rngs []*rand.Rand
+	// drawn counts draws taken per stratum (allocation state).
+	drawn []int
+	// sigmas holds the latest per-stratum HT-term standard deviations; the
+	// allocator turns them into Neyman shares. Zero until the first
+	// estimated round.
+	sigmas []float64
+}
+
+// newShardedSpace cuts an answer space into shards-many strata.
+func newShardedSpace(sp *answerSpace, shards int, seed int64) (*shardedSpace, error) {
+	plan := shard.NewPlan(shards)
+	spaces, err := shard.SplitSpace(plan, sp.answers, sp.probs)
+	if err != nil {
+		return nil, fmt.Errorf("core: sharding sampling space: %w", err)
+	}
+	sh := &shardedSpace{
+		plan:   plan,
+		spaces: spaces,
+		posOf:  make([]int, len(sp.answers)),
+		rngs:   make([]*rand.Rand, len(spaces)),
+		drawn:  make([]int, len(spaces)),
+		sigmas: make([]float64, len(spaces)),
+	}
+	for i := range sh.posOf {
+		sh.posOf[i] = -1
+	}
+	for pos, sp := range spaces {
+		// Each stratum forks an independent stream from the query seed and
+		// its shard id, so draws are reproducible per stratum no matter how
+		// rounds allocate across strata.
+		sh.rngs[pos] = stats.NewRand(seed ^ (int64(sp.Shard)+1)*0x9E3779B9)
+		for _, i := range sp.Index {
+			sh.posOf[i] = pos
+		}
+	}
+	return sh, nil
+}
+
+// condProb returns the draw probability of global answer index i
+// conditional on its stratum.
+func (sh *shardedSpace) condProb(sp *answerSpace, i int) float64 {
+	return sp.probs[i] / sh.spaces[sh.posOf[i]].Weight
+}
+
+// draw allocates k draws across strata — Neyman once variance signals
+// exist, proportional before — and samples each stratum from its own
+// stream, returning global answer indices in ascending-stratum order.
+func (sh *shardedSpace) draw(k int) []int {
+	st := make([]estimate.StratumStats, len(sh.spaces))
+	for pos, spc := range sh.spaces {
+		st[pos] = estimate.StratumStats{Weight: spc.Weight, Sigma: sh.sigmas[pos]}
+	}
+	alloc := estimate.AllocateDraws(k, st)
+	var out []int
+	for pos, n := range alloc {
+		if n <= 0 {
+			continue
+		}
+		out = append(out, sh.spaces[pos].Draw(sh.rngs[pos], n)...)
+		sh.drawn[pos] += n
+	}
+	return out
+}
+
+// updateSigmas refreshes the per-stratum variance signals from a round's
+// regrouped strata (stratum ids are shard ids).
+func (sh *shardedSpace) updateSigmas(x *Execution, strata []estimate.Stratum) {
+	byShard := map[int]float64{}
+	for _, st := range strata {
+		if len(st.Obs) == 0 {
+			continue
+		}
+		byShard[st.Obs[0].Stratum] = estimate.StratumSigma(x.q.Func, st.Obs)
+	}
+	for pos, spc := range sh.spaces {
+		if s, ok := byShard[spc.Shard]; ok {
+			sh.sigmas[pos] = s
+		}
+	}
+}
+
+// prevalidate batch-validates the not-yet-validated answers in the draw
+// list. The fresh answers are grouped per stratum, strata are packed into
+// at most GOMAXPROCS buckets, and each bucket runs one shared greedy
+// search on its own goroutine (taken opportunistically from the engine's
+// worker pool). On a single-CPU machine every stratum lands in one bucket
+// and the search is exactly the unsharded shared traversal — sharding
+// never splits validation work it cannot parallelise. Each goroutine
+// writes only its bucket's verdict segment; segments merge into the
+// execution's shared verdict map afterwards, on the calling goroutine, so
+// the lazy single-draw path stays lock-free. A ctx cancellation mid-batch
+// discards that batch's verdicts, exactly like the unsharded path.
+func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSpace, drawIdx []int) {
+	if sp.batch == nil {
+		return
+	}
+	fresh := make([][]kg.NodeID, len(sh.spaces))
+	freshIdx := make([][]int, len(sh.spaces))
+	seen := map[int]bool{}
+	active := 0
+	for _, i := range drawIdx {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		if _, ok := sp.verdicts[i]; ok {
+			continue
+		}
+		pos := sh.posOf[i]
+		if len(fresh[pos]) == 0 {
+			active++
+		}
+		fresh[pos] = append(fresh[pos], sp.answers[i])
+		freshIdx[pos] = append(freshIdx[pos], i)
+	}
+	if active == 0 {
+		return
+	}
+	buckets := runtime.GOMAXPROCS(0)
+	if buckets > active {
+		buckets = active
+	}
+	bucketNodes := make([][]kg.NodeID, buckets)
+	bucketIdx := make([][]int, buckets)
+	b := 0
+	for pos := range sh.spaces {
+		if len(fresh[pos]) == 0 {
+			continue
+		}
+		bucketNodes[b] = append(bucketNodes[b], fresh[pos]...)
+		bucketIdx[b] = append(bucketIdx[b], freshIdx[pos]...)
+		b = (b + 1) % buckets
+	}
+	segments := make([]map[int]bool, buckets)
+	var wg sync.WaitGroup
+	for b := range bucketNodes {
+		segments[b] = map[int]bool{}
+		validate := func(b int) {
+			res := sp.batch(ctx, bucketNodes[b])
+			if ctx.Err() != nil {
+				return
+			}
+			for k, i := range bucketIdx[b] {
+				segments[b][i] = res[bucketNodes[b][k]]
+			}
+		}
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				validate(b)
+			}(b)
+		default:
+			validate(b)
+		}
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return
+	}
+	// Merge the segments into the execution-shared verdict map on this
+	// goroutine; the per-draw observation path then works unchanged.
+	for _, seg := range segments {
+		for i, v := range seg {
+			if _, ok := sp.verdicts[i]; !ok {
+				sp.verdicts[i] = v
+				sp.validated[i] = true
+			}
+		}
+	}
+}

@@ -1,20 +1,3 @@
-// Package datagen synthesises the evaluation substrate of the paper: three
-// schema-flexible knowledge graphs whose shape mirrors DBpedia, Freebase and
-// YAGO2 (Table III) at laptop scale, an oracle embedding derived from the
-// generator's known predicate semantic clusters, a simulated crowdsourced
-// human annotation (HA-GT), and the Q1–Q10 style query workload with
-// per-query ground truth.
-//
-// The real datasets are multi-million-node dumps plus web-crawled numeric
-// attributes and a Baidu crowdsourcing campaign; none is reproducible
-// offline. What the algorithms actually consume is (a) a typed, attributed
-// graph in which the same semantic relation appears as several structurally
-// different subgraphs, and (b) two notions of ground truth to compare. The
-// generator plants those variants explicitly — per relation it emits a
-// canonical predicate plus direct-predicate and multi-hop variants with
-// controlled embedding affinities, and semantically-wrong look-alike paths —
-// so sampling quality, validation and every baseline exercise the same
-// trade-offs as on the real data (see DESIGN.md, substitutions).
 package datagen
 
 import (

@@ -1,18 +1,3 @@
-// Package embedding provides the knowledge-graph embedding substrate of the
-// paper (§III, Table XIII): d-dimensional predicate (and entity) vectors
-// whose cosine similarity captures predicate semantics (Eq. 4).
-//
-// Two families are provided:
-//
-//   - An Oracle model constructed from known predicate semantic clusters.
-//     The synthetic dataset generator knows which predicates mean the same
-//     thing, so it can produce vectors with prescribed cosine similarity to
-//     each cluster centre. This plays the role of the converged offline
-//     embedding the paper assumes as input (its Algorithm 2 line 1).
-//   - Five trainable models — TransE, TransH, TransD (translation family),
-//     RESCAL (tensor factorisation) and SE (relation-specific projections) —
-//     trained by SGD on a margin ranking loss with negative sampling,
-//     reproducing the embedding comparison of Table XIII.
 package embedding
 
 import (

@@ -1,0 +1,16 @@
+// Package estimate implements the approximate-result estimation and
+// accuracy-guarantee layers of the paper (§IV-B, §IV-C): Horvitz–Thompson
+// style estimators for COUNT and SUM (unbiased) and AVG (consistent) over
+// the non-uniform sample drawn from the stationary answer distribution π′,
+// confidence intervals via the Central Limit Theorem with the Bag of Little
+// Bootstraps variance estimate, the Theorem 2 termination test, and the
+// error-based sample-size configuration of Eq. 12.
+//
+// The package also provides the cross-shard side of sharded execution
+// (DESIGN.md "Sharded execution"): per-shard samples arrive as disjoint
+// strata of the candidate-answer space, EstimateStratified merges them into
+// one unbiased estimate with the shard inclusion probabilities folded into
+// each Observation's conditional draw probability, MoEStratified computes
+// the closed-form stratified CLT margin of error, and AllocateDraws splits
+// the next round's draws across strata by Neyman allocation.
+package estimate

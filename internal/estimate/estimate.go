@@ -1,10 +1,3 @@
-// Package estimate implements the approximate-result estimation and
-// accuracy-guarantee layers of the paper (§IV-B, §IV-C): Horvitz–Thompson
-// style estimators for COUNT and SUM (unbiased) and AVG (consistent) over
-// the non-uniform sample drawn from the stationary answer distribution π′,
-// confidence intervals via the Central Limit Theorem with the Bag of Little
-// Bootstraps variance estimate, the Theorem 2 termination test, and the
-// error-based sample-size configuration of Eq. 12.
 package estimate
 
 import (
@@ -19,10 +12,24 @@ import (
 // Observation is one sampled answer after correctness validation: its
 // aggregated attribute value, its per-draw probability π′, and the
 // validation verdict (semantic similarity ≥ τ and all filters passed).
+//
+// Under sharded execution (DESIGN.md "Sharded execution") the draw comes
+// from one shard's stratum: Prob is then the probability conditional on the
+// stratum, and the stratum's inclusion probability rides along in
+// StratumWeight so the stratified combiner can merge per-shard samples
+// without side tables. The zero values (Stratum 0, StratumWeight 0) mark an
+// unstratified observation, which Regroup treats as a single stratum of
+// weight 1.
 type Observation struct {
 	Value   float64
 	Prob    float64
 	Correct bool
+
+	// Stratum identifies the shard stratum the draw came from.
+	Stratum int
+	// StratumWeight is the inclusion probability w_h of that stratum
+	// (Σ π′ over the shard's owned answers); zero means unstratified.
+	StratumWeight float64
 }
 
 // DivisorPolicy selects the estimator normalisation (see DESIGN.md).

@@ -1,19 +1,3 @@
-// Package kg implements the knowledge-graph storage substrate: an in-memory
-// property graph in the shape required by Definition 1 of the paper — typed,
-// uniquely named entities carrying numeric attributes, connected by
-// predicate-labelled directed edges.
-//
-// The package provides a builder for programmatic construction, loaders for
-// an N-Triples subset and a TSV layout (real RDF tooling for Go is thin, so
-// kgaq ships its own manual loaders), gob-based snapshot persistence, and the
-// bounded-neighbourhood extraction used by both the SSB baseline and the
-// semantic-aware random walk.
-//
-// Node adjacency is stored in both directions: the paper's random walk and
-// subgraph matches traverse edges irrespective of orientation (e.g. the walk
-// steps from Germany to BMW_320 against the direction of the assembly edge),
-// while the original orientation is preserved on each half-edge for loaders,
-// exact SPARQL-style matching and link-prediction baselines.
 package kg
 
 import (

@@ -1,28 +1,3 @@
-// Package live is the mutation subsystem of the engine: it turns the
-// immutable kg.Graph into a continuously updatable knowledge graph without
-// giving up the read-side guarantees the sampling hot path depends on.
-//
-// The design is a copy-on-write delta overlay over an immutable base graph.
-// A Store owns the current Snapshot — base graph plus delta — and every
-// mutation batch produces a new immutable Snapshot at the next epoch;
-// readers grab the current Snapshot with one atomic load and keep a fully
-// consistent view for as long as they hold it, no matter how many writes
-// land meanwhile. Epochs are monotonic: epoch N+1 contains exactly the
-// batches 1..N+1 applied to the base, which is what gives queries
-// read-your-writes semantics (wait for the epoch a mutation returned, then
-// query the snapshot at or above it).
-//
-// A background compactor periodically folds the delta into a fresh immutable
-// base (kg.Materialize), preserving every id assignment, so overlay lookups
-// never degrade as mutations accumulate. Compaction changes representation,
-// not content: the epoch does not advance, and batches applied while the
-// compactor ran are replayed onto the fresh base before the swap.
-//
-// One deliberate constraint: mutations may introduce new entities, types and
-// attributes, but not new predicates. Predicate semantics come from the
-// offline-trained embedding — a predicate without a vector cannot be scored
-// by the semantic-aware walk — so edges must use the base vocabulary;
-// ErrFrozenPredicate reports violations.
 package live
 
 import (

@@ -1,11 +1,3 @@
-// Package query models aggregate queries over knowledge graphs (Definition
-// 2 and §V of the paper): a query graph with one target node and one or more
-// specific (named) nodes, an aggregate function over a numeric attribute of
-// the answers, optional range filters, and optional GROUP-BY.
-//
-// Complex shapes (chain, star, cycle, flower) are supported through
-// decomposition into root-to-target paths, the form consumed by the
-// decomposition–assembly engine (§V-B).
 package query
 
 import (

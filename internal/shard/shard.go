@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/stats"
+)
+
+// MaxShards bounds a Plan. Beyond this, per-shard strata on realistic
+// answer spaces degenerate to single draws and the allocator's per-stratum
+// floors dominate the budget.
+const MaxShards = 1024
+
+// Assign returns the shard owning node u under an n-way plan, by
+// Fibonacci-hashing the node id. The map is deterministic — every engine,
+// process and test agrees on ownership without coordination — and
+// effectively uniform, so shard weights concentrate near 1/n.
+func Assign(u kg.NodeID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Knuth's multiplicative hash: the golden-ratio constant scrambles the
+	// dense, sequential NodeIDs so consecutive ids land on different
+	// shards. The shard is taken from the HIGH bits via a range reduction
+	// ((h·n) >> 32) — a plain h mod n would undo the hash for power-of-two
+	// n (the constant is ≡ 1 mod 16), reducing ownership to u mod n and
+	// letting periodic id patterns (bulk loads interleaving types) skew
+	// whole answer populations onto a couple of shards.
+	h := uint32(u) * 2654435761
+	return int((uint64(h) * uint64(n)) >> 32)
+}
+
+// Plan is a validated n-way ownership partition of the node-id space.
+type Plan struct {
+	shards int
+}
+
+// NewPlan returns an n-way plan; n is clamped to [1, MaxShards].
+func NewPlan(n int) Plan {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	return Plan{shards: n}
+}
+
+// Shards returns the number of shards in the plan.
+func (p Plan) Shards() int {
+	if p.shards < 1 {
+		return 1
+	}
+	return p.shards
+}
+
+// Of returns the shard owning node u.
+func (p Plan) Of(u kg.NodeID) int { return Assign(u, p.Shards()) }
+
+// OwnedCounts returns, for each shard, how many of the graph's nodes it
+// owns — the healthz/debug balance report.
+func (p Plan) OwnedCounts(g kg.ReadGraph) []int {
+	out := make([]int, p.Shards())
+	for u := 0; u < g.NumNodes(); u++ {
+		out[p.Of(kg.NodeID(u))]++
+	}
+	return out
+}
+
+// Partition is one shard's view of a graph: a kg.ReadGraph that shares the
+// base topology (walks and validations traverse every edge, so visiting
+// probabilities stay exact) while filtering node *ownership* — NodesByType
+// returns only owned nodes, and Owns answers the ownership question the
+// sampling layer partitions the answer space by.
+type Partition struct {
+	kg.ReadGraph
+	plan  Plan
+	shard int
+}
+
+// NewPartition returns shard s's view of g.
+func NewPartition(g kg.ReadGraph, plan Plan, s int) (*Partition, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	if s < 0 || s >= plan.Shards() {
+		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", s, plan.Shards())
+	}
+	return &Partition{ReadGraph: g, plan: plan, shard: s}, nil
+}
+
+// Shard returns the partition's shard index.
+func (p *Partition) Shard() int { return p.shard }
+
+// Owns reports whether this shard owns node u.
+func (p *Partition) Owns(u kg.NodeID) bool { return p.plan.Of(u) == p.shard }
+
+// OwnedNodes returns the number of nodes this shard owns.
+func (p *Partition) OwnedNodes() int {
+	n := 0
+	for u := 0; u < p.ReadGraph.NumNodes(); u++ {
+		if p.Owns(kg.NodeID(u)) {
+			n++
+		}
+	}
+	return n
+}
+
+// NodesByType narrows the base graph's answer to the shard's owned nodes —
+// the one ReadGraph method whose results partition across shards.
+func (p *Partition) NodesByType(t kg.TypeID) []kg.NodeID {
+	all := p.ReadGraph.NodesByType(t)
+	var out []kg.NodeID
+	for _, u := range all {
+		if p.Owns(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+var _ kg.ReadGraph = (*Partition)(nil)
+
+// Space is one shard's stratum of a query's sampling space: the owned
+// candidate answers as indices into the full answer list, their
+// probabilities conditional on the stratum (they sum to 1), the stratum's
+// inclusion probability Weight = Σ π′(owned answers), and an alias table for
+// O(1) conditional draws.
+type Space struct {
+	Shard  int
+	Weight float64
+	// Index holds positions into the full answer/probs slices the space was
+	// split from; draws from this stratum yield these global indices.
+	Index []int
+	// CondProbs are the per-draw probabilities conditional on the stratum,
+	// parallel to Index.
+	CondProbs []float64
+	alias     *stats.Alias
+}
+
+// Draw samples k global answer indices i.i.d. from the stratum's
+// conditional distribution.
+func (s *Space) Draw(r *rand.Rand, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = s.Index[s.alias.Draw(r)]
+	}
+	return out
+}
+
+// SplitSpace cuts a normalised answer distribution (answers[i] drawn with
+// probability probs[i]) into per-shard strata under the plan. Shards owning
+// no answer are dropped: their stratum weight is zero, so they contribute
+// nothing to the merged estimate. The returned strata are ordered by shard
+// index and their weights sum to 1.
+func SplitSpace(plan Plan, answers []kg.NodeID, probs []float64) ([]*Space, error) {
+	if len(answers) != len(probs) {
+		return nil, fmt.Errorf("shard: %d answers vs %d probs", len(answers), len(probs))
+	}
+	n := plan.Shards()
+	byShard := make([][]int, n)
+	for i, u := range answers {
+		s := plan.Of(u)
+		byShard[s] = append(byShard[s], i)
+	}
+	var out []*Space
+	for s, idx := range byShard {
+		if len(idx) == 0 {
+			continue
+		}
+		w := 0.0
+		for _, i := range idx {
+			w += probs[i]
+		}
+		if w <= 0 {
+			continue
+		}
+		cond := make([]float64, len(idx))
+		for k, i := range idx {
+			cond[k] = probs[i] / w
+		}
+		alias := stats.NewAlias(cond)
+		if alias == nil {
+			return nil, fmt.Errorf("shard: failed to build alias table for shard %d", s)
+		}
+		out = append(out, &Space{Shard: s, Weight: w, Index: idx, CondProbs: cond, alias: alias})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shard: no shard owns any candidate answer")
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/stats"
+)
+
+func TestAssignDeterministicAndInRange(t *testing.T) {
+	for n := 1; n <= 16; n *= 2 {
+		for u := kg.NodeID(0); u < 1000; u++ {
+			s := Assign(u, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Assign(%d, %d) = %d out of range", u, n, s)
+			}
+			if s != Assign(u, n) {
+				t.Fatalf("Assign(%d, %d) not deterministic", u, n)
+			}
+		}
+	}
+	if Assign(42, 1) != 0 || Assign(42, 0) != 0 {
+		t.Fatal("degenerate plans must map everything to shard 0")
+	}
+}
+
+func TestAssignBalance(t *testing.T) {
+	const nodes, shards = 100000, 8
+	counts := make([]int, shards)
+	for u := 0; u < nodes; u++ {
+		counts[Assign(kg.NodeID(u), shards)]++
+	}
+	want := nodes / shards
+	for s, c := range counts {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Fatalf("shard %d owns %d nodes, want %d ± 5%%", s, c, want)
+		}
+	}
+}
+
+func TestNewPlanClamps(t *testing.T) {
+	if got := NewPlan(-3).Shards(); got != 1 {
+		t.Fatalf("NewPlan(-3).Shards() = %d", got)
+	}
+	if got := NewPlan(MaxShards + 1).Shards(); got != MaxShards {
+		t.Fatalf("NewPlan(MaxShards+1).Shards() = %d", got)
+	}
+	var zero Plan
+	if zero.Shards() != 1 {
+		t.Fatalf("zero Plan.Shards() = %d", zero.Shards())
+	}
+}
+
+func TestPartitionOwnership(t *testing.T) {
+	g := kgtest.Figure1()
+	plan := NewPlan(4)
+	if _, err := NewPartition(nil, plan, 0); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewPartition(g, plan, 4); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+
+	// Every node is owned by exactly one partition, and NodesByType across
+	// partitions reassembles the base graph's answer exactly.
+	parts := make([]*Partition, plan.Shards())
+	for s := range parts {
+		p, err := NewPartition(g, plan, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[s] = p
+	}
+	totalOwned := 0
+	for _, p := range parts {
+		totalOwned += p.OwnedNodes()
+	}
+	if totalOwned != g.NumNodes() {
+		t.Fatalf("partitions own %d nodes, graph has %d", totalOwned, g.NumNodes())
+	}
+	auto := g.TypeByName("Automobile")
+	seen := map[kg.NodeID]int{}
+	for _, p := range parts {
+		for _, u := range p.NodesByType(auto) {
+			seen[u]++
+			if !p.Owns(u) {
+				t.Fatalf("partition %d returned unowned node %d", p.Shard(), u)
+			}
+		}
+	}
+	for _, u := range g.NodesByType(auto) {
+		if seen[u] != 1 {
+			t.Fatalf("node %d appears in %d partitions, want exactly 1", u, seen[u])
+		}
+	}
+
+	// Topology is shared: a partition sees the full neighbourhood of any
+	// node, owned or not.
+	for u := 0; u < g.NumNodes(); u++ {
+		if len(parts[0].Neighbors(kg.NodeID(u))) != len(g.Neighbors(kg.NodeID(u))) {
+			t.Fatalf("partition filtered topology of node %d", u)
+		}
+	}
+}
+
+func TestSplitSpace(t *testing.T) {
+	g := kgtest.Figure1()
+	var answers []kg.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		answers = append(answers, kg.NodeID(u))
+	}
+	probs := make([]float64, len(answers))
+	for i := range probs {
+		probs[i] = 1 / float64(len(probs))
+	}
+	plan := NewPlan(3)
+	spaces, err := SplitSpace(plan, answers, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsum := 0.0
+	covered := map[int]bool{}
+	for _, sp := range spaces {
+		wsum += sp.Weight
+		csum := 0.0
+		for k, i := range sp.Index {
+			if plan.Of(answers[i]) != sp.Shard {
+				t.Fatalf("index %d assigned to wrong shard %d", i, sp.Shard)
+			}
+			if covered[i] {
+				t.Fatalf("answer index %d in two strata", i)
+			}
+			covered[i] = true
+			csum += sp.CondProbs[k]
+			if want := probs[i] / sp.Weight; math.Abs(sp.CondProbs[k]-want) > 1e-12 {
+				t.Fatalf("conditional prob = %g, want %g", sp.CondProbs[k], want)
+			}
+		}
+		if math.Abs(csum-1) > 1e-9 {
+			t.Fatalf("shard %d conditional probs sum to %g", sp.Shard, csum)
+		}
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("stratum weights sum to %g", wsum)
+	}
+	if len(covered) != len(answers) {
+		t.Fatalf("strata cover %d of %d answers", len(covered), len(answers))
+	}
+
+	// Draws come back as global indices owned by the stratum's shard.
+	r := stats.NewRand(1)
+	for _, sp := range spaces {
+		for _, i := range sp.Draw(r, 100) {
+			if plan.Of(answers[i]) != sp.Shard {
+				t.Fatalf("draw %d escaped shard %d", i, sp.Shard)
+			}
+		}
+	}
+
+	if _, err := SplitSpace(plan, answers, probs[:1]); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

@@ -1,15 +1,3 @@
-// Package sparql implements a small exact-matching basic-graph-pattern
-// engine over kg.Graph: the stand-in for the JENA and Virtuoso/Neo4j
-// baselines of §VII. It matches query graphs schema-exactly — a query edge
-// matches only a stored edge with the identical predicate — which is
-// precisely why exact engines miss the semantically equivalent but
-// structurally different answers that the paper's approach finds (both
-// baseline rows are identical in every table of the paper, so one engine
-// serves both).
-//
-// Matching is by backtracking over the query's edges with the usual
-// candidate-ordering heuristics; aggregates, filters and GROUP BY are
-// applied over the matched target bindings.
 package sparql
 
 import (

@@ -1,0 +1,7 @@
+// Package stats provides the small statistical toolbox shared by the
+// sampling, estimation and benchmarking layers: descriptive statistics,
+// normal critical values, set similarity and deterministic RNG fan-out.
+//
+// Everything here is dependency-free and deterministic given a seed, which
+// keeps the experiment harness reproducible run to run.
+package stats

@@ -1,0 +1,10 @@
+// Package walk implements the semantic-aware random walk of §IV-A: a Markov
+// chain over the n-bounded subgraph around the query's specific entity whose
+// transition probabilities follow predicate similarity (Eq. 5), with a tiny
+// self-loop at the start node for aperiodicity, convergence to the
+// stationary distribution π, and continuous sampling of candidate answers
+// from the renormalised answer distribution π′ (Theorem 1).
+//
+// The package also provides the topology-only samplers CNARW and Node2Vec
+// used as ablation baselines in Fig. 5a of the paper.
+package walk

@@ -22,8 +22,12 @@
 // query returns its partial estimate plus ErrInterrupted), QueryOptions
 // override any engine knob per query, the OnRound option streams refinement
 // progress live, and one Engine safely serves any number of concurrent
-// queries (QueryBatch runs a whole workload over a worker pool). The kgaqd
-// command wraps the engine in an HTTP/JSON service.
+// queries (QueryBatch runs a whole workload over a worker pool).
+// Options.Shards / WithShards switches a query to sharded execution: the
+// candidate-answer space is hash-partitioned into ownership strata, sampled
+// per shard, and merged through a stratified Horvitz–Thompson combiner
+// (see DESIGN.md "Sharded execution"). The kgaqd command wraps the engine
+// in an HTTP/JSON service.
 //
 // The pipeline is the paper's Algorithm 2: a semantic-aware random walk
 // over the n-bounded subgraph around the query's specific entity collects a
@@ -194,6 +198,12 @@ type BatchResult = core.BatchResult
 // negative disables).
 type CacheStats = core.CacheStats
 
+// ShardStat is one shard's share of the engine's work under sharded
+// execution (Options.Shards / WithShards): owned nodes, attributed sample
+// draws, and mutations that landed in its territory. See Engine.ShardStats
+// and DESIGN.md "Sharded execution".
+type ShardStat = core.ShardStat
+
 // SamplerKind selects the sampling algorithm (WithSampler / Options).
 type SamplerKind = core.SamplerKind
 
@@ -223,6 +233,7 @@ func WithSkipValidation(skip bool) QueryOption { return core.WithSkipValidation(
 func WithOptions(o Options) QueryOption        { return core.WithOptions(o) }
 func WithParallelism(n int) QueryOption        { return core.WithParallelism(n) }
 func WithMinEpoch(epoch uint64) QueryOption    { return core.WithMinEpoch(epoch) }
+func WithShards(n int) QueryOption             { return core.WithShards(n) }
 func OnRound(fn func(Round)) QueryOption       { return core.OnRound(fn) }
 
 // Sentinel errors surfaced by query execution; match with errors.Is.
@@ -245,6 +256,9 @@ var (
 	// ErrEpochNotReached reports a WithMinEpoch requirement the engine's
 	// graph source can never satisfy (static engines are pinned at epoch 0).
 	ErrEpochNotReached = core.ErrEpochNotReached
+	// ErrShardedSampler reports WithShards combined with a topology-only
+	// ablation sampler (only the semantic sampler stratifies).
+	ErrShardedSampler = core.ErrShardedSampler
 	// ErrUnknownProfile reports a dataset profile name that is not built in.
 	ErrUnknownProfile = errors.New("kgaq: unknown dataset profile")
 )
