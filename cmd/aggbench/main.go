@@ -30,7 +30,7 @@ func main() {
 	profile := flag.String("profile", "", "restrict to one dataset profile")
 	seed := flag.Int64("seed", 1, "engine seed")
 	trajectory := flag.String("trajectory", "", "measure the hot-path baseline and write it to this JSON file")
-	trajectoryLabel := flag.String("trajectory-label", "PR4", "label recorded in the trajectory file")
+	trajectoryLabel := flag.String("trajectory-label", "PR5", "label recorded in the trajectory file")
 	flag.Parse()
 
 	if *list {

@@ -5,7 +5,7 @@
 //	kgaqd -profile tiny -addr :8080
 //	kgaqd -graph data/dbpedia-sim.graph -emb data/dbpedia-sim.emb
 //
-//	curl -s localhost:8080/v1/query -d '{
+//	curl -s localhost:8080/v1/query -H 'Content-Type: application/json' -d '{
 //	  "query": "AVG(price) MATCH (g:Country name=Country_0)-[product]->(c:Automobile) TARGET c",
 //	  "error_bound": 0.05, "timeout_ms": 2000
 //	}'
@@ -14,9 +14,17 @@
 // sampler, timeout_ms, min_epoch, shards) map 1:1 onto the engine's
 // QueryOptions;
 // "stream": true switches the response to NDJSON with one line per
-// refinement round. SIGINT/SIGTERM drain gracefully: in-flight queries are
-// cancelled through their contexts and report partial results before the
-// listener closes.
+// refinement round, and "aggregates": [{"func":"COUNT"}, …] evaluates
+// several aggregates over one shared sample. SIGINT/SIGTERM drain
+// gracefully: in-flight queries are cancelled through their contexts and
+// report partial results before the listener closes.
+//
+// Repeat traffic should prepare once and execute many times:
+// POST /v1/prepare compiles a query into a cached plan (TTL/LRU, see
+// -plan-cap / -plan-ttl) and returns its content-hash id;
+// POST /v1/plans/{id}/query executes it — single-aggregate, streaming, or
+// multi-aggregate — skipping resolution, convergence and the answer-space
+// build. /debug/plans (on -debug-addr) lists the resident plans.
 //
 // The served graph is live by default: POST /v1/mutate applies atomic
 // NDJSON mutation batches (add_entity, add_edge, remove_edge, set_attr,
@@ -55,6 +63,8 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period")
 	cacheBytes := flag.Int64("cache-bytes", 0, "answer-space cache bound in bytes (0 = default, negative = disabled)")
 	shards := flag.Int("shards", 1, "partition query execution into this many shards (per-request override via \"shards\")")
+	planCap := flag.Int("plan-cap", defaultPlanCap, "maximum cached prepared plans (LRU beyond)")
+	planTTL := flag.Duration("plan-ttl", defaultPlanTTL, "prepared plans expire this long after their last use")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and cache counters on this address (e.g. localhost:6060; empty = disabled)")
 	readOnly := flag.Bool("read-only", false, "disable /v1/mutate and serve the loaded graph immutably")
 	compactEvery := flag.Duration("compact-interval", 2*time.Second, "background compactor check interval")
@@ -94,6 +104,7 @@ func main() {
 		defer stopCompactor()
 		api = NewLiveServer(eng, store)
 	}
+	api.ConfigurePlans(*planCap, *planTTL)
 	if *debugAddr != "" {
 		// The debug mux (pprof + cache counters) lives on its own listener
 		// so operational endpoints never share a port with query traffic.

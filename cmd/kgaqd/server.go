@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -28,36 +29,95 @@ const maxMutateBody = 8 << 20
 // answer parallel requests without any locking of its own: every request
 // runs an independent Execution. When constructed over a live store
 // (NewLiveServer) it additionally accepts mutation batches on /v1/mutate.
+// Prepared plans (POST /v1/prepare) live in an internally synchronised
+// TTL/LRU cache shared by every request.
 type Server struct {
 	eng     *core.Engine
 	store   *live.Store // nil for a read-only (static-graph) server
+	plans   *planCache
 	started time.Time
 }
 
 // NewServer wraps an engine for read-only serving.
 func NewServer(eng *core.Engine) *Server {
-	return &Server{eng: eng, started: time.Now()}
+	return &Server{eng: eng, plans: newPlanCache(0, 0), started: time.Now()}
 }
 
 // NewLiveServer wraps a live engine and its mutation store for read-write
 // serving.
 func NewLiveServer(eng *core.Engine, store *live.Store) *Server {
-	return &Server{eng: eng, store: store, started: time.Now()}
+	s := NewServer(eng)
+	s.store = store
+	return s
+}
+
+// ConfigurePlans re-bounds the prepared-plan cache (flags -plan-cap /
+// -plan-ttl). Call before serving.
+func (s *Server) ConfigurePlans(capacity int, ttl time.Duration) {
+	s.plans = newPlanCache(capacity, ttl)
 }
 
 // Handler returns the routed HTTP handler:
 //
-//	POST /v1/query   — execute one aggregate query (JSON body, see queryRequest)
-//	POST /v1/mutate  — apply one atomic mutation batch (NDJSON, live servers)
-//	GET  /v1/healthz — liveness plus graph statistics and the current epoch
+//	POST /v1/query            — execute one aggregate query, or several
+//	                            aggregates over one sample ("aggregates")
+//	POST /v1/prepare          — compile a query into a cached plan → plan id
+//	POST /v1/plans/{id}/query — execute a prepared plan (single or multi)
+//	POST /v1/mutate           — apply one atomic mutation batch (NDJSON, live servers)
+//	GET  /v1/healthz          — liveness plus graph statistics and the current epoch
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	mux.HandleFunc("POST /v1/plans/{id}/query", s.handlePlanQuery)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	if s.store != nil {
 		mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	}
 	return mux
+}
+
+// contentTypeOK reports whether a request Content-Type is acceptable for a
+// JSON body: unset (bare curl -d) or any application/json variant.
+func contentTypeOK(header string, accept ...string) bool {
+	if header == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(header)
+	if err != nil {
+		return false
+	}
+	for _, a := range accept {
+		if mt == a {
+			return true
+		}
+	}
+	return false
+}
+
+// readJSON decodes one JSON request body under the shared hardening rules:
+// a non-JSON Content-Type is 415, a body over maxBytes is 413, malformed
+// JSON is 400. It reports whether decoding succeeded; on failure the error
+// response has already been written.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	if ct := r.Header.Get("Content-Type"); !contentTypeOK(ct, "application/json") {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported Content-Type %q (use application/json)", ct)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
 }
 
 // queryRequest is the body of POST /v1/query: the textual query language
@@ -93,6 +153,35 @@ type queryRequest struct {
 	// sampled per shard and merged with the stratified Horvitz–Thompson
 	// combiner. Requires the semantic sampler.
 	Shards int `json:"shards,omitempty"`
+	// Aggregates switches the request to multi-aggregate execution: every
+	// listed aggregate is evaluated over one shared sample of the query
+	// graph (the query's own aggregate function is ignored), refined until
+	// each guaranteed aggregate meets its error bound. Incompatible with
+	// "stream".
+	Aggregates []aggSpecJSON `json:"aggregates,omitempty"`
+}
+
+// aggSpecJSON is one multi-aggregate target on the wire.
+type aggSpecJSON struct {
+	// Func is COUNT, SUM, AVG, MAX or MIN (case-insensitive).
+	Func string `json:"func"`
+	// Attr is the aggregated attribute; omit only for COUNT.
+	Attr string `json:"attr,omitempty"`
+	// ErrorBound optionally tightens/loosens this aggregate's bound.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+}
+
+// specs translates the wire form into engine specs.
+func toSpecs(in []aggSpecJSON) ([]core.AggSpec, error) {
+	out := make([]core.AggSpec, len(in))
+	for i, a := range in {
+		fn, err := query.ParseAggFunc(a.Func)
+		if err != nil {
+			return nil, fmt.Errorf("aggregates[%d]: %v", i, err)
+		}
+		out[i] = core.AggSpec{Func: fn, Attr: a.Attr, ErrorBound: a.ErrorBound}
+	}
+	return out, nil
 }
 
 // options translates the request's overrides into per-query options.
@@ -211,6 +300,9 @@ func errorStatus(err error) int {
 		errors.Is(err, core.ErrUnknownPredicate),
 		errors.Is(err, core.ErrUnknownAttribute),
 		errors.Is(err, core.ErrShardedSampler),
+		errors.Is(err, core.ErrPlanSampler),
+		errors.Is(err, core.ErrPlanOption),
+		errors.Is(err, core.ErrBadAggSpec),
 		errors.Is(err, core.ErrEpochNotReached):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrNotConverged):
@@ -238,10 +330,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !readJSON(w, r, maxRequestBody, &req) {
 		return
 	}
 	if req.Query == "" {
@@ -269,13 +358,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	if req.Stream {
-		s.streamQuery(ctx, w, agg, opts)
+	if len(req.Aggregates) > 0 {
+		if req.Stream {
+			writeError(w, http.StatusBadRequest, "\"aggregates\" and \"stream\" are incompatible")
+			return
+		}
+		specs, err := toSpecs(req.Aggregates)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.runMulti(ctx, w, agg, specs, func(ctx context.Context) (*core.MultiResult, error) {
+			return s.eng.QueryMulti(ctx, agg, specs, opts...)
+		})
 		return
 	}
 
+	if req.Stream {
+		s.streamQuery(ctx, w, agg, func(ctx context.Context, extra ...core.QueryOption) (*core.Result, error) {
+			return s.eng.Query(ctx, agg, append(opts, extra...)...)
+		})
+		return
+	}
+	s.runSingle(ctx, w, agg, func(ctx context.Context) (*core.Result, error) {
+		return s.eng.Query(ctx, agg, opts...)
+	})
+}
+
+// runSingle executes one single-aggregate query through run and writes the
+// response, sharing the partial-result contract between the direct and
+// prepared-plan paths.
+func (s *Server) runSingle(ctx context.Context, w http.ResponseWriter, agg *query.Aggregate,
+	run func(context.Context) (*core.Result, error)) {
+
 	begin := time.Now()
-	res, err := s.eng.Query(ctx, agg, opts...)
+	res, err := run(ctx)
 	elapsed := time.Since(begin)
 	if err != nil {
 		// A partial result is only worth a 200 when it carries an estimate;
@@ -293,10 +410,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toResponse(agg, res, false, elapsed))
 }
 
+// runMulti executes a multi-aggregate query through run and writes the
+// response; an interrupted run with partial estimates still answers 200.
+func (s *Server) runMulti(ctx context.Context, w http.ResponseWriter, agg *query.Aggregate,
+	specs []core.AggSpec, run func(context.Context) (*core.MultiResult, error)) {
+
+	begin := time.Now()
+	res, err := run(ctx)
+	elapsed := time.Since(begin)
+	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) && res != nil && anyEstimate(res) {
+			resp := toMultiResponse(agg, res, true, elapsed)
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		writeError(w, errorStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toMultiResponse(agg, res, false, elapsed))
+}
+
+// anyEstimate reports whether a partial multi result carries at least one
+// usable estimate.
+func anyEstimate(res *core.MultiResult) bool {
+	for _, ar := range res.Aggs {
+		if !math.IsNaN(ar.Estimate) {
+			return true
+		}
+	}
+	return false
+}
+
 // streamQuery answers in NDJSON: a {"round":…} line per refinement round
 // (flushed immediately — OnRound fires on this goroutine, so writes need no
-// locking), then one final {"result":…} or {"error":…} line.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *query.Aggregate, opts []core.QueryOption) {
+// locking), then one final {"result":…} or {"error":…} line. run executes
+// the query with the streaming callback appended — the direct and
+// prepared-plan paths share this.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *query.Aggregate,
+	run func(context.Context, ...core.QueryOption) (*core.Result, error)) {
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -311,10 +464,9 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *qu
 	}
 
 	begin := time.Now()
-	opts = append(opts, core.OnRound(func(r core.Round) {
+	res, err := run(ctx, core.OnRound(func(r core.Round) {
 		emit(map[string]roundJSON{"round": {Estimate: r.Estimate, MoE: jsonFloat(r.MoE), SampleSize: r.SampleSize}})
 	}))
-	res, err := s.eng.Query(ctx, agg, opts...)
 	elapsed := time.Since(begin)
 	switch {
 	case err != nil && core.IsPartial(err, res):
@@ -331,6 +483,214 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *qu
 	default:
 		emit(map[string]queryResponse{"result": toResponse(agg, res, false, elapsed)})
 	}
+}
+
+// aggResultJSON is one aggregate's outcome within a multi-aggregate
+// response.
+type aggResultJSON struct {
+	Func       string               `json:"func"`
+	Attr       string               `json:"attr,omitempty"`
+	Estimate   *float64             `json:"estimate"`
+	MoE        *float64             `json:"moe"`
+	ErrorBound float64              `json:"error_bound"`
+	Converged  bool                 `json:"converged"`
+	Rounds     []roundJSON          `json:"rounds,omitempty"`
+	Groups     map[string]groupJSON `json:"groups,omitempty"`
+}
+
+// multiResponse is the body of a multi-aggregate execution: shared sample
+// counters plus one result per aggregate.
+type multiResponse struct {
+	Query       string          `json:"query"`
+	Aggs        []aggResultJSON `json:"aggregates"`
+	Confidence  float64         `json:"confidence"`
+	Converged   bool            `json:"converged"`
+	Interrupted bool            `json:"interrupted,omitempty"`
+	Rounds      int             `json:"rounds"`
+	SampleSize  int             `json:"sample_size"`
+	Distinct    int             `json:"distinct"`
+	Candidates  int             `json:"candidates"`
+	Shards      int             `json:"shards,omitempty"`
+	Epoch       uint64          `json:"epoch"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	Error       string          `json:"error,omitempty"`
+}
+
+func toMultiResponse(agg *query.Aggregate, res *core.MultiResult, interrupted bool, elapsed time.Duration) multiResponse {
+	out := multiResponse{
+		Query:       agg.String(),
+		Confidence:  res.Confidence,
+		Converged:   res.Converged,
+		Interrupted: interrupted,
+		Rounds:      res.Rounds,
+		SampleSize:  res.SampleSize,
+		Distinct:    res.Distinct,
+		Candidates:  res.Candidates,
+		Shards:      res.Shards,
+		Epoch:       res.Epoch,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+	}
+	for _, ar := range res.Aggs {
+		aj := aggResultJSON{
+			Func:       ar.Spec.Func.String(),
+			Attr:       ar.Spec.Attr,
+			Estimate:   jsonFloat(ar.Estimate),
+			MoE:        jsonFloat(ar.MoE),
+			ErrorBound: ar.ErrorBound,
+			Converged:  ar.Converged,
+		}
+		for _, r := range ar.Rounds {
+			aj.Rounds = append(aj.Rounds, roundJSON{Estimate: r.Estimate, MoE: jsonFloat(r.MoE), SampleSize: r.SampleSize})
+		}
+		if ar.Groups != nil {
+			aj.Groups = map[string]groupJSON{}
+			for label, gr := range ar.Groups {
+				aj.Groups[label] = groupJSON{Estimate: gr.Estimate, MoE: jsonFloat(gr.MoE), Draws: gr.Draws}
+			}
+		}
+		out.Aggs = append(out.Aggs, aj)
+	}
+	return out
+}
+
+// prepareRequest is the body of POST /v1/prepare: the textual query plus
+// the plan-relevant options. Execution-level knobs (error bound, seed,
+// draw budgets) belong on the per-execution /v1/plans/{id}/query request
+// instead; the ones here are compiled into the plan.
+type prepareRequest struct {
+	Query string `json:"query"`
+	// Tau is compiled into the plan's validation oracle.
+	Tau float64 `json:"tau,omitempty"`
+	// Shards fixes the plan's stratum split.
+	Shards int `json:"shards,omitempty"`
+	// EpochPolicy is "pin" (default: freeze the Prepare-time snapshot) or
+	// "repin" (follow the live graph, rebuilding when the epoch moves).
+	EpochPolicy string `json:"epoch_policy,omitempty"`
+	// MinEpoch makes the plan observe at least this epoch (read-your-writes
+	// at prepare time).
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
+	// TimeoutMS bounds the compilation (walk convergence).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+func (pr *prepareRequest) options() ([]core.QueryOption, error) {
+	var opts []core.QueryOption
+	if pr.Tau > 0 {
+		opts = append(opts, core.WithTau(pr.Tau))
+	}
+	if pr.Shards > 0 {
+		opts = append(opts, core.WithShards(pr.Shards))
+	}
+	if pr.MinEpoch > 0 {
+		opts = append(opts, core.WithMinEpoch(pr.MinEpoch))
+	}
+	switch strings.ToLower(pr.EpochPolicy) {
+	case "", "pin":
+	case "repin":
+		opts = append(opts, core.WithEpochPolicy(core.EpochRepin))
+	default:
+		return nil, fmt.Errorf("unknown epoch_policy %q (pin, repin)", pr.EpochPolicy)
+	}
+	return opts, nil
+}
+
+// handlePrepare compiles a query into a cached plan and returns its id and
+// metadata. The id is a content hash, so preparing the same query twice is
+// idempotent and refreshes the plan's TTL.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if !readJSON(w, r, maxRequestBody, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	agg, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	id := planID(agg.String(), req.optFingerprint())
+	if e := s.plans.get(id); e != nil {
+		// Idempotent re-prepare: the resident plan is fresh again.
+		writeJSON(w, http.StatusOK, s.plans.entryJSON(e, time.Now()))
+		return
+	}
+	p, err := s.eng.Prepare(ctx, agg, opts...)
+	if err != nil {
+		writeError(w, errorStatus(err), "%v", err)
+		return
+	}
+	e := s.plans.put(id, p, agg)
+	writeJSON(w, http.StatusOK, s.plans.entryJSON(e, time.Now()))
+}
+
+// handlePlanQuery executes a cached plan: the body is a queryRequest
+// without "query" (the plan carries it) — single-aggregate by default,
+// multi-aggregate with "aggregates", NDJSON streaming with "stream".
+// Unknown or expired plan ids answer 404.
+func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req queryRequest
+	if !readJSON(w, r, maxRequestBody, &req) {
+		return
+	}
+	if req.Query != "" {
+		writeError(w, http.StatusBadRequest, "\"query\" belongs to /v1/prepare; the plan already carries it")
+		return
+	}
+	e := s.plans.get(id)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown or expired plan %q (POST /v1/prepare first)", id)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if len(req.Aggregates) > 0 {
+		if req.Stream {
+			writeError(w, http.StatusBadRequest, "\"aggregates\" and \"stream\" are incompatible")
+			return
+		}
+		specs, err := toSpecs(req.Aggregates)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.runMulti(ctx, w, e.agg, specs, func(ctx context.Context) (*core.MultiResult, error) {
+			return e.prepared.QueryMulti(ctx, specs, opts...)
+		})
+		return
+	}
+	if req.Stream {
+		s.streamQuery(ctx, w, e.agg, func(ctx context.Context, extra ...core.QueryOption) (*core.Result, error) {
+			return e.prepared.Query(ctx, append(opts, extra...)...)
+		})
+		return
+	}
+	s.runSingle(ctx, w, e.agg, func(ctx context.Context) (*core.Result, error) {
+		return e.prepared.Query(ctx, opts...)
+	})
 }
 
 // cacheJSON is the answer-space cache snapshot on the wire, shared by
@@ -387,6 +747,7 @@ type healthResponse struct {
 	Live       bool        `json:"live"`
 	DeltaNodes int         `json:"delta_nodes,omitempty"`
 	Cache      cacheJSON   `json:"cache"`
+	Plans      int         `json:"plans"`
 	Shards     []shardJSON `json:"shards,omitempty"`
 }
 
@@ -402,6 +763,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Epoch:      epoch,
 		Live:       s.store != nil,
 		Cache:      cacheSnapshot(s.eng),
+		Plans:      s.plans.len(),
 	}
 	if s.store != nil {
 		h.DeltaNodes = s.store.Snapshot().DeltaSize()
@@ -435,6 +797,12 @@ type mutateResponse struct {
 // carries the new epoch, or nothing does and the 400 body names the
 // offending line.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); !contentTypeOK(ct,
+		"application/x-ndjson", "application/jsonlines", "application/json") {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported Content-Type %q (use application/x-ndjson)", ct)
+		return
+	}
 	var batch live.Batch
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxMutateBody))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -455,6 +823,12 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, m)
 	}
 	if err := sc.Err(); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"mutation batch exceeds %d bytes", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
@@ -496,6 +870,9 @@ func (s *Server) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("GET /debug/shards", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, shardSnapshot(s.eng))
+	})
+	mux.HandleFunc("GET /debug/plans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.plans.snapshot())
 	})
 	return mux
 }

@@ -86,8 +86,12 @@ func TestPaperMapSymbols(t *testing.T) {
 		{"internal/core/exec.go", "func (x *Execution) Refine"},
 		{"internal/core/space.go", "func (e *Engine) buildChainLevel"},
 		{"internal/core/space.go", "func (e *Engine) buildAssemblySpace"},
+		{"internal/core/prepared.go", "func (e *Engine) Prepare"},
+		{"internal/core/multi.go", "func (x *Execution) refineMulti"},
+		{"internal/estimate/multi.go", "func Project"},
 		{"internal/shard/shard.go", "func SplitSpace"},
 		{"internal/estimate/estimate_test.go", "func TestTheorem2"},
+		{"internal/estimate/multi_test.go", "func TestProjectMatchesSingleTarget"},
 	}
 	for _, c := range checks {
 		data, err := os.ReadFile(filepath.FromSlash(c.file))

@@ -75,6 +75,50 @@ func ExampleExecution_Refine() {
 	// sample reused and grown: true
 }
 
+// ExampleEngine_Prepare compiles a query once and executes it three ways:
+// two repeat executions of the plan (the second skips resolution,
+// convergence and the answer-space build entirely) and one multi-aggregate
+// execution evaluating COUNT, SUM and AVG over a single shared sample.
+func ExampleEngine_Prepare() {
+	engine := exampleEngine(kgaq.Options{ErrorBound: 0.05, Seed: 1})
+	q := kgaq.SimpleQuery(kgaq.Avg, "price", "Country_0", "Country", "product", "Automobile")
+
+	plan, err := engine.Prepare(context.Background(), q)
+	if err != nil {
+		panic(err)
+	}
+	info := plan.Plan()
+	fmt.Println("shape:", info.Shape)
+	fmt.Println("built fresh:", info.CacheBuilt > 0)
+
+	first, err := plan.Query(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	again, err := plan.Query(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deterministic reuse:", first.Estimate == again.Estimate)
+
+	multi, err := plan.QueryMulti(context.Background(), []kgaq.AggSpec{
+		{Func: kgaq.Count},
+		{Func: kgaq.Sum, Attr: "price"},
+		{Func: kgaq.Avg, Attr: "price"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("aggregates:", len(multi.Aggs))
+	fmt.Println("one shared sample:", multi.SampleSize > 0 && multi.Converged)
+	// Output:
+	// shape: simple
+	// built fresh: true
+	// deterministic reuse: true
+	// aggregates: 3
+	// one shared sample: true
+}
+
 // ExampleEngine_QueryBatch runs a whole workload concurrently over the
 // engine's worker pool; results come back in input order.
 func ExampleEngine_QueryBatch() {

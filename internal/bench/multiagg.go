@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"kgaq/internal/core"
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/query"
+)
+
+// MultiAggLatency is one execution mode's cold-latency distribution over
+// the multi-aggregate workload.
+type MultiAggLatency struct {
+	Mode    string  `json:"mode"`
+	Queries int     `json:"queries"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	// Draws is the total sample size the mode consumed — the shared draw
+	// stream shows up as roughly one query's draws instead of three.
+	Draws int `json:"draws"`
+}
+
+// MultiAggResult compares the faceted-exploration workload — COUNT,
+// SUM(price) and AVG(price) of one query graph — across three execution
+// modes on cold engines (answer-space cache disabled, so every mode pays
+// its builds honestly):
+//
+//   - single:         one AVG query (the baseline unit of work)
+//   - three-separate: three independent Query calls (3 builds, 3 samples)
+//   - multi:          one QueryMulti call (1 build, 1 shared sample)
+//
+// The PR 5 acceptance bar: MultiVsSingle < 2 while SeparateVsSingle ≈ 3.
+type MultiAggResult struct {
+	Nodes            int               `json:"nodes"`
+	Runs             []MultiAggLatency `json:"runs"`
+	MultiVsSingle    float64           `json:"multi_vs_single_p50"`
+	SeparateVsSingle float64           `json:"separate_vs_single_p50"`
+}
+
+// multiAggReps repeats every (root, mode) measurement.
+const multiAggReps = 3
+
+// RunMultiAgg measures the multi-aggregate trajectory case on the 40k-node
+// bench graph. Modes are interleaved inside one loop so machine drift
+// lands on all of them equally.
+func RunMultiAgg(ctx context.Context) (*MultiAggResult, error) {
+	g, roots := shardedBenchGraph()
+	model := embtest.Figure1Model(g)
+	modes := []string{"single", "three-separate", "multi"}
+	latencies := make([][]float64, len(modes))
+	draws := make([]int, len(modes))
+
+	freshEngine := func() (*core.Engine, error) {
+		return core.NewEngine(g, model, core.Options{
+			ErrorBound: 0.10, Seed: 7, CacheMaxBytes: -1,
+		})
+	}
+	for rep := 0; rep < multiAggReps; rep++ {
+		for _, root := range roots {
+			qCount := query.Simple(query.Count, "", g.Name(root), "Thing", "product", "Automobile")
+			qSum := query.Simple(query.Sum, "price", g.Name(root), "Thing", "product", "Automobile")
+			qAvg := query.Simple(query.Avg, "price", g.Name(root), "Thing", "product", "Automobile")
+			specs := []core.AggSpec{
+				{Func: query.Count},
+				{Func: query.Sum, Attr: "price"},
+				{Func: query.Avg, Attr: "price"},
+			}
+			for mi, mode := range modes {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				eng, err := freshEngine()
+				if err != nil {
+					return nil, err
+				}
+				begin := time.Now()
+				sampled := 0
+				ok := true
+				switch mode {
+				case "single":
+					res, err := eng.Query(ctx, qAvg)
+					if err != nil {
+						ok = false
+						break
+					}
+					sampled = res.SampleSize
+				case "three-separate":
+					for _, q := range []*query.Aggregate{qCount, qSum, qAvg} {
+						res, err := eng.Query(ctx, q)
+						if err != nil {
+							ok = false
+							break
+						}
+						sampled += res.SampleSize
+					}
+				case "multi":
+					res, err := eng.QueryMulti(ctx, qCount, specs)
+					if err != nil {
+						ok = false
+						break
+					}
+					sampled = res.SampleSize
+				}
+				if !ok {
+					continue // a root without candidates is not a perf signal
+				}
+				latencies[mi] = append(latencies[mi], float64(time.Since(begin).Microseconds())/1000)
+				draws[mi] += sampled
+			}
+		}
+	}
+
+	out := &MultiAggResult{Nodes: g.NumNodes()}
+	for mi, mode := range modes {
+		if len(latencies[mi]) == 0 {
+			return nil, fmt.Errorf("bench: no multi-aggregate workload query completed in mode %s", mode)
+		}
+		sort.Float64s(latencies[mi])
+		out.Runs = append(out.Runs, MultiAggLatency{
+			Mode:    mode,
+			Queries: len(latencies[mi]),
+			P50MS:   percentile(latencies[mi], 0.50),
+			P95MS:   percentile(latencies[mi], 0.95),
+			Draws:   draws[mi],
+		})
+	}
+	if base := out.Runs[0].P50MS; base > 0 {
+		out.SeparateVsSingle = out.Runs[1].P50MS / base
+		out.MultiVsSingle = out.Runs[2].P50MS / base
+	}
+	return out, nil
+}

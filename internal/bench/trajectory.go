@@ -24,8 +24,9 @@ import (
 // TrajectorySchema versions the BENCH_*.json layout so future PRs can
 // extend it without breaking readers of earlier baselines. v2 adds the
 // churn (mixed read/write) section; v3 adds the sharded cold-query
-// comparison.
-const TrajectorySchema = "kgaq-bench-trajectory/v3"
+// comparison; v4 adds the multi-aggregate (QueryMulti vs separate
+// queries) comparison.
+const TrajectorySchema = "kgaq-bench-trajectory/v4"
 
 // Trajectory is one tracked performance baseline: the serving hot path
 // measured end to end (latency distribution, sampling throughput, cache
@@ -62,6 +63,11 @@ type Trajectory struct {
 	// across shard counts (partition-parallel execution, DESIGN.md
 	// "Sharded execution").
 	Sharded *ShardedResult `json:"sharded,omitempty"`
+
+	// MultiAgg compares COUNT+SUM+AVG as one QueryMulti (one build, one
+	// shared sample) against three separate queries (DESIGN.md "Prepared
+	// plans").
+	MultiAgg *MultiAggResult `json:"multi_agg,omitempty"`
 
 	Micro []MicroResult `json:"micro"`
 }
@@ -178,6 +184,11 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 		return nil, fmt.Errorf("bench: sharded scenario: %w", err)
 	}
 	tr.Sharded = sharded
+	multiAgg, err := RunMultiAgg(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench: multi-aggregate scenario: %w", err)
+	}
+	tr.MultiAgg = multiAgg
 	return tr, nil
 }
 
@@ -280,6 +291,14 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 				run.Shards, run.Queries, s.Nodes, run.ColdP50MS, run.ColdP95MS, run.Draws)
 		}
 		fmt.Fprintf(w, "  sharded p95 speedup: %.2fx\n", s.SpeedupP95)
+	}
+	if m := tr.MultiAgg; m != nil {
+		for _, run := range m.Runs {
+			fmt.Fprintf(w, "  multi-agg %-14s %d cold queries, p50 %.2fms, p95 %.2fms, %d draws\n",
+				run.Mode+":", run.Queries, run.P50MS, run.P95MS, run.Draws)
+		}
+		fmt.Fprintf(w, "  multi-agg p50 cost: QueryMulti %.2fx single (three separate queries %.2fx)\n",
+			m.MultiVsSingle, m.SeparateVsSingle)
 	}
 	for _, m := range tr.Micro {
 		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)

@@ -17,6 +17,15 @@ type BatchResult struct {
 	Err    error
 }
 
+// sharedPlan is one plan key's build slot: the first worker to reach it
+// compiles the plan, every later worker with the same key reuses the
+// compiled space.
+type sharedPlan struct {
+	once sync.Once
+	p    *Prepared
+	err  error
+}
+
 // QueryBatch executes the queries concurrently over a bounded worker pool
 // (WithParallelism, default GOMAXPROCS) and returns per-query outcomes in
 // input order. Options apply to every query in the batch; an OnRound
@@ -26,6 +35,13 @@ type BatchResult struct {
 // a nil Result — and interrupts the in-flight ones, which report
 // ErrInterrupted alongside their partial Results. QueryBatch itself never
 // returns an aggregate error: inspect each BatchResult.
+//
+// Queries whose graphs compile to the same plan key (identical decomposed
+// paths under identical plan knobs — e.g. COUNT, SUM and AVG over one
+// query graph) share a single answer-space build: the first worker to
+// reach the key compiles it, the rest rebind their aggregates onto the
+// compiled space. The build time lands on the building query's
+// Result.Times; the sharing queries report only their own sampling work.
 func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...QueryOption) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -40,11 +56,11 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...
 		// goroutines at once — an invisible data-race trap.
 		var mu sync.Mutex
 		orig := cfg.onRound
-		opts = append(opts, OnRound(func(r Round) {
+		cfg.onRound = func(r Round) {
 			mu.Lock()
 			defer mu.Unlock()
 			orig(r)
-		}))
+		}
 	}
 	workers := cfg.parallel
 	if workers <= 0 {
@@ -54,6 +70,58 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...
 		workers = len(qs)
 	}
 
+	var plansMu sync.Mutex
+	plans := map[string]*sharedPlan{}
+	run := func(i int) (*Result, error) {
+		q := qs[i]
+		if cfg.opts.Sampler != SamplerSemantic {
+			x, err := e.startTopology(ctx, q, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return x.Refine(ctx, 0)
+		}
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		paths, err := q.Q.Decompose()
+		if err != nil {
+			return nil, err
+		}
+		key := planKey(paths, cfg.opts)
+		plansMu.Lock()
+		slot, ok := plans[key]
+		if !ok {
+			slot = &sharedPlan{}
+			plans[key] = slot
+		}
+		plansMu.Unlock()
+		building := false
+		slot.once.Do(func() {
+			building = true
+			slot.p, slot.err = e.prepare(ctx, q, cfg)
+		})
+		if slot.err != nil {
+			// The key's build failed (resolution, convergence); the failure
+			// applies to every query with this plan key equally.
+			return nil, slot.err
+		}
+		p := slot.p
+		if !building {
+			if p, err = e.prepareShared(q, paths, cfg, slot.p); err != nil {
+				return nil, err
+			}
+		}
+		x, err := p.Start(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if building {
+			x.times.Sampling += p.buildTime
+		}
+		return x.Refine(ctx, 0)
+	}
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -61,7 +129,7 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := e.Query(ctx, qs[i], opts...)
+				res, err := run(i)
 				out[i] = BatchResult{Query: qs[i], Result: res, Err: err}
 			}
 		}()

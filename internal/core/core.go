@@ -401,7 +401,7 @@ func (e *Engine) rewarm(live.CompactEvent) {
 		cfg := e.opts
 		cfg.N = key.n
 		cfg.SelfLoopSim = key.selfLoop
-		_, _ = e.convergedStage(context.Background(), cfg, v, key.root, key.pred, old.types)
+		_, _ = e.convergedStage(context.Background(), cfg, v, key.root, key.pred, old.types, nil)
 	}
 }
 

@@ -9,11 +9,30 @@
 //
 // An Engine pairs one graph source (static *kg.Graph or live mutation
 // store) with one embedding model and serves any number of concurrent
-// queries; each Engine.Start builds a private Execution holding the query's
-// sampling space, RNG and draw list, pinned to one epoch-consistent graph
-// view. Execution.Refine implements Algorithm 1's refinement loop: draw,
+// queries. Execution follows a two-phase Prepare → Execute model:
+// Engine.Prepare compiles a query once — name→id resolution, shape
+// classification, filter/attribute binding, walker convergence, the answer
+// distribution, alias tables and the shard split — into a concurrency-safe
+// *Prepared (introspectable via Plan()); each Prepared.Start then forks a
+// private Execution holding the execution's verdict caches, RNG and draw
+// list, pinned to one epoch-consistent graph view (EpochPin freezes the
+// Prepare-time snapshot, EpochRepin follows the live graph).
+// Execution.Refine implements Algorithm 1's refinement loop: draw,
 // validate, estimate, compute the margin of error, test Theorem 2's
-// termination condition, and size the next round per Eq. 12.
+// termination condition, and size the next round per Eq. 12. Engine.Query
+// and Engine.Start remain as thin single-use wrappers, and
+// Engine.QueryBatch dedupes identical plan keys so same-graph queries
+// share one build.
+//
+// # Multi-aggregate execution
+//
+// Prepared.QueryMulti (and the Engine.QueryMulti one-shot) evaluates a
+// list of AggSpecs — e.g. COUNT, SUM(price), AVG(price) — over one shared
+// draw stream: the Eq. 7–9 estimators all consume the same semantic-aware
+// sample, so each round validates its fresh draws once and feeds every
+// spec's Horvitz–Thompson accumulator (estimate.MultiObservation /
+// estimate.Project); the guarantee loop refines until every guaranteed
+// spec meets its error bound, GROUP-BY and sharded strata included.
 //
 // # Performance machinery
 //

@@ -37,6 +37,19 @@ var (
 	// topology-only ablation sampler, whose empirical visit shares carry no
 	// exact per-answer probability to stratify.
 	ErrShardedSampler = errors.New("sharded execution requires the semantic sampler")
+	// ErrPlanSampler reports Engine.Prepare with a topology-only ablation
+	// sampler: those samplers draw during the build itself, so a plan would
+	// have nothing reusable to compile.
+	ErrPlanSampler = errors.New("prepared plans require the semantic sampler")
+	// ErrPlanOption reports a Prepared.Start/Query/QueryMulti override of
+	// an option that is compiled into the plan (sampler, shards, hop bound,
+	// self-loop weight, τ, repeat factor). Prepare a new plan with those
+	// options instead.
+	ErrPlanOption = errors.New("option is compiled into the prepared plan")
+	// ErrBadAggSpec reports an invalid multi-aggregate specification: an
+	// empty spec list, a non-COUNT aggregate without an attribute, or a
+	// MAX/MIN aggregate combined with GROUP-BY.
+	ErrBadAggSpec = errors.New("invalid aggregate spec")
 )
 
 // IsPartial reports whether an interrupted query still yielded a usable

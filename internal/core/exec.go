@@ -56,18 +56,47 @@ type Execution struct {
 // The execution is pinned to the engine's graph view current at this call
 // (or the first view satisfying WithMinEpoch): every later Refine reads
 // that one epoch, however many mutations land meanwhile.
+//
+// Start is a thin wrapper over the two-phase API: it Prepares a
+// single-use plan and starts its one execution. Workloads that re-execute
+// a query graph (or fan several aggregates over one sample) should call
+// Engine.Prepare once and reuse the plan.
 func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (*Execution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	cfg := e.queryConfig(opts)
+	if cfg.opts.Sampler != SamplerSemantic {
+		return e.startTopology(ctx, q, cfg)
+	}
+	p, err := e.prepare(ctx, q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	x, err := p.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// The one-shot API's contract: preparation time is part of the query's
+	// sampling step.
+	x.times.Sampling += p.buildTime
+	return x, nil
+}
+
+// startTopology prepares an execution under a topology-only ablation
+// sampler (Fig. 5a), which draws its sample during the build itself and so
+// cannot be compiled into a reusable plan.
+func (e *Engine) startTopology(ctx context.Context, q *query.Aggregate, cfg queryConfig) (*Execution, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if !q.Func.HasGuarantee() && q.GroupBy != "" {
 		return nil, fmt.Errorf("core: GROUP-BY with %v is unsupported", q.Func)
 	}
-	cfg := e.queryConfig(opts)
 	o := cfg.opts
+	if o.Shards > 1 {
+		return nil, fmt.Errorf("core: %w (got %v)", ErrShardedSampler, o.Sampler)
+	}
 	v := e.src.snapshot()
 	if cfg.minEpoch > v.epoch {
 		var err error
@@ -96,40 +125,19 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 	if err != nil {
 		return nil, err
 	}
-
-	if o.Shards > 1 && o.Sampler != SamplerSemantic {
-		return nil, fmt.Errorf("core: %w (got %v)", ErrShardedSampler, o.Sampler)
+	if len(paths) != 1 {
+		return nil, fmt.Errorf("core: %v sampler supports simple queries only", o.Sampler)
 	}
-
 	begin := time.Now()
-	if o.Sampler == SamplerSemantic {
-		var err error
-		x.sp, err = e.buildAssemblySpace(ctx, o, v, paths)
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
-			}
-			return nil, err
+	sp, draws, err := e.buildTopologySpace(ctx, o, v, paths[0], x.rng, x.initialSize(200))
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
 		}
-		if o.Shards > 1 {
-			if x.sh, err = newShardedSpace(x.sp, o.Shards, o.Seed); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		if len(paths) != 1 {
-			return nil, fmt.Errorf("core: %v sampler supports simple queries only", o.Sampler)
-		}
-		sp, draws, err := e.buildTopologySpace(ctx, o, v, paths[0], x.rng, x.initialSize(200))
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("core: %w during preparation: %w", ErrInterrupted, cerr)
-			}
-			return nil, err
-		}
-		x.sp = sp
-		x.drawIdx = draws
+		return nil, err
 	}
+	x.sp = sp
+	x.drawIdx = draws
 	x.times.Sampling += time.Since(begin)
 	return x, nil
 }
@@ -254,26 +262,34 @@ func (x *Execution) observations(ctx context.Context) []estimate.Observation {
 }
 
 // roundEval evaluates one observation list — a refinement round's full
-// sample, or one GROUP-BY group's view of it. When sharded, the strata are
-// regrouped once and shared by the point estimate and the margin of error.
+// sample, or one GROUP-BY group's view of it — under one aggregate
+// function. When sharded, the strata are regrouped once and shared by the
+// point estimate and the margin of error.
 type roundEval struct {
 	x      *Execution
+	fn     query.AggFunc
 	obs    []estimate.Observation
 	strata []estimate.Stratum // nil when unsharded
 }
 
-// eval builds the round evaluator. updateAlloc must be true exactly for
-// the full-sample evaluation of a round: it refreshes the Neyman
-// allocator's per-stratum variance signals, which per-group views (subsets
-// with out-of-group draws zeroed, visited in map order) must never do —
-// allocation stays a function of the whole sample and the run stays
-// deterministic under its seed.
+// eval builds the round evaluator for the execution's own aggregate.
+// updateAlloc must be true exactly for the full-sample evaluation of a
+// round: it refreshes the Neyman allocator's per-stratum variance signals,
+// which per-group views (subsets with out-of-group draws zeroed, visited
+// in map order) must never do — allocation stays a function of the whole
+// sample and the run stays deterministic under its seed.
 func (x *Execution) eval(obs []estimate.Observation, updateAlloc bool) *roundEval {
-	re := &roundEval{x: x, obs: obs}
+	return x.evalFn(x.q.Func, obs, updateAlloc)
+}
+
+// evalFn is eval for an explicit aggregate function — the multi-aggregate
+// path evaluates several functions over projections of one shared sample.
+func (x *Execution) evalFn(fn query.AggFunc, obs []estimate.Observation, updateAlloc bool) *roundEval {
+	re := &roundEval{x: x, fn: fn, obs: obs}
 	if x.sh != nil {
 		re.strata = estimate.Regroup(obs)
 		if updateAlloc {
-			x.sh.updateSigmas(x, re.strata)
+			x.sh.updateSigmas(fn, re.strata)
 		}
 	}
 	return re
@@ -285,9 +301,9 @@ func (x *Execution) eval(obs []estimate.Observation, updateAlloc bool) *roundEva
 func (re *roundEval) estimate() (float64, error) {
 	x := re.x
 	if re.strata != nil {
-		return estimate.EstimateStratified(x.q.Func, re.strata, x.opts.Policy)
+		return estimate.EstimateStratified(re.fn, re.strata, x.opts.Policy)
 	}
-	return estimate.Estimate(x.q.Func, re.obs, x.opts.Policy)
+	return estimate.Estimate(re.fn, re.obs, x.opts.Policy)
 }
 
 // moe computes ε — the closed-form stratified CLT variance when sharded
@@ -296,9 +312,9 @@ func (re *roundEval) moe() (float64, error) {
 	x := re.x
 	o := x.opts
 	if re.strata != nil {
-		return estimate.MoEStratified(x.q.Func, re.strata, o.Policy, o.guarantee())
+		return estimate.MoEStratified(re.fn, re.strata, o.Policy, o.guarantee())
 	}
-	return estimate.MoE(x.q.Func, re.obs, o.Policy, o.guarantee(), x.rng)
+	return estimate.MoE(re.fn, re.obs, o.Policy, o.guarantee(), x.rng)
 }
 
 // sampleMore extends the draw list by k, honouring the MaxDraws budget. It

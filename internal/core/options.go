@@ -13,6 +13,9 @@ type queryConfig struct {
 	// minEpoch is the oldest graph epoch this query may observe (0 = the
 	// current snapshot, whatever its epoch).
 	minEpoch uint64
+	// epochPolicy governs how a prepared plan follows the live graph's
+	// epochs (EpochPin by default).
+	epochPolicy EpochPolicy
 }
 
 // QueryOption overrides one engine-level option for a single Query, Start
@@ -23,7 +26,14 @@ type QueryOption func(*queryConfig)
 // queryConfig merges the engine defaults with per-query overrides and
 // re-applies the paper defaults to any knob an option reset to zero.
 func (e *Engine) queryConfig(opts []QueryOption) queryConfig {
-	cfg := queryConfig{opts: e.opts}
+	return mergeConfig(queryConfig{opts: e.opts}, opts)
+}
+
+// mergeConfig applies per-call overrides on top of a base configuration —
+// the engine defaults for one-shot queries, the Prepare-time configuration
+// for executions of a prepared plan.
+func mergeConfig(base queryConfig, opts []QueryOption) queryConfig {
+	cfg := base
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&cfg)
@@ -117,6 +127,15 @@ func OnRound(fn func(Round)) QueryOption {
 // It has no effect on single-query calls.
 func WithParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.parallel = n }
+}
+
+// WithEpochPolicy sets how a prepared plan (Engine.Prepare) follows a live
+// graph's epochs: EpochPin (default) freezes the plan on its Prepare-time
+// snapshot, EpochRepin re-pins to the current snapshot at every Start,
+// rebuilding the compiled space when the epoch moved. One-shot queries
+// ignore it (they always pin their Start-time snapshot).
+func WithEpochPolicy(p EpochPolicy) QueryOption {
+	return func(c *queryConfig) { c.epochPolicy = p }
 }
 
 // WithMinEpoch pins the query to a graph view at or above the given epoch —

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"kgaq/internal/live"
+	"kgaq/internal/query"
+)
+
+// An EpochPin plan (the default) keeps serving its Prepare-time snapshot
+// while writers move the store on: repeat executions are deterministic and
+// stale by design, and a WithMinEpoch above the pin fails with
+// ErrEpochNotReached rather than silently serving old data.
+func TestPreparedEpochPinStaysPinned(t *testing.T) {
+	e, st := liveEngine(t, Options{ErrorBound: 0.05, Seed: 3})
+	ctx := context.Background()
+
+	p, err := e.Prepare(ctx, regionQuery(query.Count, "", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Epoch != 0 || before.Candidates != 8 {
+		t.Fatalf("baseline: epoch %d candidates %d, want 0/8", before.Epoch, before.Candidates)
+	}
+
+	snap, err := st.Apply(live.Batch{
+		live.AddEntity("Car_B_pin", "Automobile"),
+		live.AddEdge("RootB", "product", "Car_B_pin"),
+		live.SetAttr("Car_B_pin", "price", 50000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := p.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != 0 || after.Candidates != 8 {
+		t.Fatalf("pinned plan moved: epoch %d candidates %d, want 0/8", after.Epoch, after.Candidates)
+	}
+	if _, err := p.Query(ctx, WithMinEpoch(snap.Epoch())); !errors.Is(err, ErrEpochNotReached) {
+		t.Fatalf("min_epoch above the pin: err = %v, want ErrEpochNotReached", err)
+	}
+	if got := p.Plan(); got.Epoch != 0 || got.Rebuilds != 0 {
+		t.Fatalf("plan metadata moved: %+v", got)
+	}
+	// A one-shot query (which pins per call) sees the write, proving the
+	// staleness is the plan's, not the engine's.
+	fresh, err := e.Query(ctx, regionQuery(query.Count, "", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Candidates != 9 {
+		t.Fatalf("one-shot candidates = %d, want 9", fresh.Candidates)
+	}
+}
+
+// An EpochRepin plan follows the store: a mutation between executions
+// triggers exactly one transparent rebuild (cheap for untouched scopes via
+// the stage cache), the result observes the new epoch, and WithMinEpoch
+// waits-and-rebuilds instead of failing.
+func TestPreparedEpochRepinFollowsWrites(t *testing.T) {
+	e, st := liveEngine(t, Options{ErrorBound: 0.05, Seed: 3})
+	ctx := context.Background()
+
+	p, err := e.Prepare(ctx, regionQuery(query.Count, "", "B"), WithEpochPolicy(EpochRepin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before, err := p.Query(ctx); err != nil || before.Candidates != 8 {
+		t.Fatalf("baseline: %v / %+v", err, before)
+	}
+
+	snap, err := st.Apply(live.Batch{
+		live.AddEntity("Car_B_repin", "Automobile"),
+		live.AddEdge("RootB", "product", "Car_B_repin"),
+		live.SetAttr("Car_B_repin", "price", 61000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := p.Query(ctx, WithMinEpoch(snap.Epoch()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch < snap.Epoch() {
+		t.Fatalf("repin result epoch %d below %d", after.Epoch, snap.Epoch())
+	}
+	if after.Candidates != 9 {
+		t.Fatalf("repin candidates = %d, want 9 (observes the write)", after.Candidates)
+	}
+	info := p.Plan()
+	if info.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", info.Rebuilds)
+	}
+	if info.Epoch != snap.Epoch() {
+		t.Fatalf("plan epoch = %d, want %d", info.Epoch, snap.Epoch())
+	}
+	// Stable store: no further rebuilds on repeat execution.
+	if _, err := p.Query(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Plan().Rebuilds; got != 1 {
+		t.Fatalf("rebuilds after stable repeat = %d, want 1", got)
+	}
+}
+
+// Plan reuse under concurrent mutation (-race): an EpochPin and an
+// EpochRepin plan execute from many goroutines while a writer churns the
+// same region. The pinned plan must keep reporting its frozen epoch's
+// candidate count; the repinning plan must always observe a consistent
+// (monotone) snapshot.
+func TestPreparedConcurrentMutateWhileQuery(t *testing.T) {
+	e, st := liveEngine(t, Options{ErrorBound: 0.10, Seed: 21})
+	ctx := context.Background()
+
+	pinned, err := e.Prepare(ctx, regionQuery(query.Count, "", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repin, err := e.Prepare(ctx, regionQuery(query.Avg, "price", "B"), WithEpochPolicy(EpochRepin))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("Churn_P%d", i%32)
+			if _, err := st.Apply(live.Batch{
+				live.AddEntity(name, "Automobile"),
+				live.AddEdge("RootB", "product", name),
+				live.SetAttr(name, "price", float64(10000+i)),
+			}); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := pinned.Query(ctx, WithSeed(int64(w*10+i+1)))
+				if err != nil {
+					t.Errorf("pinned[%d/%d]: %v", w, i, err)
+					continue
+				}
+				if res.Epoch != 0 || res.Candidates != 8 {
+					t.Errorf("pinned[%d/%d]: epoch %d candidates %d, want 0/8", w, i, res.Epoch, res.Candidates)
+				}
+				mres, err := repin.Query(ctx, WithSeed(int64(w*10+i+1)))
+				if err != nil {
+					t.Errorf("repin[%d/%d]: %v", w, i, err)
+					continue
+				}
+				if mres.Candidates < 8 {
+					t.Errorf("repin[%d/%d]: candidates %d below region floor", w, i, mres.Candidates)
+				}
+				if math.IsNaN(mres.Estimate) {
+					t.Errorf("repin[%d/%d]: NaN estimate", w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// QueryMulti on a live plan keeps the whole multi-aggregate refinement on
+// one pinned epoch: every spec's estimate describes the same snapshot even
+// while writes land mid-refinement.
+func TestPreparedQueryMultiPinnedEpoch(t *testing.T) {
+	e, st := liveEngine(t, Options{ErrorBound: 0.10, Seed: 5})
+	ctx := context.Background()
+	p, err := e.Prepare(ctx, regionQuery(query.Count, "", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(live.Batch{
+		live.AddEntity("Car_B_multi", "Automobile"),
+		live.AddEdge("RootB", "product", "Car_B_multi"),
+		live.SetAttr("Car_B_multi", "price", 70000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.QueryMulti(ctx, []AggSpec{
+		{Func: query.Count},
+		{Func: query.Avg, Attr: "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 0 || res.Candidates != 8 {
+		t.Fatalf("multi on pinned plan: epoch %d candidates %d, want 0/8", res.Epoch, res.Candidates)
+	}
+}

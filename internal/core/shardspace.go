@@ -9,22 +9,54 @@ import (
 
 	"kgaq/internal/estimate"
 	"kgaq/internal/kg"
+	"kgaq/internal/query"
 	"kgaq/internal/shard"
 	"kgaq/internal/stats"
 )
 
-// shardedSpace is the partition-parallel view of one execution's sampling
-// space (DESIGN.md "Sharded execution"): the candidate answers cut into
-// per-shard strata by node ownership, each stratum with its own conditional
-// alias table, its own deterministic RNG stream, and its own verdict-cache
-// segment so per-shard validation can run in parallel without sharing
-// mutable state. Draws merge back through the stratified Horvitz–Thompson
-// combiner of internal/estimate.
-type shardedSpace struct {
+// shardSplit is the immutable partition of one compiled sampling space
+// (DESIGN.md "Sharded execution"): the candidate answers cut into per-shard
+// strata by node ownership, each stratum with its own conditional alias
+// table. Computed once — at Prepare for a prepared plan — and shared
+// read-only by every execution of the plan.
+type shardSplit struct {
 	plan   shard.Plan
 	spaces []*shard.Space // non-empty strata, ascending shard order
 	// posOf maps a global answer index to its stratum's position in spaces.
 	posOf []int
+}
+
+// newShardSplit cuts an answer space into shards-many strata.
+func newShardSplit(sp *answerSpace, shards int) (*shardSplit, error) {
+	plan := shard.NewPlan(shards)
+	spaces, err := shard.SplitSpace(plan, sp.answers, sp.probs)
+	if err != nil {
+		return nil, fmt.Errorf("core: sharding sampling space: %w", err)
+	}
+	split := &shardSplit{
+		plan:   plan,
+		spaces: spaces,
+		posOf:  make([]int, len(sp.answers)),
+	}
+	for i := range split.posOf {
+		split.posOf[i] = -1
+	}
+	for pos, spc := range spaces {
+		for _, i := range spc.Index {
+			split.posOf[i] = pos
+		}
+	}
+	return split, nil
+}
+
+// shardedSpace is one execution's view of a shard split: the shared
+// immutable partition plus the per-execution draw state — each stratum's
+// deterministic RNG stream, its draw count, and the latest variance
+// signals feeding the Neyman allocator. Per-shard validation runs in
+// parallel without sharing mutable state; draws merge back through the
+// stratified Horvitz–Thompson combiner of internal/estimate.
+type shardedSpace struct {
+	*shardSplit
 	// rngs are per-stratum generators: each stratum's draw stream is
 	// deterministic under the query seed regardless of how the allocator
 	// splits a round across strata.
@@ -37,34 +69,21 @@ type shardedSpace struct {
 	sigmas []float64
 }
 
-// newShardedSpace cuts an answer space into shards-many strata.
-func newShardedSpace(sp *answerSpace, shards int, seed int64) (*shardedSpace, error) {
-	plan := shard.NewPlan(shards)
-	spaces, err := shard.SplitSpace(plan, sp.answers, sp.probs)
-	if err != nil {
-		return nil, fmt.Errorf("core: sharding sampling space: %w", err)
-	}
+// newShardedSpace binds per-execution draw state to a shared split.
+func newShardedSpace(split *shardSplit, seed int64) *shardedSpace {
 	sh := &shardedSpace{
-		plan:   plan,
-		spaces: spaces,
-		posOf:  make([]int, len(sp.answers)),
-		rngs:   make([]*rand.Rand, len(spaces)),
-		drawn:  make([]int, len(spaces)),
-		sigmas: make([]float64, len(spaces)),
+		shardSplit: split,
+		rngs:       make([]*rand.Rand, len(split.spaces)),
+		drawn:      make([]int, len(split.spaces)),
+		sigmas:     make([]float64, len(split.spaces)),
 	}
-	for i := range sh.posOf {
-		sh.posOf[i] = -1
-	}
-	for pos, sp := range spaces {
+	for pos, spc := range split.spaces {
 		// Each stratum forks an independent stream from the query seed and
 		// its shard id, so draws are reproducible per stratum no matter how
 		// rounds allocate across strata.
-		sh.rngs[pos] = stats.NewRand(seed ^ (int64(sp.Shard)+1)*0x9E3779B9)
-		for _, i := range sp.Index {
-			sh.posOf[i] = pos
-		}
+		sh.rngs[pos] = stats.NewRand(seed ^ (int64(spc.Shard)+1)*0x9E3779B9)
 	}
-	return sh, nil
+	return sh
 }
 
 // condProb returns the draw probability of global answer index i
@@ -94,14 +113,15 @@ func (sh *shardedSpace) draw(k int) []int {
 }
 
 // updateSigmas refreshes the per-stratum variance signals from a round's
-// regrouped strata (stratum ids are shard ids).
-func (sh *shardedSpace) updateSigmas(x *Execution, strata []estimate.Stratum) {
+// regrouped strata (stratum ids are shard ids) under the aggregate function
+// whose guarantee is driving the refinement.
+func (sh *shardedSpace) updateSigmas(fn query.AggFunc, strata []estimate.Stratum) {
 	byShard := map[int]float64{}
 	for _, st := range strata {
 		if len(st.Obs) == 0 {
 			continue
 		}
-		byShard[st.Obs[0].Stratum] = estimate.StratumSigma(x.q.Func, st.Obs)
+		byShard[st.Obs[0].Stratum] = estimate.StratumSigma(fn, st.Obs)
 	}
 	for pos, spc := range sh.spaces {
 		if s, ok := byShard[spc.Shard]; ok {
@@ -122,7 +142,7 @@ func (sh *shardedSpace) updateSigmas(x *Execution, strata []estimate.Stratum) {
 // the lazy single-draw path stays lock-free. A ctx cancellation mid-batch
 // discards that batch's verdicts, exactly like the unsharded path.
 func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSpace, drawIdx []int) {
-	if sp.batch == nil {
+	if sp.oracle.batch == nil {
 		return
 	}
 	fresh := make([][]kg.NodeID, len(sh.spaces))
@@ -167,7 +187,7 @@ func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSp
 	for b := range bucketNodes {
 		segments[b] = map[int]bool{}
 		validate := func(b int) {
-			res := sp.batch(ctx, bucketNodes[b])
+			res := sp.oracle.batch(ctx, bucketNodes[b])
 			if ctx.Err() != nil {
 				return
 			}

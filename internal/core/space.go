@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kgaq/internal/kg"
 	"kgaq/internal/query"
@@ -29,17 +30,20 @@ const maxChainIntermediates = 300
 // in-flight validation; verdicts are only cached when the validation ran to
 // completion, so a cancelled call never poisons the cache with false
 // negatives.
+//
+// answers, probs, alias and the oracle are immutable after construction —
+// the compiled-plan half a Prepared shares across executions; verdicts and
+// validated are per-execution caches, renewed by fork, so concurrent
+// executions of one plan never write the same map. (The semantic oracle's
+// own caches live on the engine's stage entries, guarded by their mutex.)
 type answerSpace struct {
 	answers []kg.NodeID
 	probs   []float64 // sums to 1
 	alias   *stats.Alias
-	// correctness returns the validated semantic correctness (similarity ≥
-	// τ through validation) for the answer at index i.
-	correctness func(ctx context.Context, i int) bool
-	// batch, when set, validates many answers in one shared search and
-	// returns their verdicts; prevalidate uses it so a round's worth of
+	// oracle is the per-answer correctness machinery; the batch form, when
+	// set, validates many answers in one shared search so a round's worth of
 	// fresh answers costs one traversal instead of one per answer.
-	batch func(ctx context.Context, us []kg.NodeID) map[kg.NodeID]bool
+	oracle correctOracle
 	// verdicts caches per-index validation outcomes.
 	verdicts map[int]bool
 	// validated records which indices have been validated (work metric).
@@ -47,6 +51,33 @@ type answerSpace struct {
 }
 
 func (s *answerSpace) len() int { return len(s.answers) }
+
+// fork returns an execution-private view of the space: the immutable parts
+// (candidate answers, probabilities, alias table, correctness oracle) are
+// shared, the per-execution verdict caches start fresh. This is what makes
+// a Prepared safe for concurrent Start calls.
+func (s *answerSpace) fork() *answerSpace {
+	return &answerSpace{
+		answers: s.answers, probs: s.probs, alias: s.alias, oracle: s.oracle,
+		verdicts: map[int]bool{}, validated: map[int]bool{},
+	}
+}
+
+// correctness returns the validated semantic correctness (similarity ≥ τ
+// through validation) for the answer at index i, caching completed
+// verdicts on the execution.
+func (s *answerSpace) correctness(ctx context.Context, i int) bool {
+	if v, ok := s.verdicts[i]; ok {
+		return v
+	}
+	v := s.oracle.single(ctx, s.answers[i])
+	if ctx.Err() != nil {
+		return false // incomplete validation: no verdict, no cache entry
+	}
+	s.verdicts[i] = v
+	s.validated[i] = true
+	return v
+}
 
 func (s *answerSpace) draw(r *rand.Rand, k int) []int {
 	out := make([]int, k)
@@ -61,7 +92,7 @@ func (s *answerSpace) draw(r *rand.Rand, k int) []int {
 // oracle runs lazily instead). A ctx cancellation mid-batch discards the
 // incomplete verdicts instead of caching them.
 func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
-	if s.batch == nil {
+	if s.oracle.batch == nil {
 		return
 	}
 	var fresh []kg.NodeID
@@ -80,7 +111,7 @@ func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
 	if len(fresh) == 0 {
 		return
 	}
-	res := s.batch(ctx, fresh)
+	res := s.oracle.batch(ctx, fresh)
 	if ctx.Err() != nil {
 		return
 	}
@@ -90,14 +121,35 @@ func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
 	}
 }
 
+// buildMetrics counts answer-space build work, the raw material of a
+// prepared plan's introspection (PlanInfo.CacheHits / CacheBuilt). Counters
+// are atomic because chain builds fan out over the engine's worker pool. A
+// nil *buildMetrics is a valid no-op sink.
+type buildMetrics struct {
+	hits  atomic.Int64 // converged stages served from the engine cache
+	built atomic.Int64 // stages converged fresh during this build
+}
+
+func (b *buildMetrics) hit() {
+	if b != nil {
+		b.hits.Add(1)
+	}
+}
+
+func (b *buildMetrics) build() {
+	if b != nil {
+		b.built.Add(1)
+	}
+}
+
 // buildSemanticSpace assembles the answer space for one decomposed path
 // using the semantic-aware walker (§IV-A), recursively for chains (§V-B).
-func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, v view, p query.Path) (*answerSpace, error) {
+func (e *Engine) buildSemanticSpace(ctx context.Context, o Options, v view, p query.Path, bm *buildMetrics) (*answerSpace, error) {
 	us, err := resolveRoot(v.g, p)
 	if err != nil {
 		return nil, err
 	}
-	pi, oracle, err := e.buildChainLevel(ctx, o, v, us, p.Hops)
+	pi, oracle, err := e.buildChainLevel(ctx, o, v, us, p.Hops, bm)
 	if err != nil {
 		return nil, err
 	}
@@ -136,25 +188,11 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 	if alias == nil {
 		return nil, fmt.Errorf("core: failed to build sampling table")
 	}
-	sp := &answerSpace{
-		answers: answers, probs: probs, alias: alias,
-		batch:     oracle.batch,
+	return &answerSpace{
+		answers: answers, probs: probs, alias: alias, oracle: oracle,
 		verdicts:  map[int]bool{},
 		validated: map[int]bool{},
-	}
-	sp.correctness = func(ctx context.Context, i int) bool {
-		if v, ok := sp.verdicts[i]; ok {
-			return v
-		}
-		v := oracle.single(ctx, answers[i])
-		if ctx.Err() != nil {
-			return false // incomplete validation: no verdict, no cache entry
-		}
-		sp.verdicts[i] = v
-		sp.validated[i] = true
-		return v
-	}
-	return sp, nil
+	}, nil
 }
 
 // convergedStage returns the converged stage for (root, pred, types) under
@@ -170,7 +208,7 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 // fresh build is tagged with the view's epoch and its walk scope, the unit
 // of selective invalidation.
 func (e *Engine) convergedStage(ctx context.Context, o Options, v view,
-	root kg.NodeID, pred kg.PredID, types []kg.TypeID) (*stageEntry, error) {
+	root kg.NodeID, pred kg.PredID, types []kg.TypeID, bm *buildMetrics) (*stageEntry, error) {
 
 	key := stageKey{
 		root:     root,
@@ -180,8 +218,10 @@ func (e *Engine) convergedStage(ctx context.Context, o Options, v view,
 		selfLoop: o.SelfLoopSim,
 	}
 	if st := e.cache.get(key, v.epoch); st != nil {
+		bm.hit()
 		return st, nil
 	}
+	bm.build()
 	w, err := walk.New(v.g, e.calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
 	if err != nil {
 		return nil, err
@@ -252,7 +292,7 @@ func (e *Engine) stageOracle(o Options, v view, st *stageEntry,
 // hop's answers together with a lazy correctness oracle, recursing over the
 // chain's hops: π(j) = Σᵢ π′ᵢ · π′ⱼ|ᵢ (§V-B), and an answer is correct when
 // some intermediate chain validates every leg at the τ threshold.
-func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg.NodeID, hops []query.Hop) (map[kg.NodeID]float64, correctOracle, error) {
+func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg.NodeID, hops []query.Hop, bm *buildMetrics) (map[kg.NodeID]float64, correctOracle, error) {
 	none := correctOracle{}
 	if len(hops) == 0 {
 		return nil, none, fmt.Errorf("core: empty hop sequence")
@@ -265,7 +305,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg
 	if err != nil {
 		return nil, none, err
 	}
-	st, err := e.convergedStage(ctx, o, v, root, pred, types)
+	st, err := e.convergedStage(ctx, o, v, root, pred, types, bm)
 	if err != nil {
 		return nil, none, err
 	}
@@ -314,7 +354,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg
 			break
 		}
 		build := func(i int, node kg.NodeID) {
-			subPis[i], subOracles[i], subErrs[i] = e.buildChainLevel(ctx, o, v, node, hops[1:])
+			subPis[i], subOracles[i], subErrs[i] = e.buildChainLevel(ctx, o, v, node, hops[1:], bm)
 		}
 		select {
 		case e.sem <- struct{}{}:
@@ -392,9 +432,9 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg
 // normalised product of per-path visiting probabilities (an answer must be
 // reachable by every constraint's walk), and an answer is correct only if
 // every path validates it.
-func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, v view, paths []query.Path) (*answerSpace, error) {
+func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, v view, paths []query.Path, bm *buildMetrics) (*answerSpace, error) {
 	if len(paths) == 1 {
-		return e.buildSemanticSpace(ctx, o, v, paths[0])
+		return e.buildSemanticSpace(ctx, o, v, paths[0], bm)
 	}
 	type level struct {
 		pi      map[kg.NodeID]float64
@@ -406,7 +446,7 @@ func (e *Engine) buildAssemblySpace(ctx context.Context, o Options, v view, path
 		if err != nil {
 			return nil, err
 		}
-		pi, correct, err := e.buildChainLevel(ctx, o, v, us, p.Hops)
+		pi, correct, err := e.buildChainLevel(ctx, o, v, us, p.Hops, bm)
 		if err != nil {
 			return nil, fmt.Errorf("core: sub-query rooted at %q: %w", p.RootName, err)
 		}
@@ -498,11 +538,13 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, v view, p qu
 	if alias == nil {
 		return nil, nil, fmt.Errorf("core: topology sample has no mass")
 	}
-	sp := &answerSpace{answers: ts.Answers, probs: ts.Probs, alias: alias, validated: map[int]bool{}}
+	sp := &answerSpace{answers: ts.Answers, probs: ts.Probs, alias: alias,
+		verdicts: map[int]bool{}, validated: map[int]bool{}}
 
 	// Correctness still uses the greedy validator so the ablation isolates
 	// the sampling step (S1) exactly as in Fig. 5a. The validator wants a
-	// π map; the empirical shares serve.
+	// π map; the empirical shares serve. Verdict caching happens on the
+	// execution's answerSpace maps, as for the semantic oracle.
 	pred, err := resolvePred(v.g, p.Hops[0].Predicate)
 	if err != nil {
 		return nil, nil, err
@@ -511,20 +553,13 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, v view, p qu
 	for i, u := range ts.Answers {
 		piMap[u] = ts.Probs[i]
 	}
-	verdicts := map[int]bool{}
-	sp.correctness = func(ctx context.Context, i int) bool {
-		if v, ok := verdicts[i]; ok {
-			return v
-		}
-		res, _ := semsim.ValidateCtx(ctx, v.g, e.calc, us, pred, piMap, []kg.NodeID{sp.answers[i]},
+	sp.oracle.single = func(ctx context.Context, u kg.NodeID) bool {
+		res, _ := semsim.ValidateCtx(ctx, v.g, e.calc, us, pred, piMap, []kg.NodeID{u},
 			semsim.ValidatorConfig{Repeat: o.Repeat, MaxLen: o.N, Tau: o.Tau})
 		if ctx.Err() != nil {
 			return false
 		}
-		v := res[sp.answers[i]].Similarity >= o.Tau
-		verdicts[i] = v
-		sp.validated[i] = true
-		return v
+		return res[u].Similarity >= o.Tau
 	}
 	return sp, ts.Draws, nil
 }

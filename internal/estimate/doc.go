@@ -13,4 +13,10 @@
 // each Observation's conditional draw probability, MoEStratified computes
 // the closed-form stratified CLT margin of error, and AllocateDraws splits
 // the next round's draws across strata by Neyman allocation.
+//
+// Multi-aggregate execution rides the same machinery: a MultiObservation
+// carries one draw's shared facts (π′, correctness verdict, stratum) plus
+// per-target attribute values, and Project lowers it onto any single
+// target's classic observation list, so one sample feeds COUNT, SUM and
+// AVG accumulators at once without touching the estimators.
 package estimate

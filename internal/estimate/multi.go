@@ -1,0 +1,63 @@
+package estimate
+
+import "kgaq/internal/query"
+
+// This file carries the multi-aggregate face of the Horvitz–Thompson
+// estimators: the paper's Eq. 7–9 all consume the same semantic-aware
+// sample, so one drawn answer can feed COUNT, SUM(price) and AVG(price)
+// simultaneously. A MultiObservation shares the expensive per-draw facts —
+// the visiting probability π′ and the validated correctness verdict —
+// across every aggregate target, while each target contributes only its own
+// attribute value. Project lowers a multi-target sample onto one target's
+// classic observation list, so every single-target estimator (plain or
+// stratified) applies unchanged and keeps its bias/consistency properties.
+
+// MultiObservation is one sampled answer scored against several aggregate
+// targets at once. Prob, Correct and the stratum fields have exactly the
+// Observation semantics (Correct is the semantic + filter verdict, shared
+// by all targets); Values[k] / Has[k] carry target k's attribute value and
+// whether the answer has that attribute at all. A COUNT(*) target occupies
+// a slot with Has[k] == false throughout — Project ignores values for
+// COUNT.
+type MultiObservation struct {
+	Prob    float64
+	Correct bool
+
+	// Stratum / StratumWeight identify the shard stratum the draw came
+	// from, as on Observation; zero StratumWeight means unstratified.
+	Stratum       int
+	StratumWeight float64
+
+	// Values[k] is target k's attribute value when Has[k]; parallel slices
+	// sized to the target count.
+	Values []float64
+	Has    []bool
+}
+
+// Project lowers a multi-target sample onto target k's single-target
+// observation list for aggregate function fn. The shared verdict carries
+// over; an answer missing target k's attribute cannot contribute to
+// SUM/AVG/MAX/MIN (its Correct is cleared, mirroring the single-target
+// pipeline), while COUNT ignores attribute presence entirely. k < 0
+// addresses a valueless target (COUNT(*)).
+func Project(obs []MultiObservation, k int, fn query.AggFunc) []Observation {
+	out := make([]Observation, len(obs))
+	for i, m := range obs {
+		o := Observation{
+			Prob:          m.Prob,
+			Correct:       m.Correct,
+			Stratum:       m.Stratum,
+			StratumWeight: m.StratumWeight,
+		}
+		if k >= 0 && k < len(m.Values) {
+			o.Value = m.Values[k]
+			if fn != query.Count && !m.Has[k] {
+				o.Correct = false
+			}
+		} else if fn != query.Count {
+			o.Correct = false // a valueless target feeds no value estimator
+		}
+		out[i] = o
+	}
+	return out
+}

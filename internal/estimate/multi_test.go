@@ -1,0 +1,107 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kgaq/internal/query"
+)
+
+// multiFixture builds a multi-target sample with targets
+// [COUNT(*), SUM(price), AVG(price)] alongside the equivalent
+// independently-constructed single-target observation lists.
+func multiFixture(n int, r *rand.Rand) (multi []MultiObservation, count, sum []Observation) {
+	for i := 0; i < n; i++ {
+		prob := 0.01 + r.Float64()
+		correct := r.Intn(4) != 0
+		has := r.Intn(5) != 0
+		val := 100 * r.Float64()
+		m := MultiObservation{
+			Prob: prob, Correct: correct,
+			Values: []float64{0, val, val},
+			Has:    []bool{false, has, has},
+		}
+		multi = append(multi, m)
+		count = append(count, Observation{Prob: prob, Correct: correct})
+		sum = append(sum, Observation{Prob: prob, Correct: correct && has, Value: val})
+	}
+	return multi, count, sum
+}
+
+// The projection of a multi-target sample must be indistinguishable from
+// the observation list the single-target pipeline would have built — same
+// estimates, same ErrNoCorrect behaviour.
+func TestProjectMatchesSingleTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	multi, count, sum := multiFixture(200, r)
+
+	for _, tc := range []struct {
+		name string
+		k    int
+		fn   query.AggFunc
+		want []Observation
+	}{
+		{"count-star", 0, query.Count, count},
+		{"sum", 1, query.Sum, sum},
+		{"avg", 2, query.Avg, sum},
+		{"count-star-negative-index", -1, query.Count, count},
+	} {
+		got := Project(multi, tc.k, tc.fn)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: projected %d obs, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range got {
+			w := tc.want[i]
+			if got[i].Correct != w.Correct || got[i].Prob != w.Prob {
+				t.Fatalf("%s: obs %d = %+v, want %+v", tc.name, i, got[i], w)
+			}
+			if tc.fn != query.Count && got[i].Value != w.Value {
+				t.Fatalf("%s: obs %d value = %v, want %v", tc.name, i, got[i].Value, w.Value)
+			}
+		}
+		ve, err1 := Estimate(tc.fn, got, SampleSize)
+		vw, err2 := Estimate(tc.fn, tc.want, SampleSize)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", tc.name, err1, err2)
+		}
+		if err1 == nil && math.Abs(ve-vw) > 1e-12*math.Abs(vw) {
+			t.Fatalf("%s: estimate %v, want %v", tc.name, ve, vw)
+		}
+	}
+}
+
+// A target the answer lacks must not contribute to SUM but must still
+// count for COUNT — the single-target missing-attribute rule, per target.
+func TestProjectMissingAttribute(t *testing.T) {
+	multi := []MultiObservation{
+		{Prob: 0.5, Correct: true, Values: []float64{10}, Has: []bool{false}},
+	}
+	if obs := Project(multi, 0, query.Sum); obs[0].Correct {
+		t.Fatal("SUM projection kept an answer without the attribute")
+	}
+	if obs := Project(multi, 0, query.Count); !obs[0].Correct {
+		t.Fatal("COUNT projection dropped a correct answer")
+	}
+	// An out-of-range target index is a valueless target.
+	if obs := Project(multi, 3, query.Avg); obs[0].Correct {
+		t.Fatal("AVG projection of a valueless target kept Correct")
+	}
+}
+
+// Stratum identity must survive projection so the stratified combiner can
+// regroup the projected sample exactly as it would the single-target one.
+func TestProjectPreservesStrata(t *testing.T) {
+	multi := []MultiObservation{
+		{Prob: 0.5, Correct: true, Stratum: 2, StratumWeight: 0.25, Values: []float64{3}, Has: []bool{true}},
+		{Prob: 0.5, Correct: true, Stratum: 5, StratumWeight: 0.75, Values: []float64{4}, Has: []bool{true}},
+	}
+	obs := Project(multi, 0, query.Sum)
+	strata := Regroup(obs)
+	if len(strata) != 2 {
+		t.Fatalf("regrouped into %d strata, want 2", len(strata))
+	}
+	if strata[0].Weight != 0.25 || strata[1].Weight != 0.75 {
+		t.Fatalf("stratum weights lost: %+v", strata)
+	}
+}

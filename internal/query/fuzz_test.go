@@ -1,0 +1,45 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse drives the query-language parser with arbitrary input. Two
+// oracles apply: the parser must never panic (any accepted or rejected
+// input), and every successfully parsed query must survive the
+// String → Parse round-trip structurally intact — the same property
+// TestStringParseRoundTrip checks from the constructive side.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c",
+		"COUNT(*) MATCH (a:T name=x)-[p]->(b:U)",
+		"SUM(v) MATCH (a:T name=x)-[p]->(b:U), (c:W name=y)-[q]->(b) TARGET b FILTER price >= 3",
+		"MAX(price) MATCH (a:T|U name=x)<-[p]-(b:V) TARGET b FILTER 1 <= price <= 2 GROUPBY brand",
+		"MIN(mpg) MATCH (a:T name=x)-[p]->(b:U)-[q]->(c:V)-[r]->(a) TARGET b",
+		"AVG(p) MATCH (a:T name=n0)-[e]->(t:U) TARGET t FILTER -inf <= p <= inf",
+		"count(*) match (a:T name=x)-[p]->(b:U) filter price <= 1e+06",
+		"SUM(x) MATCH (a:T name=Node.Seven)-[p]->(b:U) TARGET b",
+		"AVG(price)MATCH(g:Country name=G)-[product]->(c:Automobile)TARGET c",
+		"COUNT(*) MATCH (a:T name=x)-[p]->(b:U) FILTER 2.5e-7 <= price <= 4e12",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		agg, err := Parse(input)
+		if err != nil {
+			return // rejected input only needs to not panic
+		}
+		printed := agg.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (printed from accepted input %q) failed: %v",
+				printed, input, err)
+		}
+		if !reflect.DeepEqual(agg, back) {
+			t.Fatalf("round-trip mismatch for input %q:\nprinted %q\nfirst  %#v\nsecond %#v",
+				input, printed, agg, back)
+		}
+	})
+}

@@ -21,10 +21,15 @@ import (
 //	node     = "(" id [":" type {"|" type}] ["name=" value] ")"
 //	edge     = "-[" pred "]->" | "<-[" pred "]-"
 //	filter   = num "<=" attr "<=" num | attr ">=" num | attr "<=" num
+//	num      = float with optional exponent, or [+-]"inf"
 //
 // Node ids are local to the query; reusing an id refers to the same node,
 // which is how cycles and stars are expressed. When TARGET is omitted and
-// exactly one unnamed node exists, that node is the target.
+// exactly one unnamed node exists, that node is the target. Numbers accept
+// exponent notation ("1e+06") and the infinities ("-inf", "inf") so that
+// Aggregate.String output — which prints filter bounds exactly — parses
+// back; the one casualty is a filter attribute literally named "inf",
+// which now reads as a bound.
 func Parse(input string) (*Aggregate, error) {
 	p := &parser{in: input}
 	agg, err := p.parse()
@@ -360,13 +365,26 @@ func (p *parser) value() (string, error) {
 	return p.in[start:p.pos], nil
 }
 
-// tryNumber parses a float if the next token is one.
+// tryNumber parses a float if the next token is one: optional sign, then
+// either "inf" (ident-delimited) or digits with an optional fraction and
+// exponent — everything strconv.FormatFloat(v, 'g', -1, 64) can print, so
+// filter bounds round-trip through Aggregate.String.
 func (p *parser) tryNumber() (float64, bool) {
 	p.skipSpace()
 	start := p.pos
 	i := p.pos
+	neg := false
 	if i < len(p.in) && (p.in[i] == '-' || p.in[i] == '+') {
+		neg = p.in[i] == '-'
 		i++
+	}
+	if rest := p.in[i:]; len(rest) >= 3 && strings.EqualFold(rest[:3], "inf") &&
+		(len(rest) == 3 || !isIdentChar(rest[3])) {
+		p.pos = i + 3
+		if neg {
+			return math.Inf(-1), true
+		}
+		return math.Inf(1), true
 	}
 	digits := false
 	for i < len(p.in) && (p.in[i] >= '0' && p.in[i] <= '9' || p.in[i] == '.') {
@@ -377,6 +395,19 @@ func (p *parser) tryNumber() (float64, bool) {
 	}
 	if !digits {
 		return 0, false
+	}
+	if i < len(p.in) && (p.in[i] == 'e' || p.in[i] == 'E') {
+		j := i + 1
+		if j < len(p.in) && (p.in[j] == '-' || p.in[j] == '+') {
+			j++
+		}
+		k := j
+		for k < len(p.in) && p.in[k] >= '0' && p.in[k] <= '9' {
+			k++
+		}
+		if k > j {
+			i = k
+		}
 	}
 	v, err := strconv.ParseFloat(p.in[start:i], 64)
 	if err != nil {

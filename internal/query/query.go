@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -480,7 +481,13 @@ func (a *Aggregate) Validate() error {
 	return nil
 }
 
-// String renders the aggregate query compactly for logs.
+// String renders the aggregate query in the textual query language — the
+// exact grammar Parse accepts, so Parse(a.String()) reconstructs a for every
+// constructible query (names and attributes within the language's
+// identifier/value charset). Nodes print first, in index order, as
+// single-node patterns with ids n0, n1, …; then every edge as its own
+// two-node pattern; so the re-parsed graph preserves node indices, edge
+// order and edge direction, and reflect.DeepEqual round-trips.
 func (a *Aggregate) String() string {
 	var sb strings.Builder
 	if a.Attr != "" {
@@ -489,13 +496,45 @@ func (a *Aggregate) String() string {
 		fmt.Fprintf(&sb, "%s(*)", a.Func)
 	}
 	if a.Q != nil {
-		fmt.Fprintf(&sb, " over %s query", a.Q.ShapeOf())
+		sb.WriteString(" MATCH ")
+		for i, n := range a.Q.Nodes {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(n%d", i)
+			if len(n.Types) > 0 {
+				sb.WriteString(":" + strings.Join(n.Types, "|"))
+			}
+			if n.Name != "" {
+				sb.WriteString(" name=" + n.Name)
+			}
+			sb.WriteString(")")
+		}
+		for _, e := range a.Q.Edges {
+			fmt.Fprintf(&sb, ", (n%d)-[%s]->(n%d)", e.From, e.Predicate, e.To)
+		}
+		if a.Q.Target >= 0 && a.Q.Target < len(a.Q.Nodes) {
+			fmt.Fprintf(&sb, " TARGET n%d", a.Q.Target)
+		}
 	}
 	for _, f := range a.Filters {
-		fmt.Fprintf(&sb, " filter[%s]", f)
+		fmt.Fprintf(&sb, " FILTER %s <= %s <= %s", fmtBound(f.Low), f.Attr, fmtBound(f.High))
 	}
 	if a.GroupBy != "" {
-		fmt.Fprintf(&sb, " group-by %s", a.GroupBy)
+		fmt.Fprintf(&sb, " GROUPBY %s", a.GroupBy)
 	}
 	return sb.String()
+}
+
+// fmtBound renders one filter bound in the syntax tryNumber reads back:
+// shortest exact decimal/exponent form, with infinities as ±inf.
+func fmtBound(v float64) string {
+	switch {
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsInf(v, 1):
+		return "inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
 }

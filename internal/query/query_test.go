@@ -294,7 +294,7 @@ func TestWithFilterHelpers(t *testing.T) {
 	if a.GroupBy != "brand" {
 		t.Fatal("group by not set")
 	}
-	if !strings.Contains(a.String(), "group-by brand") {
+	if !strings.Contains(a.String(), "GROUPBY brand") {
 		t.Fatalf("String = %q", a.String())
 	}
 }

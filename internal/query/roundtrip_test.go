@@ -1,0 +1,167 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genGraph builds a random valid query graph of one of the five Figure 4
+// shapes. The generator only emits what the textual language can express
+// (identifier names/types/predicates), which is exactly the domain the
+// String ↔ Parse round-trip promises.
+func genGraph(r *rand.Rand) *Graph {
+	idents := []string{"Country", "Automobile", "Person", "Brand", "City", "Engine"}
+	names := []string{"Germany", "BMW", "Munich", "Alice", "X5", "Node.Seven"}
+	preds := []string{"product", "designer", "locatedIn", "owns", "partOf"}
+	pick := func(pool []string) string { return pool[r.Intn(len(pool))] }
+	types := func() []string {
+		out := []string{pick(idents)}
+		for r.Intn(3) == 0 {
+			t := pick(idents)
+			dup := false
+			for _, have := range out {
+				if have == t {
+					dup = true
+				}
+			}
+			if !dup {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+
+	b := NewBuilder()
+	switch r.Intn(5) {
+	case 0: // simple
+		root := b.Specific(pick(names), types()...)
+		tgt := b.Target(types()...)
+		b.Edge(root, tgt, pick(preds))
+	case 1: // chain
+		cur := b.Specific(pick(names), types()...)
+		hops := 2 + r.Intn(3)
+		for i := 0; i < hops; i++ {
+			var next int
+			if i == hops-1 {
+				next = b.Target(types()...)
+			} else {
+				next = b.Unknown(types()...)
+			}
+			b.Edge(cur, next, pick(preds))
+			cur = next
+		}
+	case 2: // star
+		tgt := b.Target(types()...)
+		arms := 2 + r.Intn(3)
+		for i := 0; i < arms; i++ {
+			root := b.Specific(pick(names)+"_"+string(rune('a'+i)), types()...)
+			b.Edge(root, tgt, pick(preds))
+		}
+	case 3: // cycle
+		root := b.Specific(pick(names), types()...)
+		mid := b.Unknown(types()...)
+		tgt := b.Target(types()...)
+		b.Edge(root, mid, pick(preds))
+		b.Edge(mid, tgt, pick(preds))
+		b.Edge(tgt, root, pick(preds))
+	default: // flower: cycle plus an extra branch
+		root := b.Specific(pick(names), types()...)
+		mid := b.Unknown(types()...)
+		tgt := b.Target(types()...)
+		b.Edge(root, mid, pick(preds))
+		b.Edge(mid, tgt, pick(preds))
+		b.Edge(tgt, root, pick(preds))
+		extra := b.Specific(pick(names)+"_x", types()...)
+		b.Edge(extra, tgt, pick(preds))
+	}
+	return b.Graph()
+}
+
+// genBound draws a filter bound: mostly finite (including values whose
+// shortest form needs an exponent), sometimes infinite.
+func genBound(r *rand.Rand, side int) float64 {
+	switch r.Intn(5) {
+	case 0:
+		return math.Inf(side)
+	case 1:
+		return float64(r.Intn(2000)-1000) * math.Pow(10, float64(r.Intn(13)-6))
+	default:
+		return math.Round(r.Float64()*1e4) / 100
+	}
+}
+
+// TestStringParseRoundTrip is the satellite property test: every
+// constructible query — all five shapes, all aggregate functions, filters
+// with any mix of open/closed bounds, GROUP-BY — must survive
+// Parse(String()) structurally intact.
+func TestStringParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	attrs := []string{"price", "mpg", "weight", "year"}
+	for i := 0; i < 2000; i++ {
+		g := genGraph(r)
+		fn := AggFunc(r.Intn(5))
+		attr := attrs[r.Intn(len(attrs))]
+		if fn == Count && r.Intn(2) == 0 {
+			attr = "" // COUNT(*)
+		}
+		a := &Aggregate{Q: g, Func: fn, Attr: attr}
+		for f := r.Intn(3); f > 0; f-- {
+			lo, hi := genBound(r, -1), genBound(r, 1)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			a.Filters = append(a.Filters, Filter{Attr: attrs[r.Intn(len(attrs))], Low: lo, High: hi})
+		}
+		if fn.HasGuarantee() && r.Intn(3) == 0 {
+			a.GroupBy = attrs[r.Intn(len(attrs))]
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("generator emitted invalid query %v: %v", a, err)
+		}
+
+		printed := a.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: Parse(%q) failed: %v", i, printed, err)
+		}
+		if !reflect.DeepEqual(a, back) {
+			t.Fatalf("iteration %d: round-trip mismatch\nprinted: %s\nwant: %#v\ngot:  %#v",
+				i, printed, a, back)
+		}
+	}
+}
+
+// TestStringParseRoundTripFixed pins the tricky hand-picked cases: open
+// bounds on either side, fully unbounded filters, exponent-formatted
+// bounds, COUNT(*), multi-type nodes, and dotted entity names.
+func TestStringParseRoundTripFixed(t *testing.T) {
+	cases := []*Aggregate{
+		Simple(Count, "", "Germany", "Country", "product", "Automobile"),
+		Simple(Avg, "price", "Node.Seven", "Country", "product", "Automobile").
+			WithFilterAtLeast("mpg", 25).
+			WithFilterAtMost("price", 1e6).
+			WithGroupBy("brand"),
+		Simple(Sum, "price", "Germany", "Country", "product", "Automobile").
+			WithFilter("mpg", math.Inf(-1), math.Inf(1)),
+		Simple(Max, "price", "Germany", "Country", "product", "Automobile").
+			WithFilter("price", 2.5e-7, 4e12),
+		Chain(Min, "year", "BMW", "Brand", []Hop{
+			{Predicate: "designer", Types: []string{"Person", "Engineer"}},
+			{Predicate: "product", Types: []string{"Automobile"}},
+		}),
+	}
+	for _, a := range cases {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("fixture invalid: %v", err)
+		}
+		back, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", a.String(), err)
+		}
+		if !reflect.DeepEqual(a, back) {
+			t.Fatalf("round-trip mismatch for %q:\nwant %#v\ngot  %#v", a.String(), a, back)
+		}
+	}
+}

@@ -22,7 +22,16 @@
 // query returns its partial estimate plus ErrInterrupted), QueryOptions
 // override any engine knob per query, the OnRound option streams refinement
 // progress live, and one Engine safely serves any number of concurrent
-// queries (QueryBatch runs a whole workload over a worker pool).
+// queries (QueryBatch runs a whole workload over a worker pool, sharing
+// one answer-space build across same-graph queries).
+//
+// Heavy repeat traffic should split compilation from execution:
+// Engine.Prepare compiles a query once into a concurrency-safe *Prepared
+// (resolution, shape classification, walk convergence, alias tables, shard
+// split), and Prepared.Query / Prepared.QueryMulti execute it any number
+// of times. QueryMulti evaluates several aggregates — e.g. COUNT, SUM and
+// AVG of one query graph — over a single shared sample, refining until
+// every guaranteed aggregate meets its error bound.
 // Options.Shards / WithShards switches a query to sharded execution: the
 // candidate-answer space is hash-partitioned into ownership strata, sampled
 // per shard, and merged through a stratified Horvitz–Thompson combiner
@@ -180,6 +189,42 @@ type Engine = core.Engine
 // across goroutines.
 type Execution = core.Execution
 
+// Prepared is a compiled query plan (Engine.Prepare): name resolution,
+// shape classification, filter/attribute binding and the full answer-space
+// build happen once; Query/Start/QueryMulti on the plan skip straight to
+// drawing the sample. A Prepared is safe for concurrent use. See
+// DESIGN.md "Prepared plans".
+type Prepared = core.Prepared
+
+// PlanInfo is a prepared plan's introspection metadata (Prepared.Plan):
+// shape, hop bound, strata, candidate count, epoch pin and build-cache
+// counters.
+type PlanInfo = core.PlanInfo
+
+// EpochPolicy selects how a prepared plan follows a live graph's epochs
+// (WithEpochPolicy): EpochPin freezes the Prepare-time snapshot, EpochRepin
+// re-pins and rebuilds as the graph moves.
+type EpochPolicy = core.EpochPolicy
+
+// Epoch policies for prepared plans on live graphs.
+const (
+	EpochPin   = core.EpochPin
+	EpochRepin = core.EpochRepin
+)
+
+// AggSpec names one aggregate of a multi-aggregate execution
+// (Engine.QueryMulti / Prepared.QueryMulti): function, attribute, optional
+// per-aggregate error bound.
+type AggSpec = core.AggSpec
+
+// AggResult is one AggSpec's outcome within a MultiResult.
+type AggResult = core.AggResult
+
+// MultiResult is the outcome of a multi-aggregate execution: one shared
+// semantic-aware sample, one refinement loop, N aggregate results — the
+// Eq. 7–9 estimators all feeding off a single draw stream.
+type MultiResult = core.MultiResult
+
 // Result is the outcome of a query execution.
 type Result = core.Result
 
@@ -234,7 +279,10 @@ func WithOptions(o Options) QueryOption        { return core.WithOptions(o) }
 func WithParallelism(n int) QueryOption        { return core.WithParallelism(n) }
 func WithMinEpoch(epoch uint64) QueryOption    { return core.WithMinEpoch(epoch) }
 func WithShards(n int) QueryOption             { return core.WithShards(n) }
-func OnRound(fn func(Round)) QueryOption       { return core.OnRound(fn) }
+func WithEpochPolicy(p EpochPolicy) QueryOption {
+	return core.WithEpochPolicy(p)
+}
+func OnRound(fn func(Round)) QueryOption { return core.OnRound(fn) }
 
 // Sentinel errors surfaced by query execution; match with errors.Is.
 var (
@@ -259,6 +307,14 @@ var (
 	// ErrShardedSampler reports WithShards combined with a topology-only
 	// ablation sampler (only the semantic sampler stratifies).
 	ErrShardedSampler = core.ErrShardedSampler
+	// ErrPlanSampler reports Engine.Prepare with a topology-only ablation
+	// sampler (prepared plans require the semantic sampler).
+	ErrPlanSampler = core.ErrPlanSampler
+	// ErrPlanOption reports a per-execution override of an option compiled
+	// into a prepared plan (sampler, shards, hop bound, τ, repeat).
+	ErrPlanOption = core.ErrPlanOption
+	// ErrBadAggSpec reports an invalid multi-aggregate specification.
+	ErrBadAggSpec = core.ErrBadAggSpec
 	// ErrUnknownProfile reports a dataset profile name that is not built in.
 	ErrUnknownProfile = errors.New("kgaq: unknown dataset profile")
 )

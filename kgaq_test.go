@@ -214,3 +214,63 @@ func TestEmbeddingModelNames(t *testing.T) {
 		t.Fatalf("models = %v", EmbeddingModelNames())
 	}
 }
+
+// TestFacadePreparedAPI drives the two-phase surface: Prepare once,
+// introspect the plan, execute repeatedly, and fan three aggregates over
+// one shared sample with QueryMulti.
+func TestFacadePreparedAPI(t *testing.T) {
+	ds, err := GenerateDataset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, _ := DatasetOptimalTau("tiny")
+	engine, err := NewEngine(ds.Graph, ds.Model, Options{Tau: tau, ErrorBound: 0.10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := SimpleQuery(Count, "", "Country_0", "Country", "product", "Automobile")
+
+	plan, err := engine.Prepare(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := plan.Plan()
+	if info.Candidates == 0 || info.CacheBuilt == 0 {
+		t.Fatalf("plan metadata empty: %+v", info)
+	}
+	if _, err := ParseQuery(info.Query); err != nil {
+		t.Fatalf("PlanInfo.Query %q not re-parseable: %v", info.Query, err)
+	}
+	r1, err := plan.Query(ctx)
+	if err != nil || !r1.Converged {
+		t.Fatalf("plan query: %v / %+v", err, r1)
+	}
+	r2, err := plan.Query(ctx)
+	if err != nil || r2.Estimate != r1.Estimate {
+		t.Fatalf("plan re-execution diverged: %v / %v vs %v", err, r2.Estimate, r1.Estimate)
+	}
+	if _, err := plan.Query(ctx, WithShards(4)); !errors.Is(err, ErrPlanOption) {
+		t.Fatalf("plan-knob override: err = %v, want ErrPlanOption", err)
+	}
+
+	multi, err := plan.QueryMulti(ctx, []AggSpec{
+		{Func: Count},
+		{Func: Sum, Attr: "price"},
+		{Func: Avg, Attr: "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !multi.Converged || len(multi.Aggs) != 3 {
+		t.Fatalf("multi = %+v", multi)
+	}
+	if math.Abs(multi.Aggs[2].Estimate-multi.Aggs[1].Estimate/multi.Aggs[0].Estimate) >
+		0.05*multi.Aggs[2].Estimate {
+		t.Fatalf("AVG %v inconsistent with SUM/COUNT %v/%v",
+			multi.Aggs[2].Estimate, multi.Aggs[1].Estimate, multi.Aggs[0].Estimate)
+	}
+	if _, err := engine.QueryMulti(ctx, q, []AggSpec{{Func: Sum}}); !errors.Is(err, ErrBadAggSpec) {
+		t.Fatalf("bad spec: err = %v, want ErrBadAggSpec", err)
+	}
+}
