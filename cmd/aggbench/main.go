@@ -6,6 +6,8 @@
 //
 //	aggbench -exp table6                # one experiment, full profiles
 //	aggbench -exp all -quick            # every experiment on the tiny set
+//	aggbench -trajectory BENCH_PR6.json # write the hot-path baseline
+//	aggbench -gate BENCH_PR6.json       # fresh trajectory vs committed baseline
 //	aggbench -list
 package main
 
@@ -30,7 +32,9 @@ func main() {
 	profile := flag.String("profile", "", "restrict to one dataset profile")
 	seed := flag.Int64("seed", 1, "engine seed")
 	trajectory := flag.String("trajectory", "", "measure the hot-path baseline and write it to this JSON file")
-	trajectoryLabel := flag.String("trajectory-label", "PR5", "label recorded in the trajectory file")
+	trajectoryLabel := flag.String("trajectory-label", "PR6", "label recorded in the trajectory file")
+	gate := flag.String("gate", "", "measure a fresh trajectory and fail when it regresses past this committed baseline JSON")
+	gateTol := flag.Float64("gate-tolerance", 0.5, "relative regression tolerance for -gate (0.5 = fresh may be up to 1.5x baseline)")
 	flag.Parse()
 
 	if *list {
@@ -39,8 +43,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" && *trajectory == "" {
-		fmt.Fprintln(os.Stderr, "aggbench: -exp or -trajectory required (see -list)")
+	if *exp == "" && *trajectory == "" && *gate == "" {
+		fmt.Fprintln(os.Stderr, "aggbench: -exp, -trajectory or -gate required (see -list)")
 		os.Exit(2)
 	}
 
@@ -66,16 +70,24 @@ func main() {
 		cfg.Profiles = []datagen.Profile{p}
 	}
 
-	if *trajectory != "" {
+	if *trajectory != "" || *gate != "" {
 		// The baseline always runs on the tiny profile unless one was
 		// chosen explicitly, so successive PRs measure the same workload.
 		tcfg := cfg
 		if *profile == "" {
 			tcfg.Profiles = []datagen.Profile{datagen.TinyProfile()}
 		}
-		if err := bench.WriteTrajectory(os.Stdout, tcfg, *trajectoryLabel, *trajectory); err != nil {
-			fmt.Fprintf(os.Stderr, "aggbench: trajectory: %v\n", err)
-			os.Exit(1)
+		if *trajectory != "" {
+			if err := bench.WriteTrajectory(os.Stdout, tcfg, *trajectoryLabel, *trajectory); err != nil {
+				fmt.Fprintf(os.Stderr, "aggbench: trajectory: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *gate != "" {
+			if err := bench.Gate(os.Stdout, tcfg, *gate, *gateTol); err != nil {
+				fmt.Fprintf(os.Stderr, "aggbench: gate: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		if *exp == "" {
 			return

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,8 +47,10 @@ import (
 	"syscall"
 	"time"
 
+	"kgaq/internal/admission"
 	"kgaq/internal/cmdutil"
 	"kgaq/internal/core"
+	"kgaq/internal/httpapi"
 	"kgaq/internal/live"
 )
 
@@ -63,12 +66,21 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period")
 	cacheBytes := flag.Int64("cache-bytes", 0, "answer-space cache bound in bytes (0 = default, negative = disabled)")
 	shards := flag.Int("shards", 1, "partition query execution into this many shards (per-request override via \"shards\")")
-	planCap := flag.Int("plan-cap", defaultPlanCap, "maximum cached prepared plans (LRU beyond)")
-	planTTL := flag.Duration("plan-ttl", defaultPlanTTL, "prepared plans expire this long after their last use")
+	planCap := flag.Int("plan-cap", httpapi.DefaultPlanCap, "maximum cached prepared plans (LRU beyond)")
+	planTTL := flag.Duration("plan-ttl", httpapi.DefaultPlanTTL, "prepared plans expire this long after their last use")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and cache counters on this address (e.g. localhost:6060; empty = disabled)")
 	readOnly := flag.Bool("read-only", false, "disable /v1/mutate and serve the loaded graph immutably")
 	compactEvery := flag.Duration("compact-interval", 2*time.Second, "background compactor check interval")
 	compactMin := flag.Int("compact-min-delta", 256, "fold the mutation delta once it covers this many nodes")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrently executing requests (0 = 2×GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "requests waiting for a slot before fast 429 shedding (0 = 4×max-inflight)")
+	clientRate := flag.Float64("client-rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	clientBurst := flag.Int("client-burst", 0, "per-client token-bucket burst (0 = ceil of -client-rate)")
+	clientHeader := flag.String("client-header", httpapi.ClientIDHeader, "request header carrying the client identity for rate limiting")
+	maxEB := flag.Float64("max-eb", 0.25, "honesty floor for graceful degradation: the loosest effective error bound the server may relax toward under pressure (0 = never degrade, shed instead)")
+	degradePressure := flag.Float64("degrade-pressure", 0.5, "queue-fill fraction beyond which effective error bounds relax toward -max-eb")
+	sloP99 := flag.Duration("slo-p99", 0, "serving latency objective: healthz reports slo_ok against this p99 (0 = no SLO)")
+	accessLog := flag.Bool("access-log", true, "write one structured (JSON) access-log line per request to stderr")
 	flag.Parse()
 
 	g, model, epoch, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
@@ -83,13 +95,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var api *Server
+	var api *httpapi.Server
 	if *readOnly {
 		eng, err := core.NewEngine(g, model, opts)
 		if err != nil {
 			fail("%v", err)
 		}
-		api = NewServer(eng)
+		api = httpapi.NewServer(eng)
 	} else {
 		store := live.NewStore(g, epoch)
 		eng, err := core.NewLiveEngine(store, model, opts)
@@ -102,9 +114,22 @@ func main() {
 			OnError:  func(err error) { fmt.Fprintf(os.Stderr, "kgaqd: compactor: %v\n", err) },
 		})
 		defer stopCompactor()
-		api = NewLiveServer(eng, store)
+		api = httpapi.NewLiveServer(eng, store)
 	}
 	api.ConfigurePlans(*planCap, *planTTL)
+	ctrl := admission.New(admission.Config{
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *queueDepth,
+		PerClientRate:   *clientRate,
+		PerClientBurst:  *clientBurst,
+		DegradePressure: *degradePressure,
+		MaxErrorBound:   *maxEB,
+		SLOTargetP99:    *sloP99,
+	})
+	api.ConfigureAdmission(ctrl, *clientHeader)
+	if *accessLog {
+		api.ConfigureLogging(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	}
 	if *debugAddr != "" {
 		// The debug mux (pprof + cache counters) lives on its own listener
 		// so operational endpoints never share a port with query traffic.
@@ -136,6 +161,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kgaqd: draining...")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		// Admission drains first — queued requests shed with 503 "draining"
+		// and in-flight ones finish — then the listener closes.
+		if err := api.Drain(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "kgaqd: drain: %v\n", err)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fail("shutdown: %v", err)
 		}

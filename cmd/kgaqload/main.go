@@ -1,0 +1,154 @@
+// Command kgaqload replays a scripted workload against a running kgaqd at a
+// fixed open-loop arrival rate and reports per-block outcome statistics.
+//
+//	kgaqload -script examples/workloads/mixed.json -profile tiny
+//	kgaqload -script examples/workloads/overload.json -graph data/sim.graph \
+//	    -url http://localhost:8080 -rate 200 -duration 30s -json report.json
+//
+// The template catalog (entity names by type, predicates, attributes) is
+// extracted from the same graph the server loaded — pass the matching
+// -graph file or -profile name. Arrivals beyond the script's in-flight
+// bound are dropped and counted, never queued client-side, so offered load
+// stays honest when the server sheds.
+//
+// For CI smoke jobs, -max-5xx and -min-completed turn the report into an
+// assertion: the process exits non-zero when the run saw more 5xx responses
+// or fewer completions than allowed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"kgaq/internal/cmdutil"
+	"kgaq/internal/datagen"
+	"kgaq/internal/kg"
+	"kgaq/internal/workload"
+)
+
+func main() {
+	scriptPath := flag.String("script", "", "workload script (JSON, see examples/workloads)")
+	url := flag.String("url", "http://localhost:8080", "base URL of the kgaqd server")
+	graphPath := flag.String("graph", "", "graph file backing the template catalog (same data the server loaded)")
+	profile := flag.String("profile", "", "generate this profile for the template catalog instead of loading a file")
+	rate := flag.Float64("rate", 0, "override the script's arrival rate (req/s)")
+	duration := flag.Duration("duration", 0, "override the script's duration")
+	seed := flag.Int64("seed", 0, "override the script's random seed")
+	jsonPath := flag.String("json", "", "also write the full report as JSON to this path (- for stdout)")
+	max5xx := flag.Int64("max-5xx", -1, "fail when the run sees more than this many 5xx responses (-1 = no assertion)")
+	minCompleted := flag.Int64("min-completed", -1, "fail when fewer than this many requests complete (-1 = no assertion)")
+	flag.Parse()
+
+	if *scriptPath == "" {
+		fail("-script is required")
+	}
+	script, err := workload.LoadScript(*scriptPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *seed != 0 {
+		script.Seed = *seed
+	}
+
+	g, err := catalogGraph(*graphPath, *profile)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := &workload.Runner{
+		Script:   script,
+		BaseURL:  *url,
+		Catalog:  workload.NewCatalog(g),
+		Rate:     *rate,
+		Duration: *duration,
+	}
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	printSummary(rep)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rep); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	failed := false
+	if *max5xx >= 0 && rep.Status5xx > *max5xx {
+		fmt.Fprintf(os.Stderr, "kgaqload: ASSERTION FAILED: %d 5xx responses > allowed %d\n", rep.Status5xx, *max5xx)
+		failed = true
+	}
+	if *minCompleted >= 0 && rep.Completed < *minCompleted {
+		fmt.Fprintf(os.Stderr, "kgaqload: ASSERTION FAILED: %d completed < required %d\n", rep.Completed, *minCompleted)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// catalogGraph resolves the -graph / -profile pair into the graph that
+// seeds the template catalog.
+func catalogGraph(graphPath, profile string) (*kg.Graph, error) {
+	switch {
+	case profile != "":
+		p, ok := datagen.ProfileByName(profile)
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q", profile)
+		}
+		ds, err := datagen.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("generate: %w", err)
+		}
+		return ds.Graph, nil
+	case graphPath != "":
+		g, _, err := cmdutil.LoadGraph(graphPath)
+		return g, err
+	default:
+		return nil, fmt.Errorf("need -graph or -profile for the template catalog")
+	}
+}
+
+func printSummary(rep *workload.Report) {
+	fmt.Printf("workload %q: target %.0f req/s for %.1fs, achieved %.1f completions/s\n",
+		rep.Script, rep.TargetRate, rep.DurationS, rep.AchievedRate)
+	fmt.Printf("  offered %d  dropped %d  skipped %d  completed %d  shed %d  errors %d (5xx %d)  degraded %d\n",
+		rep.Offered, rep.Dropped, rep.Skipped, rep.Completed, rep.Shed, rep.Errors, rep.Status5xx, rep.Degraded)
+	fmt.Printf("  latency p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS)
+	for _, b := range rep.Blocks {
+		fmt.Printf("  block %-18s %-10s offered %-6d completed %-6d shed %-5d errors %-4d p50 %.1fms p99 %.1fms",
+			b.Name, "("+b.Kind+")", b.Offered, b.Completed, b.Shed, b.Errors, b.LatencyP50MS, b.LatencyP99MS)
+		if b.AchievedEB != nil {
+			fmt.Printf("  eb p50 %.4f p95 %.4f max %.4f", b.AchievedEB.P50, b.AchievedEB.P95, b.AchievedEB.Max)
+		}
+		fmt.Println()
+	}
+}
+
+func writeJSON(path string, rep *workload.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kgaqload: "+format+"\n", args...)
+	os.Exit(1)
+}

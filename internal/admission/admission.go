@@ -1,0 +1,330 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors an Admit call can shed with. They arrive wrapped in a
+// *Shed carrying the Retry-After hint.
+var (
+	// ErrRateLimited: the client exhausted its token bucket.
+	ErrRateLimited = errors.New("admission: client rate limit exceeded")
+	// ErrQueueFull: every execution slot is busy and the wait queue is at
+	// capacity — the fast-shed backpressure signal.
+	ErrQueueFull = errors.New("admission: work queue full")
+	// ErrDraining: the controller is draining for shutdown; queued waiters
+	// are shed with this too, so a drain never waits on unstarted work.
+	ErrDraining = errors.New("admission: draining")
+)
+
+// Shed wraps a shedding sentinel with the retry hint the transport should
+// surface (the Retry-After header, for HTTP).
+type Shed struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (s *Shed) Error() string { return s.Err.Error() }
+func (s *Shed) Unwrap() error { return s.Err }
+
+// Config bounds the serving tier. Zero values mean the listed defaults.
+type Config struct {
+	// MaxInFlight is the number of requests executing concurrently
+	// (default 2×GOMAXPROCS — queries are CPU-bound).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot (default 4×MaxInFlight).
+	// Arrivals beyond MaxInFlight+MaxQueue shed immediately.
+	MaxQueue int
+	// PerClientRate is each client's sustained request budget in
+	// requests/second; 0 disables per-client rate limiting.
+	PerClientRate float64
+	// PerClientBurst is the token-bucket depth (default max(1, ⌈rate⌉)).
+	PerClientBurst int
+	// DegradePressure is the queue-fill fraction beyond which grants start
+	// recommending relaxed error bounds (default 0.5).
+	DegradePressure float64
+	// MaxErrorBound is the honesty floor for degradation: the loosest
+	// effective error bound a grant may recommend. 0 disables
+	// pressure-based degradation (shedding still applies).
+	MaxErrorBound float64
+	// RetryAfter is the retry hint attached to queue-full and draining
+	// sheds (default 1s). Rate-limit sheds hint the bucket refill time.
+	RetryAfter time.Duration
+	// LatencyWindow is the sliding window (completed requests) the SLO
+	// percentiles are computed over (default 1024).
+	LatencyWindow int
+	// SLOTargetP99 is the serving latency objective; Stats.SLOOK reports
+	// whether the window's p99 meets it (always true when 0).
+	SLOTargetP99 time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.PerClientBurst <= 0 {
+		c.PerClientBurst = int(c.PerClientRate + 0.999)
+		if c.PerClientBurst < 1 {
+			c.PerClientBurst = 1
+		}
+	}
+	if c.DegradePressure <= 0 || c.DegradePressure >= 1 {
+		c.DegradePressure = 0.5
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// Controller admits requests into a bounded serving tier. All methods are
+// safe for concurrent use.
+type Controller struct {
+	cfg   Config
+	slots chan struct{} // buffered to MaxInFlight; send = acquire
+
+	queued   atomic.Int64
+	draining atomic.Bool
+	drainCh  chan struct{} // closed by Drain: sheds every queued waiter
+	drainMu  sync.Mutex
+
+	admitted       atomic.Uint64
+	completed      atomic.Uint64
+	failed         atomic.Uint64
+	degraded       atomic.Uint64
+	shedQueueFull  atomic.Uint64
+	shedRateLimit  atomic.Uint64
+	shedDraining   atomic.Uint64
+	queueNanos     atomic.Int64 // total queued wait, for the mean
+	queuedRequests atomic.Uint64
+
+	buckets *bucketSet
+	lat     *latencyWindow
+}
+
+// New builds a controller over the (defaulted) config.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		drainCh: make(chan struct{}),
+		buckets: newBucketSet(cfg.PerClientRate, cfg.PerClientBurst),
+		lat:     newLatencyWindow(cfg.LatencyWindow),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Admit blocks until the request holds an execution slot, then returns its
+// Grant. It sheds instead of blocking when the client is over its rate
+// budget, the wait queue is full, or the controller is draining — all
+// returned as a *Shed wrapping the matching sentinel. A waiter whose ctx
+// ends before a slot frees leaves the queue and returns ctx's error.
+func (c *Controller) Admit(ctx context.Context, client string) (*Grant, error) {
+	if c.draining.Load() {
+		c.shedDraining.Add(1)
+		return nil, &Shed{Err: ErrDraining, RetryAfter: c.cfg.RetryAfter}
+	}
+	if c.cfg.PerClientRate > 0 {
+		if ok, wait := c.buckets.take(client, time.Now()); !ok {
+			c.shedRateLimit.Add(1)
+			return nil, &Shed{Err: fmt.Errorf("%w (client %q)", ErrRateLimited, client), RetryAfter: wait}
+		}
+	}
+	// Pressure is sampled at arrival: the queue fill the decision to degrade
+	// is based on, before this request joins it.
+	pressure := float64(c.queued.Load()) / float64(c.cfg.MaxQueue)
+	if pressure > 1 {
+		pressure = 1
+	}
+	begin := time.Now()
+	select {
+	case c.slots <- struct{}{}: // free slot, no queueing
+		c.admitted.Add(1)
+		return &Grant{c: c, pressure: pressure}, nil
+	default:
+	}
+	if q := c.queued.Add(1); q > int64(c.cfg.MaxQueue) {
+		c.queued.Add(-1)
+		c.shedQueueFull.Add(1)
+		return nil, &Shed{Err: ErrQueueFull, RetryAfter: c.cfg.RetryAfter}
+	}
+	defer c.queued.Add(-1)
+	select {
+	case c.slots <- struct{}{}:
+		wait := time.Since(begin)
+		c.admitted.Add(1)
+		c.queuedRequests.Add(1)
+		c.queueNanos.Add(int64(wait))
+		return &Grant{c: c, pressure: pressure, queuedFor: wait}, nil
+	case <-c.drainCh:
+		c.shedDraining.Add(1)
+		return nil, &Shed{Err: ErrDraining, RetryAfter: c.cfg.RetryAfter}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Drain stops admitting: new arrivals and queued waiters shed with
+// ErrDraining while requests already holding a slot run to completion.
+// Drain returns once every slot is free (or ctx ends first). It is
+// idempotent.
+func (c *Controller) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	c.drainMu.Lock()
+	select {
+	case <-c.drainCh:
+	default:
+		close(c.drainCh)
+	}
+	c.drainMu.Unlock()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for len(c.slots) > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("admission: drain: %d requests still in flight: %w", len(c.slots), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// Outcome classifies a completed request for the SLO counters.
+type Outcome int
+
+const (
+	// OutcomeOK: completed normally.
+	OutcomeOK Outcome = iota
+	// OutcomeDegraded: completed with a relaxed (but honest) error bound.
+	OutcomeDegraded
+	// OutcomeError: the execution failed.
+	OutcomeError
+)
+
+// Grant is one admitted request's slot. Exactly one Release must follow.
+type Grant struct {
+	c         *Controller
+	pressure  float64
+	queuedFor time.Duration
+	released  atomic.Bool
+}
+
+// Pressure is the queue-fill fraction [0,1] observed at admission.
+func (g *Grant) Pressure() float64 { return g.pressure }
+
+// QueuedFor is how long the request waited for its slot.
+func (g *Grant) QueuedFor() time.Duration { return g.queuedFor }
+
+// EffectiveEB relaxes a requested error bound under queue pressure, within
+// the configured honesty floor: below DegradePressure the request keeps its
+// bound; above it the bound moves linearly toward MaxErrorBound, reaching
+// the floor only when the queue is full. It reports whether the bound was
+// relaxed. Callers must surface the achieved bound of the answer they then
+// compute — degradation relaxes the target, never the reporting.
+func (g *Grant) EffectiveEB(requested float64) (float64, bool) {
+	cfg := g.c.cfg
+	if cfg.MaxErrorBound <= 0 || requested >= cfg.MaxErrorBound || requested <= 0 {
+		return requested, false
+	}
+	if g.pressure < cfg.DegradePressure {
+		return requested, false
+	}
+	frac := (g.pressure - cfg.DegradePressure) / (1 - cfg.DegradePressure)
+	eff := requested + frac*(cfg.MaxErrorBound-requested)
+	return eff, eff > requested
+}
+
+// Release frees the slot and records the request's serving latency and
+// outcome. Extra calls are no-ops.
+func (g *Grant) Release(elapsed time.Duration, outcome Outcome) {
+	if !g.released.CompareAndSwap(false, true) {
+		return
+	}
+	<-g.c.slots
+	switch outcome {
+	case OutcomeError:
+		g.c.failed.Add(1)
+	case OutcomeDegraded:
+		g.c.degraded.Add(1)
+		g.c.completed.Add(1)
+	default:
+		g.c.completed.Add(1)
+	}
+	if outcome != OutcomeError {
+		g.c.lat.record(float64(elapsed.Microseconds()) / 1000)
+	}
+}
+
+// Stats is a point-in-time controller snapshot (healthz, /debug/admission).
+type Stats struct {
+	InFlight    int `json:"in_flight"`
+	Queued      int `json:"queued"`
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueue    int `json:"max_queue"`
+
+	Admitted       uint64 `json:"admitted"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	Degraded       uint64 `json:"degraded"`
+	ShedQueueFull  uint64 `json:"shed_queue_full"`
+	ShedRateLimit  uint64 `json:"shed_rate_limited"`
+	ShedDraining   uint64 `json:"shed_draining"`
+	QueuedRequests uint64 `json:"queued_requests"`
+
+	MeanQueueMS  float64 `json:"mean_queue_ms"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	SLOTargetP99MS float64 `json:"slo_target_p99_ms,omitempty"`
+	SLOOK          bool    `json:"slo_ok"`
+	Draining       bool    `json:"draining,omitempty"`
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	p50, p95, p99 := c.lat.percentiles()
+	st := Stats{
+		InFlight:       len(c.slots),
+		Queued:         int(c.queued.Load()),
+		MaxInFlight:    c.cfg.MaxInFlight,
+		MaxQueue:       c.cfg.MaxQueue,
+		Admitted:       c.admitted.Load(),
+		Completed:      c.completed.Load(),
+		Failed:         c.failed.Load(),
+		Degraded:       c.degraded.Load(),
+		ShedQueueFull:  c.shedQueueFull.Load(),
+		ShedRateLimit:  c.shedRateLimit.Load(),
+		ShedDraining:   c.shedDraining.Load(),
+		QueuedRequests: c.queuedRequests.Load(),
+		LatencyP50MS:   p50,
+		LatencyP95MS:   p95,
+		LatencyP99MS:   p99,
+		Draining:       c.draining.Load(),
+	}
+	if n := st.QueuedRequests; n > 0 {
+		st.MeanQueueMS = float64(c.queueNanos.Load()) / float64(n) / 1e6
+	}
+	if t := c.cfg.SLOTargetP99; t > 0 {
+		st.SLOTargetP99MS = float64(t.Microseconds()) / 1000
+		st.SLOOK = p99 <= st.SLOTargetP99MS
+	} else {
+		st.SLOOK = true
+	}
+	return st
+}

@@ -1,0 +1,268 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueFullSheds: with one slot and a one-deep queue, a third concurrent
+// request must shed immediately with ErrQueueFull — no unbounded waiting.
+func TestQueueFullSheds(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	g1, err := c.Admit(ctx, "a")
+	if err != nil {
+		t.Fatalf("first Admit: %v", err)
+	}
+
+	// Second request occupies the single queue position.
+	entered := make(chan *Grant, 1)
+	go func() {
+		g, err := c.Admit(ctx, "a")
+		if err != nil {
+			t.Errorf("queued Admit: %v", err)
+		}
+		entered <- g
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	// Third request finds slot busy and queue full: fast shed.
+	if _, err := c.Admit(ctx, "a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Admit err = %v, want ErrQueueFull", err)
+	}
+	var shed *Shed
+	if _, err := c.Admit(ctx, "a"); !errors.As(err, &shed) || shed.RetryAfter <= 0 {
+		t.Fatalf("shed err = %v, want *Shed with positive RetryAfter", err)
+	}
+
+	g1.Release(time.Millisecond, OutcomeOK)
+	g2 := <-entered
+	g2.Release(time.Millisecond, OutcomeOK)
+
+	st := c.Stats()
+	if st.ShedQueueFull != 2 {
+		t.Errorf("ShedQueueFull = %d, want 2", st.ShedQueueFull)
+	}
+	if st.Admitted != 2 || st.Completed != 2 || st.InFlight != 0 {
+		t.Errorf("stats after release: %+v", st)
+	}
+}
+
+// TestRateLimit: one request/second with burst 1 — the second immediate
+// request sheds with ErrRateLimited and a refill-based Retry-After, while a
+// different client's bucket is untouched.
+func TestRateLimit(t *testing.T) {
+	c := New(Config{MaxInFlight: 4, PerClientRate: 1, PerClientBurst: 1})
+	ctx := context.Background()
+
+	g, err := c.Admit(ctx, "alice")
+	if err != nil {
+		t.Fatalf("first Admit: %v", err)
+	}
+	g.Release(time.Millisecond, OutcomeOK)
+
+	var shed *Shed
+	_, err = c.Admit(ctx, "alice")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second Admit err = %v, want ErrRateLimited", err)
+	}
+	if !errors.As(err, &shed) || shed.RetryAfter <= 0 || shed.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want in (0, 1s]", shed)
+	}
+
+	if g, err = c.Admit(ctx, "bob"); err != nil {
+		t.Fatalf("other client Admit: %v", err)
+	}
+	g.Release(time.Millisecond, OutcomeOK)
+
+	if st := c.Stats(); st.ShedRateLimit != 1 {
+		t.Errorf("ShedRateLimit = %d, want 1", st.ShedRateLimit)
+	}
+}
+
+// TestWaiterContextCancel: a queued waiter whose context ends leaves the
+// queue with ctx's error, freeing the queue position.
+func TestWaiterContextCancel(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 2})
+	g, err := c.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, "a")
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return c.Stats().Queued == 0 })
+	g.Release(time.Millisecond, OutcomeOK)
+}
+
+// TestDrainShedsQueued: Drain sheds waiting requests with ErrDraining, lets
+// the in-flight one finish, then refuses new arrivals.
+func TestDrainShedsQueued(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 2})
+	ctx := context.Background()
+	g, err := c.Admit(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, "a")
+		waiterErr <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Queued == 1 })
+
+	drainDone := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		drainDone <- c.Drain(dctx)
+	}()
+
+	if err := <-waiterErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter err = %v, want ErrDraining", err)
+	}
+	// Drain must not complete while the slot is held.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Drain returned %v with a request in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release(time.Millisecond, OutcomeOK)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := c.Admit(ctx, "a"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Admit err = %v, want ErrDraining", err)
+	}
+	st := c.Stats()
+	if !st.Draining || st.ShedDraining != 2 {
+		t.Errorf("post-drain stats: %+v", st)
+	}
+}
+
+// TestEffectiveEB checks the degradation policy curve: identity below the
+// pressure threshold, monotone relaxation above it, capped at the honesty
+// floor, and inert when no floor is configured.
+func TestEffectiveEB(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, DegradePressure: 0.5, MaxErrorBound: 0.5})
+	grant := func(p float64) *Grant { return &Grant{c: c, pressure: p} }
+
+	if eb, rel := grant(0.2).EffectiveEB(0.05); eb != 0.05 || rel {
+		t.Errorf("below threshold: (%g, %v)", eb, rel)
+	}
+	mid, rel := grant(0.75).EffectiveEB(0.05)
+	if !rel || mid <= 0.05 || mid >= 0.5 {
+		t.Errorf("mid pressure: (%g, %v), want strictly between 0.05 and 0.5", mid, rel)
+	}
+	hi, _ := grant(0.9).EffectiveEB(0.05)
+	if hi <= mid {
+		t.Errorf("relaxation not monotone: p=0.9 gives %g <= p=0.75's %g", hi, mid)
+	}
+	if full, _ := grant(1).EffectiveEB(0.05); full != 0.5 {
+		t.Errorf("full pressure: %g, want the 0.5 floor", full)
+	}
+	// Requested bound already looser than the floor: untouched.
+	if eb, rel := grant(1).EffectiveEB(0.8); eb != 0.8 || rel {
+		t.Errorf("looser-than-floor request: (%g, %v)", eb, rel)
+	}
+	// No floor configured: degradation disabled.
+	c2 := New(Config{MaxInFlight: 1})
+	if eb, rel := (&Grant{c: c2, pressure: 1}).EffectiveEB(0.05); eb != 0.05 || rel {
+		t.Errorf("no floor: (%g, %v)", eb, rel)
+	}
+}
+
+// TestLatencyPercentiles feeds a known distribution through Release and
+// checks the window's order statistics.
+func TestLatencyPercentiles(t *testing.T) {
+	c := New(Config{MaxInFlight: 4, LatencyWindow: 200, SLOTargetP99: 150 * time.Millisecond})
+	ctx := context.Background()
+	for i := 1; i <= 100; i++ {
+		g, err := c.Admit(ctx, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Release(time.Duration(i)*time.Millisecond, OutcomeOK)
+	}
+	st := c.Stats()
+	if st.LatencyP50MS < 45 || st.LatencyP50MS > 55 {
+		t.Errorf("p50 = %g, want ≈50", st.LatencyP50MS)
+	}
+	if st.LatencyP95MS < 90 || st.LatencyP95MS > 99 {
+		t.Errorf("p95 = %g, want ≈95", st.LatencyP95MS)
+	}
+	if st.LatencyP99MS < 95 || st.LatencyP99MS > 100 {
+		t.Errorf("p99 = %g, want ≈99", st.LatencyP99MS)
+	}
+	if !st.SLOOK {
+		t.Errorf("SLOOK = false with p99 %gms vs 150ms target", st.LatencyP99MS)
+	}
+}
+
+// TestConcurrentChurn hammers the controller from many goroutines to give
+// the race detector surface area; afterwards the books must balance.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(Config{MaxInFlight: 4, MaxQueue: 8})
+	var wg sync.WaitGroup
+	var shed, ok, canceled int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			g, err := c.Admit(ctx, "a")
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				g.Release(time.Millisecond, OutcomeOK)
+				mu.Lock()
+				ok++
+			case errors.Is(err, ErrQueueFull):
+				shed++
+			case errors.Is(err, context.DeadlineExceeded):
+				canceled++
+			default:
+				t.Errorf("unexpected err: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked slots/queue: %+v", st)
+	}
+	if uint64(ok) != st.Completed || uint64(shed) != st.ShedQueueFull {
+		t.Errorf("counter mismatch: ok=%d shed=%d vs %+v", ok, shed, st)
+	}
+	if ok+shed+canceled != 64 {
+		t.Errorf("accounting: ok=%d shed=%d canceled=%d", ok, shed, canceled)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// bucketSet holds one token bucket per client identity. Buckets are created
+// lazily on first use; the map is bounded in practice by the number of
+// distinct client IDs, which the server derives from a header or remote
+// address.
+type bucketSet struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBucketSet(rate float64, burst int) *bucketSet {
+	return &bucketSet{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// take spends one token from the client's bucket. On refusal it returns the
+// time until a token refills — the honest Retry-After hint.
+func (s *bucketSet) take(client string, now time.Time) (ok bool, wait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: s.burst, last: now}
+		s.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * s.rate
+		if b.tokens > s.burst {
+			b.tokens = s.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / s.rate * float64(time.Second))
+}
+
+// latencyWindow is a fixed-size ring of serving latencies (milliseconds)
+// with percentile snapshots. Writes are O(1) under a mutex; percentiles
+// copy and sort the window, which is fine at the stats-polling cadence.
+type latencyWindow struct {
+	mu   sync.Mutex
+	vals []float64
+	next int
+	full bool
+}
+
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{vals: make([]float64, size)}
+}
+
+func (w *latencyWindow) record(ms float64) {
+	w.mu.Lock()
+	w.vals[w.next] = ms
+	w.next++
+	if w.next == len(w.vals) {
+		w.next = 0
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+func (w *latencyWindow) percentiles() (p50, p95, p99 float64) {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.vals)
+	}
+	snap := make([]float64, n)
+	copy(snap, w.vals[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(snap)
+	at := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return snap[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

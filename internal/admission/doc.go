@@ -1,0 +1,26 @@
+// Package admission is the serving tier's load shield: per-client
+// token-bucket rate limits, a bounded work queue with fast backpressure,
+// and pressure-aware graceful degradation grants.
+//
+// The controller enforces three nested limits. A per-client token bucket
+// rejects clients exceeding their configured request rate before they touch
+// any shared resource. Admitted requests then contend for a fixed number of
+// execution slots; when all slots are busy, up to MaxQueue requests wait
+// (deadline-aware — a waiter whose context ends leaves the queue), and any
+// request beyond that is shed immediately with ErrQueueFull so the server
+// can answer 429 + Retry-After instead of queueing unboundedly. Memory and
+// goroutine growth under overload are therefore bounded by
+// MaxInFlight + MaxQueue, never by the arrival rate.
+//
+// Degradation is what makes shedding a last resort: the engine's guarantee
+// loop can stop refining early and still return an honest (achieved eb, α)
+// interval (core.Degradation), so under queue pressure a grant recommends a
+// relaxed effective error bound — within the configured honesty floor —
+// instead of making the client wait for the tight one. Grant.EffectiveEB
+// implements that policy; the executed answer reports the bound it actually
+// achieved, keeping the response statistically truthful.
+//
+// The controller also keeps the serving tier's SLO instrumentation: shed /
+// degrade / completion counters and a sliding latency window with
+// p50/p95/p99, snapshot via Stats for /v1/healthz and /debug/admission.
+package admission

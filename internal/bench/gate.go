@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadTrajectory loads a committed BENCH_*.json baseline.
+func ReadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("trajectory %s: %v", path, err)
+	}
+	if tr.Schema == "" {
+		return nil, fmt.Errorf("trajectory %s: missing schema field", path)
+	}
+	return &tr, nil
+}
+
+// Regression is one gate finding: a tracked metric of the fresh trajectory
+// exceeding the committed baseline beyond tolerance.
+type Regression struct {
+	Metric   string
+	Baseline float64
+	Fresh    float64
+	// Ratio is fresh/baseline; the gate trips when it exceeds 1+tolerance.
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3f → %.3f (%.2fx, tolerance exceeded)", r.Metric, r.Baseline, r.Fresh, r.Ratio)
+}
+
+// CompareTrajectories gates a fresh trajectory against a committed
+// baseline: the serving-workload latency percentiles (cold-cache warm-up
+// excluded on both sides, so the comparison is steady state vs steady
+// state) must not exceed baseline × (1+tolerance). Zero-valued baseline
+// metrics are skipped — an older-schema baseline simply gates fewer axes.
+// The returned slice is empty when the gate passes.
+func CompareTrajectories(baseline, fresh *Trajectory, tolerance float64) []Regression {
+	var regs []Regression
+	check := func(metric string, base, cur float64) {
+		if base <= 0 || cur <= 0 {
+			return
+		}
+		if ratio := cur / base; ratio > 1+tolerance {
+			regs = append(regs, Regression{Metric: metric, Baseline: base, Fresh: cur, Ratio: ratio})
+		}
+	}
+	check("latency_p50_ms", baseline.LatencyP50MS, fresh.LatencyP50MS)
+	check("latency_p95_ms", baseline.LatencyP95MS, fresh.LatencyP95MS)
+	if baseline.Throughput != nil && fresh.Throughput != nil {
+		check("throughput.sustained.latency_p50_ms",
+			baseline.Throughput.Sustained.LatencyP50MS, fresh.Throughput.Sustained.LatencyP50MS)
+		check("throughput.sustained.latency_p95_ms",
+			baseline.Throughput.Sustained.LatencyP95MS, fresh.Throughput.Sustained.LatencyP95MS)
+	}
+	return regs
+}
+
+// Gate measures a fresh trajectory and compares it against the committed
+// baseline at path, writing a verdict to w. A non-nil error means the gate
+// tripped (or could not run); callers exit non-zero on it.
+func Gate(w io.Writer, cfg Config, baselinePath string, tolerance float64) error {
+	baseline, err := ReadTrajectory(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := RunTrajectory(cfg, baseline.Label+"-gate")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "gate: baseline %s (%s), tolerance %.0f%%\n", baselinePath, baseline.Label, 100*tolerance)
+	fmt.Fprintf(w, "  serving p50 %.2fms → %.2fms, p95 %.2fms → %.2fms\n",
+		baseline.LatencyP50MS, fresh.LatencyP50MS, baseline.LatencyP95MS, fresh.LatencyP95MS)
+	if baseline.Throughput != nil && fresh.Throughput != nil {
+		fmt.Fprintf(w, "  sustained p50 %.2fms → %.2fms, p95 %.2fms → %.2fms\n",
+			baseline.Throughput.Sustained.LatencyP50MS, fresh.Throughput.Sustained.LatencyP50MS,
+			baseline.Throughput.Sustained.LatencyP95MS, fresh.Throughput.Sustained.LatencyP95MS)
+	}
+	regs := CompareTrajectories(baseline, fresh, tolerance)
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "  PASS: no tracked metric regressed beyond tolerance")
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "  REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("%d metric(s) regressed beyond %.0f%% tolerance", len(regs), 100*tolerance)
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareTrajectories(t *testing.T) {
+	base := &Trajectory{
+		Schema: TrajectorySchema, LatencyP50MS: 10, LatencyP95MS: 20,
+		Throughput: &ThroughputResult{Sustained: ThroughputRun{LatencyP50MS: 5, LatencyP95MS: 9}},
+	}
+	same := &Trajectory{
+		Schema: TrajectorySchema, LatencyP50MS: 11, LatencyP95MS: 21,
+		Throughput: &ThroughputResult{Sustained: ThroughputRun{LatencyP50MS: 5.5, LatencyP95MS: 9}},
+	}
+	if regs := CompareTrajectories(base, same, 0.5); len(regs) != 0 {
+		t.Fatalf("within-tolerance trajectory flagged: %v", regs)
+	}
+
+	worse := &Trajectory{
+		Schema: TrajectorySchema, LatencyP50MS: 40, LatencyP95MS: 21,
+		Throughput: &ThroughputResult{Sustained: ThroughputRun{LatencyP50MS: 30, LatencyP95MS: 9}},
+	}
+	regs := CompareTrajectories(base, worse, 0.5)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want p50 serving + p50 sustained", regs)
+	}
+	if regs[0].Metric != "latency_p50_ms" || regs[0].Ratio != 4 {
+		t.Fatalf("first regression = %+v", regs[0])
+	}
+
+	// Older-schema baseline without throughput gates fewer axes, not more.
+	old := &Trajectory{Schema: "kgaq-bench-trajectory/v4", LatencyP50MS: 10, LatencyP95MS: 20}
+	if regs := CompareTrajectories(old, same, 0.5); len(regs) != 0 {
+		t.Fatalf("v4 baseline flagged throughput it never measured: %v", regs)
+	}
+}
+
+func TestReadTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data, _ := json.Marshal(Trajectory{Schema: TrajectorySchema, Label: "x", LatencyP50MS: 1})
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrajectory(good)
+	if err != nil || tr.Label != "x" {
+		t.Fatalf("tr=%+v err=%v", tr, err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"label":"no-schema"}`), 0o644)
+	if _, err := ReadTrajectory(bad); err == nil {
+		t.Fatal("schema-less baseline accepted")
+	}
+	if _, err := ReadTrajectory(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+// TestRunThroughputQuick runs the throughput axis end to end: the sustained
+// run must complete work with bounded shedding and the overload run must
+// actually shed or drop while completions keep flowing.
+func TestRunThroughputQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement is seconds-long")
+	}
+	res, err := RunThroughput(t.Context(), QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sustained.Completed == 0 || res.Overload.Completed == 0 {
+		t.Fatalf("runs completed nothing: %+v", res)
+	}
+	if res.Overload.Shed+res.Overload.Dropped == 0 {
+		t.Fatalf("overload at %g req/s produced no backpressure: %+v", res.Overload.TargetRate, res.Overload)
+	}
+	if res.Sustained.Errors != 0 || res.Overload.Errors != 0 {
+		t.Fatalf("throughput runs saw errors: %+v", res)
+	}
+	if res.Sustained.LatencyP99MS <= 0 {
+		t.Fatalf("no sustained latencies: %+v", res.Sustained)
+	}
+	if res.Sustained.AchievedEB == nil || res.Sustained.AchievedEB.Count == 0 {
+		t.Fatalf("no achieved-eb distribution: %+v", res.Sustained)
+	}
+}

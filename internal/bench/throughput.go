@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"kgaq/internal/admission"
+	"kgaq/internal/core"
+	"kgaq/internal/httpapi"
+	"kgaq/internal/live"
+	"kgaq/internal/workload"
+)
+
+// ThroughputResult is the sustained-throughput axis of the trajectory: a
+// fixed-rate mixed workload (reads, plans, mutations) driven through the
+// full admission-controlled serving stack — HTTP, middleware, token
+// buckets, the work queue — via internal/workload's open-loop runner.
+// Sustained offers a rate the server absorbs; Overload offers several times
+// its capacity, so the record captures how shedding and honest degradation
+// behave under saturation (completions keep flowing, in-flight latency
+// stays bounded, excess arrivals get fast 429s).
+type ThroughputResult struct {
+	// MaxInFlight/MaxQueue pin the admission geometry the runs used, so
+	// successive baselines compare like with like.
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueue    int `json:"max_queue"`
+
+	Sustained ThroughputRun `json:"sustained"`
+	Overload  ThroughputRun `json:"overload"`
+}
+
+// ThroughputRun is one fixed-rate run's outcome.
+type ThroughputRun struct {
+	TargetRate float64 `json:"target_rate"`
+	DurationS  float64 `json:"duration_s"`
+
+	Offered   int64 `json:"offered"`
+	Dropped   int64 `json:"dropped"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	Degraded  int64 `json:"degraded"`
+
+	AchievedRate float64 `json:"achieved_rate"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	AchievedEB *workload.EBDist `json:"achieved_eb,omitempty"`
+}
+
+// Admission geometry of the throughput runs: small and fixed, so overload
+// is reachable on any machine and baselines stay comparable.
+const (
+	throughputInFlight = 4
+	throughputQueue    = 8
+)
+
+// throughputScript is the mixed request template of both runs; rate and
+// duration come from the runner. The tiny profile shares the Figure 1
+// schema, so ${entity:Country} resolves against the generated graph.
+const throughputScript = `{
+  "name": "throughput",
+  "seed": 1,
+  "rate": 1,
+  "max_inflight": 128,
+  "client": "bench",
+  "blocks": [
+    {"name": "avg", "kind": "query", "weight": 5, "body": {
+      "query": "AVG(price) MATCH (g:Country name=${entity:Country})-[product]->(c:Automobile) TARGET c",
+      "error_bound": 0.05, "timeout_ms": 2000}},
+    {"name": "count", "kind": "query", "weight": 3, "body": {
+      "query": "COUNT(*) MATCH (g:Country name=${entity:Country})-[product]->(c:Automobile) TARGET c",
+      "error_bound": 0.05, "timeout_ms": 2000}},
+    {"name": "mutate", "kind": "mutate", "weight": 1, "mutations": [
+      {"op": "add_entity", "entity": "Bench_${seq}", "types": ["Automobile"]},
+      {"op": "add_edge", "src": "${entity:Country}", "pred": "product", "dst": "Bench_${seq}"},
+      {"op": "set_attr", "entity": "Bench_${seq}", "attr": "price", "value": "${int:20000:80000}"}
+    ]}
+  ]
+}`
+
+// RunThroughput boots the tiny profile behind a real httpapi server with
+// admission control and replays the mixed script twice: once at a
+// sustainable rate, once at overload.
+func RunThroughput(ctx context.Context, cfg Config) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	profile := cfg.Profiles[0]
+	env, err := NewEnv(profile)
+	if err != nil {
+		return nil, err
+	}
+	store := live.NewStore(env.DS.Graph, 0)
+	eng, err := core.NewLiveEngine(store, env.DS.Model,
+		core.Options{Tau: profile.OptimalTau, ErrorBound: 0.05, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	api := httpapi.NewLiveServer(eng, store)
+	api.ConfigureAdmission(admission.New(admission.Config{
+		MaxInFlight:     throughputInFlight,
+		MaxQueue:        throughputQueue,
+		MaxErrorBound:   0.25,
+		DegradePressure: 0.5,
+	}), "")
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	script, err := workload.ParseScript([]byte(throughputScript))
+	if err != nil {
+		return nil, fmt.Errorf("bench: throughput script: %w", err)
+	}
+	catalog := workload.NewCatalog(env.DS.Graph)
+
+	res := &ThroughputResult{MaxInFlight: throughputInFlight, MaxQueue: throughputQueue}
+	// Warm-up: one unmeasured second populates the answer-space cache, as
+	// the serving trajectory does for its workload.
+	if _, err := runThroughputOnce(ctx, script, ts.URL, catalog, 25, time.Second); err != nil {
+		return nil, err
+	}
+	sustained, err := runThroughputOnce(ctx, script, ts.URL, catalog, 40, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	res.Sustained = *sustained
+	overload, err := runThroughputOnce(ctx, script, ts.URL, catalog, 1500, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	res.Overload = *overload
+	return res, nil
+}
+
+func runThroughputOnce(ctx context.Context, script *workload.Script, url string, cat *workload.Catalog, rate float64, dur time.Duration) (*ThroughputRun, error) {
+	r := &workload.Runner{
+		Script:   script,
+		BaseURL:  url,
+		Catalog:  cat,
+		Rate:     rate,
+		Duration: dur,
+	}
+	rep, err := r.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench: throughput run at %g req/s: %w", rate, err)
+	}
+	if rep.Completed == 0 {
+		return nil, fmt.Errorf("bench: throughput run at %g req/s completed nothing", rate)
+	}
+	return &ThroughputRun{
+		TargetRate:   rate,
+		DurationS:    rep.DurationS,
+		Offered:      rep.Offered,
+		Dropped:      rep.Dropped,
+		Completed:    rep.Completed,
+		Shed:         rep.Shed,
+		Errors:       rep.Errors,
+		Degraded:     rep.Degraded,
+		AchievedRate: rep.AchievedRate,
+		LatencyP50MS: rep.LatencyP50MS,
+		LatencyP95MS: rep.LatencyP95MS,
+		LatencyP99MS: rep.LatencyP99MS,
+		AchievedEB:   rep.AchievedEB,
+	}, nil
+}

@@ -25,8 +25,9 @@ import (
 // extend it without breaking readers of earlier baselines. v2 adds the
 // churn (mixed read/write) section; v3 adds the sharded cold-query
 // comparison; v4 adds the multi-aggregate (QueryMulti vs separate
-// queries) comparison.
-const TrajectorySchema = "kgaq-bench-trajectory/v4"
+// queries) comparison; v5 adds the sustained-throughput axis (fixed-rate
+// mixed workload through the admission-controlled serving stack).
+const TrajectorySchema = "kgaq-bench-trajectory/v5"
 
 // Trajectory is one tracked performance baseline: the serving hot path
 // measured end to end (latency distribution, sampling throughput, cache
@@ -68,6 +69,11 @@ type Trajectory struct {
 	// shared sample) against three separate queries (DESIGN.md "Prepared
 	// plans").
 	MultiAgg *MultiAggResult `json:"multi_agg,omitempty"`
+
+	// Throughput measures the full serving stack (HTTP, middleware,
+	// admission) under a fixed-rate mixed workload at a sustainable rate
+	// and at overload (DESIGN.md "Serving tier").
+	Throughput *ThroughputResult `json:"throughput,omitempty"`
 
 	Micro []MicroResult `json:"micro"`
 }
@@ -189,6 +195,11 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 		return nil, fmt.Errorf("bench: multi-aggregate scenario: %w", err)
 	}
 	tr.MultiAgg = multiAgg
+	throughput, err := RunThroughput(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: throughput scenario: %w", err)
+	}
+	tr.Throughput = throughput
 	return tr, nil
 }
 
@@ -299,6 +310,16 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 		}
 		fmt.Fprintf(w, "  multi-agg p50 cost: QueryMulti %.2fx single (three separate queries %.2fx)\n",
 			m.MultiVsSingle, m.SeparateVsSingle)
+	}
+	if tp := tr.Throughput; tp != nil {
+		for _, run := range []struct {
+			name string
+			r    ThroughputRun
+		}{{"sustained", tp.Sustained}, {"overload", tp.Overload}} {
+			fmt.Fprintf(w, "  throughput %-10s %5.0f req/s offered: %d completed (%.0f/s), %d shed, %d dropped, %d degraded, p50 %.2fms, p99 %.2fms\n",
+				run.name+":", run.r.TargetRate, run.r.Completed, run.r.AchievedRate,
+				run.r.Shed, run.r.Dropped, run.r.Degraded, run.r.LatencyP50MS, run.r.LatencyP99MS)
+		}
 	}
 	for _, m := range tr.Micro {
 		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)

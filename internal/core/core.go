@@ -214,7 +214,15 @@ type Result struct {
 	Estimate   float64
 	MoE        float64
 	Confidence float64
-	Converged  bool // Theorem 2 termination condition met
+	Converged  bool // Theorem 2 termination condition met for TargetEB
+	// Degraded reports the guarantee loop stopped refining early under a
+	// WithDegradation directive (deadline pressure): the interval is honest
+	// for the returned sample but may be looser than TargetEB requested.
+	// AchievedEB() reports the bound it actually attains.
+	Degraded bool
+	// TargetEB is the relative error bound this execution refined toward
+	// (0 for MAX/MIN, which carry no guarantee).
+	TargetEB   float64
 	Rounds     []Round
 	SampleSize int    // total draws |S|
 	Distinct   int    // distinct answers in the sample

@@ -35,9 +35,13 @@ type Execution struct {
 	v       view    // the epoch-consistent graph view this query observes
 	opts    Options // engine options with per-query overrides applied
 	onRound func(Round)
+	degrade Degradation // deadline-aware degradation (disabled by default)
 	attr    kg.AttrID
 	group   kg.AttrID
 	filters []resolvedFilter
+
+	degraded bool    // the guarantee loop stopped early under degrade
+	targetEB float64 // the bound the last Refine targeted
 
 	sp      *answerSpace
 	sh      *shardedSpace // non-nil when Options.Shards > 1
@@ -104,7 +108,7 @@ func (e *Engine) startTopology(ctx context.Context, q *query.Aggregate, cfg quer
 			return nil, err
 		}
 	}
-	x := &Execution{e: e, q: q, v: v, opts: o, onRound: cfg.onRound, rng: stats.NewRand(o.Seed)}
+	x := &Execution{e: e, q: q, v: v, opts: o, onRound: cfg.onRound, degrade: cfg.degrade, rng: stats.NewRand(o.Seed)}
 
 	var err error
 	if x.attr, err = resolveAttr(v.g, q.Attr); err != nil {
@@ -375,6 +379,7 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 	if eb <= 0 {
 		eb = x.opts.ErrorBound
 	}
+	x.targetEB = eb
 	if !x.q.Func.HasGuarantee() {
 		return x.runExtreme(ctx)
 	}
@@ -393,6 +398,7 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return x.interrupted(ctx, vhat, moe, estimated, err)
 		}
+		roundBegin := time.Now()
 		begin := time.Now()
 		obs := x.observations(ctx)
 		correct := 0
@@ -449,6 +455,15 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
 		x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
 		if estimate.Satisfied(v, eps, eb) {
 			converged = true
+			break
+		}
+		// Deadline-aware degradation: when another round (predicted from this
+		// one's cost) would not fit before the context deadline, stop here and
+		// report the honest interval already held rather than be cancelled
+		// mid-validation. The estimate above is complete, so the answer is
+		// exactly what an earlier termination would have returned.
+		if x.degrade.shouldStop(ctx, time.Since(roundBegin)) {
+			x.degraded = true
 			break
 		}
 		begin = time.Now()
@@ -540,6 +555,7 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 			res.Groups = groups
 			return res, rerr
 		}
+		roundBegin := time.Now()
 		begin := time.Now()
 		byGroup, inGroup, base := x.groupedObservations(ctx)
 		if err := ctx.Err(); err != nil {
@@ -593,6 +609,10 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 		x.times.Estimation += time.Since(begin)
 		if allOK && len(groups) > 0 {
 			converged = true
+			break
+		}
+		if x.degrade.shouldStop(ctx, time.Since(roundBegin)) {
+			x.degraded = true
 			break
 		}
 		delta := int(float64(len(x.drawIdx)) * (math.Pow(worstRatio, 2*o.M) - 1))
@@ -686,6 +706,8 @@ func (x *Execution) result(ctx context.Context, vhat, moe float64, converged boo
 		MoE:        moe,
 		Confidence: x.opts.Confidence,
 		Converged:  converged,
+		Degraded:   x.degraded,
+		TargetEB:   x.targetEB,
 		Rounds:     append([]Round(nil), x.rounds...),
 		SampleSize: len(x.drawIdx),
 		Distinct:   len(distinct),

@@ -65,6 +65,10 @@ type MultiResult struct {
 	Confidence float64
 	// Converged reports whether every guaranteed spec met its bound.
 	Converged bool
+	// Degraded reports the shared guarantee loop stopped early under a
+	// WithDegradation directive; per-spec AchievedEB() tells what each
+	// aggregate's interval still honestly attains.
+	Degraded bool
 	// Rounds counts the shared refinement iterations.
 	Rounds int
 	// SampleSize is the total draws |S| — shared by all specs, which is
@@ -286,6 +290,7 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (*MultiRes
 		if err := ctx.Err(); err != nil {
 			return x.multiInterrupted(specs, state, rounds, mobs, err)
 		}
+		roundBegin := time.Now()
 		if err := refresh(); err != nil {
 			// Validation was cut short; this round's verdicts are
 			// incomplete, so do not fold them into the estimates.
@@ -355,6 +360,13 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (*MultiRes
 		}
 		if allOK && haveEst {
 			converged = true
+			break
+		}
+		// Deadline-aware degradation, as the single-aggregate loop: every
+		// spec's current interval is complete and honest, so stopping here
+		// beats being cancelled mid-round (see Degradation).
+		if haveEst && x.degrade.shouldStop(ctx, time.Since(roundBegin)) {
+			x.degraded = true
 			break
 		}
 		var delta int
@@ -503,6 +515,7 @@ func (x *Execution) multiResult(state []AggResult, rounds int, converged bool,
 		Aggs:       state,
 		Confidence: x.opts.Confidence,
 		Converged:  converged,
+		Degraded:   x.degraded,
 		Rounds:     rounds,
 		SampleSize: len(x.drawIdx),
 		Distinct:   len(distinct),

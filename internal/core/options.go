@@ -16,6 +16,9 @@ type queryConfig struct {
 	// epochPolicy governs how a prepared plan follows the live graph's
 	// epochs (EpochPin by default).
 	epochPolicy EpochPolicy
+	// degrade configures deadline-aware graceful degradation of the
+	// guarantee loop (disabled by default).
+	degrade Degradation
 }
 
 // QueryOption overrides one engine-level option for a single Query, Start
@@ -136,6 +139,18 @@ func WithParallelism(n int) QueryOption {
 // ignore it (they always pin their Start-time snapshot).
 func WithEpochPolicy(p EpochPolicy) QueryOption {
 	return func(c *queryConfig) { c.epochPolicy = p }
+}
+
+// WithDegradation enables deadline-aware graceful degradation for this
+// query: when the context deadline is too close for another refinement
+// round, the guarantee loop stops early and returns the honest interval it
+// already holds (Result.Degraded=true, Result.AchievedEB() reporting the
+// bound actually reached) instead of being cancelled mid-round. The
+// configured MaxErrorBound is the honesty floor a degraded serving tier may
+// relax effective bounds toward; zero disables degradation. It is an
+// execution-level option: prepared plans accept it per execution.
+func WithDegradation(d Degradation) QueryOption {
+	return func(c *queryConfig) { c.degrade = d }
 }
 
 // WithMinEpoch pins the query to a graph view at or above the given epoch —

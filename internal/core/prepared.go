@@ -335,6 +335,7 @@ func (p *Prepared) Start(ctx context.Context, opts ...QueryOption) (*Execution, 
 		v:       c.v,
 		opts:    cfg.opts,
 		onRound: cfg.onRound,
+		degrade: cfg.degrade,
 		attr:    c.attr,
 		group:   c.group,
 		filters: c.filters,

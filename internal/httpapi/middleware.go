@@ -1,0 +1,273 @@
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"kgaq/internal/admission"
+	"kgaq/internal/core"
+)
+
+// ClientIDHeader is the default header the admission layer reads a client
+// identity from; requests without it are bucketed by remote host.
+const ClientIDHeader = "X-Client-ID"
+
+// RequestIDHeader carries the request's correlation id: honoured inbound
+// (so a caller's id threads through the access log) and always set on the
+// response.
+const RequestIDHeader = "X-Request-ID"
+
+// reqPrefix and reqSeq generate process-unique request ids: a random
+// process prefix plus a monotone counter — cheap, collision-free within a
+// deployment, and ordered within one process.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		_, _ = rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}
+
+// reqState is the per-request scratch the middleware chain and handlers
+// share through the request context: who the request is, its admission
+// grant, and whether the answer was degraded (for the access log and the
+// grant outcome).
+type reqState struct {
+	id     string
+	client string
+	grant  *admission.Grant
+	// degraded is set by the query paths when the response carries a
+	// relaxed or deadline-degraded (but honest) bound.
+	degraded bool
+	// effectiveEB is the relaxed bound the admission grant substituted for
+	// the requested one (0 when not relaxed).
+	effectiveEB float64
+	// shed marks a request refused by admission (429/503).
+	shed bool
+}
+
+type reqStateKey struct{}
+
+// stateFrom returns the request's shared state, nil outside the middleware
+// chain (direct handler tests).
+func stateFrom(ctx context.Context) *reqState {
+	st, _ := ctx.Value(reqStateKey{}).(*reqState)
+	return st
+}
+
+// responseRecorder captures the response status for the access log and the
+// admission outcome while passing streaming flushes through.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *responseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// clientID identifies the caller for rate limiting and logging: the
+// configured client header when present, otherwise the remote host.
+func (s *Server) clientID(r *http.Request) string {
+	header := s.clientHeader
+	if header == "" {
+		header = ClientIDHeader
+	}
+	if id := r.Header.Get(header); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// instrument is the outermost middleware: request id, shared per-request
+// state, and one structured access-log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		st := &reqState{id: id, client: s.clientID(r)}
+		w.Header().Set(RequestIDHeader, id)
+		rec := &responseRecorder{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), reqStateKey{}, st))
+
+		begin := time.Now()
+		next.ServeHTTP(rec, r)
+
+		if s.logger == nil {
+			return
+		}
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		route := r.Pattern // set by ServeMux on match; empty on 404s
+		if route == "" {
+			route = r.URL.Path
+		}
+		attrs := []slog.Attr{
+			slog.String("id", id),
+			slog.String("client", st.client),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Float64("latency_ms", float64(time.Since(begin).Microseconds())/1000),
+		}
+		if st.shed {
+			attrs = append(attrs, slog.Bool("shed", true))
+		}
+		if st.degraded {
+			attrs = append(attrs, slog.Bool("degraded", true))
+		}
+		if g := st.grant; g != nil && g.QueuedFor() > 0 {
+			attrs = append(attrs, slog.Float64("queued_ms", float64(g.QueuedFor().Microseconds())/1000))
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}
+
+// admit gates a work endpoint behind the admission controller: shed
+// requests answer a typed 429/503 with Retry-After, admitted ones carry
+// their grant in the request state and release it — with the observed
+// outcome — when the handler returns.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.adm == nil {
+			next(w, r)
+			return
+		}
+		st := stateFrom(r.Context())
+		if st == nil { // admit is always nested inside instrument; be safe
+			st = &reqState{client: s.clientID(r)}
+			r = r.WithContext(context.WithValue(r.Context(), reqStateKey{}, st))
+		}
+		grant, err := s.adm.Admit(r.Context(), st.client)
+		if err != nil {
+			var shed *admission.Shed
+			if errors.As(err, &shed) {
+				st.shed = true
+				writeShed(w, shed)
+				return
+			}
+			// The waiter's own context ended while queued: the client is gone
+			// (or its deadline passed) — nobody is listening, but complete the
+			// exchange coherently.
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		st.grant = grant
+		begin := time.Now()
+		rec, _ := w.(*responseRecorder)
+		defer func() {
+			outcome := admission.OutcomeOK
+			switch {
+			case rec != nil && rec.status >= 500:
+				outcome = admission.OutcomeError
+			case st.degraded:
+				outcome = admission.OutcomeDegraded
+			}
+			grant.Release(time.Since(begin), outcome)
+		}()
+		next(w, r)
+	}
+}
+
+// shedBody is the typed error body of a 429/503 shed response, so clients
+// can branch on "code" instead of parsing prose.
+type shedBody struct {
+	Error string `json:"error"`
+	// Code is "rate_limited", "queue_full" or "draining".
+	Code string `json:"code"`
+	// RetryAfterS mirrors the Retry-After header with sub-second precision.
+	RetryAfterS float64 `json:"retry_after_s"`
+}
+
+// writeShed answers an admission refusal: 429 Too Many Requests for rate
+// limits and queue overflow, 503 Service Unavailable for a draining
+// server — both with a Retry-After header (whole seconds, minimum 1, per
+// RFC 9110) and the typed JSON body.
+func writeShed(w http.ResponseWriter, shed *admission.Shed) {
+	status := http.StatusTooManyRequests
+	code := "queue_full"
+	switch {
+	case errors.Is(shed, admission.ErrRateLimited):
+		code = "rate_limited"
+	case errors.Is(shed, admission.ErrDraining):
+		status = http.StatusServiceUnavailable
+		code = "draining"
+	}
+	secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, status, shedBody{
+		Error:       shed.Error(),
+		Code:        code,
+		RetryAfterS: shed.RetryAfter.Seconds(),
+	})
+}
+
+// degradeOptions applies the serving tier's degradation policy to one query
+// execution: deadline-aware early stopping (the core loop returns the
+// honest interval it holds when the deadline closes in) and, under queue
+// pressure, a relaxed effective error bound within the honesty floor. It
+// returns the options to append and records the relaxation in the request
+// state so the response and access log can surface it.
+func (s *Server) degradeOptions(ctx context.Context, requestedEB float64) []core.QueryOption {
+	if s.adm == nil {
+		return nil
+	}
+	maxEB := s.adm.Config().MaxErrorBound
+	if maxEB <= 0 {
+		return nil
+	}
+	opts := []core.QueryOption{core.WithDegradation(core.Degradation{MaxErrorBound: maxEB})}
+	st := stateFrom(ctx)
+	if st == nil || st.grant == nil {
+		return opts
+	}
+	if requestedEB <= 0 {
+		requestedEB = s.eng.Options().ErrorBound
+	}
+	if eff, relaxed := st.grant.EffectiveEB(requestedEB); relaxed {
+		st.degraded = true
+		st.effectiveEB = eff
+		opts = append(opts, core.WithErrorBound(eff))
+	}
+	return opts
+}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"container/list"
@@ -12,10 +12,10 @@ import (
 	"kgaq/internal/query"
 )
 
-// Plan-cache defaults; main.go overrides them from flags.
+// Plan-cache defaults; cmd/kgaqd overrides them from flags.
 const (
-	defaultPlanCap = 128
-	defaultPlanTTL = 10 * time.Minute
+	DefaultPlanCap = 128
+	DefaultPlanTTL = 10 * time.Minute
 )
 
 // planEntry is one cached prepared plan.
@@ -43,10 +43,10 @@ type planCache struct {
 
 func newPlanCache(capacity int, ttl time.Duration) *planCache {
 	if capacity <= 0 {
-		capacity = defaultPlanCap
+		capacity = DefaultPlanCap
 	}
 	if ttl <= 0 {
-		ttl = defaultPlanTTL
+		ttl = DefaultPlanTTL
 	}
 	return &planCache{
 		cap:   capacity,

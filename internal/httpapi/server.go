@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"kgaq/internal/admission"
 	"kgaq/internal/core"
 	"kgaq/internal/live"
 	"kgaq/internal/query"
@@ -36,6 +38,16 @@ type Server struct {
 	store   *live.Store // nil for a read-only (static-graph) server
 	plans   *planCache
 	started time.Time
+
+	// adm gates the work endpoints (nil = no admission control); see
+	// ConfigureAdmission.
+	adm *admission.Controller
+	// clientHeader names the request header carrying the client identity
+	// for rate limiting ("" = ClientIDHeader).
+	clientHeader string
+	// logger receives one structured access-log line per request (nil =
+	// no access logging).
+	logger *slog.Logger
 }
 
 // NewServer wraps an engine for read-only serving.
@@ -57,6 +69,36 @@ func (s *Server) ConfigurePlans(capacity int, ttl time.Duration) {
 	s.plans = newPlanCache(capacity, ttl)
 }
 
+// ConfigureAdmission puts the work endpoints (/v1/query, /v1/prepare,
+// /v1/plans/{id}/query, /v1/mutate — healthz stays exempt) behind an
+// admission controller: per-client rate limits, the bounded work queue with
+// fast 429/503 + Retry-After shedding, and pressure-based degradation
+// grants. clientHeader overrides the header the client identity is read
+// from ("" = ClientIDHeader). Call before serving.
+func (s *Server) ConfigureAdmission(c *admission.Controller, clientHeader string) {
+	s.adm = c
+	s.clientHeader = clientHeader
+}
+
+// ConfigureLogging enables the structured access log: one line per request
+// with request id, client, method, route, status, latency, and the
+// shed/degraded markers. Call before serving.
+func (s *Server) ConfigureLogging(l *slog.Logger) { s.logger = l }
+
+// Admission returns the configured controller (nil when admission is off).
+func (s *Server) Admission() *admission.Controller { return s.adm }
+
+// Drain performs the serving-tier half of a graceful shutdown: new and
+// queued requests shed with 503 "draining" while in-flight ones run to
+// completion. Call it before closing the listener; a nil-admission server
+// drains trivially.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.adm == nil {
+		return nil
+	}
+	return s.adm.Drain(ctx)
+}
+
 // Handler returns the routed HTTP handler:
 //
 //	POST /v1/query            — execute one aggregate query, or several
@@ -65,16 +107,21 @@ func (s *Server) ConfigurePlans(capacity int, ttl time.Duration) {
 //	POST /v1/plans/{id}/query — execute a prepared plan (single or multi)
 //	POST /v1/mutate           — apply one atomic mutation batch (NDJSON, live servers)
 //	GET  /v1/healthz          — liveness plus graph statistics and the current epoch
+//
+// Work endpoints pass through the admission controller; healthz stays
+// exempt so load balancers can probe a saturated or draining server. The
+// whole mux sits inside the instrumentation middleware (request ids +
+// access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
-	mux.HandleFunc("POST /v1/plans/{id}/query", s.handlePlanQuery)
+	mux.HandleFunc("POST /v1/query", s.admit(s.handleQuery))
+	mux.HandleFunc("POST /v1/prepare", s.admit(s.handlePrepare))
+	mux.HandleFunc("POST /v1/plans/{id}/query", s.admit(s.handlePlanQuery))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	if s.store != nil {
-		mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+		mux.HandleFunc("POST /v1/mutate", s.admit(s.handleMutate))
 	}
-	return mux
+	return s.instrument(mux)
 }
 
 // contentTypeOK reports whether a request Content-Type is acceptable for a
@@ -253,7 +300,20 @@ type queryResponse struct {
 	Rounds      []roundJSON          `json:"rounds,omitempty"`
 	Groups      map[string]groupJSON `json:"groups,omitempty"`
 	ElapsedMS   float64              `json:"elapsed_ms"`
-	Error       string               `json:"error,omitempty"`
+	// Degraded marks an answer the serving tier loosened honestly: the loop
+	// stopped before the target bound (deadline pressure) or ran against a
+	// relaxed effective bound (queue pressure). The interval is still a
+	// valid 1-α interval — achieved_eb is the bound it actually guarantees.
+	Degraded bool `json:"degraded,omitempty"`
+	// TargetEB is the bound this execution refined toward.
+	TargetEB float64 `json:"target_eb,omitempty"`
+	// EffectiveEB is the relaxed bound admission substituted under queue
+	// pressure (absent when the request's own bound was used).
+	EffectiveEB float64 `json:"effective_eb,omitempty"`
+	// AchievedEB is the relative error bound the returned interval actually
+	// attains (null when no finite bound is honest).
+	AchievedEB *float64 `json:"achieved_eb,omitempty"`
+	Error      string   `json:"error,omitempty"`
 }
 
 // jsonFloat maps NaN/Inf (JSON-unrepresentable) to null.
@@ -278,6 +338,9 @@ func toResponse(agg *query.Aggregate, res *core.Result, interrupted bool, elapse
 		Shards:      res.Shards,
 		Epoch:       res.Epoch,
 		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+		Degraded:    res.Degraded,
+		TargetEB:    res.TargetEB,
+		AchievedEB:  jsonFloat(res.AchievedEB()),
 	}
 	for _, r := range res.Rounds {
 		out.Rounds = append(out.Rounds, roundJSON{Estimate: r.Estimate, MoE: jsonFloat(r.MoE), SampleSize: r.SampleSize})
@@ -357,6 +420,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	opts = append(opts, s.degradeOptions(ctx, req.ErrorBound)...)
 
 	if len(req.Aggregates) > 0 {
 		if req.Stream {
@@ -401,13 +465,48 @@ func (s *Server) runSingle(ctx context.Context, w http.ResponseWriter, agg *quer
 		if core.IsPartial(err, res) {
 			resp := toResponse(agg, res, true, elapsed)
 			resp.Error = err.Error()
+			s.finishSingle(ctx, &resp)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		writeError(w, errorStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(agg, res, false, elapsed))
+	resp := toResponse(agg, res, false, elapsed)
+	s.finishSingle(ctx, &resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// finishSingle folds the request-scoped degradation record (the admission
+// grant's relaxed bound) into the response and mirrors the final degraded
+// flag back into the request state for the access log and grant outcome.
+func (s *Server) finishSingle(ctx context.Context, resp *queryResponse) {
+	st := stateFrom(ctx)
+	if st == nil {
+		return
+	}
+	if st.effectiveEB > 0 {
+		resp.EffectiveEB = st.effectiveEB
+		resp.Degraded = true
+	}
+	if resp.Degraded {
+		st.degraded = true
+	}
+}
+
+// finishMulti is finishSingle for multi-aggregate responses.
+func (s *Server) finishMulti(ctx context.Context, resp *multiResponse) {
+	st := stateFrom(ctx)
+	if st == nil {
+		return
+	}
+	if st.effectiveEB > 0 {
+		resp.EffectiveEB = st.effectiveEB
+		resp.Degraded = true
+	}
+	if resp.Degraded {
+		st.degraded = true
+	}
 }
 
 // runMulti executes a multi-aggregate query through run and writes the
@@ -422,13 +521,16 @@ func (s *Server) runMulti(ctx context.Context, w http.ResponseWriter, agg *query
 		if errors.Is(err, core.ErrInterrupted) && res != nil && anyEstimate(res) {
 			resp := toMultiResponse(agg, res, true, elapsed)
 			resp.Error = err.Error()
+			s.finishMulti(ctx, &resp)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		writeError(w, errorStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toMultiResponse(agg, res, false, elapsed))
+	resp := toMultiResponse(agg, res, false, elapsed)
+	s.finishMulti(ctx, &resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // anyEstimate reports whether a partial multi result carries at least one
@@ -472,6 +574,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *qu
 	case err != nil && core.IsPartial(err, res):
 		resp := toResponse(agg, res, true, elapsed)
 		resp.Error = err.Error()
+		s.finishSingle(ctx, &resp)
 		emit(map[string]queryResponse{"result": resp})
 	case err != nil:
 		// While nothing has been streamed the status line is still ours to
@@ -481,19 +584,24 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, agg *qu
 		}
 		emit(map[string]string{"error": err.Error()})
 	default:
-		emit(map[string]queryResponse{"result": toResponse(agg, res, false, elapsed)})
+		resp := toResponse(agg, res, false, elapsed)
+		s.finishSingle(ctx, &resp)
+		emit(map[string]queryResponse{"result": resp})
 	}
 }
 
 // aggResultJSON is one aggregate's outcome within a multi-aggregate
 // response.
 type aggResultJSON struct {
-	Func       string               `json:"func"`
-	Attr       string               `json:"attr,omitempty"`
-	Estimate   *float64             `json:"estimate"`
-	MoE        *float64             `json:"moe"`
-	ErrorBound float64              `json:"error_bound"`
-	Converged  bool                 `json:"converged"`
+	Func       string   `json:"func"`
+	Attr       string   `json:"attr,omitempty"`
+	Estimate   *float64 `json:"estimate"`
+	MoE        *float64 `json:"moe"`
+	ErrorBound float64  `json:"error_bound"`
+	Converged  bool     `json:"converged"`
+	// AchievedEB is the bound this aggregate's interval actually attains
+	// (null when no finite bound is honest).
+	AchievedEB *float64             `json:"achieved_eb,omitempty"`
 	Rounds     []roundJSON          `json:"rounds,omitempty"`
 	Groups     map[string]groupJSON `json:"groups,omitempty"`
 }
@@ -513,7 +621,12 @@ type multiResponse struct {
 	Shards      int             `json:"shards,omitempty"`
 	Epoch       uint64          `json:"epoch"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
-	Error       string          `json:"error,omitempty"`
+	// Degraded marks an honestly-loosened answer (see queryResponse).
+	Degraded bool `json:"degraded,omitempty"`
+	// EffectiveEB is the relaxed bound admission substituted under queue
+	// pressure (absent when the request's own bound was used).
+	EffectiveEB float64 `json:"effective_eb,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 func toMultiResponse(agg *query.Aggregate, res *core.MultiResult, interrupted bool, elapsed time.Duration) multiResponse {
@@ -529,6 +642,7 @@ func toMultiResponse(agg *query.Aggregate, res *core.MultiResult, interrupted bo
 		Shards:      res.Shards,
 		Epoch:       res.Epoch,
 		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+		Degraded:    res.Degraded,
 	}
 	for _, ar := range res.Aggs {
 		aj := aggResultJSON{
@@ -538,6 +652,7 @@ func toMultiResponse(agg *query.Aggregate, res *core.MultiResult, interrupted bo
 			MoE:        jsonFloat(ar.MoE),
 			ErrorBound: ar.ErrorBound,
 			Converged:  ar.Converged,
+			AchievedEB: jsonFloat(ar.AchievedEB()),
 		}
 		for _, r := range ar.Rounds {
 			aj.Rounds = append(aj.Rounds, roundJSON{Estimate: r.Estimate, MoE: jsonFloat(r.MoE), SampleSize: r.SampleSize})
@@ -667,6 +782,7 @@ func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	opts = append(opts, s.degradeOptions(ctx, req.ErrorBound)...)
 	if len(req.Aggregates) > 0 {
 		if req.Stream {
 			writeError(w, http.StatusBadRequest, "\"aggregates\" and \"stream\" are incompatible")
@@ -749,6 +865,10 @@ type healthResponse struct {
 	Cache      cacheJSON   `json:"cache"`
 	Plans      int         `json:"plans"`
 	Shards     []shardJSON `json:"shards,omitempty"`
+	// Admission is the serving tier's load snapshot: in-flight/queued depth,
+	// shed and degrade counters, and the latency-SLO percentiles (absent
+	// when admission control is off).
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -772,6 +892,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// (a single-shard engine's stats are the graph totals already shown).
 	if sh := shardSnapshot(s.eng); len(sh) > 1 {
 		h.Shards = sh
+	}
+	if s.adm != nil {
+		st := s.adm.Stats()
+		h.Admission = &st
+		if st.Draining {
+			h.Status = "draining"
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -873,6 +1000,13 @@ func (s *Server) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("GET /debug/plans", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.plans.snapshot())
+	})
+	mux.HandleFunc("GET /debug/admission", func(w http.ResponseWriter, r *http.Request) {
+		if s.adm == nil {
+			writeError(w, http.StatusNotFound, "admission control is not configured")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.adm.Stats())
 	})
 	return mux
 }

@@ -1,0 +1,461 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"kgaq/internal/stats"
+)
+
+// Runner replays one script against a serving endpoint.
+type Runner struct {
+	Script  *Script
+	BaseURL string
+	Catalog *Catalog
+	// Client is the HTTP client (default: 60s-timeout client).
+	Client *http.Client
+	// Rate and Duration override the script's values when positive.
+	Rate     float64
+	Duration time.Duration
+	// Store is the cross-request capture store (fresh when nil).
+	Store *Store
+}
+
+// Run primes the store (every prepare block executes once, so plan ids
+// exist before the mix references them), then drives the open loop until
+// the duration or ctx ends, and returns the aggregated report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	s := r.Script
+	rate := s.Rate
+	if r.Rate > 0 {
+		rate = r.Rate
+	}
+	dur := time.Duration(s.DurationS * float64(time.Second))
+	if r.Duration > 0 {
+		dur = r.Duration
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("workload %q: no duration (script duration_s or runner override)", s.Name)
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	store := r.Store
+	if store == nil {
+		store = NewStore()
+	}
+
+	run := &runState{
+		script:  s,
+		base:    r.BaseURL,
+		client:  client,
+		catalog: r.Catalog,
+		store:   store,
+		blocks:  make([]*blockStats, len(s.Blocks)),
+	}
+	for i := range s.Blocks {
+		run.blocks[i] = &blockStats{}
+	}
+
+	// Prime: every prepare block runs once, synchronously, outside the
+	// measured window, so ${ref:...} plan ids resolve from the first
+	// arrival on.
+	rng := stats.NewRand(s.Seed)
+	for i := range s.Blocks {
+		if s.Blocks[i].Kind == KindPrepare {
+			run.execute(ctx, i, stats.Fork(rng), true)
+		}
+	}
+
+	weights := make([]float64, len(s.Blocks))
+	for i, b := range s.Blocks {
+		weights[i] = b.Weight
+	}
+	sem := make(chan struct{}, s.MaxInFlight)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / rate)
+	begin := time.Now()
+	deadline := begin.Add(dur)
+	next := begin
+
+loop:
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-time.After(d):
+			}
+		}
+		i := stats.WeightedIndex(rng, weights)
+		run.blocks[i].arrival()
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop: the in-flight bound is full, so this arrival is
+			// dropped and counted, never queued on the client side.
+			run.blocks[i].drop()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rng2 *rand.Rand) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			run.execute(ctx, i, rng2, false)
+		}(i, stats.Fork(rng))
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	return run.report(rate, elapsed), nil
+}
+
+// runState is the shared state of one run.
+type runState struct {
+	script  *Script
+	base    string
+	client  *http.Client
+	catalog *Catalog
+	store   *Store
+	blocks  []*blockStats
+}
+
+// execute performs one request of block i. prime marks the unmeasured
+// store-priming pass.
+func (rs *runState) execute(ctx context.Context, i int, rng *rand.Rand, prime bool) {
+	b := &rs.script.Blocks[i]
+	st := rs.blocks[i]
+
+	req, err := rs.buildRequest(ctx, b, rng)
+	if err != nil {
+		if errors.Is(err, ErrMissingRef) {
+			st.skip(prime)
+			return
+		}
+		st.fail(prime, false)
+		return
+	}
+	begin := time.Now()
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		st.fail(prime, false)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	resp.Body.Close()
+	latency := time.Since(begin)
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var probe struct {
+			ID         string   `json:"id"`
+			Degraded   bool     `json:"degraded"`
+			AchievedEB *float64 `json:"achieved_eb"`
+			Aggregates []struct {
+				AchievedEB *float64 `json:"achieved_eb"`
+			} `json:"aggregates"`
+		}
+		_ = json.Unmarshal(body, &probe)
+		if b.Kind == KindPrepare && b.Capture != "" && probe.ID != "" {
+			rs.store.Set(b.Capture, probe.ID)
+		}
+		var ebs []float64
+		if probe.AchievedEB != nil {
+			ebs = append(ebs, *probe.AchievedEB)
+		}
+		for _, a := range probe.Aggregates {
+			if a.AchievedEB != nil {
+				ebs = append(ebs, *a.AchievedEB)
+			}
+		}
+		st.complete(prime, latency, probe.Degraded, ebs)
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		st.shedAt(prime)
+	default:
+		st.fail(prime, resp.StatusCode >= 500)
+	}
+}
+
+// buildRequest renders the block's templates into one HTTP request. All
+// templates of one request share a scope, so ${seq} is stable across the
+// lines of a mutate batch.
+func (rs *runState) buildRequest(ctx context.Context, b *Block, rng *rand.Rand) (*http.Request, error) {
+	sc := newScope(rs.catalog, rs.store, rng)
+	var url, contentType, payload string
+	switch b.Kind {
+	case KindQuery, KindMulti:
+		body, err := sc.expand(string(b.Body))
+		if err != nil {
+			return nil, err
+		}
+		url, contentType, payload = rs.base+"/v1/query", "application/json", body
+	case KindPrepare:
+		body, err := sc.expand(string(b.Body))
+		if err != nil {
+			return nil, err
+		}
+		url, contentType, payload = rs.base+"/v1/prepare", "application/json", body
+	case KindPlanQuery:
+		id, err := sc.expand(b.Plan)
+		if err != nil {
+			return nil, err
+		}
+		body, err := sc.expand(string(b.Body))
+		if err != nil {
+			return nil, err
+		}
+		url, contentType, payload = rs.base+"/v1/plans/"+id+"/query", "application/json", body
+	case KindMutate:
+		var lines []string
+		for _, m := range b.Mutations {
+			line, err := sc.expand(string(m))
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, line)
+		}
+		url, contentType = rs.base+"/v1/mutate", "application/x-ndjson"
+		payload = joinLines(lines)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", b.Kind)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader([]byte(payload)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if rs.script.Client != "" {
+		req.Header.Set("X-Client-ID", rs.script.Client)
+	}
+	return req, nil
+}
+
+func joinLines(lines []string) string {
+	var sb bytes.Buffer
+	for i, l := range lines {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(l)
+	}
+	return sb.String()
+}
+
+// blockStats accumulates one block's outcomes; prime-pass requests touch
+// only the store, never the counters.
+type blockStats struct {
+	mu        sync.Mutex
+	offered   int64
+	dropped   int64
+	skipped   int64
+	completed int64
+	shed      int64
+	errors    int64
+	status5xx int64
+	degraded  int64
+	latencies []float64 // ms, completed requests
+	achieved  []float64 // achieved eb of completed estimates
+}
+
+func (s *blockStats) arrival() {
+	s.mu.Lock()
+	s.offered++
+	s.mu.Unlock()
+}
+
+func (s *blockStats) drop() {
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+func (s *blockStats) skip(prime bool) {
+	if prime {
+		return
+	}
+	s.mu.Lock()
+	s.skipped++
+	s.mu.Unlock()
+}
+
+func (s *blockStats) shedAt(prime bool) {
+	if prime {
+		return
+	}
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+}
+
+func (s *blockStats) fail(prime, is5xx bool) {
+	if prime {
+		return
+	}
+	s.mu.Lock()
+	s.errors++
+	if is5xx {
+		s.status5xx++
+	}
+	s.mu.Unlock()
+}
+
+func (s *blockStats) complete(prime bool, latency time.Duration, degraded bool, ebs []float64) {
+	if prime {
+		return
+	}
+	s.mu.Lock()
+	s.completed++
+	if degraded {
+		s.degraded++
+	}
+	s.latencies = append(s.latencies, float64(latency.Microseconds())/1000)
+	s.achieved = append(s.achieved, ebs...)
+	s.mu.Unlock()
+}
+
+// Report is the outcome of one run, JSON-ready for bench artifacts and CI
+// assertions.
+type Report struct {
+	Script     string  `json:"script"`
+	TargetRate float64 `json:"target_rate"`
+	DurationS  float64 `json:"duration_s"`
+
+	Offered   int64 `json:"offered"`
+	Dropped   int64 `json:"dropped"`
+	Skipped   int64 `json:"skipped,omitempty"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	Status5xx int64 `json:"status_5xx"`
+	Degraded  int64 `json:"degraded"`
+
+	// AchievedRate is completed requests per second of wall clock.
+	AchievedRate float64 `json:"achieved_rate"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	// AchievedEB summarises the honest error bounds across every completed
+	// estimate of the run (absent when no block returned any).
+	AchievedEB *EBDist `json:"achieved_eb,omitempty"`
+
+	Blocks []BlockReport `json:"blocks"`
+}
+
+// BlockReport is one block's slice of the report.
+type BlockReport struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	Offered   int64 `json:"offered"`
+	Dropped   int64 `json:"dropped,omitempty"`
+	Skipped   int64 `json:"skipped,omitempty"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed,omitempty"`
+	Errors    int64 `json:"errors,omitempty"`
+	Status5xx int64 `json:"status_5xx,omitempty"`
+	Degraded  int64 `json:"degraded,omitempty"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	// AchievedEB summarises the honest error bounds of this block's
+	// completed estimates (absent for blocks that return none).
+	AchievedEB *EBDist `json:"achieved_eb,omitempty"`
+}
+
+// EBDist is an achieved-error-bound distribution summary.
+type EBDist struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+func (rs *runState) report(rate float64, elapsed time.Duration) *Report {
+	rep := &Report{
+		Script:     rs.script.Name,
+		TargetRate: rate,
+		DurationS:  elapsed.Seconds(),
+	}
+	var allLat, allEB []float64
+	for i, st := range rs.blocks {
+		st.mu.Lock()
+		br := BlockReport{
+			Name:      rs.script.Blocks[i].Name,
+			Kind:      rs.script.Blocks[i].Kind,
+			Offered:   st.offered,
+			Dropped:   st.dropped,
+			Skipped:   st.skipped,
+			Completed: st.completed,
+			Shed:      st.shed,
+			Errors:    st.errors,
+			Status5xx: st.status5xx,
+			Degraded:  st.degraded,
+		}
+		br.LatencyP50MS, br.LatencyP95MS, br.LatencyP99MS = percentiles(st.latencies)
+		br.AchievedEB = ebDist(st.achieved)
+		allLat = append(allLat, st.latencies...)
+		allEB = append(allEB, st.achieved...)
+		st.mu.Unlock()
+
+		rep.Offered += br.Offered
+		rep.Dropped += br.Dropped
+		rep.Skipped += br.Skipped
+		rep.Completed += br.Completed
+		rep.Shed += br.Shed
+		rep.Errors += br.Errors
+		rep.Status5xx += br.Status5xx
+		rep.Degraded += br.Degraded
+		rep.Blocks = append(rep.Blocks, br)
+	}
+	rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS = percentiles(allLat)
+	rep.AchievedEB = ebDist(allEB)
+	if elapsed > 0 {
+		rep.AchievedRate = float64(rep.Completed) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// ebDist summarises achieved error bounds (nil for an empty sample).
+func ebDist(achieved []float64) *EBDist {
+	n := len(achieved)
+	if n == 0 {
+		return nil
+	}
+	ebs := append([]float64(nil), achieved...)
+	sort.Float64s(ebs)
+	return &EBDist{
+		Count: n,
+		P50:   ebs[n/2],
+		P95:   ebs[(n-1)*95/100],
+		Max:   ebs[n-1],
+	}
+}
+
+// percentiles returns the p50/p95/p99 order statistics of ms latencies.
+func percentiles(v []float64) (p50, p95, p99 float64) {
+	if len(v) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	at := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+	return at(0.50), at(0.95), at(0.99)
+}

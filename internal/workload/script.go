@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Block kinds, mapped to their serving endpoints.
+const (
+	// KindQuery posts the body to /v1/query.
+	KindQuery = "query"
+	// KindMulti is KindQuery for multi-aggregate bodies; a separate kind so
+	// reports split single- and multi-aggregate traffic.
+	KindMulti = "multi"
+	// KindPrepare posts to /v1/prepare; with "capture" set, the returned
+	// plan id lands in the cross-request store under that key.
+	KindPrepare = "prepare"
+	// KindPlanQuery posts the body to /v1/plans/{plan}/query, with {plan}
+	// usually a ${ref:key} captured by a prepare block.
+	KindPlanQuery = "plan_query"
+	// KindMutate posts the block's mutation lines to /v1/mutate as one
+	// NDJSON batch.
+	KindMutate = "mutate"
+)
+
+// Script is one replayable workload: a weighted request mix with an
+// open-loop arrival rate.
+type Script struct {
+	Name string `json:"name"`
+	// Seed makes template expansion and block selection deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64 `json:"rate"`
+	// DurationS bounds the run in seconds (overridable by the runner).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// MaxInFlight bounds concurrent outstanding requests; arrivals beyond
+	// it are counted as dropped (default 64).
+	MaxInFlight int `json:"max_inflight,omitempty"`
+	// Client is sent as the X-Client-ID header when set, so server-side
+	// per-client rate limits see one identity for the whole run.
+	Client string  `json:"client,omitempty"`
+	Blocks []Block `json:"blocks"`
+}
+
+// Block is one request shape within the mix.
+type Block struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Weight is the block's share of arrivals (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Body is the templated JSON request body (all kinds except mutate).
+	Body json.RawMessage `json:"body,omitempty"`
+	// Capture names the store key a prepare block saves its plan id under.
+	Capture string `json:"capture,omitempty"`
+	// Plan is the plan-id template of a plan_query block, e.g. "${ref:p}".
+	Plan string `json:"plan,omitempty"`
+	// Mutations are the templated NDJSON lines of a mutate block.
+	Mutations []json.RawMessage `json:"mutations,omitempty"`
+}
+
+// ParseScript decodes and validates one script document.
+func ParseScript(data []byte) (*Script, error) {
+	var s Script
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload script: %v", err)
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("workload script: missing \"name\"")
+	}
+	if s.Rate <= 0 {
+		return nil, fmt.Errorf("workload script %q: \"rate\" must be positive", s.Name)
+	}
+	if s.MaxInFlight == 0 {
+		s.MaxInFlight = 64
+	}
+	if s.MaxInFlight < 0 {
+		return nil, fmt.Errorf("workload script %q: negative \"max_inflight\"", s.Name)
+	}
+	if len(s.Blocks) == 0 {
+		return nil, fmt.Errorf("workload script %q: no blocks", s.Name)
+	}
+	for i := range s.Blocks {
+		b := &s.Blocks[i]
+		if b.Name == "" {
+			b.Name = fmt.Sprintf("block%d", i)
+		}
+		if b.Weight == 0 {
+			b.Weight = 1
+		}
+		if b.Weight < 0 {
+			return nil, fmt.Errorf("block %q: negative weight", b.Name)
+		}
+		switch b.Kind {
+		case KindQuery, KindMulti, KindPrepare:
+			if len(b.Body) == 0 {
+				return nil, fmt.Errorf("block %q: kind %q needs a \"body\"", b.Name, b.Kind)
+			}
+		case KindPlanQuery:
+			if b.Plan == "" {
+				return nil, fmt.Errorf("block %q: plan_query needs \"plan\" (usually \"${ref:key}\")", b.Name)
+			}
+			if len(b.Body) == 0 {
+				b.Body = json.RawMessage("{}")
+			}
+		case KindMutate:
+			if len(b.Mutations) == 0 {
+				return nil, fmt.Errorf("block %q: mutate needs \"mutations\"", b.Name)
+			}
+		default:
+			return nil, fmt.Errorf("block %q: unknown kind %q (query, multi, prepare, plan_query, mutate)", b.Name, b.Kind)
+		}
+		if b.Capture != "" && b.Kind != KindPrepare {
+			return nil, fmt.Errorf("block %q: \"capture\" only applies to prepare blocks", b.Name)
+		}
+	}
+	return &s, nil
+}
+
+// LoadScript reads and parses a script file.
+func LoadScript(path string) (*Script, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseScript(data)
+}

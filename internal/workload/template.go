@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"kgaq/internal/kg"
+)
+
+// Catalog is the value source template generators draw from: the served
+// graph's vocabulary, extracted once so a script written against a schema
+// (types, predicates, attributes) runs against any dataset of that schema.
+type Catalog struct {
+	// Entities is every node name.
+	Entities []string
+	// ByType maps a type name to its members' names.
+	ByType map[string][]string
+	// Types, Preds and Attrs are the graph's vocabularies.
+	Types []string
+	Preds []string
+	Attrs []string
+}
+
+// NewCatalog extracts a catalog from a graph.
+func NewCatalog(g *kg.Graph) *Catalog {
+	c := &Catalog{
+		ByType: make(map[string][]string, g.NumTypes()),
+		Preds:  append([]string(nil), g.PredNames()...),
+	}
+	c.Entities = make([]string, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		c.Entities[u] = g.Name(kg.NodeID(u))
+	}
+	for t := 0; t < g.NumTypes(); t++ {
+		name := g.TypeName(kg.TypeID(t))
+		c.Types = append(c.Types, name)
+		members := g.NodesByType(kg.TypeID(t))
+		names := make([]string, len(members))
+		for i, u := range members {
+			names[i] = g.Name(u)
+		}
+		c.ByType[name] = names
+	}
+	for a := 0; a < g.NumAttrs(); a++ {
+		c.Attrs = append(c.Attrs, g.AttrName(kg.AttrID(a)))
+	}
+	return c
+}
+
+// Store is the cross-request key/value store: prepare blocks capture plan
+// ids into it, ${ref:key} placeholders read them back.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[string]string)} }
+
+// Set saves a captured value.
+func (s *Store) Set(key, value string) {
+	s.mu.Lock()
+	s.m[key] = value
+	s.mu.Unlock()
+}
+
+// Get reads a captured value.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// ErrMissingRef marks a template whose ${ref:key} has not been captured
+// yet; the runner counts such requests as skipped rather than failed.
+var ErrMissingRef = errors.New("workload: ${ref} not captured yet")
+
+var (
+	placeholderRE = regexp.MustCompile(`\$\{([^}]*)\}`)
+	// quotedNumRE matches a JSON string holding nothing but a numeric
+	// generator; the quotes are stripped so the rendered value is a JSON
+	// number ("price": "${int:1:9}" → "price": 5). Scripts are JSON
+	// documents, so this is the only way a template can emit a number.
+	quotedNumRE = regexp.MustCompile(`"(\$\{(?:int|float):[^}]*\})"`)
+)
+
+// globalSeq feeds the ${seq} generator: a process-wide monotone counter,
+// so concurrently expanded requests never collide on generated names.
+var globalSeq atomic.Int64
+
+// scope is one request's template-expansion context. ${seq} is drawn once
+// per scope, so every ${seq} within one request (e.g. the add_entity /
+// add_edge / set_attr lines of a mutate batch) names the same entity.
+type scope struct {
+	cat   *Catalog
+	store *Store
+	rng   *rand.Rand
+	seq   int64
+}
+
+func newScope(cat *Catalog, store *Store, rng *rand.Rand) *scope {
+	return &scope{cat: cat, store: store, rng: rng}
+}
+
+// expand renders one template: every ${...} placeholder is replaced by a
+// generated value. Supported generators:
+//
+//	${entity}         random entity name        ${entity:Type}  of that type
+//	${type}           random type name          ${pred}         random predicate
+//	${attr}           random attribute name
+//	${int:a:b}        uniform integer in [a,b]  ${float:a:b}    uniform float
+//	${choice:a|b|c}   one of the listed literals
+//	${seq}            monotone integer, shared by every ${seq} in the request
+//	${ref:key}        value captured into the store (e.g. a plan id)
+//
+// A JSON string consisting solely of a numeric generator loses its quotes,
+// so "${int:a:b}" renders as a JSON number.
+func (sc *scope) expand(tmpl string) (string, error) {
+	tmpl = quotedNumRE.ReplaceAllString(tmpl, "$1")
+	var genErr error
+	out := placeholderRE.ReplaceAllStringFunc(tmpl, func(m string) string {
+		if genErr != nil {
+			return m
+		}
+		v, err := sc.generate(m[2 : len(m)-1])
+		if err != nil {
+			genErr = err
+			return m
+		}
+		return v
+	})
+	return out, genErr
+}
+
+func (sc *scope) generate(spec string) (string, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "entity":
+		pool := sc.cat.Entities
+		if arg != "" {
+			pool = sc.cat.ByType[arg]
+		}
+		return sc.pick(pool, "entity", arg)
+	case "type":
+		return sc.pick(sc.cat.Types, "type", "")
+	case "pred":
+		return sc.pick(sc.cat.Preds, "pred", "")
+	case "attr":
+		return sc.pick(sc.cat.Attrs, "attr", "")
+	case "int":
+		lo, hi, err := bounds(arg)
+		if err != nil {
+			return "", fmt.Errorf("${int:%s}: %v", arg, err)
+		}
+		return strconv.FormatInt(int64(lo)+sc.rng.Int63n(int64(hi-lo)+1), 10), nil
+	case "float":
+		lo, hi, err := bounds(arg)
+		if err != nil {
+			return "", fmt.Errorf("${float:%s}: %v", arg, err)
+		}
+		return strconv.FormatFloat(lo+sc.rng.Float64()*(hi-lo), 'g', -1, 64), nil
+	case "choice":
+		opts := strings.Split(arg, "|")
+		return opts[sc.rng.Intn(len(opts))], nil
+	case "seq":
+		if sc.seq == 0 {
+			sc.seq = globalSeq.Add(1)
+		}
+		return strconv.FormatInt(sc.seq, 10), nil
+	case "ref":
+		v, ok := sc.store.Get(arg)
+		if !ok {
+			return "", fmt.Errorf("%w: %q", ErrMissingRef, arg)
+		}
+		return v, nil
+	default:
+		return "", fmt.Errorf("unknown template generator ${%s}", spec)
+	}
+}
+
+func (sc *scope) pick(pool []string, kind, arg string) (string, error) {
+	if len(pool) == 0 {
+		if arg != "" {
+			return "", fmt.Errorf("catalog has no %s of type %q", kind, arg)
+		}
+		return "", fmt.Errorf("catalog has no %ss", kind)
+	}
+	return pool[sc.rng.Intn(len(pool))], nil
+}
+
+// bounds parses the "a:b" numeric range of ${int}/${float}.
+func bounds(arg string) (lo, hi float64, err error) {
+	a, b, ok := strings.Cut(arg, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want a:b")
+	}
+	if lo, err = strconv.ParseFloat(a, 64); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = strconv.ParseFloat(b, 64); err != nil {
+		return 0, 0, err
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("empty range %g:%g", lo, hi)
+	}
+	return lo, hi, nil
+}

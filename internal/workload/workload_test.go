@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kgaq/internal/admission"
+	"kgaq/internal/core"
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/httpapi"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/live"
+	"kgaq/internal/stats"
+)
+
+func figureScope(t *testing.T) (*scope, *Store) {
+	t.Helper()
+	cat := NewCatalog(kgtest.Figure1())
+	store := NewStore()
+	return newScope(cat, store, stats.NewRand(1)), store
+}
+
+func TestCatalog(t *testing.T) {
+	cat := NewCatalog(kgtest.Figure1())
+	if len(cat.Entities) != 13 {
+		t.Fatalf("entities = %d, want 13", len(cat.Entities))
+	}
+	if got := cat.ByType["Country"]; len(got) != 1 || got[0] != "Germany" {
+		t.Fatalf("ByType[Country] = %v", got)
+	}
+	if len(cat.ByType["Automobile"]) != 6 {
+		t.Fatalf("ByType[Automobile] = %v", cat.ByType["Automobile"])
+	}
+	hasPred := false
+	for _, p := range cat.Preds {
+		if p == "product" {
+			hasPred = true
+		}
+	}
+	if !hasPred {
+		t.Fatalf("preds missing product: %v", cat.Preds)
+	}
+	hasAttr := false
+	for _, a := range cat.Attrs {
+		if a == "price" {
+			hasAttr = true
+		}
+	}
+	if !hasAttr {
+		t.Fatalf("attrs missing price: %v", cat.Attrs)
+	}
+}
+
+func TestExpandGenerators(t *testing.T) {
+	sc, store := figureScope(t)
+	store.Set("plan", "abc123")
+
+	cases := []struct{ tmpl, want string }{
+		{"${entity:Country}", "Germany"},
+		{"${int:7:7}", "7"},
+		{"${float:2:2}", "2"},
+		{"${choice:only}", "only"},
+		{"${ref:plan}", "abc123"},
+		{"x-${int:3:3}-y", "x-3-y"},
+	}
+	for _, c := range cases {
+		got, err := sc.expand(c.tmpl)
+		if err != nil {
+			t.Fatalf("expand(%q): %v", c.tmpl, err)
+		}
+		if got != c.want {
+			t.Fatalf("expand(%q) = %q, want %q", c.tmpl, got, c.want)
+		}
+	}
+
+	// Membership-only generators.
+	member := func(tmpl string, pool []string) {
+		got, err := sc.expand(tmpl)
+		if err != nil {
+			t.Fatalf("expand(%q): %v", tmpl, err)
+		}
+		for _, p := range pool {
+			if got == p {
+				return
+			}
+		}
+		t.Fatalf("expand(%q) = %q, not in catalog pool", tmpl, got)
+	}
+	member("${type}", sc.cat.Types)
+	member("${pred}", sc.cat.Preds)
+	member("${attr}", sc.cat.Attrs)
+	member("${entity}", sc.cat.Entities)
+}
+
+func TestSeqStableWithinScope(t *testing.T) {
+	sc1, _ := figureScope(t)
+	a, err := sc1.expand("${seq}/${seq}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(a, "/")
+	if parts[0] != parts[1] {
+		t.Fatalf("seq differs within one scope: %q", a)
+	}
+	sc2, _ := figureScope(t)
+	b, err := sc2.expand("${seq}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == parts[0] {
+		t.Fatalf("seq repeated across scopes: %q", b)
+	}
+}
+
+func TestQuotedNumericUnquoting(t *testing.T) {
+	sc, _ := figureScope(t)
+	got, err := sc.expand(`{"value": "${int:5:5}", "label": "${choice:a}"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"value": 5, "label": "a"}`
+	if got != want {
+		t.Fatalf("expand = %s, want %s", got, want)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	sc, _ := figureScope(t)
+	if _, err := sc.expand("${ref:never}"); !errors.Is(err, ErrMissingRef) {
+		t.Fatalf("missing ref error = %v", err)
+	}
+	for _, tmpl := range []string{
+		"${bogus}", "${int:1}", "${int:9:1}", "${int:a:b}", "${entity:NoSuchType}",
+	} {
+		if _, err := sc.expand(tmpl); err == nil {
+			t.Fatalf("expand(%q): want error", tmpl)
+		}
+	}
+}
+
+func TestParseScriptValidation(t *testing.T) {
+	cases := []struct{ name, doc, wantErr string }{
+		{"not json", "{", "workload script"},
+		{"no name", `{"rate": 1, "blocks": [{"kind":"query","body":{}}]}`, "missing"},
+		{"no rate", `{"name":"x","blocks":[{"kind":"query","body":{}}]}`, "rate"},
+		{"no blocks", `{"name":"x","rate":1}`, "no blocks"},
+		{"bad kind", `{"name":"x","rate":1,"blocks":[{"kind":"nope","body":{}}]}`, "unknown kind"},
+		{"query no body", `{"name":"x","rate":1,"blocks":[{"kind":"query"}]}`, "needs a \"body\""},
+		{"plan_query no plan", `{"name":"x","rate":1,"blocks":[{"kind":"plan_query"}]}`, "needs \"plan\""},
+		{"mutate no mutations", `{"name":"x","rate":1,"blocks":[{"kind":"mutate"}]}`, "needs \"mutations\""},
+		{"capture on query", `{"name":"x","rate":1,"blocks":[{"kind":"query","body":{},"capture":"k"}]}`, "only applies to prepare"},
+		{"negative weight", `{"name":"x","rate":1,"blocks":[{"kind":"query","body":{},"weight":-2}]}`, "negative weight"},
+	}
+	for _, c := range cases {
+		_, err := ParseScript([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+
+	s, err := ParseScript([]byte(`{"name":"ok","rate":5,"blocks":[
+		{"kind":"query","body":{"query":"q"}},
+		{"kind":"plan_query","plan":"${ref:p}"}]}`))
+	if err != nil {
+		t.Fatalf("valid script rejected: %v", err)
+	}
+	if s.MaxInFlight != 64 {
+		t.Fatalf("MaxInFlight default = %d, want 64", s.MaxInFlight)
+	}
+	if s.Blocks[0].Name != "block0" || s.Blocks[0].Weight != 1 {
+		t.Fatalf("block defaults = %q/%g", s.Blocks[0].Name, s.Blocks[0].Weight)
+	}
+	if string(s.Blocks[1].Body) != "{}" {
+		t.Fatalf("plan_query default body = %s", s.Blocks[1].Body)
+	}
+}
+
+// TestExampleScriptsParse keeps the committed example scripts loadable and
+// their mutation templates valid JSON after expansion.
+func TestExampleScriptsParse(t *testing.T) {
+	for _, name := range []string{"mixed", "overload"} {
+		s, err := LoadScript("../../examples/workloads/" + name + ".json")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("script name = %q, want %q", s.Name, name)
+		}
+	}
+}
+
+// TestRunnerEndToEnd drives a mixed script with every block kind against a
+// real admission-controlled serving stack over the Figure 1 graph.
+func TestRunnerEndToEnd(t *testing.T) {
+	g := kgtest.Figure1()
+	store := live.NewStore(g, 0)
+	eng, err := core.NewLiveEngine(store, embtest.Figure1Model(g), core.Options{ErrorBound: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := httpapi.NewLiveServer(eng, store)
+	api.ConfigureAdmission(admission.New(admission.Config{MaxErrorBound: 0.25}), "")
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	script, err := ParseScript([]byte(`{
+	  "name": "e2e",
+	  "seed": 11,
+	  "rate": 200,
+	  "duration_s": 1,
+	  "client": "e2e-test",
+	  "blocks": [
+	    {"name": "avg", "kind": "query", "weight": 4, "body": {
+	      "query": "AVG(price) MATCH (g:Country name=${entity:Country})-[product]->(c:Automobile) TARGET c",
+	      "error_bound": 0.1, "timeout_ms": 2000}},
+	    {"name": "prep", "kind": "prepare", "weight": 1, "capture": "p", "body": {
+	      "query": "COUNT(*) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c"}},
+	    {"name": "plan", "kind": "plan_query", "weight": 2, "plan": "${ref:p}", "body": {
+	      "error_bound": 0.1, "timeout_ms": 2000}},
+	    {"name": "multi", "kind": "multi", "weight": 2, "body": {
+	      "query": "COUNT(*) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c",
+	      "timeout_ms": 2000,
+	      "aggregates": [{"func": "COUNT"}, {"func": "AVG", "attr": "price", "error_bound": 0.1}]}},
+	    {"name": "mutate", "kind": "mutate", "weight": 1, "mutations": [
+	      {"op": "add_entity", "entity": "Load_${seq}", "types": ["Automobile"]},
+	      {"op": "add_edge", "src": "${entity:Country}", "pred": "product", "dst": "Load_${seq}"},
+	      {"op": "set_attr", "entity": "Load_${seq}", "attr": "price", "value": "${int:20000:80000}"}
+	    ]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &Runner{Script: script, BaseURL: ts.URL, Catalog: NewCatalog(g)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Completed == 0 {
+		t.Fatalf("no completed requests: %+v", rep)
+	}
+	if rep.Status5xx != 0 {
+		t.Fatalf("%d unexpected 5xx responses", rep.Status5xx)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	if got := len(rep.Blocks); got != 5 {
+		t.Fatalf("block reports = %d, want 5", got)
+	}
+	byName := map[string]BlockReport{}
+	for _, b := range rep.Blocks {
+		byName[b.Name] = b
+	}
+	// The prime pass captured the plan id before the open loop, so every
+	// plan_query arrival that got a slot completed.
+	if p := byName["plan"]; p.Completed == 0 || p.Skipped != 0 {
+		t.Fatalf("plan block: %+v", p)
+	}
+	// Estimates carry their honest achieved error bound.
+	if a := byName["avg"]; a.Completed > 0 && a.AchievedEB == nil {
+		t.Fatalf("avg block has no achieved-eb distribution: %+v", a)
+	}
+	if m := byName["mutate"]; m.Completed == 0 {
+		t.Fatalf("mutate block: %+v", m)
+	}
+	// Mutations really landed: the live store advanced past the load epoch.
+	if store.Snapshot().Epoch() == 0 {
+		t.Fatal("store epoch did not advance")
+	}
+	if rep.LatencyP50MS <= 0 || rep.LatencyP99MS < rep.LatencyP50MS {
+		t.Fatalf("implausible latency percentiles: p50=%g p99=%g", rep.LatencyP50MS, rep.LatencyP99MS)
+	}
+	if rep.AchievedRate <= 0 {
+		t.Fatalf("achieved rate = %g", rep.AchievedRate)
+	}
+}
+
+// TestRunnerOverloadSheds saturates a MaxInFlight=1 server and checks the
+// open loop counts drops/sheds instead of queueing client-side.
+func TestRunnerOverloadSheds(t *testing.T) {
+	g := kgtest.Figure1()
+	eng, err := core.NewEngine(g, embtest.Figure1Model(g), core.Options{ErrorBound: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := httpapi.NewServer(eng)
+	api.ConfigureAdmission(admission.New(admission.Config{
+		MaxInFlight: 1, MaxQueue: 1, MaxErrorBound: 0.3,
+	}), "")
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	script, err := ParseScript([]byte(`{
+	  "name": "surge", "seed": 3, "rate": 400, "duration_s": 1, "max_inflight": 8,
+	  "blocks": [
+	    {"name": "tight", "kind": "query", "body": {
+	      "query": "AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c",
+	      "error_bound": 0.02, "timeout_ms": 2000}}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Script: script, BaseURL: ts.URL, Catalog: NewCatalog(g)}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("nothing completed under overload")
+	}
+	if rep.Shed+rep.Dropped == 0 {
+		t.Fatalf("overload produced no shedding or drops: %+v", rep)
+	}
+	if rep.Status5xx != 0 {
+		t.Fatalf("%d 5xx under overload (shed should be 429/503)", rep.Status5xx)
+	}
+	if rep.Offered != rep.Dropped+rep.Skipped+rep.Completed+rep.Shed+rep.Errors {
+		t.Fatalf("outcome accounting does not balance: %+v", rep)
+	}
+}
