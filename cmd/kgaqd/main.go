@@ -32,6 +32,14 @@
 // into read-your-writes; a background compactor folds the write delta into
 // a fresh immutable graph off the query path. -read-only disables all of
 // it and serves the loaded graph immutably.
+//
+// With -data-dir the live graph is durable: every mutation batch is framed
+// into an append-only WAL before the 200 (fsynced first under the default
+// -wal-sync=always), a background checkpointer (-checkpoint-every) folds
+// the state into an atomic snapshot and trims the WAL behind it, and boot
+// recovers the newest valid checkpoint plus the WAL tail — a SIGKILL'd
+// server restarts to exactly the last acknowledged epoch. healthz and
+// /debug/durability (on -debug-addr) report the durability picture.
 package main
 
 import (
@@ -52,6 +60,7 @@ import (
 	"kgaq/internal/core"
 	"kgaq/internal/httpapi"
 	"kgaq/internal/live"
+	"kgaq/internal/wal"
 )
 
 func main() {
@@ -70,6 +79,11 @@ func main() {
 	planTTL := flag.Duration("plan-ttl", httpapi.DefaultPlanTTL, "prepared plans expire this long after their last use")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and cache counters on this address (e.g. localhost:6060; empty = disabled)")
 	readOnly := flag.Bool("read-only", false, "disable /v1/mutate and serve the loaded graph immutably")
+	dataDir := flag.String("data-dir", "", "durability root: mutation WAL + checkpoints; boot recovers the newest checkpoint and replays the WAL tail (empty = memory-only)")
+	walSync := flag.String("wal-sync", "always", "WAL sync policy: always (fsync before ack), interval, none")
+	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync period under -wal-sync=interval")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = 64 MiB)")
+	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval; each checkpoint trims the WAL behind it (0 = only at shutdown)")
 	compactEvery := flag.Duration("compact-interval", 2*time.Second, "background compactor check interval")
 	compactMin := flag.Int("compact-min-delta", 256, "fold the mutation delta once it covers this many nodes")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrently executing requests (0 = 2×GOMAXPROCS)")
@@ -96,6 +110,7 @@ func main() {
 	defer stop()
 
 	var api *httpapi.Server
+	var dur *live.Durable
 	if *readOnly {
 		eng, err := core.NewEngine(g, model, opts)
 		if err != nil {
@@ -103,7 +118,34 @@ func main() {
 		}
 		api = httpapi.NewServer(eng)
 	} else {
-		store := live.NewStore(g, epoch)
+		var store *live.Store
+		if *dataDir != "" {
+			policy, err := wal.ParseSyncPolicy(*walSync)
+			if err != nil {
+				fail("%v", err)
+			}
+			d, err := live.Recover(live.DurabilityConfig{
+				Dir:             *dataDir,
+				Sync:            policy,
+				SyncInterval:    *walSyncEvery,
+				SegmentBytes:    *walSegBytes,
+				CheckpointEvery: *checkpointEvery,
+				OnError:         func(err error) { fmt.Fprintf(os.Stderr, "kgaqd: durability: %v\n", err) },
+			}, g, epoch)
+			if err != nil {
+				fail("recover %s: %v", *dataDir, err)
+			}
+			rec := d.Stats().Recovery
+			fmt.Fprintf(os.Stderr, "kgaqd: recovered %s: checkpoint epoch %d, %d replayed, epoch %d\n",
+				*dataDir, rec.CheckpointEpoch, rec.Replayed, d.Store().Epoch())
+			if *checkpointEvery > 0 {
+				defer d.StartCheckpointer(ctx)()
+			}
+			dur = d
+			store = d.Store()
+		} else {
+			store = live.NewStore(g, epoch)
+		}
 		eng, err := core.NewLiveEngine(store, model, opts)
 		if err != nil {
 			fail("%v", err)
@@ -115,6 +157,9 @@ func main() {
 		})
 		defer stopCompactor()
 		api = httpapi.NewLiveServer(eng, store)
+		if dur != nil {
+			api.ConfigureDurability(dur)
+		}
 	}
 	api.ConfigurePlans(*planCap, *planTTL)
 	ctrl := admission.New(admission.Config{
@@ -170,6 +215,13 @@ func main() {
 			fail("shutdown: %v", err)
 		}
 		<-done
+		// Last: sync the WAL and fold the final state into a checkpoint so
+		// the next boot replays nothing.
+		if dur != nil {
+			if err := dur.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "kgaqd: durability close: %v\n", err)
+			}
+		}
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fail("%v", err)

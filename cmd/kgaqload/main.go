@@ -11,6 +11,11 @@
 // bound are dropped and counted, never queued client-side, so offered load
 // stays honest when the server sheds.
 //
+// -retries N re-sends a shed (429/503) request up to N times with jittered
+// exponential backoff (honouring the server's Retry-After, capped by
+// -retry-max-wait) before counting it as shed; retried completions are
+// reported separately so shedding stays visible in the report.
+//
 // For CI smoke jobs, -max-5xx and -min-completed turn the report into an
 // assertion: the process exits non-zero when the run saw more 5xx responses
 // or fewer completions than allowed.
@@ -24,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kgaq/internal/cmdutil"
 	"kgaq/internal/datagen"
@@ -39,6 +45,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "override the script's arrival rate (req/s)")
 	duration := flag.Duration("duration", 0, "override the script's duration")
 	seed := flag.Int64("seed", 0, "override the script's random seed")
+	retries := flag.Int("retries", 0, "re-send a shed (429/503) request up to this many times with jittered exponential backoff, honouring Retry-After")
+	retryMaxWait := flag.Duration("retry-max-wait", 2*time.Second, "cap on a single retry backoff wait")
 	jsonPath := flag.String("json", "", "also write the full report as JSON to this path (- for stdout)")
 	max5xx := flag.Int64("max-5xx", -1, "fail when the run sees more than this many 5xx responses (-1 = no assertion)")
 	minCompleted := flag.Int64("min-completed", -1, "fail when fewer than this many requests complete (-1 = no assertion)")
@@ -64,11 +72,13 @@ func main() {
 	defer stop()
 
 	runner := &workload.Runner{
-		Script:   script,
-		BaseURL:  *url,
-		Catalog:  workload.NewCatalog(g),
-		Rate:     *rate,
-		Duration: *duration,
+		Script:       script,
+		BaseURL:      *url,
+		Catalog:      workload.NewCatalog(g),
+		Rate:         *rate,
+		Duration:     *duration,
+		Retries:      *retries,
+		RetryMaxWait: *retryMaxWait,
 	}
 	rep, err := runner.Run(ctx)
 	if err != nil {
@@ -123,6 +133,9 @@ func printSummary(rep *workload.Report) {
 		rep.Script, rep.TargetRate, rep.DurationS, rep.AchievedRate)
 	fmt.Printf("  offered %d  dropped %d  skipped %d  completed %d  shed %d  errors %d (5xx %d)  degraded %d\n",
 		rep.Offered, rep.Dropped, rep.Skipped, rep.Completed, rep.Shed, rep.Errors, rep.Status5xx, rep.Degraded)
+	if rep.Retries > 0 {
+		fmt.Printf("  retries %d  retried_completed %d\n", rep.Retries, rep.RetriedCompleted)
+	}
 	fmt.Printf("  latency p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS)
 	for _, b := range rep.Blocks {

@@ -122,6 +122,14 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...
 		return x.Refine(ctx, 0)
 	}
 
+	// A panic in one query must not take the worker (and with it the whole
+	// process) down: each query is guarded individually, so a poisoned
+	// query yields its own ErrInternal and the batch completes.
+	runSafe := func(i int) (res *Result, err error) {
+		defer catchPanics(aggString(qs[i]), &err)
+		return run(i)
+	}
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -129,7 +137,7 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []*query.Aggregate, opts ...
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := run(i)
+				res, err := runSafe(i)
 				out[i] = BatchResult{Query: qs[i], Result: res, Err: err}
 			}
 		}()

@@ -65,7 +65,8 @@ type Execution struct {
 // single-use plan and starts its one execution. Workloads that re-execute
 // a query graph (or fan several aggregates over one sample) should call
 // Engine.Prepare once and reuse the plan.
-func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (*Execution, error) {
+func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (x *Execution, err error) {
+	defer catchPanics(aggString(q), &err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -77,7 +78,7 @@ func (e *Engine) Start(ctx context.Context, q *query.Aggregate, opts ...QueryOpt
 	if err != nil {
 		return nil, err
 	}
-	x, err := p.Start(ctx)
+	x, err = p.Start(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +247,7 @@ func (x *Execution) observation(ctx context.Context, i int) estimate.Observation
 // search otherwise — so the per-draw observation path hits the verdict
 // cache.
 func (x *Execution) prevalidateDraws(ctx context.Context) {
+	fireValidatePoint()
 	if x.opts.SkipValidation {
 		return
 	}
@@ -372,7 +374,8 @@ func (x *Execution) interrupted(ctx context.Context, vhat, moe float64, estimate
 // sample. ctx is checked between refinement rounds and inside the
 // validation hot loop; a cancelled Refine returns the partial Result with
 // Converged=false and an error wrapping ErrInterrupted.
-func (x *Execution) Refine(ctx context.Context, eb float64) (*Result, error) {
+func (x *Execution) Refine(ctx context.Context, eb float64) (res *Result, err error) {
+	defer x.catchPanics(&err)
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -210,7 +210,8 @@ func (x *Execution) multiObservationList(ctx context.Context, attrs []kg.AttrID)
 // the aggregate whose ε/target ratio is largest drives the Eq. 12 growth,
 // so the loop never terminates early on an easy aggregate while a hard one
 // still misses its bound.
-func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (*MultiResult, error) {
+func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *MultiResult, err error) {
+	defer catchPanics(x.queryString(), &err)
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kgaq/internal/faultinject"
+	"kgaq/internal/query"
+)
+
+// An injected panic inside candidate validation must surface as a typed
+// ErrInternal carrying the query and a stack — and leave the engine fully
+// usable for the next query.
+func TestPanicInValidationIsContained(t *testing.T) {
+	e, _ := figure1Engine(t, Options{ErrorBound: 0.02, Seed: 7})
+	deactivate := faultinject.Activate(1, faultinject.Fault{
+		Point: "core.validate", Count: 1, Panic: "injected validation panic",
+	})
+	_, err := e.Query(context.Background(), avgPriceQuery())
+	deactivate()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("query under injected panic = %v, want ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error is not *InternalError: %v", err)
+	}
+	if ie.Query == "" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError missing context: query %q, stack %d bytes", ie.Query, len(ie.Stack))
+	}
+
+	// The engine survives: the very next query succeeds.
+	res, err := e.Query(context.Background(), avgPriceQuery())
+	if err != nil {
+		t.Fatalf("query after contained panic: %v", err)
+	}
+	if res == nil || res.Estimate <= 0 {
+		t.Fatalf("degenerate result after contained panic: %+v", res)
+	}
+}
+
+// The same containment must hold under sharded execution, where validation
+// fans out across worker goroutines: the panic crosses the goroutine
+// boundary with its stack instead of killing the process.
+func TestPanicInShardWorkerIsContained(t *testing.T) {
+	e, _ := figure1Engine(t, Options{ErrorBound: 0.02, Seed: 7, Shards: 2})
+	deactivate := faultinject.Activate(1, faultinject.Fault{
+		Point: "core.validate", Count: 1, Panic: "injected shard panic",
+	})
+	_, err := e.Query(context.Background(), avgPriceQuery())
+	deactivate()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("sharded query under injected panic = %v, want ErrInternal", err)
+	}
+	if _, err := e.Query(context.Background(), avgPriceQuery()); err != nil {
+		t.Fatalf("sharded query after contained panic: %v", err)
+	}
+}
+
+// One poisoned query in a batch must fail alone; its siblings complete.
+func TestPanicInBatchIsolated(t *testing.T) {
+	e, _ := figure1Engine(t, Options{ErrorBound: 0.02, Seed: 7})
+	defer faultinject.Activate(1, faultinject.Fault{
+		Point: "core.validate", Count: 1, Panic: "injected batch panic",
+	})()
+	qs := []*query.Aggregate{avgPriceQuery(), countQuery(), avgPriceQuery()}
+	results := e.QueryBatch(context.Background(), qs)
+	internal, ok := 0, 0
+	for i, r := range results {
+		switch {
+		case errors.Is(r.Err, ErrInternal):
+			internal++
+		case r.Err != nil:
+			t.Fatalf("query %d failed with unexpected error: %v", i, r.Err)
+		default:
+			ok++
+		}
+	}
+	if internal != 1 {
+		t.Fatalf("%d queries hit the injected panic, want exactly 1", internal)
+	}
+	if ok != len(qs)-1 {
+		t.Fatalf("%d sibling queries completed, want %d", ok, len(qs)-1)
+	}
+}

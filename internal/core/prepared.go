@@ -152,7 +152,8 @@ type Prepared struct {
 // the one WithMinEpoch waits for); WithEpochPolicy chooses whether later
 // executions stay pinned there or re-pin to fresh snapshots as the graph
 // moves.
-func (e *Engine) Prepare(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (*Prepared, error) {
+func (e *Engine) Prepare(ctx context.Context, q *query.Aggregate, opts ...QueryOption) (p *Prepared, err error) {
+	defer catchPanics(aggString(q), &err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -312,7 +313,8 @@ func (p *Prepared) ensure(ctx context.Context, minEpoch uint64) (*compiled, erro
 // compiled answer space directly; only drawing, validation verdict caching
 // and estimation remain per call. Refine the returned Execution exactly as
 // one from Engine.Start.
-func (p *Prepared) Start(ctx context.Context, opts ...QueryOption) (*Execution, error) {
+func (p *Prepared) Start(ctx context.Context, opts ...QueryOption) (x *Execution, err error) {
+	defer catchPanics(aggString(p.q), &err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -329,7 +331,7 @@ func (p *Prepared) Start(ctx context.Context, opts ...QueryOption) (*Execution, 
 	if err != nil {
 		return nil, err
 	}
-	x := &Execution{
+	x = &Execution{
 		e:       p.e,
 		q:       p.q,
 		v:       c.v,

@@ -184,6 +184,7 @@ func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSp
 	}
 	segments := make([]map[int]bool, buckets)
 	var wg sync.WaitGroup
+	var pb panicBox
 	for b := range bucketNodes {
 		segments[b] = map[int]bool{}
 		validate := func(b int) {
@@ -201,6 +202,7 @@ func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSp
 			go func(b int) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
+				defer pb.capture()
 				validate(b)
 			}(b)
 		default:
@@ -208,6 +210,7 @@ func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSp
 		}
 	}
 	wg.Wait()
+	pb.rethrow()
 	if ctx.Err() != nil {
 		return
 	}

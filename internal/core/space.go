@@ -349,6 +349,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg
 	subOracles := make([]correctOracle, len(inters))
 	subErrs := make([]error, len(inters))
 	var wg sync.WaitGroup
+	var pb panicBox
 	for i, in := range inters {
 		if ctx.Err() != nil {
 			break
@@ -362,6 +363,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg
 			go func(i int, node kg.NodeID) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
+				defer pb.capture()
 				build(i, node)
 			}(i, in.node)
 		default:
@@ -369,6 +371,7 @@ func (e *Engine) buildChainLevel(ctx context.Context, o Options, v view, root kg
 		}
 	}
 	wg.Wait()
+	pb.rethrow()
 	if err := ctx.Err(); err != nil {
 		return nil, none, err
 	}

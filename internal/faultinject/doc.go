@@ -1,0 +1,16 @@
+// Package faultinject is a deterministic fault-injection registry for the
+// chaos test suites: production code calls Fire at named points ("wal.sync",
+// "core.validate", …) and tests arm those points with error or panic faults
+// triggered by call count and/or seeded probability.
+//
+// The disabled fast path is a single atomic pointer load, so instrumented
+// sites stay in hot paths (the WAL writer and syncer, the query validation
+// loop) at no measurable cost. Trigger decisions are fully deterministic
+// under the Activate seed: each armed fault owns a seeded random stream, so
+// a failing chaos run replays exactly.
+//
+// The registry is process-global on purpose — faults must reach code deep
+// inside other packages without threading test-only hooks through every
+// constructor. Tests that Activate a plan must not run in parallel with
+// each other.
+package faultinject

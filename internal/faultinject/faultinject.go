@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the default error payload of an error-action fault; every
+// injected error wraps it, so tests can assert provenance with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault arms one injection point. Exactly one of Err and Panic should be
+// set: Fire returns Err, or panics with Panic. A Fault with neither acts as
+// an error fault wrapping ErrInjected.
+type Fault struct {
+	// Point names the instrumented site, e.g. "wal.sync".
+	Point string
+	// After skips the first After eligible calls before the fault can fire.
+	After int
+	// Count caps how many times the fault fires (0 = unlimited).
+	Count int
+	// Prob fires the fault on each eligible call with this probability,
+	// drawn from the plan's seeded per-point stream (0 = fire always).
+	Prob float64
+	// Err is returned by Fire when the fault triggers.
+	Err error
+	// Panic, when non-nil, makes Fire panic with this value instead of
+	// returning an error.
+	Panic any
+}
+
+// state is one armed fault's trigger bookkeeping.
+type state struct {
+	mu    sync.Mutex
+	f     Fault
+	calls int // eligible calls observed
+	fired int
+	rng   *rand.Rand
+}
+
+// plan is an immutable set of armed points, swapped in atomically so the
+// disabled fast path is a single pointer load.
+type plan struct {
+	points map[string][]*state
+}
+
+var active atomic.Pointer[plan]
+
+// Activate arms the given faults and returns a deactivation function.
+// Trigger decisions are deterministic under seed: each (point, index) pair
+// gets its own seeded stream, so a test replays identically however many
+// goroutines race through the points. Activate replaces any previous plan;
+// the returned func restores the disabled state (it does not restore a
+// previous plan — scopes must not nest).
+func Activate(seed int64, faults ...Fault) (deactivate func()) {
+	p := &plan{points: map[string][]*state{}}
+	for i, f := range faults {
+		if f.Point == "" {
+			panic("faultinject: fault without a point name")
+		}
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s/%d", f.Point, i)
+		st := &state{f: f, rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
+		p.points[f.Point] = append(p.points[f.Point], st)
+	}
+	active.Store(p)
+	return func() { active.Store(nil) }
+}
+
+// Enabled reports whether any fault plan is active — for sites whose
+// injection needs setup beyond the Fire call itself.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire is the instrumented-site hook: a no-op returning nil while no plan
+// is active (one atomic load — cheap enough for hot paths). When an armed
+// fault at this point triggers, Fire panics with its Panic value or returns
+// its error (wrapping ErrInjected when none was configured).
+func Fire(point string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	for _, st := range p.points[point] {
+		if err, fired := st.fire(); fired {
+			return err
+		}
+	}
+	return nil
+}
+
+// fire advances one fault's trigger state; it reports whether the fault
+// fired and, for error faults, the error to return. Panic faults do not
+// return.
+func (st *state) fire() (error, bool) {
+	st.mu.Lock()
+	f := st.f
+	st.calls++
+	if st.calls <= f.After {
+		st.mu.Unlock()
+		return nil, false
+	}
+	if f.Count > 0 && st.fired >= f.Count {
+		st.mu.Unlock()
+		return nil, false
+	}
+	if f.Prob > 0 && st.rng.Float64() >= f.Prob {
+		st.mu.Unlock()
+		return nil, false
+	}
+	st.fired++
+	st.mu.Unlock()
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	if f.Err != nil {
+		return f.Err, true
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, f.Point), true
+}

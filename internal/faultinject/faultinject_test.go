@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("inactive Fire returned %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no plan active")
+	}
+}
+
+func TestCountAndAfter(t *testing.T) {
+	defer Activate(1, Fault{Point: "p", After: 2, Count: 3})()
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (after 2, count 3)", fired)
+	}
+	// The first two calls were skipped, the next three fired.
+	deactivate := Activate(1, Fault{Point: "p", After: 1, Count: 1})
+	if Fire("p") != nil {
+		t.Fatal("fired on the skipped first call")
+	}
+	if Fire("p") == nil {
+		t.Fatal("did not fire on the first eligible call")
+	}
+	deactivate()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("fired after deactivation: %v", err)
+	}
+}
+
+func TestTypedError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	defer Activate(1, Fault{Point: "p", Err: sentinel})()
+	if err := Fire("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the armed sentinel", err)
+	}
+	// The default payload wraps ErrInjected.
+	defer Activate(1, Fault{Point: "q"})()
+	if err := Fire("q"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Activate(1, Fault{Point: "p", Panic: "boom"})()
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	_ = Fire("p")
+	t.Fatal("Fire did not panic")
+}
+
+func TestProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		defer Activate(42, Fault{Point: "p", Prob: 0.3})()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at call %d under the same seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("probability 0.3 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	defer Activate(7, Fault{Point: "p", Count: 100})()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Fire("p") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 100 {
+		t.Fatalf("count-capped fault fired %d times across goroutines, want exactly 100", fired)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -112,8 +113,40 @@ func (s *Server) clientID(r *http.Request) string {
 	return r.RemoteAddr
 }
 
-// instrument is the outermost middleware: request id, shared per-request
-// state, and one structured access-log line per request.
+// recoverPanics is the outermost middleware: a panic that escapes a
+// handler (the engine's own containment converts query panics into typed
+// errors long before this) answers 500 with the request id instead of
+// killing the process. http.ErrAbortHandler re-panics — it is net/http's
+// own connection-abort signal, not a defect.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http docs
+				panic(rec)
+			}
+			id := w.Header().Get(RequestIDHeader)
+			if s.logger != nil {
+				s.logger.Error("panic serving request",
+					slog.String("request_id", id),
+					slog.String("path", r.URL.Path),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())))
+			}
+			// Best effort: if the handler already streamed a partial body the
+			// status line is gone, but the connection still terminates.
+			writeError(w, http.StatusInternalServerError,
+				"internal error (request %s)", id)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// instrument is the request-scope middleware: request id, shared
+// per-request state, and one structured access-log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(RequestIDHeader)

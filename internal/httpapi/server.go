@@ -35,7 +35,8 @@ const maxMutateBody = 8 << 20
 // TTL/LRU cache shared by every request.
 type Server struct {
 	eng     *core.Engine
-	store   *live.Store // nil for a read-only (static-graph) server
+	store   *live.Store   // nil for a read-only (static-graph) server
+	dur     *live.Durable // nil when the live store is memory-only
 	plans   *planCache
 	started time.Time
 
@@ -85,6 +86,13 @@ func (s *Server) ConfigureAdmission(c *admission.Controller, clientHeader string
 // shed/degraded markers. Call before serving.
 func (s *Server) ConfigureLogging(l *slog.Logger) { s.logger = l }
 
+// ConfigureDurability routes /v1/mutate through a durable store: a batch
+// is acknowledged only once its WAL record is durable per the configured
+// sync policy. healthz and /debug/durability gain the durability picture.
+// Call before serving; d must wrap the same live store the server was
+// built over.
+func (s *Server) ConfigureDurability(d *live.Durable) { s.dur = d }
+
 // Admission returns the configured controller (nil when admission is off).
 func (s *Server) Admission() *admission.Controller { return s.adm }
 
@@ -121,7 +129,7 @@ func (s *Server) Handler() http.Handler {
 	if s.store != nil {
 		mux.HandleFunc("POST /v1/mutate", s.admit(s.handleMutate))
 	}
-	return s.instrument(mux)
+	return s.recoverPanics(s.instrument(mux))
 }
 
 // contentTypeOK reports whether a request Content-Type is acceptable for a
@@ -377,6 +385,17 @@ func errorStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// isMutationError reports whether an Apply failure is the batch's fault
+// (validation rejected it — a 400) as opposed to a durability failure
+// (WAL write/sync error, store closed — the server's 503).
+func isMutationError(err error) bool {
+	return errors.Is(err, live.ErrUnknownEntity) ||
+		errors.Is(err, live.ErrFrozenPredicate) ||
+		errors.Is(err, live.ErrEdgeNotFound) ||
+		errors.Is(err, live.ErrSelfLoop) ||
+		errors.Is(err, live.ErrBadMutation)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -869,6 +888,10 @@ type healthResponse struct {
 	// shed and degrade counters, and the latency-SLO percentiles (absent
 	// when admission control is off).
 	Admission *admission.Stats `json:"admission,omitempty"`
+	// Durability is the WAL/checkpoint picture: last synced epoch, newest
+	// checkpoint, segment count and the boot-time recovery stats (absent on
+	// memory-only servers).
+	Durability *live.DurabilityStats `json:"durability,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -899,6 +922,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if st.Draining {
 			h.Status = "draining"
 		}
+	}
+	if s.dur != nil {
+		st := s.dur.Stats()
+		h.Durability = &st
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -963,11 +990,26 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty mutation batch")
 		return
 	}
-	snap, err := s.store.Apply(batch)
+	// On a durable server the batch is framed into the WAL (and fsynced,
+	// under sync=always) strictly before this returns: the acknowledged
+	// epoch survives a kill.
+	var snap *live.Snapshot
+	var err error
+	if s.dur != nil {
+		snap, err = s.dur.Apply(batch)
+	} else {
+		snap, err = s.store.Apply(batch)
+	}
 	if err != nil {
-		// Every Apply failure is a malformed or unsatisfiable batch — the
-		// client's to fix; the store state is untouched.
-		writeError(w, http.StatusBadRequest, "%v", err)
+		if isMutationError(err) {
+			// A malformed or unsatisfiable batch — the client's to fix; the
+			// store state is untouched.
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// The batch was valid but could not be made durable (WAL failure,
+		// store closed mid-drain): the server's fault, nothing applied.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	// Counts come from the snapshot this very batch created, so the
@@ -1007,6 +1049,13 @@ func (s *Server) DebugHandler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, s.adm.Stats())
+	})
+	mux.HandleFunc("GET /debug/durability", func(w http.ResponseWriter, r *http.Request) {
+		if s.dur == nil {
+			writeError(w, http.StatusNotFound, "durability is not configured (start with -data-dir)")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.dur.Stats())
 	})
 	return mux
 }

@@ -2,23 +2,32 @@ package kg
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 )
 
 // Snapshot framing. Version-0 files (everything written before the header
 // existed) are a bare gob stream; version-1 files carry a fixed magic,
-// a format version and the live-graph epoch the snapshot was taken at,
-// so loaders can reject foreign or truncated files with a typed error
-// instead of an opaque gob decode failure.
+// a format version and the live-graph epoch the snapshot was taken at;
+// version-2 files add the payload length and a CRC32-C of the payload, so
+// a truncated or bit-flipped snapshot fails with a typed error before the
+// gob decoder can misread it. Loaders read every version ≤ snapshotVersion.
 const (
 	snapshotMagic   = "KGAQSNP1" // 8 bytes, constant across versions
-	snapshotVersion = 1
+	snapshotVersion = 2
+
+	// maxSnapshotPayload bounds the allocation a version-2 header can demand,
+	// so a flipped length field fails typed instead of exhausting memory.
+	maxSnapshotPayload = 4 << 30
 )
+
+var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadSnapshot reports a snapshot file the loader refuses: wrong magic
 // after a partial match, an unknown format version, or a corrupt payload.
@@ -44,20 +53,11 @@ func (g *Graph) Save(w io.Writer) error {
 }
 
 // SaveEpoch writes a binary snapshot of the graph, recording the live-graph
-// epoch it was materialised at: magic, format version, epoch, then the gob
-// payload.
+// epoch it was materialised at: magic, format version, epoch, payload length
+// and CRC32-C, then the gob payload. The payload is staged in memory so the
+// header can vouch for its exact bytes.
 func (g *Graph) SaveEpoch(w io.Writer, epoch uint64) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return fmt.Errorf("kg: save: %w", err)
-	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], snapshotVersion)
-	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("kg: save: %w", err)
-	}
-	enc := gob.NewEncoder(bw)
+	var payload bytes.Buffer
 	s := snapshot{
 		Names:     g.names,
 		Types:     g.types,
@@ -68,7 +68,22 @@ func (g *Graph) SaveEpoch(w io.Writer, epoch uint64) error {
 		AttrNames: g.attrNames,
 		NumEdges:  g.numEdges,
 	}
-	if err := enc.Encode(&s); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(&s); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload.Bytes(), snapCastagnoli))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("kg: save: %w", err)
+	}
+	if _, err := bw.Write(payload.Bytes()); err != nil {
 		return fmt.Errorf("kg: save: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -91,6 +106,7 @@ func Load(r io.Reader) (*Graph, error) {
 func LoadEpoch(r io.Reader) (*Graph, uint64, error) {
 	br := bufio.NewReader(r)
 	epoch := uint64(0)
+	var payload io.Reader = br
 	head, err := br.Peek(len(snapshotMagic))
 	if err != nil && err != io.EOF {
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
@@ -109,9 +125,30 @@ func LoadEpoch(r io.Reader) (*Graph, uint64, error) {
 				ErrBadSnapshot, version, snapshotVersion)
 		}
 		epoch = binary.LittleEndian.Uint64(hdr[4:12])
+		if version >= 2 {
+			// Version 2 adds payload length and CRC32-C: verify the exact
+			// bytes before handing anything to the gob decoder.
+			var chk [12]byte
+			if _, err := io.ReadFull(br, chk[:]); err != nil {
+				return nil, 0, fmt.Errorf("%w: truncated header: %v", ErrBadSnapshot, err)
+			}
+			length := binary.LittleEndian.Uint64(chk[0:8])
+			sum := binary.LittleEndian.Uint32(chk[8:12])
+			if length > maxSnapshotPayload {
+				return nil, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadSnapshot, length)
+			}
+			buf := make([]byte, length)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, 0, fmt.Errorf("%w: truncated payload (want %d bytes): %v", ErrBadSnapshot, length, err)
+			}
+			if got := crc32.Checksum(buf, snapCastagnoli); got != sum {
+				return nil, 0, fmt.Errorf("%w: payload checksum mismatch (got %08x, want %08x)", ErrBadSnapshot, got, sum)
+			}
+			payload = bytes.NewReader(buf)
+		}
 	}
 	// Headerless streams fall through here: version 0, epoch 0.
-	dec := gob.NewDecoder(br)
+	dec := gob.NewDecoder(payload)
 	var s snapshot
 	if err := dec.Decode(&s); err != nil {
 		return nil, 0, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)

@@ -1,0 +1,386 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgaq/internal/kg"
+	"kgaq/internal/wal"
+)
+
+// Checkpoint files are full kg snapshots named by the epoch they hold, so
+// recovery can pick the newest without opening anything.
+const ckptPattern = "checkpoint-%016x.snap"
+
+// ErrDurableClosed reports an Apply after Close.
+var ErrDurableClosed = errors.New("live: durable store closed")
+
+// DurabilityConfig tunes a Durable store. Dir is the only required field.
+type DurabilityConfig struct {
+	// Dir holds the WAL segments and checkpoint snapshots (created if absent).
+	Dir string
+	// Sync selects the WAL durability policy (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval is the wal.SyncInterval ticker period (default 100ms).
+	SyncInterval time.Duration
+	// SegmentBytes rotates WAL segments past this size (default 64 MiB).
+	SegmentBytes int64
+	// CheckpointEvery is the background checkpointer period (default 30s).
+	CheckpointEvery time.Duration
+	// Checkpoints is how many snapshots to retain on disk (default 2): the
+	// newest plus spares to fall back to if it fails its checksum.
+	Checkpoints int
+	// OnError observes background sync/checkpoint failures (default: ignored).
+	OnError func(error)
+}
+
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
+	if c.Checkpoints <= 0 {
+		c.Checkpoints = 2
+	}
+	return c
+}
+
+// RecoveryStats describes what one boot-time Recover found.
+type RecoveryStats struct {
+	// CheckpointEpoch is the epoch of the checkpoint recovery started from
+	// (0 = none found, started from the supplied base graph).
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	// BadCheckpoints counts newer checkpoints skipped for failing their
+	// checksum or header validation.
+	BadCheckpoints int `json:"bad_checkpoints,omitempty"`
+	// Replayed is the number of WAL batches applied on top of the checkpoint.
+	Replayed int `json:"replayed"`
+	// TornBytes is the truncated torn-tail size (0 = clean shutdown).
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+	// Segments is the number of WAL segment files read.
+	Segments int `json:"segments"`
+}
+
+// DurabilityStats is the live durability picture for health and debug
+// endpoints.
+type DurabilityStats struct {
+	Dir             string        `json:"dir"`
+	Sync            string        `json:"sync"`
+	Epoch           uint64        `json:"epoch"`
+	SyncedEpoch     uint64        `json:"synced_epoch"`
+	CheckpointEpoch uint64        `json:"checkpoint_epoch"`
+	Checkpoints     uint64        `json:"checkpoints_written"`
+	Segments        int           `json:"wal_segments"`
+	Appended        uint64        `json:"wal_appended"`
+	Recovery        RecoveryStats `json:"recovery"`
+}
+
+// Durable wraps a Store with a write-ahead log and periodic checkpoints:
+// every applied batch is framed into the WAL strictly before its snapshot
+// becomes visible, so a crashed process recovers to the exact epoch it
+// acknowledged. Reads go through Store() unchanged — durability costs the
+// write path only.
+type Durable struct {
+	store *Store
+	log   *wal.Log
+	cfg   DurabilityConfig
+
+	// ckptMu serialises checkpoint writes; Apply never takes it.
+	ckptMu sync.Mutex
+	// diskCkpt is the epoch of the newest checkpoint on disk (0 = none).
+	diskCkpt atomic.Uint64
+	// ckptGate skips checkpoints while the store hasn't advanced past it;
+	// initialised to the recovered epoch so an idle boot writes nothing.
+	ckptGate atomic.Uint64
+	written  atomic.Uint64
+	closed   atomic.Bool
+
+	recovery RecoveryStats
+}
+
+// Recover opens (or initialises) the durability directory and reconstructs
+// the live store: the newest checkpoint whose checksum verifies — falling
+// back to older ones, then to the supplied base graph — plus a replay of
+// every WAL record past it. A torn final record is truncated silently;
+// corruption deeper in the log fails with an error matching
+// wal.ErrCorruptRecord rather than silently dropping acknowledged batches.
+func Recover(cfg DurabilityConfig, base *kg.Graph, baseEpoch uint64) (*Durable, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("live: durability dir not set")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	d := &Durable{cfg: cfg}
+
+	// Leftover temp files are checkpoints that never completed their rename:
+	// dead weight from a crash mid-checkpoint.
+	if tmps, err := filepath.Glob(filepath.Join(cfg.Dir, "checkpoint-*.tmp")); err == nil {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+
+	g, epoch := base, baseEpoch
+	for _, ck := range checkpointsNewestFirst(cfg.Dir) {
+		cg, cepoch, err := kg.LoadFileEpoch(ck.path)
+		if err != nil || cepoch != ck.epoch {
+			// Checksum failure, truncation, or a header that disagrees with
+			// the file name: fall back to the next-older checkpoint.
+			d.recovery.BadCheckpoints++
+			continue
+		}
+		g, epoch = cg, cepoch
+		d.recovery.CheckpointEpoch = cepoch
+		break
+	}
+	d.store = NewStore(g, epoch)
+	d.diskCkpt.Store(d.recovery.CheckpointEpoch)
+
+	l, err := wal.Open(cfg.Dir, wal.Options{
+		Sync:         cfg.Sync,
+		SyncEvery:    cfg.SyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+		OnError:      cfg.OnError,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.Replay(epoch, func(recEpoch uint64, payload []byte) error {
+		var b Batch
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return fmt.Errorf("%w: epoch %d payload is not a batch: %v", wal.ErrCorruptRecord, recEpoch, err)
+		}
+		if want := d.store.Epoch() + 1; recEpoch != want {
+			return fmt.Errorf("%w: record epoch %d, store expects %d", wal.ErrCorruptRecord, recEpoch, want)
+		}
+		if _, err := d.store.Apply(b); err != nil {
+			return fmt.Errorf("live: replay epoch %d: %w", recEpoch, err)
+		}
+		return nil
+	})
+	if err != nil {
+		l.Abort()
+		return nil, err
+	}
+	d.recovery.Replayed = st.Replayed
+	d.recovery.TornBytes = st.TornBytes
+	d.recovery.Segments = st.Segments
+
+	// A torn tail (or an aggressive trim) can leave the log's last epoch
+	// behind the checkpoint's. Every surviving record is then covered by the
+	// checkpoint, so restart the log empty rather than leave it refusing the
+	// next epoch.
+	if last := l.LastEpoch(); last != 0 && last < d.store.Epoch() {
+		l.Abort()
+		segs, err := filepath.Glob(filepath.Join(cfg.Dir, "wal-*.log"))
+		if err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		for _, p := range segs {
+			if err := os.Remove(p); err != nil {
+				return nil, fmt.Errorf("live: drop covered segment: %w", err)
+			}
+		}
+		if l, err = wal.Open(cfg.Dir, wal.Options{
+			Sync:         cfg.Sync,
+			SyncEvery:    cfg.SyncInterval,
+			SegmentBytes: cfg.SegmentBytes,
+			OnError:      cfg.OnError,
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := l.Replay(0, nil); err != nil {
+			l.Abort()
+			return nil, err
+		}
+	}
+
+	d.log = l
+	d.ckptGate.Store(d.store.Epoch())
+	return d, nil
+}
+
+type ckptFile struct {
+	path  string
+	epoch uint64
+}
+
+func checkpointsNewestFirst(dir string) []ckptFile {
+	paths, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.snap"))
+	if err != nil {
+		return nil
+	}
+	var out []ckptFile
+	for _, p := range paths {
+		var epoch uint64
+		if _, err := fmt.Sscanf(filepath.Base(p), ckptPattern, &epoch); err != nil {
+			continue
+		}
+		out = append(out, ckptFile{path: p, epoch: epoch})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].epoch > out[j].epoch })
+	return out
+}
+
+// Store returns the underlying live store. Reads (Snapshot, WaitEpoch) and
+// hook registration go through it directly; writes MUST go through
+// Durable.Apply or they will not survive a crash.
+func (d *Durable) Store() *Store { return d.store }
+
+// Apply applies a batch durably: the batch is validated, framed into the
+// WAL (and fsynced, under SyncAlways), and only then made visible to
+// readers. When Apply returns, the new epoch is exactly as durable as the
+// configured sync policy promises.
+func (d *Durable) Apply(b Batch) (*Snapshot, error) {
+	if d.closed.Load() {
+		return nil, ErrDurableClosed
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("live: encode batch: %w", err)
+	}
+	return d.store.applyHooked(b, func(next *Snapshot) error {
+		return d.log.Append(next.epoch, payload)
+	})
+}
+
+// Checkpoint folds the current snapshot into an atomic on-disk checkpoint
+// (temp file + fsync + rename), trims WAL segments it fully covers, and
+// prunes old checkpoints past the retention count. A checkpoint at an epoch
+// already covered is a no-op. Safe to call concurrently with Apply: writes
+// proceed while the fold runs.
+func (d *Durable) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	snap := d.store.Snapshot()
+	epoch := snap.epoch
+	if epoch <= d.ckptGate.Load() {
+		return nil
+	}
+	g, err := kg.Materialize(snap)
+	if err != nil {
+		return fmt.Errorf("live: checkpoint: %w", err)
+	}
+	final := filepath.Join(d.cfg.Dir, fmt.Sprintf(ckptPattern, epoch))
+	tmp, err := os.CreateTemp(d.cfg.Dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("live: checkpoint: %w", err)
+	}
+	if err := func() error {
+		if err := g.SaveEpoch(tmp, epoch); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("live: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("live: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("live: checkpoint: %w", err)
+	}
+	syncDir(d.cfg.Dir)
+	d.diskCkpt.Store(epoch)
+	d.ckptGate.Store(epoch)
+	d.written.Add(1)
+
+	if err := d.log.TrimThrough(epoch); err != nil {
+		return fmt.Errorf("live: checkpoint trim: %w", err)
+	}
+	if cks := checkpointsNewestFirst(d.cfg.Dir); len(cks) > d.cfg.Checkpoints {
+		for _, ck := range cks[d.cfg.Checkpoints:] {
+			os.Remove(ck.path)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// StartCheckpointer runs the background checkpointer until ctx is
+// cancelled, folding a fresh checkpoint every CheckpointEvery when the
+// store has advanced. It returns a function that stops the loop and waits
+// for a checkpoint in progress to finish.
+func (d *Durable) StartCheckpointer(ctx context.Context) (stop func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(d.cfg.CheckpointEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if err := d.Checkpoint(); err != nil && d.cfg.OnError != nil {
+					d.cfg.OnError(err)
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// Close makes everything durable and releases the WAL: a final sync, a
+// final checkpoint (so the next boot replays nothing), then the log closes.
+// Apply calls racing Close fail cleanly once the log is closed.
+func (d *Durable) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := d.log.Sync()
+	if cerr := d.Checkpoint(); err == nil {
+		err = cerr
+	}
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash abandons the store without syncing or checkpointing — the
+// in-process stand-in for SIGKILL that the chaos tests recover from.
+func (d *Durable) Crash() {
+	d.closed.Store(true)
+	d.log.Abort()
+}
+
+// Stats returns the live durability picture.
+func (d *Durable) Stats() DurabilityStats {
+	return DurabilityStats{
+		Dir:             d.cfg.Dir,
+		Sync:            d.cfg.Sync.String(),
+		Epoch:           d.store.Epoch(),
+		SyncedEpoch:     d.log.SyncedEpoch(),
+		CheckpointEpoch: d.diskCkpt.Load(),
+		Checkpoints:     d.written.Load(),
+		Segments:        d.log.Segments(),
+		Appended:        d.log.Appended(),
+		Recovery:        d.recovery,
+	}
+}

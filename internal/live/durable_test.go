@@ -1,0 +1,335 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kgaq/internal/faultinject"
+	"kgaq/internal/kg"
+	"kgaq/internal/kg/kgtest"
+	"kgaq/internal/wal"
+)
+
+func recoverFigure1(t *testing.T, cfg DurabilityConfig) *Durable {
+	t.Helper()
+	d, err := Recover(cfg, kgtest.Figure1(), 0)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return d
+}
+
+// randomBatch invents a valid batch against the set of entities already
+// created, growing names as it goes.
+func randomBatch(rng *rand.Rand, names *[]string) Batch {
+	var b Batch
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(*names) < 2:
+			name := fmt.Sprintf("ent_%d", len(*names))
+			b = append(b, AddEntity(name, "Automobile"))
+			*names = append(*names, name)
+		case op == 1:
+			src := (*names)[rng.Intn(len(*names))]
+			dst := (*names)[rng.Intn(len(*names))]
+			if src == dst {
+				b = append(b, SetAttr(src, "price", float64(rng.Intn(100000))))
+			} else {
+				b = append(b, AddEdge(src, "product", dst))
+			}
+		default:
+			ent := (*names)[rng.Intn(len(*names))]
+			b = append(b, SetAttr(ent, "price", float64(rng.Intn(100000))))
+		}
+	}
+	return b
+}
+
+// assertSameGraph compares the recovered snapshot against the never-crashed
+// twin: epoch, counts, and per-node name/degree/price.
+func assertSameGraph(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Epoch() != want.Epoch() {
+		t.Fatalf("epoch %d, want %d", got.Epoch(), want.Epoch())
+	}
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("recovered %d nodes / %d edges, want %d / %d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	price := want.AttrByName("price")
+	for i := 0; i < want.NumNodes(); i++ {
+		u := kg.NodeID(i)
+		name := want.Name(u)
+		v := got.NodeByName(name)
+		if v == kg.InvalidNode {
+			t.Fatalf("recovered graph lost node %q", name)
+		}
+		if len(got.Neighbors(v)) != len(want.Neighbors(u)) {
+			t.Fatalf("node %q degree %d, want %d", name, len(got.Neighbors(v)), len(want.Neighbors(u)))
+		}
+		if price != kg.InvalidAttr {
+			wv, wok := want.Attr(u, price)
+			gv, gok := got.Attr(v, got.AttrByName("price"))
+			if wok != gok || (wok && wv != gv) {
+				t.Fatalf("node %q price %v/%v, want %v/%v", name, gv, gok, wv, wok)
+			}
+		}
+	}
+}
+
+// TestDurableCrashReplayProperty is the crash-replay property test: a
+// random batch stream, a simulated kill after every batch, and a recovery
+// that must land on the exact epoch and content of a twin store that never
+// crashed. Run with -race.
+func TestDurableCrashReplayProperty(t *testing.T) {
+	dir := t.TempDir()
+	twin := NewStore(kgtest.Figure1(), 0)
+	rng := rand.New(rand.NewSource(7))
+	var names []string
+
+	d := recoverFigure1(t, DurabilityConfig{Dir: dir})
+	for i := 0; i < 40; i++ {
+		b := randomBatch(rng, &names)
+		if _, err := twin.Apply(b); err != nil {
+			t.Fatalf("batch %d rejected by twin: %v", i, err)
+		}
+		if _, err := d.Apply(b); err != nil {
+			t.Fatalf("batch %d rejected by durable: %v", i, err)
+		}
+		// Occasionally checkpoint so recovery exercises checkpoint + tail.
+		if i%11 == 10 {
+			if err := d.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint at batch %d: %v", i, err)
+			}
+		}
+		d.Crash()
+		d = recoverFigure1(t, DurabilityConfig{Dir: dir})
+		assertSameGraph(t, d.Store().Snapshot(), twin.Snapshot())
+	}
+	d.Crash()
+}
+
+// A checkpoint must trim covered WAL segments and make the next recovery
+// replay only the tail past it.
+func TestDurableCheckpointTrimsAndShortensReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every batch rotates into its own file.
+	cfg := DurabilityConfig{Dir: dir, SegmentBytes: 1}
+	d := recoverFigure1(t, cfg)
+	for i := 0; i < 6; i++ {
+		if _, err := d.Apply(Batch{AddEntity(fmt.Sprintf("n%d", i), "Automobile")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 8; i++ {
+		if _, err := d.Apply(Batch{AddEntity(fmt.Sprintf("n%d", i), "Automobile")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.CheckpointEpoch != 6 {
+		t.Fatalf("CheckpointEpoch = %d, want 6", st.CheckpointEpoch)
+	}
+	if st.Segments > 3 {
+		t.Fatalf("%d WAL segments survive a checkpoint at epoch 6, want ≤ 3", st.Segments)
+	}
+	d.Crash()
+
+	d = recoverFigure1(t, cfg)
+	defer d.Crash()
+	if got := d.Store().Epoch(); got != 8 {
+		t.Fatalf("recovered epoch %d, want 8", got)
+	}
+	rec := d.Stats().Recovery
+	if rec.CheckpointEpoch != 6 {
+		t.Fatalf("recovery started from checkpoint %d, want 6", rec.CheckpointEpoch)
+	}
+	if rec.Replayed != 2 {
+		t.Fatalf("recovery replayed %d batches, want 2", rec.Replayed)
+	}
+}
+
+// A corrupt newest checkpoint must fall back to the older one and still
+// reach the exact epoch via WAL replay.
+func TestDurableCheckpointFallback(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DurabilityConfig{Dir: dir, Checkpoints: 2}
+	d := recoverFigure1(t, cfg)
+	if _, err := d.Apply(Batch{AddEntity("a", "Automobile")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(Batch{AddEntity("b", "Automobile")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(Batch{AddEntity("c", "Automobile")}); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+
+	// Flip a payload byte in the newest checkpoint (epoch 2).
+	newest := filepath.Join(dir, fmt.Sprintf(ckptPattern, 2))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d = recoverFigure1(t, cfg)
+	defer d.Crash()
+	rec := d.Stats().Recovery
+	if rec.BadCheckpoints != 1 {
+		t.Fatalf("BadCheckpoints = %d, want 1", rec.BadCheckpoints)
+	}
+	if rec.CheckpointEpoch != 1 {
+		t.Fatalf("fell back to checkpoint %d, want 1", rec.CheckpointEpoch)
+	}
+	if got := d.Store().Epoch(); got != 3 {
+		t.Fatalf("recovered epoch %d, want 3", got)
+	}
+	if d.Store().Snapshot().NodeByName("c") == kg.InvalidNode {
+		t.Fatal("entity c lost in fallback recovery")
+	}
+}
+
+// A torn final record recovers to the previous epoch and stays writable.
+func TestDurableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverFigure1(t, DurabilityConfig{Dir: dir})
+	for i := 0; i < 5; i++ {
+		if _, err := d.Apply(Batch{AddEntity(fmt.Sprintf("n%d", i), "Automobile")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Crash()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (err %v)", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	d = recoverFigure1(t, DurabilityConfig{Dir: dir})
+	defer d.Crash()
+	if got := d.Store().Epoch(); got != 4 {
+		t.Fatalf("recovered epoch %d after torn tail, want 4", got)
+	}
+	if d.Stats().Recovery.TornBytes == 0 {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if _, err := d.Apply(Batch{AddEntity("again", "Automobile")}); err != nil {
+		t.Fatalf("apply after torn-tail recovery: %v", err)
+	}
+	if got := d.Store().Epoch(); got != 5 {
+		t.Fatalf("epoch %d after re-apply, want 5", got)
+	}
+}
+
+// A failed fsync must fail the Apply without exposing the batch, and poison
+// the log so no later write pretends to be durable.
+func TestDurableFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverFigure1(t, DurabilityConfig{Dir: dir})
+	if _, err := d.Apply(Batch{AddEntity("a", "Automobile")}); err != nil {
+		t.Fatal(err)
+	}
+	deactivate := faultinject.Activate(1, faultinject.Fault{Point: "wal.sync", Count: 1})
+	_, err := d.Apply(Batch{AddEntity("b", "Automobile")})
+	deactivate()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Apply under failing fsync = %v, want ErrInjected", err)
+	}
+	if got := d.Store().Epoch(); got != 1 {
+		t.Fatalf("failed apply advanced visible epoch to %d", got)
+	}
+	if d.Store().Snapshot().NodeByName("b") != kg.InvalidNode {
+		t.Fatal("unacknowledged batch visible to readers")
+	}
+	if _, err := d.Apply(Batch{AddEntity("c", "Automobile")}); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("Apply on a poisoned log = %v, want wal.ErrClosed", err)
+	}
+	d.Crash()
+
+	// The record hit the file before the fsync failed, so recovery may
+	// resurrect it — an unacknowledged batch surviving is allowed; an
+	// acknowledged one lost is not.
+	d = recoverFigure1(t, DurabilityConfig{Dir: dir})
+	defer d.Crash()
+	if got := d.Store().Epoch(); got < 1 {
+		t.Fatalf("recovered epoch %d, want ≥ 1", got)
+	}
+}
+
+// Close writes a final checkpoint: the next boot replays nothing.
+func TestDurableCloseCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverFigure1(t, DurabilityConfig{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if _, err := d.Apply(Batch{AddEntity(fmt.Sprintf("n%d", i), "Automobile")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(Batch{AddEntity("late", "Automobile")}); !errors.Is(err, ErrDurableClosed) {
+		t.Fatalf("Apply after Close = %v, want ErrDurableClosed", err)
+	}
+
+	d = recoverFigure1(t, DurabilityConfig{Dir: dir})
+	defer d.Crash()
+	rec := d.Stats().Recovery
+	if rec.CheckpointEpoch != 3 || rec.Replayed != 0 {
+		t.Fatalf("after clean Close: checkpoint %d, replayed %d; want 3, 0", rec.CheckpointEpoch, rec.Replayed)
+	}
+	if got := d.Store().Epoch(); got != 3 {
+		t.Fatalf("recovered epoch %d, want 3", got)
+	}
+}
+
+// The background checkpointer folds on its own once the store advances.
+func TestDurableBackgroundCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DurabilityConfig{Dir: dir, CheckpointEvery: 5 * time.Millisecond}
+	d := recoverFigure1(t, cfg)
+	defer d.Crash()
+	stop := d.StartCheckpointer(context.Background())
+	defer stop()
+	if _, err := d.Apply(Batch{AddEntity("a", "Automobile")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().CheckpointEpoch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never folded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := d.Stats().CheckpointEpoch; got != 1 {
+		t.Fatalf("background checkpoint at epoch %d, want 1", got)
+	}
+}

@@ -96,12 +96,25 @@ func (s *Store) OnCompact(fn func(CompactEvent)) {
 // Snapshot call that starts after Apply returns — the write half of
 // read-your-writes.
 func (s *Store) Apply(b Batch) (*Snapshot, error) {
+	return s.applyHooked(b, nil)
+}
+
+// applyHooked is Apply with a commit gate: commit runs under the write lock
+// after the batch validated, before the new snapshot becomes visible. An
+// error from commit aborts the apply with the store unchanged — the seam
+// Durable uses to make a batch durable strictly before readers can see it.
+func (s *Store) applyHooked(b Batch, commit func(next *Snapshot) error) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.snap.Load()
 	next, touched, err := applyBatch(cur, b)
 	if err != nil {
 		return nil, err
+	}
+	if commit != nil {
+		if err := commit(next); err != nil {
+			return nil, err
+		}
 	}
 	// The log exists solely so a compaction in flight can replay batches
 	// that land while it folds. With no fold running the batch is already

@@ -1,0 +1,22 @@
+// Package wal is the append-only mutation log behind the live graph's
+// durability: every committed mutation batch becomes one CRC32-C-framed,
+// length-prefixed record carrying the epoch the batch created, so a crashed
+// process replays the log and lands on the exact epoch it had acknowledged.
+//
+// The log is a directory of segment files (wal-<first-epoch>.log), rotated
+// at a size threshold and trimmed whole once a checkpoint covers them.
+// Three sync policies trade durability for append latency: "always" fsyncs
+// before acknowledging, "interval" fsyncs on a background ticker, "none"
+// leaves write-back to the OS (a process crash still loses nothing — only
+// records the machine itself lost are gone).
+//
+// Recovery draws a hard line between two kinds of damage. A partial or
+// checksum-failing final record is a torn tail — the expected artifact of
+// crashing mid-write — and Replay truncates it silently. Any damage with
+// records provably behind it is real corruption, reported as a typed
+// ErrCorruptRecord so the caller falls back to a checkpoint instead of
+// silently skipping committed batches.
+//
+// The instrumented faultinject points "wal.append" and "wal.sync" let the
+// chaos suite fail writes and fsyncs deterministically.
+package wal

@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// ReplayStats summarises one boot-time replay.
+type ReplayStats struct {
+	// Records is the number of valid records read (including skipped ones).
+	Records int `json:"records"`
+	// Replayed counts the records delivered to the callback (epoch > after).
+	Replayed int `json:"replayed"`
+	// TornBytes is the size of the truncated torn tail (0 = clean shutdown).
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+	// Segments is the number of segment files read.
+	Segments int `json:"segments"`
+}
+
+// Replay reads every record back in epoch order, delivering those with
+// epoch > after to fn, and positions the log for appending. It must run
+// once, before the first Append.
+//
+// A partial or damaged *final* record is crash recovery, not corruption:
+// the torn tail is truncated (stats.TornBytes) and replay succeeds with
+// everything before it. Damage anywhere else — a CRC or framing failure
+// with records provably behind it, or an epoch discontinuity — returns
+// ErrCorruptRecord: the log cannot prove the surviving suffix consistent,
+// so recovery must fall back to a checkpoint instead of silently skipping
+// committed batches. An error from fn aborts the replay with that error.
+func (l *Log) Replay(after uint64, fn func(epoch uint64, payload []byte) error) (ReplayStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var st ReplayStats
+	if l.closed {
+		return st, ErrClosed
+	}
+	if l.replayed {
+		return st, fmt.Errorf("wal: Replay called twice")
+	}
+	if fn == nil {
+		fn = func(uint64, []byte) error { return nil }
+	}
+
+	prev := uint64(0) // last valid epoch seen
+	for i := 0; i < len(l.segs); i++ {
+		seg := l.segs[i]
+		lastSeg := i == len(l.segs)-1
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return st, fmt.Errorf("wal: %w", err)
+		}
+		st.Segments++
+
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+			if lastSeg && bytes.HasPrefix([]byte(segMagic), data) {
+				// The segment file itself was torn mid-creation: nothing in
+				// it ever held a record, so dropping it is recovery.
+				st.TornBytes += int64(len(data))
+				if err := l.dropSegmentLocked(i); err != nil {
+					return st, err
+				}
+				break
+			}
+			return st, fmt.Errorf("%w: %s: bad segment magic", ErrCorruptRecord, seg.path)
+		}
+
+		off := len(segMagic)
+		segRecords := 0
+		torn := -1 // offset to truncate at, -1 = none
+	records:
+		for off < len(data) {
+			rem := len(data) - off
+			corrupt := func(detail string) error {
+				return fmt.Errorf("%w: %s at offset %d: %s", ErrCorruptRecord, seg.path, off, detail)
+			}
+			if rem < recHeader {
+				if !lastSeg {
+					return st, corrupt("truncated record header in a sealed segment")
+				}
+				torn = off
+				break records
+			}
+			length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+			epoch := binary.LittleEndian.Uint64(data[off+4 : off+12])
+			hsum := binary.LittleEndian.Uint32(data[off+12 : off+16])
+			psum := binary.LittleEndian.Uint32(data[off+16 : off+20])
+			if crc32.Checksum(data[off:off+12], castagnoli) != hsum {
+				// A torn write leaves a record *prefix*; a full 20-byte
+				// header with a bad checksum means the bytes were damaged in
+				// place — unless it really is the final bytes of the log,
+				// where garbage past a tear cannot be ruled out.
+				if !lastSeg || rem > recHeader {
+					return st, corrupt("header checksum mismatch")
+				}
+				torn = off
+				break records
+			}
+			if length > maxRecord || rem-recHeader < length {
+				// The header checksum passed, so the length is trustworthy:
+				// the payload genuinely overruns what is on disk. In the
+				// final segment that is a torn payload; a sealed segment
+				// lost bytes it once held.
+				if !lastSeg {
+					return st, corrupt(fmt.Sprintf("record of %d bytes overruns a sealed segment", length))
+				}
+				torn = off
+				break records
+			}
+			payload := data[off+recHeader : off+recHeader+length]
+			if crc32.Checksum(payload, castagnoli) != psum {
+				// A payload checksum failure on the very last record of the
+				// log is a torn write; one with records behind it is
+				// corruption.
+				if !lastSeg || rem-recHeader-length > 0 {
+					return st, corrupt(fmt.Sprintf("payload checksum mismatch at epoch %d", epoch))
+				}
+				torn = off
+				break records
+			}
+			// The CRC covers the epoch, so a mismatch here is structural
+			// damage (lost or reordered records), never a bit flip.
+			if segRecords == 0 && epoch != seg.first {
+				return st, corrupt(fmt.Sprintf("first record epoch %d does not match segment name epoch %d", epoch, seg.first))
+			}
+			if prev != 0 && epoch != prev+1 {
+				return st, corrupt(fmt.Sprintf("epoch %d does not extend epoch %d", epoch, prev))
+			}
+			st.Records++
+			segRecords++
+			if epoch > after {
+				if err := fn(epoch, payload); err != nil {
+					return st, err
+				}
+				st.Replayed++
+			}
+			prev = epoch
+			off += recHeader + length
+		}
+
+		if torn >= 0 {
+			st.TornBytes += int64(len(data) - torn)
+			if segRecords == 0 {
+				// Only the magic survived: drop the whole file so the next
+				// append opens a fresh, correctly named segment.
+				if err := l.dropSegmentLocked(i); err != nil {
+					return st, err
+				}
+			} else if err := os.Truncate(seg.path, int64(torn)); err != nil {
+				return st, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			break
+		}
+	}
+
+	// Position the writer at the end of the last surviving segment.
+	if n := len(l.segs); n > 0 {
+		seg := l.segs[n-1]
+		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return st, fmt.Errorf("wal: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return st, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.segSize = fi.Size()
+	}
+	l.last = prev
+	l.synced = prev // everything read back from disk survived the crash
+	l.replayed = true
+	return st, nil
+}
+
+// dropSegmentLocked removes segment i (always the effective last) from disk
+// and from the segment list.
+func (l *Log) dropSegmentLocked(i int) error {
+	if err := os.Remove(l.segs[i].path); err != nil {
+		return fmt.Errorf("wal: drop torn segment: %w", err)
+	}
+	l.segs = append(l.segs[:i], l.segs[i+1:]...)
+	return nil
+}

@@ -1,0 +1,429 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"kgaq/internal/faultinject"
+)
+
+// Segment framing. Every segment file starts with an 8-byte magic; records
+// follow back to back:
+//
+//	┌──────────┬───────────┬──────────┬──────────┬────────────────┐
+//	│ len  u32 │ epoch u64 │ hcrc u32 │ pcrc u32 │ payload (len)  │
+//	└──────────┴───────────┴──────────┴──────────┴────────────────┘
+//
+// hcrc is CRC32-C over the len and epoch fields, pcrc over the payload.
+// The split is what lets the reader tell a torn tail from mid-log damage:
+// a crash tears a record into a *prefix* (the header incomplete, or the
+// header whole and the payload short), while a bit flip leaves the record's
+// full extent in place with a checksum that cannot pass. A valid hcrc also
+// makes the length field trustworthy on its own, so a record that claims to
+// overrun its segment is a torn payload, not a navigation loss. Epochs are
+// strictly contiguous across the whole log (each committed batch advances
+// the live graph exactly one epoch), a structural invariant the reader
+// checks record by record.
+const (
+	segMagic   = "KGAQWAL1"
+	recHeader  = 20       // len(4) + epoch(8) + hcrc(4) + pcrc(4)
+	maxRecord  = 64 << 20 // sanity cap; a mutate batch is bounded far below
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	segPattern = segPrefix + "%016x" + segSuffix
+)
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support on
+// both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord reports mid-log corruption: a CRC or framing failure
+// with more data provably behind it (or in a non-final segment). A damaged
+// *final* record is not this error — it is a torn tail, silently truncated
+// by Replay as ordinary crash recovery. Match with errors.Is.
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncPolicy selects when appended records become durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Append returns: an acknowledged batch
+	// survives power loss. The strongest and slowest policy; the default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery):
+	// Append returns once the record is in the OS page cache, so a process
+	// crash loses nothing and a machine crash loses at most one interval.
+	SyncInterval
+	// SyncNone never fsyncs explicitly (rotation and Close still do): a
+	// process crash loses nothing, a machine crash loses what the OS had
+	// not yet written back.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the flag spelling onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (always, interval, none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tunes a log.
+type Options struct {
+	// Sync selects the durability policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval ticker period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it grows past this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// OnError observes background-sync failures (default: ignored).
+	OnError func(error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// segment is one on-disk log file; first is the epoch of its first record,
+// encoded in the file name so trimming never has to read content.
+type segment struct {
+	path  string
+	first uint64
+}
+
+// Log is an append-only, CRC-framed, segment-rotated mutation log. One
+// writer at a time: every method is safe for concurrent use, but the
+// append order defines the epoch order, so callers serialise
+// apply-then-append externally (live.Durable does).
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	segs     []segment
+	f        *os.File // active (last) segment, nil before the first append
+	segSize  int64
+	last     uint64 // last appended epoch (0 = none)
+	synced   uint64 // last epoch known durable
+	appended uint64 // records appended by this process
+	replayed bool
+	closed   bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open scans dir (created if missing) for existing segments and prepares a
+// log over them. Contents are not validated here: call Replay — once,
+// before the first Append — to read existing records back, truncate any
+// torn tail and position the writer.
+func Open(dir string, opt Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opt: opt.withDefaults()}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(name, segPattern, &first); err != nil {
+			continue // foreign file; leave it alone
+		}
+		l.segs = append(l.segs, segment{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
+	if l.opt.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop(l.stopSync)
+	}
+	return l, nil
+}
+
+// syncLoop is the SyncInterval background syncer. The stop channel comes in
+// as a parameter because Close and Abort nil the field under the mutex.
+func (l *Log) syncLoop(stop <-chan struct{}) {
+	defer close(l.syncDone)
+	tick := time.NewTicker(l.opt.SyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			l.mu.Lock()
+			err := l.syncLocked()
+			l.mu.Unlock()
+			if err != nil && l.opt.OnError != nil {
+				l.opt.OnError(err)
+			}
+		}
+	}
+}
+
+// Append writes one record and makes it durable per the sync policy before
+// returning (for SyncAlways). epoch must extend the log contiguously: the
+// record order IS the epoch order.
+func (l *Log) Append(epoch uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case !l.replayed:
+		return errors.New("wal: Append before Replay")
+	case len(payload) > maxRecord:
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecord)
+	case l.last != 0 && epoch != l.last+1:
+		return fmt.Errorf("wal: append epoch %d does not extend last epoch %d", epoch, l.last)
+	case epoch == 0:
+		return errors.New("wal: epoch 0 is the boot snapshot, not a loggable batch")
+	}
+	if err := faultinject.Fire("wal.append"); err != nil {
+		return fmt.Errorf("wal: append epoch %d: %w", epoch, err)
+	}
+	if l.f != nil && l.segSize >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if l.f == nil {
+		if err := l.newSegmentLocked(epoch); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, recHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:12], epoch)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(buf[0:12], castagnoli))
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.Checksum(payload, castagnoli))
+	copy(buf[recHeader:], payload)
+	n, err := l.f.Write(buf)
+	l.segSize += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append epoch %d: %w", epoch, err)
+	}
+	l.last = epoch
+	l.appended++
+	if l.opt.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			// A failed fsync leaves durability unknowable — the kernel may
+			// already have dropped the dirty pages — so no later fsync can
+			// retroactively honour this record's guarantee. Poison the log:
+			// every further append fails and the process must recover from
+			// what is provably on disk.
+			l.closed = true
+			if l.f != nil {
+				l.f.Close()
+				l.f = nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// newSegmentLocked creates the segment file that will hold epoch as its
+// first record.
+func (l *Log) newSegmentLocked(epoch uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf(segPattern, epoch))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segSize = int64(len(segMagic))
+	l.segs = append(l.segs, segment{path: path, first: epoch})
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) so a fresh one is
+// created on the next append. Everything in a sealed segment is durable.
+func (l *Log) rotateLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.f = nil
+	l.segSize = 0
+	return nil
+}
+
+// syncLocked fsyncs the active segment and advances the synced epoch.
+func (l *Log) syncLocked() error {
+	if l.f == nil || l.synced == l.last {
+		return nil
+	}
+	if err := faultinject.Fire("wal.sync"); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.synced = l.last
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// TrimThrough deletes whole segments whose records all have epochs ≤ epoch
+// — the checkpointer calls it after a snapshot lands. The active (last)
+// segment always survives, so the epoch chain the next Replay sees stays
+// anchored. Trimming is best-effort: an undeletable file is reported but
+// the log stays usable.
+func (l *Log) TrimThrough(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var firstErr error
+	kept := l.segs[:0]
+	for i, s := range l.segs {
+		// A segment's records span [s.first, next.first-1]; it is disposable
+		// iff a successor exists and that whole span is ≤ epoch.
+		if i+1 < len(l.segs) && l.segs[i+1].first <= epoch+1 {
+			if err := os.Remove(s.path); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("wal: trim: %w", err)
+				kept = append(kept, s)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	return firstErr
+}
+
+// Close syncs and closes the log. Further use returns ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wal: close: %w", cerr)
+		}
+		l.f = nil
+	}
+	stop, done := l.stopSync, l.syncDone
+	l.stopSync = nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// Abort closes the log's file handles without the final sync Close performs
+// — the crash this package exists to survive, exposed so chaos tests can
+// simulate a kill in-process and recover from whatever reached the disk.
+func (l *Log) Abort() {
+	l.mu.Lock()
+	l.closed = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	stop, done := l.stopSync, l.syncDone
+	l.stopSync = nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastEpoch returns the epoch of the last appended (or replayed) record.
+func (l *Log) LastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// SyncedEpoch returns the last epoch known durable on disk.
+func (l *Log) SyncedEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Appended returns the records appended by this process (replay excluded).
+func (l *Log) Appended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}

@@ -1,0 +1,385 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kgaq/internal/faultinject"
+)
+
+// openReplayed opens a log over dir and runs the mandatory replay,
+// collecting the records.
+func openReplayed(t *testing.T, dir string, opt Options) (*Log, map[uint64][]byte, ReplayStats) {
+	t.Helper()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got := map[uint64][]byte{}
+	st, err := l.Replay(0, func(epoch uint64, payload []byte) error {
+		got[epoch] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return l, got, st
+}
+
+// fill appends epochs [1, n] with distinguishable payloads.
+func fill(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for e := 1; e <= n; e++ {
+		if err := l.Append(uint64(e), payloadFor(e)); err != nil {
+			t.Fatalf("Append(%d): %v", e, err)
+		}
+	}
+}
+
+func payloadFor(e int) []byte {
+	return []byte(fmt.Sprintf(`[{"op":"set_attr","entity":"E%d","attr":"a","value":%d}]`, e, e))
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{})
+	fill(t, l, 25)
+	if got := l.LastEpoch(); got != 25 {
+		t.Fatalf("LastEpoch = %d, want 25", got)
+	}
+	if got := l.SyncedEpoch(); got != 25 {
+		t.Fatalf("SyncedEpoch = %d under SyncAlways, want 25", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got, st := openReplayed(t, dir, Options{})
+	defer l2.Close()
+	if st.Records != 25 || st.Replayed != 25 || st.TornBytes != 0 {
+		t.Fatalf("stats = %+v, want 25 clean records", st)
+	}
+	for e := 1; e <= 25; e++ {
+		if !bytes.Equal(got[uint64(e)], payloadFor(e)) {
+			t.Fatalf("epoch %d payload mismatch", e)
+		}
+	}
+	// Replay positions the writer: appending must extend the chain.
+	if err := l2.Append(26, payloadFor(26)); err != nil {
+		t.Fatalf("Append after replay: %v", err)
+	}
+	if err := l2.Append(28, payloadFor(28)); err == nil {
+		t.Fatal("Append accepted an epoch gap")
+	}
+}
+
+func TestReplayAfterSkipsCoveredEpochs(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{})
+	fill(t, l, 10)
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var seen []uint64
+	st, err := l2.Replay(7, func(epoch uint64, _ []byte) error {
+		seen = append(seen, epoch)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if st.Records != 10 || st.Replayed != 3 {
+		t.Fatalf("stats = %+v, want 10 records / 3 replayed", st)
+	}
+	if len(seen) != 3 || seen[0] != 8 || seen[2] != 10 {
+		t.Fatalf("replayed epochs %v, want [8 9 10]", seen)
+	}
+}
+
+func TestRotationAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record larger than 64 bytes forces a rotation.
+	l, _, _ := openReplayed(t, dir, Options{SegmentBytes: 64})
+	fill(t, l, 9)
+	if segs := l.Segments(); segs < 3 {
+		t.Fatalf("only %d segments after 9 oversized appends", segs)
+	}
+	before := l.Segments()
+
+	// Trim through epoch 5: every segment fully ≤ 5 disappears, and the
+	// records > 5 all survive a replay.
+	if err := l.TrimThrough(5); err != nil {
+		t.Fatalf("TrimThrough: %v", err)
+	}
+	if l.Segments() >= before {
+		t.Fatalf("trim removed nothing (still %d segments)", l.Segments())
+	}
+	l.Close()
+
+	l2, got, _ := openReplayed(t, dir, Options{SegmentBytes: 64})
+	defer l2.Close()
+	for e := 6; e <= 9; e++ {
+		if !bytes.Equal(got[uint64(e)], payloadFor(e)) {
+			t.Fatalf("epoch %d lost by trim", e)
+		}
+	}
+	// The active segment always survives a trim, even one covering it.
+	if err := l2.TrimThrough(100); err != nil {
+		t.Fatalf("TrimThrough(100): %v", err)
+	}
+	if l2.Segments() < 1 {
+		t.Fatal("trim deleted the active segment")
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("none", func(t *testing.T) {
+		l, _, _ := openReplayed(t, t.TempDir(), Options{Sync: SyncNone})
+		defer l.Close()
+		fill(t, l, 3)
+		if got := l.SyncedEpoch(); got != 0 {
+			t.Fatalf("SyncedEpoch = %d under SyncNone before any explicit sync", got)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.SyncedEpoch(); got != 3 {
+			t.Fatalf("SyncedEpoch = %d after manual Sync, want 3", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		l, _, _ := openReplayed(t, t.TempDir(), Options{Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+		defer l.Close()
+		fill(t, l, 3)
+		deadline := time.Now().Add(2 * time.Second)
+		for l.SyncedEpoch() != 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("background syncer never reached epoch 3 (at %d)", l.SyncedEpoch())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+func TestFsyncFailureFailsAppend(t *testing.T) {
+	l, _, _ := openReplayed(t, t.TempDir(), Options{})
+	defer l.Close()
+	fill(t, l, 2)
+	defer faultinject.Activate(1, faultinject.Fault{Point: "wal.sync", Count: 1})()
+	err := l.Append(3, payloadFor(3))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Append under failing fsync returned %v", err)
+	}
+	// A failed fsync is unrecoverable — the kernel may have dropped the
+	// dirty pages — so the log poisons itself rather than pretend a later
+	// sync could cover epoch 3.
+	if got := l.SyncedEpoch(); got != 2 {
+		t.Fatalf("SyncedEpoch = %d after failed sync, want 2", got)
+	}
+	if err := l.Append(4, payloadFor(4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on a poisoned log = %v, want ErrClosed", err)
+	}
+}
+
+func TestAppendFaultPoint(t *testing.T) {
+	l, _, _ := openReplayed(t, t.TempDir(), Options{})
+	defer l.Close()
+	defer faultinject.Activate(1, faultinject.Fault{Point: "wal.append", Count: 1})()
+	if err := l.Append(1, payloadFor(1)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Append = %v, want injected error", err)
+	}
+	// The injected failure happens before any bytes land: epoch 1 is free.
+	if err := l.Append(1, payloadFor(1)); err != nil {
+		t.Fatalf("retry after injected append failure: %v", err)
+	}
+}
+
+// segFiles returns the segment paths in epoch order.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTornTailEveryOffset is the exhaustive tear sweep: a log truncated at
+// every possible byte offset must recover to the longest valid record
+// prefix, never report corruption, and stay appendable.
+func TestTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l, _, _ := openReplayed(t, master, Options{})
+	fill(t, l, 5)
+	l.Close()
+	files := segFiles(t, master)
+	if len(files) != 1 {
+		t.Fatalf("expected one segment, got %v", files)
+	}
+	full, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Base(files[0])
+
+	// Where each record's frame starts, to compute the expected prefix.
+	starts := []int{len(segMagic)}
+	for e := 1; e <= 5; e++ {
+		starts = append(starts, starts[len(starts)-1]+recHeader+len(payloadFor(e)))
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, name), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantEpochs := 0
+		for i := 1; i < len(starts); i++ {
+			if cut >= starts[i] {
+				wantEpochs = i
+			}
+		}
+		l2, got, st := openReplayed(t, dir, Options{})
+		if len(got) != wantEpochs {
+			t.Fatalf("cut at %d: recovered %d epochs, want %d", cut, len(got), wantEpochs)
+		}
+		// A cut inside the magic drops the whole (sub-magic) file; otherwise
+		// the tail past the last complete record is the torn span.
+		wantLost := int64(cut - starts[wantEpochs])
+		if cut < len(segMagic) {
+			wantLost = int64(cut)
+		}
+		if st.TornBytes != wantLost {
+			t.Fatalf("cut at %d: TornBytes = %d, want %d", cut, st.TornBytes, wantLost)
+		}
+		// The log must accept the next epoch in the chain after recovery.
+		if err := l2.Append(uint64(wantEpochs)+1, payloadFor(wantEpochs+1)); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		l2.Close()
+	}
+}
+
+// TestMidLogCorruptionIsTyped flips one byte in every non-final record and
+// expects the typed corruption error, never a silent skip.
+func TestMidLogCorruptionIsTyped(t *testing.T) {
+	master := t.TempDir()
+	l, _, _ := openReplayed(t, master, Options{})
+	fill(t, l, 5)
+	l.Close()
+	file := segFiles(t, master)[0]
+	full, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(full) - recHeader - len(payloadFor(5))
+
+	for off := len(segMagic); off < lastStart; off++ {
+		dir := t.TempDir()
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(file)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := l2.Replay(0, nil)
+		if !errors.Is(rerr, ErrCorruptRecord) {
+			t.Fatalf("flip at mid-log offset %d: Replay = %v, want ErrCorruptRecord", off, rerr)
+		}
+		l2.Close()
+	}
+
+	// The same flip inside the final record is a torn tail: recovery, with
+	// every earlier record intact.
+	dir := t.TempDir()
+	mut := append([]byte(nil), full...)
+	mut[lastStart+recHeader] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, filepath.Base(file)), mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, got, st := openReplayed(t, dir, Options{})
+	defer l3.Close()
+	if len(got) != 4 || st.TornBytes == 0 {
+		t.Fatalf("final-record flip: recovered %d epochs (torn %d bytes), want 4 + torn tail", len(got), st.TornBytes)
+	}
+}
+
+// TestTornSealedSegmentIsCorruption: a truncated non-final segment cannot be
+// a torn tail — records provably follow in later segments.
+func TestTornSealedSegmentIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{SegmentBytes: 64})
+	fill(t, l, 6)
+	l.Close()
+	files := segFiles(t, dir)
+	if len(files) < 2 {
+		t.Fatalf("need ≥ 2 segments, got %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, rerr := l2.Replay(0, nil); !errors.Is(rerr, ErrCorruptRecord) {
+		t.Fatalf("Replay over torn sealed segment = %v, want ErrCorruptRecord", rerr)
+	}
+}
+
+func TestEpochGapIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openReplayed(t, dir, Options{SegmentBytes: 64})
+	fill(t, l, 6)
+	l.Close()
+	files := segFiles(t, dir)
+	if len(files) < 3 {
+		t.Fatalf("need ≥ 3 segments, got %d", len(files))
+	}
+	// Deleting a middle segment leaves a valid-CRC epoch discontinuity.
+	if err := os.Remove(files[1]); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, rerr := l2.Replay(0, nil); !errors.Is(rerr, ErrCorruptRecord) {
+		t.Fatalf("Replay over missing segment = %v, want ErrCorruptRecord", rerr)
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l, _, _ := openReplayed(t, t.TempDir(), Options{})
+	fill(t, l, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := l.Append(2, payloadFor(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync on closed log = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kgaq/internal/kg/kgtest"
+)
+
+// retryScript is a one-arrival script: rate 2/s over 0.5s fires exactly one
+// request, so the retry counters are deterministic.
+const retryScript = `{
+  "name": "retry", "seed": 5, "rate": 2, "duration_s": 0.5,
+  "blocks": [
+    {"name": "q", "kind": "query", "body": {
+      "query": "AVG(price) MATCH (g:Country name=Germany)-[product]->(c:Automobile) TARGET c"}}
+  ]
+}`
+
+// TestRunnerRetriesShedRequest: a request shed twice with Retry-After
+// completes on the third attempt; the retries are counted separately from
+// the final outcome, and the arrival is never double-counted.
+func TestRunnerRetriesShedRequest(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"busy","code":"queue_full","retry_after_s":0.01}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"estimate":5,"achieved_eb":0.01}`)
+	}))
+	defer ts.Close()
+
+	script, err := ParseScript([]byte(retryScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Script: script, BaseURL: ts.URL, Catalog: NewCatalog(kgtest.Figure1()),
+		Retries: 3, RetryMaxWait: 50 * time.Millisecond,
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered != 1 || rep.Completed != 1 || rep.Shed != 0 {
+		t.Fatalf("offered %d completed %d shed %d, want 1/1/0: %+v",
+			rep.Offered, rep.Completed, rep.Shed, rep)
+	}
+	if rep.Retries != 2 || rep.RetriedCompleted != 1 {
+		t.Fatalf("retries %d retried_completed %d, want 2/1", rep.Retries, rep.RetriedCompleted)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestRunnerRetryBudgetExhausted: a persistently shedding server exhausts
+// the retry budget and the arrival lands in shed — exactly once.
+func TestRunnerRetryBudgetExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining","code":"draining","retry_after_s":0.01}`)
+	}))
+	defer ts.Close()
+
+	script, err := ParseScript([]byte(retryScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Script: script, BaseURL: ts.URL, Catalog: NewCatalog(kgtest.Figure1()),
+		Retries: 2, RetryMaxWait: 20 * time.Millisecond,
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 1 || rep.Completed != 0 {
+		t.Fatalf("shed %d completed %d, want 1/0: %+v", rep.Shed, rep.Completed, rep)
+	}
+	if rep.Retries != 2 || rep.RetriedCompleted != 0 {
+		t.Fatalf("retries %d retried_completed %d, want 2/0", rep.Retries, rep.RetriedCompleted)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+
+	// Without a retry budget the same shed is terminal on first sight.
+	hits.Store(0)
+	r2 := &Runner{Script: script, BaseURL: ts.URL, Catalog: NewCatalog(kgtest.Figure1())}
+	rep2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Shed != 1 || rep2.Retries != 0 || hits.Load() != 1 {
+		t.Fatalf("no-retry run: shed %d retries %d hits %d, want 1/0/1",
+			rep2.Shed, rep2.Retries, hits.Load())
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,6 +28,13 @@ type Runner struct {
 	// Rate and Duration override the script's values when positive.
 	Rate     float64
 	Duration time.Duration
+	// Retries bounds how many times one arrival is re-sent after a 429/503
+	// before it counts as shed (0 = give up immediately, the default).
+	// Waits between attempts use jittered exponential backoff and honour
+	// the server's Retry-After suggestion when it is longer.
+	Retries int
+	// RetryMaxWait caps a single backoff wait (default 2s).
+	RetryMaxWait time.Duration
 	// Store is the cross-request capture store (fresh when nil).
 	Store *Store
 }
@@ -55,13 +64,19 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		store = NewStore()
 	}
 
+	maxWait := r.RetryMaxWait
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
 	run := &runState{
-		script:  s,
-		base:    r.BaseURL,
-		client:  client,
-		catalog: r.Catalog,
-		store:   store,
-		blocks:  make([]*blockStats, len(s.Blocks)),
+		script:       s,
+		base:         r.BaseURL,
+		client:       client,
+		catalog:      r.Catalog,
+		store:        store,
+		retries:      r.Retries,
+		retryMaxWait: maxWait,
+		blocks:       make([]*blockStats, len(s.Blocks)),
 	}
 	for i := range s.Blocks {
 		run.blocks[i] = &blockStats{}
@@ -125,12 +140,14 @@ loop:
 
 // runState is the shared state of one run.
 type runState struct {
-	script  *Script
-	base    string
-	client  *http.Client
-	catalog *Catalog
-	store   *Store
-	blocks  []*blockStats
+	script       *Script
+	base         string
+	client       *http.Client
+	catalog      *Catalog
+	store        *Store
+	retries      int
+	retryMaxWait time.Duration
+	blocks       []*blockStats
 }
 
 // execute performs one request of block i. prime marks the unmeasured
@@ -148,46 +165,101 @@ func (rs *runState) execute(ctx context.Context, i int, rng *rand.Rand, prime bo
 		st.fail(prime, false)
 		return
 	}
+	// The retry loop re-sends the same rendered payload on 429/503; only
+	// the final outcome lands in the completed/shed/error counters, and
+	// latency spans the whole exchange including backoff waits — that is
+	// what the caller experienced.
 	begin := time.Now()
-	resp, err := rs.client.Do(req)
-	if err != nil {
-		st.fail(prime, false)
-		return
-	}
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	resp.Body.Close()
-	latency := time.Since(begin)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// NewRequestWithContext over a bytes.Reader sets GetBody, so the
+			// payload replays exactly.
+			clone := req.Clone(ctx)
+			clone.Body, _ = req.GetBody()
+			req = clone
+		}
+		resp, err := rs.client.Do(req)
+		if err != nil {
+			st.fail(prime, false)
+			return
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		latency := time.Since(begin)
 
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		var probe struct {
-			ID         string   `json:"id"`
-			Degraded   bool     `json:"degraded"`
-			AchievedEB *float64 `json:"achieved_eb"`
-			Aggregates []struct {
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var probe struct {
+				ID         string   `json:"id"`
+				Degraded   bool     `json:"degraded"`
 				AchievedEB *float64 `json:"achieved_eb"`
-			} `json:"aggregates"`
-		}
-		_ = json.Unmarshal(body, &probe)
-		if b.Kind == KindPrepare && b.Capture != "" && probe.ID != "" {
-			rs.store.Set(b.Capture, probe.ID)
-		}
-		var ebs []float64
-		if probe.AchievedEB != nil {
-			ebs = append(ebs, *probe.AchievedEB)
-		}
-		for _, a := range probe.Aggregates {
-			if a.AchievedEB != nil {
-				ebs = append(ebs, *a.AchievedEB)
+				Aggregates []struct {
+					AchievedEB *float64 `json:"achieved_eb"`
+				} `json:"aggregates"`
 			}
+			_ = json.Unmarshal(body, &probe)
+			if b.Kind == KindPrepare && b.Capture != "" && probe.ID != "" {
+				rs.store.Set(b.Capture, probe.ID)
+			}
+			var ebs []float64
+			if probe.AchievedEB != nil {
+				ebs = append(ebs, *probe.AchievedEB)
+			}
+			for _, a := range probe.Aggregates {
+				if a.AchievedEB != nil {
+					ebs = append(ebs, *a.AchievedEB)
+				}
+			}
+			st.complete(prime, latency, probe.Degraded, attempt > 0, ebs)
+			return
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			if attempt >= rs.retries {
+				st.shedAt(prime)
+				return
+			}
+			st.retry(prime)
+			select {
+			case <-ctx.Done():
+				st.shedAt(prime)
+				return
+			case <-time.After(rs.backoff(attempt, retryAfter(resp, body), rng)):
+			}
+		default:
+			st.fail(prime, resp.StatusCode >= 500)
+			return
 		}
-		st.complete(prime, latency, probe.Degraded, ebs)
-	case resp.StatusCode == http.StatusTooManyRequests,
-		resp.StatusCode == http.StatusServiceUnavailable:
-		st.shedAt(prime)
-	default:
-		st.fail(prime, resp.StatusCode >= 500)
 	}
+}
+
+// backoff computes the wait before retry attempt+1: jittered exponential
+// (100ms · 2^attempt · [0.5, 1.5)), raised to the server's Retry-After
+// suggestion when that is longer, capped at retryMaxWait.
+func (rs *runState) backoff(attempt int, suggested time.Duration, rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(100*time.Millisecond) * math.Pow(2, float64(attempt)) * (0.5 + rng.Float64()))
+	if suggested > d {
+		d = suggested
+	}
+	if d > rs.retryMaxWait {
+		d = rs.retryMaxWait
+	}
+	return d
+}
+
+// retryAfter extracts the server's retry hint from a shed response: the
+// body's sub-second retry_after_s when present, else the Retry-After header
+// (whole seconds per RFC 9110), else 0.
+func retryAfter(resp *http.Response, body []byte) time.Duration {
+	var shed struct {
+		RetryAfterS float64 `json:"retry_after_s"`
+	}
+	if json.Unmarshal(body, &shed) == nil && shed.RetryAfterS > 0 {
+		return time.Duration(shed.RetryAfterS * float64(time.Second))
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
 }
 
 // buildRequest renders the block's templates into one HTTP request. All
@@ -267,8 +339,12 @@ type blockStats struct {
 	errors    int64
 	status5xx int64
 	degraded  int64
-	latencies []float64 // ms, completed requests
-	achieved  []float64 // achieved eb of completed estimates
+	// retries counts individual re-sends after a 429/503;
+	// retriedCompleted counts requests that completed only thanks to one.
+	retries          int64
+	retriedCompleted int64
+	latencies        []float64 // ms, completed requests
+	achieved         []float64 // achieved eb of completed estimates
 }
 
 func (s *blockStats) arrival() {
@@ -301,6 +377,15 @@ func (s *blockStats) shedAt(prime bool) {
 	s.mu.Unlock()
 }
 
+func (s *blockStats) retry(prime bool) {
+	if prime {
+		return
+	}
+	s.mu.Lock()
+	s.retries++
+	s.mu.Unlock()
+}
+
 func (s *blockStats) fail(prime, is5xx bool) {
 	if prime {
 		return
@@ -313,7 +398,7 @@ func (s *blockStats) fail(prime, is5xx bool) {
 	s.mu.Unlock()
 }
 
-func (s *blockStats) complete(prime bool, latency time.Duration, degraded bool, ebs []float64) {
+func (s *blockStats) complete(prime bool, latency time.Duration, degraded, retried bool, ebs []float64) {
 	if prime {
 		return
 	}
@@ -321,6 +406,9 @@ func (s *blockStats) complete(prime bool, latency time.Duration, degraded bool, 
 	s.completed++
 	if degraded {
 		s.degraded++
+	}
+	if retried {
+		s.retriedCompleted++
 	}
 	s.latencies = append(s.latencies, float64(latency.Microseconds())/1000)
 	s.achieved = append(s.achieved, ebs...)
@@ -342,6 +430,11 @@ type Report struct {
 	Errors    int64 `json:"errors"`
 	Status5xx int64 `json:"status_5xx"`
 	Degraded  int64 `json:"degraded"`
+
+	// Retries counts re-sends after 429/503 (not separate arrivals);
+	// RetriedCompleted is how many completions needed at least one.
+	Retries          int64 `json:"retries,omitempty"`
+	RetriedCompleted int64 `json:"retried_completed,omitempty"`
 
 	// AchievedRate is completed requests per second of wall clock.
 	AchievedRate float64 `json:"achieved_rate"`
@@ -370,6 +463,9 @@ type BlockReport struct {
 	Errors    int64 `json:"errors,omitempty"`
 	Status5xx int64 `json:"status_5xx,omitempty"`
 	Degraded  int64 `json:"degraded,omitempty"`
+
+	Retries          int64 `json:"retries,omitempty"`
+	RetriedCompleted int64 `json:"retried_completed,omitempty"`
 
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP95MS float64 `json:"latency_p95_ms"`
@@ -408,6 +504,9 @@ func (rs *runState) report(rate float64, elapsed time.Duration) *Report {
 			Errors:    st.errors,
 			Status5xx: st.status5xx,
 			Degraded:  st.degraded,
+
+			Retries:          st.retries,
+			RetriedCompleted: st.retriedCompleted,
 		}
 		br.LatencyP50MS, br.LatencyP95MS, br.LatencyP99MS = percentiles(st.latencies)
 		br.AchievedEB = ebDist(st.achieved)
@@ -423,6 +522,8 @@ func (rs *runState) report(rate float64, elapsed time.Duration) *Report {
 		rep.Errors += br.Errors
 		rep.Status5xx += br.Status5xx
 		rep.Degraded += br.Degraded
+		rep.Retries += br.Retries
+		rep.RetriedCompleted += br.RetriedCompleted
 		rep.Blocks = append(rep.Blocks, br)
 	}
 	rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS = percentiles(allLat)
