@@ -6,8 +6,8 @@
 //
 //	aggbench -exp table6                # one experiment, full profiles
 //	aggbench -exp all -quick            # every experiment on the tiny set
-//	aggbench -trajectory BENCH_PR6.json # write the hot-path baseline
-//	aggbench -gate BENCH_PR6.json       # fresh trajectory vs committed baseline
+//	aggbench -trajectory BENCH_PR8.json # write the hot-path baseline
+//	aggbench -gate BENCH_PR8.json       # fresh trajectory vs committed baseline
 //	aggbench -list
 package main
 
@@ -32,7 +32,7 @@ func main() {
 	profile := flag.String("profile", "", "restrict to one dataset profile")
 	seed := flag.Int64("seed", 1, "engine seed")
 	trajectory := flag.String("trajectory", "", "measure the hot-path baseline and write it to this JSON file")
-	trajectoryLabel := flag.String("trajectory-label", "PR6", "label recorded in the trajectory file")
+	trajectoryLabel := flag.String("trajectory-label", "PR8", "label recorded in the trajectory file")
 	gate := flag.String("gate", "", "measure a fresh trajectory and fail when it regresses past this committed baseline JSON")
 	gateTol := flag.Float64("gate-tolerance", 0.5, "relative regression tolerance for -gate (0.5 = fresh may be up to 1.5x baseline)")
 	flag.Parse()

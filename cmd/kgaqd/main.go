@@ -40,6 +40,15 @@
 // recovers the newest valid checkpoint plus the WAL tail — a SIGKILL'd
 // server restarts to exactly the last acknowledged epoch. healthz and
 // /debug/durability (on -debug-addr) report the durability picture.
+//
+// The debug listener (-debug-addr) is also the observability surface:
+// GET /metrics serves every tier's counters, gauges and histograms in
+// Prometheus text format, and each request's lifecycle trace — spans for
+// resolve/convergence plus per-round draws, validation calls and the
+// shrinking achieved error bound — lands in a bounded ring under
+// /debug/trace (list) and /debug/trace/{id} (one trace, id echoed in the
+// X-Trace-ID response header and the response body). -trace-ring bounds
+// the ring; -trace-sample traces one request in N.
 package main
 
 import (
@@ -95,6 +104,8 @@ func main() {
 	degradePressure := flag.Float64("degrade-pressure", 0.5, "queue-fill fraction beyond which effective error bounds relax toward -max-eb")
 	sloP99 := flag.Duration("slo-p99", 0, "serving latency objective: healthz reports slo_ok against this p99 (0 = no SLO)")
 	accessLog := flag.Bool("access-log", true, "write one structured (JSON) access-log line per request to stderr")
+	traceRing := flag.Int("trace-ring", 256, "finished query-lifecycle traces retained for /debug/trace (0 = default 256)")
+	traceSample := flag.Int("trace-sample", 1, "trace one request in N (1 = every request, 0 = tracing off)")
 	flag.Parse()
 
 	g, model, epoch, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
@@ -162,6 +173,7 @@ func main() {
 		}
 	}
 	api.ConfigurePlans(*planCap, *planTTL)
+	api.ConfigureTracing(*traceRing, *traceSample)
 	ctrl := admission.New(admission.Config{
 		MaxInFlight:     *maxInFlight,
 		MaxQueue:        *queueDepth,
@@ -176,8 +188,9 @@ func main() {
 		api.ConfigureLogging(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 	}
 	if *debugAddr != "" {
-		// The debug mux (pprof + cache counters) lives on its own listener
-		// so operational endpoints never share a port with query traffic.
+		// The debug mux (pprof, /metrics, /debug/trace, state snapshots)
+		// lives on its own listener so operational endpoints never share a
+		// port with query traffic.
 		dbg := &http.Server{Addr: *debugAddr, Handler: api.DebugHandler()}
 		go func() {
 			fmt.Fprintf(os.Stderr, "kgaqd: debug endpoints on %s\n", *debugAddr)

@@ -18,7 +18,11 @@
 //
 // For CI smoke jobs, -max-5xx and -min-completed turn the report into an
 // assertion: the process exits non-zero when the run saw more 5xx responses
-// or fewer completions than allowed.
+// or fewer completions than allowed. -metrics-url scrapes the server's
+// Prometheus endpoint after the run and fails on a malformed exposition;
+// adding -metrics-lint README.md additionally asserts every backticked
+// kgaq_* name in the doc's metrics reference is actually exported, keeping
+// the table and the registry in lockstep.
 package main
 
 import (
@@ -50,6 +54,8 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the full report as JSON to this path (- for stdout)")
 	max5xx := flag.Int64("max-5xx", -1, "fail when the run sees more than this many 5xx responses (-1 = no assertion)")
 	minCompleted := flag.Int64("min-completed", -1, "fail when fewer than this many requests complete (-1 = no assertion)")
+	metricsURL := flag.String("metrics-url", "", "scrape this Prometheus endpoint (kgaqd's debug listener /metrics) after the run and fail on a malformed exposition")
+	metricsLint := flag.String("metrics-lint", "", "markdown file whose backticked kgaq_* metric names must all appear in the -metrics-url scrape (fails otherwise)")
 	flag.Parse()
 
 	if *scriptPath == "" {
@@ -93,6 +99,14 @@ func main() {
 	}
 
 	failed := false
+	if *metricsURL != "" {
+		if err := checkMetrics(ctx, *metricsURL, *metricsLint); err != nil {
+			fmt.Fprintf(os.Stderr, "kgaqload: ASSERTION FAILED: %v\n", err)
+			failed = true
+		}
+	} else if *metricsLint != "" {
+		fail("-metrics-lint requires -metrics-url")
+	}
 	if *max5xx >= 0 && rep.Status5xx > *max5xx {
 		fmt.Fprintf(os.Stderr, "kgaqload: ASSERTION FAILED: %d 5xx responses > allowed %d\n", rep.Status5xx, *max5xx)
 		failed = true
@@ -104,6 +118,30 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkMetrics scrapes the server's /metrics endpoint — proving the
+// exposition parses strictly — and, when a lint doc is given, asserts every
+// metric name the doc's reference table promises is actually exported.
+func checkMetrics(ctx context.Context, url, lintPath string) error {
+	fams, err := workload.Scrape(ctx, url)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics scrape: %d well-formed families from %s\n", len(fams), url)
+	if lintPath == "" {
+		return nil
+	}
+	documented, err := workload.DocumentedMetrics(lintPath)
+	if err != nil {
+		return err
+	}
+	if missing := workload.LintMetrics(fams, documented); len(missing) > 0 {
+		return fmt.Errorf("%s documents %d metrics the server does not export: %v",
+			lintPath, len(missing), missing)
+	}
+	fmt.Printf("metrics lint: all %d documented metrics present (%s)\n", len(documented), lintPath)
+	return nil
 }
 
 // catalogGraph resolves the -graph / -profile pair into the graph that

@@ -137,12 +137,12 @@ func (c *Controller) Config() Config { return c.cfg }
 func (c *Controller) Admit(ctx context.Context, client string) (*Grant, error) {
 	if c.draining.Load() {
 		c.shedDraining.Add(1)
-		return nil, &Shed{Err: ErrDraining, RetryAfter: c.cfg.RetryAfter}
+		return nil, shedMetrics("draining", &Shed{Err: ErrDraining, RetryAfter: c.cfg.RetryAfter})
 	}
 	if c.cfg.PerClientRate > 0 {
 		if ok, wait := c.buckets.take(client, time.Now()); !ok {
 			c.shedRateLimit.Add(1)
-			return nil, &Shed{Err: fmt.Errorf("%w (client %q)", ErrRateLimited, client), RetryAfter: wait}
+			return nil, shedMetrics("rate_limited", &Shed{Err: fmt.Errorf("%w (client %q)", ErrRateLimited, client), RetryAfter: wait})
 		}
 	}
 	// Pressure is sampled at arrival: the queue fill the decision to degrade
@@ -155,25 +155,34 @@ func (c *Controller) Admit(ctx context.Context, client string) (*Grant, error) {
 	select {
 	case c.slots <- struct{}{}: // free slot, no queueing
 		c.admitted.Add(1)
+		metAdmitted.Inc()
+		metInFlight.Set(float64(len(c.slots)))
 		return &Grant{c: c, pressure: pressure}, nil
 	default:
 	}
 	if q := c.queued.Add(1); q > int64(c.cfg.MaxQueue) {
 		c.queued.Add(-1)
 		c.shedQueueFull.Add(1)
-		return nil, &Shed{Err: ErrQueueFull, RetryAfter: c.cfg.RetryAfter}
+		return nil, shedMetrics("queue_full", &Shed{Err: ErrQueueFull, RetryAfter: c.cfg.RetryAfter})
 	}
-	defer c.queued.Add(-1)
+	metQueueDepth.Set(float64(c.queued.Load()))
+	defer func() {
+		c.queued.Add(-1)
+		metQueueDepth.Set(float64(c.queued.Load()))
+	}()
 	select {
 	case c.slots <- struct{}{}:
 		wait := time.Since(begin)
 		c.admitted.Add(1)
 		c.queuedRequests.Add(1)
 		c.queueNanos.Add(int64(wait))
+		metAdmitted.Inc()
+		metInFlight.Set(float64(len(c.slots)))
+		metQueueWait.Observe(wait.Seconds())
 		return &Grant{c: c, pressure: pressure, queuedFor: wait}, nil
 	case <-c.drainCh:
 		c.shedDraining.Add(1)
-		return nil, &Shed{Err: ErrDraining, RetryAfter: c.cfg.RetryAfter}
+		return nil, shedMetrics("draining", &Shed{Err: ErrDraining, RetryAfter: c.cfg.RetryAfter})
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -256,14 +265,19 @@ func (g *Grant) Release(elapsed time.Duration, outcome Outcome) {
 		return
 	}
 	<-g.c.slots
+	metInFlight.Set(float64(len(g.c.slots)))
 	switch outcome {
 	case OutcomeError:
 		g.c.failed.Add(1)
+		metCompleted.With("error").Inc()
 	case OutcomeDegraded:
 		g.c.degraded.Add(1)
 		g.c.completed.Add(1)
+		metDegraded.Inc()
+		metCompleted.With("degraded").Inc()
 	default:
 		g.c.completed.Add(1)
+		metCompleted.With("ok").Inc()
 	}
 	if outcome != OutcomeError {
 		g.c.lat.record(float64(elapsed.Microseconds()) / 1000)

@@ -1,0 +1,33 @@
+package admission
+
+import "kgaq/internal/obs"
+
+// Admission-tier metrics, mirroring the controller's atomic counters into
+// the process registry. Gauges (queue depth, in-flight) are refreshed at
+// the admission/release transitions they change on, so a scrape between
+// transitions reads the last settled value.
+var (
+	metAdmitted = obs.Default().Counter("kgaq_admission_admitted_total",
+		"Requests granted an execution slot.")
+	metShed = obs.Default().CounterVec("kgaq_admission_shed_total",
+		"Requests shed before execution, by reason (rate_limited, queue_full, draining).",
+		"reason")
+	metRetryAfterSeconds = obs.Default().Counter("kgaq_admission_retry_after_seconds_total",
+		"Sum of Retry-After hints issued with sheds, in seconds.")
+	metDegraded = obs.Default().Counter("kgaq_admission_degraded_total",
+		"Requests completed with a pressure- or deadline-relaxed error bound.")
+	metCompleted = obs.Default().CounterVec("kgaq_admission_completed_total",
+		"Released grants by outcome (ok, degraded, error).", "outcome")
+	metInFlight = obs.Default().Gauge("kgaq_admission_inflight",
+		"Execution slots currently held.")
+	metQueueDepth = obs.Default().Gauge("kgaq_admission_queue_depth",
+		"Requests waiting for an execution slot.")
+	metQueueWait = obs.Default().Histogram("kgaq_admission_queue_wait_seconds",
+		"Time queued requests waited for their slot.", obs.DefBuckets)
+)
+
+func shedMetrics(reason string, s *Shed) *Shed {
+	metShed.With(reason).Inc()
+	metRetryAfterSeconds.Add(s.RetryAfter.Seconds())
+	return s
+}

@@ -26,8 +26,10 @@ import (
 // churn (mixed read/write) section; v3 adds the sharded cold-query
 // comparison; v4 adds the multi-aggregate (QueryMulti vs separate
 // queries) comparison; v5 adds the sustained-throughput axis (fixed-rate
-// mixed workload through the admission-controlled serving stack).
-const TrajectorySchema = "kgaq-bench-trajectory/v5"
+// mixed workload through the admission-controlled serving stack); v6 adds
+// the convergence-telemetry axis (mean refinement rounds and the
+// validation share of query time).
+const TrajectorySchema = "kgaq-bench-trajectory/v6"
 
 // Trajectory is one tracked performance baseline: the serving hot path
 // measured end to end (latency distribution, sampling throughput, cache
@@ -75,7 +77,27 @@ type Trajectory struct {
 	// and at overload (DESIGN.md "Serving tier").
 	Throughput *ThroughputResult `json:"throughput,omitempty"`
 
+	// Convergence is the telemetry axis over the measured pass: refinement
+	// rounds to the guarantee and where the query time went.
+	Convergence *ConvergenceResult `json:"convergence,omitempty"`
+
 	Micro []MicroResult `json:"micro"`
+}
+
+// ConvergenceResult aggregates the per-query convergence telemetry of the
+// measured (warm) workload pass — the same numbers the serving tier exports
+// per query through kgaq_core_rounds_per_query and /debug/trace.
+type ConvergenceResult struct {
+	// MeanRounds / MaxRounds count guarantee-loop rounds per query.
+	MeanRounds float64 `json:"mean_rounds"`
+	MaxRounds  int     `json:"max_rounds"`
+	// ValidationShare is the fraction of total query time spent in the
+	// estimation step, where drawn answers meet the semantic verdict
+	// oracle; SamplingShare and GuaranteeShare cover the rest of the
+	// paper's three-step split.
+	ValidationShare float64 `json:"validation_share"`
+	SamplingShare   float64 `json:"sampling_share"`
+	GuaranteeShare  float64 `json:"guarantee_share"`
 }
 
 // TrajectoryCache snapshots the engine's answer-space cache after the
@@ -131,6 +153,8 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 	totalDraws := 0
 	totalTime := time.Duration(0)
 	ran := 0
+	totalRounds, maxRounds := 0, 0
+	var steps core.StepTimes
 	for pass := 0; pass < 2; pass++ {
 		for _, gq := range env.DS.Queries {
 			if ctx.Err() != nil {
@@ -149,6 +173,13 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 			latencies = append(latencies, float64(elapsed.Microseconds())/1000)
 			totalDraws += res.SampleSize
 			totalTime += elapsed
+			totalRounds += len(res.Rounds)
+			if len(res.Rounds) > maxRounds {
+				maxRounds = len(res.Rounds)
+			}
+			steps.Sampling += res.Times.Sampling
+			steps.Estimation += res.Times.Estimation
+			steps.Guarantee += res.Times.Guarantee
 		}
 	}
 	if len(latencies) == 0 {
@@ -179,6 +210,15 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 			Bytes:   cs.Bytes,
 		},
 		Micro: microBenchmarks(),
+	}
+	if total := steps.Total(); total > 0 {
+		tr.Convergence = &ConvergenceResult{
+			MeanRounds:      float64(totalRounds) / float64(ran),
+			MaxRounds:       maxRounds,
+			ValidationShare: steps.Estimation.Seconds() / total.Seconds(),
+			SamplingShare:   steps.Sampling.Seconds() / total.Seconds(),
+			GuaranteeShare:  steps.Guarantee.Seconds() / total.Seconds(),
+		}
 	}
 	churn, err := RunChurn(cfg)
 	if err != nil {
@@ -320,6 +360,10 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 				run.name+":", run.r.TargetRate, run.r.Completed, run.r.AchievedRate,
 				run.r.Shed, run.r.Dropped, run.r.Degraded, run.r.LatencyP50MS, run.r.LatencyP99MS)
 		}
+	}
+	if c := tr.Convergence; c != nil {
+		fmt.Fprintf(w, "  convergence: mean %.2f rounds (max %d), time split sampling %.0f%% / validation %.0f%% / guarantee %.0f%%\n",
+			c.MeanRounds, c.MaxRounds, 100*c.SamplingShare, 100*c.ValidationShare, 100*c.GuaranteeShare)
 	}
 	for _, m := range tr.Micro {
 		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)

@@ -217,9 +217,11 @@ func (c *spaceCache) get(key stageKey, epoch uint64) *stageEntry {
 	c.mu.Unlock()
 	if st == nil {
 		c.misses.Add(1)
+		metSpaceMisses.Inc()
 		return nil
 	}
 	c.hits.Add(1)
+	metSpaceHits.Inc()
 	return st
 }
 
@@ -320,6 +322,7 @@ func (c *spaceCache) invalidate(touched []kg.NodeID, epoch uint64) {
 			delete(c.items, it.key)
 			c.bytes -= it.entry.cost
 			c.invalidated.Add(1)
+			metSpaceInvalidated.Inc()
 			if len(c.evicted) < maxEvictedKeys {
 				c.evicted[it.key] = it.entry
 			}

@@ -466,6 +466,7 @@ func (e *Engine) ShardStats() []ShardStat {
 // countDraws attributes a batch of drawn answers to the engine plan's
 // shards.
 func (e *Engine) countDraws(answers []kg.NodeID, idx []int) {
+	metDraws.Add(float64(len(idx)))
 	for _, i := range idx {
 		e.shardDraws[e.plan.Of(answers[i])].Add(1)
 	}

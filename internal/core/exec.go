@@ -11,6 +11,7 @@ import (
 
 	"kgaq/internal/estimate"
 	"kgaq/internal/kg"
+	"kgaq/internal/obs"
 	"kgaq/internal/query"
 	"kgaq/internal/stats"
 )
@@ -49,6 +50,16 @@ type Execution struct {
 	drawIdx []int
 	rounds  []Round
 	times   StepTimes
+
+	// Telemetry bookkeeping. reportedTimes is what earlier result() calls on
+	// this execution already exported to the step-seconds metrics, so
+	// interactive re-Refine exports deltas, never double-counts. The trace*
+	// fields are the previous traced round's cumulative readings, turning the
+	// trace counters into per-round figures.
+	reportedTimes  StepTimes
+	traceSampleAt  int
+	traceValidated float64
+	traceHits      float64
 }
 
 // Start validates and prepares a query: decomposition, walker construction,
@@ -172,6 +183,77 @@ func (x *Execution) emitRound(r Round) {
 	x.rounds = append(x.rounds, r)
 	if x.onRound != nil {
 		x.onRound(r)
+	}
+}
+
+// traceRound records one guarantee-loop round into the request trace: the
+// fresh draws and validation work of this round, the estimate and its ε,
+// and the achieved bound ε̂ = ε/(|V̂|−ε) whose shrink toward eb is the
+// Theorem 2 convergence signal.
+func (x *Execution) traceRound(ctx context.Context, began time.Time, vhat, eps float64) {
+	t := obs.TraceFrom(ctx)
+	if t == nil {
+		return
+	}
+	n := len(x.drawIdx)
+	validated := t.Counter("validation_calls")
+	hits := t.Counter("verdict_cache_hits")
+	t.Round(obs.RoundTelemetry{
+		Round:      len(x.rounds),
+		SampleSize: n,
+		Draws:      n - x.traceSampleAt,
+		Validated:  int(validated - x.traceValidated),
+		CacheHits:  int(hits - x.traceHits),
+		Estimate:   obs.Float(vhat),
+		MoE:        obs.Float(eps),
+		AchievedEB: obs.Float(achievedEB(vhat, eps)),
+		ElapsedMS:  float64(time.Since(began)) / float64(time.Millisecond),
+	})
+	x.traceSampleAt, x.traceValidated, x.traceHits = n, validated, hits
+}
+
+// finishTelemetry exports one completed Refine to the engine metrics and
+// stamps the request trace with the result-level attributes (outcome,
+// convergence, the final ε̂, per-shard draw attribution). Step times export
+// as deltas against what this execution already reported.
+func (x *Execution) finishTelemetry(ctx context.Context, converged bool, vhat, moe float64) {
+	outcome := "unconverged"
+	switch {
+	case ctx.Err() != nil:
+		outcome = "interrupted"
+	case x.degraded:
+		outcome = "degraded"
+	case converged:
+		outcome = "converged"
+	}
+	metQueries.With(outcome).Inc()
+	metRounds.Observe(float64(len(x.rounds)))
+	metStepSeconds.With("sampling").Add((x.times.Sampling - x.reportedTimes.Sampling).Seconds())
+	metStepSeconds.With("estimation").Add((x.times.Estimation - x.reportedTimes.Estimation).Seconds())
+	metStepSeconds.With("guarantee").Add((x.times.Guarantee - x.reportedTimes.Guarantee).Seconds())
+	x.reportedTimes = x.times
+
+	t := obs.TraceFrom(ctx)
+	if t == nil {
+		return
+	}
+	t.SetAttr("outcome", outcome)
+	t.SetAttr("converged", converged)
+	t.SetAttr("degraded", x.degraded)
+	t.SetAttr("rounds", len(x.rounds))
+	t.SetAttr("sample_size", len(x.drawIdx))
+	t.SetAttr("candidates", x.sp.len())
+	t.SetAttr("epoch", x.v.epoch)
+	t.SetAttr("target_eb", x.targetEB)
+	t.SetAttr("estimate", vhat)
+	t.SetAttr("moe", moe)
+	t.SetAttr("achieved_eb", achievedEB(vhat, moe))
+	if x.sh != nil {
+		draws := make(map[string]int, len(x.sh.spaces))
+		for pos, spc := range x.sh.spaces {
+			draws[strconv.Itoa(spc.Shard)] = x.sh.drawn[pos]
+		}
+		t.SetAttr("shard_draws", draws)
 	}
 }
 
@@ -456,6 +538,7 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (res *Result, err er
 		vhat, moe = v, eps
 		estimated = true
 		x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+		x.traceRound(ctx, roundBegin, v, eps)
 		if estimate.Satisfied(v, eps, eb) {
 			converged = true
 			break
@@ -515,6 +598,7 @@ func (x *Execution) runExtreme(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return x.interrupted(ctx, best, 0, found, err)
 		}
+		roundBegin := time.Now()
 		if !x.sampleMore(per) && round > 0 {
 			break
 		}
@@ -527,6 +611,7 @@ func (x *Execution) runExtreme(ctx context.Context) (*Result, error) {
 		best = v
 		found = true
 		x.emitRound(Round{Estimate: v, SampleSize: len(x.drawIdx)})
+		x.traceRound(ctx, roundBegin, v, math.NaN())
 	}
 	if !found {
 		return nil, estimate.ErrNoCorrect
@@ -583,6 +668,7 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 			estimated = true
 			lastEmit = len(x.drawIdx)
 			x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+			x.traceRound(ctx, roundBegin, v, eps)
 		}
 		groups = map[string]GroupResult{}
 		allOK := len(byGroup) > 0
@@ -632,13 +718,14 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 	// The overall (ungrouped) estimate accompanies the groups; recompute it
 	// only when no round produced one or draws arrived after the last round.
 	if !estimated || lastEmit != len(x.drawIdx) {
-		obs := x.observations(ctx)
+		finalBegin := time.Now()
+		finalObs := x.observations(ctx)
 		if err := ctx.Err(); err != nil {
 			res, rerr := x.interrupted(ctx, vhat, moe, estimated, err)
 			res.Groups = groups
 			return res, rerr
 		}
-		finalEval := x.eval(obs, true)
+		finalEval := x.eval(finalObs, true)
 		v, err := finalEval.estimate()
 		if err != nil {
 			return nil, err
@@ -649,6 +736,7 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 		}
 		vhat, moe = v, eps
 		x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+		x.traceRound(ctx, finalBegin, v, eps)
 	}
 	return x.result(ctx, vhat, moe, converged, groups), nil
 }
@@ -691,6 +779,7 @@ func (x *Execution) groupedObservations(ctx context.Context) (map[string][]estim
 }
 
 func (x *Execution) result(ctx context.Context, vhat, moe float64, converged bool, groups map[string]GroupResult) *Result {
+	x.finishTelemetry(ctx, converged, vhat, moe)
 	correct := 0
 	distinct := map[int]bool{}
 	for _, i := range x.drawIdx {

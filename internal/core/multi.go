@@ -279,7 +279,7 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 		}
 		for round := 1; round < o.ExtremeRounds; round++ {
 			if err := ctx.Err(); err != nil {
-				return x.multiInterrupted(specs, state, rounds, mobs, err)
+				return x.multiInterrupted(ctx, specs, state, rounds, mobs, err)
 			}
 			if !x.sampleMore(per) {
 				break
@@ -289,13 +289,13 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 
 	for round := 0; len(guaranteed) > 0 && round < maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
-			return x.multiInterrupted(specs, state, rounds, mobs, err)
+			return x.multiInterrupted(ctx, specs, state, rounds, mobs, err)
 		}
 		roundBegin := time.Now()
 		if err := refresh(); err != nil {
 			// Validation was cut short; this round's verdicts are
 			// incomplete, so do not fold them into the estimates.
-			return x.multiInterrupted(specs, state, rounds, nil, err)
+			return x.multiInterrupted(ctx, specs, state, rounds, nil, err)
 		}
 		correct := 0
 		for _, m := range mobs {
@@ -341,6 +341,7 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 			state[k].Rounds = append(state[k].Rounds, Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
 			if gi == 0 {
 				x.emitRound(Round{Estimate: v, MoE: eps, SampleSize: len(x.drawIdx)})
+				x.traceRound(ctx, roundBegin, v, eps)
 			}
 			haveEst = true
 			if grouped {
@@ -413,7 +414,7 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 	// Settle the extremes (and the shared counters) over the final sample.
 	if obsAt != len(x.drawIdx) {
 		if err := refresh(); err != nil {
-			return x.multiInterrupted(specs, state, rounds, mobs, err)
+			return x.multiInterrupted(ctx, specs, state, rounds, mobs, err)
 		}
 	}
 	for _, k := range extremes {
@@ -427,7 +428,7 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 		}
 		x.times.Estimation += time.Since(begin)
 	}
-	return x.multiResult(state, rounds, converged, mobs), nil
+	return x.multiResult(ctx, state, rounds, converged, mobs), nil
 }
 
 // multiGroupRound evaluates one guaranteed spec's per-group estimators for
@@ -486,17 +487,18 @@ func (x *Execution) multiGroupRound(k int, fn query.AggFunc, base []estimate.Obs
 // multi-aggregate refinement, mirroring the single-aggregate interrupted
 // contract: best estimates so far, Converged false, an error wrapping both
 // ErrInterrupted and the ctx cause.
-func (x *Execution) multiInterrupted(_ []AggSpec, state []AggResult, rounds int,
+func (x *Execution) multiInterrupted(ctx context.Context, _ []AggSpec, state []AggResult, rounds int,
 	mobs []estimate.MultiObservation, cause error) (*MultiResult, error) {
 
-	return x.multiResult(state, rounds, false, mobs),
+	return x.multiResult(ctx, state, rounds, false, mobs),
 		fmt.Errorf("core: %w after %d draws: %w", ErrInterrupted, len(x.drawIdx), cause)
 }
 
 // multiResult assembles the shared-counters result.
-func (x *Execution) multiResult(state []AggResult, rounds int, converged bool,
+func (x *Execution) multiResult(ctx context.Context, state []AggResult, rounds int, converged bool,
 	mobs []estimate.MultiObservation) *MultiResult {
 
+	x.finishTelemetry(ctx, converged, math.NaN(), math.NaN())
 	distinct := map[int]bool{}
 	for _, i := range x.drawIdx {
 		distinct[i] = true

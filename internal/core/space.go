@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"kgaq/internal/kg"
+	"kgaq/internal/obs"
 	"kgaq/internal/query"
 	"kgaq/internal/semsim"
 	"kgaq/internal/stats"
@@ -222,13 +223,18 @@ func (e *Engine) convergedStage(ctx context.Context, o Options, v view,
 		return st, nil
 	}
 	bm.build()
+	metStageBuilds.Inc()
+	endSpan := obs.TraceFrom(ctx).Span("walk_converge")
 	w, err := walk.New(v.g, e.calc, root, pred, walk.Config{N: o.N, SelfLoopSim: o.SelfLoopSim})
 	if err != nil {
+		endSpan()
 		return nil, err
 	}
 	if _, err := w.ConvergeCtx(ctx); err != nil {
+		endSpan()
 		return nil, err
 	}
+	endSpan()
 	dist, err := w.AnswerDistribution(types)
 	if err != nil {
 		return nil, fmt.Errorf("core: stage rooted at %q: %w", v.g.Name(root), err)
@@ -264,7 +270,13 @@ func (e *Engine) stageOracle(o Options, v view, st *stageEntry,
 			}
 		}
 		st.mu.Unlock()
+		if hits := len(us) - len(fresh); hits > 0 {
+			metVerdictHits.Add(float64(hits))
+			obs.TraceFrom(ctx).Add("verdict_cache_hits", float64(hits))
+		}
 		if len(fresh) > 0 && ctx.Err() == nil {
+			metValidationCalls.Add(float64(len(fresh)))
+			obs.TraceFrom(ctx).Add("validation_calls", float64(len(fresh)))
 			res, _ := semsim.ValidateCtx(ctx, v.g, e.calc, root, pred, st.piMap, fresh, vcfg)
 			if ctx.Err() == nil {
 				st.mu.Lock()

@@ -1,0 +1,20 @@
+package httpapi
+
+import "kgaq/internal/obs"
+
+// Serving-tier metrics. Routes are labelled by the mux pattern the request
+// matched ("unmatched" for 404s), never the raw URL path, so cardinality
+// stays bounded by the route table.
+var (
+	metRequests = obs.Default().CounterVec("kgaq_http_requests_total",
+		"HTTP requests served, by matched route pattern and status code.",
+		"route", "status")
+	metLatency = obs.Default().HistogramVec("kgaq_http_request_seconds",
+		"HTTP request latency by matched route pattern.", obs.DefBuckets, "route")
+	metHTTPInFlight = obs.Default().Gauge("kgaq_http_inflight",
+		"HTTP requests currently being served.")
+	metPlanHits = obs.Default().Counter("kgaq_http_plan_cache_hits_total",
+		"Prepared-plan cache lookups that found a resident plan.")
+	metPlanMisses = obs.Default().Counter("kgaq_http_plan_cache_misses_total",
+		"Prepared-plan cache lookups that missed (unknown or expired id).")
+)

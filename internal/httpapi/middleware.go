@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,10 @@ const ClientIDHeader = "X-Client-ID"
 // (so a caller's id threads through the access log) and always set on the
 // response.
 const RequestIDHeader = "X-Request-ID"
+
+// TraceIDHeader echoes the id of the lifecycle trace a sampled request
+// produced; fetch it at /debug/trace/{id} on the debug listener.
+const TraceIDHeader = "X-Trace-ID"
 
 // reqPrefix and reqSeq generate process-unique request ids: a random
 // process prefix plus a monotone counter — cheap, collision-free within a
@@ -59,6 +64,15 @@ type reqState struct {
 	effectiveEB float64
 	// shed marks a request refused by admission (429/503).
 	shed bool
+	// traceID names the lifecycle trace this request produced ("" when the
+	// request was not sampled).
+	traceID string
+	// rounds/achievedEB carry the execution's convergence telemetry into
+	// the access log; hasRounds marks them as set (a query can legitimately
+	// finish in 0 rounds).
+	rounds     int
+	hasRounds  bool
+	achievedEB *float64
 }
 
 type reqStateKey struct{}
@@ -159,16 +173,29 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		r = r.WithContext(context.WithValue(r.Context(), reqStateKey{}, st))
 
 		begin := time.Now()
+		metHTTPInFlight.Add(1)
 		next.ServeHTTP(rec, r)
+		metHTTPInFlight.Add(-1)
+		elapsed := time.Since(begin)
 
-		if s.logger == nil {
-			return
-		}
 		status := rec.status
 		if status == 0 {
 			status = http.StatusOK
 		}
-		route := r.Pattern // set by ServeMux on match; empty on 404s
+		// Metrics label by the matched pattern only — a 404's raw path would
+		// be an unbounded label set — while the log keeps the real path.
+		pattern := r.Pattern // set by ServeMux on match; empty on 404s
+		metricRoute := pattern
+		if metricRoute == "" {
+			metricRoute = "unmatched"
+		}
+		metRequests.With(metricRoute, strconv.Itoa(status)).Inc()
+		metLatency.With(metricRoute).Observe(elapsed.Seconds())
+
+		if s.logger == nil {
+			return
+		}
+		route := pattern
 		if route == "" {
 			route = r.URL.Path
 		}
@@ -178,7 +205,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			slog.String("method", r.Method),
 			slog.String("route", route),
 			slog.Int("status", status),
-			slog.Float64("latency_ms", float64(time.Since(begin).Microseconds())/1000),
+			slog.Float64("latency_ms", float64(elapsed.Microseconds())/1000),
+		}
+		if st.traceID != "" {
+			attrs = append(attrs, slog.String("trace_id", st.traceID))
+		}
+		if st.hasRounds {
+			attrs = append(attrs, slog.Int("rounds", st.rounds))
+		}
+		if st.achievedEB != nil {
+			attrs = append(attrs, slog.Float64("achieved_eb", *st.achievedEB))
 		}
 		if st.shed {
 			attrs = append(attrs, slog.Bool("shed", true))

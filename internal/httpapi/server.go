@@ -17,6 +17,7 @@ import (
 	"kgaq/internal/admission"
 	"kgaq/internal/core"
 	"kgaq/internal/live"
+	"kgaq/internal/obs"
 	"kgaq/internal/query"
 )
 
@@ -49,11 +50,19 @@ type Server struct {
 	// logger receives one structured access-log line per request (nil =
 	// no access logging).
 	logger *slog.Logger
+	// tracer samples query lifecycles into a bounded ring served under
+	// /debug/trace; see ConfigureTracing.
+	tracer *obs.Tracer
 }
 
 // NewServer wraps an engine for read-only serving.
 func NewServer(eng *core.Engine) *Server {
-	return &Server{eng: eng, plans: newPlanCache(0, 0), started: time.Now()}
+	return &Server{
+		eng:     eng,
+		plans:   newPlanCache(0, 0),
+		started: time.Now(),
+		tracer:  obs.NewTracer(0, 1),
+	}
 }
 
 // NewLiveServer wraps a live engine and its mutation store for read-write
@@ -85,6 +94,32 @@ func (s *Server) ConfigureAdmission(c *admission.Controller, clientHeader string
 // with request id, client, method, route, status, latency, and the
 // shed/degraded markers. Call before serving.
 func (s *Server) ConfigureLogging(l *slog.Logger) { s.logger = l }
+
+// ConfigureTracing re-bounds the query-lifecycle trace ring (flags
+// -trace-ring / -trace-sample): capacity finished traces are retained for
+// /debug/trace, and one request in sampleEvery is traced (1 = all,
+// 0 = tracing off). Call before serving.
+func (s *Server) ConfigureTracing(capacity, sampleEvery int) {
+	s.tracer = obs.NewTracer(capacity, sampleEvery)
+}
+
+// trace begins the request's lifecycle trace: the trace id is echoed in the
+// X-Trace-ID header (and later the response body), recorded for the access
+// log, and the trace travels to the engine through the context. The cleanup
+// finishes the trace into the ring; the finish* helpers seal it earlier —
+// before the response is written — so a client can fetch its trace the
+// moment it reads the response (Finish is idempotent).
+func (s *Server) trace(ctx context.Context, w http.ResponseWriter, kind, target string) (context.Context, func()) {
+	t := s.tracer.Start(kind, target)
+	if t == nil {
+		return ctx, func() {}
+	}
+	w.Header().Set(TraceIDHeader, t.ID())
+	if st := stateFrom(ctx); st != nil {
+		st.traceID = t.ID()
+	}
+	return obs.WithTrace(ctx, t), func() { s.tracer.Finish(t) }
+}
 
 // ConfigureDurability routes /v1/mutate through a durable store: a batch
 // is acknowledged only once its WAL record is durable per the configured
@@ -321,7 +356,11 @@ type queryResponse struct {
 	// AchievedEB is the relative error bound the returned interval actually
 	// attains (null when no finite bound is honest).
 	AchievedEB *float64 `json:"achieved_eb,omitempty"`
-	Error      string   `json:"error,omitempty"`
+	// TraceID names this execution's lifecycle trace, fetchable at
+	// /debug/trace/{id} on the debug listener while it stays in the ring
+	// (absent when the request was not sampled).
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // jsonFloat maps NaN/Inf (JSON-unrepresentable) to null.
@@ -399,7 +438,7 @@ func isMutationError(err error) bool {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
@@ -439,6 +478,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	ctx, endTrace := s.trace(ctx, w, "query", agg.String())
+	defer endTrace()
 	opts = append(opts, s.degradeOptions(ctx, req.ErrorBound)...)
 
 	if len(req.Aggregates) > 0 {
@@ -497,34 +538,43 @@ func (s *Server) runSingle(ctx context.Context, w http.ResponseWriter, agg *quer
 }
 
 // finishSingle folds the request-scoped degradation record (the admission
-// grant's relaxed bound) into the response and mirrors the final degraded
-// flag back into the request state for the access log and grant outcome.
+// grant's relaxed bound) into the response, mirrors the final degraded flag
+// and convergence telemetry back into the request state for the access log
+// and grant outcome, and seals the lifecycle trace so the client can fetch
+// it by the echoed id as soon as it reads the response.
 func (s *Server) finishSingle(ctx context.Context, resp *queryResponse) {
-	st := stateFrom(ctx)
-	if st == nil {
-		return
+	if st := stateFrom(ctx); st != nil {
+		if st.effectiveEB > 0 {
+			resp.EffectiveEB = st.effectiveEB
+			resp.Degraded = true
+		}
+		if resp.Degraded {
+			st.degraded = true
+		}
+		st.rounds, st.hasRounds = len(resp.Rounds), true
+		st.achievedEB = resp.AchievedEB
 	}
-	if st.effectiveEB > 0 {
-		resp.EffectiveEB = st.effectiveEB
-		resp.Degraded = true
-	}
-	if resp.Degraded {
-		st.degraded = true
+	if t := obs.TraceFrom(ctx); t != nil {
+		resp.TraceID = t.ID()
+		s.tracer.Finish(t)
 	}
 }
 
 // finishMulti is finishSingle for multi-aggregate responses.
 func (s *Server) finishMulti(ctx context.Context, resp *multiResponse) {
-	st := stateFrom(ctx)
-	if st == nil {
-		return
+	if st := stateFrom(ctx); st != nil {
+		if st.effectiveEB > 0 {
+			resp.EffectiveEB = st.effectiveEB
+			resp.Degraded = true
+		}
+		if resp.Degraded {
+			st.degraded = true
+		}
+		st.rounds, st.hasRounds = resp.Rounds, true
 	}
-	if st.effectiveEB > 0 {
-		resp.EffectiveEB = st.effectiveEB
-		resp.Degraded = true
-	}
-	if resp.Degraded {
-		st.degraded = true
+	if t := obs.TraceFrom(ctx); t != nil {
+		resp.TraceID = t.ID()
+		s.tracer.Finish(t)
 	}
 }
 
@@ -645,7 +695,9 @@ type multiResponse struct {
 	// EffectiveEB is the relaxed bound admission substituted under queue
 	// pressure (absent when the request's own bound was used).
 	EffectiveEB float64 `json:"effective_eb,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// TraceID names this execution's lifecycle trace (see queryResponse).
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 func toMultiResponse(agg *query.Aggregate, res *core.MultiResult, interrupted bool, elapsed time.Duration) multiResponse {
@@ -756,18 +808,24 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	ctx, endTrace := s.trace(ctx, w, "prepare", agg.String())
+	defer endTrace()
 	id := planID(agg.String(), req.optFingerprint())
 	if e := s.plans.get(id); e != nil {
 		// Idempotent re-prepare: the resident plan is fresh again.
+		metPlanHits.Inc()
+		endTrace()
 		writeJSON(w, http.StatusOK, s.plans.entryJSON(e, time.Now()))
 		return
 	}
+	metPlanMisses.Inc()
 	p, err := s.eng.Prepare(ctx, agg, opts...)
 	if err != nil {
 		writeError(w, errorStatus(err), "%v", err)
 		return
 	}
 	e := s.plans.put(id, p, agg)
+	endTrace()
 	writeJSON(w, http.StatusOK, s.plans.entryJSON(e, time.Now()))
 }
 
@@ -787,9 +845,11 @@ func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.plans.get(id)
 	if e == nil {
+		metPlanMisses.Inc()
 		writeError(w, http.StatusNotFound, "unknown or expired plan %q (POST /v1/prepare first)", id)
 		return
 	}
+	metPlanHits.Inc()
 	opts, err := req.options()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -801,6 +861,8 @@ func (s *Server) handlePlanQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	ctx, endTrace := s.trace(ctx, w, "plan_query", e.agg.String())
+	defer endTrace()
 	opts = append(opts, s.degradeOptions(ctx, req.ErrorBound)...)
 	if len(req.Aggregates) > 0 {
 		if req.Stream {
@@ -938,6 +1000,8 @@ type mutateResponse struct {
 	Applied int    `json:"applied"`
 	Nodes   int    `json:"nodes"`
 	Edges   int    `json:"edges"`
+	// TraceID names this batch's lifecycle trace (see queryResponse).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleMutate applies one atomic mutation batch, encoded as NDJSON: one
@@ -990,6 +1054,8 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty mutation batch")
 		return
 	}
+	ctx, endTrace := s.trace(r.Context(), w, "mutate", fmt.Sprintf("%d mutations", len(batch)))
+	defer endTrace()
 	// On a durable server the batch is framed into the WAL (and fsynced,
 	// under sync=always) strictly before this returns: the acknowledged
 	// epoch survives a kill.
@@ -1014,19 +1080,47 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Counts come from the snapshot this very batch created, so the
 	// response is self-consistent even while other clients keep writing.
-	writeJSON(w, http.StatusOK, mutateResponse{
+	resp := mutateResponse{
 		Epoch:   snap.Epoch(),
 		Applied: len(batch),
 		Nodes:   snap.NumNodes(),
 		Edges:   snap.NumEdges(),
-	})
+	}
+	if t := obs.TraceFrom(ctx); t != nil {
+		t.SetAttr("epoch", snap.Epoch())
+		t.SetAttr("applied", len(batch))
+		resp.TraceID = t.ID()
+	}
+	endTrace()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// debugRoute is one entry of the /debug/ index.
+type debugRoute struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+}
+
+// debugIndex describes every route the debug mux serves; GET /debug/
+// returns it so operators can discover the surface without the source.
+var debugIndex = []debugRoute{
+	{"/metrics", "process metrics, Prometheus text exposition format"},
+	{"/debug/trace", "retained query-lifecycle traces, newest first"},
+	{"/debug/trace/{id}", "one trace: spans, per-round convergence telemetry, attributes"},
+	{"/debug/cache", "answer-space cache counters"},
+	{"/debug/shards", "per-shard ownership, draws and mutation touches"},
+	{"/debug/plans", "resident prepared plans, most recently used first"},
+	{"/debug/admission", "admission controller snapshot (404 when admission is off)"},
+	{"/debug/durability", "WAL/checkpoint picture (404 on memory-only servers)"},
+	{"/debug/pprof/", "net/http/pprof profile suite"},
 }
 
 // DebugHandler returns the operations mux served on the (loopback-only by
-// default) debug address: the net/http/pprof suite under /debug/pprof/ and
-// the answer-space cache counters under /debug/cache. It is deliberately a
-// separate handler from the public API so profiling endpoints never face
-// query traffic.
+// default) debug address: the net/http/pprof suite under /debug/pprof/,
+// the Prometheus scrape endpoint at /metrics, the trace ring under
+// /debug/trace, and JSON snapshots of the cache/shard/plan/admission/
+// durability state. It is deliberately a separate handler from the public
+// API so profiling endpoints never face query traffic.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -1034,6 +1128,22 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	mux.HandleFunc("GET /debug/{$}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, debugIndex)
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.tracer.Summaries())
+	})
+	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		td := s.tracer.Lookup(id)
+		if td == nil {
+			writeError(w, http.StatusNotFound, "unknown trace %q (evicted, unsampled, or never issued)", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, td)
+	})
 	mux.HandleFunc("GET /debug/cache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, cacheSnapshot(s.eng))
 	})

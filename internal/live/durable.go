@@ -174,6 +174,7 @@ func Recover(cfg DurabilityConfig, base *kg.Graph, baseEpoch uint64) (*Durable, 
 	d.recovery.Replayed = st.Replayed
 	d.recovery.TornBytes = st.TornBytes
 	d.recovery.Segments = st.Segments
+	metReplayed.Add(float64(st.Replayed))
 
 	// A torn tail (or an aggressive trim) can leave the log's last epoch
 	// behind the checkpoint's. Every surviving record is then covered by the
@@ -248,9 +249,13 @@ func (d *Durable) Apply(b Batch) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: encode batch: %w", err)
 	}
-	return d.store.applyHooked(b, func(next *Snapshot) error {
+	snap, err := d.store.applyHooked(b, func(next *Snapshot) error {
 		return d.log.Append(next.epoch, payload)
 	})
+	if err == nil {
+		metMutations.Inc()
+	}
+	return snap, err
 }
 
 // Checkpoint folds the current snapshot into an atomic on-disk checkpoint
@@ -266,6 +271,7 @@ func (d *Durable) Checkpoint() error {
 	if epoch <= d.ckptGate.Load() {
 		return nil
 	}
+	begin := time.Now()
 	g, err := kg.Materialize(snap)
 	if err != nil {
 		return fmt.Errorf("live: checkpoint: %w", err)
@@ -306,6 +312,8 @@ func (d *Durable) Checkpoint() error {
 			os.Remove(ck.path)
 		}
 	}
+	metCheckpoints.Inc()
+	metCheckpointSeconds.Observe(time.Since(begin).Seconds())
 	return nil
 }
 

@@ -1,0 +1,17 @@
+package live
+
+import "kgaq/internal/obs"
+
+// Live-tier metrics: the durability picture beyond what one process's
+// /debug/durability snapshot shows — checkpoint cadence/cost and how much
+// WAL the last boot had to replay.
+var (
+	metCheckpoints = obs.Default().Counter("kgaq_live_checkpoints_total",
+		"Checkpoints folded to disk.")
+	metCheckpointSeconds = obs.Default().Histogram("kgaq_live_checkpoint_seconds",
+		"Checkpoint duration: materialize, write, fsync, rename, WAL trim.", obs.DefBuckets)
+	metReplayed = obs.Default().Counter("kgaq_live_replayed_records_total",
+		"WAL records replayed during boot recovery.")
+	metMutations = obs.Default().Counter("kgaq_live_mutations_total",
+		"Mutation batches applied durably (WAL-framed before visibility).")
+)

@@ -1,0 +1,37 @@
+// Package obs is the unified observability layer: a zero-dependency
+// metrics registry exported in the Prometheus text exposition format, and a
+// lightweight query-lifecycle tracer whose finished traces land in a
+// bounded in-memory ring.
+//
+// # Metrics
+//
+// A Registry holds metric families — counters, gauges and histograms,
+// optionally labelled — registered once at package init and updated
+// lock-free (atomics) on the hot path:
+//
+//	var draws = obs.Default().Counter("kgaq_core_draws_total",
+//		"Sample draws taken across all queries.")
+//	draws.Add(float64(len(fresh)))
+//
+// Default() is the process-wide registry every instrumented package
+// registers into; kgaqd serves it at GET /metrics on the debug listener.
+// Naming follows the Prometheus conventions: kgaq_<tier>_<what>_<unit>,
+// counters end in _total, durations are histograms in seconds.
+//
+// # Traces
+//
+// A Tracer mints one Trace per query/prepare/mutate request. The trace
+// rides the context (WithTrace/TraceFrom) through the serving and engine
+// tiers, collecting spans (resolve, walk convergence, apply), per-round
+// convergence telemetry (draws, validation calls, verdict-cache hits, the
+// shrinking ε̂) and free-form attributes. Every Trace method is safe on a
+// nil receiver, so uninstrumented paths pay one nil check.
+//
+// Finished traces are sampled (1-in-N, default every one) into a bounded
+// ring served at /debug/trace and /debug/trace/{id}; the trace id is echoed
+// in responses and access logs so logs, traces and metrics correlate on one
+// id.
+//
+// The package deliberately depends only on the standard library — it sits
+// below every other internal package.
+package obs

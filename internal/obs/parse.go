@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Sample is one exposition line: a metric name, its label pairs and value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// A Family is one parsed metric family: its TYPE, HELP and samples. For
+// histograms the samples carry the _bucket/_sum/_count suffixed names.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText parses and validates a Prometheus text exposition (format
+// 0.0.4). It is deliberately strict — stricter than a scraping server needs
+// to be — because it backs the metrics-lint CI step and the golden-scrape
+// test:
+//
+//   - every sample must belong to a family declared by a preceding # TYPE
+//   - label syntax and escapes must be exact; duplicate label names reject
+//   - counter and histogram sample values must be non-negative
+//   - histogram buckets must be cumulative (non-decreasing by le), end in
+//     le="+Inf", and the +Inf bucket must equal the series' _count
+//
+// It returns the families keyed by name.
+func ParseText(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseSample(line, fams); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", f.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parseComment(line string, fams map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		f := familyFor(fams, name)
+		if f.Type != "" && f.Type != typ {
+			return fmt.Errorf("metric %s re-typed %s -> %s", name, f.Type, typ)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.Type = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		familyFor(fams, name).Help = unescapeHelp(help)
+	}
+	return nil
+}
+
+func familyFor(fams map[string]*Family, name string) *Family {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	f := &Family{Name: name}
+	fams[name] = f
+	return f
+}
+
+func parseSample(line string, fams map[string]*Family) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp (integer ms) is permitted by the format.
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		ts := strings.TrimSpace(valStr[i+1:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return fmt.Errorf("sample %s: malformed timestamp %q", name, ts)
+		}
+		valStr = valStr[:i]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+
+	fam, _ := resolveFamily(fams, name)
+	if fam == nil {
+		return fmt.Errorf("sample %s has no preceding # TYPE", name)
+	}
+	switch fam.Type {
+	case "counter":
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("counter %s has non-monotone value %v", name, v)
+		}
+	case "histogram":
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("histogram sample %s has negative value %v", name, v)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			if _, ok := labels["le"]; !ok {
+				return fmt.Errorf("bucket sample %s lacks le label", name)
+			}
+		}
+	}
+	fam.Samples = append(fam.Samples, Sample{Name: name, Labels: labels, Value: v})
+	return nil
+}
+
+// resolveFamily maps a sample name to its declared family: exact match, or
+// for histograms the _bucket/_sum/_count suffixed forms.
+func resolveFamily(fams map[string]*Family, name string) (*Family, string) {
+	if f, ok := fams[name]; ok && f.Type != "" {
+		return f, name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, ok := fams[base]; ok && f.Type == "histogram" {
+				return f, base
+			}
+		}
+	}
+	return nil, ""
+}
+
+func splitName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid sample name %q", name)
+	}
+	return name, strings.TrimLeft(line[i:], " "), nil
+}
+
+// parseLabels parses a {k="v",...} block, honoring \\, \" and \n escapes in
+// values, and returns the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if key != "le" && !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", key)
+		}
+		s = strings.TrimLeft(s[eq+1:], " ")
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", key)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", key, err)
+		}
+		labels[key] = val
+		s = rest
+	}
+}
+
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed value %q", s)
+	}
+	return v, nil
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// checkHistogram validates per-series bucket cumulativity, the +Inf
+// terminal bucket and bucket/_count agreement.
+func checkHistogram(f *Family) error {
+	type series struct {
+		les     []float64
+		counts  []float64
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+		sumSeen float64
+	}
+	bySig := make(map[string]*series)
+	sig := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := sig(labels)
+		s, ok := bySig[k]
+		if !ok {
+			s = &series{}
+			bySig[k] = s
+		}
+		return s
+	}
+	for _, smp := range f.Samples {
+		switch {
+		case strings.HasSuffix(smp.Name, "_bucket"):
+			le, err := parseValue(smp.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("bad le %q", smp.Labels["le"])
+			}
+			s := get(smp.Labels)
+			s.les = append(s.les, le)
+			s.counts = append(s.counts, smp.Value)
+		case strings.HasSuffix(smp.Name, "_count"):
+			s := get(smp.Labels)
+			s.count, s.hasCnt = smp.Value, true
+		case strings.HasSuffix(smp.Name, "_sum"):
+			s := get(smp.Labels)
+			s.sumSeen, s.hasSum = smp.Value, true
+		default:
+			return fmt.Errorf("unexpected histogram sample %s", smp.Name)
+		}
+	}
+	for lbl, s := range bySig {
+		if len(s.les) == 0 {
+			return fmt.Errorf("series {%s} has no buckets", lbl)
+		}
+		// Buckets appear in exposition order; sort defensively by le.
+		idx := make([]int, len(s.les))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return s.les[idx[i]] < s.les[idx[j]] })
+		prev := math.Inf(-1)
+		prevCount := 0.0
+		sawInf := false
+		var lastCount float64
+		for _, i := range idx {
+			if s.les[i] == prev {
+				return fmt.Errorf("series {%s} has duplicate le=%v", lbl, s.les[i])
+			}
+			if s.counts[i] < prevCount {
+				return fmt.Errorf("series {%s} buckets not cumulative at le=%v", lbl, s.les[i])
+			}
+			prev, prevCount = s.les[i], s.counts[i]
+			if math.IsInf(s.les[i], +1) {
+				sawInf = true
+			}
+			lastCount = s.counts[i]
+		}
+		if !sawInf {
+			return fmt.Errorf("series {%s} lacks le=\"+Inf\" bucket", lbl)
+		}
+		if !s.hasCnt || !s.hasSum {
+			return fmt.Errorf("series {%s} lacks _count or _sum", lbl)
+		}
+		if lastCount != s.count {
+			return fmt.Errorf("series {%s}: +Inf bucket %v != count %v", lbl, lastCount, s.count)
+		}
+	}
+	return nil
+}

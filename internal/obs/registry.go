@@ -1,0 +1,470 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// TextContentType is the Prometheus text exposition content type served by
+// Registry.Handler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// DefBuckets are latency histogram bounds in seconds, spanning sub-millisecond
+// cache hits through multi-second degraded queries.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// RoundBuckets bound distributions of refinement-round counts.
+var RoundBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50}
+
+// A Registry is a set of named metric families. Registration (Counter,
+// Gauge, Histogram and their Vec forms) is idempotent: asking twice for the
+// same name returns the same family, while asking with a conflicting type,
+// label set or bucket layout panics — such conflicts are programming errors
+// caught at init, not runtime conditions.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry that instrumented packages
+// register into and kgaqd exports at /metrics.
+func Default() *Registry { return std }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with zero or more labelled series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]any // *Counter | *Gauge | *Histogram, keyed by joined label values
+	order  []string       // registration order of series keys, re-sorted at export
+}
+
+const labelSep = "\xff"
+
+func (f *family) child(lvs []string) any {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	var m any
+	switch f.kind {
+	case kindCounter:
+		m = &Counter{}
+	case kindGauge:
+		m = &Gauge{}
+	default:
+		m = newHistogram(f.buckets)
+	}
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels, buckets []float64, labelNames []string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labelNames) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:  append([]string(nil), labelNames...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]any),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil, nil, nil)
+	return f.child(nil).(*Counter)
+}
+
+// Gauge registers (or returns) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil, nil)
+	return f.child(nil).(*Gauge)
+}
+
+// Histogram registers (or returns) an unlabelled histogram with the given
+// bucket upper bounds (sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, kindHistogram, nil, normBuckets(name, buckets), nil)
+	return f.child(nil).(*Histogram)
+}
+
+// CounterVec registers a counter family keyed by the given label names.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, nil, nil, labelNames)}
+}
+
+// GaugeVec registers a gauge family keyed by the given label names.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, nil, nil, labelNames)}
+}
+
+// HistogramVec registers a histogram family keyed by the given label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, nil, normBuckets(name, buckets), labelNames)}
+}
+
+func normBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: metric %q: buckets not strictly ascending", name))
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], +1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	return buckets
+}
+
+// CounterVec is a counter family; With resolves one labelled series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(lvs ...string) *Counter { return v.f.child(lvs).(*Counter) }
+
+// GaugeVec is a gauge family; With resolves one labelled series.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(lvs ...string) *Gauge { return v.f.child(lvs).(*Gauge) }
+
+// HistogramVec is a histogram family; With resolves one labelled series.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values (created on first use).
+func (v *HistogramVec) With(lvs ...string) *Histogram { return v.f.child(lvs).(*Histogram) }
+
+// A Counter is a monotonically non-decreasing value. Safe for concurrent use.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d, which must be non-negative (negative deltas are dropped to
+// preserve monotonicity).
+func (c *Counter) Add(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		return
+	}
+	addFloat(&c.bits, d)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// A Gauge is a value that can go up and down. Safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d float64) { addFloat(&g.bits, d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// A Histogram counts observations into fixed buckets and tracks their sum.
+// Safe for concurrent use; Observe is lock-free.
+type Histogram struct {
+	upper  []float64       // ascending bucket upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(upper)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float bits
+	count  atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values so far.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts (ending with the +Inf bucket),
+// the sum and the count. Reads are individually atomic; a scrape racing
+// Observe may see count ahead of a bucket by one, which Prometheus tolerates.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	count = h.count.Load()
+	sum = h.Sum()
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	// Clamp so the +Inf bucket equals the reported count even mid-Observe.
+	if cum[len(cum)-1] > count {
+		count = cum[len(cum)-1]
+	} else {
+		cum[len(cum)-1] = count
+	}
+	return cum, sum, count
+}
+
+// WriteText writes every family in the Prometheus text exposition format
+// (version 0.0.4), families and series in sorted order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+
+	for _, i := range idx {
+		var lvs []string
+		if keys[i] != "" || len(f.labels) > 0 {
+			lvs = strings.Split(keys[i], labelSep)
+		}
+		switch m := series[i].(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, lvs, "", ""), formatFloat(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, lvs, "", ""), formatFloat(m.Value()))
+		case *Histogram:
+			cum, sum, count := m.snapshot()
+			for bi, upper := range m.upper {
+				le := formatFloat(upper)
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, lvs, "le", le), cum[bi])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, lvs, "le", "+Inf"), cum[len(cum)-1])
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, lvs, "", ""), formatFloat(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, lvs, "", ""), count)
+		}
+	}
+}
+
+// labelString renders {k="v",...}, appending the extra pair (used for le)
+// when extraKey is non-empty. Returns "" for an unlabelled series.
+func labelString(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteString(`"`)
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integers without exponents, +Inf/-Inf
+// in Prometheus spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at the Prometheus text content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // dropped: counters are monotone
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(4)
+	g.Add(-1)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 3.5\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-parse: %v", err)
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_esc_total", "Help with \\ backslash\nand newline.", "path")
+	v.With(`C:\dir with "quotes"` + "\nnewline").Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP test_esc_total Help with \\ backslash\nand newline.`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `test_esc_total{path="C:\\dir with \"quotes\"\nnewline"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+
+	fams, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-parse: %v", err)
+	}
+	f := fams["test_esc_total"]
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("parse lost the family: %+v", fams)
+	}
+	if got, want := f.Samples[0].Labels["path"], `C:\dir with "quotes"`+"\nnewline"; got != want {
+		t.Errorf("round-trip label = %q, want %q", got, want)
+	}
+	if got, want := f.Help, "Help with \\ backslash\nand newline."; got != want {
+		t.Errorf("round-trip help = %q, want %q", got, want)
+	}
+}
+
+func TestHistogramCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+		`test_latency_seconds_sum 56.05`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The strict parser enforces cumulativity and +Inf/count agreement.
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-parse: %v", err)
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_b_seconds", "B.", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	if !strings.Contains(b.String(), `test_b_seconds_bucket{le="1"} 1`) {
+		t.Errorf("le=1 bucket should include observation 1:\n%s", b.String())
+	}
+}
+
+func TestIdempotentAndConflictingRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same_total", "x")
+	b := r.Counter("test_same_total", "x")
+	if a != b {
+		t.Error("re-registration should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration should panic")
+		}
+	}()
+	r.Gauge("test_same_total", "now a gauge")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "x")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label name le should panic")
+			}
+		}()
+		r.CounterVec("test_le_total", "x", "le")
+	}()
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "c")
+	v := r.CounterVec("test_conc_labeled_total", "c", "worker")
+	h := r.Histogram("test_conc_seconds", "h", []float64{0.5})
+	g := r.Gauge("test_conc_gauge", "g")
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With(name).Inc()
+				h.Observe(float64(i%2) + 0.25)
+				g.Add(1)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteText(&b) // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %v", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %v", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %v", got, workers*perWorker)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("self-parse after concurrency: %v", err)
+	}
+}
+
+func TestParseTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":           "orphan_total 3\n",
+		"negative counter":  "# TYPE x_total counter\nx_total -1\n",
+		"bad escape":        "# TYPE x counter\nx{a=\"\\q\"} 1\n",
+		"unterminated":      "# TYPE x counter\nx{a=\"v} 1\n",
+		"duplicate label":   "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
+		"non-cumulative":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"count mismatch":    "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n",
+		"bucket without le": "# TYPE h histogram\nh_bucket 2\nh_sum 1\nh_count 2\n",
+		"retyped family":    "# TYPE x counter\n# TYPE x gauge\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error for:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseTextAccepts(t *testing.T) {
+	text := "# HELP ok_total fine\n# TYPE ok_total counter\nok_total{a=\"b\"} 1 1700000000000\nok_total{a=\"c\"} +Inf\n\n# TYPE g gauge\ng -3.5e-2\n"
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(fams["ok_total"].Samples) != 2 {
+		t.Errorf("want 2 samples, got %+v", fams["ok_total"].Samples)
+	}
+	if !math.IsInf(fams["ok_total"].Samples[1].Value, +1) {
+		t.Errorf("+Inf sample lost: %+v", fams["ok_total"].Samples[1])
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_id_total", "x", "route", "status")
+	a := v.With("q", "200")
+	b := v.With("q", "200")
+	if a != b {
+		t.Error("same label values should resolve the same child")
+	}
+	v.With("q", "500").Inc()
+	a.Add(2)
+	var sb strings.Builder
+	_ = r.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `test_id_total{route="q",status="200"} 2`) ||
+		!strings.Contains(out, `test_id_total{route="q",status="500"} 1`) {
+		t.Errorf("labelled series wrong:\n%s", out)
+	}
+}

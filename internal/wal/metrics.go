@@ -1,0 +1,17 @@
+package wal
+
+import "kgaq/internal/obs"
+
+// Durability-tier metrics: the append path is the mutation tier's fsync
+// bottleneck, so both the whole append (frame + write + policy sync) and
+// the fsync alone are measured.
+var (
+	metAppends = obs.Default().Counter("kgaq_wal_appends_total",
+		"Mutation records appended to the WAL.")
+	metAppendSeconds = obs.Default().Histogram("kgaq_wal_append_seconds",
+		"WAL append latency including the fsync under sync=always.", obs.DefBuckets)
+	metFsyncSeconds = obs.Default().Histogram("kgaq_wal_fsync_seconds",
+		"WAL fsync latency.", obs.DefBuckets)
+	metRotations = obs.Default().Counter("kgaq_wal_segment_rotations_total",
+		"WAL segments sealed and rotated.")
+)

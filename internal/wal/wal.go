@@ -223,6 +223,8 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 	if err := faultinject.Fire("wal.append"); err != nil {
 		return fmt.Errorf("wal: append epoch %d: %w", epoch, err)
 	}
+	begin := time.Now()
+	defer func() { metAppendSeconds.Observe(time.Since(begin).Seconds()) }()
 	if l.f != nil && l.segSize >= l.opt.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -246,6 +248,7 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 	}
 	l.last = epoch
 	l.appended++
+	metAppends.Inc()
 	if l.opt.Sync == SyncAlways {
 		if err := l.syncLocked(); err != nil {
 			// A failed fsync leaves durability unknowable — the kernel may
@@ -296,6 +299,7 @@ func (l *Log) rotateLocked() error {
 	}
 	l.f = nil
 	l.segSize = 0
+	metRotations.Inc()
 	return nil
 }
 
@@ -307,9 +311,11 @@ func (l *Log) syncLocked() error {
 	if err := faultinject.Fire("wal.sync"); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	begin := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	metFsyncSeconds.Observe(time.Since(begin).Seconds())
 	l.synced = l.last
 	return nil
 }

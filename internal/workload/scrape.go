@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"time"
+
+	"kgaq/internal/obs"
+)
+
+// Scrape fetches a Prometheus text exposition endpoint (kgaqd's debug
+// listener /metrics) and parses it strictly: well-formed comments, escaped
+// labels, cumulative histogram buckets. A server whose registry drifts out
+// of spec fails here, not in the operator's Prometheus.
+func Scrape(ctx context.Context, url string) (map[string]*obs.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return fams, nil
+}
+
+// docMetricRE matches a backticked metric name in markdown docs.
+var docMetricRE = regexp.MustCompile("`(kgaq_[a-z0-9_]+)`")
+
+// DocumentedMetrics extracts every backticked kgaq_* metric name from a
+// markdown file (the README metrics reference), deduplicated and sorted.
+// This is the doc half of the metrics lint: CI asserts each name it returns
+// exists in a live scrape, so the table and the registry cannot drift apart
+// silently.
+func DocumentedMetrics(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, m := range docMetricRE.FindAllStringSubmatch(string(data), -1) {
+		seen[m[1]] = true
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("%s documents no kgaq_* metrics", path)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LintMetrics checks a scrape against the documented metric names and
+// returns the documented names missing from the scrape. The scrape itself
+// has already proven well-formedness (strict parse); this closes the other
+// direction.
+func LintMetrics(fams map[string]*obs.Family, documented []string) []string {
+	var missing []string
+	for _, name := range documented {
+		if _, ok := fams[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
