@@ -64,19 +64,70 @@ func CompareTrajectories(baseline, fresh *Trajectory, tolerance float64) []Regre
 	return regs
 }
 
+// Gate tolerance bounds for the noise-derived (auto) mode: the floor keeps
+// a suspiciously quiet run from tripping on scheduler jitter the noise
+// passes happened to miss; the ceiling keeps a pathologically noisy
+// baseline from waving real regressions through.
+const (
+	// autoToleranceFactor scales the baseline's recorded max percentile
+	// spread: two honest runs can each land anywhere in the spread, so the
+	// gate must forgive at least 2× — 3× adds margin for tail draws beyond
+	// the recorded extremes.
+	autoToleranceFactor = 3
+	minAutoTolerance    = 0.25
+	maxAutoTolerance    = 1.0
+	// fallbackTolerance applies when the baseline predates the v7 noise
+	// record and the caller asked for auto tolerance.
+	fallbackTolerance = 0.5
+)
+
+// ResolveTolerance turns the caller's tolerance request into the effective
+// gate tolerance: a non-negative value is used as-is, a negative value asks
+// for auto mode — derived from the committed baseline's own runner-noise
+// record (autoToleranceFactor × max percentile spread, clamped), falling
+// back to fallbackTolerance for pre-noise baselines.
+func ResolveTolerance(requested float64, baseline *Trajectory) (tol float64, auto bool) {
+	if requested >= 0 {
+		return requested, false
+	}
+	if baseline.Noise == nil || baseline.Noise.Passes < 2 {
+		return fallbackTolerance, true
+	}
+	tol = autoToleranceFactor * baseline.Noise.MaxSpread()
+	if tol < minAutoTolerance {
+		tol = minAutoTolerance
+	}
+	if tol > maxAutoTolerance {
+		tol = maxAutoTolerance
+	}
+	return tol, true
+}
+
 // Gate measures a fresh trajectory and compares it against the committed
-// baseline at path, writing a verdict to w. A non-nil error means the gate
-// tripped (or could not run); callers exit non-zero on it.
+// baseline at path, writing a verdict to w. A negative tolerance derives
+// the effective tolerance from the baseline's runner-noise record (see
+// ResolveTolerance). A non-nil error means the gate tripped (or could not
+// run); callers exit non-zero on it.
 func Gate(w io.Writer, cfg Config, baselinePath string, tolerance float64) error {
 	baseline, err := ReadTrajectory(baselinePath)
 	if err != nil {
 		return err
 	}
+	tolerance, auto := ResolveTolerance(tolerance, baseline)
 	fresh, err := RunTrajectory(cfg, baseline.Label+"-gate")
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "gate: baseline %s (%s), tolerance %.0f%%\n", baselinePath, baseline.Label, 100*tolerance)
+	mode := "fixed"
+	if auto {
+		mode = "auto (from baseline noise)"
+		if baseline.Noise != nil {
+			mode = fmt.Sprintf("auto (%d× baseline max spread %.0f%%)",
+				autoToleranceFactor, 100*baseline.Noise.MaxSpread())
+		}
+	}
+	fmt.Fprintf(w, "gate: baseline %s (%s), tolerance %.0f%% [%s]\n",
+		baselinePath, baseline.Label, 100*tolerance, mode)
 	fmt.Fprintf(w, "  serving p50 %.2fms → %.2fms, p95 %.2fms → %.2fms\n",
 		baseline.LatencyP50MS, fresh.LatencyP50MS, baseline.LatencyP95MS, fresh.LatencyP95MS)
 	if baseline.Throughput != nil && fresh.Throughput != nil {

@@ -28,8 +28,16 @@ import (
 // queries) comparison; v5 adds the sustained-throughput axis (fixed-rate
 // mixed workload through the admission-controlled serving stack); v6 adds
 // the convergence-telemetry axis (mean refinement rounds and the
-// validation share of query time).
-const TrajectorySchema = "kgaq-bench-trajectory/v6"
+// validation share of query time); v7 adds the runner-noise
+// characterisation (per-pass percentile spread over repeated measured
+// passes), which the regression gate derives its tolerance from.
+const TrajectorySchema = "kgaq-bench-trajectory/v7"
+
+// measuredPasses is the number of measured workload repetitions after the
+// warm-up pass: the pooled latencies give the headline percentiles, and
+// the per-pass percentile spread is the runner-noise signal recorded in
+// Trajectory.Noise.
+const measuredPasses = 3
 
 // Trajectory is one tracked performance baseline: the serving hot path
 // measured end to end (latency distribution, sampling throughput, cache
@@ -81,7 +89,40 @@ type Trajectory struct {
 	// rounds to the guarantee and where the query time went.
 	Convergence *ConvergenceResult `json:"convergence,omitempty"`
 
+	// Noise characterises the runner: the spread of the per-pass latency
+	// percentiles across the repeated measured passes of this very run. A
+	// regression gate that ignores it either flakes (tolerance below the
+	// runner's own noise) or sleeps through real regressions (tolerance
+	// padded by guesswork); -gate derives its tolerance from this record.
+	Noise *NoiseResult `json:"noise,omitempty"`
+
 	Micro []MicroResult `json:"micro"`
+}
+
+// NoiseResult is the repeat-run noise measurement: each measured workload
+// pass yields its own p50/p95, and the min–max spread across passes bounds
+// how far two honest runs of the same binary on this runner disagree.
+type NoiseResult struct {
+	// Passes is the number of measured workload repetitions.
+	Passes int `json:"passes"`
+	// P50MinMS/P50MaxMS and P95MinMS/P95MaxMS are the extremes of the
+	// per-pass percentiles.
+	P50MinMS float64 `json:"p50_min_ms"`
+	P50MaxMS float64 `json:"p50_max_ms"`
+	P95MinMS float64 `json:"p95_min_ms"`
+	P95MaxMS float64 `json:"p95_max_ms"`
+	// P50Spread and P95Spread are (max-min)/min — the relative run-to-run
+	// disagreement the gate must at least forgive.
+	P50Spread float64 `json:"p50_spread"`
+	P95Spread float64 `json:"p95_spread"`
+}
+
+// MaxSpread returns the larger of the two percentile spreads.
+func (n *NoiseResult) MaxSpread() float64 {
+	if n.P50Spread > n.P95Spread {
+		return n.P50Spread
+	}
+	return n.P95Spread
 }
 
 // ConvergenceResult aggregates the per-query convergence telemetry of the
@@ -150,12 +191,15 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 
 	ctx := cfg.ctx()
 	var latencies []float64
+	passP50 := make([]float64, 0, measuredPasses)
+	passP95 := make([]float64, 0, measuredPasses)
 	totalDraws := 0
 	totalTime := time.Duration(0)
 	ran := 0
 	totalRounds, maxRounds := 0, 0
 	var steps core.StepTimes
-	for pass := 0; pass < 2; pass++ {
+	for pass := 0; pass <= measuredPasses; pass++ {
+		var passLat []float64
 		for _, gq := range env.DS.Queries {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -170,7 +214,9 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 				continue // warm-up only: cold convergence must not dilute the baseline
 			}
 			ran++
-			latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+			ms := float64(elapsed.Microseconds()) / 1000
+			latencies = append(latencies, ms)
+			passLat = append(passLat, ms)
 			totalDraws += res.SampleSize
 			totalTime += elapsed
 			totalRounds += len(res.Rounds)
@@ -180,6 +226,11 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 			steps.Sampling += res.Times.Sampling
 			steps.Estimation += res.Times.Estimation
 			steps.Guarantee += res.Times.Guarantee
+		}
+		if pass > 0 && len(passLat) > 0 {
+			sort.Float64s(passLat)
+			passP50 = append(passP50, percentile(passLat, 0.50))
+			passP95 = append(passP95, percentile(passLat, 0.95))
 		}
 	}
 	if len(latencies) == 0 {
@@ -210,6 +261,9 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 			Bytes:   cs.Bytes,
 		},
 		Micro: microBenchmarks(),
+	}
+	if len(passP50) > 1 {
+		tr.Noise = noiseFromPasses(passP50, passP95)
 	}
 	if total := steps.Total(); total > 0 {
 		tr.Convergence = &ConvergenceResult{
@@ -299,6 +353,36 @@ func microBenchmarks() []MicroResult {
 	return out
 }
 
+// noiseFromPasses condenses per-pass percentiles into the min–max spread
+// record.
+func noiseFromPasses(p50s, p95s []float64) *NoiseResult {
+	minMax := func(vs []float64) (lo, hi float64) {
+		lo, hi = vs[0], vs[0]
+		for _, v := range vs[1:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return lo, hi
+	}
+	spread := func(lo, hi float64) float64 {
+		if lo <= 0 {
+			return 0
+		}
+		return (hi - lo) / lo
+	}
+	p50lo, p50hi := minMax(p50s)
+	p95lo, p95hi := minMax(p95s)
+	return &NoiseResult{
+		Passes:    len(p50s),
+		P50MinMS:  p50lo,
+		P50MaxMS:  p50hi,
+		P95MinMS:  p95lo,
+		P95MaxMS:  p95hi,
+		P50Spread: spread(p50lo, p50hi),
+		P95Spread: spread(p95lo, p95hi),
+	}
+}
+
 // percentile returns the p-quantile of sorted values (nearest-rank:
 // ceil(p·n)-1).
 func percentile(sorted []float64, p float64) float64 {
@@ -364,6 +448,10 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 	if c := tr.Convergence; c != nil {
 		fmt.Fprintf(w, "  convergence: mean %.2f rounds (max %d), time split sampling %.0f%% / validation %.0f%% / guarantee %.0f%%\n",
 			c.MeanRounds, c.MaxRounds, 100*c.SamplingShare, 100*c.ValidationShare, 100*c.GuaranteeShare)
+	}
+	if n := tr.Noise; n != nil {
+		fmt.Fprintf(w, "  noise: %d passes, p50 %.2f–%.2fms (spread %.0f%%), p95 %.2f–%.2fms (spread %.0f%%)\n",
+			n.Passes, n.P50MinMS, n.P50MaxMS, 100*n.P50Spread, n.P95MinMS, n.P95MaxMS, 100*n.P95Spread)
 	}
 	for _, m := range tr.Micro {
 		fmt.Fprintf(w, "  micro %-22s %12.0f ns/op %8d B/op %6d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)

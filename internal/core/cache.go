@@ -67,7 +67,72 @@ type stageEntry struct {
 	types []kg.TypeID // decoded target types, for compaction rewarm
 
 	mu       sync.Mutex
-	verdicts map[verdictKey]map[kg.NodeID]bool
+	verdicts map[verdictKey]*verdictTable
+}
+
+// verdictTable is a flat open-addressing verdict cache keyed by node id —
+// the shared stage-level counterpart of the execution's per-index verdict
+// byte array. Every refinement round's batch validation probes it once per
+// distinct drawn answer, so the probe replaces a Go map lookup with one
+// multiply-hash and a short linear scan over a power-of-two slot array.
+// Keys are stored as node id + 1 so the zero slot means empty (NodeID 0 is
+// a valid node). First verdict wins, matching the map-based semantics it
+// replaced. Not goroutine-safe: callers hold the stage entry's mutex.
+type verdictTable struct {
+	keys []int64
+	vals []bool
+	n    int
+}
+
+func newVerdictTable() *verdictTable {
+	return &verdictTable{keys: make([]int64, 64), vals: make([]bool, 64)}
+}
+
+func (t *verdictTable) slot(u kg.NodeID) int {
+	h := uint64(u) * 0x9E3779B97F4A7C15
+	return int((h ^ (h >> 32)) & uint64(len(t.keys)-1))
+}
+
+// get returns the cached verdict for u and whether one exists.
+func (t *verdictTable) get(u kg.NodeID) (verdict, ok bool) {
+	k := int64(u) + 1
+	mask := len(t.keys) - 1
+	for i := t.slot(u); ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i], true
+		case 0:
+			return false, false
+		}
+	}
+}
+
+// put caches a verdict for u; an existing entry is kept unchanged.
+func (t *verdictTable) put(u kg.NodeID, v bool) {
+	if 4*(t.n+1) > 3*len(t.keys) { // grow at 75% load
+		old := *t
+		t.keys = make([]int64, 2*len(old.keys))
+		t.vals = make([]bool, 2*len(old.vals))
+		t.n = 0
+		for i, k := range old.keys {
+			if k != 0 {
+				t.put(kg.NodeID(k-1), old.vals[i])
+			}
+		}
+	}
+	k := int64(u) + 1
+	mask := len(t.keys) - 1
+	for i := t.slot(u); ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case k:
+			return // first verdict wins
+		case 0:
+			t.keys[i] = k
+			t.vals[i] = v
+			t.n++
+			return
+		}
+	}
 }
 
 // maxVerdictConfigs bounds how many distinct (τ, repeat) verdict maps one
@@ -78,19 +143,19 @@ type stageEntry struct {
 // LRU budget at insert time.
 const maxVerdictConfigs = 8
 
-// verdictsFor returns the verdict map of one validator configuration,
+// verdictsFor returns the verdict table of one validator configuration,
 // creating it on first use. When a new configuration would exceed
-// maxVerdictConfigs, all verdict maps are dropped and rebuilt on demand —
+// maxVerdictConfigs, all verdict tables are dropped and rebuilt on demand —
 // verdicts are recomputable, and a workload cycling through more than
 // maxVerdictConfigs τ values is already re-validating constantly. Callers
 // must hold st.mu.
-func (st *stageEntry) verdictsFor(k verdictKey) map[kg.NodeID]bool {
+func (st *stageEntry) verdictsFor(k verdictKey) *verdictTable {
 	m, ok := st.verdicts[k]
 	if !ok {
 		if len(st.verdicts) >= maxVerdictConfigs {
 			clear(st.verdicts)
 		}
-		m = make(map[kg.NodeID]bool)
+		m = newVerdictTable()
 		st.verdicts[k] = m
 	}
 	return m
@@ -105,13 +170,13 @@ func newStageEntry(answers []kg.NodeID, probs []float64, piMap map[kg.NodeID]flo
 		epoch:    epoch,
 		scope:    scope,
 		types:    append([]kg.TypeID(nil), types...),
-		verdicts: make(map[verdictKey]map[kg.NodeID]bool),
+		verdicts: make(map[verdictKey]*verdictTable),
 	}
 	// Approximate resident bytes: the distribution slices, the π map, the
-	// scope list, and headroom for the verdict maps to fill in (one bool per
-	// candidate answer per possible validator configuration, map overhead
-	// included) — the worst case the maxVerdictConfigs cap allows, so the
-	// LRU budget stays honest as verdicts accumulate.
+	// scope list, and headroom for the verdict tables to fill in (9 bytes
+	// per open-addressing slot at ≤75% load per possible validator
+	// configuration) — the worst case the maxVerdictConfigs cap allows, so
+	// the LRU budget stays honest as verdicts accumulate.
 	st.cost = 256 +
 		int64(len(answers))*(4+8) +
 		int64(len(piMap))*48 +

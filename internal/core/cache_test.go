@@ -180,15 +180,15 @@ func TestVerdictConfigsBounded(t *testing.T) {
 	defer st.mu.Unlock()
 	for i := 0; i < 5*maxVerdictConfigs; i++ {
 		m := st.verdictsFor(verdictKey{tau: 0.5 + float64(i)/1000, repeat: 3})
-		m[1] = true
+		m.put(1, true)
 		if len(st.verdicts) > maxVerdictConfigs {
 			t.Fatalf("verdict configs grew to %d (cap %d)", len(st.verdicts), maxVerdictConfigs)
 		}
 	}
 	// An existing config is returned, not reset.
 	k := verdictKey{tau: 0.9, repeat: 3}
-	st.verdictsFor(k)[2] = true
-	if !st.verdictsFor(k)[2] {
+	st.verdictsFor(k).put(2, true)
+	if v, ok := st.verdictsFor(k).get(2); !ok || !v {
 		t.Fatal("existing verdict config was reset on re-access")
 	}
 }

@@ -46,7 +46,8 @@ type Execution struct {
 
 	sp      *answerSpace
 	sh      *shardedSpace // non-nil when Options.Shards > 1
-	rng     *rand.Rand
+	rng     *rand.Rand    // the draw stream: consumed by sampling alone
+	scr     *execScratch  // pooled hot-loop buffers, held per Refine call
 	drawIdx []int
 	rounds  []Round
 	times   StepTimes
@@ -334,18 +335,19 @@ func (x *Execution) prevalidateDraws(ctx context.Context) {
 		return
 	}
 	if x.sh != nil {
-		x.sh.prevalidate(ctx, x.e, x.sp, x.drawIdx)
+		x.sh.prevalidate(ctx, x.e, x.sp, x.drawIdx, x.scr)
 		return
 	}
-	x.sp.prevalidate(ctx, x.drawIdx)
+	x.sp.prevalidate(ctx, x.drawIdx, x.scr)
 }
 
 func (x *Execution) observations(ctx context.Context) []estimate.Observation {
 	x.prevalidateDraws(ctx)
-	out := make([]estimate.Observation, len(x.drawIdx))
-	for k, i := range x.drawIdx {
-		out[k] = x.observation(ctx, i)
+	out := x.scr.obs[:0]
+	for _, i := range x.drawIdx {
+		out = append(out, x.observation(ctx, i))
 	}
+	x.scr.obs = out
 	return out
 }
 
@@ -402,7 +404,20 @@ func (re *roundEval) moe() (float64, error) {
 	if re.strata != nil {
 		return estimate.MoEStratified(re.fn, re.strata, o.Policy, o.guarantee())
 	}
-	return estimate.MoE(re.fn, re.obs, o.Policy, o.guarantee(), x.rng)
+	return estimate.MoESeeded(re.fn, re.obs, o.Policy, o.guarantee(), x.moeSeed(re.fn, len(re.obs)))
+}
+
+// moeSeed derives the BLB bootstrap stream for one MoE evaluation from the
+// execution seed, the aggregate function and the sample size. The bootstrap
+// deliberately does NOT consume x.rng: the draw stream stays a function of
+// draw counts alone, so pooled and unpooled execution, and a QueryMulti
+// versus sequential Query calls over the same plan, sample identically —
+// the determinism property tests pin this down. Distinct (fn, n) pairs map
+// to distinct pre-scramble seeds (fn is a small enum), and splitmix64
+// decorrelates consecutive sample sizes.
+func (x *Execution) moeSeed(fn query.AggFunc, n int) int64 {
+	sm := stats.NewSplitmix(x.opts.Seed + int64(n)*1_000_003 + int64(fn))
+	return int64(sm.Next())
 }
 
 // sampleMore extends the draw list by k, honouring the MaxDraws budget. It
@@ -419,9 +434,11 @@ func (x *Execution) sampleMore(k int) bool {
 	begin := time.Now()
 	var fresh []int
 	if x.sh != nil {
-		fresh = x.sh.draw(k)
+		x.scr.draws = x.sh.drawInto(x.scr.draws[:0], k)
+		fresh = x.scr.draws
 	} else {
-		fresh = x.sp.draw(x.rng, k)
+		x.scr.draws = x.sp.drawInto(x.scr.draws[:0], x.rng, k)
+		fresh = x.scr.draws
 	}
 	x.drawIdx = append(x.drawIdx, fresh...)
 	x.e.countDraws(x.sp.answers, fresh)
@@ -461,6 +478,8 @@ func (x *Execution) Refine(ctx context.Context, eb float64) (res *Result, err er
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release := x.holdScratch()
+	defer release()
 	if eb <= 0 {
 		eb = x.opts.ErrorBound
 	}
@@ -748,22 +767,24 @@ func (x *Execution) runGrouped(ctx context.Context, eb float64) (*Result, error)
 func (x *Execution) groupedObservations(ctx context.Context) (map[string][]estimate.Observation, map[string]int, []estimate.Observation) {
 	g := x.v.g
 	x.prevalidateDraws(ctx)
-	labels := make([]string, len(x.drawIdx))
-	base := make([]estimate.Observation, len(x.drawIdx))
+	labels := x.scr.labels[:0]
+	base := x.scr.base[:0]
 	seen := map[string]bool{}
 	inGroup := map[string]int{}
-	for k, i := range x.drawIdx {
-		base[k] = x.observation(ctx, i)
+	for _, i := range x.drawIdx {
+		ob := x.observation(ctx, i)
+		base = append(base, ob)
 		label := "n/a"
 		if v, ok := g.Attr(x.sp.answers[i], x.group); ok {
 			label = strconv.FormatFloat(v, 'g', -1, 64)
 		}
-		labels[k] = label
-		if base[k].Correct {
+		labels = append(labels, label)
+		if ob.Correct {
 			seen[label] = true
 			inGroup[label]++
 		}
 	}
+	x.scr.labels, x.scr.base = labels, base
 	byGroup := map[string][]estimate.Observation{}
 	for label := range seen {
 		obs := make([]estimate.Observation, len(base))
@@ -781,9 +802,12 @@ func (x *Execution) groupedObservations(ctx context.Context) (map[string][]estim
 func (x *Execution) result(ctx context.Context, vhat, moe float64, converged bool, groups map[string]GroupResult) *Result {
 	x.finishTelemetry(ctx, converged, vhat, moe)
 	correct := 0
-	distinct := map[int]bool{}
+	distinct := 0
+	x.scr.beginMarks(x.sp.len())
 	for _, i := range x.drawIdx {
-		distinct[i] = true
+		if x.scr.mark(i) {
+			distinct++
+		}
 		if x.observation(ctx, i).Correct {
 			correct++
 		}
@@ -802,7 +826,7 @@ func (x *Execution) result(ctx context.Context, vhat, moe float64, converged boo
 		TargetEB:   x.targetEB,
 		Rounds:     append([]Round(nil), x.rounds...),
 		SampleSize: len(x.drawIdx),
-		Distinct:   len(distinct),
+		Distinct:   distinct,
 		Correct:    correct,
 		Candidates: x.sp.len(),
 		Shards:     shards,

@@ -145,8 +145,12 @@ func (e *Engine) QueryMulti(ctx context.Context, q *query.Aggregate, specs []Agg
 // multiObservation materialises draw i against every spec target at once:
 // probability, stratum identity and the semantic + filter verdict are
 // computed once and shared; each target contributes its own attribute
-// value.
-func (x *Execution) multiObservation(ctx context.Context, i int, attrs []kg.AttrID) estimate.MultiObservation {
+// value. values and has are the draw's K-wide slots in the round's flat
+// arena — the caller carves them out of one reused backing array, so
+// multi-target accumulation allocates nothing per draw.
+func (x *Execution) multiObservation(ctx context.Context, i int, attrs []kg.AttrID,
+	values []float64, has []bool) estimate.MultiObservation {
+
 	g := x.v.g
 	u := x.sp.answers[i]
 	m := estimate.MultiObservation{Prob: x.sp.probs[i],
@@ -166,15 +170,15 @@ func (x *Execution) multiObservation(ctx context.Context, i int, attrs []kg.Attr
 			}
 		}
 	}
-	m.Values = make([]float64, len(attrs))
-	m.Has = make([]bool, len(attrs))
+	m.Values, m.Has = values, has
 	for k, a := range attrs {
+		values[k], has[k] = 0, false
 		if a == kg.InvalidAttr {
 			continue // COUNT(*) target: no value column
 		}
 		if v, ok := g.Attr(u, a); ok {
-			m.Values[k] = v
-			m.Has[k] = true
+			values[k] = v
+			has[k] = true
 		}
 	}
 	return m
@@ -182,23 +186,38 @@ func (x *Execution) multiObservation(ctx context.Context, i int, attrs []kg.Attr
 
 // multiObservationList builds the round's multi-target observation list
 // (batch-validating fresh draws first) plus, for grouped queries, the
-// per-draw group labels.
+// per-draw group labels. The list, its Values/Has backing and the labels
+// all live in the execution's scratch: rebuilt in place each round, valid
+// until the next refresh.
 func (x *Execution) multiObservationList(ctx context.Context, attrs []kg.AttrID) ([]estimate.MultiObservation, []string) {
 	x.prevalidateDraws(ctx)
-	out := make([]estimate.MultiObservation, len(x.drawIdx))
+	scr := x.scr
+	n, targets := len(x.drawIdx), len(attrs)
+	if cap(scr.vals) < n*targets {
+		scr.vals = make([]float64, n*targets)
+		scr.has = make([]bool, n*targets)
+	}
+	vals, has := scr.vals[:n*targets], scr.has[:n*targets]
+	out := scr.mobs[:0]
 	var labels []string
-	if x.group != kg.InvalidAttr {
-		labels = make([]string, len(x.drawIdx))
+	grouped := x.group != kg.InvalidAttr
+	if grouped {
+		labels = scr.labels[:0]
 	}
 	for k, i := range x.drawIdx {
-		out[k] = x.multiObservation(ctx, i, attrs)
-		if labels != nil {
+		lo, hi := k*targets, (k+1)*targets
+		out = append(out, x.multiObservation(ctx, i, attrs, vals[lo:hi:hi], has[lo:hi:hi]))
+		if grouped {
 			label := "n/a"
 			if v, ok := x.v.g.Attr(x.sp.answers[i], x.group); ok {
 				label = strconv.FormatFloat(v, 'g', -1, 64)
 			}
-			labels[k] = label
+			labels = append(labels, label)
 		}
+	}
+	scr.mobs = out
+	if grouped {
+		scr.labels = labels
 	}
 	return out, labels
 }
@@ -215,6 +234,8 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release := x.holdScratch()
+	defer release()
 	grouped := x.group != kg.InvalidAttr
 	if err := validateSpecs(specs, grouped); err != nil {
 		return nil, err
@@ -319,7 +340,8 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 		for gi, k := range guaranteed {
 			fn := specs[k].Func
 			begin := time.Now()
-			base := estimate.Project(mobs, k, fn)
+			base := estimate.ProjectInto(x.scr.proj[:0], mobs, k, fn)
+			x.scr.proj = base
 			// The first guaranteed spec refreshes the Neyman allocator's
 			// variance signals; allocation stays a function of one spec so
 			// the draw streams remain deterministic under the seed.
@@ -420,7 +442,8 @@ func (x *Execution) refineMulti(ctx context.Context, specs []AggSpec) (res *Mult
 	for _, k := range extremes {
 		fn := specs[k].Func
 		begin := time.Now()
-		obs := estimate.Project(mobs, k, fn)
+		obs := estimate.ProjectInto(x.scr.proj[:0], mobs, k, fn)
+		x.scr.proj = obs
 		if v, err := x.evalFn(fn, obs, false).estimate(); err == nil {
 			state[k].Estimate = v
 			state[k].MoE = 0
@@ -499,9 +522,12 @@ func (x *Execution) multiResult(ctx context.Context, state []AggResult, rounds i
 	mobs []estimate.MultiObservation) *MultiResult {
 
 	x.finishTelemetry(ctx, converged, math.NaN(), math.NaN())
-	distinct := map[int]bool{}
+	x.scr.beginMarks(x.sp.len())
+	distinct := 0
 	for _, i := range x.drawIdx {
-		distinct[i] = true
+		if x.scr.mark(i) {
+			distinct++
+		}
 	}
 	correct := 0
 	for _, m := range mobs {
@@ -521,7 +547,7 @@ func (x *Execution) multiResult(ctx context.Context, state []AggResult, rounds i
 		Degraded:   x.degraded,
 		Rounds:     rounds,
 		SampleSize: len(x.drawIdx),
-		Distinct:   len(distinct),
+		Distinct:   distinct,
 		Correct:    correct,
 		Candidates: x.sp.len(),
 		Shards:     shards,

@@ -71,7 +71,7 @@ func TestQueryMultiSingleBuildSharedSample(t *testing.T) {
 // QueryMulti must agree with three separate single-aggregate queries (same
 // truths, same guarantees) while sharing the sample.
 func TestQueryMultiMatchesSingles(t *testing.T) {
-	e, _ := figure1Engine(t, Options{ErrorBound: 0.05, Seed: 4})
+	e, _ := figure1Engine(t, Options{ErrorBound: 0.05, Seed: 5})
 	ctx := context.Background()
 	multi, err := e.QueryMulti(ctx, countQuery(), threeSpecs())
 	if err != nil {

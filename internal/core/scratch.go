@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+
+	"kgaq/internal/estimate"
+	"kgaq/internal/kg"
+)
+
+// execScratch is the reusable working memory of the draw→validate→estimate
+// hot loop: observation lists, the multi-target value arena, draw batches,
+// the batch-validation work queue and the generation-stamped candidate
+// marks. One scratch serves one Refine/refineMulti call at a time; the
+// buffers are reset (re-sliced to zero length, never reallocated while
+// capacity holds) at each use, and the whole struct returns to a sync.Pool
+// when the call finishes, so steady-state refinement rounds allocate
+// nothing on these paths. The allocation-budget tests in
+// allocbudget_test.go enforce that property per stage.
+type execScratch struct {
+	// obs is the per-round single-target observation list (observations).
+	obs []estimate.Observation
+	// base and labels serve the grouped path's shared base list and
+	// per-draw group labels.
+	base   []estimate.Observation
+	labels []string
+	// mobs is the per-round multi-target observation list; vals and has are
+	// the flat |S|×K arena its Values/Has slices alias, so a round's whole
+	// multi-target accumulation costs zero allocations.
+	mobs []estimate.MultiObservation
+	vals []float64
+	has  []bool
+	// proj is the per-spec projection target (estimate.ProjectInto).
+	proj []estimate.Observation
+	// draws is the per-call alias-table draw batch (sampleMore).
+	draws []int
+	// freshNodes/freshIdx queue the distinct not-yet-validated answers of a
+	// round for the batch validator.
+	freshNodes []kg.NodeID
+	freshIdx   []int
+	// marks de-duplicates candidate indices without a map: marks[i] == gen
+	// means index i was seen in the current generation (beginMarks bumps
+	// gen, so resetting costs nothing).
+	marks []uint32
+	gen   uint32
+}
+
+var execScratchPool = sync.Pool{New: func() any { return new(execScratch) }}
+
+// disableScratchPool short-circuits the pool: every acquire returns a fresh
+// zero scratch and nothing is recycled. The pooled-versus-unpooled
+// equivalence tests flip it to prove pooling is behaviour-invisible.
+var disableScratchPool = false
+
+func getScratch() *execScratch {
+	if disableScratchPool {
+		return new(execScratch)
+	}
+	return execScratchPool.Get().(*execScratch)
+}
+
+func putScratch(s *execScratch) {
+	if disableScratchPool || s == nil {
+		return
+	}
+	execScratchPool.Put(s)
+}
+
+// holdScratch attaches pooled scratch to the execution for the duration of
+// one refinement entry point and returns the release. Nested refinement
+// helpers (runExtreme, runGrouped) see the already-attached scratch and the
+// release becomes a no-op for them, so only the outermost holder returns it
+// to the pool.
+func (x *Execution) holdScratch() func() {
+	if x.scr != nil {
+		return func() {}
+	}
+	x.scr = getScratch()
+	return func() {
+		putScratch(x.scr)
+		x.scr = nil
+	}
+}
+
+// beginMarks starts a new de-duplication generation over n candidates.
+func (s *execScratch) beginMarks(n int) {
+	if len(s.marks) < n {
+		s.marks = make([]uint32, n)
+		s.gen = 0
+	}
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped: clear once and restart
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// mark reports whether candidate index i is seen for the first time in the
+// current generation.
+func (s *execScratch) mark(i int) bool {
+	if s.marks[i] == s.gen {
+		return false
+	}
+	s.marks[i] = s.gen
+	return true
+}

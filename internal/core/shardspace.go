@@ -67,6 +67,11 @@ type shardedSpace struct {
 	// allocator turns them into Neyman shares. Zero until the first
 	// estimated round.
 	sigmas []float64
+	// statsBuf and allocBuf are reusable per-round scratch for the Neyman
+	// allocation (one stratum-stats row and one draw-count slot per stratum);
+	// sized lazily on first draw and reused for the execution's lifetime.
+	statsBuf []estimate.StratumStats
+	allocBuf []int
 }
 
 // newShardedSpace binds per-execution draw state to a shared split.
@@ -92,40 +97,45 @@ func (sh *shardedSpace) condProb(sp *answerSpace, i int) float64 {
 	return sp.probs[i] / sh.spaces[sh.posOf[i]].Weight
 }
 
-// draw allocates k draws across strata — Neyman once variance signals
-// exist, proportional before — and samples each stratum from its own
-// stream, returning global answer indices in ascending-stratum order.
-func (sh *shardedSpace) draw(k int) []int {
-	st := make([]estimate.StratumStats, len(sh.spaces))
+// drawInto allocates k draws across strata — Neyman once variance signals
+// exist, proportional before — samples each stratum from its own stream,
+// and appends the global answer indices to dst in ascending-stratum order.
+// The allocation scratch lives on the sharded space, so steady-state rounds
+// draw without allocating.
+func (sh *shardedSpace) drawInto(dst []int, k int) []int {
+	if cap(sh.statsBuf) < len(sh.spaces) {
+		sh.statsBuf = make([]estimate.StratumStats, len(sh.spaces))
+	}
+	st := sh.statsBuf[:len(sh.spaces)]
 	for pos, spc := range sh.spaces {
 		st[pos] = estimate.StratumStats{Weight: spc.Weight, Sigma: sh.sigmas[pos]}
 	}
-	alloc := estimate.AllocateDraws(k, st)
-	var out []int
-	for pos, n := range alloc {
+	sh.allocBuf = estimate.AllocateDrawsInto(sh.allocBuf, k, st)
+	for pos, n := range sh.allocBuf {
 		if n <= 0 {
 			continue
 		}
-		out = append(out, sh.spaces[pos].Draw(sh.rngs[pos], n)...)
+		dst = sh.spaces[pos].DrawInto(dst, sh.rngs[pos], n)
 		sh.drawn[pos] += n
 	}
-	return out
+	return dst
 }
 
 // updateSigmas refreshes the per-stratum variance signals from a round's
 // regrouped strata (stratum ids are shard ids) under the aggregate function
-// whose guarantee is driving the refinement.
+// whose guarantee is driving the refinement. Strata counts are small, so a
+// direct scan over spaces beats building a shard→sigma map every round.
 func (sh *shardedSpace) updateSigmas(fn query.AggFunc, strata []estimate.Stratum) {
-	byShard := map[int]float64{}
 	for _, st := range strata {
 		if len(st.Obs) == 0 {
 			continue
 		}
-		byShard[st.Obs[0].Stratum] = estimate.StratumSigma(fn, st.Obs)
-	}
-	for pos, spc := range sh.spaces {
-		if s, ok := byShard[spc.Shard]; ok {
-			sh.sigmas[pos] = s
+		id := st.Obs[0].Stratum
+		for pos, spc := range sh.spaces {
+			if spc.Shard == id {
+				sh.sigmas[pos] = estimate.StratumSigma(fn, st.Obs)
+				break
+			}
 		}
 	}
 }
@@ -138,34 +148,43 @@ func (sh *shardedSpace) updateSigmas(fn query.AggFunc, strata []estimate.Stratum
 // and the search is exactly the unsharded shared traversal — sharding
 // never splits validation work it cannot parallelise. Each goroutine
 // writes only its bucket's verdict segment; segments merge into the
-// execution's shared verdict map afterwards, on the calling goroutine, so
+// execution's shared verdict slab afterwards, on the calling goroutine, so
 // the lazy single-draw path stays lock-free. A ctx cancellation mid-batch
 // discards that batch's verdicts, exactly like the unsharded path.
-func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSpace, drawIdx []int) {
+//
+// The fully-cached round (every draw already carries a verdict) allocates
+// nothing: de-duplication runs on the scratch marks and the fresh queue
+// reuses scratch storage, so the per-stratum machinery is only built when
+// there is genuinely fresh work.
+func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSpace, drawIdx []int, scr *execScratch) {
 	if sp.oracle.batch == nil {
+		return
+	}
+	scr.beginMarks(len(sp.answers))
+	flat := scr.freshIdx[:0]
+	for _, i := range drawIdx {
+		if !scr.mark(i) {
+			continue
+		}
+		if sp.verdicts[i] != verdictUnknown {
+			continue
+		}
+		flat = append(flat, i)
+	}
+	scr.freshIdx = flat
+	if len(flat) == 0 {
 		return
 	}
 	fresh := make([][]kg.NodeID, len(sh.spaces))
 	freshIdx := make([][]int, len(sh.spaces))
-	seen := map[int]bool{}
 	active := 0
-	for _, i := range drawIdx {
-		if seen[i] {
-			continue
-		}
-		seen[i] = true
-		if _, ok := sp.verdicts[i]; ok {
-			continue
-		}
+	for _, i := range flat {
 		pos := sh.posOf[i]
 		if len(fresh[pos]) == 0 {
 			active++
 		}
 		fresh[pos] = append(fresh[pos], sp.answers[i])
 		freshIdx[pos] = append(freshIdx[pos], i)
-	}
-	if active == 0 {
-		return
 	}
 	buckets := runtime.GOMAXPROCS(0)
 	if buckets > active {
@@ -214,13 +233,12 @@ func (sh *shardedSpace) prevalidate(ctx context.Context, e *Engine, sp *answerSp
 	if ctx.Err() != nil {
 		return
 	}
-	// Merge the segments into the execution-shared verdict map on this
+	// Merge the segments into the execution-shared verdict slab on this
 	// goroutine; the per-draw observation path then works unchanged.
 	for _, seg := range segments {
 		for i, v := range seg {
-			if _, ok := sp.verdicts[i]; !ok {
-				sp.verdicts[i] = v
-				sp.validated[i] = true
+			if sp.verdicts[i] == verdictUnknown {
+				sp.setVerdict(i, v)
 			}
 		}
 	}

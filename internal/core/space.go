@@ -33,10 +33,10 @@ const maxChainIntermediates = 300
 // negatives.
 //
 // answers, probs, alias and the oracle are immutable after construction —
-// the compiled-plan half a Prepared shares across executions; verdicts and
-// validated are per-execution caches, renewed by fork, so concurrent
-// executions of one plan never write the same map. (The semantic oracle's
-// own caches live on the engine's stage entries, guarded by their mutex.)
+// the compiled-plan half a Prepared shares across executions; verdicts is a
+// per-execution cache, renewed by fork, so concurrent executions of one
+// plan never write the same array. (The semantic oracle's own caches live
+// on the engine's stage entries, guarded by their mutex.)
 type answerSpace struct {
 	answers []kg.NodeID
 	probs   []float64 // sums to 1
@@ -45,22 +45,39 @@ type answerSpace struct {
 	// set, validates many answers in one shared search so a round's worth of
 	// fresh answers costs one traversal instead of one per answer.
 	oracle correctOracle
-	// verdicts caches per-index validation outcomes.
-	verdicts map[int]bool
-	// validated records which indices have been validated (work metric).
-	validated map[int]bool
+	// verdicts caches per-index validation outcomes, one byte per candidate
+	// (verdictUnknown / verdictIncorrect / verdictCorrect). The flat probe
+	// replaced a map lookup on the per-draw observation path, which runs
+	// |S| times per refinement round.
+	verdicts []uint8
 }
+
+// Per-candidate verdict-cache states.
+const (
+	verdictUnknown uint8 = iota
+	verdictIncorrect
+	verdictCorrect
+)
 
 func (s *answerSpace) len() int { return len(s.answers) }
 
 // fork returns an execution-private view of the space: the immutable parts
 // (candidate answers, probabilities, alias table, correctness oracle) are
-// shared, the per-execution verdict caches start fresh. This is what makes
+// shared, the per-execution verdict cache starts fresh. This is what makes
 // a Prepared safe for concurrent Start calls.
 func (s *answerSpace) fork() *answerSpace {
 	return &answerSpace{
 		answers: s.answers, probs: s.probs, alias: s.alias, oracle: s.oracle,
-		verdicts: map[int]bool{}, validated: map[int]bool{},
+		verdicts: make([]uint8, len(s.answers)),
+	}
+}
+
+// setVerdict caches a completed validation outcome for index i.
+func (s *answerSpace) setVerdict(i int, v bool) {
+	if v {
+		s.verdicts[i] = verdictCorrect
+	} else {
+		s.verdicts[i] = verdictIncorrect
 	}
 }
 
@@ -68,47 +85,49 @@ func (s *answerSpace) fork() *answerSpace {
 // through validation) for the answer at index i, caching completed
 // verdicts on the execution.
 func (s *answerSpace) correctness(ctx context.Context, i int) bool {
-	if v, ok := s.verdicts[i]; ok {
-		return v
+	if v := s.verdicts[i]; v != verdictUnknown {
+		return v == verdictCorrect
 	}
 	v := s.oracle.single(ctx, s.answers[i])
 	if ctx.Err() != nil {
 		return false // incomplete validation: no verdict, no cache entry
 	}
-	s.verdicts[i] = v
-	s.validated[i] = true
+	s.setVerdict(i, v)
 	return v
 }
 
-func (s *answerSpace) draw(r *rand.Rand, k int) []int {
-	out := make([]int, k)
-	for i := range out {
-		out[i] = s.alias.Draw(r)
+// drawInto appends k alias-table draws to dst and returns it; callers pass
+// a reused scratch buffer so the per-round draw batch allocates nothing
+// once warm.
+func (s *answerSpace) drawInto(dst []int, r *rand.Rand, k int) []int {
+	for j := 0; j < k; j++ {
+		dst = append(dst, s.alias.Draw(r))
 	}
-	return out
+	return dst
 }
 
 // prevalidate batch-validates every not-yet-validated answer appearing in
-// the draw list. Without a batch validator it is a no-op (the per-answer
+// the draw list, queueing the distinct fresh indices through the scratch
+// work buffers. Without a batch validator it is a no-op (the per-answer
 // oracle runs lazily instead). A ctx cancellation mid-batch discards the
 // incomplete verdicts instead of caching them.
-func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
+func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int, scr *execScratch) {
 	if s.oracle.batch == nil {
 		return
 	}
-	var fresh []kg.NodeID
-	var freshIdx []int
-	seen := map[int]bool{}
+	scr.beginMarks(len(s.answers))
+	fresh := scr.freshNodes[:0]
+	freshIdx := scr.freshIdx[:0]
 	for _, i := range drawIdx {
-		if seen[i] {
+		if !scr.mark(i) {
 			continue
 		}
-		seen[i] = true
-		if _, ok := s.verdicts[i]; !ok {
+		if s.verdicts[i] == verdictUnknown {
 			fresh = append(fresh, s.answers[i])
 			freshIdx = append(freshIdx, i)
 		}
 	}
+	scr.freshNodes, scr.freshIdx = fresh, freshIdx
 	if len(fresh) == 0 {
 		return
 	}
@@ -117,8 +136,7 @@ func (s *answerSpace) prevalidate(ctx context.Context, drawIdx []int) {
 		return
 	}
 	for k, i := range freshIdx {
-		s.verdicts[i] = res[fresh[k]]
-		s.validated[i] = true
+		s.setVerdict(i, res[fresh[k]])
 	}
 }
 
@@ -191,8 +209,7 @@ func spaceFromMap(pi map[kg.NodeID]float64, oracle correctOracle) (*answerSpace,
 	}
 	return &answerSpace{
 		answers: answers, probs: probs, alias: alias, oracle: oracle,
-		verdicts:  map[int]bool{},
-		validated: map[int]bool{},
+		verdicts: make([]uint8, len(answers)),
 	}, nil
 }
 
@@ -263,7 +280,7 @@ func (e *Engine) stageOracle(o Options, v view, st *stageEntry,
 		st.mu.Lock()
 		verdicts := st.verdictsFor(vkey)
 		for _, u := range us {
-			if v, ok := verdicts[u]; ok {
+			if v, ok := verdicts.get(u); ok {
 				out[u] = v
 			} else {
 				fresh = append(fresh, u)
@@ -282,10 +299,10 @@ func (e *Engine) stageOracle(o Options, v view, st *stageEntry,
 				st.mu.Lock()
 				verdicts := st.verdictsFor(vkey)
 				for _, u := range fresh {
-					v, ok := verdicts[u]
+					v, ok := verdicts.get(u)
 					if !ok {
 						v = res[u].Similarity >= o.Tau
-						verdicts[u] = v
+						verdicts.put(u, v)
 					}
 					out[u] = v
 				}
@@ -554,12 +571,12 @@ func (e *Engine) buildTopologySpace(ctx context.Context, o Options, v view, p qu
 		return nil, nil, fmt.Errorf("core: topology sample has no mass")
 	}
 	sp := &answerSpace{answers: ts.Answers, probs: ts.Probs, alias: alias,
-		verdicts: map[int]bool{}, validated: map[int]bool{}}
+		verdicts: make([]uint8, len(ts.Answers))}
 
 	// Correctness still uses the greedy validator so the ablation isolates
 	// the sampling step (S1) exactly as in Fig. 5a. The validator wants a
 	// π map; the empirical shares serve. Verdict caching happens on the
-	// execution's answerSpace maps, as for the semantic oracle.
+	// execution's answerSpace verdict array, as for the semantic oracle.
 	pred, err := resolvePred(v.g, p.Hops[0].Predicate)
 	if err != nil {
 		return nil, nil, err

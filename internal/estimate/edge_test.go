@@ -1,0 +1,148 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"kgaq/internal/query"
+)
+
+// A stratum the allocator never reached (zero draws) must not break the
+// merge: the empty stratum contributes zero to the estimate and the
+// variance, and the populated strata carry the result — exactly the
+// documented low-bias contract callers own coverage for.
+func TestStratifiedMergeZeroDrawStratum(t *testing.T) {
+	populated := Stratum{Weight: 0.5, Obs: []Observation{
+		{Value: 10, Prob: 0.1, Correct: true},
+		{Value: 12, Prob: 0.1, Correct: true},
+		{Value: 8, Prob: 0.1, Correct: true},
+		{Value: 11, Prob: 0.1, Correct: false},
+	}}
+	withEmpty := []Stratum{populated, {Weight: 0.5}}
+	without := []Stratum{populated}
+
+	for _, fn := range []query.AggFunc{query.Count, query.Sum, query.Avg} {
+		vEmpty, err := EstimateStratified(fn, withEmpty, SampleSize)
+		if err != nil {
+			t.Fatalf("%v with empty stratum: %v", fn, err)
+		}
+		vRef, err := EstimateStratified(fn, without, SampleSize)
+		if err != nil {
+			t.Fatalf("%v reference: %v", fn, err)
+		}
+		if vEmpty != vRef {
+			t.Fatalf("%v: empty stratum changed estimate %v -> %v", fn, vRef, vEmpty)
+		}
+		eEmpty, err := MoEStratified(fn, withEmpty, SampleSize, DefaultGuarantee())
+		if err != nil {
+			t.Fatalf("%v MoE with empty stratum: %v", fn, err)
+		}
+		eRef, err := MoEStratified(fn, without, SampleSize, DefaultGuarantee())
+		if err != nil {
+			t.Fatalf("%v MoE reference: %v", fn, err)
+		}
+		if eEmpty != eRef {
+			t.Fatalf("%v: empty stratum changed MoE %v -> %v", fn, eRef, eEmpty)
+		}
+	}
+
+	// All strata empty: the merge reports the no-observations error rather
+	// than inventing a zero estimate.
+	if _, err := EstimateStratified(query.Sum, []Stratum{{Weight: 1}}, SampleSize); err == nil {
+		t.Fatal("all-empty strata produced an estimate")
+	}
+}
+
+// AllocateDraws with zero-sigma and zero-weight strata: counts stay
+// non-negative, sum exactly to the total, and a stratum with no share never
+// starves the floors when the total covers them.
+func TestAllocateDrawsDegenerateStrata(t *testing.T) {
+	cases := []struct {
+		st    []StratumStats
+		haveW bool // some positive weight: the per-stratum floors apply
+	}{
+		{[]StratumStats{{Weight: 0.5}, {Weight: 0.5}}, true},                 // no variance signal
+		{[]StratumStats{{Weight: 1}, {Weight: 0}}, true},                     // weightless stratum
+		{[]StratumStats{{Weight: 0}, {Weight: 0}}, false},                    // fully degenerate: all draws land on stratum 0
+		{[]StratumStats{{Weight: 0.9, Sigma: 100}, {Weight: 0.1}}, true},     // one-sided signal
+		{[]StratumStats{{Weight: 1e-300, Sigma: 1e-300}, {Weight: 1}}, true}, // underflow-edge weight
+	}
+	for ci, c := range cases {
+		for _, total := range []int{0, 1, 2, 7, 100} {
+			out := AllocateDraws(total, c.st)
+			sum := 0
+			for i, n := range out {
+				if n < 0 {
+					t.Fatalf("case %d total %d: negative allocation %v", ci, total, out)
+				}
+				if c.haveW && total >= len(c.st) && n == 0 {
+					t.Fatalf("case %d total %d: stratum %d starved below floor: %v", ci, total, i, out)
+				}
+				sum += n
+			}
+			if sum != total {
+				t.Fatalf("case %d total %d: allocations sum to %d: %v", ci, total, sum, out)
+			}
+		}
+	}
+}
+
+// A single-observation sample is the smallest input the BLB machinery can
+// see: every resample is that observation repeated, so the bootstrap spread
+// is exactly zero for a correct draw, and the CorrectOnly estimators
+// surface ErrNoCorrect — never a panic, never NaN — for an incorrect one.
+func TestMoESingleObservation(t *testing.T) {
+	correct := []Observation{{Value: 42, Prob: 0.2, Correct: true}}
+	for _, fn := range []query.AggFunc{query.Count, query.Sum, query.Avg} {
+		eps, err := MoESeeded(fn, correct, SampleSize, DefaultGuarantee(), 7)
+		if err != nil {
+			t.Fatalf("%v single correct: %v", fn, err)
+		}
+		if eps != 0 || math.IsNaN(eps) {
+			t.Fatalf("%v single correct: MoE %v, want exactly 0", fn, eps)
+		}
+	}
+
+	incorrect := []Observation{{Value: 42, Prob: 0.2, Correct: false}}
+	// SampleSize COUNT/SUM estimate 0 with zero spread; the ratio and
+	// CorrectOnly forms have no defined estimate at all.
+	if eps, err := MoESeeded(query.Sum, incorrect, SampleSize, DefaultGuarantee(), 7); err != nil || eps != 0 {
+		t.Fatalf("SUM single incorrect under SampleSize: eps=%v err=%v, want 0, nil", eps, err)
+	}
+	for _, fn := range []query.AggFunc{query.Count, query.Sum} {
+		if _, err := MoESeeded(fn, incorrect, CorrectOnly, DefaultGuarantee(), 7); err == nil {
+			t.Fatalf("%v single incorrect under CorrectOnly: want ErrNoCorrect", fn)
+		}
+	}
+	if _, err := MoESeeded(query.Avg, incorrect, SampleSize, DefaultGuarantee(), 7); err == nil {
+		t.Fatal("AVG single incorrect: want ErrNoCorrect")
+	}
+}
+
+// The MoE seed fully determines the bootstrap stream: same seed, same ε,
+// bitwise; different seeds perturb it. This is the property the engine's
+// guarantee-RNG split rests on.
+func TestMoESeededReproducible(t *testing.T) {
+	obs := make([]Observation, 120)
+	for i := range obs {
+		obs[i] = Observation{Value: float64(5 + i%11), Prob: 0.005 + 0.001*float64(i%7), Correct: i%4 != 0}
+	}
+	a, err := MoESeeded(query.Sum, obs, SampleSize, DefaultGuarantee(), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MoESeeded(query.Sum, obs, SampleSize, DefaultGuarantee(), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different ε: %v vs %v", a, b)
+	}
+	c, err := MoESeeded(query.Sum, obs, SampleSize, DefaultGuarantee(), 54321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("independent seeds produced identical ε — stream ignores the seed")
+	}
+}

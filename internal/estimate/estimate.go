@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"kgaq/internal/query"
 	"kgaq/internal/stats"
@@ -163,6 +164,65 @@ func (c GuaranteeConfig) withDefaults() GuaranteeConfig {
 	return c
 }
 
+// moeKind selects the flattened bootstrap accumulator for one (fn, policy)
+// pair. The COUNT/SUM/AVG estimators are all of the form Σ termᵢ / divisor,
+// so a resample estimate needs only one or two running sums over
+// precomputed per-observation contributions — no Observation copies, no
+// per-element branching on correctness, no division in the inner loop.
+type moeKind int
+
+const (
+	// moeGeneric falls back to re-running Estimate per resample (MAX/MIN,
+	// or any future aggregate without a flat form).
+	moeGeneric moeKind = iota
+	// moePlain divides the HT term sum by the fixed resample size
+	// (COUNT/SUM under SampleSize): one accumulator.
+	moePlain
+	// moeByCount divides the HT term sum by the resample's correct count
+	// (COUNT/SUM under CorrectOnly): two accumulators, skip when none.
+	moeByCount
+	// moeRatio is the AVG ratio estimator Σ v/π′ / Σ 1/π′ over correct
+	// draws: two accumulators, skip when the denominator is empty.
+	moeRatio
+)
+
+// moeKindOf classifies (fn, pol); ok is false for the generic fallback.
+func moeKindOf(fn query.AggFunc, pol DivisorPolicy) moeKind {
+	switch fn {
+	case query.Count, query.Sum:
+		if pol == CorrectOnly {
+			return moeByCount
+		}
+		return moePlain
+	case query.Avg:
+		return moeRatio
+	default:
+		return moeGeneric
+	}
+}
+
+// moeScratch is the reusable working memory of one MoE evaluation: the
+// flattened per-observation contribution arrays and the resample estimate
+// buffer. Pooled so a warm guarantee round allocates nothing — the
+// guarantee loop calls MoE every round and the old per-call resample
+// materialisation was 93% of warm query CPU.
+type moeScratch struct {
+	valTerms []float64
+	cntTerms []float64
+	ests     []float64
+	resample []Observation // generic fallback only
+}
+
+var moePool = sync.Pool{New: func() any { return new(moeScratch) }}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // MoE estimates the margin of error ε of the confidence interval V̂ ± ε at
 // the configured confidence level using the Bag of Little Bootstraps
 // (§IV-C): the sample is split into T small samples; each is bootstrapped B
@@ -170,8 +230,23 @@ func (c GuaranteeConfig) withDefaults() GuaranteeConfig {
 // so the bootstrap distribution matches the estimator actually reported;
 // Eq. 11 turns the resample estimates into a σ, Eq. 10 into an ε; the final
 // ε is the mean over small samples.
+//
+// The result is a deterministic function of (fn, obs, pol, cfg) and exactly
+// one Int63 drawn from r, which seeds the internal resampling stream: a
+// caller that derives r from a stable key gets a reproducible ε regardless
+// of how much randomness other subsystems consumed in between.
 func MoE(fn query.AggFunc, obs []Observation, pol DivisorPolicy,
 	cfg GuaranteeConfig, r *rand.Rand) (float64, error) {
+	return MoESeeded(fn, obs, pol, cfg, r.Int63())
+}
+
+// MoESeeded is MoE with the resampling stream seeded directly — the
+// allocation-free form the guarantee loop uses (constructing a *rand.Rand
+// per round costs a ~5KB source allocation; a seed is free). The engine
+// derives the seed from the query seed, the aggregate function and the
+// sample size, making ε independent of the draw stream's position.
+func MoESeeded(fn query.AggFunc, obs []Observation, pol DivisorPolicy,
+	cfg GuaranteeConfig, seed int64) (float64, error) {
 
 	cfg = cfg.withDefaults()
 	if len(obs) == 0 {
@@ -188,38 +263,111 @@ func MoE(fn query.AggFunc, obs []Observation, pol DivisorPolicy,
 	if chunk == 0 {
 		chunk = 1
 	}
-	var eps []float64
+
+	sc := moePool.Get().(*moeScratch)
+	defer moePool.Put(sc)
+	sm := stats.NewSplitmix(seed)
+
+	kind := moeKindOf(fn, pol)
+	if kind != moeGeneric {
+		sc.valTerms = grow(sc.valTerms, len(obs))
+		sc.cntTerms = grow(sc.cntTerms, len(obs))
+		for i, o := range obs {
+			sc.valTerms[i], sc.cntTerms[i] = 0, 0
+			if !o.Correct || o.Prob <= 0 {
+				continue
+			}
+			switch kind {
+			case moePlain, moeByCount:
+				v := 1.0
+				if fn != query.Count {
+					v = o.Value
+				}
+				sc.valTerms[i] = v / o.Prob
+				sc.cntTerms[i] = 1 // correct-draw indicator
+			case moeRatio:
+				sc.valTerms[i] = o.Value / o.Prob
+				sc.cntTerms[i] = 1 / o.Prob
+			}
+		}
+	}
+
+	epsSum, epsN := 0.0, 0
 	for i := 0; i < t; i++ {
 		lo := i * chunk
 		hi := lo + chunk
 		if i == t-1 {
 			hi = len(obs)
 		}
-		small := obs[lo:hi]
-		sigma, err := bootstrapSigma(fn, small, pol, resampleN, cfg.B, r)
+		var sigma float64
+		var err error
+		if kind == moeGeneric {
+			sigma, err = sc.genericSigma(fn, obs[lo:hi], pol, resampleN, cfg.B, &sm)
+		} else {
+			sigma, err = sc.flatSigma(kind, lo, hi, resampleN, cfg.B, &sm)
+		}
 		if err != nil {
 			// A small sample without correct answers contributes no ε; skip
 			// it rather than failing the whole guarantee round.
 			continue
 		}
-		eps = append(eps, z*sigma)
+		epsSum += z * sigma
+		epsN++
 	}
-	if len(eps) == 0 {
+	if epsN == 0 {
 		return 0, ErrNoCorrect
 	}
-	return stats.Mean(eps), nil
+	return epsSum / float64(epsN), nil
 }
 
-// bootstrapSigma estimates σ_V̂ per Eq. 11 over B resamples of size
-// resampleN drawn with replacement from small.
-func bootstrapSigma(fn query.AggFunc, small []Observation, pol DivisorPolicy,
-	resampleN, b int, r *rand.Rand) (float64, error) {
+// flatSigma estimates σ_V̂ per Eq. 11 over b resamples of size resampleN
+// drawn with replacement from the small sample [lo,hi), using the
+// precomputed contribution arrays: each resample element costs one bounded
+// splitmix draw and one or two adds.
+func (sc *moeScratch) flatSigma(kind moeKind, lo, hi, resampleN, b int, sm *stats.Splitmix) (float64, error) {
+	w := hi - lo
+	ests := sc.ests[:0]
+	for rep := 0; rep < b; rep++ {
+		if kind == moePlain {
+			sSum := 0.0
+			for j := 0; j < resampleN; j++ {
+				sSum += sc.valTerms[lo+sm.Intn(w)]
+			}
+			ests = append(ests, sSum/float64(resampleN))
+			continue
+		}
+		sSum, cSum := 0.0, 0.0
+		for j := 0; j < resampleN; j++ {
+			idx := lo + sm.Intn(w)
+			sSum += sc.valTerms[idx]
+			cSum += sc.cntTerms[idx]
+		}
+		if cSum == 0 {
+			continue // no correct draws in this resample: no estimate
+		}
+		ests = append(ests, sSum/cSum)
+	}
+	sc.ests = ests
+	if len(ests) < 2 {
+		return 0, ErrNoCorrect
+	}
+	return stats.StdDev(ests), nil
+}
 
-	ests := make([]float64, 0, b)
-	resample := make([]Observation, resampleN)
+// genericSigma is flatSigma for aggregates without a flat accumulator form:
+// it materialises each resample (into a reused buffer) and re-runs the full
+// estimator.
+func (sc *moeScratch) genericSigma(fn query.AggFunc, small []Observation, pol DivisorPolicy,
+	resampleN, b int, sm *stats.Splitmix) (float64, error) {
+
+	if cap(sc.resample) < resampleN {
+		sc.resample = make([]Observation, resampleN)
+	}
+	resample := sc.resample[:resampleN]
+	ests := sc.ests[:0]
 	for rep := 0; rep < b; rep++ {
 		for i := range resample {
-			resample[i] = small[r.Intn(len(small))]
+			resample[i] = small[sm.Intn(len(small))]
 		}
 		v, err := Estimate(fn, resample, pol)
 		if err != nil {
@@ -227,6 +375,7 @@ func bootstrapSigma(fn query.AggFunc, small []Observation, pol DivisorPolicy,
 		}
 		ests = append(ests, v)
 	}
+	sc.ests = ests
 	if len(ests) < 2 {
 		return 0, ErrNoCorrect
 	}

@@ -41,7 +41,18 @@ type MultiObservation struct {
 // pipeline), while COUNT ignores attribute presence entirely. k < 0
 // addresses a valueless target (COUNT(*)).
 func Project(obs []MultiObservation, k int, fn query.AggFunc) []Observation {
-	out := make([]Observation, len(obs))
+	return ProjectInto(nil, obs, k, fn)
+}
+
+// ProjectInto is Project writing into dst (reused when its capacity
+// suffices), so a multi-aggregate guarantee loop can project every spec of
+// every round through one scratch buffer instead of allocating a fresh
+// observation list per (spec, round).
+func ProjectInto(dst []Observation, obs []MultiObservation, k int, fn query.AggFunc) []Observation {
+	if cap(dst) < len(obs) {
+		dst = make([]Observation, len(obs))
+	}
+	dst = dst[:len(obs)]
 	for i, m := range obs {
 		o := Observation{
 			Prob:          m.Prob,
@@ -57,7 +68,7 @@ func Project(obs []MultiObservation, k int, fn query.AggFunc) []Observation {
 		} else if fn != query.Count {
 			o.Correct = false // a valueless target feeds no value estimator
 		}
-		out[i] = o
+		dst[i] = o
 	}
-	return out
+	return dst
 }

@@ -3,6 +3,7 @@ package estimate
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"kgaq/internal/query"
 	"kgaq/internal/stats"
@@ -176,13 +177,18 @@ func MoEStratified(fn query.AggFunc, strata []Stratum, pol DivisorPolicy,
 	}
 
 	// Per-stratum HT terms for the numerator (value) and, for AVG's
-	// linearisation, the denominator (correctness indicator).
+	// linearisation, the denominator (correctness indicator). The term
+	// buffers come from the shared estimator pool: this merge runs once per
+	// guarantee round per spec, and reallocating them was a measurable slice
+	// of the sharded round's allocations.
 	sumFn := fn
 	if fn == query.Avg {
 		sumFn = query.Sum
 	}
+	sc := stratPool.Get().(*stratScratch)
+	defer stratPool.Put(sc)
 	variance := 0.0
-	var pooledS, pooledC []float64 // single-draw strata, assessed jointly
+	pooledS, pooledC := sc.pooledS[:0], sc.pooledC[:0] // single-draw strata, assessed jointly
 	var ratio float64
 	var denom float64
 	if fn == query.Avg {
@@ -199,8 +205,12 @@ func MoEStratified(fn query.AggFunc, strata []Stratum, pol DivisorPolicy,
 		if n == 0 {
 			continue
 		}
-		sTerms := make([]float64, n)
-		cTerms := make([]float64, n)
+		sc.sTerms = grow(sc.sTerms, n)
+		sc.cTerms = grow(sc.cTerms, n)
+		sTerms, cTerms := sc.sTerms, sc.cTerms
+		for i := range sTerms {
+			sTerms[i], cTerms[i] = 0, 0
+		}
 		for i, o := range st.Obs {
 			if !o.Correct || o.Prob <= 0 {
 				continue
@@ -235,6 +245,7 @@ func MoEStratified(fn query.AggFunc, strata []Stratum, pol DivisorPolicy,
 			variance += pooledS[0] * pooledS[0]
 		}
 	}
+	sc.pooledS, sc.pooledC = pooledS, pooledC // retain growth for reuse
 	if fn == query.Avg {
 		variance /= denom * denom
 	}
@@ -272,36 +283,46 @@ func stratumVariance(fn query.AggFunc, sTerms, cTerms []float64, ratio float64) 
 	return varS + ratio*ratio*varC - 2*ratio*cov
 }
 
+// stratScratch is the reusable working memory of the stratified merge,
+// pooled like moeScratch so a warm sharded guarantee round allocates
+// nothing in the combiner.
+type stratScratch struct {
+	sTerms, cTerms, pooledS, pooledC []float64
+}
+
+var stratPool = sync.Pool{New: func() any { return new(stratScratch) }}
+
 // StratumSigma returns the sample standard deviation of a stratum's
 // per-draw Horvitz–Thompson terms v·1{correct}/π′ — the variance signal the
 // Neyman allocator weighs strata by. COUNT uses v = 1; a stratum with fewer
-// than two draws reports zero (no signal yet).
+// than two draws reports zero (no signal yet). Computed in two streaming
+// passes (no term buffer): the allocator refreshes this per stratum per
+// round.
 func StratumSigma(fn query.AggFunc, obs []Observation) float64 {
 	if len(obs) < 2 {
 		return 0
 	}
-	terms := make([]float64, len(obs))
-	for i, o := range obs {
+	term := func(o Observation) float64 {
 		if !o.Correct || o.Prob <= 0 {
-			continue
+			return 0
 		}
 		v := 1.0
 		if fn != query.Count {
 			v = o.Value // SUM terms; for AVG the numerator dominates the ratio's variance
 		}
-		terms[i] = v / o.Prob
+		return v / o.Prob
 	}
 	mean := 0.0
-	for _, t := range terms {
-		mean += t
+	for _, o := range obs {
+		mean += term(o)
 	}
-	mean /= float64(len(terms))
+	mean /= float64(len(obs))
 	acc := 0.0
-	for _, t := range terms {
-		d := t - mean
+	for _, o := range obs {
+		d := term(o) - mean
 		acc += d * d
 	}
-	return math.Sqrt(acc / float64(len(terms)-1))
+	return math.Sqrt(acc / float64(len(obs)-1))
 }
 
 // StratumStats carries one stratum's allocation inputs.
@@ -325,11 +346,42 @@ type StratumStats struct {
 // at len(stats) or more, as core's firstSample does. The returned counts
 // sum exactly to total (largest-remainder rounding, deterministic).
 func AllocateDraws(total int, stats []StratumStats) []int {
-	out := make([]int, len(stats))
+	return AllocateDrawsInto(nil, total, stats)
+}
+
+// allocScratch is the pooled working memory of AllocateDrawsInto: the
+// Neyman shares and the largest-remainder worklist, one slot per stratum.
+type allocScratch struct {
+	shares []float64
+	fracs  []frac
+}
+
+type frac struct {
+	idx int
+	rem float64
+}
+
+var allocPool = sync.Pool{New: func() any { return new(allocScratch) }}
+
+// AllocateDrawsInto is AllocateDraws writing into dst (reused when its
+// capacity suffices) so the per-round sharded draw path reuses one
+// allocation buffer across rounds; the internal share/remainder scratch is
+// pooled, so a warm call allocates nothing.
+func AllocateDrawsInto(dst []int, total int, stats []StratumStats) []int {
+	if cap(dst) < len(stats) {
+		dst = make([]int, len(stats))
+	}
+	out := dst[:len(stats)]
+	for i := range out {
+		out[i] = 0
+	}
 	if total <= 0 || len(stats) == 0 {
 		return out
 	}
-	shares := make([]float64, len(stats))
+	sc := allocPool.Get().(*allocScratch)
+	defer allocPool.Put(sc)
+	sc.shares = grow(sc.shares, len(stats))
+	shares := sc.shares
 	sum := 0.0
 	for i, st := range stats {
 		shares[i] = st.Weight * st.Sigma
@@ -355,11 +407,10 @@ func AllocateDraws(total int, stats []StratumStats) []int {
 		}
 		remaining = total - len(stats)
 	}
-	type frac struct {
-		idx int
-		rem float64
+	if cap(sc.fracs) < len(stats) {
+		sc.fracs = make([]frac, len(stats))
 	}
-	fracs := make([]frac, len(stats))
+	fracs := sc.fracs[:len(stats)]
 	assigned := 0
 	for i := range stats {
 		exact := float64(remaining) * shares[i] / sum

@@ -172,6 +172,22 @@ func ValidateCtx(ctx context.Context, g kg.ReadGraph, c *Calculator, us kg.NodeI
 
 	h := &pathHeap{{tip: us, priority: pi[us], nodes: []kg.NodeID{us}}}
 	heap.Init(h)
+	// Popped items go to a local freelist and are recycled — node-sequence
+	// storage included — so steady-state expansion stops allocating once the
+	// freelist covers the frontier's churn.
+	var free []*pathItem
+	newItem := func(base *pathItem, to kg.NodeID, logSum float64) *pathItem {
+		var ni *pathItem
+		if n := len(free); n > 0 {
+			ni, free = free[n-1], free[:n-1]
+			ni.nodes = ni.nodes[:0]
+		} else {
+			ni = &pathItem{nodes: make([]kg.NodeID, 0, len(base.nodes)+1)}
+		}
+		ni.nodes = append(append(ni.nodes, base.nodes...), to)
+		ni.tip, ni.priority, ni.logSum = to, pi[to], logSum
+		return ni
+	}
 	for h.Len() > 0 && remaining > 0 && stats.Expansions < cfg.Budget {
 		if stats.Expansions%ctxCheckEvery == 0 && ctx.Err() != nil {
 			return res, stats
@@ -179,6 +195,7 @@ func ValidateCtx(ctx context.Context, g kg.ReadGraph, c *Calculator, us kg.NodeI
 		it := heap.Pop(h).(*pathItem)
 		depth := len(it.nodes) - 1 // edges on the path so far
 		if depth >= cfg.MaxLen {
+			free = append(free, it)
 			continue
 		}
 		stats.Expansions++
@@ -223,12 +240,10 @@ func ValidateCtx(ctx context.Context, g kg.ReadGraph, c *Calculator, us kg.NodeI
 			if depth+1 < cfg.MaxLen {
 				// The node sequence is copied only here, once the extension
 				// is actually pushed; scoring above allocated nothing.
-				nodes := make([]kg.NodeID, len(it.nodes)+1)
-				copy(nodes, it.nodes)
-				nodes[len(it.nodes)] = he.To
-				heap.Push(h, &pathItem{tip: he.To, priority: pi[he.To], logSum: logSum, nodes: nodes})
+				heap.Push(h, newItem(it, he.To, logSum))
 			}
 		}
+		free = append(free, it)
 	}
 
 	// Fallback for answers the guided search never reached at all (their

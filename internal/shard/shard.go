@@ -143,11 +143,16 @@ type Space struct {
 // Draw samples k global answer indices i.i.d. from the stratum's
 // conditional distribution.
 func (s *Space) Draw(r *rand.Rand, k int) []int {
-	out := make([]int, k)
-	for i := range out {
-		out[i] = s.Index[s.alias.Draw(r)]
+	return s.DrawInto(make([]int, 0, k), r, k)
+}
+
+// DrawInto appends k i.i.d. draws from the stratum's conditional
+// distribution to dst, for callers that batch draws into a reused buffer.
+func (s *Space) DrawInto(dst []int, r *rand.Rand, k int) []int {
+	for i := 0; i < k; i++ {
+		dst = append(dst, s.Index[s.alias.Draw(r)])
 	}
-	return out
+	return dst
 }
 
 // SplitSpace cuts a normalised answer distribution (answers[i] drawn with

@@ -234,6 +234,70 @@ func TestAliasDegenerate(t *testing.T) {
 	if NewAlias([]float64{-1, 2}) != nil {
 		t.Fatal("NewAlias(negative) should be nil")
 	}
+	// Near-zero weights: the normalisation must survive weights at the edge
+	// of floating-point underflow — the table builds, every draw lands in
+	// range, and a dominant weight still dominates.
+	tiny := NewAlias([]float64{1e-300, 1e-300, 1e-300})
+	if tiny == nil {
+		t.Fatal("NewAlias(tiny uniform) failed to build")
+	}
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if k := tiny.Draw(r); k < 0 || k > 2 {
+			t.Fatalf("tiny-weight draw out of range: %d", k)
+		}
+	}
+	skew := NewAlias([]float64{1e-300, 1})
+	if skew == nil {
+		t.Fatal("NewAlias(tiny vs dominant) failed to build")
+	}
+	dominant := 0
+	for i := 0; i < 1000; i++ {
+		if skew.Draw(r) == 1 {
+			dominant++
+		}
+	}
+	if dominant < 990 {
+		t.Fatalf("dominant weight drew only %d/1000 against a 1e-300 rival", dominant)
+	}
+}
+
+// The splitmix generator behind the flattened bootstrap: deterministic per
+// seed, and its Lemire-style bounded draw stays in range over small and
+// large bounds alike.
+func TestSplitmixDeterministicBoundedDraws(t *testing.T) {
+	a, b := NewSplitmix(42), NewSplitmix(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("same-seed streams diverged at step %d: %d vs %d", i, x, y)
+		}
+	}
+	c := NewSplitmix(43)
+	if a.Next() == c.Next() {
+		t.Fatal("different seeds produced identical output")
+	}
+	for _, n := range []int{1, 2, 3, 17, 1 << 20} {
+		s := NewSplitmix(7)
+		for i := 0; i < 2000; i++ {
+			if k := s.Intn(n); k < 0 || k >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, k)
+			}
+		}
+	}
+	// Coarse uniformity: a bounded draw over 4 buckets stays within a few
+	// percent of uniform over a long stream.
+	s := NewSplitmix(9)
+	counts := [4]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Intn(4)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("bucket %d frequency %v, want ≈0.25", i, frac)
+		}
+	}
 }
 
 func TestAliasDistribution(t *testing.T) {

@@ -377,8 +377,11 @@ func (w *Walker) AnswerDistribution(targetTypes []kg.TypeID) (*AnswerDist, error
 	if w.pi == nil {
 		return nil, ErrNotConverged
 	}
-	var ans []kg.NodeID
-	var probs []float64
+	// One allocation each, sized by the scope: every candidate is a scope
+	// node, so len(w.nodes) bounds the growth and the append loop never
+	// reallocates mid-scan.
+	ans := make([]kg.NodeID, 0, len(w.nodes))
+	probs := make([]float64, 0, len(w.nodes))
 	total := 0.0
 	for i, u := range w.nodes {
 		if u == w.start {
