@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kgaq/internal/bench"
+	"kgaq/internal/buildinfo"
 	"kgaq/internal/datagen"
 )
 
@@ -32,10 +33,16 @@ func main() {
 	profile := flag.String("profile", "", "restrict to one dataset profile")
 	seed := flag.Int64("seed", 1, "engine seed")
 	trajectory := flag.String("trajectory", "", "measure the hot-path baseline and write it to this JSON file")
-	trajectoryLabel := flag.String("trajectory-label", "PR9", "label recorded in the trajectory file")
+	trajectoryLabel := flag.String("trajectory-label", "PR10", "label recorded in the trajectory file")
 	gate := flag.String("gate", "", "measure a fresh trajectory and fail when it regresses past this committed baseline JSON")
 	gateTol := flag.Float64("gate-tolerance", -1, "relative regression tolerance for -gate (0.5 = fresh may be up to 1.5x baseline); negative derives it from the baseline's recorded runner noise")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get("aggbench"))
+		return
+	}
+	buildinfo.Register("aggbench")
 
 	if *list {
 		for _, id := range bench.ExperimentIDs() {

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"kgaq/internal/buildinfo"
 	"kgaq/internal/cmdutil"
 	"kgaq/internal/core"
 	"kgaq/internal/query"
@@ -37,7 +38,13 @@ func main() {
 	refine := flag.Bool("refine", false, "start at eb=5% and tighten to -eb")
 	seed := flag.Int64("seed", 1, "engine seed")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries report their partial estimate")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get("aggquery"))
+		return
+	}
+	buildinfo.Register("aggquery")
 
 	g, model, _, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
 	if err != nil {

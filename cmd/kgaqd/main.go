@@ -41,6 +41,17 @@
 // server restarts to exactly the last acknowledged epoch. healthz and
 // /debug/durability (on -debug-addr) report the durability picture.
 //
+// Federation (DESIGN.md "Federation: remote strata"): every kgaqd is
+// member-capable — POST /v1/federate/sample runs one stratum round against
+// the local graph. Started with -federate-members (or
+// -federate-members-file), kgaqd becomes a coordinator instead: /v1/query
+// scatters across the listed members, merges their draw streams through the
+// stratified Horvitz–Thompson combiner, and refines with Neyman-allocated
+// rounds until the global (eb, α) guarantee holds. -federate-timeout,
+// -federate-retries and -federate-hedge-after tune the per-member RPC
+// deadline, retry budget and tail-latency hedge; healthz gains a federation
+// block and /debug/federation (on -debug-addr) probes the members.
+//
 // The debug listener (-debug-addr) is also the observability surface:
 // GET /metrics serves every tier's counters, gauges and histograms in
 // Prometheus text format, and each request's lifecycle trace — spans for
@@ -65,8 +76,10 @@ import (
 	"time"
 
 	"kgaq/internal/admission"
+	"kgaq/internal/buildinfo"
 	"kgaq/internal/cmdutil"
 	"kgaq/internal/core"
+	"kgaq/internal/federate"
 	"kgaq/internal/httpapi"
 	"kgaq/internal/live"
 	"kgaq/internal/wal"
@@ -106,7 +119,18 @@ func main() {
 	accessLog := flag.Bool("access-log", true, "write one structured (JSON) access-log line per request to stderr")
 	traceRing := flag.Int("trace-ring", 256, "finished query-lifecycle traces retained for /debug/trace (0 = default 256)")
 	traceSample := flag.Int("trace-sample", 1, "trace one request in N (1 = every request, 0 = tracing off)")
+	fedMembers := flag.String("federate-members", "", "coordinate a federation over these members: comma-separated [name=]http://host:port list; /v1/query scatters across them")
+	fedMembersFile := flag.String("federate-members-file", "", "members config file (one \"url\" or \"name url\" per line, # comments); alternative to -federate-members")
+	fedTimeout := flag.Duration("federate-timeout", 10*time.Second, "per-member, per-attempt deadline of one scatter RPC")
+	fedRetries := flag.Int("federate-retries", 2, "additional attempts after a failed member RPC before the member counts as dead for the query")
+	fedHedge := flag.Duration("federate-hedge-after", 400*time.Millisecond, "re-issue a still-unanswered member RPC after this long, first answer wins (negative = no hedging)")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get("kgaqd"))
+		return
+	}
+	buildinfo.Register("kgaqd")
 
 	g, model, epoch, err := cmdutil.LoadGraphModel(*graphPath, *embPath, *profile, tau)
 	if err != nil {
@@ -184,6 +208,35 @@ func main() {
 		SLOTargetP99:    *sloP99,
 	})
 	api.ConfigureAdmission(ctrl, *clientHeader)
+	api.ConfigureBuild(buildinfo.Get("kgaqd"))
+	if *fedMembers != "" || *fedMembersFile != "" {
+		if *fedMembers != "" && *fedMembersFile != "" {
+			fail("-federate-members and -federate-members-file are mutually exclusive")
+		}
+		var members []federate.Member
+		if *fedMembers != "" {
+			members, err = federate.ParseMembers(*fedMembers)
+		} else {
+			var data []byte
+			if data, err = os.ReadFile(*fedMembersFile); err == nil {
+				members, err = federate.ReadMembersFile(string(data))
+			}
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		coord, err := federate.New(federate.Config{
+			Members:       members,
+			MemberTimeout: *fedTimeout,
+			Retries:       *fedRetries,
+			HedgeAfter:    *fedHedge,
+		}, opts)
+		if err != nil {
+			fail("%v", err)
+		}
+		api.ConfigureFederation(coord)
+		fmt.Fprintf(os.Stderr, "kgaqd: coordinating a federation of %d member(s)\n", len(members))
+	}
 	if *accessLog {
 		api.ConfigureLogging(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
 	}

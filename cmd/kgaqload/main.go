@@ -16,6 +16,12 @@
 // -retry-max-wait) before counting it as shed; retried completions are
 // reported separately so shedding stays visible in the report.
 //
+// Against a federation coordinator, -member-urls lists the member base URLs
+// (the same [name=]url,... form kgaqd -federate-members takes): each is
+// health-checked before the workload starts, so a run against a federation
+// with a down member fails fast with a clear error instead of drowning in
+// per-request scatter failures.
+//
 // For CI smoke jobs, -max-5xx and -min-completed turn the report into an
 // assertion: the process exits non-zero when the run saw more 5xx responses
 // or fewer completions than allowed. -metrics-url scrapes the server's
@@ -30,11 +36,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"kgaq/internal/buildinfo"
 	"kgaq/internal/cmdutil"
 	"kgaq/internal/datagen"
 	"kgaq/internal/kg"
@@ -56,7 +66,14 @@ func main() {
 	minCompleted := flag.Int64("min-completed", -1, "fail when fewer than this many requests complete (-1 = no assertion)")
 	metricsURL := flag.String("metrics-url", "", "scrape this Prometheus endpoint (kgaqd's debug listener /metrics) after the run and fail on a malformed exposition")
 	metricsLint := flag.String("metrics-lint", "", "markdown file whose backticked kgaq_* metric names must all appear in the -metrics-url scrape (fails otherwise)")
+	memberURLs := flag.String("member-urls", "", "federation member base URLs ([name=]url, comma-separated): each must answer /v1/healthz before the workload starts")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get("kgaqload"))
+		return
+	}
+	buildinfo.Register("kgaqload")
 
 	if *scriptPath == "" {
 		fail("-script is required")
@@ -76,6 +93,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *memberURLs != "" {
+		if err := preflightMembers(ctx, *memberURLs); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	runner := &workload.Runner{
 		Script:       script,
@@ -197,6 +220,57 @@ func writeJSON(path string, rep *workload.Report) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// preflightMembers verifies every listed federation member answers
+// /v1/healthz before the workload starts. Entries take the same
+// "[name=]http://host:port" form as kgaqd -federate-members.
+func preflightMembers(ctx context.Context, spec string) error {
+	client := &http.Client{Timeout: 3 * time.Second}
+	var down []string
+	checked := 0
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		if name, url, ok := strings.Cut(raw, "="); ok && !strings.Contains(name, "/") {
+			raw = strings.TrimSpace(url)
+		}
+		u := strings.TrimRight(raw, "/")
+		checked++
+		if err := probeMember(ctx, client, u); err != nil {
+			down = append(down, fmt.Sprintf("%s (%v)", u, err))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("-member-urls: no member URLs in %q", spec)
+	}
+	if len(down) > 0 {
+		return fmt.Errorf("federation member health preflight failed, %d/%d member(s) down: %s",
+			len(down), checked, strings.Join(down, "; "))
+	}
+	fmt.Fprintf(os.Stderr, "kgaqload: all %d federation member(s) healthy\n", checked)
+	return nil
+}
+
+func probeMember(ctx context.Context, client *http.Client, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
+		res.Body.Close()
+	}()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", res.StatusCode)
+	}
+	return nil
 }
 
 func fail(format string, args ...any) {

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"kgaq/internal/buildinfo"
 	"kgaq/internal/datagen"
 	"kgaq/internal/embedding"
 )
@@ -40,9 +41,15 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", ".", "output directory")
 	list := fs.Bool("list", false, "list available profiles and exit")
 	tsv := fs.Bool("tsv", false, "also write nodes.tsv / edges.tsv")
+	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Get("kgen"))
+		return nil
+	}
+	buildinfo.Register("kgen")
 
 	if *list {
 		for _, p := range append(datagen.Profiles(), datagen.TinyProfile()) {

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"kgaq/internal/core"
+	"kgaq/internal/embedding/embtest"
+	"kgaq/internal/federate"
+	"kgaq/internal/httpapi"
+	"kgaq/internal/kg"
+	"kgaq/internal/query"
+)
+
+// federatedAnswers sizes the federated bench split: enough priced answers
+// per member that the coordinator runs real refinement rounds, small
+// enough that the axis stays a few seconds.
+const federatedAnswers = 600
+
+// federatedMembers is the federation width of the bench axis: one
+// coordinator scattering across three in-process members, the smallest
+// fleet where Neyman allocation across members is observable.
+const federatedMembers = 3
+
+// federatedBenchReps repeats every aggregate's measurement so the
+// percentiles rest on more than one sample per function.
+const federatedBenchReps = 3
+
+// FederatedResult is the scatter/gather axis of the trajectory: cold
+// end-to-end latency through a 1-coordinator / 3-member loopback
+// federation next to the same split's unsplit twin on a local engine, plus
+// the per-query fan-out (member RPCs and refinement rounds) that prices
+// the coordination overhead.
+type FederatedResult struct {
+	Members int `json:"members"`
+	Answers int `json:"answers"`
+	Queries int `json:"queries"`
+
+	// Cold federated latency over the COUNT/SUM/AVG workload (the member
+	// answer-space caches are disabled, so every query pays the full
+	// scatter/sample/gather path).
+	ColdP50MS float64 `json:"cold_p50_ms"`
+	ColdP95MS float64 `json:"cold_p95_ms"`
+
+	// TwinColdP50MS is the same workload on the unsplit twin graph through
+	// a plain local engine — what federation's fan-out is measured against.
+	TwinColdP50MS float64 `json:"twin_cold_p50_ms"`
+
+	// MeanRounds and RPCsPerQuery are the per-round member fan-out: a
+	// query takes MeanRounds scatter rounds on average, issuing
+	// RPCsPerQuery member RPCs in total (retries and hedges included).
+	MeanRounds   float64 `json:"mean_rounds"`
+	RPCsPerQuery float64 `json:"rpcs_per_query"`
+
+	// DrawsPerQuery is the mean merged sample size across members.
+	DrawsPerQuery float64 `json:"draws_per_query"`
+}
+
+// federatedBenchGraphs builds the shard-owners split: every graph holds
+// the anchor Country root, member j owns the answers with i ≡ j (mod
+// members), and the twin holds all of them.
+func federatedBenchGraphs() (members []*kg.Graph, twin *kg.Graph) {
+	build := func(owns func(i int) bool) *kg.Graph {
+		bld := kg.NewBuilder()
+		root := bld.AddNode("FedRoot_0", "Country")
+		for i := 0; i < federatedAnswers; i++ {
+			if !owns(i) {
+				continue
+			}
+			car := bld.AddNode(fmt.Sprintf("FedCar_%d", i), "Automobile")
+			if err := bld.SetAttr(car, "price", 10000+float64(i%53)*613); err != nil {
+				panic(err)
+			}
+			if err := bld.AddEdge(root, "product", car); err != nil {
+				panic(err)
+			}
+		}
+		return bld.Build()
+	}
+	for j := 0; j < federatedMembers; j++ {
+		j := j
+		members = append(members, build(func(i int) bool { return i%federatedMembers == j }))
+	}
+	return members, build(func(int) bool { return true })
+}
+
+// RunFederated measures the federated scatter/gather axis: three
+// in-process member servers over the split graphs behind one coordinator,
+// with the unsplit twin on a local engine as the non-federated reference.
+func RunFederated(ctx context.Context) (*FederatedResult, error) {
+	graphs, twinGraph := federatedBenchGraphs()
+
+	var members []federate.Member
+	var servers []*httptest.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for j, g := range graphs {
+		eng, err := core.NewEngine(g, embtest.Figure1Model(g), core.Options{
+			SkipValidation: true, Seed: int64(100 + j), CacheMaxBytes: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv := httptest.NewServer(httpapi.NewServer(eng).Handler())
+		servers = append(servers, srv)
+		members = append(members, federate.Member{Name: fmt.Sprintf("m%d", j), URL: srv.URL})
+	}
+	coord, err := federate.New(federate.Config{Members: members, HedgeAfter: -1},
+		core.Options{ErrorBound: 0.10, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	twinEng, err := core.NewEngine(twinGraph, embtest.Figure1Model(twinGraph), core.Options{
+		SkipValidation: true, Seed: 11, ErrorBound: 0.10, CacheMaxBytes: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	workload := []*query.Aggregate{
+		query.Simple(query.Count, "", "FedRoot_0", "Country", "product", "Automobile"),
+		query.Simple(query.Sum, "price", "FedRoot_0", "Country", "product", "Automobile"),
+		query.Simple(query.Avg, "price", "FedRoot_0", "Country", "product", "Automobile"),
+	}
+
+	out := &FederatedResult{Members: federatedMembers, Answers: federatedAnswers}
+	var fedLat, twinLat []float64
+	totalRounds, totalDraws := 0, 0
+	for rep := 0; rep < federatedBenchReps; rep++ {
+		for _, q := range workload {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			begin := time.Now()
+			res, err := coord.Query(ctx, q)
+			if err != nil {
+				return nil, fmt.Errorf("federated %s: %w", q.Func, err)
+			}
+			fedLat = append(fedLat, float64(time.Since(begin).Microseconds())/1000)
+			totalRounds += len(res.Rounds)
+			totalDraws += res.SampleSize
+			out.Queries++
+
+			begin = time.Now()
+			if _, err := twinEng.Query(ctx, q); err != nil {
+				return nil, fmt.Errorf("twin %s: %w", q.Func, err)
+			}
+			twinLat = append(twinLat, float64(time.Since(begin).Microseconds())/1000)
+		}
+	}
+	sort.Float64s(fedLat)
+	sort.Float64s(twinLat)
+	out.ColdP50MS = percentile(fedLat, 0.50)
+	out.ColdP95MS = percentile(fedLat, 0.95)
+	out.TwinColdP50MS = percentile(twinLat, 0.50)
+	out.MeanRounds = float64(totalRounds) / float64(out.Queries)
+	st := coord.Stats()
+	rpcs := uint64(0)
+	for _, m := range st.Members {
+		rpcs += m.RPCs
+	}
+	out.RPCsPerQuery = float64(rpcs) / float64(out.Queries)
+	out.DrawsPerQuery = float64(totalDraws) / float64(out.Queries)
+	return out, nil
+}

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunFederated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated bench axis in -short mode")
+	}
+	res, err := RunFederated(context.Background())
+	if err != nil {
+		t.Fatalf("RunFederated: %v", err)
+	}
+	if res.Members != federatedMembers || res.Queries == 0 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	if res.ColdP50MS <= 0 || res.TwinColdP50MS <= 0 {
+		t.Errorf("latencies must be positive: %+v", res)
+	}
+	if res.RPCsPerQuery < float64(federatedMembers) {
+		t.Errorf("a converged query must contact every member at least once: %.1f RPCs/query", res.RPCsPerQuery)
+	}
+	if res.MeanRounds < 1 {
+		t.Errorf("mean rounds %.2f < 1", res.MeanRounds)
+	}
+}

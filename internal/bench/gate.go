@@ -61,6 +61,10 @@ func CompareTrajectories(baseline, fresh *Trajectory, tolerance float64) []Regre
 		check("throughput.sustained.latency_p95_ms",
 			baseline.Throughput.Sustained.LatencyP95MS, fresh.Throughput.Sustained.LatencyP95MS)
 	}
+	if baseline.Federated != nil && fresh.Federated != nil {
+		check("federated.cold_p50_ms", baseline.Federated.ColdP50MS, fresh.Federated.ColdP50MS)
+		check("federated.cold_p95_ms", baseline.Federated.ColdP95MS, fresh.Federated.ColdP95MS)
+	}
 	return regs
 }
 

@@ -30,8 +30,10 @@ import (
 // the convergence-telemetry axis (mean refinement rounds and the
 // validation share of query time); v7 adds the runner-noise
 // characterisation (per-pass percentile spread over repeated measured
-// passes), which the regression gate derives its tolerance from.
-const TrajectorySchema = "kgaq-bench-trajectory/v7"
+// passes), which the regression gate derives its tolerance from; v8 adds
+// the federated scatter/gather axis (1 coordinator + 3 in-process members
+// over split graphs vs the unsplit twin).
+const TrajectorySchema = "kgaq-bench-trajectory/v8"
 
 // measuredPasses is the number of measured workload repetitions after the
 // warm-up pass: the pooled latencies give the headline percentiles, and
@@ -88,6 +90,12 @@ type Trajectory struct {
 	// Convergence is the telemetry axis over the measured pass: refinement
 	// rounds to the guarantee and where the query time went.
 	Convergence *ConvergenceResult `json:"convergence,omitempty"`
+
+	// Federated is the scatter/gather axis: cold latency through a
+	// 1-coordinator / 3-member loopback federation over split graphs, next
+	// to the unsplit twin, with per-query member fan-out (DESIGN.md
+	// "Federation: remote strata").
+	Federated *FederatedResult `json:"federated,omitempty"`
 
 	// Noise characterises the runner: the spread of the per-pass latency
 	// percentiles across the repeated measured passes of this very run. A
@@ -294,6 +302,11 @@ func RunTrajectory(cfg Config, label string) (*Trajectory, error) {
 		return nil, fmt.Errorf("bench: throughput scenario: %w", err)
 	}
 	tr.Throughput = throughput
+	federated, err := RunFederated(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("bench: federated scenario: %w", err)
+	}
+	tr.Federated = federated
 	return tr, nil
 }
 
@@ -448,6 +461,10 @@ func WriteTrajectory(w io.Writer, cfg Config, label, path string) error {
 	if c := tr.Convergence; c != nil {
 		fmt.Fprintf(w, "  convergence: mean %.2f rounds (max %d), time split sampling %.0f%% / validation %.0f%% / guarantee %.0f%%\n",
 			c.MeanRounds, c.MaxRounds, 100*c.SamplingShare, 100*c.ValidationShare, 100*c.GuaranteeShare)
+	}
+	if f := tr.Federated; f != nil {
+		fmt.Fprintf(w, "  federated: %d members, %d cold queries, p50 %.2fms, p95 %.2fms (twin p50 %.2fms), %.1f rounds/query, %.1f RPCs/query, %.0f draws/query\n",
+			f.Members, f.Queries, f.ColdP50MS, f.ColdP95MS, f.TwinColdP50MS, f.MeanRounds, f.RPCsPerQuery, f.DrawsPerQuery)
 	}
 	if n := tr.Noise; n != nil {
 		fmt.Fprintf(w, "  noise: %d passes, p50 %.2f–%.2fms (spread %.0f%%), p95 %.2f–%.2fms (spread %.0f%%)\n",

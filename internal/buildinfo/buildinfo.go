@@ -1,0 +1,59 @@
+// Package buildinfo carries the build provenance every kgaq binary
+// reports: the version and commit stamped at link time, plus the Go
+// toolchain that produced the binary. CI stamps releases via
+//
+//	go build -ldflags "-X kgaq/internal/buildinfo.Version=v1.2.3 \
+//	                   -X kgaq/internal/buildinfo.Commit=abc1234" ./...
+//
+// Unstamped builds report "dev"/"unknown", so a provenance gap is visible
+// instead of silent. The same record surfaces three ways: the -version
+// flag of every binary, the healthz "build" block, and the
+// kgaq_build_info gauge (value 1, identity in the labels — the standard
+// Prometheus idiom for joining version metadata onto any other series).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+
+	"kgaq/internal/obs"
+)
+
+// Version and Commit are stamped via -ldflags -X; see the package comment.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+)
+
+// Info is the build provenance record of the running binary.
+type Info struct {
+	Binary    string `json:"binary"`
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+}
+
+// Get returns the provenance record for the named binary.
+func Get(binary string) Info {
+	return Info{
+		Binary:    binary,
+		Version:   Version,
+		Commit:    Commit,
+		GoVersion: runtime.Version(),
+	}
+}
+
+// String renders the one-line -version output.
+func (i Info) String() string {
+	return fmt.Sprintf("%s %s (commit %s, %s)", i.Binary, i.Version, i.Commit, i.GoVersion)
+}
+
+var metBuildInfo = obs.Default().GaugeVec("kgaq_build_info",
+	"Build provenance of the running binary: constant 1, identity in the labels.",
+	"binary", "version", "commit")
+
+// Register exports the kgaq_build_info gauge for the named binary. Call
+// once from main; the gauge is constant for the process lifetime.
+func Register(binary string) {
+	metBuildInfo.With(binary, Version, Commit).Set(1)
+}

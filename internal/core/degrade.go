@@ -59,6 +59,21 @@ func (d Degradation) shouldStop(ctx context.Context, lastRound time.Duration) bo
 	return time.Until(deadline) < lastRound+d.headroom()
 }
 
+// ShouldStop reports whether a refinement loop that just spent lastRound on
+// its latest round should degrade now rather than start another: the
+// context deadline is closer than one more round plus the headroom. It is
+// the exported form of the engine's own deadline-degradation check, shared
+// with the federated round driver (internal/federate).
+func (d Degradation) ShouldStop(ctx context.Context, lastRound time.Duration) bool {
+	return d.shouldStop(ctx, lastRound)
+}
+
+// Enabled reports whether this configuration permits degradation at all (a
+// zero MaxErrorBound disables it). The federated coordinator uses it to
+// decide between a typed partial-federation failure and an honestly
+// degraded answer when a member dies mid-query.
+func (d Degradation) Enabled() bool { return d.enabled() }
+
 // AchievedEB returns the relative error bound the result's interval
 // actually attains — the smallest eb for which the Theorem 2 condition
 // ε ≤ |V̂|·eb/(1+eb) holds. It is +Inf when the interval is wider than the

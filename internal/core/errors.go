@@ -50,6 +50,11 @@ var (
 	// empty spec list, a non-COUNT aggregate without an attribute, or a
 	// MAX/MIN aggregate combined with GROUP-BY.
 	ErrBadAggSpec = errors.New("invalid aggregate spec")
+	// ErrFederatedQuery reports a query shape federated execution cannot
+	// scatter: MAX/MIN (no guarantee to merge) or GROUP-BY (group strata do
+	// not decompose into remote member strata). Rejected by both the member
+	// sampling API (Engine.FederateSample) and the coordinator.
+	ErrFederatedQuery = errors.New("query is not federatable")
 )
 
 // IsPartial reports whether an interrupted query still yielded a usable

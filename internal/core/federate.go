@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"kgaq/internal/estimate"
+	"kgaq/internal/query"
+)
+
+// This file is the member half of federated execution (DESIGN.md
+// "Federation: remote strata"): one engine instance samples its own graph
+// as a single remote stratum and hands the draws to a coordinator, which
+// merges per-member streams through the stratified Horvitz–Thompson
+// combiner in internal/federate.
+
+// MemberSample is one round's worth of local draws, produced by
+// FederateSample and shipped to the coordinator. Observation probabilities
+// are member-local (conditional on this graph), so the per-draw HT terms
+// v·1{correct}/p estimate this member's local aggregate total without any
+// knowledge of the rest of the federation.
+type MemberSample struct {
+	// Obs are the draws from this member's sampling distribution, with
+	// member-local inclusion probabilities and no stratum assignment (the
+	// coordinator stamps stratum identity and weight).
+	Obs []estimate.Observation
+	// Candidates is the size of the member's candidate-answer space — the
+	// coordinator's basis for the stratum weights it feeds the Neyman
+	// allocator.
+	Candidates int
+	// Epoch is the graph epoch the draws observed. The coordinator tracks
+	// it per member: a moved epoch means earlier rounds sampled a different
+	// graph and the member's stream restarts.
+	Epoch uint64
+	// Sigma is the sample standard deviation of the per-draw HT terms — the
+	// member's variance signal for cross-member Neyman allocation.
+	Sigma float64
+}
+
+// FederateSample runs one federated sampling round against this engine's
+// own graph: prepare (or reuse) the query's answer space, draw n
+// observations, validate them, and return the stream with the member-side
+// statistics the coordinator needs. Each call is an independent round —
+// draws across calls are i.i.d. from the same space (per-call seeds keep
+// rounds distinct), so the coordinator can pool them freely.
+//
+// pilot floors the draw count at the execution's initial sample size (the
+// paper's |S| sizing), so the first round carries a usable variance signal
+// whatever tiny allocation the coordinator asked for.
+//
+// The query must carry a guaranteed aggregate (COUNT/SUM/AVG) without
+// GROUP-BY: extremes and grouped queries do not decompose into remote
+// strata. Local sharding is forced off — the combiner needs member-local
+// conditional probabilities, not probabilities conditional on a member's
+// own sub-strata.
+func (e *Engine) FederateSample(ctx context.Context, q *query.Aggregate, n int, pilot bool, opts ...QueryOption) (ms *MemberSample, err error) {
+	defer catchPanics(aggString(q), &err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !q.Func.HasGuarantee() {
+		return nil, fmt.Errorf("core: %w: %v carries no guarantee to federate", ErrFederatedQuery, q.Func)
+	}
+	if q.GroupBy != "" {
+		return nil, fmt.Errorf("core: %w: GROUP-BY does not decompose into remote strata", ErrFederatedQuery)
+	}
+	x, err := e.Start(ctx, q, append(opts, WithShards(1))...)
+	if err != nil {
+		return nil, err
+	}
+	release := x.holdScratch()
+	defer release()
+	if pilot {
+		if floor := x.initialSize(x.sp.len()); n < floor {
+			n = floor
+		}
+	}
+	if n < 2 {
+		n = 2 // σ̂ needs two draws to exist
+	}
+	x.sampleMore(n)
+	obs := x.observations(ctx)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: %w during member sampling: %w", ErrInterrupted, cerr)
+	}
+	// The observation list is scratch-backed; copy it out of the pool.
+	out := make([]estimate.Observation, len(obs))
+	copy(out, obs)
+	return &MemberSample{
+		Obs:        out,
+		Candidates: x.sp.len(),
+		Epoch:      x.v.epoch,
+		Sigma:      estimate.StratumSigma(q.Func, out),
+	}, nil
+}

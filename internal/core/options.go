@@ -153,6 +153,27 @@ func WithDegradation(d Degradation) QueryOption {
 	return func(c *queryConfig) { c.degrade = d }
 }
 
+// ResolvedQuery is the externally visible result of merging an Options
+// base with per-query overrides — the inputs an execution driver outside
+// the engine (the federated coordinator) needs to honour the same
+// QueryOption surface as Engine.Query.
+type ResolvedQuery struct {
+	// Opts is the merged option block with the paper defaults re-applied.
+	Opts Options
+	// OnRound is the round-streaming callback, if any.
+	OnRound func(Round)
+	// Degrade is the deadline-aware degradation configuration.
+	Degrade Degradation
+}
+
+// ResolveQuery merges per-query options over a base the way Engine.Query
+// does, so external drivers resolve WithErrorBound/WithSeed/WithDegradation
+// etc. identically to the engine.
+func ResolveQuery(base Options, opts ...QueryOption) ResolvedQuery {
+	cfg := mergeConfig(queryConfig{opts: base}, opts)
+	return ResolvedQuery{Opts: cfg.opts, OnRound: cfg.onRound, Degrade: cfg.degrade}
+}
+
 // WithMinEpoch pins the query to a graph view at or above the given epoch —
 // the read half of read-your-writes: pass the epoch a mutation batch
 // returned and the query is guaranteed to observe that batch. On a live

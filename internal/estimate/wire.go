@@ -1,0 +1,57 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the wire form of remote observations — the unit of exchange
+// of federated execution (DESIGN.md "Federation: remote strata"). A member
+// ships its local draws to the coordinator as compact JSON triples; the
+// coordinator folds them back into Observations, assigns them to the
+// member's stratum and merges through the stratified combiner. The stratum
+// fields deliberately do not travel: a member knows nothing about its place
+// in the federation, so the coordinator stamps stratum identity and weight
+// after decoding.
+
+// WireObservation is one remote draw on the wire: the observed value, the
+// member-local inclusion probability, and the semantic-correctness verdict.
+// Field names are single letters because a refinement round ships thousands
+// of these.
+type WireObservation struct {
+	V float64 `json:"v,omitempty"`
+	P float64 `json:"p"`
+	C bool    `json:"c,omitempty"`
+}
+
+// ToWire encodes observations for transport, dropping the stratum fields
+// (see the file comment).
+func ToWire(obs []Observation) []WireObservation {
+	out := make([]WireObservation, len(obs))
+	for i, o := range obs {
+		out[i] = WireObservation{V: o.Value, P: o.Prob, C: o.Correct}
+	}
+	return out
+}
+
+// FromWire decodes remote observations, rejecting probabilities a
+// Horvitz–Thompson estimator cannot survive: a correct draw with p ≤ 0
+// would poison the merge with an infinite term, p > 1 or a non-finite
+// value is a corrupt member. The returned observations carry no stratum
+// assignment; the caller stamps it.
+func FromWire(in []WireObservation) ([]Observation, error) {
+	out := make([]Observation, len(in))
+	for i, w := range in {
+		if math.IsNaN(w.P) || math.IsInf(w.P, 0) || w.P < 0 || w.P > 1 {
+			return nil, fmt.Errorf("estimate: observation %d: inclusion probability %v outside [0, 1]", i, w.P)
+		}
+		if w.C && w.P == 0 {
+			return nil, fmt.Errorf("estimate: observation %d: correct draw with zero inclusion probability", i)
+		}
+		if math.IsNaN(w.V) || math.IsInf(w.V, 0) {
+			return nil, fmt.Errorf("estimate: observation %d: non-finite value", i)
+		}
+		out[i] = Observation{Value: w.V, Prob: w.P, Correct: w.C}
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package estimate
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	obs := []Observation{
+		{Value: 12.5, Prob: 0.25, Correct: true},
+		{Value: 0, Prob: 0.5, Correct: false},
+		{Value: -3, Prob: 1, Correct: true},
+	}
+	data, err := json.Marshal(ToWire(obs))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var wire []WireObservation
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	back, err := FromWire(wire)
+	if err != nil {
+		t.Fatalf("FromWire: %v", err)
+	}
+	if len(back) != len(obs) {
+		t.Fatalf("got %d observations, want %d", len(back), len(obs))
+	}
+	for i := range obs {
+		if back[i].Value != obs[i].Value || back[i].Prob != obs[i].Prob || back[i].Correct != obs[i].Correct {
+			t.Errorf("obs[%d] = %+v, want %+v", i, back[i], obs[i])
+		}
+	}
+}
+
+func TestFromWireRejectsMalformed(t *testing.T) {
+	bad := [][]WireObservation{
+		{{V: 1, P: 0, C: true}},            // correct draw with zero probability
+		{{V: 1, P: 1.5, C: true}},          // probability out of range
+		{{V: 1, P: -0.1, C: false}},        // negative probability
+		{{V: math.NaN(), P: 0.5, C: true}}, // non-finite value
+		{{V: 1, P: math.Inf(1), C: true}},  // non-finite probability
+	}
+	for i, w := range bad {
+		if _, err := FromWire(w); err == nil {
+			t.Errorf("case %d: FromWire accepted malformed observation %+v", i, w[0])
+		}
+	}
+}

@@ -1,0 +1,571 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"kgaq/internal/core"
+	"kgaq/internal/estimate"
+	"kgaq/internal/query"
+	"kgaq/internal/stats"
+)
+
+// ErrUnresolved reports a federated query no member could resolve against
+// its own graph: the anchor entity, type, predicate or attribute exists
+// nowhere in the federation.
+var ErrUnresolved = errors.New("query resolves on no federation member")
+
+// Coordinator scatters aggregate queries across the configured members and
+// gathers their draw streams into one guaranteed estimate. It is safe for
+// concurrent use; member health is tracked across queries.
+type Coordinator struct {
+	cfg  Config
+	base core.Options
+
+	mu      sync.Mutex
+	health  []memberHealth
+	queries uint64
+	partial uint64
+}
+
+// memberHealth is the cross-query, passively observed state of one member.
+type memberHealth struct {
+	healthy       bool // last RPC outcome (true until proven otherwise)
+	everSeen      bool
+	consecFails   int
+	lastErr       string
+	lastEpoch     uint64
+	rpcs          uint64
+	errs          uint64
+	epochRestarts uint64
+}
+
+// New builds a coordinator over the given members. base is the option block
+// federated queries resolve per-query options against — the coordinator's
+// equivalent of an Engine's Options (error bound, confidence, seed, round
+// and draw budgets; graph-shape knobs like N and τ travel to the members).
+func New(cfg Config, base core.Options) (*Coordinator, error) {
+	if len(cfg.Members) == 0 {
+		return nil, ErrNoMembers
+	}
+	seen := make(map[string]bool, len(cfg.Members))
+	for _, m := range cfg.Members {
+		if m.Name == "" || m.URL == "" {
+			return nil, fmt.Errorf("federate: member needs both name and URL (got %+v)", m)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("federate: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	c := &Coordinator{cfg: cfg.withDefaults(), base: base, health: make([]memberHealth, len(cfg.Members))}
+	for i := range c.health {
+		c.health[i].healthy = true
+	}
+	return c, nil
+}
+
+// Members returns the configured member set.
+func (c *Coordinator) Members() []Member {
+	out := make([]Member, len(c.cfg.Members))
+	copy(out, c.cfg.Members)
+	return out
+}
+
+// memberRun is the per-query accumulated state of one member stratum.
+type memberRun struct {
+	obs        []estimate.Observation
+	candidates int
+	sigma      float64
+	epoch      uint64
+	epochKnown bool
+	empty      bool // member resolved the query to zero candidates
+	frozen     bool // dead past retry budget; gathered sample stays in the merge
+	dropped    bool // dead past retry budget with nothing gathered; stratum excluded
+	err        error
+}
+
+// live reports whether the member can still take draw allocations.
+func (r *memberRun) live() bool { return !r.empty && !r.frozen && !r.dropped }
+
+// contributing reports whether the member's stratum enters the merge.
+func (r *memberRun) contributing() bool { return !r.empty && !r.dropped && len(r.obs) > 0 }
+
+// Query executes one federated aggregate query: scatter a pilot, then
+// refinement rounds of Neyman-allocated draws across members, merging the
+// streams through the stratified Horvitz–Thompson combiner until the
+// Theorem 2 condition holds for the requested (eb, α) — the same contract
+// and option surface as Engine.Query, across machine boundaries.
+//
+// Member death follows the package contract: without core.WithDegradation a
+// member unreachable past the retry budget fails the query with
+// ErrPartialFederation; with it, the query degrades honestly (dead member's
+// gathered sample freezes in place, a member that never contributed drops
+// and the surviving strata are re-weighted) and the result is flagged
+// Degraded.
+func (c *Coordinator) Query(ctx context.Context, q *query.Aggregate, opts ...core.QueryOption) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, rounds, err := c.run(ctx, q, opts...)
+	c.mu.Lock()
+	c.queries++
+	if res != nil && res.Degraded {
+		c.partial++
+	}
+	c.mu.Unlock()
+	if rounds > 0 {
+		metRounds.Observe(float64(rounds))
+	}
+	if res != nil {
+		metStrata.Observe(float64(res.Shards))
+	}
+	metQueries.With(outcome(res, err)).Inc()
+	return res, err
+}
+
+// outcome classifies a finished federated query for the queries counter.
+func outcome(res *core.Result, err error) string {
+	switch {
+	case errors.Is(err, ErrPartialFederation):
+		return "partial_failure"
+	case errors.Is(err, core.ErrInterrupted):
+		return "interrupted"
+	case err != nil:
+		return "error"
+	case res.Converged && !res.Degraded:
+		return "converged"
+	case res.Degraded:
+		return "degraded"
+	default:
+		return "unconverged"
+	}
+}
+
+func (c *Coordinator) run(ctx context.Context, q *query.Aggregate, opts ...core.QueryOption) (*core.Result, int, error) {
+	if q == nil {
+		return nil, 0, fmt.Errorf("federate: nil query")
+	}
+	if !q.Func.HasGuarantee() {
+		return nil, 0, fmt.Errorf("federate: %w: %v carries no guarantee to merge", core.ErrFederatedQuery, q.Func)
+	}
+	if q.GroupBy != "" {
+		return nil, 0, fmt.Errorf("federate: %w: GROUP-BY does not decompose into remote strata", core.ErrFederatedQuery)
+	}
+	rq := core.ResolveQuery(c.base, opts...)
+	o := rq.Opts
+	gcfg := estimate.GuaranteeConfig{Confidence: o.Confidence, T: o.T, B: o.B, M: o.M}
+	qtext := q.String()
+	nm := len(c.cfg.Members)
+
+	runs := make([]memberRun, nm)
+	alloc := make([]int, nm)
+	for i := range alloc {
+		alloc[i] = o.MinSample
+	}
+	pilot := true
+
+	var (
+		v, eps     float64
+		estimated  bool
+		converged  bool
+		degradedBy string // why the loop stopped early, for the error path
+		anyDeath   bool
+		deadNames  []string
+		rounds     []core.Round
+		sampleTime time.Duration
+	)
+
+	result := func() *core.Result {
+		res := &core.Result{
+			Query:      q,
+			Estimate:   v,
+			MoE:        eps,
+			Confidence: o.Confidence,
+			Converged:  converged,
+			Degraded:   anyDeath || degradedBy == "deadline",
+			TargetEB:   o.ErrorBound,
+			Rounds:     rounds,
+			Times:      core.StepTimes{Sampling: sampleTime},
+		}
+		for i := range runs {
+			if runs[i].contributing() {
+				res.Shards++
+				res.SampleSize += len(runs[i].obs)
+				res.Candidates += runs[i].candidates
+				for _, ob := range runs[i].obs {
+					if ob.Correct {
+						res.Correct++
+					}
+				}
+			}
+		}
+		return res
+	}
+
+	for round := 0; ; round++ {
+		if cerr := context.Cause(ctx); cerr != nil {
+			if estimated {
+				return result(), len(rounds), fmt.Errorf("federate: %w: %w", core.ErrInterrupted, cerr)
+			}
+			return nil, len(rounds), fmt.Errorf("federate: %w before the first merge: %w", core.ErrInterrupted, cerr)
+		}
+		roundStart := time.Now()
+		c.scatter(ctx, qtext, q.Func, o, runs, alloc, pilot, round)
+		sampleTime += time.Since(roundStart)
+		pilot = false
+
+		// Classify fresh deaths. A cancelled parent context is the query
+		// being interrupted, not members dying; the top of the next
+		// iteration reports it.
+		if context.Cause(ctx) == nil {
+			for i := range runs {
+				r := &runs[i]
+				if r.err == nil || r.frozen || r.dropped {
+					continue
+				}
+				anyDeath = true
+				deadNames = append(deadNames, c.cfg.Members[i].Name)
+				if len(r.obs) > 0 {
+					r.frozen = true
+				} else {
+					r.dropped = true
+				}
+			}
+			if anyDeath && !rq.Degrade.Enabled() {
+				return nil, len(rounds), fmt.Errorf("federate: %w: member(s) %s unreachable past the retry budget",
+					ErrPartialFederation, strings.Join(deadNames, ", "))
+			}
+		}
+
+		// Stratum weights from candidate-space sizes, over every
+		// contributing member (frozen included — its sample stays in the
+		// merge; dropped and empty members are re-weighted away).
+		sumCand := 0
+		for i := range runs {
+			if runs[i].contributing() {
+				sumCand += runs[i].candidates
+			}
+		}
+		if sumCand == 0 {
+			if anyDeath {
+				return nil, len(rounds), fmt.Errorf("federate: %w: no surviving member holds candidate answers (dead: %s)",
+					ErrPartialFederation, strings.Join(deadNames, ", "))
+			}
+			return nil, len(rounds), fmt.Errorf("federate: %w (0 candidates federation-wide)", ErrUnresolved)
+		}
+
+		strata := make([]estimate.Stratum, 0, nm)
+		total, correct := 0, 0
+		for i := range runs {
+			r := &runs[i]
+			if !r.contributing() {
+				continue
+			}
+			strata = append(strata, estimate.Stratum{
+				Weight: float64(r.candidates) / float64(sumCand),
+				Obs:    r.obs,
+			})
+			total += len(r.obs)
+			for _, ob := range r.obs {
+				if ob.Correct {
+					correct++
+				}
+			}
+		}
+
+		nlive := 0
+		for i := range runs {
+			if runs[i].live() {
+				nlive++
+			}
+		}
+
+		// grow re-allocates delta draws across live members (Neyman on the
+		// accumulated per-member σ̂) and reports whether another round is
+		// possible at all.
+		grow := func(delta int) bool {
+			if nlive == 0 || round+1 >= o.MaxRounds || total >= o.MaxDraws {
+				return false
+			}
+			if delta < nlive {
+				delta = nlive
+			}
+			if total+delta > o.MaxDraws {
+				delta = o.MaxDraws - total
+			}
+			live := make([]estimate.StratumStats, 0, nlive)
+			idx := make([]int, 0, nlive)
+			for i := range runs {
+				if runs[i].live() {
+					live = append(live, estimate.StratumStats{
+						Weight: float64(runs[i].candidates) / float64(sumCand),
+						Sigma:  runs[i].sigma,
+					})
+					idx = append(idx, i)
+				}
+			}
+			shares := estimate.AllocateDraws(delta, live)
+			for i := range alloc {
+				alloc[i] = 0
+			}
+			for j, n := range shares {
+				alloc[idx[j]] = n
+			}
+			return true
+		}
+
+		vr, verr := estimate.EstimateStratified(q.Func, strata, o.Policy)
+		var er float64
+		var merr error
+		if verr == nil {
+			er, merr = estimate.MoEStratified(q.Func, strata, o.Policy, gcfg)
+		}
+		if verr != nil || merr != nil {
+			// No estimable merge yet (no correct draws, or a degenerate
+			// stratum): double the sample if the budgets allow.
+			if grow(total) {
+				continue
+			}
+			err := verr
+			if err == nil {
+				err = merr
+			}
+			return nil, len(rounds), fmt.Errorf("federate: %w: %w", core.ErrNotConverged, err)
+		}
+		v, eps, estimated = vr, er, true
+		rounds = append(rounds, core.Round{Estimate: v, MoE: eps, SampleSize: total})
+		if rq.OnRound != nil {
+			rq.OnRound(core.Round{Estimate: v, MoE: eps, SampleSize: total})
+		}
+
+		// The MinCorrect gate mirrors the engine: with too few correct
+		// draws the interval machinery under-covers, so grow instead of
+		// trusting it for termination.
+		if correct < o.MinCorrect {
+			if grow(total) {
+				continue
+			}
+			break
+		}
+		if estimate.Satisfied(v, eps, o.ErrorBound) {
+			converged = true
+			break
+		}
+		if rq.Degrade.ShouldStop(ctx, time.Since(roundStart)) {
+			degradedBy = "deadline"
+			break
+		}
+		delta := estimate.NextSampleSize(total, eps, v, o.ErrorBound, 1)
+		if delta <= 0 {
+			delta = total // V̂=0 keeps the target at zero; double and retry
+		}
+		if delta > 5*total {
+			delta = 5 * total
+		}
+		if !grow(delta) {
+			break
+		}
+	}
+
+	return result(), len(rounds), nil
+}
+
+// scatter runs one round's member RPCs in parallel and folds the answers
+// into the per-member runs. Members with a zero allocation (or already
+// empty/frozen/dropped) are skipped.
+func (c *Coordinator) scatter(ctx context.Context, qtext string, fn query.AggFunc, o core.Options, runs []memberRun, alloc []int, pilot bool, round int) {
+	var wg sync.WaitGroup
+	for i := range runs {
+		if alloc[i] <= 0 || !runs[i].live() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &runs[i]
+			sm := stats.NewSplitmix(o.Seed + int64(round)*1_000_003 + int64(i)*7_919)
+			seed := int64(sm.Next() >> 1)
+			req := SampleRequest{
+				Query:     qtext,
+				Draws:     alloc[i],
+				Pilot:     pilot,
+				Seed:      seed,
+				Tau:       o.Tau,
+				TimeoutMS: int(c.cfg.MemberTimeout / time.Millisecond),
+			}
+			resp, err := c.sampleMember(ctx, i, req)
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.err = nil
+			if resp.Candidates <= 0 {
+				r.empty = true
+				r.obs, r.candidates, r.sigma = nil, 0, 0
+				return
+			}
+			obs, err := estimate.FromWire(resp.Observations)
+			if err != nil {
+				r.err = fmt.Errorf("federate: member %s: %w", c.cfg.Members[i].Name, err)
+				return
+			}
+			if r.epochKnown && resp.Epoch != r.epoch {
+				// The member's graph moved between rounds: its earlier draws
+				// observed a different graph. Restart its stream from this
+				// round's draws alone.
+				r.obs = r.obs[:0]
+				metEpochRestarts.Inc()
+				c.noteEpochRestart(i)
+			}
+			r.epoch, r.epochKnown = resp.Epoch, true
+			r.obs = append(r.obs, obs...)
+			r.candidates = resp.Candidates
+			r.sigma = estimate.StratumSigma(fn, r.obs)
+			metDraws.Add(float64(len(obs)))
+			c.noteEpoch(i, resp.Epoch)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// noteRPC folds one member RPC outcome into the cross-query health state.
+func (c *Coordinator) noteRPC(mi int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := &c.health[mi]
+	h.rpcs++
+	h.everSeen = true
+	if err == nil {
+		h.healthy = true
+		h.consecFails = 0
+		h.lastErr = ""
+		return
+	}
+	h.errs++
+	h.consecFails++
+	h.healthy = false
+	h.lastErr = err.Error()
+	metMemberErrors.With(c.cfg.Members[mi].Name, errKind(err)).Inc()
+}
+
+func (c *Coordinator) noteEpoch(mi int, epoch uint64) {
+	c.mu.Lock()
+	c.health[mi].lastEpoch = epoch
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) noteEpochRestart(mi int) {
+	c.mu.Lock()
+	c.health[mi].epochRestarts++
+	c.mu.Unlock()
+}
+
+// MemberStatus is the externally visible health of one member, as observed
+// passively from query traffic (no active probing).
+type MemberStatus struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Contacted is false until the first RPC ever reaches this member;
+	// Healthy is optimistically true then.
+	Contacted           bool   `json:"contacted"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	LastEpoch           uint64 `json:"last_epoch,omitempty"`
+	RPCs                uint64 `json:"rpcs"`
+	Errors              uint64 `json:"errors,omitempty"`
+	EpochRestarts       uint64 `json:"epoch_restarts,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the coordinator.
+type Stats struct {
+	Members []MemberStatus `json:"members"`
+	// Queries counts federated queries started on this coordinator.
+	Queries uint64 `json:"queries"`
+	// Partial counts queries that lost at least one member (frozen or
+	// dropped) and finished degraded.
+	Partial uint64 `json:"partial"`
+}
+
+// Stats snapshots the coordinator's passively observed state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Queries: c.queries, Partial: c.partial, Members: make([]MemberStatus, len(c.cfg.Members))}
+	for i, m := range c.cfg.Members {
+		h := c.health[i]
+		s.Members[i] = MemberStatus{
+			Name: m.Name, URL: m.URL,
+			Healthy: h.healthy, Contacted: h.everSeen,
+			ConsecutiveFailures: h.consecFails,
+			LastError:           h.lastErr,
+			LastEpoch:           h.lastEpoch,
+			RPCs:                h.rpcs,
+			Errors:              h.errs,
+			EpochRestarts:       h.epochRestarts,
+		}
+	}
+	return s
+}
+
+// ProbeResult is one member's answer to an active health probe.
+type ProbeResult struct {
+	Name      string  `json:"name"`
+	URL       string  `json:"url"`
+	Healthy   bool    `json:"healthy"`
+	Error     string  `json:"error,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// Probe actively checks every member's /v1/healthz in parallel (bounded by
+// the context). It backs /debug/federation and the kgaqload preflight-style
+// checks; the cheap passive Stats path backs /v1/healthz.
+func (c *Coordinator) Probe(ctx context.Context) []ProbeResult {
+	out := make([]ProbeResult, len(c.cfg.Members))
+	var wg sync.WaitGroup
+	for i, m := range c.cfg.Members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			start := time.Now()
+			err := probeOne(ctx, c.cfg.Client, m.URL)
+			out[i] = ProbeResult{
+				Name: m.Name, URL: m.URL,
+				Healthy:   err == nil,
+				LatencyMS: float64(time.Since(start).Microseconds()) / 1e3,
+			}
+			if err != nil {
+				out[i].Error = err.Error()
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// probeOne GETs one member's health endpoint.
+func probeOne(ctx context.Context, client *http.Client, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(res.Body, 4096))
+		res.Body.Close()
+	}()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", res.StatusCode)
+	}
+	return nil
+}

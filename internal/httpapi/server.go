@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"kgaq/internal/admission"
+	"kgaq/internal/buildinfo"
 	"kgaq/internal/core"
+	"kgaq/internal/federate"
 	"kgaq/internal/live"
 	"kgaq/internal/obs"
 	"kgaq/internal/query"
@@ -53,7 +55,18 @@ type Server struct {
 	// tracer samples query lifecycles into a bounded ring served under
 	// /debug/trace; see ConfigureTracing.
 	tracer *obs.Tracer
+	// fed makes this server a federation coordinator: /v1/query scatters
+	// across its members instead of running locally (nil = plain member /
+	// standalone server); see ConfigureFederation.
+	fed *federate.Coordinator
+	// build is the binary's build provenance, shown in healthz when the
+	// binary registered it (see ConfigureBuild).
+	build *buildinfo.Info
 }
+
+// ConfigureBuild records the serving binary's build provenance for the
+// healthz "build" block. Call before serving.
+func (s *Server) ConfigureBuild(info buildinfo.Info) { s.build = &info }
 
 // NewServer wraps an engine for read-only serving.
 func NewServer(eng *core.Engine) *Server {
@@ -160,6 +173,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.admit(s.handleQuery))
 	mux.HandleFunc("POST /v1/prepare", s.admit(s.handlePrepare))
 	mux.HandleFunc("POST /v1/plans/{id}/query", s.admit(s.handlePlanQuery))
+	mux.HandleFunc("POST /v1/federate/sample", s.admit(s.handleFederateSample))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	if s.store != nil {
 		mux.HandleFunc("POST /v1/mutate", s.admit(s.handleMutate))
@@ -413,8 +427,14 @@ func errorStatus(err error) int {
 		errors.Is(err, core.ErrPlanSampler),
 		errors.Is(err, core.ErrPlanOption),
 		errors.Is(err, core.ErrBadAggSpec),
+		errors.Is(err, core.ErrFederatedQuery),
+		errors.Is(err, federate.ErrUnresolved),
 		errors.Is(err, core.ErrEpochNotReached):
 		return http.StatusBadRequest
+	case errors.Is(err, federate.ErrPartialFederation):
+		// Members died past the retry budget and no degradation was allowed:
+		// the coordinator's upstream failed, not the client or this process.
+		return http.StatusBadGateway
 	case errors.Is(err, core.ErrNotConverged):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, core.ErrInterrupted):
@@ -481,6 +501,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, endTrace := s.trace(ctx, w, "query", agg.String())
 	defer endTrace()
 	opts = append(opts, s.degradeOptions(ctx, req.ErrorBound)...)
+
+	// A coordinator scatters single-aggregate guaranteed queries across its
+	// members; the shapes that do not decompose into remote strata are the
+	// client's to re-route to a member directly.
+	if s.fed != nil {
+		switch {
+		case len(req.Aggregates) > 0:
+			writeError(w, http.StatusBadRequest, "multi-aggregate queries do not federate (one shared sample cannot span members)")
+		case req.MinEpoch > 0:
+			writeError(w, http.StatusBadRequest, "min_epoch is not meaningful across federation members (each owns its own epoch sequence)")
+		case req.Stream:
+			s.streamQuery(ctx, w, agg, func(ctx context.Context, extra ...core.QueryOption) (*core.Result, error) {
+				return s.fed.Query(ctx, agg, append(opts, extra...)...)
+			})
+		default:
+			s.runSingle(ctx, w, agg, func(ctx context.Context) (*core.Result, error) {
+				return s.fed.Query(ctx, agg, opts...)
+			})
+		}
+		return
+	}
 
 	if len(req.Aggregates) > 0 {
 		if req.Stream {
@@ -954,6 +995,12 @@ type healthResponse struct {
 	// checkpoint, segment count and the boot-time recovery stats (absent on
 	// memory-only servers).
 	Durability *live.DurabilityStats `json:"durability,omitempty"`
+	// Federation is the coordinator's passive member-health picture (absent
+	// unless this server coordinates a federation).
+	Federation *federationHealth `json:"federation,omitempty"`
+	// Build is the binary's build provenance (absent until the binary
+	// registers it; see ConfigureBuild).
+	Build *buildinfo.Info `json:"build,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -989,6 +1036,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.dur.Stats()
 		h.Durability = &st
 	}
+	h.Federation = s.federationHealth()
+	h.Build = s.build
 	writeJSON(w, http.StatusOK, h)
 }
 
@@ -1112,6 +1161,7 @@ var debugIndex = []debugRoute{
 	{"/debug/plans", "resident prepared plans, most recently used first"},
 	{"/debug/admission", "admission controller snapshot (404 when admission is off)"},
 	{"/debug/durability", "WAL/checkpoint picture (404 on memory-only servers)"},
+	{"/debug/federation", "coordinator member health: passive stats + active probe (404 when not coordinating)"},
 	{"/debug/pprof/", "net/http/pprof profile suite"},
 }
 
@@ -1167,5 +1217,6 @@ func (s *Server) DebugHandler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.dur.Stats())
 	})
+	mux.HandleFunc("GET /debug/federation", s.handleDebugFederation)
 	return mux
 }
